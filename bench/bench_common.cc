@@ -1,0 +1,368 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "gen/dataset_profiles.h"
+#include "gen/graph_gen.h"
+#include "gen/query_gen.h"
+#include "query/engine_factory.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace sgq::bench {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+std::string EnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? v : fallback;
+}
+
+}  // namespace
+
+BenchEnv GetBenchEnv() {
+  BenchEnv env;
+  env.queries_per_set =
+      static_cast<uint32_t>(EnvDouble("SGQ_QUERIES_PER_SET", 10));
+  env.build_deadline_s = EnvDouble("SGQ_BUILD_DEADLINE_S", 90);
+  env.query_deadline_s = EnvDouble("SGQ_QUERY_DEADLINE_S", 1.5);
+  env.index_memory_limit_mb =
+      static_cast<size_t>(EnvDouble("SGQ_INDEX_MEM_LIMIT_MB", 8192));
+  env.cache_dir = EnvString("SGQ_CACHE_DIR", ".sgq_bench_cache");
+  env.no_cache = std::getenv("SGQ_NO_CACHE") != nullptr;
+  return env;
+}
+
+const QuerySetSummary* EngineDatasetResult::FindSet(
+    const std::string& name) const {
+  for (const auto& [set_name, summary] : sets) {
+    if (set_name == name) return &summary;
+  }
+  return nullptr;
+}
+
+const EngineDatasetResult* DatasetResult::FindEngine(
+    const std::string& name) const {
+  for (const auto& [engine_name, result] : engines) {
+    if (engine_name == name) return &result;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// ---- cache serialization ---------------------------------------------------
+
+void WriteCache(const std::string& path, const std::string& key,
+                const std::vector<DatasetResult>& results) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream out(path);
+  if (!out) return;
+  out << "sgq-bench-cache-v1 " << key << "\n";
+  out.precision(17);
+  for (const DatasetResult& d : results) {
+    out << "dataset " << d.name << " " << d.stats.num_graphs << " "
+        << d.stats.num_distinct_labels << " " << d.stats.avg_vertices_per_graph
+        << " " << d.stats.avg_edges_per_graph << " "
+        << d.stats.avg_degree_per_graph << " " << d.stats.avg_labels_per_graph
+        << " " << d.db_bytes << "\n";
+    for (const auto& [engine_name, e] : d.engines) {
+      out << "engine " << engine_name << " " << (e.prep_ok ? 1 : 0) << " "
+          << (e.prep_failure.empty() ? "-" : e.prep_failure) << " "
+          << e.prep_seconds << " " << e.index_bytes << " " << e.max_aux_bytes
+          << "\n";
+      for (const auto& [set_name, s] : e.sets) {
+        out << "set " << set_name << " " << s.num_queries << " "
+            << s.num_timeouts << " " << s.avg_filtering_ms << " "
+            << s.avg_verification_ms << " " << s.avg_query_ms << " "
+            << s.filtering_precision << " " << s.avg_candidates << " "
+            << s.per_si_test_ms << "\n";
+      }
+    }
+  }
+  out << "end\n";
+}
+
+bool ReadCache(const std::string& path, const std::string& key,
+               std::vector<DatasetResult>* results) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) || line != "sgq-bench-cache-v1 " + key) {
+    return false;
+  }
+  results->clear();
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    if (tag == "dataset") {
+      DatasetResult d;
+      is >> d.name >> d.stats.num_graphs >> d.stats.num_distinct_labels >>
+          d.stats.avg_vertices_per_graph >> d.stats.avg_edges_per_graph >>
+          d.stats.avg_degree_per_graph >> d.stats.avg_labels_per_graph >>
+          d.db_bytes;
+      if (!is) return false;
+      results->push_back(std::move(d));
+    } else if (tag == "engine") {
+      if (results->empty()) return false;
+      EngineDatasetResult e;
+      std::string name, failure;
+      int ok = 0;
+      is >> name >> ok >> failure >> e.prep_seconds >> e.index_bytes >>
+          e.max_aux_bytes;
+      if (!is) return false;
+      e.prep_ok = ok != 0;
+      if (failure != "-") e.prep_failure = failure;
+      results->back().engines.emplace_back(name, std::move(e));
+    } else if (tag == "set") {
+      if (results->empty() || results->back().engines.empty()) return false;
+      QuerySetSummary s;
+      std::string name;
+      is >> name >> s.num_queries >> s.num_timeouts >> s.avg_filtering_ms >>
+          s.avg_verification_ms >> s.avg_query_ms >> s.filtering_precision >>
+          s.avg_candidates >> s.per_si_test_ms;
+      if (!is) return false;
+      results->back().engines.back().second.sets.emplace_back(name, s);
+    } else if (tag == "end") {
+      saw_end = true;
+      break;
+    } else if (!tag.empty()) {
+      return false;
+    }
+  }
+  return saw_end;
+}
+
+// ---- runners ----------------------------------------------------------------
+
+// Runs one engine against all query sets; fills an EngineDatasetResult.
+EngineDatasetResult RunEngine(const std::string& engine_name,
+                              const GraphDatabase& db,
+                              const std::vector<QuerySet>& query_sets,
+                              const BenchEnv& env) {
+  EngineDatasetResult out;
+  EngineConfig config;
+  config.index_memory_limit_bytes = env.index_memory_limit_mb * 1024 * 1024;
+  auto engine = MakeEngine(engine_name, config);
+  WallTimer prep_timer;
+  out.prep_ok =
+      engine->Prepare(db, Deadline::AfterSeconds(env.build_deadline_s));
+  out.prep_seconds = prep_timer.ElapsedSeconds();
+  if (!out.prep_ok) {
+    out.prep_failure =
+        engine->prepare_failure() == GraphIndex::BuildFailure::kMemory
+            ? "OOM"
+            : "OOT";
+    return out;
+  }
+  out.index_bytes = engine->IndexMemoryBytes();
+
+  for (const QuerySet& set : query_sets) {
+    std::vector<QueryResult> results;
+    results.reserve(set.queries.size());
+    for (const Graph& q : set.queries) {
+      results.push_back(
+          engine->Query(q, Deadline::AfterSeconds(env.query_deadline_s)));
+      out.max_aux_bytes =
+          std::max(out.max_aux_bytes, results.back().stats.aux_memory_bytes);
+    }
+    out.sets.emplace_back(set.name,
+                          Summarize(results, env.query_deadline_s * 1e3));
+  }
+  return out;
+}
+
+DatasetResult RunDataset(const std::string& dataset_name, GraphDatabase db,
+                         const std::vector<std::string>& engine_names,
+                         const std::vector<QuerySet>& query_sets,
+                         const BenchEnv& env) {
+  DatasetResult out;
+  out.name = dataset_name;
+  out.stats = db.ComputeStats();
+  out.db_bytes = db.MemoryBytes();
+  for (const std::string& engine_name : engine_names) {
+    std::fprintf(stderr, "  [bench] %s on %s ...\n", engine_name.c_str(),
+                 dataset_name.c_str());
+    out.engines.emplace_back(engine_name,
+                             RunEngine(engine_name, db, query_sets, env));
+  }
+  return out;
+}
+
+std::string RealWorldKey(const BenchEnv& env) {
+  std::ostringstream os;
+  os << "real-v10:q=" << env.queries_per_set << ":b=" << env.build_deadline_s
+     << ":t=" << env.query_deadline_s;
+  return os.str();
+}
+
+std::string SyntheticKey(const BenchEnv& env) {
+  std::ostringstream os;
+  os << "synth-v10:q=" << env.queries_per_set << ":b=" << env.build_deadline_s
+     << ":t=" << env.query_deadline_s;
+  return os.str();
+}
+
+std::vector<DatasetResult> ComputeRealWorld(const BenchEnv& env) {
+  // Scales chosen so the full sweep runs on a laptop-class single core (see
+  // DESIGN.md §3): graph counts shrink by a constant factor; PDBS/PPI graph
+  // sizes shrink too (they are in the thousands of vertices in Table IV).
+  struct StandIn {
+    const char* profile;
+    double count_scale;
+    double size_scale;
+  };
+  const StandIn stand_ins[] = {
+      {"AIDS", 0.025, 1.0},  // 1000 graphs x ~45 vertices
+      {"PDBS", 0.1, 0.2},    // 60 graphs  x ~590 vertices
+      {"PCM", 0.1, 0.2},     // 20 graphs  x ~75 vertices, degree 23
+      {"PPI", 0.25, 0.25},   // 5 graphs   x ~1235 vertices, degree 10.9
+  };
+  std::vector<DatasetResult> results;
+  for (const StandIn& s : stand_ins) {
+    GraphDatabase db = GenerateStandIn(ProfileByName(s.profile),
+                                       s.count_scale, s.size_scale,
+                                       /*seed=*/0xD5EA5E + results.size());
+    const auto query_sets =
+        GenerateStandardQuerySets(db, env.queries_per_set, /*seed=*/4242);
+    std::vector<std::string> engines = AllEngineNames();
+    results.push_back(
+        RunDataset(s.profile, std::move(db), engines, query_sets, env));
+  }
+  return results;
+}
+
+std::vector<DatasetResult> ComputeSynthetic(const BenchEnv& env) {
+  std::vector<DatasetResult> results;
+  // Engines per the paper's synthetic section: indexing & memory use
+  // CT-Index/GGSX/Grapes + CFQL; filtering figures add vcGrapes.
+  const std::vector<std::string> engines = {"CT-Index", "GGSX", "Grapes",
+                                            "CFQL", "vcGrapes"};
+  for (const SyntheticSweepPoint& point : SyntheticSweep()) {
+    SyntheticParams params;
+    // Scaled "sane defaults" (paper: |D|=1000, |V|=200, d=8, |Sigma|=20).
+    params.num_graphs = 100;
+    params.vertices_per_graph = 60;
+    params.degree = 8.0;
+    params.num_labels = 20;
+    params.size_jitter = 0.1;
+    params.seed = 0x5EED;
+    if (point.param == "sigma") {
+      params.num_labels = static_cast<uint32_t>(point.value);
+    } else if (point.param == "degree") {
+      params.degree = point.value;
+    } else if (point.param == "vertices") {
+      params.vertices_per_graph = static_cast<uint32_t>(point.value);
+    } else if (point.param == "graphs") {
+      params.num_graphs = static_cast<uint32_t>(point.value);
+    } else {
+      SGQ_LOG(Fatal) << "unknown sweep param " << point.param;
+    }
+    GraphDatabase db = GenerateSyntheticDatabase(params);
+    std::vector<QuerySet> query_sets = {GenerateQuerySet(
+        db, QueryKind::kSparse, 8, env.queries_per_set, /*seed=*/777)};
+    results.push_back(
+        RunDataset(point.name, std::move(db), engines, query_sets, env));
+  }
+  return results;
+}
+
+const std::vector<DatasetResult>& GetCached(
+    const std::string& file_name, const std::string& key,
+    std::vector<DatasetResult> (*compute)(const BenchEnv&)) {
+  static std::map<std::string, std::vector<DatasetResult>>& cache =
+      *new std::map<std::string, std::vector<DatasetResult>>;
+  auto it = cache.find(file_name);
+  if (it != cache.end()) return it->second;
+
+  const BenchEnv env = GetBenchEnv();
+  const std::string path = env.cache_dir + "/" + file_name;
+  std::vector<DatasetResult> results;
+  if (env.no_cache || !ReadCache(path, key, &results)) {
+    std::fprintf(stderr,
+                 "[bench] computing %s sweep (first run; cached at %s)\n",
+                 file_name.c_str(), path.c_str());
+    results = compute(env);
+    std::filesystem::create_directories(env.cache_dir);
+    WriteCache(path, key, results);
+  }
+  return cache.emplace(file_name, std::move(results)).first->second;
+}
+
+}  // namespace
+
+const std::vector<DatasetResult>& GetRealWorldResults() {
+  return GetCached("realworld.cache", RealWorldKey(GetBenchEnv()),
+                   &ComputeRealWorld);
+}
+
+const std::vector<DatasetResult>& GetSyntheticResults() {
+  return GetCached("synthetic.cache", SyntheticKey(GetBenchEnv()),
+                   &ComputeSynthetic);
+}
+
+const std::vector<SyntheticSweepPoint>& SyntheticSweep() {
+  // Paper sweeps (scaled where noted): |Sigma| in {1,10,20,40,80} as-is;
+  // d(G) in {4,8,16,32,64} as-is (large values OOT by design);
+  // |V(G)| {50,200,...,12800} -> {15,30,60,120,240};
+  // |D| {1e2..1e6} -> {15,60,240,960,3840}.
+  static const std::vector<SyntheticSweepPoint>& kSweep =
+      *new std::vector<SyntheticSweepPoint>{
+          {"sigma=1", "sigma", 1},       {"sigma=10", "sigma", 10},
+          {"sigma=20", "sigma", 20},     {"sigma=40", "sigma", 40},
+          {"sigma=80", "sigma", 80},     {"degree=4", "degree", 4},
+          {"degree=8", "degree", 8},     {"degree=16", "degree", 16},
+          {"degree=32", "degree", 32},   {"degree=64", "degree", 64},
+          {"vertices=15", "vertices", 15},
+          {"vertices=30", "vertices", 30},
+          {"vertices=60", "vertices", 60},
+          {"vertices=120", "vertices", 120},
+          {"vertices=240", "vertices", 240},
+          {"graphs=15", "graphs", 15},   {"graphs=60", "graphs", 60},
+          {"graphs=240", "graphs", 240}, {"graphs=960", "graphs", 960},
+          {"graphs=3840", "graphs", 3840},
+      };
+  return kSweep;
+}
+
+void PrintHeader(const std::string& artifact, const std::string& title) {
+  const BenchEnv env = GetBenchEnv();
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), title.c_str());
+  std::printf(
+      "scaled run: %u queries/set, build limit %.0fs (paper: 24h), "
+      "query limit %.1fs (paper: 10min)\n",
+      env.queries_per_set, env.build_deadline_s, env.query_deadline_s);
+  std::printf("==============================================================\n");
+}
+
+std::string Cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%*.*f", 10, precision, value);
+  return buf;
+}
+
+std::string OmittedCell() {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%10s", "-");
+  return buf;
+}
+
+bool MostlyTimedOut(const QuerySetSummary& s) {
+  return s.num_queries > 0 &&
+         s.num_timeouts * 10 > s.num_queries * 4;  // > 40%
+}
+
+}  // namespace sgq::bench

@@ -1,0 +1,18 @@
+// Figure 2: filtering precision (Equation 1) on the real-world datasets.
+#include "bench/fig_common.h"
+
+int main() {
+  using namespace sgq::bench;
+  PrintRealWorldMetric(
+      "Figure 2", "Filtering precision on real-world datasets",
+      {"CT-Index", "Grapes", "GGSX", "CFL", "GraphQL", "CFQL", "vcGrapes",
+       "vcGGSX"},
+      [](const sgq::QuerySetSummary& s) { return s.filtering_precision; },
+      /*precision=*/3,
+      "precision is higher on dense query sets; CT-Index leads the IFV\n"
+      "group; the vcFV group (CFL/GraphQL/CFQL) is competitive with IFV;\n"
+      "vcGrapes/vcGGSX are at least as precise as both their index and\n"
+      "CFQL; missing cells are engines whose index build timed out or that\n"
+      "failed >40% of the queries.");
+  return 0;
+}

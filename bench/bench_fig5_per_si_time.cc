@@ -1,0 +1,17 @@
+// Figure 5: per-SI-test time (ms, Equation 3) on the real-world datasets.
+#include "bench/fig_common.h"
+
+int main() {
+  using namespace sgq::bench;
+  PrintRealWorldMetric(
+      "Figure 5", "Per subgraph-isomorphism-test time (ms)",
+      {"CT-Index", "Grapes", "GGSX", "CFL", "GraphQL", "CFQL", "vcGrapes",
+       "vcGGSX"},
+      [](const sgq::QuerySetSummary& s) { return s.per_si_test_ms; },
+      /*precision=*/5,
+      "this isolates the verification-method gap: vcFV/IvcFV (modern\n"
+      "matchers) beat the VF2-based IFV engines by up to four orders of\n"
+      "magnitude per test — the paper's core evidence that slow\n"
+      "verification makes IFV work overestimate the value of filtering.");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 9: filtering time on the synthetic sweeps (Q_8S, ms).
+#include "bench/synth_common.h"
+
+int main() {
+  using namespace sgq::bench;
+  PrintSyntheticMetric(
+      "Figure 9", "Filtering time on synthetic datasets (Q_8S, ms)",
+      {"CFQL", "Grapes", "GGSX", "vcGrapes"},
+      [](const DatasetResult&, const EngineDatasetResult& e, double* out) {
+        if (!e.prep_ok || e.sets.empty()) return false;
+        *out = e.sets.front().second.avg_filtering_ms;
+        return true;
+      },
+      /*precision=*/3, "-",
+      "CFQL's filtering cost is roughly linear in d(G), |V(G)| and |D|\n"
+      "(its filter is O(|E(q)| x |E(G)|) per graph) and drops as |Sigma|\n"
+      "grows (label filter prunes earlier); the index lookups of Grapes\n"
+      "and GGSX grow with |V(G)| and |D| as more graphs share features.");
+  return 0;
+}

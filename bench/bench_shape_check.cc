@@ -1,0 +1,174 @@
+// Programmatic verification of the paper's qualitative claims against the
+// measured sweeps. Each check prints PASS / WARN with the evidence; WARNs
+// flag where the scaled reproduction deviates from the paper's shape (the
+// exit code stays 0 — shapes are assessed, not enforced, because scaled
+// runs are noisy).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace sgq;
+using namespace sgq::bench;
+
+int g_pass = 0, g_warn = 0;
+
+void Check(bool ok, const std::string& claim, const std::string& evidence) {
+  std::printf("[%s] %s\n        %s\n", ok ? "PASS" : "WARN", claim.c_str(),
+              evidence.c_str());
+  ++(ok ? g_pass : g_warn);
+}
+
+// Mean of a metric over all query sets of one engine on one dataset; NaN
+// when unavailable.
+double MeanMetric(const DatasetResult& d, const std::string& engine,
+                  double (*metric)(const QuerySetSummary&)) {
+  const EngineDatasetResult* e = d.FindEngine(engine);
+  if (e == nullptr || !e->prep_ok || e->sets.empty()) return -1;
+  double sum = 0;
+  size_t n = 0;
+  for (const auto& [name, s] : e->sets) {
+    if (MostlyTimedOut(s)) continue;
+    sum += metric(s);
+    ++n;
+  }
+  return n == 0 ? -1 : sum / static_cast<double>(n);
+}
+
+double PerSi(const QuerySetSummary& s) { return s.per_si_test_ms; }
+double Precision(const QuerySetSummary& s) { return s.filtering_precision; }
+double FilterMs(const QuerySetSummary& s) { return s.avg_filtering_ms; }
+
+std::string Fmt(double a, double b) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "measured %.4g vs %.4g", a, b);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Shape check", "Paper-claim assertions over the cached sweeps");
+  const auto& real = GetRealWorldResults();
+  const auto& synth = GetSyntheticResults();
+
+  // --- Claim 1 (Fig. 4/5): VF2-based verification is slower per SI test
+  // than CFQL on every dataset where both ran.
+  for (const DatasetResult& d : real) {
+    const double vf2 = MeanMetric(d, "Grapes", PerSi);
+    const double cfql = MeanMetric(d, "CFQL", PerSi);
+    if (vf2 < 0 || cfql < 0) continue;
+    Check(vf2 > cfql,
+          "per-SI test: VF2 (Grapes) slower than CFQL on " + d.name,
+          Fmt(vf2, cfql));
+  }
+
+  // --- Claim 2 (Fig. 5 headline): the gap widens on the dense datasets,
+  // reaching >= 10x on PCM or PPI.
+  double best_gap = 0;
+  for (const DatasetResult& d : real) {
+    if (d.name != "PCM" && d.name != "PPI") continue;
+    const double vf2 = MeanMetric(d, "Grapes", PerSi);
+    const double cfql = MeanMetric(d, "CFQL", PerSi);
+    if (vf2 > 0 && cfql > 0) best_gap = std::max(best_gap, vf2 / cfql);
+  }
+  Check(best_gap >= 10,
+        "per-SI gap reaches >= 10x on a dense dataset (paper: up to 1e4)",
+        Fmt(best_gap, 10));
+
+  // --- Claim 3 (Table VI): CT-Index fails (OOT) on the dense datasets.
+  for (const DatasetResult& d : real) {
+    if (d.name != "PCM" && d.name != "PPI") continue;
+    const EngineDatasetResult* ct = d.FindEngine("CT-Index");
+    Check(ct != nullptr && !ct->prep_ok,
+          "CT-Index index construction fails on " + d.name,
+          ct == nullptr ? "missing" : (ct->prep_ok ? "built" : ct->prep_failure));
+  }
+
+  // --- Claim 4 (Fig. 2): GGSX's presence-only filter is never more
+  // precise than Grapes' counted filter (averaged per dataset).
+  for (const DatasetResult& d : real) {
+    const double grapes = MeanMetric(d, "Grapes", Precision);
+    const double ggsx = MeanMetric(d, "GGSX", Precision);
+    if (grapes < 0 || ggsx < 0) continue;
+    Check(ggsx <= grapes + 0.02,
+          "precision: GGSX <= Grapes on " + d.name, Fmt(ggsx, grapes));
+  }
+
+  // --- Claim 5 (Fig. 2): the IvcFV engines are at least as precise as
+  // their index component.
+  for (const DatasetResult& d : real) {
+    const double vc = MeanMetric(d, "vcGrapes", Precision);
+    const double plain = MeanMetric(d, "Grapes", Precision);
+    if (vc < 0 || plain < 0) continue;
+    Check(vc >= plain - 0.02, "precision: vcGrapes >= Grapes on " + d.name,
+          Fmt(vc, plain));
+  }
+
+  // --- Claim 6 (Fig. 3): CFL's filter is cheaper than GraphQL's.
+  for (const DatasetResult& d : real) {
+    const double cfl = MeanMetric(d, "CFL", FilterMs);
+    const double gql = MeanMetric(d, "GraphQL", FilterMs);
+    if (cfl < 0 || gql < 0) continue;
+    Check(cfl <= gql * 1.1, "filtering time: CFL <= GraphQL on " + d.name,
+          Fmt(cfl, gql));
+  }
+
+  // --- Claim 7 (Table VII): index memory dwarfs CFQL's auxiliary memory.
+  for (const DatasetResult& d : real) {
+    const EngineDatasetResult* grapes = d.FindEngine("Grapes");
+    const EngineDatasetResult* cfql = d.FindEngine("CFQL");
+    if (grapes == nullptr || !grapes->prep_ok || cfql == nullptr) continue;
+    Check(grapes->index_bytes > 10 * cfql->max_aux_bytes,
+          "memory: Grapes index >> CFQL auxiliary on " + d.name,
+          Fmt(static_cast<double>(grapes->index_bytes),
+              static_cast<double>(cfql->max_aux_bytes)));
+  }
+
+  // --- Claim 8 (Table VIII): CT-Index fails every synthetic point; the
+  // path indices fail the extreme degree/|D| points (OOT or OOM).
+  {
+    int ct_failures = 0, ct_total = 0, grapes_failures = 0;
+    for (const DatasetResult& d : synth) {
+      const EngineDatasetResult* ct = d.FindEngine("CT-Index");
+      if (ct != nullptr) {
+        ++ct_total;
+        ct_failures += ct->prep_ok ? 0 : 1;
+      }
+      const EngineDatasetResult* grapes = d.FindEngine("Grapes");
+      if (grapes != nullptr && !grapes->prep_ok) ++grapes_failures;
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "CT fails %d/%d points; Grapes fails %d",
+                  ct_failures, ct_total, grapes_failures);
+    Check(ct_failures >= ct_total - 2 && grapes_failures >= 1,
+          "synthetic indexing: CT-Index fails almost everywhere, Grapes "
+          "fails at the extremes",
+          buf);
+  }
+
+  // --- Claim 9 (Fig. 9): CFQL filtering time grows along |D|.
+  {
+    std::vector<double> times;
+    const auto& sweep = SyntheticSweep();
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      if (sweep[i].param != "graphs") continue;
+      const double t = MeanMetric(synth[i], "CFQL", FilterMs);
+      if (t >= 0) times.push_back(t);
+    }
+    const bool growing =
+        times.size() >= 3 && times.back() > times.front() * 2;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%zu points, first %.3f ms last %.3f ms",
+                  times.size(), times.empty() ? 0 : times.front(),
+                  times.empty() ? 0 : times.back());
+    Check(growing, "CFQL filtering time grows with |D| (roughly linear)",
+          buf);
+  }
+
+  std::printf("\n%d PASS, %d WARN\n", g_pass, g_warn);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Tables IV and V: statistics of the (stand-in) real-world datasets and of
+// the generated query sets. These are setup tables, but reproducing them
+// validates that the stand-ins and query generators land in the paper's
+// regimes (dense queries have fewer vertices and higher degree; sparse
+// query sets are mostly trees at small sizes).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "gen/dataset_profiles.h"
+#include "gen/query_gen.h"
+
+int main() {
+  using namespace sgq;
+  using namespace sgq::bench;
+  PrintHeader("Tables IV & V", "Dataset and query-set statistics");
+
+  struct StandIn {
+    const char* profile;
+    double count_scale;
+    double size_scale;
+  };
+  // Keep in sync with bench_common.cc's real-world sweep.
+  const StandIn stand_ins[] = {
+      {"AIDS", 0.025, 1.0},
+      {"PDBS", 0.1, 0.2},
+      {"PCM", 0.1, 0.2},
+      {"PPI", 0.25, 0.25},
+  };
+  const BenchEnv env = GetBenchEnv();
+
+  std::printf("\n[Table IV] dataset statistics (stand-ins, scaled)\n");
+  std::printf("%-22s %8s %8s %8s %8s %8s %8s\n", "", "graphs", "labels",
+              "V/graph", "E/graph", "degree", "lab/gr");
+  std::vector<GraphDatabase> dbs;
+  for (size_t i = 0; i < 4; ++i) {
+    const auto& s = stand_ins[i];
+    GraphDatabase db = GenerateStandIn(ProfileByName(s.profile),
+                                       s.count_scale, s.size_scale,
+                                       /*seed=*/0xD5EA5E + i);
+    const DatabaseStats st = db.ComputeStats();
+    const DatasetProfile& p = ProfileByName(s.profile);
+    std::printf("%-22s %8zu %8u %8.0f %8.0f %8.2f %8.1f\n",
+                (std::string(s.profile) + " (ours)").c_str(), st.num_graphs,
+                st.num_distinct_labels, st.avg_vertices_per_graph,
+                st.avg_edges_per_graph, st.avg_degree_per_graph,
+                st.avg_labels_per_graph);
+    std::printf("%-22s %8u %8u %8u %8.0f %8.2f %8.1f\n",
+                (std::string(s.profile) + " (paper)").c_str(), p.num_graphs,
+                p.num_labels, p.avg_vertices,
+                p.avg_vertices * p.avg_degree / 2, p.avg_degree,
+                p.avg_labels_per_graph);
+    dbs.push_back(std::move(db));
+  }
+
+  std::printf(
+      "\n[Table V] query-set statistics (per dataset: |V|, labels, degree, "
+      "%%trees)\n");
+  for (size_t i = 0; i < dbs.size(); ++i) {
+    std::printf("\n%s\n%-8s %8s %8s %8s %8s\n", stand_ins[i].profile, "set",
+                "|V|", "labels", "degree", "%trees");
+    const auto sets =
+        GenerateStandardQuerySets(dbs[i], env.queries_per_set, 4242);
+    for (const QuerySet& set : sets) {
+      const QuerySetStats qs = ComputeQuerySetStats(set);
+      std::printf("%-8s %8.2f %8.2f %8.2f %8.0f\n", set.name.c_str(),
+                  qs.avg_vertices, qs.avg_labels, qs.avg_degree,
+                  qs.tree_fraction * 100);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper's Table V): for the same edge count, dense\n"
+      "(BFS) query sets have fewer vertices and higher average degree than\n"
+      "sparse (random-walk) sets; small sparse sets are almost all trees,\n"
+      "dense sets almost never are.\n");
+  return 0;
+}

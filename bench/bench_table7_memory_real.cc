@@ -1,0 +1,55 @@
+// Table VII: memory cost on the real-world datasets (MB) — the CSR datasets
+// themselves, CFQL's per-query auxiliary structures, and the IFV indices.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace sgq::bench;
+  PrintHeader("Table VII", "Memory cost on real-world datasets (MB)");
+
+  const auto& results = GetRealWorldResults();
+  constexpr double kMb = 1024.0 * 1024.0;
+
+  std::printf("%-10s", "");
+  for (const auto& d : results) std::printf(" %10s", d.name.c_str());
+  std::printf("\n");
+
+  std::printf("%-10s", "Datasets");
+  for (const auto& d : results) {
+    std::printf(" %s", Cell(static_cast<double>(d.db_bytes) / kMb, 3).c_str());
+  }
+  std::printf("\n");
+
+  std::printf("%-10s", "CFQL");
+  for (const auto& d : results) {
+    const EngineDatasetResult* e = d.FindEngine("CFQL");
+    std::printf(" %s",
+                e == nullptr
+                    ? OmittedCell().c_str()
+                    : Cell(static_cast<double>(e->max_aux_bytes) / kMb, 3)
+                          .c_str());
+  }
+  std::printf("\n");
+
+  for (const char* engine : {"CT-Index", "GGSX", "Grapes"}) {
+    std::printf("%-10s", engine);
+    for (const auto& d : results) {
+      const EngineDatasetResult* e = d.FindEngine(engine);
+      if (e == nullptr || !e->prep_ok) {
+        std::printf(" %10s", "N/A");
+      } else {
+        std::printf(
+            " %s",
+            Cell(static_cast<double>(e->index_bytes) / kMb, 3).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape (paper): the IFV indices dwarf the datasets\n"
+      "themselves (up to hundreds of MB / GB), while CFQL's auxiliary\n"
+      "candidate structures stay in the single-MB range; CT-Index has no\n"
+      "entry (N/A) where its index build timed out.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared table printer for the real-world figure family (Figures 2-7): one
+// block per dataset, rows = query sets, columns = engines.
+#ifndef SGQ_BENCH_FIG_COMMON_H_
+#define SGQ_BENCH_FIG_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace sgq::bench {
+
+// Extracts the plotted value from one engine × query-set summary.
+using MetricFn = std::function<double(const QuerySetSummary&)>;
+
+inline void PrintRealWorldMetric(const std::string& artifact,
+                                 const std::string& title,
+                                 const std::vector<std::string>& engines,
+                                 const MetricFn& metric, int precision,
+                                 const std::string& shape_note) {
+  PrintHeader(artifact, title);
+  const auto& results = GetRealWorldResults();
+  for (const DatasetResult& dataset : results) {
+    std::printf("\n[%s]  (%zu graphs, %.0f vertices, degree %.2f)\n",
+                dataset.name.c_str(), dataset.stats.num_graphs,
+                dataset.stats.avg_vertices_per_graph,
+                dataset.stats.avg_degree_per_graph);
+    std::printf("%-8s", "set");
+    for (const std::string& e : engines) std::printf(" %10s", e.c_str());
+    std::printf("\n");
+    // Row per query set, in generation order (taken from the first engine
+    // that prepared successfully).
+    std::vector<std::string> set_names;
+    for (const auto& [name, engine_result] : dataset.engines) {
+      if (engine_result.prep_ok) {
+        for (const auto& [set_name, s] : engine_result.sets) {
+          set_names.push_back(set_name);
+        }
+        break;
+      }
+    }
+    for (const std::string& set_name : set_names) {
+      std::printf("%-8s", set_name.c_str());
+      for (const std::string& engine_name : engines) {
+        const EngineDatasetResult* e = dataset.FindEngine(engine_name);
+        const QuerySetSummary* s =
+            e != nullptr && e->prep_ok ? e->FindSet(set_name) : nullptr;
+        // The paper's omission rules: no index (OOT) or > 40% timeouts.
+        if (s == nullptr || MostlyTimedOut(*s)) {
+          std::printf(" %s", OmittedCell().c_str());
+        } else {
+          std::printf(" %s", Cell(metric(*s), precision).c_str());
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nExpected shape (paper): %s\n", shape_note.c_str());
+}
+
+}  // namespace sgq::bench
+
+#endif  // SGQ_BENCH_FIG_COMMON_H_

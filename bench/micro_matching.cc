@@ -1,0 +1,197 @@
+// Microbenchmarks (google-benchmark) for the core algorithmic kernels:
+// filtering (CFL vs GraphQL preprocessing), verification (VF2 vs CFQL —
+// the paper's per-SI-test gap), path/tree feature enumeration, and the
+// bipartite-matching primitive.
+#include <benchmark/benchmark.h>
+
+#include "gen/graph_gen.h"
+#include "gen/query_gen.h"
+#include "index/feature_enumerator.h"
+#include "index/path_enumerator.h"
+#include "matching/bigraph_matching.h"
+#include "matching/cfl.h"
+#include "matching/cfql.h"
+#include "matching/direct_enumeration.h"
+#include "matching/graphql.h"
+#include "matching/spath.h"
+#include "matching/turboiso.h"
+#include "matching/vf2.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sgq;
+
+// One mid-sized data graph + one 8-edge sparse query extracted from it.
+struct Fixture {
+  Graph data;
+  Graph query;
+
+  Fixture() {
+    Rng rng(42);
+    std::vector<Label> labels;
+    for (Label l = 0; l < 12; ++l) labels.push_back(l);
+    data = GenerateRandomGraph(400, 8.0, labels, &rng);
+    GraphDatabase db;
+    db.Add(data);
+    data = db.graph(0);
+    Graph q;
+    while (!GenerateQuery(db, QueryKind::kSparse, 8, &rng, &q)) {
+    }
+    query = q;
+  }
+};
+
+const Fixture& GetFixture() {
+  static const Fixture& fixture = *new Fixture();
+  return fixture;
+}
+
+void BM_FilterCfl(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  CflMatcher matcher;
+  for (auto _ : state) {
+    auto out = matcher.Filter(f.query, f.data);
+    benchmark::DoNotOptimize(out->Passed());
+  }
+}
+BENCHMARK(BM_FilterCfl);
+
+void BM_FilterGraphQl(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  GraphQlMatcher matcher;
+  for (auto _ : state) {
+    auto out = matcher.Filter(f.query, f.data);
+    benchmark::DoNotOptimize(out->Passed());
+  }
+}
+BENCHMARK(BM_FilterGraphQl);
+
+void BM_VerifyVf2(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  Vf2 vf2;
+  for (auto _ : state) {
+    DeadlineChecker checker{Deadline::Infinite()};
+    benchmark::DoNotOptimize(vf2.Contains(f.query, f.data, &checker));
+  }
+}
+BENCHMARK(BM_VerifyVf2);
+
+void BM_VerifyCfql(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  CfqlMatcher matcher;
+  for (auto _ : state) {
+    DeadlineChecker checker{Deadline::Infinite()};
+    benchmark::DoNotOptimize(matcher.Contains(f.query, f.data, &checker));
+  }
+}
+BENCHMARK(BM_VerifyCfql);
+
+void BM_VerifyCfl(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  CflMatcher matcher;
+  for (auto _ : state) {
+    DeadlineChecker checker{Deadline::Infinite()};
+    benchmark::DoNotOptimize(matcher.Contains(f.query, f.data, &checker));
+  }
+}
+BENCHMARK(BM_VerifyCfl);
+
+void BM_VerifyTurboIso(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  TurboIsoMatcher matcher;
+  for (auto _ : state) {
+    DeadlineChecker checker{Deadline::Infinite()};
+    benchmark::DoNotOptimize(matcher.Contains(f.query, f.data, &checker));
+  }
+}
+BENCHMARK(BM_VerifyTurboIso);
+
+void BM_VerifyQuickSi(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  QuickSiMatcher matcher;
+  for (auto _ : state) {
+    DeadlineChecker checker{Deadline::Infinite()};
+    benchmark::DoNotOptimize(matcher.Contains(f.query, f.data, &checker));
+  }
+}
+BENCHMARK(BM_VerifyQuickSi);
+
+void BM_VerifySPath(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  SPathMatcher matcher;
+  for (auto _ : state) {
+    DeadlineChecker checker{Deadline::Infinite()};
+    benchmark::DoNotOptimize(matcher.Contains(f.query, f.data, &checker));
+  }
+}
+BENCHMARK(BM_VerifySPath);
+
+void BM_PathEnumeration(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<Label> labels;
+  for (Label l = 0; l < 20; ++l) labels.push_back(l);
+  const Graph g =
+      GenerateRandomGraph(60, static_cast<double>(state.range(0)), labels,
+                          &rng);
+  for (auto _ : state) {
+    PathFeatureCounts out;
+    DeadlineChecker unlimited{Deadline::Infinite()};
+    EnumeratePathFeatures(g, 4, &unlimited, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_PathEnumeration)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_TreeEnumeration(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<Label> labels;
+  for (Label l = 0; l < 20; ++l) labels.push_back(l);
+  // Tree enumeration is exponential in degree (CT-Index's OOT cause); keep
+  // the benchmark graph small so an iteration stays in the millisecond
+  // range.
+  const Graph g =
+      GenerateRandomGraph(40, static_cast<double>(state.range(0)), labels,
+                          &rng);
+  for (auto _ : state) {
+    FeatureSet out;
+    DeadlineChecker unlimited{Deadline::Infinite()};
+    EnumerateTreeFeatures(g, 4, &unlimited, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_TreeEnumeration)->Arg(2)->Arg(4);
+
+void BM_BipartiteMatching(benchmark::State& state) {
+  Rng rng(9);
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  BigraphAdjacency adj(n);
+  for (uint32_t l = 0; l < n; ++l) {
+    for (uint32_t r = 0; r < n; ++r) {
+      if (rng.NextBool(0.3)) adj[l].push_back(r);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxBipartiteMatching(adj, n));
+  }
+}
+BENCHMARK(BM_BipartiteMatching)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BipartiteMatchingHopcroftKarp(benchmark::State& state) {
+  Rng rng(9);
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  BigraphAdjacency adj(n);
+  for (uint32_t l = 0; l < n; ++l) {
+    for (uint32_t r = 0; r < n; ++r) {
+      if (rng.NextBool(0.3)) adj[l].push_back(r);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxBipartiteMatchingHopcroftKarp(adj, n));
+  }
+}
+BENCHMARK(BM_BipartiteMatchingHopcroftKarp)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Shared table printer for the synthetic-sweep family (Tables VIII/IX,
+// Figures 8/9): one block per swept parameter, columns = sweep values.
+#ifndef SGQ_BENCH_SYNTH_COMMON_H_
+#define SGQ_BENCH_SYNTH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace sgq::bench {
+
+// Extracts the printed value for one engine on one sweep point; returns
+// false to print the `fail` marker instead (OOT / N-A).
+using SynthCellFn = std::function<bool(const DatasetResult&,
+                                       const EngineDatasetResult&, double*)>;
+
+inline void PrintSyntheticMetric(const std::string& artifact,
+                                 const std::string& title,
+                                 const std::vector<std::string>& engines,
+                                 const SynthCellFn& cell, int precision,
+                                 const char* fail_marker,
+                                 const std::string& shape_note,
+                                 bool print_dataset_row = false) {
+  PrintHeader(artifact, title);
+  const auto& results = GetSyntheticResults();
+  const auto& sweep = SyntheticSweep();
+
+  for (const char* param : {"sigma", "degree", "vertices", "graphs"}) {
+    std::printf("\n[vary %s]\n%-10s", param, "");
+    std::vector<const DatasetResult*> points;
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      if (sweep[i].param == param) {
+        points.push_back(&results[i]);
+        std::printf(" %10.0f", sweep[i].value);
+      }
+    }
+    std::printf("\n");
+    if (print_dataset_row) {
+      std::printf("%-10s", "Datasets");
+      for (const DatasetResult* d : points) {
+        std::printf(" %s",
+                    Cell(static_cast<double>(d->db_bytes) / (1024.0 * 1024.0),
+                         3)
+                        .c_str());
+      }
+      std::printf("\n");
+    }
+    for (const std::string& engine : engines) {
+      std::printf("%-10s", engine.c_str());
+      for (const DatasetResult* d : points) {
+        const EngineDatasetResult* e = d->FindEngine(engine);
+        double value = 0;
+        if (e == nullptr || !cell(*d, *e, &value)) {
+          // Build failures carry their own marker (OOT vs OOM).
+          const char* marker =
+              e != nullptr && !e->prep_ok && !e->prep_failure.empty()
+                  ? e->prep_failure.c_str()
+                  : fail_marker;
+          std::printf(" %10s", marker);
+        } else {
+          std::printf(" %s", Cell(value, precision).c_str());
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nExpected shape (paper): %s\n", shape_note.c_str());
+}
+
+}  // namespace sgq::bench
+
+#endif  // SGQ_BENCH_SYNTH_COMMON_H_

@@ -1,0 +1,101 @@
+// Frequently-updated databases: the index-free advantage.
+//
+// The paper motivates vcFV with workloads like purchasing or trading
+// records, where the database changes constantly and an IFV index must be
+// kept consistent (expensively) to stay correct [39]. This example
+// simulates a stream of graph insertions and deletions interleaved with
+// queries and compares three maintenance strategies:
+//   * Grapes, rebuilding its index after every batch of updates;
+//   * Grapes with incremental maintenance (NotifyAdded/NotifyRemoved);
+//   * CFQL, which needs no maintenance at all.
+#include <cstdio>
+#include <vector>
+
+#include "gen/graph_gen.h"
+#include "gen/query_gen.h"
+#include "index/grapes_index.h"
+#include "query/engine_factory.h"
+#include "query/ifv_engine.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main() {
+  sgq::SyntheticParams params;
+  params.num_graphs = 300;
+  params.vertices_per_graph = 40;
+  params.degree = 3.0;
+  params.num_labels = 8;
+  params.seed = 5;
+  sgq::GraphDatabase db = sgq::GenerateSyntheticDatabase(params);
+  sgq::Rng rng(99);
+
+  auto grapes_rebuild = sgq::MakeEngine("Grapes");
+  sgq::IfvEngine grapes_incremental("Grapes",
+                                    std::make_unique<sgq::GrapesIndex>());
+  auto cfql = sgq::MakeEngine("CFQL");
+  grapes_incremental.Prepare(db, sgq::Deadline::Infinite());
+  cfql->Prepare(db, sgq::Deadline::Infinite());
+
+  double rebuild_ms = 0, incremental_ms = 0;
+  double q_rebuild_ms = 0, q_incremental_ms = 0, q_cfql_ms = 0;
+  const int kBatches = 5, kUpdatesPerBatch = 20, kQueriesPerBatch = 10;
+
+  for (int batch = 0; batch < kBatches; ++batch) {
+    // A batch of updates: random deletions and insertions, mirrored into
+    // the incremental index as they happen.
+    for (int i = 0; i < kUpdatesPerBatch; ++i) {
+      sgq::WallTimer maintain_timer;
+      if (rng.NextBool(0.5) && db.size() > 1) {
+        const sgq::GraphId victim =
+            static_cast<sgq::GraphId>(rng.NextBounded(db.size()));
+        db.Remove(victim);
+        grapes_incremental.NotifyRemoved(victim);
+      } else {
+        std::vector<sgq::Label> universe = {0, 1, 2, 3, 4, 5, 6, 7};
+        const sgq::GraphId id =
+            db.Add(sgq::GenerateRandomGraph(40, 3.0, universe, &rng));
+        grapes_incremental.NotifyAdded(id);
+      }
+      incremental_ms += maintain_timer.ElapsedMillis();
+    }
+
+    // The rebuild strategy reconstructs from scratch once per batch.
+    sgq::WallTimer rebuild_timer;
+    grapes_rebuild->Prepare(db, sgq::Deadline::AfterSeconds(60));
+    rebuild_ms += rebuild_timer.ElapsedMillis();
+
+    for (int i = 0; i < kQueriesPerBatch; ++i) {
+      sgq::Graph q;
+      if (!sgq::GenerateQuery(db, sgq::QueryKind::kSparse, 8, &rng, &q)) {
+        continue;
+      }
+      const sgq::QueryResult r1 = grapes_rebuild->Query(q);
+      const sgq::QueryResult r2 =
+          grapes_incremental.Query(q, sgq::Deadline::Infinite());
+      const sgq::QueryResult r3 = cfql->Query(q);
+      q_rebuild_ms += r1.stats.QueryMs();
+      q_incremental_ms += r2.stats.QueryMs();
+      q_cfql_ms += r3.stats.QueryMs();
+      if (r1.answers != r3.answers || r2.answers != r3.answers) {
+        std::printf("DISAGREEMENT after updates — this is a bug\n");
+        return 1;
+      }
+    }
+  }
+
+  std::printf("After %d update batches over a %zu-graph database:\n",
+              kBatches, db.size());
+  std::printf("  Grapes (rebuild):     %9.1f ms maintenance + %7.1f ms "
+              "querying\n",
+              rebuild_ms, q_rebuild_ms);
+  std::printf("  Grapes (incremental): %9.1f ms maintenance + %7.1f ms "
+              "querying\n",
+              incremental_ms, q_incremental_ms);
+  std::printf("  CFQL (index-free):    %9.1f ms maintenance + %7.1f ms "
+              "querying\n",
+              0.0, q_cfql_ms);
+  std::printf(
+      "All three agreed on every query. Incremental maintenance beats\n"
+      "rebuilds; the index-free engine pays nothing at all.\n");
+  return 0;
+}

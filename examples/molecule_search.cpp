@@ -1,0 +1,58 @@
+// Molecule motif search over an AIDS-like chemical database.
+//
+// The paper's AIDS dataset is a collection of 40,000 small, sparse molecule
+// graphs; this example generates a scaled stand-in with the same published
+// statistics, builds the standard sparse/dense query batteries, and compares
+// an IFV engine (Grapes) against the index-free CFQL on the same workload —
+// reproducing, at example scale, the paper's headline on filter-dominated
+// datasets: CFQL needs no index yet answers as fast or faster.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "gen/dataset_profiles.h"
+#include "gen/query_gen.h"
+#include "query/engine_factory.h"
+#include "util/timer.h"
+
+int main() {
+  // 1/100th of AIDS: 400 molecules, ~45 atoms, degree ~2.09, 62 atom types.
+  const sgq::GraphDatabase db =
+      sgq::GenerateStandIn(sgq::ProfileByName("AIDS"), /*count_scale=*/0.01,
+                           /*size_scale=*/1.0, /*seed=*/7);
+  const sgq::DatabaseStats stats = db.ComputeStats();
+  std::printf(
+      "AIDS stand-in: %zu graphs, %.1f vertices, degree %.2f, %u labels\n",
+      stats.num_graphs, stats.avg_vertices_per_graph,
+      stats.avg_degree_per_graph, stats.num_distinct_labels);
+
+  const sgq::QuerySet sparse =
+      sgq::GenerateQuerySet(db, sgq::QueryKind::kSparse, 8, 20, 1);
+  const sgq::QuerySet dense =
+      sgq::GenerateQuerySet(db, sgq::QueryKind::kDense, 8, 20, 2);
+
+  for (const char* name : {"Grapes", "CFQL"}) {
+    auto engine = sgq::MakeEngine(name);
+    sgq::WallTimer prep_timer;
+    if (!engine->Prepare(db, sgq::Deadline::AfterSeconds(120))) {
+      std::printf("%-8s index construction timed out (OOT)\n", name);
+      continue;
+    }
+    const double prep_ms = prep_timer.ElapsedMillis();
+
+    for (const sgq::QuerySet* set : {&sparse, &dense}) {
+      std::vector<sgq::QueryResult> results;
+      for (const sgq::Graph& q : set->queries) {
+        results.push_back(engine->Query(q, sgq::Deadline::AfterSeconds(10)));
+      }
+      const sgq::QuerySetSummary s = sgq::Summarize(results, 10000);
+      std::printf(
+          "%-8s %-5s prep %8.1f ms | query %7.3f ms "
+          "(filter %7.3f + verify %7.3f) | precision %.3f | index %6.2f MB\n",
+          name, set->name.c_str(), prep_ms, s.avg_query_ms,
+          s.avg_filtering_ms, s.avg_verification_ms, s.filtering_precision,
+          static_cast<double>(engine->IndexMemoryBytes()) / (1024 * 1024));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Motif census: count ALL embeddings of small motifs across a database —
+// full subgraph matching (Definition II.3), not just containment. Uses the
+// hybrid engine of Katsarou et al. [16] (index filter + matcher) against the
+// pure matcher sweep, and demonstrates index persistence: the Grapes index
+// is built once, saved to disk, and reloaded instead of rebuilt.
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "gen/graph_gen.h"
+#include "index/grapes_index.h"
+#include "matching/cfql.h"
+#include "query/match_engine.h"
+#include "util/timer.h"
+
+int main() {
+  sgq::SyntheticParams params;
+  params.num_graphs = 150;
+  params.vertices_per_graph = 40;
+  params.degree = 4.0;
+  params.num_labels = 3;
+  params.seed = 17;
+  const sgq::GraphDatabase db = sgq::GenerateSyntheticDatabase(params);
+  std::printf("census database: %zu graphs\n", db.size());
+
+  // Build the index once and persist it.
+  const std::string index_path =
+      (std::filesystem::temp_directory_path() / "sgq_census.grapes").string();
+  {
+    sgq::GrapesIndex index;
+    sgq::WallTimer timer;
+    index.Build(db, sgq::Deadline::AfterSeconds(120));
+    std::string error;
+    if (!index.SaveToFile(index_path, &error)) {
+      std::fprintf(stderr, "save failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("built + saved Grapes index in %.1f ms (%.2f MB)\n",
+                timer.ElapsedMillis(),
+                static_cast<double>(index.MemoryBytes()) / (1024.0 * 1024.0));
+  }
+
+  // Reload instead of rebuilding (a cold process would start here).
+  auto index = std::make_unique<sgq::GrapesIndex>();
+  std::string error;
+  sgq::WallTimer load_timer;
+  if (!index->LoadFromFile(index_path, &error)) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("reloaded index in %.1f ms\n", load_timer.ElapsedMillis());
+
+  sgq::MatchEngine hybrid(std::move(index),
+                          std::make_unique<sgq::CfqlMatcher>());
+  sgq::MatchEngine pure(std::make_unique<sgq::CfqlMatcher>());
+  hybrid.Prepare(db, sgq::Deadline::Infinite());
+  pure.Prepare(db, sgq::Deadline::Infinite());
+
+  struct Motif {
+    const char* name;
+    sgq::Graph graph;
+  };
+  auto make = [](std::initializer_list<sgq::Label> labels,
+                 std::initializer_list<std::pair<uint32_t, uint32_t>> edges) {
+    sgq::GraphBuilder b;
+    for (sgq::Label l : labels) b.AddVertex(l);
+    for (const auto& [u, v] : edges) b.AddEdge(u, v);
+    return b.Build();
+  };
+  const Motif motifs[] = {
+      {"wedge 0-1-0", make({0, 1, 0}, {{0, 1}, {1, 2}})},
+      {"triangle 0-1-2", make({0, 1, 2}, {{0, 1}, {1, 2}, {2, 0}})},
+      {"square 0-1-0-1", make({0, 1, 0, 1}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}})},
+      {"tailed triangle",
+       make({0, 0, 0, 1}, {{0, 1}, {1, 2}, {0, 2}, {2, 3}})},
+  };
+
+  std::printf("%-18s %14s %10s %12s %12s\n", "motif", "embeddings", "graphs",
+              "hybrid ms", "sweep ms");
+  for (const Motif& m : motifs) {
+    sgq::WallTimer t1;
+    const sgq::MatchResult h = hybrid.Match(m.graph);
+    const double hybrid_ms = t1.ElapsedMillis();
+    sgq::WallTimer t2;
+    const sgq::MatchResult p = pure.Match(m.graph);
+    const double sweep_ms = t2.ElapsedMillis();
+    if (h.total_embeddings != p.total_embeddings) {
+      std::fprintf(stderr, "hybrid/sweep disagreement — bug!\n");
+      return 1;
+    }
+    std::printf("%-18s %14llu %10zu %12.2f %12.2f\n", m.name,
+                static_cast<unsigned long long>(h.total_embeddings),
+                h.matches.size(), hybrid_ms, sweep_ms);
+  }
+  std::remove(index_path.c_str());
+  return 0;
+}

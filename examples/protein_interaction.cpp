@@ -1,0 +1,50 @@
+// Protein-interaction network retrieval: the verification-dominated regime.
+//
+// The paper's PPI dataset holds 20 huge dense graphs (~5k vertices, degree
+// ~11); subgraph-isomorphism tests there are the bottleneck, and the paper's
+// central finding is that a modern matcher (CFQL) beats VF2 by orders of
+// magnitude per SI test. This example measures exactly that gap on a PPI
+// stand-in, including VF2 hitting its per-query time limit.
+#include <cstdio>
+#include <vector>
+
+#include "gen/dataset_profiles.h"
+#include "gen/query_gen.h"
+#include "query/engine_factory.h"
+
+int main() {
+  // PPI scaled: 10 networks of ~500 proteins, degree ~10.9, 46 labels.
+  const sgq::GraphDatabase db =
+      sgq::GenerateStandIn(sgq::ProfileByName("PPI"), /*count_scale=*/0.5,
+                           /*size_scale=*/0.1, /*seed=*/13);
+  const sgq::DatabaseStats stats = db.ComputeStats();
+  std::printf(
+      "PPI stand-in: %zu networks, %.0f proteins each, degree %.1f\n",
+      stats.num_graphs, stats.avg_vertices_per_graph,
+      stats.avg_degree_per_graph);
+
+  // Interaction motifs of increasing size (dense queries stress the
+  // enumeration).
+  for (uint32_t edges : {8u, 16u}) {
+    const sgq::QuerySet set =
+        sgq::GenerateQuerySet(db, sgq::QueryKind::kDense, edges, 10, 3);
+    std::printf("-- %u-edge dense motifs --\n", edges);
+    for (const char* name : {"VF2-scan", "CFQL"}) {
+      auto engine = sgq::MakeEngine(name);
+      engine->Prepare(db, sgq::Deadline::Infinite());
+      std::vector<sgq::QueryResult> results;
+      for (const sgq::Graph& q : set.queries) {
+        results.push_back(engine->Query(q, sgq::Deadline::AfterSeconds(5)));
+      }
+      const sgq::QuerySetSummary s = sgq::Summarize(results, 5000);
+      std::printf(
+          "  %-8s query %9.2f ms | per-SI test %9.4f ms | timeouts %u/%u\n",
+          name, s.avg_query_ms, s.per_si_test_ms, s.num_timeouts,
+          s.num_queries);
+    }
+  }
+  std::printf(
+      "The per-SI-test gap above is the paper's Figure 5 effect: slow\n"
+      "verification makes IFV overestimate the value of filtering.\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerates the committed result files from scratch:
+#   test_output.txt   — full ctest run
+#   bench_output.txt  — every bench binary (recomputes the sweep caches on
+#                       first run; see README for the SGQ_* knobs)
+# Usage: scripts/regen_results.sh [build-dir]
+set -e
+BUILD="${1:-build}"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+for b in "$BUILD"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,54 @@
+// Stand-ins for the paper's real-world datasets (Table IV).
+//
+// The original AIDS / PDBS / PCM / PPI files were obtained privately from
+// the authors of [15] and are not redistributable, so we *simulate* them:
+// each profile records the published statistics and GenerateStandIn()
+// produces a synthetic database matching them (graph count, label universe,
+// per-graph size, degree, and labels-per-graph). A `scale` < 1 shrinks the
+// database proportionally (graph count first, then graph size for the
+// huge-graph datasets) so the full eight-engine sweep fits a single-core
+// box; the regime each dataset represents is preserved:
+//   AIDS: many small sparse graphs           (filtering dominates)
+//   PDBS: few large sparse graphs
+//   PCM : dense medium graphs                (feature enumeration explodes)
+//   PPI : a handful of huge dense graphs     (verification dominates)
+#ifndef SGQ_GEN_DATASET_PROFILES_H_
+#define SGQ_GEN_DATASET_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_database.h"
+
+namespace sgq {
+
+struct DatasetProfile {
+  std::string name;
+  uint32_t num_graphs = 0;
+  uint32_t num_labels = 0;
+  uint32_t avg_vertices = 0;
+  double avg_degree = 0;
+  double avg_labels_per_graph = 0;
+  // Zipf skew of the global label popularity. Chemistry is dominated by a
+  // few atom types (AIDS molecules are mostly C/O/N), so the molecule
+  // datasets get strong skew; the interaction networks are flatter.
+  double label_skew = 1.0;
+};
+
+// The four profiles of Table IV, with the paper's published statistics.
+const std::vector<DatasetProfile>& RealWorldProfiles();
+
+// Looks a profile up by name ("AIDS", "PDBS", "PCM", "PPI"); aborts on
+// unknown names.
+const DatasetProfile& ProfileByName(const std::string& name);
+
+// Generates a stand-in database for the profile.
+//   count_scale  scales the number of graphs   (min 1)
+//   size_scale   scales vertices per graph     (min 4)
+GraphDatabase GenerateStandIn(const DatasetProfile& profile,
+                              double count_scale, double size_scale,
+                              uint64_t seed);
+
+}  // namespace sgq
+
+#endif  // SGQ_GEN_DATASET_PROFILES_H_

@@ -1,0 +1,291 @@
+#include "gen/graph_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace sgq {
+
+namespace {
+
+// Samples `count` labels from the universe [0, num_labels) with Zipf-like
+// popularity (label l has weight 1 / (l+1)^skew), without replacement.
+std::vector<Label> SampleLabelSubset(uint32_t num_labels, uint32_t count,
+                                     double skew, Rng* rng) {
+  count = std::min(count, num_labels);
+  std::vector<double> weights(num_labels);
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    weights[l] = 1.0 / std::pow(static_cast<double>(l) + 1.0, skew);
+  }
+  std::vector<Label> chosen;
+  chosen.reserve(count);
+  std::vector<bool> used(num_labels, false);
+  for (uint32_t k = 0; k < count; ++k) {
+    double total = 0;
+    for (uint32_t l = 0; l < num_labels; ++l) {
+      if (!used[l]) total += weights[l];
+    }
+    double pick = rng->NextDouble() * total;
+    for (uint32_t l = 0; l < num_labels; ++l) {
+      if (used[l]) continue;
+      pick -= weights[l];
+      if (pick <= 0 || l == num_labels - 1) {
+        // Find the last unused label if we fell off the end.
+        Label sel = l;
+        while (used[sel]) --sel;
+        used[sel] = true;
+        chosen.push_back(sel);
+        break;
+      }
+    }
+  }
+  return chosen;
+}
+
+}  // namespace
+
+Graph GenerateRandomGraph(uint32_t num_vertices, double degree,
+                          std::span<const Label> label_pool, Rng* rng,
+                          double edge_locality) {
+  SGQ_CHECK_GT(num_vertices, 0u);
+  SGQ_CHECK(!label_pool.empty());
+  GraphBuilder builder;
+  const uint64_t max_edges =
+      static_cast<uint64_t>(num_vertices) * (num_vertices - 1) / 2;
+  uint64_t target_edges = static_cast<uint64_t>(
+      std::llround(degree * num_vertices / 2.0));
+  target_edges = std::min(target_edges, max_edges);
+
+  builder.Reserve(num_vertices, target_edges);
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    builder.AddVertex(label_pool[rng->NextBounded(label_pool.size())]);
+  }
+
+  // Random spanning tree (random attachment) for connectivity, as long as
+  // the edge budget allows.
+  uint64_t added = 0;
+  if (target_edges >= num_vertices - 1) {
+    // Random vertex permutation; attach each vertex to a random predecessor.
+    std::vector<VertexId> perm(num_vertices);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (uint32_t i = num_vertices; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng->NextBounded(i)]);
+    }
+    for (uint32_t i = 1; i < num_vertices; ++i) {
+      const VertexId u = perm[i];
+      const VertexId v = perm[rng->NextBounded(i)];
+      builder.AddEdge(u, v);
+      ++added;
+    }
+  }
+
+  // Fill the remaining budget with random non-duplicate edges; a fraction
+  // of them close short loops (rings) around a random-walk neighborhood.
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = 20 * (target_edges + 16);
+  while (added < target_edges && attempts < max_attempts) {
+    ++attempts;
+    const VertexId u = static_cast<VertexId>(rng->NextBounded(num_vertices));
+    VertexId v = kInvalidVertex;
+    if (edge_locality > 0 && rng->NextBool(edge_locality)) {
+      // Walk 2..4 steps from u over the edges placed so far; the closing
+      // edge (u, end) forms a cycle of that length.
+      VertexId cur = u;
+      VertexId prev = kInvalidVertex;
+      const uint32_t steps = 2 + static_cast<uint32_t>(rng->NextBounded(3));
+      for (uint32_t s2 = 0; s2 < steps; ++s2) {
+        const auto& nbrs = builder.NeighborsDuringBuild(cur);
+        if (nbrs.empty()) break;
+        // Avoid immediately stepping back when possible.
+        VertexId next = nbrs[rng->NextBounded(nbrs.size())];
+        if (next == prev && nbrs.size() > 1) {
+          next = nbrs[rng->NextBounded(nbrs.size())];
+        }
+        prev = cur;
+        cur = next;
+      }
+      if (cur != u) v = cur;
+    }
+    if (v == kInvalidVertex) {
+      v = static_cast<VertexId>(rng->NextBounded(num_vertices));
+    }
+    if (u == v) continue;
+    if (builder.AddEdge(u, v)) ++added;
+  }
+  // Dense corner: random sampling stalls near the complete graph; finish
+  // with a scan.
+  if (added < target_edges) {
+    for (VertexId u = 0; u < num_vertices && added < target_edges; ++u) {
+      for (VertexId v = u + 1; v < num_vertices && added < target_edges;
+           ++v) {
+        if (builder.AddEdge(u, v)) ++added;
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph GenerateMoleculeLikeGraph(uint32_t num_vertices, double degree,
+                                std::span<const Label> label_pool, Rng* rng) {
+  SGQ_CHECK_GT(num_vertices, 0u);
+  SGQ_CHECK(!label_pool.empty());
+  const uint64_t max_edges =
+      static_cast<uint64_t>(num_vertices) * (num_vertices - 1) / 2;
+  const uint64_t target_edges = std::min<uint64_t>(
+      static_cast<uint64_t>(std::llround(degree * num_vertices / 2.0)),
+      max_edges);
+  // Cyclomatic number of the connected result = #independent rings.
+  const int64_t cyclomatic =
+      static_cast<int64_t>(target_edges) - num_vertices + 1;
+  if (cyclomatic < 1 || num_vertices < 6) {
+    return GenerateRandomGraph(num_vertices, degree, label_pool, rng);
+  }
+
+  GraphBuilder builder;
+  builder.Reserve(num_vertices, target_edges);
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    builder.AddVertex(label_pool[rng->NextBounded(label_pool.size())]);
+  }
+
+  // Initial 5/6-ring.
+  const uint32_t ring_size =
+      std::min<uint32_t>(num_vertices,
+                         5 + static_cast<uint32_t>(rng->NextBounded(2)));
+  for (uint32_t i = 0; i < ring_size; ++i) {
+    builder.AddEdge(i, (i + 1) % ring_size);
+  }
+  uint32_t next_vertex = ring_size;
+
+  // Short random walk over the partial structure (used to find fusion
+  // anchors at small graph distance).
+  auto walk = [&](VertexId from, uint32_t steps) {
+    VertexId cur = from;
+    VertexId prev = kInvalidVertex;
+    for (uint32_t s = 0; s < steps; ++s) {
+      const auto& nbrs = builder.NeighborsDuringBuild(cur);
+      if (nbrs.empty()) break;
+      VertexId nxt = nbrs[rng->NextBounded(nbrs.size())];
+      if (nxt == prev && nbrs.size() > 1) {
+        nxt = nbrs[rng->NextBounded(nbrs.size())];
+      }
+      prev = cur;
+      cur = nxt;
+    }
+    return cur;
+  };
+
+  // Each fusion arc connects two nearby structure vertices through 0..3 new
+  // vertices: +1 ring regardless of the arc length, so `cyclomatic - 1`
+  // arcs yield exactly the edge budget once every vertex is placed.
+  std::vector<VertexId> ring_vertices(ring_size);
+  std::iota(ring_vertices.begin(), ring_vertices.end(), 0);
+  for (int64_t arc = 0; arc < cyclomatic - 1; ++arc) {
+    VertexId u = kInvalidVertex, w = kInvalidVertex;
+    for (int attempt = 0; attempt < 32 && w == kInvalidVertex; ++attempt) {
+      u = ring_vertices[rng->NextBounded(ring_vertices.size())];
+      const uint32_t dist = 2 + static_cast<uint32_t>(rng->NextBounded(2));
+      const VertexId candidate = walk(u, dist);
+      if (candidate != u) w = candidate;
+    }
+    if (w == kInvalidVertex) {
+      u = 0;
+      w = 2;  // fall back to a chord across the initial ring region
+    }
+    // Arc length aiming at 5/6-rings, clamped by the vertex budget.
+    uint32_t arc_len = 2 + static_cast<uint32_t>(rng->NextBounded(2));
+    arc_len = std::min(arc_len, num_vertices - next_vertex);
+    VertexId prev = u;
+    for (uint32_t i = 0; i < arc_len; ++i) {
+      builder.AddEdge(prev, next_vertex);
+      ring_vertices.push_back(next_vertex);
+      prev = next_vertex++;
+    }
+    if (!builder.AddEdge(prev, w)) {
+      // Closing edge already exists (tiny structures): burn the budget on
+      // any available chord instead.
+      bool placed = false;
+      for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+        const VertexId a =
+            ring_vertices[rng->NextBounded(ring_vertices.size())];
+        const VertexId b =
+            ring_vertices[rng->NextBounded(ring_vertices.size())];
+        if (a != b && builder.AddEdge(a, b)) placed = true;
+      }
+      if (!placed) {
+        // Degenerate (near-complete ring cluster); finish with a scan.
+        for (VertexId a = 0; a < next_vertex && !placed; ++a) {
+          for (VertexId b = a + 1; b < next_vertex && !placed; ++b) {
+            if (builder.AddEdge(a, b)) placed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Chains and pendants absorb the remaining vertices (1 vertex + 1 edge
+  // each keeps the cyclomatic number fixed). Prefer low-degree attachment
+  // points so side chains look like chains.
+  while (next_vertex < num_vertices) {
+    VertexId anchor = kInvalidVertex;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const VertexId candidate =
+          static_cast<VertexId>(rng->NextBounded(next_vertex));
+      if (builder.NeighborsDuringBuild(candidate).size() <= 2) {
+        anchor = candidate;
+        break;
+      }
+      anchor = candidate;
+    }
+    builder.AddEdge(anchor, next_vertex);
+    ++next_vertex;
+  }
+  return builder.Build();
+}
+
+GraphDatabase GenerateSyntheticDatabase(const SyntheticParams& params) {
+  SGQ_CHECK_GT(params.num_graphs, 0u);
+  SGQ_CHECK_GT(params.vertices_per_graph, 0u);
+  SGQ_CHECK_GT(params.num_labels, 0u);
+  Rng rng(params.seed);
+  GraphDatabase db;
+
+  std::vector<Label> universe(params.num_labels);
+  std::iota(universe.begin(), universe.end(), 0);
+
+  for (uint32_t i = 0; i < params.num_graphs; ++i) {
+    uint32_t n = params.vertices_per_graph;
+    if (params.size_jitter > 0) {
+      const double factor =
+          1.0 + params.size_jitter * (2.0 * rng.NextDouble() - 1.0);
+      n = std::max<uint32_t>(
+          1, static_cast<uint32_t>(std::llround(n * factor)));
+    }
+    auto generate = [&](std::span<const Label> pool) {
+      if (params.structure == SyntheticParams::Structure::kMolecular) {
+        return GenerateMoleculeLikeGraph(n, params.degree, pool, &rng);
+      }
+      return GenerateRandomGraph(n, params.degree, pool, &rng,
+                                 params.edge_locality);
+    };
+    if (params.labels_per_graph == 0 ||
+        params.labels_per_graph >= params.num_labels) {
+      db.Add(generate(universe));
+    } else {
+      // Jitter the subset size a little around the requested mean.
+      const uint32_t lo = std::max<uint32_t>(1, params.labels_per_graph / 2);
+      const uint32_t hi =
+          std::min(params.num_labels, params.labels_per_graph * 3 / 2 + 1);
+      const uint32_t count = static_cast<uint32_t>(
+          rng.NextInRange(static_cast<int64_t>(lo), static_cast<int64_t>(hi)));
+      const auto subset =
+          SampleLabelSubset(params.num_labels, count, params.label_skew, &rng);
+      db.Add(generate(subset));
+    }
+  }
+  return db;
+}
+
+}  // namespace sgq

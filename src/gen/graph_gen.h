@@ -1,0 +1,74 @@
+// Synthetic graph-database generation.
+//
+// Stands in for GraphGen [4], the generator used by the paper's synthetic
+// experiments (Section IV-A): it produces a collection of data graphs with
+// parameters #graphs |D|, #vertices per graph |V(G)|, average degree d(G)
+// (the paper's replacement for density), and #distinct labels |Sigma|.
+//
+// Labels are drawn from a per-graph subset of the global label universe with
+// a Zipf-like global popularity, which mimics the real datasets where each
+// graph touches only a few of the database's labels (Table IV, "#labels per
+// graph").
+#ifndef SGQ_GEN_GRAPH_GEN_H_
+#define SGQ_GEN_GRAPH_GEN_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "util/rng.h"
+
+namespace sgq {
+
+struct SyntheticParams {
+  uint32_t num_graphs = 1000;        // |D|
+  uint32_t vertices_per_graph = 200; // |V(G)|
+  double degree = 8.0;               // d(G) = 2|E(G)| / |V(G)|
+  uint32_t num_labels = 20;          // |Sigma| (global universe)
+  // Expected number of distinct labels used inside one graph. 0 means "use
+  // the full universe" (GraphGen's behavior).
+  uint32_t labels_per_graph = 0;
+  // Zipf skew for global label popularity when labels_per_graph > 0.
+  // 0 = uniform.
+  double label_skew = 1.0;
+  // Relative jitter applied to per-graph vertex counts (0 = all graphs have
+  // exactly vertices_per_graph vertices).
+  double size_jitter = 0.1;
+  // Fraction of non-tree edges placed locally (closing a short random-walk
+  // loop of 2..4 steps) instead of uniformly. Real molecule and protein
+  // graphs are ring-rich; locality reproduces their short cycles, which the
+  // BFS (dense) query extractor depends on. 0 = pure uniform placement.
+  double edge_locality = 0.0;
+  // Structural family of the generated graphs.
+  //   kRandom:    spanning tree + random extra edges (GraphGen style);
+  //   kMolecular: fused small rings connected by chains (AIDS/PDBS style —
+  //               the shape the BFS/dense query extractor depends on).
+  enum class Structure { kRandom, kMolecular };
+  Structure structure = Structure::kRandom;
+  uint64_t seed = 1;
+};
+
+// Generates a single random graph with `num_vertices` vertices, an expected
+// average degree of `degree`, and labels drawn uniformly from
+// `label_pool` (an array of labels with repetition allowed; pass the global
+// universe for uniform labels). The graph is connected whenever the edge
+// budget allows (at least |V|-1 edges); otherwise it is a maximal forest
+// plus however many edges fit. `edge_locality` as in SyntheticParams.
+Graph GenerateRandomGraph(uint32_t num_vertices, double degree,
+                          std::span<const Label> label_pool, Rng* rng,
+                          double edge_locality = 0.0);
+
+// Generates a molecule-like graph: a cluster of fused 5/6-rings (one ring
+// per unit of cyclomatic number m - n + 1) with chain/pendant vertices
+// absorbing the rest of the vertex budget. Falls back to
+// GenerateRandomGraph when the edge budget leaves no room for rings.
+// The result is connected with exactly round(degree * n / 2) edges.
+Graph GenerateMoleculeLikeGraph(uint32_t num_vertices, double degree,
+                                std::span<const Label> label_pool, Rng* rng);
+
+// Generates a full database according to the parameters.
+GraphDatabase GenerateSyntheticDatabase(const SyntheticParams& params);
+
+}  // namespace sgq
+
+#endif  // SGQ_GEN_GRAPH_GEN_H_

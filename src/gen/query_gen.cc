@@ -1,0 +1,261 @@
+#include "gen/query_gen.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "graph/graph_utils.h"
+#include "util/logging.h"
+
+namespace sgq {
+
+namespace {
+
+// Mutable query under construction: a set of picked data vertices and edges,
+// remapped to dense query ids on Finish().
+class QuerySketch {
+ public:
+  explicit QuerySketch(const Graph& source) : source_(source) {}
+
+  // Adds the data vertex if new; returns its query id.
+  VertexId AddVertex(VertexId data_v) {
+    auto [it, inserted] =
+        id_map_.try_emplace(data_v, static_cast<VertexId>(id_map_.size()));
+    if (inserted) picked_.push_back(data_v);
+    return it->second;
+  }
+
+  bool HasVertex(VertexId data_v) const { return id_map_.count(data_v) > 0; }
+
+  // Adds the edge between two (already added) data vertices if new; returns
+  // true if the edge is new.
+  bool AddEdge(VertexId data_u, VertexId data_v) {
+    auto key = std::minmax(data_u, data_v);
+    return edges_.insert({key.first, key.second}).second;
+  }
+
+  size_t NumEdges() const { return edges_.size(); }
+  const std::vector<VertexId>& picked() const { return picked_; }
+
+  Graph Finish() const {
+    GraphBuilder builder;
+    for (VertexId data_v : picked_) builder.AddVertex(source_.label(data_v));
+    for (const auto& [u, v] : edges_) {
+      builder.AddEdge(id_map_.at(u), id_map_.at(v));
+    }
+    return builder.Build();
+  }
+
+ private:
+  const Graph& source_;
+  std::map<VertexId, VertexId> id_map_;
+  std::vector<VertexId> picked_;
+  std::set<std::pair<VertexId, VertexId>> edges_;
+};
+
+// Random-walk extraction. Returns true if the sketch reached exactly
+// `num_edges` edges.
+bool RandomWalk(const Graph& g, VertexId start, uint32_t num_edges, Rng* rng,
+                QuerySketch* sketch) {
+  VertexId cur = start;
+  sketch->AddVertex(cur);
+  // A walk can get stuck revisiting known edges; bound the step count.
+  const uint32_t max_steps = 64 * num_edges + 64;
+  for (uint32_t step = 0; step < max_steps && sketch->NumEdges() < num_edges;
+       ++step) {
+    const auto nbrs = g.Neighbors(cur);
+    if (nbrs.empty()) return false;
+    const VertexId next = nbrs[rng->NextBounded(nbrs.size())];
+    sketch->AddVertex(next);
+    sketch->AddEdge(cur, next);
+    cur = next;
+  }
+  return sketch->NumEdges() == num_edges;
+}
+
+// BFS extraction: visit vertices in BFS order; each newly visited vertex
+// brings all its edges to already-visited vertices. Stops once the edge
+// count reaches num_edges (possibly overshooting).
+bool BfsExtract(const Graph& g, VertexId start, uint32_t num_edges, Rng* rng,
+                QuerySketch* sketch) {
+  std::deque<VertexId> queue;
+  sketch->AddVertex(start);
+  queue.push_back(start);
+  while (!queue.empty() && sketch->NumEdges() < num_edges) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    // Randomize neighbor visit order so repeated extractions differ.
+    std::vector<VertexId> nbrs(g.Neighbors(u).begin(), g.Neighbors(u).end());
+    for (size_t i = nbrs.size(); i > 1; --i) {
+      std::swap(nbrs[i - 1], nbrs[rng->NextBounded(i)]);
+    }
+    for (VertexId w : nbrs) {
+      if (sketch->NumEdges() >= num_edges) break;
+      if (!sketch->HasVertex(w)) {
+        sketch->AddVertex(w);
+        // All edges from w to already visited vertices.
+        for (VertexId x : g.Neighbors(w)) {
+          if (sketch->HasVertex(x) && x != w) sketch->AddEdge(w, x);
+        }
+        queue.push_back(w);
+      }
+    }
+  }
+  return sketch->NumEdges() >= num_edges;
+}
+
+// Removes edges until the graph has exactly `num_edges` edges, keeping it
+// connected. Leaf edges (with their pendant vertex) go first so the dense
+// core — the whole point of BFS extraction — survives; random non-bridge
+// edges are the fallback. Returns false if nothing removable remains.
+bool TrimToEdgeCount(Graph* graph, uint32_t num_edges, Rng* rng) {
+  while (graph->NumEdges() > num_edges) {
+    // Preferred: drop a pendant vertex (degree 1) and its edge.
+    std::vector<VertexId> leaves;
+    for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+      if (graph->degree(v) == 1) leaves.push_back(v);
+    }
+    if (!leaves.empty() && graph->NumVertices() > 2) {
+      const VertexId victim = leaves[rng->NextBounded(leaves.size())];
+      GraphBuilder builder;
+      std::vector<VertexId> remap(graph->NumVertices(), kInvalidVertex);
+      for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+        if (v != victim) remap[v] = builder.AddVertex(graph->label(v));
+      }
+      for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+        if (v == victim) continue;
+        for (VertexId u : graph->Neighbors(v)) {
+          if (u == victim || v >= u) continue;
+          builder.AddEdge(remap[v], remap[u]);
+        }
+      }
+      *graph = builder.Build();
+      continue;
+    }
+    // Collect all edges.
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+      for (VertexId u : graph->Neighbors(v)) {
+        if (v < u) edges.emplace_back(v, u);
+      }
+    }
+    // Shuffle and try removals until one keeps the graph connected.
+    for (size_t i = edges.size(); i > 1; --i) {
+      std::swap(edges[i - 1], edges[rng->NextBounded(i)]);
+    }
+    bool removed = false;
+    for (const auto& [a, b] : edges) {
+      GraphBuilder builder;
+      for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+        builder.AddVertex(graph->label(v));
+      }
+      for (const auto& [u, v] : edges) {
+        if (u == a && v == b) continue;
+        builder.AddEdge(u, v);
+      }
+      Graph candidate = builder.Build();
+      if (IsConnected(candidate)) {
+        *graph = std::move(candidate);
+        removed = true;
+        break;
+      }
+    }
+    if (!removed) return false;
+  }
+  return graph->NumEdges() == num_edges;
+}
+
+}  // namespace
+
+bool GenerateQuery(const GraphDatabase& db, QueryKind kind, uint32_t num_edges,
+                   Rng* rng, Graph* query) {
+  SGQ_CHECK_GT(num_edges, 0u);
+  if (db.empty()) return false;
+  const uint32_t max_tries = 200;
+  for (uint32_t attempt = 0; attempt < max_tries; ++attempt) {
+    const GraphId gid = static_cast<GraphId>(rng->NextBounded(db.size()));
+    const Graph& g = db.graph(gid);
+    if (g.NumEdges() < num_edges || g.NumVertices() == 0) continue;
+    const VertexId start =
+        static_cast<VertexId>(rng->NextBounded(g.NumVertices()));
+    QuerySketch sketch(g);
+    bool ok = false;
+    if (kind == QueryKind::kSparse) {
+      ok = RandomWalk(g, start, num_edges, rng, &sketch);
+    } else {
+      ok = BfsExtract(g, start, num_edges, rng, &sketch);
+    }
+    if (!ok) continue;
+    Graph result = sketch.Finish();
+    if (result.NumEdges() > num_edges) {
+      if (!TrimToEdgeCount(&result, num_edges, rng)) continue;
+    }
+    SGQ_CHECK_EQ(result.NumEdges(), num_edges);
+    SGQ_CHECK(IsConnected(result));
+    // Dense extraction exists to produce cyclic, high-degree queries; keep
+    // retrying (within the attempt budget) while the result is a tree and
+    // the attempt count allows, instead of returning a de-facto sparse
+    // query under a dense label.
+    if (kind == QueryKind::kDense && attempt + 1 < max_tries &&
+        IsAcyclic(result) && num_edges >= 4) {
+      continue;
+    }
+    *query = std::move(result);
+    return true;
+  }
+  return false;
+}
+
+QuerySet GenerateQuerySet(const GraphDatabase& db, QueryKind kind,
+                          uint32_t num_edges, uint32_t count, uint64_t seed) {
+  QuerySet set;
+  set.kind = kind;
+  set.num_edges = num_edges;
+  set.name = "Q_" + std::to_string(num_edges) +
+             (kind == QueryKind::kSparse ? "S" : "D");
+  Rng rng(seed);
+  for (uint32_t i = 0; i < count; ++i) {
+    Graph q;
+    if (GenerateQuery(db, kind, num_edges, &rng, &q)) {
+      set.queries.push_back(std::move(q));
+    }
+  }
+  return set;
+}
+
+std::vector<QuerySet> GenerateStandardQuerySets(const GraphDatabase& db,
+                                                uint32_t queries_per_set,
+                                                uint64_t seed) {
+  std::vector<QuerySet> sets;
+  uint64_t salt = 0;
+  for (QueryKind kind : {QueryKind::kSparse, QueryKind::kDense}) {
+    for (uint32_t edges : {4u, 8u, 16u, 32u}) {
+      sets.push_back(
+          GenerateQuerySet(db, kind, edges, queries_per_set, seed + salt));
+      ++salt;
+    }
+  }
+  return sets;
+}
+
+QuerySetStats ComputeQuerySetStats(const QuerySet& set) {
+  QuerySetStats stats;
+  if (set.queries.empty()) return stats;
+  double sum_v = 0, sum_l = 0, sum_d = 0, trees = 0;
+  for (const Graph& q : set.queries) {
+    sum_v += q.NumVertices();
+    sum_l += q.NumDistinctLabels();
+    sum_d += q.AverageDegree();
+    if (IsAcyclic(q)) trees += 1;
+  }
+  const double n = static_cast<double>(set.queries.size());
+  stats.avg_vertices = sum_v / n;
+  stats.avg_labels = sum_l / n;
+  stats.avg_degree = sum_d / n;
+  stats.tree_fraction = trees / n;
+  return stats;
+}
+
+}  // namespace sgq

@@ -1,0 +1,69 @@
+// Query-set generation (Section IV-A, "Query Sets").
+//
+// Two methods from the paper:
+//  * Random walk (sparse queries, Q_iS): pick a random data graph and a
+//    random start vertex, random-walk over the graph adding visited vertices
+//    and traversed edges until the desired edge count is reached.
+//  * Breadth-first search (dense queries, Q_iD): same, but whenever a new
+//    vertex is visited, add the vertex and ALL of its edges to
+//    already-visited vertices.
+//
+// Every generated query has exactly `num_edges` edges and is connected.
+// BFS naturally overshoots the edge target; we repair by removing random
+// cycle (non-bridge) edges, which keeps connectivity.
+#ifndef SGQ_GEN_QUERY_GEN_H_
+#define SGQ_GEN_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "util/rng.h"
+
+namespace sgq {
+
+enum class QueryKind {
+  kSparse,  // random walk
+  kDense,   // breadth-first search
+};
+
+// A named collection of query graphs, all with the same edge count
+// (Q_{iS} / Q_{iD} in the paper).
+struct QuerySet {
+  std::string name;
+  QueryKind kind = QueryKind::kSparse;
+  uint32_t num_edges = 0;
+  std::vector<Graph> queries;
+};
+
+// Table V-style statistics of a query set.
+struct QuerySetStats {
+  double avg_vertices = 0;
+  double avg_labels = 0;
+  double avg_degree = 0;
+  double tree_fraction = 0;  // "% of trees"
+};
+
+// Generates one query with exactly `num_edges` edges from a random graph of
+// `db` (graphs with fewer than num_edges edges are skipped). Returns false
+// if no data graph can host such a query.
+bool GenerateQuery(const GraphDatabase& db, QueryKind kind, uint32_t num_edges,
+                   Rng* rng, Graph* query);
+
+// Generates a full query set of `count` queries. Queries that cannot be
+// generated (database too small) are simply absent, so the result may hold
+// fewer than `count` queries.
+QuerySet GenerateQuerySet(const GraphDatabase& db, QueryKind kind,
+                          uint32_t num_edges, uint32_t count, uint64_t seed);
+
+// The paper's standard battery: {4, 8, 16, 32} edges x {sparse, dense}.
+std::vector<QuerySet> GenerateStandardQuerySets(const GraphDatabase& db,
+                                                uint32_t queries_per_set,
+                                                uint64_t seed);
+
+QuerySetStats ComputeQuerySetStats(const QuerySet& set);
+
+}  // namespace sgq
+
+#endif  // SGQ_GEN_QUERY_GEN_H_

@@ -1,0 +1,117 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sgq {
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::span<const VertexId> Graph::VerticesWithLabel(Label l) const {
+  const auto it =
+      std::lower_bound(label_values_.begin(), label_values_.end(), l);
+  if (it == label_values_.end() || *it != l) return {};
+  const size_t slot = static_cast<size_t>(it - label_values_.begin());
+  return {vertices_by_label_.data() + label_offsets_[slot],
+          label_offsets_[slot + 1] - label_offsets_[slot]};
+}
+
+size_t Graph::MemoryBytes() const {
+  return labels_.capacity() * sizeof(Label) +
+         offsets_.capacity() * sizeof(uint32_t) +
+         neighbors_.capacity() * sizeof(VertexId) +
+         neighbor_labels_.capacity() * sizeof(Label) +
+         label_values_.capacity() * sizeof(Label) +
+         label_offsets_.capacity() * sizeof(uint32_t) +
+         vertices_by_label_.capacity() * sizeof(VertexId);
+}
+
+void GraphBuilder::Reserve(uint32_t num_vertices, uint64_t num_edges) {
+  labels_.reserve(num_vertices);
+  adj_.reserve(num_vertices);
+  edges_.reserve(num_edges);
+}
+
+VertexId GraphBuilder::AddVertex(Label label) {
+  SGQ_CHECK_LE(label, kMaxLabel);
+  labels_.push_back(label);
+  adj_.emplace_back();
+  return static_cast<VertexId>(labels_.size() - 1);
+}
+
+bool GraphBuilder::HasEdge(VertexId u, VertexId v) const {
+  SGQ_CHECK_LT(u, labels_.size());
+  SGQ_CHECK_LT(v, labels_.size());
+  // Scan the smaller adjacency list.
+  const auto& a = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const VertexId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::find(a.begin(), a.end(), target) != a.end();
+}
+
+bool GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  SGQ_CHECK_LT(u, labels_.size());
+  SGQ_CHECK_LT(v, labels_.size());
+  SGQ_CHECK_NE(u, v) << "self loops are not supported";
+  if (HasEdge(u, v)) return false;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  edges_.emplace_back(u, v);
+  return true;
+}
+
+Graph GraphBuilder::Build() const {
+  Graph g;
+  const uint32_t n = NumVertices();
+  g.labels_ = labels_;
+  g.offsets_.assign(n + 1, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    g.offsets_[v + 1] =
+        g.offsets_[v] + static_cast<uint32_t>(adj_[v].size());
+  }
+  g.neighbors_.resize(g.offsets_[n]);
+  g.neighbor_labels_.resize(g.offsets_[n]);
+  uint32_t max_degree = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    auto* out = g.neighbors_.data() + g.offsets_[v];
+    std::copy(adj_[v].begin(), adj_[v].end(), out);
+    std::sort(out, out + adj_[v].size());
+    auto* lab = g.neighbor_labels_.data() + g.offsets_[v];
+    for (size_t i = 0; i < adj_[v].size(); ++i) lab[i] = labels_[out[i]];
+    std::sort(lab, lab + adj_[v].size());
+    max_degree = std::max(max_degree, static_cast<uint32_t>(adj_[v].size()));
+  }
+  g.max_degree_ = max_degree;
+
+  // Label index over the distinct labels present (labels may be sparse).
+  g.label_values_ = labels_;
+  std::sort(g.label_values_.begin(), g.label_values_.end());
+  g.label_values_.erase(
+      std::unique(g.label_values_.begin(), g.label_values_.end()),
+      g.label_values_.end());
+  g.label_bound_ =
+      g.label_values_.empty() ? 0 : g.label_values_.back() + 1;
+  const size_t num_slots = g.label_values_.size();
+  auto slot_of = [&](Label l) {
+    return static_cast<size_t>(
+        std::lower_bound(g.label_values_.begin(), g.label_values_.end(), l) -
+        g.label_values_.begin());
+  };
+  g.label_offsets_.assign(num_slots + 1, 0);
+  for (Label l : labels_) ++g.label_offsets_[slot_of(l) + 1];
+  for (size_t s = 0; s < num_slots; ++s) {
+    g.label_offsets_[s + 1] += g.label_offsets_[s];
+  }
+  g.vertices_by_label_.resize(n);
+  std::vector<uint32_t> cursor(g.label_offsets_.begin(),
+                               g.label_offsets_.end() - 1);
+  for (uint32_t v = 0; v < n; ++v) {
+    g.vertices_by_label_[cursor[slot_of(labels_[v])]++] = v;
+  }
+  return g;
+}
+
+}  // namespace sgq

@@ -1,0 +1,145 @@
+// Vertex-labeled undirected graph in CSR form.
+//
+// This is the storage the paper uses for data graphs (Section IV-B5: "a label
+// array, an offset array and an edge array"). On top of the raw CSR we keep
+// two derived structures that the matching algorithms rely on:
+//   * a label index (vertices grouped by label) for candidate generation, and
+//   * per-vertex sorted neighbor-label arrays, which serve both GraphQL's
+//     neighborhood profiles and the neighbor-label-frequency (NLF) filter.
+#ifndef SGQ_GRAPH_GRAPH_H_
+#define SGQ_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace sgq {
+
+class GraphBuilder;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(labels_.size());
+  }
+  // Number of undirected edges.
+  uint64_t NumEdges() const { return neighbors_.size() / 2; }
+
+  Label label(VertexId v) const { return labels_[v]; }
+  uint32_t degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  // Neighbors of v, sorted ascending by vertex id.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  // Labels of the neighbors of v, sorted ascending by label value. This is
+  // the "neighborhood profile" of GraphQL; multiset containment over two of
+  // these arrays implements the NLF filter.
+  std::span<const Label> NeighborLabels(VertexId v) const {
+    return {neighbor_labels_.data() + offsets_[v],
+            offsets_[v + 1] - offsets_[v]};
+  }
+
+  // True iff the undirected edge (u, v) exists. O(log d(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  // One past the largest label value present (0 for the empty graph).
+  // Arbitrary (sparse) label values are supported; the label index stores
+  // only the distinct labels present.
+  uint32_t LabelBound() const { return label_bound_; }
+  // Number of distinct labels present.
+  uint32_t NumDistinctLabels() const {
+    return static_cast<uint32_t>(label_values_.size());
+  }
+
+  // All vertices with the given label, sorted ascending; empty span for
+  // absent labels. O(log #distinct-labels).
+  std::span<const VertexId> VerticesWithLabel(Label l) const;
+
+  uint32_t NumVerticesWithLabel(Label l) const {
+    return static_cast<uint32_t>(VerticesWithLabel(l).size());
+  }
+
+  uint32_t MaxDegree() const { return max_degree_; }
+  double AverageDegree() const {
+    return NumVertices() == 0
+               ? 0.0
+               : 2.0 * static_cast<double>(NumEdges()) / NumVertices();
+  }
+
+  // Footprint of all internal arrays in bytes (memory-cost metric).
+  size_t MemoryBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<Label> labels_;
+  std::vector<uint32_t> offsets_;        // size NumVertices() + 1
+  std::vector<VertexId> neighbors_;      // sorted per vertex
+  std::vector<Label> neighbor_labels_;   // sorted per vertex (by label)
+
+  // Label index over the distinct labels present, sorted ascending:
+  // vertices with label label_values_[i] occupy
+  // vertices_by_label_[label_offsets_[i] .. label_offsets_[i+1]).
+  std::vector<Label> label_values_;
+  std::vector<uint32_t> label_offsets_;  // size label_values_.size() + 1
+  std::vector<VertexId> vertices_by_label_;
+
+  uint32_t label_bound_ = 0;
+  uint32_t max_degree_ = 0;
+};
+
+// Incremental construction of a Graph from vertices and edges. Duplicate
+// edges and self-loops are rejected with a CHECK (callers such as the
+// generators guarantee simple graphs; the IO layer pre-validates).
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  // Reserves space for an expected size (optional optimization).
+  void Reserve(uint32_t num_vertices, uint64_t num_edges);
+
+  // Adds a vertex with the given label; returns its id (dense, 0-based).
+  VertexId AddVertex(Label label);
+
+  // Adds the undirected edge (u, v). u and v must be existing distinct
+  // vertices. Returns false (and adds nothing) if the edge already exists.
+  bool AddEdge(VertexId u, VertexId v);
+
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(labels_.size());
+  }
+  uint64_t NumEdges() const { return edges_.size(); }
+
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  // Neighbors accumulated so far (unsorted); used by generators that place
+  // locality-aware edges while building.
+  const std::vector<VertexId>& NeighborsDuringBuild(VertexId v) const {
+    return adj_[v];
+  }
+
+  // Finalizes into a CSR Graph. The builder can keep being used afterwards
+  // (Build copies).
+  Graph Build() const;
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  // Adjacency during construction for O(d) duplicate detection.
+  std::vector<std::vector<VertexId>> adj_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_GRAPH_GRAPH_H_

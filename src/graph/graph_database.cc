@@ -1,0 +1,48 @@
+#include "graph/graph_database.h"
+
+#include <set>
+#include <utility>
+
+namespace sgq {
+
+GraphId GraphDatabase::Add(Graph graph) {
+  graphs_.push_back(std::move(graph));
+  return static_cast<GraphId>(graphs_.size() - 1);
+}
+
+bool GraphDatabase::Remove(GraphId id) {
+  if (id >= graphs_.size()) return false;
+  graphs_[id] = std::move(graphs_.back());
+  graphs_.pop_back();
+  return true;
+}
+
+DatabaseStats GraphDatabase::ComputeStats() const {
+  DatabaseStats s;
+  s.num_graphs = graphs_.size();
+  if (graphs_.empty()) return s;
+  std::set<Label> all_labels;
+  double sum_v = 0, sum_e = 0, sum_d = 0, sum_l = 0;
+  for (const Graph& g : graphs_) {
+    sum_v += g.NumVertices();
+    sum_e += static_cast<double>(g.NumEdges());
+    sum_d += g.AverageDegree();
+    sum_l += g.NumDistinctLabels();
+    for (VertexId v = 0; v < g.NumVertices(); ++v) all_labels.insert(g.label(v));
+  }
+  const double n = static_cast<double>(graphs_.size());
+  s.num_distinct_labels = static_cast<uint32_t>(all_labels.size());
+  s.avg_vertices_per_graph = sum_v / n;
+  s.avg_edges_per_graph = sum_e / n;
+  s.avg_degree_per_graph = sum_d / n;
+  s.avg_labels_per_graph = sum_l / n;
+  return s;
+}
+
+size_t GraphDatabase::MemoryBytes() const {
+  size_t total = 0;
+  for (const Graph& g : graphs_) total += g.MemoryBytes();
+  return total;
+}
+
+}  // namespace sgq

@@ -1,0 +1,66 @@
+// A graph database D = {G_1, ..., G_n}: the collection of data graphs a
+// subgraph query runs against (Definition II.2).
+//
+// Unlike the IFV indices, the database itself supports cheap updates (Add /
+// Remove); the paper's motivation for index-free processing is exactly that
+// vcFV keeps working under frequent updates while IFV indices must be
+// rebuilt.
+#ifndef SGQ_GRAPH_GRAPH_DATABASE_H_
+#define SGQ_GRAPH_GRAPH_DATABASE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace sgq {
+
+// Aggregate statistics in the shape of the paper's Table IV.
+struct DatabaseStats {
+  size_t num_graphs = 0;
+  uint32_t num_distinct_labels = 0;   // across the whole database
+  double avg_vertices_per_graph = 0;
+  double avg_edges_per_graph = 0;
+  double avg_degree_per_graph = 0;
+  double avg_labels_per_graph = 0;
+};
+
+class GraphDatabase {
+ public:
+  GraphDatabase() = default;
+
+  // Move-only: databases can be large and accidental copies are costly.
+  GraphDatabase(GraphDatabase&&) = default;
+  GraphDatabase& operator=(GraphDatabase&&) = default;
+  GraphDatabase(const GraphDatabase&) = delete;
+  GraphDatabase& operator=(const GraphDatabase&) = delete;
+
+  // Adds a graph; returns its id. Ids are stable until Remove().
+  GraphId Add(Graph graph);
+
+  // Removes the graph with the given id by swapping in the last graph
+  // (so the id of the previously-last graph changes to `id`). Returns false
+  // if id is out of range.
+  bool Remove(GraphId id);
+
+  size_t size() const { return graphs_.size(); }
+  bool empty() const { return graphs_.empty(); }
+
+  const Graph& graph(GraphId id) const { return graphs_[id]; }
+
+  const std::vector<Graph>& graphs() const { return graphs_; }
+
+  DatabaseStats ComputeStats() const;
+
+  // Sum of the CSR footprints of all member graphs.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<Graph> graphs_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_GRAPH_GRAPH_DATABASE_H_

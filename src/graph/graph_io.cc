@@ -1,0 +1,190 @@
+#include "graph/graph_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace sgq {
+
+namespace {
+
+// Splits text into lines without copying.
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+// Tokenizes a line on whitespace.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r')) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool ParseU32(std::string_view token, uint32_t* out) {
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+std::string LineError(size_t line_no, const std::string& message) {
+  std::ostringstream os;
+  os << "line " << line_no << ": " << message;
+  return os.str();
+}
+
+}  // namespace
+
+bool ParseDatabase(std::string_view text, GraphDatabase* db,
+                   std::string* error) {
+  GraphDatabase result;
+  GraphBuilder builder;
+  bool in_graph = false;
+
+  auto flush = [&]() {
+    if (in_graph) result.Add(builder.Build());
+    builder = GraphBuilder();
+  };
+
+  const auto lines = SplitLines(text);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const size_t line_no = i + 1;
+    const auto tokens = Tokenize(lines[i]);
+    if (tokens.empty() || tokens[0].front() == '#') continue;
+    if (tokens[0] == "t") {
+      // "t # <id>" — id is informational only; ids are assigned densely.
+      flush();
+      in_graph = true;
+    } else if (tokens[0] == "v") {
+      if (!in_graph) {
+        *error = LineError(line_no, "'v' before any 't' header");
+        return false;
+      }
+      uint32_t id = 0, label = 0;
+      if (tokens.size() < 3 || !ParseU32(tokens[1], &id) ||
+          !ParseU32(tokens[2], &label) || label > kMaxLabel) {
+        *error = LineError(line_no, "malformed vertex line");
+        return false;
+      }
+      if (id != builder.NumVertices()) {
+        *error = LineError(line_no, "vertex ids must be dense and ascending");
+        return false;
+      }
+      builder.AddVertex(label);
+    } else if (tokens[0] == "e") {
+      if (!in_graph) {
+        *error = LineError(line_no, "'e' before any 't' header");
+        return false;
+      }
+      uint32_t u = 0, v = 0;
+      if (tokens.size() < 3 || !ParseU32(tokens[1], &u) ||
+          !ParseU32(tokens[2], &v)) {
+        *error = LineError(line_no, "malformed edge line");
+        return false;
+      }
+      if (u >= builder.NumVertices() || v >= builder.NumVertices()) {
+        *error = LineError(line_no, "edge references undeclared vertex");
+        return false;
+      }
+      if (u == v) {
+        *error = LineError(line_no, "self loops are not supported");
+        return false;
+      }
+      if (!builder.AddEdge(u, v)) {
+        *error = LineError(line_no, "duplicate edge");
+        return false;
+      }
+    } else {
+      *error = LineError(line_no, "unknown record type");
+      return false;
+    }
+  }
+  flush();
+  *db = std::move(result);
+  return true;
+}
+
+bool LoadDatabase(const std::string& path, GraphDatabase* db,
+                  std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open file: " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDatabase(buffer.str(), db, error);
+}
+
+std::string SerializeGraph(const Graph& graph, GraphId id) {
+  std::ostringstream os;
+  os << "t # " << id << "\n";
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    os << "v " << v << " " << graph.label(v) << "\n";
+  }
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (VertexId u : graph.Neighbors(v)) {
+      if (v < u) os << "e " << v << " " << u << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string SerializeDatabase(const GraphDatabase& db) {
+  std::ostringstream os;
+  for (GraphId i = 0; i < db.size(); ++i) {
+    os << SerializeGraph(db.graph(i), i);
+  }
+  return os.str();
+}
+
+bool SaveDatabase(const GraphDatabase& db, const std::string& path,
+                  std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    *error = "cannot open file for writing: " + path;
+    return false;
+  }
+  out << SerializeDatabase(db);
+  if (!out) {
+    *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+bool ParseSingleGraph(std::string_view text, Graph* graph,
+                      std::string* error) {
+  GraphDatabase db;
+  if (!ParseDatabase(text, &db, error)) return false;
+  if (db.size() != 1) {
+    *error = "expected exactly one graph, found " + std::to_string(db.size());
+    return false;
+  }
+  *graph = db.graph(0);
+  return true;
+}
+
+}  // namespace sgq

@@ -1,0 +1,50 @@
+// Text IO for graphs and graph databases.
+//
+// Format: the classic transactional graph format used by AIDS-style graph
+// database benchmarks (gIndex, Grapes, GGSX, ...):
+//
+//   t # <graph-id>
+//   v <vertex-id> <label>
+//   e <src> <dst> [<edge-label>]        (edge labels are parsed and ignored)
+//
+// Vertex ids must be dense and ascending within a graph; edges reference
+// previously declared vertices. Lines starting with '#' or empty lines are
+// skipped. Parsing is strict: any malformed line aborts the load and reports
+// a message with the offending line number.
+#ifndef SGQ_GRAPH_GRAPH_IO_H_
+#define SGQ_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+
+namespace sgq {
+
+// Parses a database from file contents. Returns false and fills *error on
+// malformed input; *db receives the parsed graphs on success.
+bool ParseDatabase(std::string_view text, GraphDatabase* db,
+                   std::string* error);
+
+// Loads a database from a file on disk.
+bool LoadDatabase(const std::string& path, GraphDatabase* db,
+                  std::string* error);
+
+// Serializes one graph / a whole database to the text format.
+std::string SerializeGraph(const Graph& graph, GraphId id);
+std::string SerializeDatabase(const GraphDatabase& db);
+
+// Writes a database to a file on disk. Returns false and fills *error on IO
+// failure.
+bool SaveDatabase(const GraphDatabase& db, const std::string& path,
+                  std::string* error);
+
+// Convenience for query graphs: parses exactly one graph. Returns false on
+// malformed input or if the text holds zero or multiple graphs.
+bool ParseSingleGraph(std::string_view text, Graph* graph, std::string* error);
+
+}  // namespace sgq
+
+#endif  // SGQ_GRAPH_GRAPH_IO_H_

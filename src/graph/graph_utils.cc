@@ -1,0 +1,134 @@
+#include "graph/graph_utils.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace sgq {
+
+BfsTree BuildBfsTree(const Graph& graph, VertexId root) {
+  const uint32_t n = graph.NumVertices();
+  SGQ_CHECK_LT(root, n);
+  BfsTree tree;
+  tree.root = root;
+  tree.parent.assign(n, kInvalidVertex);
+  tree.level.assign(n, 0);
+  tree.children.assign(n, {});
+  tree.order.reserve(n);
+
+  std::vector<bool> visited(n, false);
+  std::deque<VertexId> queue;
+  queue.push_back(root);
+  visited[root] = true;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    tree.order.push_back(u);
+    for (VertexId w : graph.Neighbors(u)) {
+      if (!visited[w]) {
+        visited[w] = true;
+        tree.parent[w] = u;
+        tree.level[w] = tree.level[u] + 1;
+        tree.children[u].push_back(w);
+        queue.push_back(w);
+      }
+    }
+  }
+  SGQ_CHECK_EQ(tree.order.size(), n) << "BuildBfsTree requires connectivity";
+  tree.num_levels = n == 0 ? 0 : tree.level[tree.order.back()] + 1;
+  return tree;
+}
+
+bool IsConnected(const Graph& graph) {
+  const uint32_t n = graph.NumVertices();
+  if (n == 0) return true;
+  std::vector<bool> visited(n, false);
+  std::vector<VertexId> stack = {0};
+  visited[0] = true;
+  uint32_t seen = 1;
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    for (VertexId w : graph.Neighbors(u)) {
+      if (!visited[w]) {
+        visited[w] = true;
+        ++seen;
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen == n;
+}
+
+std::vector<uint32_t> ConnectedComponents(const Graph& graph) {
+  const uint32_t n = graph.NumVertices();
+  std::vector<uint32_t> component(n, UINT32_MAX);
+  uint32_t next = 0;
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (component[s] != UINT32_MAX) continue;
+    component[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (VertexId w : graph.Neighbors(u)) {
+        if (component[w] == UINT32_MAX) {
+          component[w] = next;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return component;
+}
+
+std::vector<bool> TwoCoreMembership(const Graph& graph) {
+  const uint32_t n = graph.NumVertices();
+  std::vector<uint32_t> degree(n);
+  for (VertexId v = 0; v < n; ++v) degree[v] = graph.degree(v);
+  std::vector<bool> removed(n, false);
+  std::vector<VertexId> stack;
+  for (VertexId v = 0; v < n; ++v) {
+    if (degree[v] < 2) stack.push_back(v);
+  }
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    if (removed[v]) continue;
+    removed[v] = true;
+    for (VertexId w : graph.Neighbors(v)) {
+      if (!removed[w] && degree[w]-- == 2) stack.push_back(w);
+    }
+  }
+  std::vector<bool> in_core(n);
+  for (VertexId v = 0; v < n; ++v) in_core[v] = !removed[v];
+  return in_core;
+}
+
+bool IsAcyclic(const Graph& graph) {
+  // A forest has exactly |V| - #components edges.
+  const auto component = ConnectedComponents(graph);
+  uint32_t num_components = 0;
+  for (uint32_t c : component) {
+    num_components = std::max(num_components, c + 1);
+  }
+  return graph.NumEdges() + num_components == graph.NumVertices();
+}
+
+bool SortedMultisetContains(std::span<const Label> haystack,
+                            std::span<const Label> needle) {
+  if (needle.size() > haystack.size()) return false;
+  size_t i = 0;
+  for (Label x : needle) {
+    // Advance in haystack until >= x.
+    while (i < haystack.size() && haystack[i] < x) ++i;
+    if (i == haystack.size() || haystack[i] != x) return false;
+    ++i;
+  }
+  return true;
+}
+
+}  // namespace sgq

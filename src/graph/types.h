@@ -1,0 +1,27 @@
+// Fundamental identifier types shared across the library.
+#ifndef SGQ_GRAPH_TYPES_H_
+#define SGQ_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace sgq {
+
+// Vertex identifier within a single graph (dense, 0-based).
+using VertexId = uint32_t;
+// Vertex label (dense, 0-based).
+using Label = uint32_t;
+// Identifier of a data graph within a GraphDatabase (dense, 0-based).
+using GraphId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr GraphId kInvalidGraph = std::numeric_limits<GraphId>::max();
+
+// Largest supported label value. One below the type maximum so that the
+// label index can use label + 1 bucket bounds without overflow.
+inline constexpr Label kMaxLabel = std::numeric_limits<Label>::max() - 1;
+
+}  // namespace sgq
+
+#endif  // SGQ_GRAPH_TYPES_H_

@@ -1,0 +1,146 @@
+#include "index/ct_index.h"
+
+#include "util/logging.h"
+#include "util/serialize.h"
+#include "util/timer.h"
+
+namespace sgq {
+
+namespace {
+
+// FNV-1a over the feature key, salted per hash function.
+uint64_t HashFeature(const FeatureKey& key, uint64_t salt) {
+  uint64_t h = 14695981039346656037ULL ^ (salt * 0x9e3779b97f4a7c15ULL);
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool CtIndex::ComputeFingerprint(const Graph& graph, DeadlineChecker* checker,
+                                 Bitset* fingerprint) const {
+  fingerprint->Resize(options_.fingerprint_bits);
+  FeatureSet features;
+  if (!EnumerateTreeFeatures(graph, options_.max_tree_edges, checker,
+                             &features)) {
+    return false;
+  }
+  if (!EnumerateCycleFeatures(graph, options_.max_cycle_length, checker,
+                              &features)) {
+    return false;
+  }
+  for (const FeatureKey& key : features) {
+    for (uint32_t i = 0; i < options_.hashes_per_feature; ++i) {
+      fingerprint->Set(HashFeature(key, i) % options_.fingerprint_bits);
+    }
+  }
+  return true;
+}
+
+bool CtIndex::Build(const GraphDatabase& db, Deadline deadline) {
+  built_ = false;
+  build_failure_ = BuildFailure::kNone;
+  fingerprints_.assign(db.size(), Bitset());
+  DeadlineChecker checker(deadline);
+  WallTimer timer;
+  for (GraphId g = 0; g < db.size(); ++g) {
+    if (!ComputeFingerprint(db.graph(g), &checker, &fingerprints_[g])) {
+      fingerprints_.clear();
+      build_failure_ = BuildFailure::kTimeout;
+      return false;
+    }
+    // Cost-based admission: if the average per-graph enumeration cost
+    // projects past the deadline, report OOT now rather than burning the
+    // remaining budget (a build that would finish in time never trips
+    // this — the projection equals the true total for uniform graphs).
+    const double projected_remaining =
+        timer.ElapsedSeconds() / (g + 1) * (db.size() - g - 1);
+    if (projected_remaining > deadline.SecondsRemaining()) {
+      fingerprints_.clear();
+      build_failure_ = BuildFailure::kTimeout;
+      return false;
+    }
+  }
+  InitMapping(db.size());
+  built_ = true;
+  return true;
+}
+
+bool CtIndex::AppendPhysical(const Graph& graph, GraphId physical_id,
+                             Deadline deadline) {
+  SGQ_CHECK_EQ(physical_id, fingerprints_.size());
+  DeadlineChecker checker(deadline);
+  Bitset fingerprint;
+  if (!ComputeFingerprint(graph, &checker, &fingerprint)) return false;
+  fingerprints_.push_back(std::move(fingerprint));
+  return true;
+}
+
+std::vector<GraphId> CtIndex::FilterPhysical(const Graph& query) const {
+  Bitset query_fp;
+  DeadlineChecker unlimited{Deadline::Infinite()};
+  SGQ_CHECK(ComputeFingerprint(query, &unlimited, &query_fp));
+  std::vector<GraphId> candidates;
+  for (GraphId g = 0; g < fingerprints_.size(); ++g) {
+    if (query_fp.IsSubsetOf(fingerprints_[g])) candidates.push_back(g);
+  }
+  return candidates;
+}
+
+namespace {
+constexpr uint32_t kCtMagic = 0x53435431;  // "SCT1"
+}  // namespace
+
+bool CtIndex::SaveTo(std::ostream& out) const {
+  // Persistence is defined for pristine (identity-mapped) indices only;
+  // after removals the physical->logical translation is process state.
+  if (!built_ || !IsIdentityMapping()) return false;
+  WriteU32(out, kCtMagic);
+  WriteU32(out, options_.fingerprint_bits);
+  WriteU32(out, options_.max_tree_edges);
+  WriteU32(out, options_.max_cycle_length);
+  WriteU32(out, options_.hashes_per_feature);
+  WriteU64(out, fingerprints_.size());
+  for (const Bitset& fp : fingerprints_) fp.SaveTo(out);
+  return static_cast<bool>(out);
+}
+
+bool CtIndex::LoadFrom(std::istream& in) {
+  built_ = false;
+  fingerprints_.clear();
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  if (!ReadU32(in, &magic) || magic != kCtMagic ||
+      !ReadU32(in, &options_.fingerprint_bits) ||
+      !ReadU32(in, &options_.max_tree_edges) ||
+      !ReadU32(in, &options_.max_cycle_length) ||
+      !ReadU32(in, &options_.hashes_per_feature) || !ReadU64(in, &count) ||
+      count > (uint64_t{1} << 32)) {
+    return false;
+  }
+  fingerprints_.resize(count);
+  for (Bitset& fp : fingerprints_) {
+    if (!fp.LoadFrom(in)) {
+      fingerprints_.clear();
+      return false;
+    }
+    if (fp.size_bits() != options_.fingerprint_bits) {
+      fingerprints_.clear();
+      return false;
+    }
+  }
+  InitMapping(fingerprints_.size());
+  built_ = true;
+  return true;
+}
+
+size_t CtIndex::MemoryBytes() const {
+  size_t bytes = fingerprints_.capacity() * sizeof(Bitset);
+  for (const Bitset& fp : fingerprints_) bytes += fp.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace sgq

@@ -1,0 +1,63 @@
+// CT-Index [20]: enumeration-based IFV index with tree and cycle features
+// (Section III-A).
+//
+// Every data graph gets a fixed-width fingerprint: each canonical tree
+// feature (up to `max_tree_edges` edges) and cycle feature (up to
+// `max_cycle_length` vertices) is hashed with `hashes_per_feature`
+// independent hash functions into a `fingerprint_bits`-wide bitset (the
+// paper configures 4096-bit fingerprints with features up to size 4).
+//
+// Filtering: q's fingerprint must be a bit-subset of G's fingerprint.
+//
+// The expensive tree/cycle enumeration is exactly why CT-Index runs out of
+// time on dense datasets in the paper's Tables VI and VIII; Build() honors
+// the deadline and reports OOT.
+#ifndef SGQ_INDEX_CT_INDEX_H_
+#define SGQ_INDEX_CT_INDEX_H_
+
+#include <vector>
+
+#include "index/feature_enumerator.h"
+#include "index/graph_index.h"
+#include "util/bitset.h"
+
+namespace sgq {
+
+struct CtIndexOptions {
+  uint32_t fingerprint_bits = 4096;
+  uint32_t max_tree_edges = 4;
+  uint32_t max_cycle_length = 4;
+  uint32_t hashes_per_feature = 2;
+};
+
+class CtIndex : public GraphIndex {
+ public:
+  explicit CtIndex(CtIndexOptions options = {}) : options_(options) {}
+
+  const char* name() const override { return "CT-Index"; }
+
+  bool Build(const GraphDatabase& db, Deadline deadline) override;
+
+  size_t MemoryBytes() const override;
+
+  bool SaveTo(std::ostream& out) const override;
+  bool LoadFrom(std::istream& in) override;
+
+  // Fingerprint of an arbitrary graph under this index's options (exposed
+  // for tests). Returns false on deadline expiry.
+  bool ComputeFingerprint(const Graph& graph, DeadlineChecker* checker,
+                          Bitset* fingerprint) const;
+
+ protected:
+  std::vector<GraphId> FilterPhysical(const Graph& query) const override;
+  bool AppendPhysical(const Graph& graph, GraphId physical_id,
+                      Deadline deadline) override;
+
+ private:
+  CtIndexOptions options_;
+  std::vector<Bitset> fingerprints_;  // one per data graph
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_INDEX_CT_INDEX_H_

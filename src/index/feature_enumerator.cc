@@ -1,0 +1,184 @@
+#include "index/feature_enumerator.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace sgq {
+
+namespace {
+
+constexpr char kTreeNodeMarker = 0x7f;
+
+// Rooted AHU canonical string: marker + label + child count + the sorted
+// canonical strings of the children. Self-delimiting, so comparing the
+// concatenations compares the trees.
+FeatureKey RootedCanon(const std::map<VertexId, std::vector<VertexId>>& adj,
+                       const Graph& graph, VertexId v, VertexId parent) {
+  std::vector<FeatureKey> child_keys;
+  auto it = adj.find(v);
+  if (it != adj.end()) {
+    for (VertexId w : it->second) {
+      if (w != parent) child_keys.push_back(RootedCanon(adj, graph, w, v));
+    }
+  }
+  std::sort(child_keys.begin(), child_keys.end());
+  FeatureKey key;
+  key.push_back(kTreeNodeMarker);
+  AppendLabelToKey(graph.label(v), &key);
+  key.push_back(static_cast<char>(child_keys.size()));
+  for (const FeatureKey& k : child_keys) key += k;
+  return key;
+}
+
+}  // namespace
+
+FeatureKey CanonicalTreeKey(
+    const Graph& graph, const std::vector<VertexId>& vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  SGQ_CHECK_EQ(edges.size() + 1, vertices.size());
+  std::map<VertexId, std::vector<VertexId>> adj;
+  for (const auto& [u, v] : edges) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  FeatureKey best;
+  for (VertexId root : vertices) {
+    FeatureKey key = RootedCanon(adj, graph, root, kInvalidVertex);
+    if (best.empty() || key < best) best = std::move(key);
+  }
+  return best;
+}
+
+FeatureKey CanonicalCycleKey(const Graph& graph,
+                             const std::vector<VertexId>& cycle) {
+  const size_t n = cycle.size();
+  SGQ_CHECK_GE(n, 3u);
+  std::vector<Label> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = graph.label(cycle[i]);
+  FeatureKey best;
+  for (int dir = 0; dir < 2; ++dir) {
+    for (size_t shift = 0; shift < n; ++shift) {
+      FeatureKey key;
+      key.reserve(n * 4);
+      for (size_t i = 0; i < n; ++i) {
+        const size_t idx =
+            dir == 0 ? (shift + i) % n : (shift + n - i) % n;
+        AppendLabelToKey(labels[idx], &key);
+      }
+      if (best.empty() || key < best) best = std::move(key);
+    }
+  }
+  return best;
+}
+
+namespace {
+
+struct TreeEnumState {
+  const Graph& graph;
+  uint32_t max_edges;
+  DeadlineChecker* checker;
+  FeatureSet* out;
+
+  std::vector<VertexId> vertices;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::vector<bool> in_tree;
+  bool expired = false;
+
+  void Recurse() {
+    if (expired) return;
+    if (checker != nullptr && checker->Tick()) {
+      expired = true;
+      return;
+    }
+    out->insert(CanonicalTreeKey(graph, vertices, edges));
+    if (edges.size() >= max_edges) return;
+    for (size_t i = 0; i < vertices.size() && !expired; ++i) {
+      const VertexId u = vertices[i];
+      for (VertexId w : graph.Neighbors(u)) {
+        if (in_tree[w]) continue;
+        vertices.push_back(w);
+        edges.emplace_back(u, w);
+        in_tree[w] = true;
+        Recurse();
+        in_tree[w] = false;
+        edges.pop_back();
+        vertices.pop_back();
+        if (expired) break;
+      }
+    }
+  }
+};
+
+struct CycleEnumState {
+  const Graph& graph;
+  uint32_t max_length;
+  DeadlineChecker* checker;
+  FeatureSet* out;
+
+  std::vector<VertexId> path;
+  std::vector<bool> on_path;
+  bool expired = false;
+
+  // Enumerates simple cycles whose minimum vertex is path[0]; direction is
+  // deduped by requiring path[1] < path.back() at emission.
+  void Recurse() {
+    if (expired) return;
+    if (checker != nullptr && checker->Tick()) {
+      expired = true;
+      return;
+    }
+    const VertexId cur = path.back();
+    const VertexId start = path.front();
+    for (VertexId w : graph.Neighbors(cur)) {
+      if (expired) break;
+      if (w == start && path.size() >= 3 && path[1] < path.back()) {
+        out->insert(CanonicalCycleKey(graph, path));
+        continue;
+      }
+      if (w <= start || on_path[w]) continue;
+      if (path.size() >= max_length) continue;
+      path.push_back(w);
+      on_path[w] = true;
+      Recurse();
+      on_path[w] = false;
+      path.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+bool EnumerateTreeFeatures(const Graph& graph, uint32_t max_tree_edges,
+                           DeadlineChecker* checker, FeatureSet* out) {
+  TreeEnumState state{graph, max_tree_edges, checker, out, {}, {}, {}, false};
+  state.in_tree.assign(graph.NumVertices(), false);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    state.vertices = {v};
+    state.edges.clear();
+    state.in_tree[v] = true;
+    state.Recurse();
+    state.in_tree[v] = false;
+    if (state.expired) return false;
+  }
+  return true;
+}
+
+bool EnumerateCycleFeatures(const Graph& graph, uint32_t max_cycle_length,
+                            DeadlineChecker* checker, FeatureSet* out) {
+  if (max_cycle_length < 3) return true;
+  CycleEnumState state{graph, max_cycle_length, checker, out, {}, {}, false};
+  state.on_path.assign(graph.NumVertices(), false);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    state.path = {v};
+    state.on_path[v] = true;
+    state.Recurse();
+    state.on_path[v] = false;
+    if (state.expired) return false;
+  }
+  return true;
+}
+
+}  // namespace sgq

@@ -1,0 +1,52 @@
+// Tree and cycle feature enumeration for CT-Index.
+//
+// Trees: all subtrees with up to max_tree_edges edges (vertex-distinct,
+// acyclic connected subgraphs picked as spanning sub-structures), each
+// reduced to a canonical AHU-style string (minimum over all roots, so
+// isomorphic labeled trees always collapse to one feature).
+//
+// Cycles: all simple cycles of length 3..max_cycle_length, reduced to the
+// minimum label sequence over all rotations and both directions.
+//
+// The enumeration cost is intentionally exponential in density — this is
+// precisely why the paper's CT-Index times out on PCM/PPI and dense
+// synthetic datasets — so both enumerators poll a deadline.
+#ifndef SGQ_INDEX_FEATURE_ENUMERATOR_H_
+#define SGQ_INDEX_FEATURE_ENUMERATOR_H_
+
+#include <unordered_set>
+
+#include "graph/graph.h"
+#include "index/path_enumerator.h"
+#include "util/deadline.h"
+
+namespace sgq {
+
+using FeatureSet = std::unordered_set<FeatureKey>;
+
+// Enumerates canonical tree features with 1..max_tree_edges edges (plus
+// single-vertex features). Returns false on deadline expiry.
+bool EnumerateTreeFeatures(const Graph& graph, uint32_t max_tree_edges,
+                           DeadlineChecker* checker, FeatureSet* out);
+
+// Enumerates canonical cycle features with 3..max_cycle_length vertices.
+// Returns false on deadline expiry.
+bool EnumerateCycleFeatures(const Graph& graph, uint32_t max_cycle_length,
+                            DeadlineChecker* checker, FeatureSet* out);
+
+// Canonical string of a labeled tree given by an explicit edge list over
+// `vertices` (used by tests and by the enumerator internally). The tree
+// must be connected and acyclic.
+FeatureKey CanonicalTreeKey(const Graph& graph,
+                            const std::vector<VertexId>& vertices,
+                            const std::vector<std::pair<VertexId, VertexId>>&
+                                edges);
+
+// Canonical string of a labeled cycle given as the vertex sequence around
+// the cycle.
+FeatureKey CanonicalCycleKey(const Graph& graph,
+                             const std::vector<VertexId>& cycle);
+
+}  // namespace sgq
+
+#endif  // SGQ_INDEX_FEATURE_ENUMERATOR_H_

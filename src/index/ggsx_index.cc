@@ -1,0 +1,108 @@
+#include "index/ggsx_index.h"
+
+#include "index/local_path_trie.h"
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace sgq {
+
+bool GgsxIndex::Build(const GraphDatabase& db, Deadline deadline) {
+  built_ = false;
+  build_failure_ = BuildFailure::kNone;
+  trie_ = PathTrie(/*store_counts=*/false);
+  num_graphs_ = db.size();
+  DeadlineChecker checker(deadline);
+  for (GraphId g = 0; g < db.size(); ++g) {
+    LocalPathTrie features;
+    if (!EnumeratePathsIntoTrie(db.graph(g), options_.max_path_edges,
+                                &checker, &features)) {
+      build_failure_ = BuildFailure::kTimeout;
+      return false;
+    }
+    // Presence-only postings: the per-node counts are dropped by the trie.
+    MergeLocalTrie(features, g, &trie_);
+    if (checker.Tick()) {
+      build_failure_ = BuildFailure::kTimeout;
+      return false;
+    }
+    if (options_.memory_limit_bytes != 0 &&
+        trie_.MemoryBytes() > options_.memory_limit_bytes) {
+      build_failure_ = BuildFailure::kMemory;
+      return false;
+    }
+  }
+  InitMapping(db.size());
+  built_ = true;
+  return true;
+}
+
+bool GgsxIndex::AppendPhysical(const Graph& graph, GraphId physical_id,
+                               Deadline deadline) {
+  DeadlineChecker checker(deadline);
+  LocalPathTrie features;
+  if (!EnumeratePathsIntoTrie(graph, options_.max_path_edges, &checker,
+                              &features)) {
+    return false;
+  }
+  MergeLocalTrie(features, physical_id, &trie_);
+  num_graphs_ = std::max<size_t>(num_graphs_, physical_id + 1);
+  return true;
+}
+
+std::vector<GraphId> GgsxIndex::FilterPhysical(const Graph& query) const {
+  PathFeatureCounts features;
+  DeadlineChecker unlimited{Deadline::Infinite()};
+  EnumeratePathFeatures(query, options_.max_path_edges, &unlimited,
+                        &features);
+
+  std::vector<uint32_t> hits(num_graphs_, 0);
+  uint32_t feature_index = 0;
+  for (const auto& [key, unused_count] : features) {
+    const std::vector<GraphId>* graphs = trie_.Find(key, nullptr);
+    if (graphs == nullptr) return {};
+    for (GraphId g : *graphs) {
+      if (hits[g] == feature_index) ++hits[g];
+    }
+    ++feature_index;
+  }
+  std::vector<GraphId> candidates;
+  for (GraphId g = 0; g < num_graphs_; ++g) {
+    if (hits[g] == feature_index) candidates.push_back(g);
+  }
+  return candidates;
+}
+
+size_t GgsxIndex::MemoryBytes() const { return trie_.MemoryBytes(); }
+
+namespace {
+constexpr uint32_t kGgsxMagic = 0x53475832;  // "SGX2"
+}  // namespace
+
+bool GgsxIndex::SaveTo(std::ostream& out) const {
+  // Persistence is defined for pristine (identity-mapped) indices only;
+  // after removals the physical->logical translation is process state.
+  if (!built_ || !IsIdentityMapping()) return false;
+  WriteU32(out, kGgsxMagic);
+  WriteU32(out, options_.max_path_edges);
+  WriteU64(out, num_graphs_);
+  trie_.SaveTo(out);
+  return static_cast<bool>(out);
+}
+
+bool GgsxIndex::LoadFrom(std::istream& in) {
+  built_ = false;
+  uint32_t magic = 0, max_edges = 0;
+  uint64_t num_graphs = 0;
+  if (!ReadU32(in, &magic) || magic != kGgsxMagic ||
+      !ReadU32(in, &max_edges) || !ReadU64(in, &num_graphs)) {
+    return false;
+  }
+  options_.max_path_edges = max_edges;
+  num_graphs_ = num_graphs;
+  if (!trie_.LoadFrom(in)) return false;
+  InitMapping(num_graphs_);
+  built_ = true;
+  return true;
+}
+
+}  // namespace sgq

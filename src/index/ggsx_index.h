@@ -1,0 +1,58 @@
+// GraphGrepSX (GGSX) [2]: enumeration-based IFV index (Section III-A).
+//
+// Same labeled-path features as Grapes (up to `max_path_edges` edges), but
+// stored in a suffix-tree structure with graph-id sets only — no occurrence
+// counts — and built serially. We realize the suffix tree as a suffix-closed
+// trie: every suffix of an enumerated path is itself an enumerated path, so
+// inserting all enumerated paths yields the suffix-closed node set.
+//
+// The presence-only postings are what make GGSX's filtering precision lower
+// than Grapes' in the paper's Figures 2 and 8.
+#ifndef SGQ_INDEX_GGSX_INDEX_H_
+#define SGQ_INDEX_GGSX_INDEX_H_
+
+#include <vector>
+
+#include "index/graph_index.h"
+#include "index/path_enumerator.h"
+#include "index/path_trie.h"
+
+namespace sgq {
+
+struct GgsxOptions {
+  uint32_t max_path_edges = 4;
+  // Build-time memory budget for the index structures; 0 = unlimited.
+  // Exceeding it aborts the build with BuildFailure::kMemory (the paper's
+  // OOM condition, scaled).
+  size_t memory_limit_bytes = 0;
+};
+
+class GgsxIndex : public GraphIndex {
+ public:
+  explicit GgsxIndex(GgsxOptions options = {}) : options_(options) {}
+
+  const char* name() const override { return "GGSX"; }
+
+  bool Build(const GraphDatabase& db, Deadline deadline) override;
+
+  size_t MemoryBytes() const override;
+
+  bool SaveTo(std::ostream& out) const override;
+  bool LoadFrom(std::istream& in) override;
+
+  size_t NumTrieNodes() const { return trie_.NumNodes(); }
+
+ protected:
+  std::vector<GraphId> FilterPhysical(const Graph& query) const override;
+  bool AppendPhysical(const Graph& graph, GraphId physical_id,
+                      Deadline deadline) override;
+
+ private:
+  GgsxOptions options_;
+  size_t num_graphs_ = 0;
+  PathTrie trie_{/*store_counts=*/false};
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_INDEX_GGSX_INDEX_H_

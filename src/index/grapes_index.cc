@@ -1,0 +1,155 @@
+#include "index/grapes_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "index/local_path_trie.h"
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace sgq {
+
+bool GrapesIndex::Build(const GraphDatabase& db, Deadline deadline) {
+  built_ = false;
+  build_failure_ = BuildFailure::kNone;
+  trie_ = PathTrie(/*store_counts=*/true);
+  num_graphs_ = db.size();
+
+  const uint32_t num_threads =
+      std::max<uint32_t>(1, std::min<uint32_t>(options_.num_threads,
+                                               std::thread::hardware_concurrency()
+                                                   ? std::thread::hardware_concurrency()
+                                                   : 1));
+  // The build streams in blocks: each block's graphs are enumerated in
+  // parallel (the original Grapes' parallelism) into per-graph tries, then
+  // merged serially and released — peak memory stays at
+  // O(block x graph features) above the global trie instead of
+  // O(|D| x graph features).
+  const size_t block_size = static_cast<size_t>(num_threads) * 4;
+  std::vector<LocalPathTrie> block(std::min<size_t>(block_size, db.size()));
+  for (size_t begin = 0; begin < db.size(); begin += block_size) {
+    const size_t end = std::min(begin + block_size, db.size());
+    std::atomic<size_t> next{begin};
+    std::atomic<bool> expired{false};
+    auto worker = [&]() {
+      DeadlineChecker checker(deadline);
+      while (!expired.load(std::memory_order_relaxed)) {
+        const size_t i = next.fetch_add(1);
+        if (i >= end) return;
+        block[i - begin] = LocalPathTrie();
+        if (!EnumeratePathsIntoTrie(db.graph(static_cast<GraphId>(i)),
+                                    options_.max_path_edges, &checker,
+                                    &block[i - begin])) {
+          expired.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    };
+    if (num_threads == 1 || end - begin == 1) {
+      worker();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(num_threads);
+      for (uint32_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+      for (auto& t : threads) t.join();
+    }
+    if (expired.load()) {
+      build_failure_ = BuildFailure::kTimeout;
+      return false;
+    }
+    for (size_t i = begin; i < end; ++i) {
+      MergeLocalTrie(block[i - begin], static_cast<GraphId>(i), &trie_);
+      block[i - begin] = LocalPathTrie();
+    }
+    if (deadline.Expired()) {
+      build_failure_ = BuildFailure::kTimeout;
+      return false;
+    }
+    if (options_.memory_limit_bytes != 0 &&
+        trie_.MemoryBytes() > options_.memory_limit_bytes) {
+      build_failure_ = BuildFailure::kMemory;
+      return false;
+    }
+  }
+  InitMapping(db.size());
+  built_ = true;
+  return true;
+}
+
+bool GrapesIndex::AppendPhysical(const Graph& graph, GraphId physical_id,
+                                 Deadline deadline) {
+  DeadlineChecker checker(deadline);
+  LocalPathTrie features;
+  if (!EnumeratePathsIntoTrie(graph, options_.max_path_edges, &checker,
+                              &features)) {
+    return false;
+  }
+  MergeLocalTrie(features, physical_id, &trie_);
+  num_graphs_ = std::max<size_t>(num_graphs_, physical_id + 1);
+  return true;
+}
+
+std::vector<GraphId> GrapesIndex::FilterPhysical(const Graph& query) const {
+  PathFeatureCounts features;
+  DeadlineChecker unlimited{Deadline::Infinite()};
+  EnumeratePathFeatures(query, options_.max_path_edges, &unlimited,
+                        &features);
+
+  // A graph is a candidate iff it matches every feature with sufficient
+  // multiplicity.
+  std::vector<uint32_t> hits(num_graphs_, 0);
+  uint32_t feature_index = 0;
+  for (const auto& [key, query_count] : features) {
+    const std::vector<uint32_t>* counts = nullptr;
+    const std::vector<GraphId>* graphs = trie_.Find(key, &counts);
+    if (graphs == nullptr) return {};  // feature absent from all graphs
+    SGQ_CHECK(counts != nullptr);
+    for (size_t i = 0; i < graphs->size(); ++i) {
+      if ((*counts)[i] >= query_count && hits[(*graphs)[i]] == feature_index) {
+        ++hits[(*graphs)[i]];
+      }
+    }
+    ++feature_index;
+  }
+  std::vector<GraphId> candidates;
+  for (GraphId g = 0; g < num_graphs_; ++g) {
+    if (hits[g] == feature_index) candidates.push_back(g);
+  }
+  return candidates;
+}
+
+size_t GrapesIndex::MemoryBytes() const { return trie_.MemoryBytes(); }
+
+namespace {
+constexpr uint32_t kGrapesMagic = 0x53475031;  // "SGP1"
+}  // namespace
+
+bool GrapesIndex::SaveTo(std::ostream& out) const {
+  // Persistence is defined for pristine (identity-mapped) indices only;
+  // after removals the physical->logical translation is process state.
+  if (!built_ || !IsIdentityMapping()) return false;
+  WriteU32(out, kGrapesMagic);
+  WriteU32(out, options_.max_path_edges);
+  WriteU64(out, num_graphs_);
+  trie_.SaveTo(out);
+  return static_cast<bool>(out);
+}
+
+bool GrapesIndex::LoadFrom(std::istream& in) {
+  built_ = false;
+  uint32_t magic = 0, max_edges = 0;
+  uint64_t num_graphs = 0;
+  if (!ReadU32(in, &magic) || magic != kGrapesMagic ||
+      !ReadU32(in, &max_edges) || !ReadU64(in, &num_graphs)) {
+    return false;
+  }
+  options_.max_path_edges = max_edges;
+  num_graphs_ = num_graphs;
+  if (!trie_.LoadFrom(in)) return false;
+  InitMapping(num_graphs_);
+  built_ = true;
+  return true;
+}
+
+}  // namespace sgq

@@ -1,0 +1,93 @@
+#include "index/graph_index.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace sgq {
+
+void GraphIndex::InitMapping(size_t num_graphs) {
+  physical_of_logical_.resize(num_graphs);
+  logical_of_physical_.resize(num_graphs);
+  for (size_t i = 0; i < num_graphs; ++i) {
+    physical_of_logical_[i] = static_cast<GraphId>(i);
+    logical_of_physical_[i] = static_cast<GraphId>(i);
+  }
+  identity_ = true;
+}
+
+std::vector<GraphId> GraphIndex::FilterCandidates(const Graph& query) const {
+  SGQ_CHECK(built_);
+  std::vector<GraphId> physical = FilterPhysical(query);
+  if (identity_) return physical;
+  std::vector<GraphId> logical;
+  logical.reserve(physical.size());
+  for (GraphId p : physical) {
+    const GraphId l = logical_of_physical_[p];
+    if (l != kInvalidGraph) logical.push_back(l);
+  }
+  std::sort(logical.begin(), logical.end());
+  return logical;
+}
+
+bool GraphIndex::AppendGraph(const Graph& graph, Deadline deadline) {
+  SGQ_CHECK(built_);
+  const GraphId physical =
+      static_cast<GraphId>(logical_of_physical_.size());
+  const GraphId logical = static_cast<GraphId>(physical_of_logical_.size());
+  if (!AppendPhysical(graph, physical, deadline)) {
+    built_ = false;
+    return false;
+  }
+  logical_of_physical_.push_back(logical);
+  physical_of_logical_.push_back(physical);
+  // Appends preserve identity only if nothing was ever removed.
+  identity_ = identity_ && physical == logical;
+  return true;
+}
+
+void GraphIndex::OnSwapRemove(GraphId id) {
+  SGQ_CHECK(built_);
+  SGQ_CHECK_LT(id, physical_of_logical_.size());
+  const GraphId last_logical =
+      static_cast<GraphId>(physical_of_logical_.size() - 1);
+  const GraphId removed_physical = physical_of_logical_[id];
+  logical_of_physical_[removed_physical] = kInvalidGraph;
+  if (id != last_logical) {
+    const GraphId moved_physical = physical_of_logical_[last_logical];
+    physical_of_logical_[id] = moved_physical;
+    logical_of_physical_[moved_physical] = id;
+  }
+  physical_of_logical_.pop_back();
+  identity_ = false;
+}
+
+bool GraphIndex::SaveToFile(const std::string& path,
+                            std::string* error) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    *error = "cannot open for writing: " + path;
+    return false;
+  }
+  if (!SaveTo(out) || !out) {
+    *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+bool GraphIndex::LoadFromFile(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open: " + path;
+    return false;
+  }
+  if (!LoadFrom(in)) {
+    *error = "corrupt or incompatible index file: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sgq

@@ -1,0 +1,110 @@
+// Common interface of the IFV indices (Algorithm 1): built once over the
+// whole database, queried with a feature-containment filter that returns the
+// candidate graph set C(q) ⊇ A(q).
+//
+// Incremental maintenance: the paper motivates index-free processing with
+// the cost of keeping indices consistent under updates [39]. We implement
+// the one-pass style maintenance: AppendGraph indexes a newly added data
+// graph without rebuilding, and OnSwapRemove mirrors
+// GraphDatabase::Remove's swap-remove semantics. Internally postings keep
+// *physical* (insertion-order) ids and a translation layer maps them to the
+// database's current logical ids, so removals cost O(1) instead of
+// rewriting every posting list.
+#ifndef SGQ_INDEX_GRAPH_INDEX_H_
+#define SGQ_INDEX_GRAPH_INDEX_H_
+
+#include <cstddef>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "util/deadline.h"
+
+namespace sgq {
+
+class GraphIndex {
+ public:
+  // Why the last Build()/AppendGraph() failed (the paper's Tables VI and
+  // VIII distinguish OOT from OOM).
+  enum class BuildFailure { kNone, kTimeout, kMemory };
+
+  virtual ~GraphIndex() = default;
+
+  virtual const char* name() const = 0;
+
+  // Builds the index over the database. Returns false if the deadline
+  // expired (the paper's OOT condition); the index is then unusable.
+  // Concrete implementations must call InitMapping(db.size()) on success.
+  virtual bool Build(const GraphDatabase& db, Deadline deadline) = 0;
+
+  // The filtering step: logical graph ids (sorted ascending) whose indexed
+  // features subsume the query's features. Must never drop a true answer
+  // (no-false-drop invariant).
+  std::vector<GraphId> FilterCandidates(const Graph& query) const;
+
+  // Indexes a graph just appended to the database (its logical id is the
+  // previous database size). Returns false on deadline expiry, after which
+  // the index must be rebuilt before further use.
+  bool AppendGraph(const Graph& graph, Deadline deadline);
+
+  // Mirrors GraphDatabase::Remove(id): the graph at `id` is dropped and the
+  // last graph takes over its id. O(1); stale postings are filtered at
+  // query time.
+  void OnSwapRemove(GraphId id);
+
+  // Number of logical (live) graphs the index currently covers.
+  size_t NumLogicalGraphs() const { return physical_of_logical_.size(); }
+
+  // Footprint of the index structures (paper's memory-cost metric).
+  virtual size_t MemoryBytes() const = 0;
+
+  // Binary persistence (the "Index Storage: Memory/Disk" axis of the
+  // paper's Table II). A built index round-trips through SaveTo/LoadFrom;
+  // LoadFrom returns false on corrupt input or a format mismatch and leaves
+  // the index un-built. Note: indices carrying pending updates are saved
+  // with their translation layer compacted away at load time being
+  // unnecessary — SaveTo is only supported for indices without removals.
+  virtual bool SaveTo(std::ostream& out) const = 0;
+  virtual bool LoadFrom(std::istream& in) = 0;
+
+  // File-path convenience wrappers around SaveTo/LoadFrom.
+  bool SaveToFile(const std::string& path, std::string* error) const;
+  bool LoadFromFile(const std::string& path, std::string* error);
+
+  bool built() const { return built_; }
+
+  BuildFailure build_failure() const { return build_failure_; }
+
+ protected:
+  // Candidates in physical-id space (what the postings store).
+  virtual std::vector<GraphId> FilterPhysical(const Graph& query) const = 0;
+
+  // Indexes one graph under a fresh physical id (strictly larger than all
+  // existing ones). Returns false on deadline expiry.
+  virtual bool AppendPhysical(const Graph& graph, GraphId physical_id,
+                              Deadline deadline) = 0;
+
+  // (Re-)initializes the identity mapping after a full Build/LoadFrom.
+  void InitMapping(size_t num_graphs);
+
+  // True while logical and physical ids coincide (no removals yet).
+  // Persistence only supports this state; see SaveTo.
+  bool IsIdentityMapping() const { return identity_; }
+
+  bool built_ = false;
+  BuildFailure build_failure_ = BuildFailure::kNone;
+
+ private:
+
+  // logical -> physical and physical -> logical (kInvalidGraph = removed).
+  std::vector<GraphId> physical_of_logical_;
+  std::vector<GraphId> logical_of_physical_;
+  bool identity_ = true;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_INDEX_GRAPH_INDEX_H_

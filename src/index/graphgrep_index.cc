@@ -1,0 +1,174 @@
+#include "index/graphgrep_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace sgq {
+
+namespace {
+
+uint64_t HashKey(const FeatureKey& key) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint32_t GraphGrepIndex::BucketOf(const FeatureKey& key) const {
+  return static_cast<uint32_t>(HashKey(key) % options_.num_buckets);
+}
+
+bool GraphGrepIndex::AppendPhysical(const Graph& graph, GraphId physical_id,
+                                    Deadline deadline) {
+  DeadlineChecker checker(deadline);
+  PathFeatureCounts features;
+  if (!EnumeratePathFeatures(graph, options_.max_path_edges, &checker,
+                             &features)) {
+    return false;
+  }
+  // Accumulate per-bucket counts for this graph, then append postings.
+  std::vector<std::pair<uint32_t, uint32_t>> bucket_counts;
+  bucket_counts.reserve(features.size());
+  for (const auto& [key, count] : features) {
+    bucket_counts.emplace_back(BucketOf(key), count);
+  }
+  std::sort(bucket_counts.begin(), bucket_counts.end());
+  for (size_t i = 0; i < bucket_counts.size();) {
+    const uint32_t bucket = bucket_counts[i].first;
+    uint32_t total = 0;
+    while (i < bucket_counts.size() && bucket_counts[i].first == bucket) {
+      total += bucket_counts[i].second;
+      ++i;
+    }
+    auto& postings = buckets_[bucket];
+    SGQ_CHECK(postings.empty() || postings.back().graph < physical_id);
+    postings.push_back({physical_id, total});
+  }
+  num_graphs_ = std::max<size_t>(num_graphs_, physical_id + 1);
+  return true;
+}
+
+bool GraphGrepIndex::Build(const GraphDatabase& db, Deadline deadline) {
+  built_ = false;
+  build_failure_ = BuildFailure::kNone;
+  SGQ_CHECK_GT(options_.num_buckets, 0u);
+  buckets_.assign(options_.num_buckets, {});
+  num_graphs_ = 0;
+  for (GraphId g = 0; g < db.size(); ++g) {
+    if (!AppendPhysical(db.graph(g), g, deadline)) {
+      build_failure_ = BuildFailure::kTimeout;
+      return false;
+    }
+    if (options_.memory_limit_bytes != 0 &&
+        MemoryBytes() > options_.memory_limit_bytes) {
+      build_failure_ = BuildFailure::kMemory;
+      return false;
+    }
+  }
+  InitMapping(db.size());
+  built_ = true;
+  return true;
+}
+
+std::vector<GraphId> GraphGrepIndex::FilterPhysical(
+    const Graph& query) const {
+  PathFeatureCounts features;
+  DeadlineChecker unlimited{Deadline::Infinite()};
+  EnumeratePathFeatures(query, options_.max_path_edges, &unlimited,
+                        &features);
+  // Merge the query features bucket-wise (colliding features must add up
+  // on the query side too, or the count test would be unsound).
+  std::vector<std::pair<uint32_t, uint32_t>> needed;
+  needed.reserve(features.size());
+  for (const auto& [key, count] : features) {
+    needed.emplace_back(BucketOf(key), count);
+  }
+  std::sort(needed.begin(), needed.end());
+
+  std::vector<uint32_t> hits(num_graphs_, 0);
+  uint32_t num_required = 0;
+  for (size_t i = 0; i < needed.size();) {
+    const uint32_t bucket = needed[i].first;
+    uint32_t required = 0;
+    while (i < needed.size() && needed[i].first == bucket) {
+      required += needed[i].second;
+      ++i;
+    }
+    for (const Posting& p : buckets_[bucket]) {
+      if (p.count >= required && hits[p.graph] == num_required) {
+        ++hits[p.graph];
+      }
+    }
+    ++num_required;
+  }
+  std::vector<GraphId> candidates;
+  for (GraphId g = 0; g < num_graphs_; ++g) {
+    if (hits[g] == num_required) candidates.push_back(g);
+  }
+  return candidates;
+}
+
+size_t GraphGrepIndex::MemoryBytes() const {
+  size_t bytes = buckets_.capacity() * sizeof(std::vector<Posting>);
+  for (const auto& postings : buckets_) {
+    bytes += postings.capacity() * sizeof(Posting);
+  }
+  return bytes;
+}
+
+namespace {
+constexpr uint32_t kGraphGrepMagic = 0x53474731;  // "SGG1"
+}  // namespace
+
+bool GraphGrepIndex::SaveTo(std::ostream& out) const {
+  if (!built_ || !IsIdentityMapping()) return false;
+  WriteU32(out, kGraphGrepMagic);
+  WriteU32(out, options_.max_path_edges);
+  WriteU32(out, options_.num_buckets);
+  WriteU64(out, num_graphs_);
+  for (const auto& postings : buckets_) {
+    WriteU64(out, postings.size());
+    for (const Posting& p : postings) {
+      WriteU32(out, p.graph);
+      WriteU32(out, p.count);
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool GraphGrepIndex::LoadFrom(std::istream& in) {
+  built_ = false;
+  uint32_t magic = 0;
+  uint64_t num_graphs = 0;
+  if (!ReadU32(in, &magic) || magic != kGraphGrepMagic ||
+      !ReadU32(in, &options_.max_path_edges) ||
+      !ReadU32(in, &options_.num_buckets) || options_.num_buckets == 0 ||
+      options_.num_buckets > (1u << 28) || !ReadU64(in, &num_graphs) ||
+      num_graphs > (uint64_t{1} << 32)) {
+    return false;
+  }
+  num_graphs_ = num_graphs;
+  buckets_.assign(options_.num_buckets, {});
+  for (auto& postings : buckets_) {
+    uint64_t size = 0;
+    if (!ReadU64(in, &size) || size > num_graphs_) return false;
+    postings.resize(size);
+    for (Posting& p : postings) {
+      if (!ReadU32(in, &p.graph) || !ReadU32(in, &p.count) ||
+          p.graph >= num_graphs_) {
+        return false;
+      }
+    }
+  }
+  InitMapping(num_graphs_);
+  built_ = true;
+  return true;
+}
+
+}  // namespace sgq

@@ -1,0 +1,63 @@
+// GraphGrep [30]: the original enumeration-based path index (Table II).
+//
+// Same labeled-path features as Grapes/GGSX, but stored in a fixed-width
+// hash table (GraphGrep's "fingerprint"): each path key hashes to one of
+// `num_buckets` buckets carrying (graph, count) postings. Collisions merge
+// distinct features into one bucket, which only ever *adds* spurious
+// counts — the filter stays sound (no false drops) but gets less precise
+// as the bucket count shrinks; this storage/precision trade-off versus the
+// exact tries of Grapes/GGSX is exactly what the ablation bench measures.
+#ifndef SGQ_INDEX_GRAPHGREP_INDEX_H_
+#define SGQ_INDEX_GRAPHGREP_INDEX_H_
+
+#include <vector>
+
+#include "index/graph_index.h"
+#include "index/path_enumerator.h"
+
+namespace sgq {
+
+struct GraphGrepOptions {
+  uint32_t max_path_edges = 4;
+  // Build-time memory budget for the index structures; 0 = unlimited.
+  // Exceeding it aborts the build with BuildFailure::kMemory (the paper's
+  // OOM condition, scaled).
+  size_t memory_limit_bytes = 0;
+  uint32_t num_buckets = 1 << 14;
+};
+
+class GraphGrepIndex : public GraphIndex {
+ public:
+  explicit GraphGrepIndex(GraphGrepOptions options = {})
+      : options_(options) {}
+
+  const char* name() const override { return "GraphGrep"; }
+
+  bool Build(const GraphDatabase& db, Deadline deadline) override;
+
+  size_t MemoryBytes() const override;
+
+  bool SaveTo(std::ostream& out) const override;
+  bool LoadFrom(std::istream& in) override;
+
+ protected:
+  std::vector<GraphId> FilterPhysical(const Graph& query) const override;
+  bool AppendPhysical(const Graph& graph, GraphId physical_id,
+                      Deadline deadline) override;
+
+ private:
+  struct Posting {
+    GraphId graph = 0;
+    uint32_t count = 0;
+  };
+
+  uint32_t BucketOf(const FeatureKey& key) const;
+
+  GraphGrepOptions options_;
+  size_t num_graphs_ = 0;
+  std::vector<std::vector<Posting>> buckets_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_INDEX_GRAPHGREP_INDEX_H_

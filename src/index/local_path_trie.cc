@@ -1,0 +1,109 @@
+#include "index/local_path_trie.h"
+
+#include <algorithm>
+
+namespace sgq {
+
+uint32_t LocalPathTrie::ChildOrCreate(uint32_t node, Label label) {
+  auto& children = nodes_[node].children;
+  auto it = std::lower_bound(
+      children.begin(), children.end(), label,
+      [](const auto& entry, Label l) { return entry.first < l; });
+  if (it != children.end() && it->first == label) return it->second;
+  const uint32_t child = static_cast<uint32_t>(nodes_.size());
+  const size_t offset = static_cast<size_t>(it - children.begin());
+  nodes_.emplace_back();  // may invalidate `children`/`it`
+  auto& fresh_children = nodes_[node].children;
+  fresh_children.insert(fresh_children.begin() + static_cast<long>(offset),
+                        {label, child});
+  return child;
+}
+
+size_t LocalPathTrie::MemoryBytes() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_) {
+    bytes += n.children.capacity() * sizeof(std::pair<Label, uint32_t>);
+  }
+  return bytes;
+}
+
+namespace {
+
+struct TrieEnumState {
+  const Graph& graph;
+  uint32_t max_edges;
+  DeadlineChecker* checker;
+  LocalPathTrie* out;
+
+  std::vector<Label> labels;      // labels along the current path
+  std::vector<uint32_t> nodes;    // trie node per path position
+  std::vector<bool> on_path;
+  bool expired = false;
+
+  // Canonical-direction rule: count iff forward <= reversed.
+  bool IsCanonical() const {
+    const size_t n = labels.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (labels[i] < labels[n - 1 - i]) return true;
+      if (labels[i] > labels[n - 1 - i]) return false;
+    }
+    return true;  // palindrome
+  }
+
+  void Extend(VertexId v) {
+    if (expired) return;
+    if (checker != nullptr && checker->Tick()) {
+      expired = true;
+      return;
+    }
+    const Label label = graph.label(v);
+    nodes.push_back(out->ChildOrCreate(nodes.back(), label));
+    labels.push_back(label);
+    on_path[v] = true;
+    if (IsCanonical()) out->AddCount(nodes.back(), 1);
+    if (labels.size() <= max_edges) {
+      for (VertexId w : graph.Neighbors(v)) {
+        if (!on_path[w]) Extend(w);
+        if (expired) break;
+      }
+    }
+    on_path[v] = false;
+    labels.pop_back();
+    nodes.pop_back();
+  }
+};
+
+}  // namespace
+
+bool EnumeratePathsIntoTrie(const Graph& graph, uint32_t max_edges,
+                            DeadlineChecker* checker, LocalPathTrie* out) {
+  TrieEnumState state{graph, max_edges, checker, out, {}, {}, {}, false};
+  state.nodes.push_back(out->root());
+  state.on_path.assign(graph.NumVertices(), false);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    state.Extend(v);
+    if (state.expired) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void MergeNode(const LocalPathTrie& local, uint32_t local_node, GraphId graph,
+               PathTrie* global, uint32_t global_node) {
+  const LocalPathTrie::Node& n = local.node(local_node);
+  if (n.count > 0) global->AddPosting(global_node, graph, n.count);
+  for (const auto& [label, child] : n.children) {
+    MergeNode(local, child, graph, global,
+              global->ChildOrCreate(global_node, label));
+  }
+}
+
+}  // namespace
+
+void MergeLocalTrie(const LocalPathTrie& local, GraphId graph,
+                    PathTrie* global) {
+  MergeNode(local, local.root(), graph, global, global->root());
+}
+
+}  // namespace sgq

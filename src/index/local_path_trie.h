@@ -1,0 +1,59 @@
+// Per-graph path-feature trie used during index construction.
+//
+// Index builds are dominated by simple-path enumeration; hashing a packed
+// string key per traversal is ~25x slower than walking a trie node-by-node
+// as the DFS extends and retracts the path. Each thread builds one
+// LocalPathTrie per data graph, then merges it into the global PathTrie in
+// lockstep (no string keys anywhere on the build path).
+#ifndef SGQ_INDEX_LOCAL_PATH_TRIE_H_
+#define SGQ_INDEX_LOCAL_PATH_TRIE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "index/path_trie.h"
+#include "util/deadline.h"
+
+namespace sgq {
+
+class LocalPathTrie {
+ public:
+  LocalPathTrie() { nodes_.emplace_back(); }
+
+  struct Node {
+    std::vector<std::pair<Label, uint32_t>> children;  // sorted by label
+    uint32_t count = 0;  // occurrences of the path spelled by this node
+  };
+
+  uint32_t root() const { return 0; }
+  const Node& node(uint32_t id) const { return nodes_[id]; }
+  size_t NumNodes() const { return nodes_.size(); }
+
+  // Child of `node` along `label`, creating it if needed.
+  uint32_t ChildOrCreate(uint32_t node, Label label);
+
+  void AddCount(uint32_t node, uint32_t count) { nodes_[node].count += count; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+// Enumerates all simple-path features with 0..max_edges edges into the
+// trie, applying the canonical-direction rule of EnumeratePathFeatures
+// (count a traversal iff its label sequence <= the reverse). Returns false
+// on deadline expiry (trie contents are then incomplete).
+bool EnumeratePathsIntoTrie(const Graph& graph, uint32_t max_edges,
+                            DeadlineChecker* checker, LocalPathTrie* out);
+
+// Merges a per-graph trie into the global index trie: every node with a
+// non-zero count becomes a posting (graph, count). Graphs must be merged in
+// non-decreasing id order.
+void MergeLocalTrie(const LocalPathTrie& local, GraphId graph,
+                    PathTrie* global);
+
+}  // namespace sgq
+
+#endif  // SGQ_INDEX_LOCAL_PATH_TRIE_H_

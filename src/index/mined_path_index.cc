@@ -1,0 +1,225 @@
+#include "index/mined_path_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace sgq {
+
+namespace {
+
+std::vector<Label> DecodeKey(const FeatureKey& key) {
+  std::vector<Label> labels(KeyLength(key));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    std::memcpy(&labels[i], key.data() + i * 4, 4);
+  }
+  return labels;
+}
+
+FeatureKey EncodeCanonical(const std::vector<Label>& labels) {
+  // Canonical direction: the lexicographically smaller of the sequence and
+  // its reverse (matches the path enumerator's convention).
+  std::vector<Label> reversed(labels.rbegin(), labels.rend());
+  const std::vector<Label>& canonical =
+      labels <= reversed ? labels : reversed;
+  FeatureKey key;
+  key.reserve(canonical.size() * 4);
+  for (Label l : canonical) AppendLabelToKey(l, &key);
+  return key;
+}
+
+// All canonical contiguous sub-sequences of length >= 1 (excluding the
+// full sequence itself).
+std::vector<FeatureKey> ProperSubpaths(const std::vector<Label>& labels) {
+  std::vector<FeatureKey> out;
+  for (size_t len = 1; len < labels.size(); ++len) {
+    for (size_t start = 0; start + len <= labels.size(); ++start) {
+      out.push_back(EncodeCanonical(std::vector<Label>(
+          labels.begin() + static_cast<long>(start),
+          labels.begin() + static_cast<long>(start + len))));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<GraphId> Intersect(const std::vector<GraphId>& a,
+                               const std::vector<GraphId>& b) {
+  std::vector<GraphId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+bool MinedPathIndex::Build(const GraphDatabase& db, Deadline deadline) {
+  built_ = false;
+  build_failure_ = BuildFailure::kNone;
+  postings_.clear();
+  num_graphs_ = db.size();
+  DeadlineChecker checker(deadline);
+
+  // Phase 1 (candidate generation): posting lists for every enumerated
+  // path feature.
+  std::unordered_map<FeatureKey, std::vector<GraphId>> all;
+  for (GraphId g = 0; g < db.size(); ++g) {
+    PathFeatureCounts features;
+    if (!EnumeratePathFeatures(db.graph(g), options_.max_path_edges, &checker,
+                               &features)) {
+      build_failure_ = BuildFailure::kTimeout;
+      return false;
+    }
+    for (const auto& [key, count] : features) {
+      auto& postings = all[key];
+      if (postings.empty() || postings.back() != g) postings.push_back(g);
+    }
+    if (checker.Tick()) {
+      build_failure_ = BuildFailure::kTimeout;
+      return false;
+    }
+  }
+
+  // Phase 2 (frequent filter), processed shortest-first so sub-features are
+  // selected before their super-features.
+  const size_t min_count = std::max<size_t>(
+      1, static_cast<size_t>(options_.min_support * db.size()));
+  std::map<size_t, std::vector<const FeatureKey*>> by_length;
+  for (const auto& [key, postings] : all) {
+    if (postings.size() >= min_count) {
+      by_length[KeyLength(key)].push_back(&key);
+    }
+  }
+
+  // Phase 3 (discriminative selection, gIndex style).
+  for (const auto& [length, keys] : by_length) {
+    for (const FeatureKey* key : keys) {
+      const auto& postings = all.at(*key);
+      if (length <= 1) {
+        postings_.emplace(*key, postings);  // labels are always kept
+        continue;
+      }
+      // Candidates implied by already-selected sub-features.
+      std::vector<GraphId> implied;
+      bool first = true;
+      for (const FeatureKey& sub : ProperSubpaths(DecodeKey(*key))) {
+        const auto it = postings_.find(sub);
+        if (it == postings_.end()) continue;
+        implied = first ? it->second : Intersect(implied, it->second);
+        first = false;
+        if (implied.size() == postings.size()) break;  // cannot discriminate
+      }
+      if (first) {
+        // No selected sub-feature: everything is implied.
+        postings_.emplace(*key, postings);
+        continue;
+      }
+      if (static_cast<double>(implied.size()) >=
+          options_.discriminative_ratio *
+              static_cast<double>(postings.size())) {
+        postings_.emplace(*key, postings);
+      }
+    }
+    if (checker.Tick()) {
+      build_failure_ = BuildFailure::kTimeout;
+      return false;
+    }
+  }
+
+  if (options_.memory_limit_bytes != 0 &&
+      MemoryBytes() > options_.memory_limit_bytes) {
+    build_failure_ = BuildFailure::kMemory;
+    return false;
+  }
+  InitMapping(db.size());
+  built_ = true;
+  return true;
+}
+
+std::vector<GraphId> MinedPathIndex::FilterPhysical(
+    const Graph& query) const {
+  PathFeatureCounts features;
+  DeadlineChecker unlimited{Deadline::Infinite()};
+  EnumeratePathFeatures(query, options_.max_path_edges, &unlimited,
+                        &features);
+  std::vector<GraphId> candidates(num_graphs_);
+  for (GraphId g = 0; g < num_graphs_; ++g) candidates[g] = g;
+  for (const auto& [key, count] : features) {
+    const auto it = postings_.find(key);
+    if (it == postings_.end()) continue;  // unindexed feature: cannot prune
+    candidates = Intersect(candidates, it->second);
+    if (candidates.empty()) break;
+  }
+  return candidates;
+}
+
+bool MinedPathIndex::AppendPhysical(const Graph& graph, GraphId physical_id,
+                                    Deadline deadline) {
+  (void)graph;
+  (void)physical_id;
+  (void)deadline;
+  // Feature selection depends on global support ratios; incremental
+  // maintenance would invalidate it (the classic mining-based drawback).
+  return false;
+}
+
+size_t MinedPathIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, postings] : postings_) {
+    bytes += key.capacity() + postings.capacity() * sizeof(GraphId) +
+             sizeof(void*) * 4;  // hash-table node overhead estimate
+  }
+  return bytes;
+}
+
+namespace {
+constexpr uint32_t kMinedMagic = 0x534d5031;  // "SMP1"
+}  // namespace
+
+bool MinedPathIndex::SaveTo(std::ostream& out) const {
+  if (!built_ || !IsIdentityMapping()) return false;
+  WriteU32(out, kMinedMagic);
+  WriteU32(out, options_.max_path_edges);
+  WriteU64(out, num_graphs_);
+  WriteU64(out, postings_.size());
+  for (const auto& [key, postings] : postings_) {
+    WriteU64(out, key.size());
+    out.write(key.data(), static_cast<long>(key.size()));
+    WriteU32Vector(out, postings);
+  }
+  return static_cast<bool>(out);
+}
+
+bool MinedPathIndex::LoadFrom(std::istream& in) {
+  built_ = false;
+  postings_.clear();
+  uint32_t magic = 0;
+  uint64_t num_graphs = 0, num_features = 0;
+  if (!ReadU32(in, &magic) || magic != kMinedMagic ||
+      !ReadU32(in, &options_.max_path_edges) || !ReadU64(in, &num_graphs) ||
+      num_graphs > (uint64_t{1} << 32) || !ReadU64(in, &num_features) ||
+      num_features > (uint64_t{1} << 32)) {
+    return false;
+  }
+  num_graphs_ = num_graphs;
+  for (uint64_t i = 0; i < num_features; ++i) {
+    uint64_t key_size = 0;
+    if (!ReadU64(in, &key_size) || key_size % 4 != 0 || key_size > 1024) {
+      return false;
+    }
+    FeatureKey key(key_size, '\0');
+    if (!in.read(key.data(), static_cast<long>(key_size))) return false;
+    std::vector<GraphId> postings;
+    if (!ReadU32Vector(in, num_graphs_, &postings)) return false;
+    postings_.emplace(std::move(key), std::move(postings));
+  }
+  InitMapping(num_graphs_);
+  built_ = true;
+  return true;
+}
+
+}  // namespace sgq

@@ -1,0 +1,78 @@
+#include "index/path_enumerator.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sgq {
+
+void AppendLabelToKey(Label label, FeatureKey* key) {
+  key->push_back(static_cast<char>(label & 0xff));
+  key->push_back(static_cast<char>((label >> 8) & 0xff));
+  key->push_back(static_cast<char>((label >> 16) & 0xff));
+  key->push_back(static_cast<char>((label >> 24) & 0xff));
+}
+
+FeatureKey MakePathKey(std::initializer_list<Label> labels) {
+  FeatureKey key;
+  key.reserve(labels.size() * 4);
+  for (Label l : labels) AppendLabelToKey(l, &key);
+  return key;
+}
+
+namespace {
+
+struct PathEnumState {
+  const Graph& graph;
+  uint32_t max_edges;
+  DeadlineChecker* checker;
+  PathFeatureCounts* out;
+
+  std::vector<VertexId> path;
+  std::vector<bool> on_path;
+  FeatureKey forward;   // labels along the path
+  FeatureKey backward;  // labels along the reversed path
+  bool expired = false;
+
+  void Emit() {
+    // Canonical-direction rule: count iff forward <= backward.
+    if (forward <= backward) ++(*out)[forward];
+  }
+
+  void Extend(VertexId v) {
+    if (expired) return;
+    if (checker != nullptr && checker->Tick()) {
+      expired = true;
+      return;
+    }
+    path.push_back(v);
+    on_path[v] = true;
+    AppendLabelToKey(graph.label(v), &forward);
+    backward.insert(backward.begin(), forward.end() - 4, forward.end());
+    Emit();
+    if (path.size() <= max_edges) {
+      for (VertexId w : graph.Neighbors(v)) {
+        if (!on_path[w]) Extend(w);
+        if (expired) break;
+      }
+    }
+    forward.resize(forward.size() - 4);
+    backward.erase(backward.begin(), backward.begin() + 4);
+    on_path[v] = false;
+    path.pop_back();
+  }
+};
+
+}  // namespace
+
+bool EnumeratePathFeatures(const Graph& graph, uint32_t max_edges,
+                           DeadlineChecker* checker, PathFeatureCounts* out) {
+  PathEnumState state{graph, max_edges, checker, out, {}, {}, {}, {}, false};
+  state.on_path.assign(graph.NumVertices(), false);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    state.Extend(v);
+    if (state.expired) return false;
+  }
+  return true;
+}
+
+}  // namespace sgq

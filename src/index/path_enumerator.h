@@ -1,0 +1,45 @@
+// Labeled-path feature enumeration shared by Grapes and GGSX.
+//
+// A path feature is the label sequence along a simple path (distinct
+// vertices). Each undirected path occurrence is counted once, using the
+// canonical-direction rule: a traversal contributes iff its label sequence
+// is lexicographically <= the reverse sequence. (Palindromic label
+// sequences contribute from both directions; since query and data features
+// are counted with the same convention, the containment test
+// count_q(f) <= count_G(f) stays sound.)
+#ifndef SGQ_INDEX_PATH_ENUMERATOR_H_
+#define SGQ_INDEX_PATH_ENUMERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "util/deadline.h"
+
+namespace sgq {
+
+// A feature key: the label sequence packed little-endian, 4 bytes per label
+// (hashable, totally ordered).
+using FeatureKey = std::string;
+
+// Appends a label to a key.
+void AppendLabelToKey(Label label, FeatureKey* key);
+
+// Builds the key for an explicit label sequence.
+FeatureKey MakePathKey(std::initializer_list<Label> labels);
+
+// Number of labels in a key.
+inline size_t KeyLength(const FeatureKey& key) { return key.size() / 4; }
+
+using PathFeatureCounts = std::unordered_map<FeatureKey, uint32_t>;
+
+// Enumerates all simple-path features with 0..max_edges edges (length-0
+// paths are single vertex labels). Returns false if the deadline expired
+// mid-enumeration (counts are then incomplete and must be discarded).
+bool EnumeratePathFeatures(const Graph& graph, uint32_t max_edges,
+                           DeadlineChecker* checker, PathFeatureCounts* out);
+
+}  // namespace sgq
+
+#endif  // SGQ_INDEX_PATH_ENUMERATOR_H_

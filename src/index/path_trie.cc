@@ -1,0 +1,129 @@
+#include "index/path_trie.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace sgq {
+
+namespace {
+
+Label LabelAt(const FeatureKey& key, size_t index) {
+  uint32_t value = 0;
+  std::memcpy(&value, key.data() + index * 4, 4);
+  return value;
+}
+
+}  // namespace
+
+int64_t PathTrie::FindChild(uint32_t node, Label label) const {
+  const auto& children = nodes_[node].children;
+  auto it = std::lower_bound(
+      children.begin(), children.end(), label,
+      [](const auto& entry, Label l) { return entry.first < l; });
+  if (it == children.end() || it->first != label) return -1;
+  return it->second;
+}
+
+uint32_t PathTrie::ChildOrCreate(uint32_t node, Label label) {
+  const int64_t existing = FindChild(node, label);
+  if (existing >= 0) return static_cast<uint32_t>(existing);
+  const uint32_t child = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  auto& children = nodes_[node].children;
+  children.emplace_back(label, child);
+  std::sort(children.begin(), children.end());
+  return child;
+}
+
+void PathTrie::AddPosting(uint32_t node, GraphId graph, uint32_t count) {
+  Node& n = nodes_[node];
+  if (!n.graphs.empty() && n.graphs.back() == graph) {
+    if (store_counts_) n.counts.back() += count;
+    return;
+  }
+  SGQ_CHECK(n.graphs.empty() || n.graphs.back() < graph)
+      << "graphs must be inserted in id order";
+  n.graphs.push_back(graph);
+  if (store_counts_) n.counts.push_back(count);
+}
+
+void PathTrie::Insert(const FeatureKey& key, GraphId graph, uint32_t count) {
+  SGQ_CHECK_EQ(key.size() % 4, 0u);
+  uint32_t node = 0;
+  for (size_t i = 0; i < KeyLength(key); ++i) {
+    node = ChildOrCreate(node, LabelAt(key, i));
+  }
+  AddPosting(node, graph, count);
+}
+
+const std::vector<GraphId>* PathTrie::Find(
+    const FeatureKey& key, const std::vector<uint32_t>** counts) const {
+  uint32_t node = 0;
+  for (size_t i = 0; i < KeyLength(key); ++i) {
+    const int64_t child = FindChild(node, LabelAt(key, i));
+    if (child < 0) return nullptr;
+    node = static_cast<uint32_t>(child);
+  }
+  if (counts != nullptr) {
+    *counts = store_counts_ ? &nodes_[node].counts : nullptr;
+  }
+  return &nodes_[node].graphs;
+}
+
+void PathTrie::SaveTo(std::ostream& out) const {
+  WriteU32(out, store_counts_ ? 1 : 0);
+  WriteU64(out, nodes_.size());
+  for (const Node& n : nodes_) {
+    WriteU64(out, n.children.size());
+    for (const auto& [label, child] : n.children) {
+      WriteU32(out, label);
+      WriteU32(out, child);
+    }
+    WriteU32Vector(out, n.graphs);
+    WriteU32Vector(out, n.counts);
+  }
+}
+
+bool PathTrie::LoadFrom(std::istream& in) {
+  constexpr uint64_t kMaxEntries = uint64_t{1} << 34;
+  uint32_t store_counts = 0;
+  uint64_t num_nodes = 0;
+  if (!ReadU32(in, &store_counts) || store_counts > 1 ||
+      !ReadU64(in, &num_nodes) || num_nodes == 0 ||
+      num_nodes > kMaxEntries) {
+    return false;
+  }
+  store_counts_ = store_counts != 0;
+  nodes_.assign(num_nodes, Node());
+  for (Node& n : nodes_) {
+    uint64_t num_children = 0;
+    if (!ReadU64(in, &num_children) || num_children > kMaxEntries) {
+      return false;
+    }
+    n.children.resize(num_children);
+    for (auto& [label, child] : n.children) {
+      if (!ReadU32(in, &label) || !ReadU32(in, &child)) return false;
+      if (child >= num_nodes) return false;
+    }
+    if (!ReadU32Vector(in, kMaxEntries, &n.graphs)) return false;
+    if (!ReadU32Vector(in, kMaxEntries, &n.counts)) return false;
+    if (store_counts_ && n.counts.size() != n.graphs.size()) return false;
+    if (!store_counts_ && !n.counts.empty()) return false;
+  }
+  return true;
+}
+
+size_t PathTrie::MemoryBytes() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_) {
+    bytes += n.children.capacity() * sizeof(std::pair<Label, uint32_t>) +
+             n.graphs.capacity() * sizeof(GraphId) +
+             n.counts.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace sgq

@@ -1,0 +1,65 @@
+// A trie over packed label sequences with per-node graph postings — the
+// storage behind both Grapes (postings with occurrence counts) and GGSX
+// (presence-only postings in a suffix-closed trie).
+#ifndef SGQ_INDEX_PATH_TRIE_H_
+#define SGQ_INDEX_PATH_TRIE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "graph/types.h"
+#include "index/path_enumerator.h"
+
+namespace sgq {
+
+class PathTrie {
+ public:
+  // store_counts: keep an occurrence count per (node, graph) posting.
+  explicit PathTrie(bool store_counts) : store_counts_(store_counts) {
+    nodes_.emplace_back();  // root
+  }
+
+  // Records `count` occurrences of the label sequence `key` in `graph`.
+  // Graphs must be inserted in non-decreasing id order (postings stay
+  // sorted); repeated insertions for the same (key, graph) accumulate.
+  void Insert(const FeatureKey& key, GraphId graph, uint32_t count);
+
+  // Postings of the node spelling `key`, or nullptr if no such node.
+  // `counts` receives the parallel count array (nullptr when the trie does
+  // not store counts or the caller passes nullptr).
+  const std::vector<GraphId>* Find(
+      const FeatureKey& key, const std::vector<uint32_t>** counts) const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t MemoryBytes() const;
+
+  // Binary persistence. LoadFrom replaces the trie contents; returns false
+  // (leaving the trie unusable) on truncated or corrupt input.
+  void SaveTo(std::ostream& out) const;
+  bool LoadFrom(std::istream& in);
+
+  // Label-wise navigation for key-free bulk merges (see LocalPathTrie):
+  // descend (creating nodes as needed) and attach postings directly.
+  uint32_t root() const { return 0; }
+  uint32_t ChildOrCreate(uint32_t node, Label label);
+  void AddPosting(uint32_t node, GraphId graph, uint32_t count);
+
+ private:
+  struct Node {
+    // Sorted (label, child-node index) pairs.
+    std::vector<std::pair<Label, uint32_t>> children;
+    std::vector<GraphId> graphs;
+    std::vector<uint32_t> counts;  // parallel to graphs iff store_counts_
+  };
+
+  int64_t FindChild(uint32_t node, Label label) const;
+
+  bool store_counts_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_INDEX_PATH_TRIE_H_

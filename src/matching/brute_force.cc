@@ -1,0 +1,39 @@
+#include "matching/brute_force.h"
+
+#include "graph/graph_utils.h"
+#include "util/logging.h"
+
+namespace sgq {
+
+uint64_t BruteForceEnumerate(const Graph& query, const Graph& data,
+                             uint64_t limit,
+                             const EmbeddingCallback& callback) {
+  SGQ_CHECK_GT(query.NumVertices(), 0u);
+  if (data.NumVertices() == 0 || limit == 0) return 0;
+  // Label-only candidate sets + BFS order, then the shared backtracker.
+  CandidateSets phi(query.NumVertices());
+  for (VertexId u = 0; u < query.NumVertices(); ++u) {
+    const auto with_label = data.VerticesWithLabel(query.label(u));
+    phi.mutable_set(u).assign(with_label.begin(), with_label.end());
+  }
+  const BfsTree tree = BuildBfsTree(query, 0);
+  const EnumerateResult result = BacktrackOverCandidates(
+      query, data, phi, tree.order, limit, /*checker=*/nullptr, callback);
+  return result.embeddings;
+}
+
+bool BruteForceContains(const Graph& query, const Graph& data) {
+  return BruteForceEnumerate(query, data, /*limit=*/1) > 0;
+}
+
+std::vector<std::vector<VertexId>> BruteForceAllEmbeddings(
+    const Graph& query, const Graph& data) {
+  std::vector<std::vector<VertexId>> embeddings;
+  BruteForceEnumerate(query, data, UINT64_MAX,
+                      [&](const std::vector<VertexId>& mapping) {
+                        embeddings.push_back(mapping);
+                      });
+  return embeddings;
+}
+
+}  // namespace sgq

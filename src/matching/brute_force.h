@@ -1,0 +1,32 @@
+// Brute-force subgraph isomorphism enumeration: the test oracle.
+//
+// No candidate filtering beyond the label check, BFS-order backtracking.
+// Exponential, only suitable for the small graphs used in tests — every
+// optimized matcher is validated against this.
+#ifndef SGQ_MATCHING_BRUTE_FORCE_H_
+#define SGQ_MATCHING_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "matching/matcher.h"
+
+namespace sgq {
+
+// Enumerates subgraph isomorphisms from `query` (connected, non-empty) to
+// `data`, invoking `callback` for each, up to `limit`.
+uint64_t BruteForceEnumerate(const Graph& query, const Graph& data,
+                             uint64_t limit,
+                             const EmbeddingCallback& callback = nullptr);
+
+// True iff query ⊆ data.
+bool BruteForceContains(const Graph& query, const Graph& data);
+
+// Collects all embeddings as mapping vectors (query vertex -> data vertex).
+std::vector<std::vector<VertexId>> BruteForceAllEmbeddings(const Graph& query,
+                                                           const Graph& data);
+
+}  // namespace sgq
+
+#endif  // SGQ_MATCHING_BRUTE_FORCE_H_

@@ -1,0 +1,55 @@
+#include "matching/candidate_space.h"
+
+#include <algorithm>
+
+#include "graph/graph_utils.h"
+
+namespace sgq {
+
+bool CandidateSets::Contains(VertexId u, VertexId v) const {
+  const auto& s = sets_[u];
+  return std::binary_search(s.begin(), s.end(), v);
+}
+
+bool CandidateSets::AllNonEmpty() const {
+  for (const auto& s : sets_) {
+    if (s.empty()) return false;
+  }
+  return !sets_.empty();
+}
+
+uint64_t CandidateSets::TotalCandidates() const {
+  uint64_t total = 0;
+  for (const auto& s : sets_) total += s.size();
+  return total;
+}
+
+size_t CandidateSets::MemoryBytes() const {
+  size_t bytes = sets_.capacity() * sizeof(std::vector<VertexId>);
+  for (const auto& s : sets_) bytes += s.capacity() * sizeof(VertexId);
+  return bytes;
+}
+
+bool PassesLdfNlf(const Graph& query, const Graph& data, VertexId u,
+                  VertexId v, bool use_nlf) {
+  if (data.label(v) != query.label(u)) return false;
+  if (data.degree(v) < query.degree(u)) return false;
+  if (use_nlf &&
+      !SortedMultisetContains(data.NeighborLabels(v),
+                              query.NeighborLabels(u))) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<VertexId> LdfNlfCandidates(const Graph& query, const Graph& data,
+                                       VertexId u, bool use_nlf) {
+  std::vector<VertexId> result;
+  for (VertexId v : data.VerticesWithLabel(query.label(u))) {
+    if (PassesLdfNlf(query, data, u, v, use_nlf)) result.push_back(v);
+  }
+  // VerticesWithLabel is sorted, so result is sorted.
+  return result;
+}
+
+}  // namespace sgq

@@ -1,0 +1,61 @@
+// Candidate vertex sets Φ (Definition III.1) and the label-degree-frequency
+// primitives all preprocessing-enumeration matchers share.
+#ifndef SGQ_MATCHING_CANDIDATE_SPACE_H_
+#define SGQ_MATCHING_CANDIDATE_SPACE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace sgq {
+
+// Φ: one sorted candidate vertex list per query vertex. A complete Φ
+// (Definition III.1) contains, for every query vertex u, every data vertex v
+// that appears as (u, v) in some subgraph isomorphism; emptiness of any
+// Φ(u) therefore proves non-containment (Proposition III.1).
+class CandidateSets {
+ public:
+  CandidateSets() = default;
+  explicit CandidateSets(uint32_t num_query_vertices)
+      : sets_(num_query_vertices) {}
+
+  uint32_t NumQueryVertices() const {
+    return static_cast<uint32_t>(sets_.size());
+  }
+
+  std::vector<VertexId>& mutable_set(VertexId u) { return sets_[u]; }
+  const std::vector<VertexId>& set(VertexId u) const { return sets_[u]; }
+
+  // Binary search; candidate lists are kept sorted.
+  bool Contains(VertexId u, VertexId v) const;
+
+  // True iff every query vertex has at least one candidate (the vcFV
+  // filtering test, Algorithm 2 line 5).
+  bool AllNonEmpty() const;
+
+  // Sum of candidate-list sizes (the paper's memory-cost metric counts the
+  // auxiliary structures; see MemoryBytes).
+  uint64_t TotalCandidates() const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::vector<VertexId>> sets_;
+};
+
+// The LDF+NLF candidate generator: data vertices with the query vertex's
+// label, at least its degree, and a neighbor-label multiset containing the
+// query vertex's (the "neighborhood profile" of GraphQL). `use_nlf` toggles
+// the profile check (kept as an ablation knob).
+std::vector<VertexId> LdfNlfCandidates(const Graph& query, const Graph& data,
+                                       VertexId u, bool use_nlf);
+
+// True iff data vertex v passes LDF(+NLF) for query vertex u.
+bool PassesLdfNlf(const Graph& query, const Graph& data, VertexId u,
+                  VertexId v, bool use_nlf);
+
+}  // namespace sgq
+
+#endif  // SGQ_MATCHING_CANDIDATE_SPACE_H_

@@ -1,0 +1,336 @@
+#include "matching/cfl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sgq {
+
+size_t CpiData::MemoryBytes() const {
+  size_t bytes = phi.MemoryBytes();
+  bytes += tree.parent.capacity() * sizeof(VertexId) +
+           tree.level.capacity() * sizeof(uint32_t) +
+           tree.order.capacity() * sizeof(VertexId);
+  for (const auto& per_parent : children) {
+    bytes += per_parent.capacity() * sizeof(std::vector<uint32_t>);
+    for (const auto& list : per_parent) {
+      bytes += list.capacity() * sizeof(uint32_t);
+    }
+  }
+  bytes += matching_order.capacity() * sizeof(VertexId);
+  return bytes;
+}
+
+namespace {
+
+// Root selection: the (core, if any exists) query vertex minimizing
+// |LDF candidates| / degree.
+VertexId SelectRoot(const Graph& query, const Graph& data) {
+  const uint32_t n = query.NumVertices();
+  if (n == 1) return 0;
+  std::vector<bool> in_core = TwoCoreMembership(query);
+  bool has_core = false;
+  for (bool b : in_core) has_core |= b;
+
+  VertexId best = kInvalidVertex;
+  double best_score = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    if (has_core && !in_core[u]) continue;
+    uint32_t count = 0;
+    for (VertexId v : data.VerticesWithLabel(query.label(u))) {
+      if (data.degree(v) >= query.degree(u)) ++count;
+    }
+    const double score =
+        static_cast<double>(count) / static_cast<double>(query.degree(u));
+    if (best == kInvalidVertex || score < best_score) {
+      best = u;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+// Path-based matching order: starting from the root, repeatedly emit the
+// available vertex (tree parent already emitted) with the best
+// (core-membership, estimated path cardinality, |Φ|) priority. Guarantees
+// parents precede children, which the CPI-driven enumeration requires.
+std::vector<VertexId> BuildMatchingOrder(const Graph& query,
+                                         const CpiData& cpi) {
+  const uint32_t n = query.NumVertices();
+  const std::vector<bool> in_core = TwoCoreMembership(query);
+
+  // Estimated cardinality of the cheapest root-to-leaf path through each
+  // vertex: est(u) = est(parent) * avg CPI fanout of the tree edge; leaves
+  // propagate their est to ancestors via min.
+  std::vector<double> down_est(n, 0);
+  for (VertexId u : cpi.tree.order) {
+    if (u == cpi.tree.root) {
+      down_est[u] = static_cast<double>(cpi.phi.set(u).size());
+      continue;
+    }
+    const VertexId p = cpi.tree.parent[u];
+    uint64_t edge_count = 0;
+    for (const auto& list : cpi.children[u]) edge_count += list.size();
+    const double fanout =
+        cpi.phi.set(p).empty()
+            ? 1.0
+            : static_cast<double>(edge_count) / cpi.phi.set(p).size();
+    down_est[u] = down_est[p] * std::max(fanout, 1e-3);
+  }
+  std::vector<double> path_est = down_est;
+  // Reverse BFS order: fold the cheapest descendant path into each vertex.
+  for (auto it = cpi.tree.order.rbegin(); it != cpi.tree.order.rend(); ++it) {
+    const VertexId u = *it;
+    for (VertexId c : cpi.tree.children[u]) {
+      path_est[u] = std::min(path_est[u], path_est[c]);
+    }
+  }
+
+  // Rank: core vertices first, then internal forest vertices, leaves last
+  // ("postponing cartesian products").
+  auto rank = [&](VertexId u) -> int {
+    if (in_core[u]) return 0;
+    return query.degree(u) <= 1 ? 2 : 1;
+  };
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<bool> emitted(n, false);
+  std::vector<VertexId> available = {cpi.tree.root};
+  while (!available.empty()) {
+    size_t best = 0;
+    for (size_t i = 1; i < available.size(); ++i) {
+      const VertexId a = available[i];
+      const VertexId b = available[best];
+      const int ra = rank(a), rb = rank(b);
+      if (ra != rb) {
+        if (ra < rb) best = i;
+        continue;
+      }
+      if (path_est[a] != path_est[b]) {
+        if (path_est[a] < path_est[b]) best = i;
+        continue;
+      }
+      if (cpi.phi.set(a).size() < cpi.phi.set(b).size()) best = i;
+    }
+    const VertexId u = available[best];
+    available.erase(available.begin() + static_cast<long>(best));
+    order.push_back(u);
+    emitted[u] = true;
+    for (VertexId c : cpi.tree.children[u]) available.push_back(c);
+  }
+  SGQ_CHECK_EQ(order.size(), n);
+  return order;
+}
+
+struct CflEnumContext {
+  const Graph& query;
+  const Graph& data;
+  const CpiData& cpi;
+  uint64_t limit;
+  DeadlineChecker* checker;
+  const EmbeddingCallback& callback;
+
+  // Backward neighbors per depth, split into the tree parent (candidate
+  // source) and the rest (adjacency checks).
+  std::vector<std::vector<VertexId>> check_neighbors;
+  std::vector<VertexId> mapping;
+  std::vector<uint32_t> phi_index;  // index of mapping[u] in phi.set(u)
+  std::vector<bool> used;
+  EnumerateResult result;
+
+  bool TryVertex(uint32_t depth, VertexId u, uint32_t candidate_index) {
+    const VertexId v = cpi.phi.set(u)[candidate_index];
+    if (used[v]) return true;
+    for (VertexId w : check_neighbors[depth]) {
+      if (!data.HasEdge(mapping[w], v)) return true;
+    }
+    mapping[u] = v;
+    phi_index[u] = candidate_index;
+    used[v] = true;
+    const bool keep_going = Recurse(depth + 1);
+    used[v] = false;
+    mapping[u] = kInvalidVertex;
+    return keep_going;
+  }
+
+  bool Recurse(uint32_t depth) {
+    if (checker != nullptr && checker->Tick()) {
+      result.aborted = true;
+      return false;
+    }
+    ++result.recursion_calls;
+    if (depth == cpi.matching_order.size()) {
+      ++result.embeddings;
+      if (callback) callback(mapping);
+      return result.embeddings < limit;
+    }
+    const VertexId u = cpi.matching_order[depth];
+    if (u == cpi.tree.root) {
+      for (uint32_t i = 0; i < cpi.phi.set(u).size(); ++i) {
+        if (!TryVertex(depth, u, i)) return false;
+      }
+    } else {
+      const VertexId p = cpi.tree.parent[u];
+      // Candidates adjacent (in the CPI) to the parent's current image.
+      for (uint32_t i : cpi.children[u][phi_index[p]]) {
+        if (!TryVertex(depth, u, i)) return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<FilterData> CflMatcher::Filter(const Graph& query,
+                                               const Graph& data) const {
+  SGQ_CHECK_GT(query.NumVertices(), 0u);
+  auto out = std::make_unique<CpiData>();
+  const uint32_t n = query.NumVertices();
+  out->phi = CandidateSets(n);
+  if (data.NumVertices() == 0) return out;
+
+  const VertexId root = SelectRoot(query, data);
+  out->tree = BuildBfsTree(query, root);
+  const BfsTree& tree = out->tree;
+
+  // Position of each query vertex in BFS visit order; backward neighbors of
+  // u are its query-graph neighbors visited before u.
+  std::vector<uint32_t> order_pos(n);
+  for (uint32_t i = 0; i < n; ++i) order_pos[tree.order[i]] = i;
+
+  // --- Top-down generation with backward pruning ------------------------
+  // cnt[w] counts how many backward neighbors of the current query vertex
+  // have a candidate adjacent to w; incremented only when cnt[w] == k while
+  // processing the k-th backward neighbor, which both dedups per-neighbor
+  // contributions and intersects across neighbors.
+  std::vector<uint32_t> cnt(data.NumVertices(), 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    const VertexId u = tree.order[i];
+    auto& set = out->phi.mutable_set(u);
+    if (u == root) {
+      set = LdfNlfCandidates(query, data, u, options_.use_nlf);
+      if (set.empty()) return out;
+      continue;
+    }
+    std::vector<VertexId> backward;
+    for (VertexId w : query.Neighbors(u)) {
+      if (order_pos[w] < i) backward.push_back(w);
+    }
+    SGQ_CHECK(!backward.empty());
+    std::fill(cnt.begin(), cnt.end(), 0);
+    uint32_t k = 0;
+    for (VertexId uprime : backward) {
+      for (VertexId vprime : out->phi.set(uprime)) {
+        for (VertexId w : data.Neighbors(vprime)) {
+          if (cnt[w] == k) ++cnt[w];
+        }
+      }
+      ++k;
+    }
+    for (VertexId w : data.VerticesWithLabel(query.label(u))) {
+      if (cnt[w] == k && PassesLdfNlf(query, data, u, w, options_.use_nlf)) {
+        set.push_back(w);
+      }
+    }
+    if (set.empty()) return out;
+  }
+
+  // --- Bottom-up refinement ---------------------------------------------
+  if (options_.refine_bottom_up) {
+    // member[u] marks Φ(u) membership for O(d(v)) intersection tests.
+    std::vector<std::vector<uint8_t>> member(n);
+    for (VertexId u = 0; u < n; ++u) {
+      member[u].assign(data.NumVertices(), 0);
+      for (VertexId v : out->phi.set(u)) member[u][v] = 1;
+    }
+    for (uint32_t i = n; i-- > 0;) {
+      const VertexId u = tree.order[i];
+      std::vector<VertexId> forward;
+      for (VertexId w : query.Neighbors(u)) {
+        if (order_pos[w] > i) forward.push_back(w);
+      }
+      if (forward.empty()) continue;
+      auto& set = out->phi.mutable_set(u);
+      auto keep_end = std::remove_if(set.begin(), set.end(), [&](VertexId v) {
+        for (VertexId uprime : forward) {
+          bool any = false;
+          for (VertexId w : data.Neighbors(v)) {
+            if (member[uprime][w]) {
+              any = true;
+              break;
+            }
+          }
+          if (!any) {
+            member[u][v] = 0;
+            return true;
+          }
+        }
+        return false;
+      });
+      set.erase(keep_end, set.end());
+      if (set.empty()) return out;
+    }
+  }
+
+  // --- CPI edges along tree edges ----------------------------------------
+  // For each non-root u and each candidate of parent(u), record the indices
+  // (into Φ(u)) of adjacent candidates.
+  out->children.assign(n, {});
+  std::vector<uint32_t> index_of(data.NumVertices(), UINT32_MAX);
+  for (uint32_t i = 0; i < n; ++i) {
+    const VertexId u = tree.order[i];
+    if (u == root) continue;
+    const VertexId p = tree.parent[u];
+    const auto& pu_set = out->phi.set(p);
+    const auto& u_set = out->phi.set(u);
+    for (uint32_t j = 0; j < u_set.size(); ++j) index_of[u_set[j]] = j;
+    auto& per_parent = out->children[u];
+    per_parent.assign(pu_set.size(), {});
+    for (uint32_t pj = 0; pj < pu_set.size(); ++pj) {
+      for (VertexId w : data.Neighbors(pu_set[pj])) {
+        if (index_of[w] != UINT32_MAX) per_parent[pj].push_back(index_of[w]);
+      }
+    }
+    for (uint32_t j = 0; j < u_set.size(); ++j) index_of[u_set[j]] = UINT32_MAX;
+  }
+
+  out->matching_order = BuildMatchingOrder(query, *out);
+  return out;
+}
+
+EnumerateResult CflMatcher::Enumerate(const Graph& query, const Graph& data,
+                                      const FilterData& data_aux,
+                                      uint64_t limit, DeadlineChecker* checker,
+                                      const EmbeddingCallback& callback) const {
+  const auto* cpi = dynamic_cast<const CpiData*>(&data_aux);
+  SGQ_CHECK(cpi != nullptr) << "CflMatcher::Enumerate requires CpiData";
+  if (!cpi->Passed() || limit == 0) return {};
+
+  CflEnumContext ctx{query, data,    *cpi,     limit, checker,
+                     callback, {},   {},       {},    {},
+                     {}};
+  const uint32_t n = query.NumVertices();
+  ctx.check_neighbors.resize(n);
+  std::vector<bool> placed(n, false);
+  for (uint32_t i = 0; i < n; ++i) {
+    const VertexId u = cpi->matching_order[i];
+    const VertexId parent =
+        u == cpi->tree.root ? kInvalidVertex : cpi->tree.parent[u];
+    for (VertexId w : query.Neighbors(u)) {
+      // The tree parent's adjacency is implied by the CPI edge; check only
+      // the other backward neighbors.
+      if (placed[w] && w != parent) ctx.check_neighbors[i].push_back(w);
+    }
+    placed[u] = true;
+  }
+  ctx.mapping.assign(n, kInvalidVertex);
+  ctx.phi_index.assign(n, UINT32_MAX);
+  ctx.used.assign(data.NumVertices(), false);
+  ctx.Recurse(0);
+  return ctx.result;
+}
+
+}  // namespace sgq

@@ -1,0 +1,17 @@
+#include "matching/cfql.h"
+
+namespace sgq {
+
+EnumerateResult CfqlMatcher::Enumerate(const Graph& query, const Graph& data,
+                                       const FilterData& data_aux,
+                                       uint64_t limit,
+                                       DeadlineChecker* checker,
+                                       const EmbeddingCallback& callback)
+    const {
+  if (!data_aux.Passed() || limit == 0) return {};
+  const std::vector<VertexId> order = JoinBasedOrder(query, data_aux.phi);
+  return BacktrackOverCandidates(query, data, data_aux.phi, order, limit,
+                                 checker, callback);
+}
+
+}  // namespace sgq

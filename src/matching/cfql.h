@@ -1,0 +1,41 @@
+// CFQL (Section III-B): the paper's hybrid vcFV algorithm — the Filter of
+// CFL (fast CPI-based candidate construction) combined with the Verify of
+// GraphQL (join-based ordering + backtracking over Φ), taking advantage of
+// CFL's cheaper filtering and GraphQL's more robust ordering.
+#ifndef SGQ_MATCHING_CFQL_H_
+#define SGQ_MATCHING_CFQL_H_
+
+#include <memory>
+
+#include "matching/cfl.h"
+#include "matching/matcher.h"
+
+namespace sgq {
+
+class CfqlMatcher : public Matcher {
+ public:
+  explicit CfqlMatcher(CflOptions filter_options = {})
+      : cfl_(filter_options) {}
+
+  const char* name() const override { return "CFQL"; }
+
+  // CFL's preprocessing phase (returns a CpiData; the CPI edges are unused
+  // by the GraphQL-style enumeration, only Φ is).
+  std::unique_ptr<FilterData> Filter(const Graph& query,
+                                     const Graph& data) const override {
+    return cfl_.Filter(query, data);
+  }
+
+  EnumerateResult Enumerate(const Graph& query, const Graph& data,
+                            const FilterData& data_aux, uint64_t limit,
+                            DeadlineChecker* checker,
+                            const EmbeddingCallback& callback =
+                                nullptr) const override;
+
+ private:
+  CflMatcher cfl_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_MATCHING_CFQL_H_

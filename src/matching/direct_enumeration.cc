@@ -1,0 +1,199 @@
+#include "matching/direct_enumeration.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sgq {
+
+namespace {
+
+// Label + degree candidates for every query vertex (no NLF — the
+// direct-enumeration algorithms predate neighborhood signatures).
+std::unique_ptr<FilterData> LabelDegreeFilter(const Graph& query,
+                                              const Graph& data) {
+  auto out = std::make_unique<FilterData>();
+  out->phi = CandidateSets(query.NumVertices());
+  for (VertexId u = 0; u < query.NumVertices(); ++u) {
+    auto& set = out->phi.mutable_set(u);
+    for (VertexId v : data.VerticesWithLabel(query.label(u))) {
+      if (data.degree(v) >= query.degree(u)) set.push_back(v);
+    }
+    if (set.empty()) break;
+  }
+  return out;
+}
+
+// ---- Ullmann ----------------------------------------------------------------
+
+struct UllmannState {
+  const Graph& query;
+  const Graph& data;
+  uint64_t limit;
+  DeadlineChecker* checker;
+  const EmbeddingCallback& callback;
+
+  // candidates[u] is the current (mutable) candidate list of u; the search
+  // copies-on-refine per level, Ullmann's matrix style.
+  std::vector<VertexId> mapping;
+  std::vector<bool> used;
+  EnumerateResult result;
+
+  // Ullmann's refinement: drop v from candidates[u] when some neighbor u'
+  // of u has no candidate adjacent to v. Iterates to a fixpoint. Returns
+  // false if a candidate list empties.
+  bool Refine(std::vector<std::vector<VertexId>>* candidates) const {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId u = 0; u < query.NumVertices(); ++u) {
+        auto& set = (*candidates)[u];
+        auto keep_end =
+            std::remove_if(set.begin(), set.end(), [&](VertexId v) {
+              for (VertexId uprime : query.Neighbors(u)) {
+                bool any = false;
+                for (VertexId w : data.Neighbors(v)) {
+                  if (std::binary_search((*candidates)[uprime].begin(),
+                                         (*candidates)[uprime].end(), w)) {
+                    any = true;
+                    break;
+                  }
+                }
+                if (!any) return true;
+              }
+              return false;
+            });
+        if (keep_end != set.end()) {
+          set.erase(keep_end, set.end());
+          changed = true;
+        }
+        if (set.empty()) return false;
+      }
+    }
+    return true;
+  }
+
+  bool Recurse(uint32_t depth,
+               const std::vector<std::vector<VertexId>>& candidates) {
+    if (checker != nullptr && checker->Tick()) {
+      result.aborted = true;
+      return false;
+    }
+    ++result.recursion_calls;
+    if (depth == query.NumVertices()) {
+      ++result.embeddings;
+      if (callback) callback(mapping);
+      return result.embeddings < limit;
+    }
+    const VertexId u = depth;  // Ullmann searches in query-id order
+    for (VertexId v : candidates[u]) {
+      if (used[v]) continue;
+      bool consistent = true;
+      for (VertexId w : query.Neighbors(u)) {
+        if (w < u && !data.HasEdge(mapping[w], v)) {
+          consistent = false;
+          break;
+        }
+      }
+      if (!consistent) continue;
+      // Assign and refine a copy of the matrix (the Ullmann step).
+      auto narrowed = candidates;
+      narrowed[u] = {v};
+      mapping[u] = v;
+      used[v] = true;
+      if (Refine(&narrowed)) {
+        if (!Recurse(depth + 1, narrowed)) {
+          used[v] = false;
+          mapping[u] = kInvalidVertex;
+          return false;
+        }
+      }
+      used[v] = false;
+      mapping[u] = kInvalidVertex;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<FilterData> UllmannMatcher::Filter(const Graph& query,
+                                                   const Graph& data) const {
+  SGQ_CHECK_GT(query.NumVertices(), 0u);
+  return LabelDegreeFilter(query, data);
+}
+
+EnumerateResult UllmannMatcher::Enumerate(const Graph& query,
+                                          const Graph& data,
+                                          const FilterData& data_aux,
+                                          uint64_t limit,
+                                          DeadlineChecker* checker,
+                                          const EmbeddingCallback& callback)
+    const {
+  if (!data_aux.Passed() || limit == 0) return {};
+  UllmannState state{query, data, limit, checker, callback, {}, {}, {}};
+  state.mapping.assign(query.NumVertices(), kInvalidVertex);
+  state.used.assign(data.NumVertices(), false);
+  std::vector<std::vector<VertexId>> candidates(query.NumVertices());
+  for (VertexId u = 0; u < query.NumVertices(); ++u) {
+    candidates[u] = data_aux.phi.set(u);
+  }
+  if (state.Refine(&candidates)) state.Recurse(0, candidates);
+  return state.result;
+}
+
+// ---- QuickSI ------------------------------------------------------------------
+
+std::unique_ptr<FilterData> QuickSiMatcher::Filter(const Graph& query,
+                                                   const Graph& data) const {
+  SGQ_CHECK_GT(query.NumVertices(), 0u);
+  return LabelDegreeFilter(query, data);
+}
+
+EnumerateResult QuickSiMatcher::Enumerate(const Graph& query,
+                                          const Graph& data,
+                                          const FilterData& data_aux,
+                                          uint64_t limit,
+                                          DeadlineChecker* checker,
+                                          const EmbeddingCallback& callback)
+    const {
+  if (!data_aux.Passed() || limit == 0) return {};
+  // QI-sequence: Prim-style growth starting from the vertex whose label is
+  // rarest in the data graph, always expanding to the frontier vertex with
+  // the rarest label (ties: higher degree, then smaller id).
+  const uint32_t n = query.NumVertices();
+  auto freq = [&](VertexId u) {
+    return data.NumVerticesWithLabel(query.label(u));
+  };
+  std::vector<VertexId> order;
+  std::vector<bool> selected(n, false);
+  VertexId start = 0;
+  for (VertexId u = 1; u < n; ++u) {
+    if (freq(u) < freq(start) ||
+        (freq(u) == freq(start) && query.degree(u) > query.degree(start))) {
+      start = u;
+    }
+  }
+  order.push_back(start);
+  selected[start] = true;
+  while (order.size() < n) {
+    VertexId best = kInvalidVertex;
+    for (VertexId u = 0; u < n; ++u) {
+      if (selected[u]) continue;
+      bool frontier = false;
+      for (VertexId w : query.Neighbors(u)) frontier |= selected[w];
+      if (!frontier) continue;
+      if (best == kInvalidVertex || freq(u) < freq(best) ||
+          (freq(u) == freq(best) && query.degree(u) > query.degree(best))) {
+        best = u;
+      }
+    }
+    SGQ_CHECK_NE(best, kInvalidVertex) << "query must be connected";
+    order.push_back(best);
+    selected[best] = true;
+  }
+  return BacktrackOverCandidates(query, data, data_aux.phi, order, limit,
+                                 checker, callback);
+}
+
+}  // namespace sgq

@@ -1,0 +1,54 @@
+// Direct-enumeration subgraph isomorphism algorithms (Section II-B2):
+// Ullmann [32] and QuickSI [28]. Like VF2 they build no auxiliary
+// structure; their Filter() is just the per-vertex label/degree candidate
+// computation they perform at search start, so they slot into the Matcher
+// interface for side-by-side comparison with the preprocessing-enumeration
+// algorithms.
+#ifndef SGQ_MATCHING_DIRECT_ENUMERATION_H_
+#define SGQ_MATCHING_DIRECT_ENUMERATION_H_
+
+#include <memory>
+
+#include "matching/matcher.h"
+
+namespace sgq {
+
+// Ullmann's algorithm: candidate matrix of label+degree-compatible pairs,
+// searched in query-id order, with the classic refinement procedure — a
+// candidate v of u survives only if every neighbor u' of u still has a
+// candidate among v's neighbors — applied once up front and after every
+// assignment.
+class UllmannMatcher : public Matcher {
+ public:
+  const char* name() const override { return "Ullmann"; }
+
+  std::unique_ptr<FilterData> Filter(const Graph& query,
+                                     const Graph& data) const override;
+
+  EnumerateResult Enumerate(const Graph& query, const Graph& data,
+                            const FilterData& data_aux, uint64_t limit,
+                            DeadlineChecker* checker,
+                            const EmbeddingCallback& callback =
+                                nullptr) const override;
+};
+
+// QuickSI: orders query vertices by a rare-label-first Prim-style spanning
+// sequence (the QI-sequence; edge weights favor infrequent labels), then
+// runs plain connected backtracking over label candidates.
+class QuickSiMatcher : public Matcher {
+ public:
+  const char* name() const override { return "QuickSI"; }
+
+  std::unique_ptr<FilterData> Filter(const Graph& query,
+                                     const Graph& data) const override;
+
+  EnumerateResult Enumerate(const Graph& query, const Graph& data,
+                            const FilterData& data_aux, uint64_t limit,
+                            DeadlineChecker* checker,
+                            const EmbeddingCallback& callback =
+                                nullptr) const override;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_MATCHING_DIRECT_ENUMERATION_H_

@@ -1,0 +1,105 @@
+#include "matching/graphql.h"
+
+#include <algorithm>
+
+#include "matching/bigraph_matching.h"
+#include "util/logging.h"
+
+namespace sgq {
+
+namespace {
+
+// Dense membership view of Φ for O(1) Contains during refinement; the
+// paper's stated space complexity for GraphQL's filter is
+// O(|V(q)| * |V(G)|), which is exactly this bitmap.
+class MembershipMatrix {
+ public:
+  MembershipMatrix(uint32_t num_query, uint32_t num_data)
+      : num_data_(num_data), bits_(static_cast<size_t>(num_query) * num_data,
+                                   0) {}
+
+  void Set(VertexId u, VertexId v, bool value) {
+    bits_[static_cast<size_t>(u) * num_data_ + v] = value ? 1 : 0;
+  }
+  bool Test(VertexId u, VertexId v) const {
+    return bits_[static_cast<size_t>(u) * num_data_ + v] != 0;
+  }
+
+ private:
+  uint32_t num_data_;
+  std::vector<uint8_t> bits_;
+};
+
+// Pseudo subgraph isomorphism check for candidate v of query vertex u:
+// every neighbor of u must be matchable to a *distinct* neighbor of v.
+bool PassesPseudoIso(const Graph& query, const Graph& data, VertexId u,
+                     VertexId v, const MembershipMatrix& member) {
+  const auto q_nbrs = query.Neighbors(u);
+  const auto d_nbrs = data.Neighbors(v);
+  if (q_nbrs.size() > d_nbrs.size()) return false;
+  BigraphAdjacency adj(q_nbrs.size());
+  for (size_t i = 0; i < q_nbrs.size(); ++i) {
+    adj[i].reserve(d_nbrs.size());
+    for (size_t j = 0; j < d_nbrs.size(); ++j) {
+      if (member.Test(q_nbrs[i], d_nbrs[j])) {
+        adj[i].push_back(static_cast<uint32_t>(j));
+      }
+    }
+    if (adj[i].empty()) return false;  // some neighbor has no image
+  }
+  return HasSemiPerfectMatching(adj, static_cast<uint32_t>(d_nbrs.size()));
+}
+
+}  // namespace
+
+std::unique_ptr<FilterData> GraphQlMatcher::Filter(const Graph& query,
+                                                   const Graph& data) const {
+  SGQ_CHECK_GT(query.NumVertices(), 0u);
+  auto out = std::make_unique<FilterData>();
+  const uint32_t n = query.NumVertices();
+  out->phi = CandidateSets(n);
+
+  // Step 1: neighborhood-profile candidates, in ascending query id order.
+  MembershipMatrix member(n, data.NumVertices());
+  for (VertexId u = 0; u < n; ++u) {
+    auto& set = out->phi.mutable_set(u);
+    set = LdfNlfCandidates(query, data, u, options_.use_profile);
+    if (set.empty()) return out;  // graph filtered out
+    for (VertexId v : set) member.Set(u, v, true);
+  }
+
+  // Step 2: pseudo subgraph isomorphism refinement sweeps. Removals take
+  // effect immediately (in-place), matching the ascending-id processing
+  // order described in the paper.
+  for (uint32_t round = 0; round < options_.refinement_rounds; ++round) {
+    bool changed = false;
+    for (VertexId u = 0; u < n; ++u) {
+      auto& set = out->phi.mutable_set(u);
+      auto keep_end = std::remove_if(set.begin(), set.end(), [&](VertexId v) {
+        if (PassesPseudoIso(query, data, u, v, member)) return false;
+        member.Set(u, v, false);
+        changed = true;
+        return true;
+      });
+      set.erase(keep_end, set.end());
+      if (set.empty()) return out;  // graph filtered out
+    }
+    if (!changed) break;
+  }
+  return out;
+}
+
+EnumerateResult GraphQlMatcher::Enumerate(const Graph& query,
+                                          const Graph& data,
+                                          const FilterData& data_aux,
+                                          uint64_t limit,
+                                          DeadlineChecker* checker,
+                                          const EmbeddingCallback& callback)
+    const {
+  if (!data_aux.Passed()) return {};
+  const std::vector<VertexId> order = JoinBasedOrder(query, data_aux.phi);
+  return BacktrackOverCandidates(query, data, data_aux.phi, order, limit,
+                                 checker, callback);
+}
+
+}  // namespace sgq

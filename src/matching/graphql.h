@@ -1,0 +1,52 @@
+// GraphQL [14] as a preprocessing-enumeration matcher (Section III-B).
+//
+// Filter: (1) candidate generation from neighborhood profiles (label,
+// degree, sorted neighbor-label multiset containment); (2) pruning by the
+// pseudo subgraph isomorphism test of [13]: candidate v of u survives only
+// if the bigraph between N(u) and N(v) — with an edge (u', v') iff
+// v' ∈ Φ(u') — has a semi-perfect matching. The refinement sweeps all query
+// vertices in ascending id order, `refinement_rounds` times (the original's
+// refinement level).
+//
+// Enumerate: backtracking along the join-based order (greedy minimum-
+// candidate neighbor expansion).
+#ifndef SGQ_MATCHING_GRAPHQL_H_
+#define SGQ_MATCHING_GRAPHQL_H_
+
+#include <memory>
+
+#include "matching/matcher.h"
+
+namespace sgq {
+
+struct GraphQlOptions {
+  // Number of global pseudo-iso refinement sweeps.
+  uint32_t refinement_rounds = 2;
+  // Neighborhood-profile check in candidate generation (ablation knob).
+  bool use_profile = true;
+};
+
+class GraphQlMatcher : public Matcher {
+ public:
+  explicit GraphQlMatcher(GraphQlOptions options = {}) : options_(options) {}
+
+  const char* name() const override { return "GraphQL"; }
+
+  std::unique_ptr<FilterData> Filter(const Graph& query,
+                                     const Graph& data) const override;
+
+  EnumerateResult Enumerate(const Graph& query, const Graph& data,
+                            const FilterData& data_aux, uint64_t limit,
+                            DeadlineChecker* checker,
+                            const EmbeddingCallback& callback =
+                                nullptr) const override;
+
+  const GraphQlOptions& options() const { return options_; }
+
+ private:
+  GraphQlOptions options_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_MATCHING_GRAPHQL_H_

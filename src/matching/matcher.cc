@@ -1,0 +1,141 @@
+#include "matching/matcher.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sgq {
+
+int Matcher::Contains(const Graph& query, const Graph& data,
+                      DeadlineChecker* checker) const {
+  const auto filter_data = Filter(query, data);
+  if (!filter_data->Passed()) return 0;
+  const EnumerateResult result =
+      Enumerate(query, data, *filter_data, /*limit=*/1, checker);
+  if (result.aborted) return -1;
+  return result.embeddings > 0 ? 1 : 0;
+}
+
+namespace {
+
+// Iterative-friendly recursive backtracking; query sizes are tiny (tens of
+// vertices) so recursion depth is not a concern.
+struct BacktrackContext {
+  const Graph& query;
+  const Graph& data;
+  const CandidateSets& phi;
+  const std::vector<VertexId>& order;
+  // For each depth i, the already-ordered neighbors of order[i].
+  std::vector<std::vector<VertexId>> backward_neighbors;
+  uint64_t limit;
+  DeadlineChecker* checker;
+  const EmbeddingCallback& callback;
+
+  std::vector<VertexId> mapping;      // query vertex -> data vertex
+  std::vector<bool> used;             // data vertex already matched
+  EnumerateResult result;
+
+  bool Recurse(uint32_t depth) {
+    if (checker != nullptr && checker->Tick()) {
+      result.aborted = true;
+      return false;
+    }
+    ++result.recursion_calls;
+    if (depth == order.size()) {
+      ++result.embeddings;
+      if (callback) callback(mapping);
+      return result.embeddings < limit;
+    }
+    const VertexId u = order[depth];
+    for (VertexId v : phi.set(u)) {
+      if (used[v]) continue;
+      bool ok = true;
+      for (VertexId prev_u : backward_neighbors[depth]) {
+        if (!data.HasEdge(mapping[prev_u], v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      mapping[u] = v;
+      used[v] = true;
+      const bool keep_going = Recurse(depth + 1);
+      used[v] = false;
+      mapping[u] = kInvalidVertex;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+EnumerateResult BacktrackOverCandidates(const Graph& query, const Graph& data,
+                                        const CandidateSets& phi,
+                                        const std::vector<VertexId>& order,
+                                        uint64_t limit,
+                                        DeadlineChecker* checker,
+                                        const EmbeddingCallback& callback) {
+  SGQ_CHECK_EQ(order.size(), query.NumVertices());
+  if (limit == 0) return {};
+  BacktrackContext ctx{query, data,    phi,
+                       order, {},      limit,
+                       checker, callback, {}, {}, {}};
+  ctx.backward_neighbors.resize(order.size());
+  std::vector<bool> placed(query.NumVertices(), false);
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    const VertexId u = order[i];
+    for (VertexId w : query.Neighbors(u)) {
+      if (placed[w]) ctx.backward_neighbors[i].push_back(w);
+    }
+    placed[u] = true;
+  }
+  ctx.mapping.assign(query.NumVertices(), kInvalidVertex);
+  ctx.used.assign(data.NumVertices(), false);
+  ctx.Recurse(0);
+  return ctx.result;
+}
+
+std::vector<VertexId> JoinBasedOrder(const Graph& query,
+                                     const CandidateSets& phi) {
+  const uint32_t n = query.NumVertices();
+  SGQ_CHECK_GT(n, 0u);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<bool> selected(n, false);
+
+  // Start vertex: globally fewest candidates (ties -> smaller id).
+  VertexId start = 0;
+  for (VertexId u = 1; u < n; ++u) {
+    if (phi.set(u).size() < phi.set(start).size()) start = u;
+  }
+  order.push_back(start);
+  selected[start] = true;
+
+  for (uint32_t step = 1; step < n; ++step) {
+    VertexId best = kInvalidVertex;
+    for (VertexId u = 0; u < n; ++u) {
+      if (selected[u]) continue;
+      // u must neighbor a selected vertex (query is connected, so one
+      // always exists among unselected-with-selected-neighbor vertices).
+      bool frontier = false;
+      for (VertexId w : query.Neighbors(u)) {
+        if (selected[w]) {
+          frontier = true;
+          break;
+        }
+      }
+      if (!frontier) continue;
+      if (best == kInvalidVertex ||
+          phi.set(u).size() < phi.set(best).size()) {
+        best = u;
+      }
+    }
+    SGQ_CHECK_NE(best, kInvalidVertex) << "query must be connected";
+    order.push_back(best);
+    selected[best] = true;
+  }
+  return order;
+}
+
+}  // namespace sgq

@@ -1,0 +1,97 @@
+// The common interface of preprocessing-enumeration subgraph matching
+// algorithms (Section II-B2), split exactly the way the paper's vcFV
+// framework needs it (Algorithm 2):
+//   Filter()    — the preprocessing phase: build candidate vertex sets Φ
+//                 (plus any algorithm-specific auxiliary structure, e.g.
+//                 CFL's CPI);
+//   Enumerate() — the enumeration phase: backtracking search; with
+//                 limit == 1 this is the paper's Verify().
+#ifndef SGQ_MATCHING_MATCHER_H_
+#define SGQ_MATCHING_MATCHER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "matching/candidate_space.h"
+#include "util/deadline.h"
+
+namespace sgq {
+
+// Called for every embedding found: mapping[u] is the data vertex matched to
+// query vertex u. Return value ignored.
+using EmbeddingCallback = std::function<void(const std::vector<VertexId>&)>;
+
+// Result of the preprocessing phase. Concrete matchers subclass this to
+// attach auxiliary structures (CFL's CPI); the candidate sets are always
+// exposed for metrics and property tests.
+struct FilterData {
+  virtual ~FilterData() = default;
+
+  CandidateSets phi;
+
+  // True iff all Φ(u) are non-empty; a false value filters the data graph
+  // out without verification (Proposition III.1).
+  bool Passed() const { return phi.AllNonEmpty(); }
+
+  // Footprint of the auxiliary structures (paper's memory-cost metric).
+  virtual size_t MemoryBytes() const { return phi.MemoryBytes(); }
+};
+
+// Counters reported by one Enumerate() call.
+struct EnumerateResult {
+  uint64_t embeddings = 0;       // found (up to the limit)
+  uint64_t recursion_calls = 0;  // search-tree nodes visited
+  bool aborted = false;          // deadline expired mid-search
+};
+
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  virtual const char* name() const = 0;
+
+  // Preprocessing phase. The query must be connected and non-empty.
+  virtual std::unique_ptr<FilterData> Filter(const Graph& query,
+                                             const Graph& data) const = 0;
+
+  // Enumeration phase over a FilterData produced by this matcher's Filter()
+  // (CFQL is the deliberate exception: it enumerates over CFL's output).
+  // Stops after `limit` embeddings or when the deadline expires.
+  virtual EnumerateResult Enumerate(const Graph& query, const Graph& data,
+                                    const FilterData& data_aux, uint64_t limit,
+                                    DeadlineChecker* checker,
+                                    const EmbeddingCallback& callback =
+                                        nullptr) const = 0;
+
+  // The subgraph isomorphism test: filter + first-match enumeration.
+  // Returns 1 if q ⊆ g, 0 if not, -1 on deadline expiry.
+  int Contains(const Graph& query, const Graph& data,
+               DeadlineChecker* checker) const;
+};
+
+// Generic connectivity-aware backtracking over candidate sets: at depth i
+// the query vertex order[i] is matched against its candidates, checking
+// injectivity and all edges to already-matched query vertices. This is the
+// enumeration procedure of GraphQL (and of CFQL); CFL uses its own CPI-aware
+// variant.
+//
+// `order` must start at an arbitrary vertex and keep the prefix connected
+// (every later vertex has an earlier neighbor).
+EnumerateResult BacktrackOverCandidates(const Graph& query, const Graph& data,
+                                        const CandidateSets& phi,
+                                        const std::vector<VertexId>& order,
+                                        uint64_t limit,
+                                        DeadlineChecker* checker,
+                                        const EmbeddingCallback& callback);
+
+// The join-based ordering of GraphQL: start from the query vertex with the
+// fewest candidates; repeatedly append the neighbor of the selected set with
+// the fewest candidates.
+std::vector<VertexId> JoinBasedOrder(const Graph& query,
+                                     const CandidateSets& phi);
+
+}  // namespace sgq
+
+#endif  // SGQ_MATCHING_MATCHER_H_

@@ -1,0 +1,136 @@
+#include "matching/spath.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "graph/graph_utils.h"
+#include "util/logging.h"
+
+namespace sgq {
+
+namespace {
+
+// Cumulative neighborhood signature: label -> number of vertices with that
+// label within distance d, for d = 1..depth.
+using Signature = std::map<Label, std::vector<uint32_t>>;
+
+Signature ComputeSignature(const Graph& g, VertexId source, uint32_t depth) {
+  Signature sig;
+  std::vector<uint32_t> dist(g.NumVertices(), UINT32_MAX);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    if (dist[u] >= depth) continue;
+    for (VertexId w : g.Neighbors(u)) {
+      if (dist[w] != UINT32_MAX) continue;
+      dist[w] = dist[u] + 1;
+      auto [it, inserted] =
+          sig.try_emplace(g.label(w), std::vector<uint32_t>(depth, 0));
+      // Count w at every distance >= dist[w] (cumulative form).
+      for (uint32_t d = dist[w]; d <= depth; ++d) ++it->second[d - 1];
+      queue.push_back(w);
+    }
+  }
+  return sig;
+}
+
+// True iff `have` dominates `need` at every label and distance.
+bool Dominates(const Signature& have, const Signature& need) {
+  for (const auto& [label, counts] : need) {
+    const auto it = have.find(label);
+    if (it == have.end()) return false;
+    for (size_t d = 0; d < counts.size(); ++d) {
+      if (it->second[d] < counts[d]) return false;
+    }
+  }
+  return true;
+}
+
+// Path-at-a-time matching order: BFS-tree paths cheapest-first, parents
+// always emitted before children.
+std::vector<VertexId> PathAtATimeOrder(const Graph& query,
+                                       const CandidateSets& phi) {
+  const uint32_t n = query.NumVertices();
+  // Root at the vertex with the fewest candidates.
+  VertexId root = 0;
+  for (VertexId u = 1; u < n; ++u) {
+    if (phi.set(u).size() < phi.set(root).size()) root = u;
+  }
+  const BfsTree tree = BuildBfsTree(query, root);
+
+  std::vector<double> down(n, 1);
+  for (VertexId u : tree.order) {
+    down[u] = (u == root ? 1.0 : down[tree.parent[u]]) *
+              std::max<size_t>(1, phi.set(u).size());
+  }
+  std::vector<double> path_est = down;
+  for (auto it = tree.order.rbegin(); it != tree.order.rend(); ++it) {
+    for (VertexId c : tree.children[*it]) {
+      path_est[*it] = std::min(path_est[*it], path_est[c]);
+    }
+  }
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<VertexId> available = {root};
+  while (!available.empty()) {
+    size_t best = 0;
+    for (size_t i = 1; i < available.size(); ++i) {
+      if (path_est[available[i]] < path_est[available[best]]) best = i;
+    }
+    const VertexId u = available[best];
+    available.erase(available.begin() + static_cast<long>(best));
+    order.push_back(u);
+    for (VertexId c : tree.children[u]) available.push_back(c);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::unique_ptr<FilterData> SPathMatcher::Filter(const Graph& query,
+                                                 const Graph& data) const {
+  SGQ_CHECK_GT(query.NumVertices(), 0u);
+  auto out = std::make_unique<FilterData>();
+  const uint32_t n = query.NumVertices();
+  out->phi = CandidateSets(n);
+  if (data.NumVertices() == 0) return out;
+
+  const uint32_t depth = std::max(1u, options_.signature_depth);
+  // Data signatures are computed lazily: only for vertices that pass the
+  // cheap label/degree test for some query vertex.
+  std::vector<Signature> data_sig(data.NumVertices());
+  std::vector<bool> data_sig_ready(data.NumVertices(), false);
+
+  for (VertexId u = 0; u < n; ++u) {
+    const Signature query_sig = ComputeSignature(query, u, depth);
+    auto& set = out->phi.mutable_set(u);
+    for (VertexId v : data.VerticesWithLabel(query.label(u))) {
+      if (data.degree(v) < query.degree(u)) continue;
+      if (!data_sig_ready[v]) {
+        data_sig[v] = ComputeSignature(data, v, depth);
+        data_sig_ready[v] = true;
+      }
+      if (Dominates(data_sig[v], query_sig)) set.push_back(v);
+    }
+    if (set.empty()) return out;
+  }
+  return out;
+}
+
+EnumerateResult SPathMatcher::Enumerate(const Graph& query, const Graph& data,
+                                        const FilterData& data_aux,
+                                        uint64_t limit,
+                                        DeadlineChecker* checker,
+                                        const EmbeddingCallback& callback)
+    const {
+  if (!data_aux.Passed() || limit == 0) return {};
+  const std::vector<VertexId> order = PathAtATimeOrder(query, data_aux.phi);
+  return BacktrackOverCandidates(query, data, data_aux.phi, order, limit,
+                                 checker, callback);
+}
+
+}  // namespace sgq

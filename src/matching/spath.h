@@ -1,0 +1,53 @@
+// SPath [41] (Section II-B2): direct-enumeration matching driven by
+// neighborhood path signatures.
+//
+// Filter: every vertex gets a depth-k neighborhood signature — per label,
+// the number of vertices at each BFS distance 1..k. Candidate v of u must
+// dominate u's signature cumulatively: for every label and every distance
+// d, the query's count of label-l vertices within distance d of u must not
+// exceed the data's within distance d of v (monomorphisms can only shorten
+// distances, so cumulative dominance is sound).
+//
+// Enumerate: the query is decomposed into BFS-tree paths which are matched
+// path-at-a-time (cheapest estimated path first, tree parents always ahead
+// of children), over the shared backtracking enumerator.
+//
+// Documented simplification (DESIGN.md §4): the original SPath precomputes
+// data-graph signatures once as a persistent structure for one large data
+// graph; in the graph-database setting our Filter recomputes them per
+// (q, G) pair, which preserves behavior at small per-graph cost.
+#ifndef SGQ_MATCHING_SPATH_H_
+#define SGQ_MATCHING_SPATH_H_
+
+#include <memory>
+
+#include "matching/matcher.h"
+
+namespace sgq {
+
+struct SPathOptions {
+  uint32_t signature_depth = 2;  // k
+};
+
+class SPathMatcher : public Matcher {
+ public:
+  explicit SPathMatcher(SPathOptions options = {}) : options_(options) {}
+
+  const char* name() const override { return "SPath"; }
+
+  std::unique_ptr<FilterData> Filter(const Graph& query,
+                                     const Graph& data) const override;
+
+  EnumerateResult Enumerate(const Graph& query, const Graph& data,
+                            const FilterData& data_aux, uint64_t limit,
+                            DeadlineChecker* checker,
+                            const EmbeddingCallback& callback =
+                                nullptr) const override;
+
+ private:
+  SPathOptions options_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_MATCHING_SPATH_H_

@@ -1,0 +1,148 @@
+#include "matching/vf2.h"
+
+#include "util/logging.h"
+
+namespace sgq {
+
+namespace {
+
+struct Vf2State {
+  const Graph& query;
+  const Graph& data;
+  const Vf2Options& options;
+  uint64_t limit;
+  DeadlineChecker* checker;
+  const EmbeddingCallback& callback;
+
+  std::vector<VertexId> core_q;  // query -> data (kInvalidVertex if unmapped)
+  std::vector<VertexId> core_d;  // data -> query
+  // #mapped neighbors of each (unmapped) vertex: > 0 means "terminal".
+  std::vector<uint32_t> term_q;
+  std::vector<uint32_t> term_d;
+  uint32_t depth = 0;
+
+  EnumerateResult result;
+
+  bool IsMappedQ(VertexId u) const { return core_q[u] != kInvalidVertex; }
+  bool IsMappedD(VertexId v) const { return core_d[v] != kInvalidVertex; }
+
+  // Next query vertex per VF2: the terminal vertex with minimum id, or —
+  // with the CT-Index heuristic — the terminal vertex with the rarest label
+  // in the data graph (ties: larger degree, then smaller id). Queries are
+  // connected, so after the first vertex a terminal vertex always exists.
+  VertexId NextQueryVertex() const {
+    VertexId best = kInvalidVertex;
+    for (VertexId u = 0; u < query.NumVertices(); ++u) {
+      if (IsMappedQ(u) || (depth > 0 && term_q[u] == 0)) continue;
+      if (best == kInvalidVertex) {
+        best = u;
+        if (!options.heuristic_order) return best;  // min id
+        continue;
+      }
+      const uint32_t freq_u = data.NumVerticesWithLabel(query.label(u));
+      const uint32_t freq_b = data.NumVerticesWithLabel(query.label(best));
+      if (freq_u < freq_b ||
+          (freq_u == freq_b && query.degree(u) > query.degree(best))) {
+        best = u;
+      }
+    }
+    return best;
+  }
+
+  // VF2 feasibility of the pair (u, v) for monomorphism.
+  bool Feasible(VertexId u, VertexId v) const {
+    if (query.label(u) != data.label(v)) return false;
+    if (query.degree(u) > data.degree(v)) return false;
+    // Consistency: every mapped neighbor of u must map to a neighbor of v.
+    uint32_t u_term = 0, u_new = 0;
+    for (VertexId w : query.Neighbors(u)) {
+      if (IsMappedQ(w)) {
+        if (!data.HasEdge(core_q[w], v)) return false;
+      } else if (term_q[w] > 0) {
+        ++u_term;
+      } else {
+        ++u_new;
+      }
+    }
+    // Lookahead (monomorphism-safe): terminal neighbors of u need terminal
+    // neighbors of v; non-terminal unmapped neighbors of u need unmapped
+    // neighbors of v (terminal or not).
+    uint32_t v_term = 0, v_unmapped = 0;
+    for (VertexId w : data.Neighbors(v)) {
+      if (IsMappedD(w)) continue;
+      ++v_unmapped;
+      if (term_d[w] > 0) ++v_term;
+    }
+    if (u_term > v_term) return false;
+    if (u_term + u_new > v_unmapped) return false;
+    return true;
+  }
+
+  void Push(VertexId u, VertexId v) {
+    core_q[u] = v;
+    core_d[v] = u;
+    for (VertexId w : query.Neighbors(u)) ++term_q[w];
+    for (VertexId w : data.Neighbors(v)) ++term_d[w];
+    ++depth;
+  }
+
+  void Pop(VertexId u, VertexId v) {
+    for (VertexId w : query.Neighbors(u)) --term_q[w];
+    for (VertexId w : data.Neighbors(v)) --term_d[w];
+    core_q[u] = kInvalidVertex;
+    core_d[v] = kInvalidVertex;
+    --depth;
+  }
+
+  // Returns false to stop the whole search (limit reached or deadline).
+  bool Recurse() {
+    if (checker != nullptr && checker->Tick()) {
+      result.aborted = true;
+      return false;
+    }
+    ++result.recursion_calls;
+    if (depth == query.NumVertices()) {
+      ++result.embeddings;
+      if (callback) callback(core_q);
+      return result.embeddings < limit;
+    }
+    const VertexId u = NextQueryVertex();
+    if (u == kInvalidVertex) return true;
+    // Candidate data vertices: terminal (depth > 0) or any (depth == 0).
+    for (VertexId v = 0; v < data.NumVertices(); ++v) {
+      if (IsMappedD(v) || (depth > 0 && term_d[v] == 0)) continue;
+      if (!Feasible(u, v)) continue;
+      Push(u, v);
+      const bool keep_going = Recurse();
+      Pop(u, v);
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+EnumerateResult Vf2::Enumerate(const Graph& query, const Graph& data,
+                               uint64_t limit, DeadlineChecker* checker,
+                               const EmbeddingCallback& callback) const {
+  SGQ_CHECK_GT(query.NumVertices(), 0u);
+  if (limit == 0 || data.NumVertices() == 0) return {};
+  Vf2State state{query, data, options_, limit, checker, callback,
+                 {},    {},   {},       {},    0,       {}};
+  state.core_q.assign(query.NumVertices(), kInvalidVertex);
+  state.core_d.assign(data.NumVertices(), kInvalidVertex);
+  state.term_q.assign(query.NumVertices(), 0);
+  state.term_d.assign(data.NumVertices(), 0);
+  state.Recurse();
+  return state.result;
+}
+
+int Vf2::Contains(const Graph& query, const Graph& data,
+                  DeadlineChecker* checker) const {
+  const EnumerateResult r = Enumerate(query, data, /*limit=*/1, checker);
+  if (r.embeddings > 0) return 1;
+  return r.aborted ? -1 : 0;
+}
+
+}  // namespace sgq

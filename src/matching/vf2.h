@@ -1,0 +1,43 @@
+// VF2 [6]: the direct-enumeration subgraph isomorphism algorithm used by the
+// verification step of the IFV systems (Grapes, GGSX and — with an ordering
+// heuristic — CT-Index). Implemented for monomorphism (non-induced subgraph
+// isomorphism, Definition II.1) over vertex-labeled undirected graphs, with
+// the classic terminal-set candidate-pair generation and lookahead rules.
+#ifndef SGQ_MATCHING_VF2_H_
+#define SGQ_MATCHING_VF2_H_
+
+#include "graph/graph.h"
+#include "matching/matcher.h"
+#include "util/deadline.h"
+
+namespace sgq {
+
+struct Vf2Options {
+  // CT-Index's "modified VF2": instead of picking the minimum-id terminal
+  // query vertex, pick the terminal vertex whose label is rarest in the data
+  // graph (ties broken by larger degree). Grapes/GGSX use plain VF2.
+  bool heuristic_order = false;
+};
+
+class Vf2 {
+ public:
+  explicit Vf2(Vf2Options options = {}) : options_(options) {}
+
+  // Enumerates subgraph isomorphisms from query to data, up to `limit`.
+  EnumerateResult Enumerate(const Graph& query, const Graph& data,
+                            uint64_t limit, DeadlineChecker* checker,
+                            const EmbeddingCallback& callback = nullptr) const;
+
+  // Subgraph isomorphism test: 1 if contained, 0 if not, -1 on deadline.
+  int Contains(const Graph& query, const Graph& data,
+               DeadlineChecker* checker) const;
+
+  const Vf2Options& options() const { return options_; }
+
+ private:
+  Vf2Options options_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_MATCHING_VF2_H_

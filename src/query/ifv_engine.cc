@@ -1,0 +1,47 @@
+#include "query/ifv_engine.h"
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace sgq {
+
+bool IfvEngine::Prepare(const GraphDatabase& db, Deadline deadline) {
+  db_ = &db;
+  return index_->Build(db, deadline);
+}
+
+bool IfvEngine::NotifyAdded(GraphId id, Deadline deadline) {
+  SGQ_CHECK(db_ != nullptr);
+  SGQ_CHECK_LT(id, db_->size());
+  return index_->AppendGraph(db_->graph(id), deadline);
+}
+
+QueryResult IfvEngine::Query(const Graph& query, Deadline deadline) const {
+  SGQ_CHECK(db_ != nullptr && index_->built())
+      << name_ << ": Prepare() must succeed before Query()";
+  QueryResult result;
+  DeadlineChecker checker(deadline);
+
+  // Filtering step: index lookup.
+  WallTimer filter_timer;
+  const std::vector<GraphId> candidates = index_->FilterCandidates(query);
+  result.stats.filtering_ms = filter_timer.ElapsedMillis();
+  result.stats.num_candidates = candidates.size();
+
+  // Verification step: one subgraph isomorphism test per candidate.
+  WallTimer verify_timer;
+  for (GraphId g : candidates) {
+    const int outcome = verifier_.Contains(query, db_->graph(g), &checker);
+    ++result.stats.si_tests;
+    if (outcome == 1) result.answers.push_back(g);
+    if (outcome == -1 || checker.expired()) {
+      result.stats.timed_out = true;
+      break;
+    }
+  }
+  result.stats.verification_ms = verify_timer.ElapsedMillis();
+  result.stats.num_answers = result.answers.size();
+  return result;
+}
+
+}  // namespace sgq

@@ -1,0 +1,54 @@
+// The IFV engines (Algorithm 1): an index provides the filtering step, VF2
+// provides the verification step. Instantiated as Grapes, GGSX (plain VF2)
+// and CT-Index (VF2 with the ordering heuristic), per Table III.
+#ifndef SGQ_QUERY_IFV_ENGINE_H_
+#define SGQ_QUERY_IFV_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "index/graph_index.h"
+#include "matching/vf2.h"
+#include "query/query_engine.h"
+
+namespace sgq {
+
+class IfvEngine : public QueryEngine {
+ public:
+  IfvEngine(std::string name, std::unique_ptr<GraphIndex> index,
+            Vf2Options verifier_options = {})
+      : name_(std::move(name)),
+        index_(std::move(index)),
+        verifier_(verifier_options) {}
+
+  const char* name() const override { return name_.c_str(); }
+
+  bool Prepare(const GraphDatabase& db, Deadline deadline) override;
+
+  QueryResult Query(const Graph& query, Deadline deadline) const override;
+
+  size_t IndexMemoryBytes() const override { return index_->MemoryBytes(); }
+
+  GraphIndex::BuildFailure prepare_failure() const override {
+    return index_->build_failure();
+  }
+
+  // Incremental maintenance mirroring GraphDatabase updates: call
+  // NotifyAdded(id) right after db.Add() returned `id`, and
+  // NotifyRemoved(id) right after db.Remove(id). NotifyAdded returns false
+  // on deadline expiry, after which the engine requires a full Prepare().
+  bool NotifyAdded(GraphId id, Deadline deadline = Deadline::Infinite());
+  void NotifyRemoved(GraphId id) { index_->OnSwapRemove(id); }
+
+  const GraphIndex& index() const { return *index_; }
+
+ private:
+  std::string name_;
+  std::unique_ptr<GraphIndex> index_;
+  Vf2 verifier_;
+  const GraphDatabase* db_ = nullptr;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_QUERY_IFV_ENGINE_H_

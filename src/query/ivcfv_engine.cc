@@ -1,0 +1,70 @@
+#include "query/ivcfv_engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace sgq {
+
+bool IvcfvEngine::Prepare(const GraphDatabase& db, Deadline deadline) {
+  db_ = &db;
+  return index_->Build(db, deadline);
+}
+
+bool IvcfvEngine::NotifyAdded(GraphId id, Deadline deadline) {
+  SGQ_CHECK(db_ != nullptr);
+  SGQ_CHECK_LT(id, db_->size());
+  return index_->AppendGraph(db_->graph(id), deadline);
+}
+
+QueryResult IvcfvEngine::Query(const Graph& query, Deadline deadline) const {
+  SGQ_CHECK(db_ != nullptr && index_->built())
+      << name_ << ": Prepare() must succeed before Query()";
+  QueryResult result;
+  DeadlineChecker checker(deadline);
+  IntervalTimer filter_timer;
+  IntervalTimer verify_timer;
+
+  // Level-1 filtering: the index. C'(q) in Section IV-B2.
+  filter_timer.Start();
+  const std::vector<GraphId> index_candidates =
+      index_->FilterCandidates(query);
+  filter_timer.Stop();
+
+  for (GraphId g : index_candidates) {
+    const Graph& data = db_->graph(g);
+
+    // Level-2 filtering: the matcher's preprocessing (vertex connectivity).
+    filter_timer.Start();
+    const auto filter_data = matcher_->Filter(query, data);
+    filter_timer.Stop();
+    result.stats.aux_memory_bytes =
+        std::max(result.stats.aux_memory_bytes, filter_data->MemoryBytes());
+
+    if (filter_data->Passed()) {
+      ++result.stats.num_candidates;
+      verify_timer.Start();
+      const EnumerateResult er = matcher_->Enumerate(query, data,
+                                                     *filter_data,
+                                                     /*limit=*/1, &checker);
+      verify_timer.Stop();
+      ++result.stats.si_tests;
+      if (er.embeddings > 0) result.answers.push_back(g);
+      if (er.aborted) {
+        result.stats.timed_out = true;
+        break;
+      }
+    }
+    if (deadline.Expired()) {
+      result.stats.timed_out = true;
+      break;
+    }
+  }
+  result.stats.filtering_ms = filter_timer.TotalMillis();
+  result.stats.verification_ms = verify_timer.TotalMillis();
+  result.stats.num_answers = result.answers.size();
+  return result;
+}
+
+}  // namespace sgq

@@ -1,0 +1,50 @@
+// The IvcFV engines (Section III-C): two-level filtering — an IFV index
+// first (Grapes' trie or GGSX's suffix trie), then the vertex-connectivity
+// filtering of CFQL on the surviving graphs, then CFQL's verification.
+// Instantiated as vcGrapes and vcGGSX per Table III.
+#ifndef SGQ_QUERY_IVCFV_ENGINE_H_
+#define SGQ_QUERY_IVCFV_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "index/graph_index.h"
+#include "matching/matcher.h"
+#include "query/query_engine.h"
+
+namespace sgq {
+
+class IvcfvEngine : public QueryEngine {
+ public:
+  IvcfvEngine(std::string name, std::unique_ptr<GraphIndex> index,
+              std::unique_ptr<Matcher> matcher)
+      : name_(std::move(name)),
+        index_(std::move(index)),
+        matcher_(std::move(matcher)) {}
+
+  const char* name() const override { return name_.c_str(); }
+
+  bool Prepare(const GraphDatabase& db, Deadline deadline) override;
+
+  QueryResult Query(const Graph& query, Deadline deadline) const override;
+
+  size_t IndexMemoryBytes() const override { return index_->MemoryBytes(); }
+
+  GraphIndex::BuildFailure prepare_failure() const override {
+    return index_->build_failure();
+  }
+
+  // Incremental maintenance; see IfvEngine.
+  bool NotifyAdded(GraphId id, Deadline deadline = Deadline::Infinite());
+  void NotifyRemoved(GraphId id) { index_->OnSwapRemove(id); }
+
+ private:
+  std::string name_;
+  std::unique_ptr<GraphIndex> index_;
+  std::unique_ptr<Matcher> matcher_;
+  const GraphDatabase* db_ = nullptr;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_QUERY_IVCFV_ENGINE_H_

@@ -1,0 +1,79 @@
+#include "query/match_engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace sgq {
+
+bool MatchEngine::Prepare(const GraphDatabase& db, Deadline deadline) {
+  db_ = &db;
+  if (index_ != nullptr) return index_->Build(db, deadline);
+  return true;
+}
+
+MatchResult MatchEngine::Match(const Graph& query, const MatchOptions& options,
+                               Deadline deadline) const {
+  SGQ_CHECK(db_ != nullptr) << "call Prepare() first";
+  MatchResult result;
+  DeadlineChecker checker(deadline);
+  IntervalTimer filter_timer, verify_timer;
+
+  // Level-1 filtering (hybrid mode only).
+  std::vector<GraphId> candidates;
+  if (index_ != nullptr) {
+    filter_timer.Start();
+    candidates = index_->FilterCandidates(query);
+    filter_timer.Stop();
+  } else {
+    candidates.resize(db_->size());
+    std::iota(candidates.begin(), candidates.end(), 0);
+  }
+
+  for (GraphId g : candidates) {
+    const Graph& data = db_->graph(g);
+
+    filter_timer.Start();
+    const auto filter_data = matcher_->Filter(query, data);
+    filter_timer.Stop();
+    result.stats.aux_memory_bytes =
+        std::max(result.stats.aux_memory_bytes, filter_data->MemoryBytes());
+
+    if (filter_data->Passed()) {
+      ++result.stats.num_candidates;
+      GraphMatches matches;
+      matches.graph = g;
+      EmbeddingCallback callback = nullptr;
+      if (options.collect_embeddings) {
+        callback = [&matches](const std::vector<VertexId>& mapping) {
+          matches.embeddings.push_back(mapping);
+        };
+      }
+      verify_timer.Start();
+      const EnumerateResult er =
+          matcher_->Enumerate(query, data, *filter_data,
+                              options.per_graph_limit, &checker, callback);
+      verify_timer.Stop();
+      ++result.stats.si_tests;
+      matches.num_embeddings = er.embeddings;
+      result.total_embeddings += er.embeddings;
+      if (er.embeddings > 0) result.matches.push_back(std::move(matches));
+      if (er.aborted) {
+        result.stats.timed_out = true;
+        break;
+      }
+    }
+    if (deadline.Expired()) {
+      result.stats.timed_out = true;
+      break;
+    }
+  }
+  result.stats.filtering_ms = filter_timer.TotalMillis();
+  result.stats.verification_ms = verify_timer.TotalMillis();
+  result.stats.num_answers = result.matches.size();
+  return result;
+}
+
+}  // namespace sgq

@@ -1,0 +1,72 @@
+// Subgraph matching over a graph database (Definition II.3 extended to a
+// collection): find or count ALL embeddings of q in every data graph, not
+// just containment. This is the workload of the hybrid approach of
+// Katsarou et al. [16] that the paper contrasts with vcFV: an IFV index
+// filters the database, then a full subgraph matching algorithm enumerates
+// embeddings on the candidates only.
+//
+// MatchEngine supports both modes: with an index (hybrid [16]) or without
+// (pure matcher sweep), and an embedding cap per graph to bound output.
+#ifndef SGQ_QUERY_MATCH_ENGINE_H_
+#define SGQ_QUERY_MATCH_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph_database.h"
+#include "index/graph_index.h"
+#include "matching/matcher.h"
+#include "query/stats.h"
+
+namespace sgq {
+
+struct GraphMatches {
+  GraphId graph = kInvalidGraph;
+  uint64_t num_embeddings = 0;
+  // Filled only when MatchOptions::collect_embeddings is set; capped at
+  // MatchOptions::per_graph_limit entries.
+  std::vector<std::vector<VertexId>> embeddings;
+};
+
+struct MatchOptions {
+  // Stop enumerating inside one data graph after this many embeddings.
+  uint64_t per_graph_limit = UINT64_MAX;
+  bool collect_embeddings = false;
+};
+
+struct MatchResult {
+  std::vector<GraphMatches> matches;  // graphs with >= 1 embedding, id order
+  uint64_t total_embeddings = 0;
+  QueryStats stats;  // filtering/verification times, candidates, timeout
+};
+
+class MatchEngine {
+ public:
+  // Pure matcher sweep over the whole database.
+  explicit MatchEngine(std::unique_ptr<Matcher> matcher)
+      : matcher_(std::move(matcher)) {}
+
+  // Hybrid [16]: the index prunes the database before matching. The index
+  // must be Build()-prepared by Prepare().
+  MatchEngine(std::unique_ptr<GraphIndex> index,
+              std::unique_ptr<Matcher> matcher)
+      : index_(std::move(index)), matcher_(std::move(matcher)) {}
+
+  // Builds the index if present. Returns false on OOT.
+  bool Prepare(const GraphDatabase& db, Deadline deadline);
+
+  MatchResult Match(const Graph& query, const MatchOptions& options = {},
+                    Deadline deadline = Deadline::Infinite()) const;
+
+  bool has_index() const { return index_ != nullptr; }
+
+ private:
+  std::unique_ptr<GraphIndex> index_;
+  std::unique_ptr<Matcher> matcher_;
+  const GraphDatabase* db_ = nullptr;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_QUERY_MATCH_ENGINE_H_

@@ -1,0 +1,121 @@
+#include "query/parallel_vcfv_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace sgq {
+
+ParallelVcfvEngine::ParallelVcfvEngine(
+    std::string name, std::function<std::unique_ptr<Matcher>()> matcher_factory,
+    uint32_t num_threads)
+    : name_(std::move(name)), matcher_factory_(std::move(matcher_factory)) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  num_threads_ = num_threads;
+}
+
+bool ParallelVcfvEngine::Prepare(const GraphDatabase& db, Deadline deadline) {
+  (void)deadline;
+  db_ = &db;
+  return true;
+}
+
+QueryResult ParallelVcfvEngine::Query(const Graph& query,
+                                      Deadline deadline) const {
+  SGQ_CHECK(db_ != nullptr) << name_ << ": call Prepare() first";
+  QueryResult result;
+  WallTimer wall;
+
+  struct ThreadAccumulator {
+    std::vector<GraphId> answers;
+    uint64_t candidates = 0;
+    uint64_t si_tests = 0;
+    size_t max_aux = 0;
+    int64_t filter_nanos = 0;
+    int64_t verify_nanos = 0;
+  };
+  std::vector<ThreadAccumulator> accumulators(num_threads_);
+  std::atomic<size_t> next{0};
+  std::atomic<bool> timed_out{false};
+
+  auto worker = [&](uint32_t tid) {
+    const std::unique_ptr<Matcher> matcher = matcher_factory_();
+    ThreadAccumulator& acc = accumulators[tid];
+    DeadlineChecker checker(deadline);
+    IntervalTimer filter_timer, verify_timer;
+    while (!timed_out.load(std::memory_order_relaxed)) {
+      const size_t g = next.fetch_add(1);
+      if (g >= db_->size()) break;
+      const Graph& data = db_->graph(static_cast<GraphId>(g));
+
+      filter_timer.Start();
+      const auto filter_data = matcher->Filter(query, data);
+      filter_timer.Stop();
+      acc.max_aux = std::max(acc.max_aux, filter_data->MemoryBytes());
+
+      if (filter_data->Passed()) {
+        ++acc.candidates;
+        verify_timer.Start();
+        const EnumerateResult er = matcher->Enumerate(
+            query, data, *filter_data, /*limit=*/1, &checker);
+        verify_timer.Stop();
+        ++acc.si_tests;
+        if (er.embeddings > 0) acc.answers.push_back(static_cast<GraphId>(g));
+        if (er.aborted) {
+          timed_out.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+      if (deadline.Expired()) {
+        timed_out.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    acc.filter_nanos = filter_timer.TotalNanos();
+    acc.verify_nanos = verify_timer.TotalNanos();
+  };
+
+  if (num_threads_ == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads_);
+    for (uint32_t t = 0; t < num_threads_; ++t) threads.emplace_back(worker, t);
+    for (auto& t : threads) t.join();
+  }
+
+  const double wall_ms = wall.ElapsedMillis();
+  int64_t filter_nanos = 0, verify_nanos = 0;
+  for (const ThreadAccumulator& acc : accumulators) {
+    result.answers.insert(result.answers.end(), acc.answers.begin(),
+                          acc.answers.end());
+    result.stats.num_candidates += acc.candidates;
+    result.stats.si_tests += acc.si_tests;
+    result.stats.aux_memory_bytes =
+        std::max(result.stats.aux_memory_bytes, acc.max_aux);
+    filter_nanos += acc.filter_nanos;
+    verify_nanos += acc.verify_nanos;
+  }
+  std::sort(result.answers.begin(), result.answers.end());
+  result.stats.num_answers = result.answers.size();
+  result.stats.timed_out = timed_out.load();
+  // Split the wall time proportionally to the summed per-thread phases.
+  const double total_nanos =
+      static_cast<double>(filter_nanos) + static_cast<double>(verify_nanos);
+  if (total_nanos > 0) {
+    result.stats.filtering_ms =
+        wall_ms * static_cast<double>(filter_nanos) / total_nanos;
+    result.stats.verification_ms =
+        wall_ms * static_cast<double>(verify_nanos) / total_nanos;
+  }
+  return result;
+}
+
+}  // namespace sgq

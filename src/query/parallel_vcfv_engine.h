@@ -1,0 +1,51 @@
+// Parallel vcFV: Algorithm 2 with the data graphs partitioned across worker
+// threads. Each data graph is filtered and verified independently, so the
+// loop parallelizes embarrassingly — the index-free counterpart of Grapes'
+// parallel index construction (the paper's related work, [19]/[31], notes
+// single-machine parallel subgraph matching as the natural extension).
+//
+// Time accounting: filtering_ms / verification_ms are wall-clock for the
+// whole parallel region, split between the two phases in proportion to the
+// summed per-thread phase times (per-thread sums alone would overstate a
+// multi-core run).
+#ifndef SGQ_QUERY_PARALLEL_VCFV_ENGINE_H_
+#define SGQ_QUERY_PARALLEL_VCFV_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "matching/matcher.h"
+#include "query/query_engine.h"
+
+namespace sgq {
+
+class ParallelVcfvEngine : public QueryEngine {
+ public:
+  // `matcher_factory` is invoked once per worker thread (matchers are
+  // stateless in this library, but per-thread instances keep the contract
+  // obvious). `num_threads` defaults to the hardware concurrency.
+  ParallelVcfvEngine(std::string name,
+                     std::function<std::unique_ptr<Matcher>()> matcher_factory,
+                     uint32_t num_threads = 0);
+
+  const char* name() const override { return name_.c_str(); }
+
+  bool Prepare(const GraphDatabase& db, Deadline deadline) override;
+
+  QueryResult Query(const Graph& query, Deadline deadline) const override;
+
+  size_t IndexMemoryBytes() const override { return 0; }
+
+  uint32_t num_threads() const { return num_threads_; }
+
+ private:
+  std::string name_;
+  std::function<std::unique_ptr<Matcher>()> matcher_factory_;
+  uint32_t num_threads_;
+  const GraphDatabase* db_ = nullptr;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_QUERY_PARALLEL_VCFV_ENGINE_H_

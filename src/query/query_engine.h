@@ -1,0 +1,47 @@
+// The subgraph-query processor interface: every competing algorithm of
+// Table III (IFV, vcFV, IvcFV) is one of these.
+#ifndef SGQ_QUERY_QUERY_ENGINE_H_
+#define SGQ_QUERY_QUERY_ENGINE_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "index/graph_index.h"
+#include "query/stats.h"
+#include "util/deadline.h"
+
+namespace sgq {
+
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  virtual const char* name() const = 0;
+
+  // One-time preparation over the database (index construction for IFV and
+  // IvcFV; a no-op for vcFV beyond remembering the database). Returns false
+  // when the deadline expires — the paper's OOT condition — after which
+  // Query() must not be called.
+  virtual bool Prepare(const GraphDatabase& db, Deadline deadline) = 0;
+
+  // Answers one subgraph query (Definition II.2). `deadline` is the
+  // per-query time limit; on expiry the result is marked timed_out and the
+  // answer set is whatever was confirmed so far.
+  virtual QueryResult Query(const Graph& query,
+                            Deadline deadline = Deadline::Infinite()) const
+      = 0;
+
+  // Footprint of persistent index structures (0 for vcFV algorithms).
+  virtual size_t IndexMemoryBytes() const = 0;
+
+  // Why the last Prepare() returned false (OOT vs OOM); kNone for engines
+  // without an index.
+  virtual GraphIndex::BuildFailure prepare_failure() const {
+    return GraphIndex::BuildFailure::kNone;
+  }
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_QUERY_QUERY_ENGINE_H_

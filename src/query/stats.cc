@@ -1,0 +1,42 @@
+#include "query/stats.h"
+
+namespace sgq {
+
+QuerySetSummary Summarize(std::span<const QueryResult> results,
+                          double timeout_ms) {
+  QuerySetSummary s;
+  s.num_queries = static_cast<uint32_t>(results.size());
+  if (results.empty()) return s;
+  double sum_filter = 0, sum_verify = 0, sum_query = 0;
+  double sum_precision = 0, sum_candidates = 0, sum_per_si = 0;
+  for (const QueryResult& r : results) {
+    const QueryStats& q = r.stats;
+    if (q.timed_out) {
+      ++s.num_timeouts;
+      sum_query += timeout_ms;
+    } else {
+      sum_query += q.QueryMs();
+    }
+    sum_filter += q.filtering_ms;
+    sum_verify += q.verification_ms;
+    sum_candidates += static_cast<double>(q.num_candidates);
+    sum_precision += q.num_candidates == 0
+                         ? 1.0
+                         : static_cast<double>(q.num_answers) /
+                               static_cast<double>(q.num_candidates);
+    if (q.num_candidates > 0) {
+      sum_per_si +=
+          q.verification_ms / static_cast<double>(q.num_candidates);
+    }
+  }
+  const double n = static_cast<double>(results.size());
+  s.avg_filtering_ms = sum_filter / n;
+  s.avg_verification_ms = sum_verify / n;
+  s.avg_query_ms = sum_query / n;
+  s.filtering_precision = sum_precision / n;
+  s.avg_candidates = sum_candidates / n;
+  s.per_si_test_ms = sum_per_si / n;
+  return s;
+}
+
+}  // namespace sgq

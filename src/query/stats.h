@@ -1,0 +1,51 @@
+// Per-query and per-query-set metrics, mirroring Section IV-A:
+// query/filtering/verification time, filtering precision (Equation 1),
+// |C(q)|, and per-SI-test time (Equation 3).
+#ifndef SGQ_QUERY_STATS_H_
+#define SGQ_QUERY_STATS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace sgq {
+
+struct QueryStats {
+  double filtering_ms = 0;     // index lookup and/or Φ construction
+  double verification_ms = 0;  // SI tests over C(q)  (Equation 2)
+  uint64_t num_candidates = 0; // |C(q)|
+  uint64_t num_answers = 0;    // |A(q)|
+  uint64_t si_tests = 0;       // verifications actually executed
+  bool timed_out = false;      // per-query time limit expired
+  size_t aux_memory_bytes = 0; // peak auxiliary-structure footprint
+
+  double QueryMs() const { return filtering_ms + verification_ms; }
+};
+
+struct QueryResult {
+  std::vector<GraphId> answers;  // A(q), sorted ascending
+  QueryStats stats;
+};
+
+// Aggregates over a query set, as reported in the paper's figures. Queries
+// that timed out contribute `timeout_ms` as their query time (the paper
+// records the 10-minute limit for incomplete queries).
+struct QuerySetSummary {
+  uint32_t num_queries = 0;
+  uint32_t num_timeouts = 0;
+  double avg_filtering_ms = 0;
+  double avg_verification_ms = 0;
+  double avg_query_ms = 0;
+  double filtering_precision = 0;  // Equation 1 (|C|=0 counts as 1)
+  double avg_candidates = 0;       // average |C(q)|
+  double per_si_test_ms = 0;       // Equation 3
+};
+
+QuerySetSummary Summarize(std::span<const QueryResult> results,
+                          double timeout_ms);
+
+}  // namespace sgq
+
+#endif  // SGQ_QUERY_STATS_H_

@@ -1,0 +1,61 @@
+#include "query/vcfv_engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace sgq {
+
+bool VcfvEngine::Prepare(const GraphDatabase& db, Deadline deadline) {
+  (void)deadline;  // nothing to build
+  db_ = &db;
+  return true;
+}
+
+QueryResult VcfvEngine::Query(const Graph& query, Deadline deadline) const {
+  SGQ_CHECK(db_ != nullptr) << name_ << ": call Prepare() first";
+  QueryResult result;
+  DeadlineChecker checker(deadline);
+  IntervalTimer filter_timer;
+  IntervalTimer verify_timer;
+
+  for (GraphId g = 0; g < db_->size(); ++g) {
+    const Graph& data = db_->graph(g);
+
+    // Filtering: the matcher's preprocessing phase (Algorithm 2, line 4).
+    filter_timer.Start();
+    const auto filter_data = matcher_->Filter(query, data);
+    filter_timer.Stop();
+    result.stats.aux_memory_bytes =
+        std::max(result.stats.aux_memory_bytes, filter_data->MemoryBytes());
+
+    if (filter_data->Passed()) {
+      ++result.stats.num_candidates;
+      // Verification: first-match enumeration (Algorithm 2, line 6).
+      verify_timer.Start();
+      const EnumerateResult er = matcher_->Enumerate(query, data,
+                                                     *filter_data,
+                                                     /*limit=*/1, &checker);
+      verify_timer.Stop();
+      ++result.stats.si_tests;
+      if (er.embeddings > 0) result.answers.push_back(g);
+      if (er.aborted) {
+        result.stats.timed_out = true;
+        break;
+      }
+    }
+    // The enumeration polls the deadline internally; between graphs we poll
+    // it directly so a slow filter-only stretch cannot overrun the limit.
+    if (deadline.Expired()) {
+      result.stats.timed_out = true;
+      break;
+    }
+  }
+  result.stats.filtering_ms = filter_timer.TotalMillis();
+  result.stats.verification_ms = verify_timer.TotalMillis();
+  result.stats.num_answers = result.answers.size();
+  return result;
+}
+
+}  // namespace sgq

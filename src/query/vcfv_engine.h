@@ -1,0 +1,39 @@
+// The vcFV engines (Algorithm 2): no index; the preprocessing phase of a
+// subgraph matching algorithm is the filter and its first-match enumeration
+// is the verification. Instantiated as CFL, GraphQL and CFQL per Table III.
+#ifndef SGQ_QUERY_VCFV_ENGINE_H_
+#define SGQ_QUERY_VCFV_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "matching/matcher.h"
+#include "query/query_engine.h"
+
+namespace sgq {
+
+class VcfvEngine : public QueryEngine {
+ public:
+  VcfvEngine(std::string name, std::unique_ptr<Matcher> matcher)
+      : name_(std::move(name)), matcher_(std::move(matcher)) {}
+
+  const char* name() const override { return name_.c_str(); }
+
+  // vcFV has no index: Prepare just binds the database (and never fails).
+  bool Prepare(const GraphDatabase& db, Deadline deadline) override;
+
+  QueryResult Query(const Graph& query, Deadline deadline) const override;
+
+  size_t IndexMemoryBytes() const override { return 0; }
+
+  const Matcher& matcher() const { return *matcher_; }
+
+ private:
+  std::string name_;
+  std::unique_ptr<Matcher> matcher_;
+  const GraphDatabase* db_ = nullptr;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_QUERY_VCFV_ENGINE_H_

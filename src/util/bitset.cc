@@ -1,0 +1,63 @@
+#include "util/bitset.h"
+
+#include <bit>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace sgq {
+
+Bitset::Bitset(size_t num_bits) { Resize(num_bits); }
+
+void Bitset::Resize(size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.assign((num_bits + 63) / 64, 0);
+}
+
+void Bitset::Set(size_t i) {
+  SGQ_CHECK_LT(i, num_bits_);
+  words_[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+void Bitset::Clear(size_t i) {
+  SGQ_CHECK_LT(i, num_bits_);
+  words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+
+bool Bitset::Test(size_t i) const {
+  SGQ_CHECK_LT(i, num_bits_);
+  return (words_[i >> 6] >> (i & 63)) & 1;
+}
+
+void Bitset::Reset() { words_.assign(words_.size(), 0); }
+
+size_t Bitset::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+void Bitset::SaveTo(std::ostream& out) const {
+  WriteU64(out, num_bits_);
+  for (uint64_t w : words_) WriteU64(out, w);
+}
+
+bool Bitset::LoadFrom(std::istream& in) {
+  uint64_t num_bits = 0;
+  if (!ReadU64(in, &num_bits) || num_bits > (uint64_t{1} << 32)) return false;
+  Resize(num_bits);
+  for (uint64_t& w : words_) {
+    if (!ReadU64(in, &w)) return false;
+  }
+  return true;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  SGQ_CHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace sgq

@@ -1,0 +1,54 @@
+// Fixed-width bitset with the subset test used by CT-Index fingerprints.
+#ifndef SGQ_UTIL_BITSET_H_
+#define SGQ_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace sgq {
+
+// A runtime-sized bitset backed by 64-bit words. CT-Index stores one
+// fingerprint per data graph and answers filtering queries with
+// IsSubsetOf(): a graph is a candidate iff the query fingerprint's bits
+// are all set in the graph fingerprint.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t num_bits);
+
+  void Resize(size_t num_bits);
+
+  size_t size_bits() const { return num_bits_; }
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Test(size_t i) const;
+  void Reset();
+
+  // Number of set bits.
+  size_t Count() const;
+
+  // True iff every bit set in *this is also set in other. Both bitsets must
+  // have the same width.
+  bool IsSubsetOf(const Bitset& other) const;
+
+  bool operator==(const Bitset& other) const = default;
+
+  // Binary persistence; LoadFrom returns false on corrupt input.
+  void SaveTo(std::ostream& out) const;
+  bool LoadFrom(std::istream& in);
+
+  // Footprint of the backing storage in bytes (for memory-cost metrics).
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_UTIL_BITSET_H_

@@ -1,0 +1,3 @@
+#include "util/deadline.h"
+
+// Header-only; anchor translation unit.

@@ -1,0 +1,60 @@
+// Lightweight logging and invariant-checking macros.
+//
+// The library does not use exceptions; unrecoverable invariant violations
+// abort via CHECK. Recoverable conditions (bad input files, deadline expiry)
+// are reported through return values.
+#ifndef SGQ_UTIL_LOGGING_H_
+#define SGQ_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sgq {
+
+enum class LogLevel { kInfo, kWarning, kError, kFatal };
+
+namespace internal_logging {
+
+// Sink for one log statement; flushes (and aborts for kFatal) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+// Global verbosity: messages below this level are suppressed (kFatal always
+// prints). Default is kWarning so library internals stay quiet in tests.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+}  // namespace sgq
+
+#define SGQ_LOG(level)                                              \
+  ::sgq::internal_logging::LogMessage(::sgq::LogLevel::k##level,    \
+                                      __FILE__, __LINE__)           \
+      .stream()
+
+#define SGQ_CHECK(cond)                                             \
+  if (cond) {                                                       \
+  } else /* NOLINT */                                               \
+    SGQ_LOG(Fatal) << "Check failed: " #cond " "
+
+#define SGQ_CHECK_EQ(a, b) SGQ_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SGQ_CHECK_NE(a, b) SGQ_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SGQ_CHECK_LT(a, b) SGQ_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SGQ_CHECK_LE(a, b) SGQ_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SGQ_CHECK_GT(a, b) SGQ_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SGQ_CHECK_GE(a, b) SGQ_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // SGQ_UTIL_LOGGING_H_

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation.
+//
+// All generators and query samplers in the library take an explicit Rng so
+// datasets, query sets and tests are reproducible across runs and platforms
+// (std::mt19937 distributions are not portable across standard libraries;
+// we implement the sampling ourselves).
+#ifndef SGQ_UTIL_RNG_H_
+#define SGQ_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace sgq {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain), seeded via
+// SplitMix64. Fast, high quality, and fully deterministic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  uint64_t Next();
+
+  // Uniform over [0, bound). bound must be > 0. Uses Lemire's
+  // multiply-shift rejection method to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform over [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_UTIL_RNG_H_

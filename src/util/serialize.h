@@ -1,0 +1,67 @@
+// Minimal binary serialization helpers for index persistence (little-endian,
+// fixed-width). Readers validate sizes and return false on truncated or
+// corrupt input instead of crashing.
+#ifndef SGQ_UTIL_SERIALIZE_H_
+#define SGQ_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace sgq {
+
+inline void WriteU32(std::ostream& out, uint32_t value) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(value >> (8 * i));
+  out.write(bytes, 4);
+}
+
+inline void WriteU64(std::ostream& out, uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(value >> (8 * i));
+  out.write(bytes, 8);
+}
+
+inline bool ReadU32(std::istream& in, uint32_t* value) {
+  unsigned char bytes[4];
+  if (!in.read(reinterpret_cast<char*>(bytes), 4)) return false;
+  *value = 0;
+  for (int i = 0; i < 4; ++i) *value |= static_cast<uint32_t>(bytes[i]) << (8 * i);
+  return true;
+}
+
+inline bool ReadU64(std::istream& in, uint64_t* value) {
+  unsigned char bytes[8];
+  if (!in.read(reinterpret_cast<char*>(bytes), 8)) return false;
+  *value = 0;
+  for (int i = 0; i < 8; ++i) *value |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  return true;
+}
+
+template <typename T>
+void WriteU32Vector(std::ostream& out, const std::vector<T>& values) {
+  static_assert(sizeof(T) == 4);
+  WriteU64(out, values.size());
+  for (T v : values) WriteU32(out, static_cast<uint32_t>(v));
+}
+
+// Rejects declared sizes beyond `max_size` (corruption guard).
+template <typename T>
+bool ReadU32Vector(std::istream& in, uint64_t max_size,
+                   std::vector<T>* values) {
+  static_assert(sizeof(T) == 4);
+  uint64_t size = 0;
+  if (!ReadU64(in, &size) || size > max_size) return false;
+  values->resize(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    uint32_t v = 0;
+    if (!ReadU32(in, &v)) return false;
+    (*values)[i] = static_cast<T>(v);
+  }
+  return true;
+}
+
+}  // namespace sgq
+
+#endif  // SGQ_UTIL_SERIALIZE_H_

@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// Header-only; this translation unit exists so the target has a definition
+// anchor and future non-inline additions have a home.

@@ -1,0 +1,53 @@
+// Monotonic wall-clock timer used by all time metrics in the paper
+// (indexing time, filtering time, verification time, query time).
+#ifndef SGQ_UTIL_TIMER_H_
+#define SGQ_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sgq {
+
+// A simple stopwatch over std::chrono::steady_clock. Starts running on
+// construction; Restart() resets the origin.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across multiple Start()/Stop() intervals. Used to split a
+// query into filtering time and verification time without allocating.
+class IntervalTimer {
+ public:
+  void Start() { timer_.Restart(); }
+  void Stop() { total_nanos_ += timer_.ElapsedNanos(); }
+  void Reset() { total_nanos_ = 0; }
+
+  double TotalMillis() const { return static_cast<double>(total_nanos_) / 1e6; }
+  int64_t TotalNanos() const { return total_nanos_; }
+
+ private:
+  WallTimer timer_;
+  int64_t total_nanos_ = 0;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_UTIL_TIMER_H_

@@ -1,0 +1,94 @@
+#include "matching/candidate_space.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace sgq {
+namespace {
+
+using ::sgq::testing::MakeGraph;
+using ::sgq::testing::MakePath;
+
+TEST(CandidateSetsTest, EmptyByDefault) {
+  CandidateSets phi;
+  EXPECT_EQ(phi.NumQueryVertices(), 0u);
+  EXPECT_FALSE(phi.AllNonEmpty());  // no query vertices -> not "all"
+  EXPECT_EQ(phi.TotalCandidates(), 0u);
+}
+
+TEST(CandidateSetsTest, ContainsUsesBinarySearch) {
+  CandidateSets phi(2);
+  phi.mutable_set(0) = {1, 3, 5, 9};
+  phi.mutable_set(1) = {2};
+  EXPECT_TRUE(phi.Contains(0, 3));
+  EXPECT_TRUE(phi.Contains(0, 9));
+  EXPECT_FALSE(phi.Contains(0, 2));
+  EXPECT_TRUE(phi.Contains(1, 2));
+  EXPECT_FALSE(phi.Contains(1, 3));
+}
+
+TEST(CandidateSetsTest, AllNonEmptyDetectsGaps) {
+  CandidateSets phi(3);
+  phi.mutable_set(0) = {1};
+  phi.mutable_set(1) = {2};
+  EXPECT_FALSE(phi.AllNonEmpty());
+  phi.mutable_set(2) = {0};
+  EXPECT_TRUE(phi.AllNonEmpty());
+}
+
+TEST(CandidateSetsTest, TotalsAndMemory) {
+  CandidateSets phi(2);
+  phi.mutable_set(0) = {1, 2, 3};
+  phi.mutable_set(1) = {4};
+  EXPECT_EQ(phi.TotalCandidates(), 4u);
+  EXPECT_GT(phi.MemoryBytes(), 4 * sizeof(VertexId));
+}
+
+TEST(LdfNlfTest, LabelFilter) {
+  const Graph q = MakePath({1, 2});
+  const Graph g = MakeGraph({1, 2, 1, 3}, {{0, 1}, {1, 2}, {2, 3}});
+  const auto cands = LdfNlfCandidates(q, g, 0, /*use_nlf=*/false);
+  // Label-1 vertices with degree >= 1: v0 and v2.
+  EXPECT_EQ(cands, (std::vector<VertexId>{0, 2}));
+}
+
+TEST(LdfNlfTest, DegreeFilter) {
+  const Graph q = MakeGraph({0, 1, 1}, {{0, 1}, {0, 2}});  // d(u0) = 2
+  const Graph g = MakeGraph({0, 1, 0, 1, 1},
+                            {{0, 1}, {2, 1}, {2, 3}, {2, 4}});
+  // Label-0 data vertices: v0 (degree 1, fails), v2 (degree 3, passes).
+  const auto cands = LdfNlfCandidates(q, g, 0, /*use_nlf=*/false);
+  EXPECT_EQ(cands, (std::vector<VertexId>{2}));
+}
+
+TEST(LdfNlfTest, NlfPrunesMissingNeighborLabels) {
+  // u0 needs neighbors with labels {1, 2}.
+  const Graph q = MakeGraph({0, 1, 2}, {{0, 1}, {0, 2}});
+  // v0 has neighbor labels {1, 1}: degree passes, NLF fails.
+  // v3 has neighbor labels {1, 2}: passes.
+  const Graph g = MakeGraph({0, 1, 1, 0, 1, 2},
+                            {{0, 1}, {0, 2}, {3, 4}, {3, 5}});
+  EXPECT_EQ(LdfNlfCandidates(q, g, 0, /*use_nlf=*/false),
+            (std::vector<VertexId>{0, 3}));
+  EXPECT_EQ(LdfNlfCandidates(q, g, 0, /*use_nlf=*/true),
+            (std::vector<VertexId>{3}));
+}
+
+TEST(LdfNlfTest, PassesLdfNlfAgreesWithGenerator) {
+  const Graph q = MakeGraph({0, 1, 2}, {{0, 1}, {0, 2}});
+  const Graph g = MakeGraph({0, 1, 1, 0, 1, 2},
+                            {{0, 1}, {0, 2}, {3, 4}, {3, 5}});
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    const auto cands = LdfNlfCandidates(q, g, u, true);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      const bool expected =
+          std::find(cands.begin(), cands.end(), v) != cands.end();
+      EXPECT_EQ(PassesLdfNlf(q, g, u, v, true), expected)
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgq

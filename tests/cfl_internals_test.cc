@@ -1,0 +1,157 @@
+// White-box tests of CFL's CPI: tree shape, matching-order invariants
+// (parents precede children; core before forest before leaves), CPI edge
+// soundness, and the ablation knobs.
+#include "matching/cfl.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/graph_gen.h"
+#include "matching/brute_force.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+using ::sgq::testing::MakeCycle;
+using ::sgq::testing::MakeGraph;
+using ::sgq::testing::MakePath;
+
+const CpiData& AsCpi(const FilterData& data) {
+  return dynamic_cast<const CpiData&>(data);
+}
+
+TEST(CflCpiTest, MatchingOrderParentsPrecedeChildren) {
+  Rng rng(55);
+  std::vector<Label> labels = {0, 1};
+  CflMatcher matcher;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Graph q =
+        GenerateRandomGraph(3 + rng.NextBounded(5),
+                            1.5 + rng.NextDouble() * 2, labels, &rng);
+    if (!IsConnected(q)) continue;
+    const Graph g = GenerateRandomGraph(20, 4.0, labels, &rng);
+    const auto data = matcher.Filter(q, g);
+    if (!data->Passed()) continue;
+    const CpiData& cpi = AsCpi(*data);
+    ASSERT_EQ(cpi.matching_order.size(), q.NumVertices());
+    std::vector<bool> seen(q.NumVertices(), false);
+    for (VertexId u : cpi.matching_order) {
+      if (u != cpi.tree.root) {
+        EXPECT_TRUE(seen[cpi.tree.parent[u]])
+            << "vertex " << u << " ordered before its tree parent";
+      }
+      seen[u] = true;
+    }
+  }
+}
+
+TEST(CflCpiTest, CoreVerticesComeFirst) {
+  // Triangle (core) with two pendant vertices (forest/leaves).
+  const Graph q = MakeGraph({0, 0, 0, 0, 0},
+                            {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  const Graph g = MakeGraph(
+      {0, 0, 0, 0, 0, 0},
+      {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  CflMatcher matcher;
+  const auto data = matcher.Filter(q, g);
+  ASSERT_TRUE(data->Passed());
+  const CpiData& cpi = AsCpi(*data);
+  const auto core = TwoCoreMembership(q);
+  // All core vertices (0,1,2) must appear before all non-core (3,4).
+  uint32_t last_core_pos = 0, first_noncore_pos = UINT32_MAX;
+  for (uint32_t i = 0; i < cpi.matching_order.size(); ++i) {
+    if (core[cpi.matching_order[i]]) {
+      last_core_pos = i;
+    } else {
+      first_noncore_pos = std::min(first_noncore_pos, i);
+    }
+  }
+  EXPECT_LT(last_core_pos, first_noncore_pos);
+}
+
+TEST(CflCpiTest, CpiEdgesPointIntoPhi) {
+  Rng rng(66);
+  std::vector<Label> labels = {0, 1, 2};
+  CflMatcher matcher;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph q = GenerateRandomGraph(4, 1.5, labels, &rng);
+    if (!IsConnected(q)) continue;
+    const Graph g = GenerateRandomGraph(25, 4.0, labels, &rng);
+    const auto data = matcher.Filter(q, g);
+    if (!data->Passed()) continue;
+    const CpiData& cpi = AsCpi(*data);
+    for (VertexId u = 0; u < q.NumVertices(); ++u) {
+      if (u == cpi.tree.root) continue;
+      const VertexId p = cpi.tree.parent[u];
+      ASSERT_EQ(cpi.children[u].size(), data->phi.set(p).size());
+      for (uint32_t pj = 0; pj < cpi.children[u].size(); ++pj) {
+        const VertexId pv = data->phi.set(p)[pj];
+        for (uint32_t idx : cpi.children[u][pj]) {
+          ASSERT_LT(idx, data->phi.set(u).size());
+          const VertexId cv = data->phi.set(u)[idx];
+          // CPI edge => real data edge between the two candidates.
+          EXPECT_TRUE(g.HasEdge(pv, cv));
+        }
+      }
+    }
+  }
+}
+
+TEST(CflCpiTest, BottomUpRefinementOnlyShrinksPhi) {
+  Rng rng(77);
+  std::vector<Label> labels = {0, 1};
+  CflMatcher with{CflOptions{.use_nlf = true, .refine_bottom_up = true}};
+  CflMatcher without{CflOptions{.use_nlf = true, .refine_bottom_up = false}};
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph q = GenerateRandomGraph(4, 1.5, labels, &rng);
+    if (!IsConnected(q)) continue;
+    const Graph g = GenerateRandomGraph(25, 3.0, labels, &rng);
+    const auto refined = with.Filter(q, g);
+    const auto raw = without.Filter(q, g);
+    for (VertexId u = 0; u < q.NumVertices(); ++u) {
+      EXPECT_LE(refined->phi.set(u).size(), raw->phi.set(u).size());
+      for (VertexId v : refined->phi.set(u)) {
+        EXPECT_TRUE(raw->phi.Contains(u, v));
+      }
+    }
+    // Both must still count the same embeddings.
+    const uint64_t expected = BruteForceEnumerate(q, g, UINT64_MAX);
+    if (refined->Passed()) {
+      EXPECT_EQ(with.Enumerate(q, g, *refined, UINT64_MAX, nullptr)
+                    .embeddings,
+                expected);
+    } else {
+      EXPECT_EQ(expected, 0u);
+    }
+    if (raw->Passed()) {
+      EXPECT_EQ(
+          without.Enumerate(q, g, *raw, UINT64_MAX, nullptr).embeddings,
+          expected);
+    } else {
+      EXPECT_EQ(expected, 0u);
+    }
+  }
+}
+
+TEST(CflCpiTest, MemoryBytesCountsCpi) {
+  const Graph q = MakePath({0, 1, 0});
+  const Graph g = MakeCycle({0, 1, 0, 1});
+  CflMatcher matcher;
+  const auto data = matcher.Filter(q, g);
+  ASSERT_TRUE(data->Passed());
+  EXPECT_GT(data->MemoryBytes(), data->phi.MemoryBytes());
+}
+
+TEST(CflCpiTest, SingleVertexQueryWorks) {
+  const Graph q = MakeGraph({1}, {});
+  const Graph g = MakeGraph({1, 1, 0}, {{0, 1}, {1, 2}});
+  CflMatcher matcher;
+  const auto data = matcher.Filter(q, g);
+  ASSERT_TRUE(data->Passed());
+  EXPECT_EQ(matcher.Enumerate(q, g, *data, UINT64_MAX, nullptr).embeddings,
+            2u);
+}
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,225 @@
+// Engine-level tests: all eight competing algorithms (plus the naive
+// VF2-scan baseline) must return identical answer sets on randomized
+// databases, and their stats must satisfy the paper's structural invariants
+// (|A| <= |C| <= |D|, vcFV has zero index memory, timeouts reported).
+#include "query/engine_factory.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/graph_gen.h"
+#include "gen/query_gen.h"
+#include "matching/brute_force.h"
+#include "query/stats.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+using ::sgq::testing::MakeCycle;
+using ::sgq::testing::MakeGraph;
+using ::sgq::testing::MakePath;
+
+GraphDatabase TinyDatabase() {
+  GraphDatabase db;
+  db.Add(MakePath({0, 1, 2}));
+  db.Add(MakeCycle({0, 1, 2}));
+  db.Add(MakeGraph({0, 1, 2, 1}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}));
+  db.Add(MakePath({2, 1, 0, 1}));
+  return db;
+}
+
+class EngineTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<QueryEngine> engine_ = MakeEngine(GetParam());
+};
+
+TEST_P(EngineTest, AnswersMatchBruteForceOnTinyDatabase) {
+  const GraphDatabase db = TinyDatabase();
+  ASSERT_TRUE(engine_->Prepare(db, Deadline::Infinite()));
+  for (const Graph& q : {MakePath({0, 1}), MakePath({1, 2}),
+                         MakeCycle({0, 1, 2}), MakePath({0, 1, 2})}) {
+    std::vector<GraphId> expected;
+    for (GraphId g = 0; g < db.size(); ++g) {
+      if (BruteForceContains(q, db.graph(g))) expected.push_back(g);
+    }
+    const QueryResult result = engine_->Query(q);
+    EXPECT_EQ(result.answers, expected) << GetParam();
+    EXPECT_FALSE(result.stats.timed_out);
+    EXPECT_EQ(result.stats.num_answers, expected.size());
+    EXPECT_GE(result.stats.num_candidates, expected.size());
+    EXPECT_LE(result.stats.num_candidates, db.size());
+  }
+}
+
+TEST_P(EngineTest, NoAnswersForForeignLabels) {
+  const GraphDatabase db = TinyDatabase();
+  ASSERT_TRUE(engine_->Prepare(db, Deadline::Infinite()));
+  const QueryResult result = engine_->Query(MakePath({17, 18}));
+  EXPECT_TRUE(result.answers.empty());
+}
+
+TEST_P(EngineTest, StatsAreInternallyConsistent) {
+  const GraphDatabase db = TinyDatabase();
+  ASSERT_TRUE(engine_->Prepare(db, Deadline::Infinite()));
+  const QueryResult r = engine_->Query(MakePath({0, 1}));
+  EXPECT_GE(r.stats.filtering_ms, 0.0);
+  EXPECT_GE(r.stats.verification_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.stats.QueryMs(),
+                   r.stats.filtering_ms + r.stats.verification_ms);
+  EXPECT_LE(r.stats.si_tests, r.stats.num_candidates);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineTest,
+    ::testing::Values("CT-Index", "Grapes", "GGSX", "GraphGrep", "CFL",
+                      "GraphQL", "CFQL", "vcGrapes", "vcGGSX", "VF2-scan"),
+    [](const auto& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(EngineAgreementTest, AllEnginesAgreeOnRandomizedDatabases) {
+  for (uint64_t seed : {101u, 202u, 303u}) {
+    SyntheticParams params;
+    params.num_graphs = 30;
+    params.vertices_per_graph = 25;
+    params.degree = 3.5;
+    params.num_labels = 5;
+    params.seed = seed;
+    const GraphDatabase db = GenerateSyntheticDatabase(params);
+
+    std::vector<std::unique_ptr<QueryEngine>> engines;
+    std::vector<std::string> names = AllEngineNames();
+    names.insert(names.end(),
+                 {"TurboIso", "Ullmann", "QuickSI", "SPath", "GraphGrep",
+                  "MinedPath"});
+    for (const std::string& name : names) {
+      engines.push_back(MakeEngine(name));
+      ASSERT_TRUE(engines.back()->Prepare(db, Deadline::Infinite()));
+    }
+    auto baseline = MakeEngine("VF2-scan");
+    ASSERT_TRUE(baseline->Prepare(db, Deadline::Infinite()));
+
+    Rng rng(seed);
+    for (int trial = 0; trial < 6; ++trial) {
+      Graph q;
+      const QueryKind kind =
+          trial % 2 == 0 ? QueryKind::kSparse : QueryKind::kDense;
+      if (!GenerateQuery(db, kind, 4 + 2 * (trial % 3), &rng, &q)) continue;
+      const QueryResult expected = baseline->Query(q);
+      ASSERT_FALSE(expected.stats.timed_out);
+      for (const auto& engine : engines) {
+        const QueryResult r = engine->Query(q);
+        EXPECT_EQ(r.answers, expected.answers)
+            << engine->name() << " disagrees, seed " << seed << " trial "
+            << trial;
+        // Filtering soundness: C(q) can only shrink verification work, so
+        // candidate counts are bounded by |D| and bounded below by |A|.
+        EXPECT_GE(r.stats.num_candidates, r.answers.size());
+      }
+    }
+  }
+}
+
+TEST(EngineTimeoutTest, QueryTimesOutAndReportsIt) {
+  // Dense unlabeled database: verification explodes for VF2-based engines.
+  SyntheticParams params;
+  params.num_graphs = 4;
+  params.vertices_per_graph = 120;
+  params.degree = 12.0;
+  params.num_labels = 1;
+  params.seed = 9;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+  auto engine = MakeEngine("VF2-scan");
+  ASSERT_TRUE(engine->Prepare(db, Deadline::Infinite()));
+  Rng rng(1);
+  Graph q;
+  ASSERT_TRUE(GenerateQuery(db, QueryKind::kDense, 24, &rng, &q));
+  const QueryResult r = engine->Query(q, Deadline::AfterSeconds(0.02));
+  // Either it finished (fast machine / lucky query) or it reported timeout.
+  if (r.stats.timed_out) {
+    EXPECT_LE(r.answers.size(), db.size());
+  }
+}
+
+TEST(EngineOotTest, IndexBuildOotPropagates) {
+  SyntheticParams params;
+  params.num_graphs = 20;
+  params.vertices_per_graph = 80;
+  params.degree = 24.0;
+  params.num_labels = 1;
+  params.seed = 10;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+  for (const std::string& name :
+       {std::string("Grapes"), std::string("GGSX"), std::string("CT-Index"),
+        std::string("vcGrapes"), std::string("vcGGSX")}) {
+    auto engine = MakeEngine(name);
+    EXPECT_FALSE(engine->Prepare(db, Deadline::AfterSeconds(1e-4)))
+        << name << " should report OOT";
+  }
+}
+
+TEST(EngineMemoryTest, VcfvHasNoIndexMemory) {
+  const GraphDatabase db = TinyDatabase();
+  for (const std::string& name :
+       {std::string("CFL"), std::string("GraphQL"), std::string("CFQL")}) {
+    auto engine = MakeEngine(name);
+    ASSERT_TRUE(engine->Prepare(db, Deadline::Infinite()));
+    EXPECT_EQ(engine->IndexMemoryBytes(), 0u) << name;
+    const QueryResult r = engine->Query(MakePath({0, 1}));
+    EXPECT_GT(r.stats.aux_memory_bytes, 0u) << name;
+  }
+  for (const std::string& name :
+       {std::string("Grapes"), std::string("GGSX"), std::string("CT-Index")}) {
+    auto engine = MakeEngine(name);
+    ASSERT_TRUE(engine->Prepare(db, Deadline::Infinite()));
+    EXPECT_GT(engine->IndexMemoryBytes(), 0u) << name;
+  }
+}
+
+TEST(EngineUpdateTest, VcfvAnswersStayCorrectAfterDatabaseChanges) {
+  // The index-free selling point: updating D needs no rebuild for vcFV.
+  GraphDatabase db = TinyDatabase();
+  auto engine = MakeEngine("CFQL");
+  ASSERT_TRUE(engine->Prepare(db, Deadline::Infinite()));
+  const Graph q = MakePath({0, 1});
+
+  const size_t before = engine->Query(q).answers.size();
+  db.Add(MakePath({0, 1}));  // one more matching graph
+  const size_t after = engine->Query(q).answers.size();
+  EXPECT_EQ(after, before + 1);
+
+  db.Remove(static_cast<GraphId>(db.size() - 1));
+  EXPECT_EQ(engine->Query(q).answers.size(), before);
+}
+
+TEST(SummarizeTest, AggregatesPerPaperFormulas) {
+  std::vector<QueryResult> results(2);
+  results[0].stats.filtering_ms = 2;
+  results[0].stats.verification_ms = 8;
+  results[0].stats.num_candidates = 4;
+  results[0].stats.num_answers = 2;
+  results[1].stats.filtering_ms = 4;
+  results[1].stats.verification_ms = 0;
+  results[1].stats.num_candidates = 0;  // precision contribution: 1.0
+  results[1].stats.num_answers = 0;
+  results[1].stats.timed_out = true;
+
+  const QuerySetSummary s = Summarize(results, /*timeout_ms=*/100);
+  EXPECT_EQ(s.num_queries, 2u);
+  EXPECT_EQ(s.num_timeouts, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_filtering_ms, 3.0);
+  EXPECT_DOUBLE_EQ(s.avg_verification_ms, 4.0);
+  // Query time: (2+8) for the first, 100 (the limit) for the timed-out one.
+  EXPECT_DOUBLE_EQ(s.avg_query_ms, 55.0);
+  EXPECT_DOUBLE_EQ(s.filtering_precision, (0.5 + 1.0) / 2);
+  EXPECT_DOUBLE_EQ(s.avg_candidates, 2.0);
+  EXPECT_DOUBLE_EQ(s.per_si_test_ms, 1.0);  // (8/4 + 0)/2
+}
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,155 @@
+#include "index/feature_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace sgq {
+namespace {
+
+using ::sgq::testing::MakeCycle;
+using ::sgq::testing::MakeGraph;
+using ::sgq::testing::MakePath;
+
+TEST(CanonicalTreeKeyTest, IsomorphicTreesCollapse) {
+  // Star with center label 1 and leaves 0, 2 — built with two different
+  // vertex numberings.
+  const Graph a = MakeGraph({1, 0, 2}, {{0, 1}, {0, 2}});
+  const Graph b = MakeGraph({2, 1, 0}, {{1, 0}, {1, 2}});
+  const FeatureKey ka = CanonicalTreeKey(a, {0, 1, 2}, {{0, 1}, {0, 2}});
+  const FeatureKey kb = CanonicalTreeKey(b, {0, 1, 2}, {{1, 0}, {1, 2}});
+  EXPECT_EQ(ka, kb);
+}
+
+TEST(CanonicalTreeKeyTest, DistinguishesShape) {
+  // Path 0-1-2 vs star with center 1: same labels {0,1,2} with label(center)
+  // differing in position.
+  const Graph path = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}});
+  const Graph star = MakeGraph({1, 0, 2}, {{0, 1}, {0, 2}});
+  const FeatureKey kp = CanonicalTreeKey(path, {0, 1, 2}, {{0, 1}, {1, 2}});
+  const FeatureKey ks = CanonicalTreeKey(star, {0, 1, 2}, {{0, 1}, {0, 2}});
+  // Same canonical tree: path 0-1-2 with center label 1 IS the star with
+  // center 1 and leaves 0,2 (a 3-vertex tree is always a path).
+  EXPECT_EQ(kp, ks);
+
+  // A real shape difference needs 4 vertices: path vs 3-star, same labels.
+  const Graph p4 = MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 3}});
+  const Graph s4 = MakeGraph({0, 0, 0, 0}, {{0, 1}, {0, 2}, {0, 3}});
+  const FeatureKey kp4 =
+      CanonicalTreeKey(p4, {0, 1, 2, 3}, {{0, 1}, {1, 2}, {2, 3}});
+  const FeatureKey ks4 =
+      CanonicalTreeKey(s4, {0, 1, 2, 3}, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_NE(kp4, ks4);
+}
+
+TEST(CanonicalTreeKeyTest, DistinguishesLabels) {
+  const Graph a = MakeGraph({0, 1}, {{0, 1}});
+  const Graph b = MakeGraph({0, 2}, {{0, 1}});
+  EXPECT_NE(CanonicalTreeKey(a, {0, 1}, {{0, 1}}),
+            CanonicalTreeKey(b, {0, 1}, {{0, 1}}));
+}
+
+TEST(CanonicalCycleKeyTest, RotationAndReflectionInvariant) {
+  const Graph g = MakeCycle({0, 1, 2, 3});
+  const FeatureKey base = CanonicalCycleKey(g, {0, 1, 2, 3});
+  EXPECT_EQ(base, CanonicalCycleKey(g, {1, 2, 3, 0}));
+  EXPECT_EQ(base, CanonicalCycleKey(g, {3, 2, 1, 0}));
+  EXPECT_EQ(base, CanonicalCycleKey(g, {2, 1, 0, 3}));
+}
+
+TEST(CanonicalCycleKeyTest, DistinguishesLabelPatterns) {
+  const Graph a = MakeCycle({0, 0, 1, 1});
+  const Graph b = MakeCycle({0, 1, 0, 1});
+  EXPECT_NE(CanonicalCycleKey(a, {0, 1, 2, 3}),
+            CanonicalCycleKey(b, {0, 1, 2, 3}));
+}
+
+FeatureSet TreeFeatures(const Graph& g, uint32_t max_edges) {
+  FeatureSet out;
+  DeadlineChecker unlimited{Deadline::Infinite()};
+  EXPECT_TRUE(EnumerateTreeFeatures(g, max_edges, &unlimited, &out));
+  return out;
+}
+
+FeatureSet CycleFeatures(const Graph& g, uint32_t max_len) {
+  FeatureSet out;
+  DeadlineChecker unlimited{Deadline::Infinite()};
+  EXPECT_TRUE(EnumerateCycleFeatures(g, max_len, &unlimited, &out));
+  return out;
+}
+
+TEST(TreeEnumerationTest, PathGraphFeatures) {
+  // Path 0-1-2 (distinct labels): distinct tree features are
+  // {0}, {1}, {2}, {0-1}, {1-2}, {0-1-2}.
+  const Graph g = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}});
+  EXPECT_EQ(TreeFeatures(g, 4).size(), 6u);
+}
+
+TEST(TreeEnumerationTest, UniformLabelsCollapse) {
+  // Unlabeled path of 3: features {v}, {v-v}, {v-v-v} = 3 canonical trees.
+  const Graph g = MakePath({7, 7, 7});
+  EXPECT_EQ(TreeFeatures(g, 4).size(), 3u);
+}
+
+TEST(TreeEnumerationTest, RespectsMaxEdges) {
+  const Graph g = MakePath({0, 0, 0, 0, 0});
+  // Max 1 edge: single vertex + single edge = 2 canonical features.
+  EXPECT_EQ(TreeFeatures(g, 1).size(), 2u);
+}
+
+TEST(TreeEnumerationTest, StarAndPathDistinct) {
+  const Graph g = MakeGraph({0, 0, 0, 0, 0},
+                            {{0, 1}, {1, 2}, {2, 3}, {2, 4}});
+  const FeatureSet feats = TreeFeatures(g, 3);
+  // Among 3-edge features both the path and the 3-star occur.
+  const Graph p4 = MakePath({0, 0, 0, 0});
+  const Graph s4 = MakeGraph({0, 0, 0, 0}, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_TRUE(feats.count(
+      CanonicalTreeKey(p4, {0, 1, 2, 3}, {{0, 1}, {1, 2}, {2, 3}})));
+  EXPECT_TRUE(feats.count(
+      CanonicalTreeKey(s4, {0, 1, 2, 3}, {{0, 1}, {0, 2}, {0, 3}})));
+}
+
+TEST(CycleEnumerationTest, TriangleFound) {
+  const Graph g = MakeCycle({0, 1, 2});
+  const FeatureSet feats = CycleFeatures(g, 4);
+  EXPECT_EQ(feats.size(), 1u);
+  EXPECT_TRUE(feats.count(CanonicalCycleKey(g, {0, 1, 2})));
+}
+
+TEST(CycleEnumerationTest, NoCyclesInTree) {
+  EXPECT_TRUE(CycleFeatures(MakePath({0, 1, 2, 3}), 6).empty());
+}
+
+TEST(CycleEnumerationTest, LengthLimit) {
+  const Graph g = MakeCycle({0, 0, 0, 0, 0});
+  EXPECT_TRUE(CycleFeatures(g, 4).empty());
+  EXPECT_EQ(CycleFeatures(g, 5).size(), 1u);
+}
+
+TEST(CycleEnumerationTest, K4HasTrianglesAndSquares) {
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex(0);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) b.AddEdge(u, v);
+  }
+  const Graph g = b.Build();
+  // Canonical features: the unlabeled triangle and the unlabeled 4-cycle.
+  EXPECT_EQ(CycleFeatures(g, 4).size(), 2u);
+  EXPECT_EQ(CycleFeatures(g, 3).size(), 1u);
+}
+
+TEST(FeatureEnumerationTest, DeadlineAborts) {
+  GraphBuilder b;
+  for (int i = 0; i < 30; ++i) b.AddVertex(0);
+  for (VertexId u = 0; u < 30; ++u) {
+    for (VertexId v = u + 1; v < 30; ++v) b.AddEdge(u, v);
+  }
+  const Graph g = b.Build();
+  FeatureSet out;
+  DeadlineChecker tight{Deadline::AfterSeconds(1e-4)};
+  EXPECT_FALSE(EnumerateTreeFeatures(g, 4, &tight, &out));
+}
+
+}  // namespace
+}  // namespace sgq

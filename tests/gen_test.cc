@@ -1,0 +1,209 @@
+#include "gen/graph_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/dataset_profiles.h"
+#include "gen/query_gen.h"
+#include "graph/graph_utils.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+TEST(GraphGenTest, RespectsVertexCountAndConnectivity) {
+  Rng rng(1);
+  std::vector<Label> labels = {0, 1, 2, 3};
+  const Graph g = GenerateRandomGraph(50, 4.0, labels, &rng);
+  EXPECT_EQ(g.NumVertices(), 50u);
+  EXPECT_EQ(g.NumEdges(), 100u);  // 50 * 4 / 2
+  EXPECT_TRUE(IsConnected(g));
+  for (VertexId v = 0; v < g.NumVertices(); ++v) EXPECT_LT(g.label(v), 4u);
+}
+
+TEST(GraphGenTest, DenseGraphCompletes) {
+  Rng rng(2);
+  std::vector<Label> labels = {0};
+  // degree n-1 -> complete graph.
+  const Graph g = GenerateRandomGraph(12, 11.0, labels, &rng);
+  EXPECT_EQ(g.NumEdges(), 66u);
+}
+
+TEST(GraphGenTest, DegreeBeyondCompleteIsClamped) {
+  Rng rng(3);
+  std::vector<Label> labels = {0};
+  const Graph g = GenerateRandomGraph(5, 100.0, labels, &rng);
+  EXPECT_EQ(g.NumEdges(), 10u);
+}
+
+TEST(GraphGenTest, SparseBudgetSkipsSpanningTree) {
+  Rng rng(4);
+  std::vector<Label> labels = {0};
+  // 10 vertices, degree 0.4 -> 2 edges < 9: a forest with 2 edges.
+  const Graph g = GenerateRandomGraph(10, 0.4, labels, &rng);
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(GraphGenTest, SingleVertex) {
+  Rng rng(5);
+  std::vector<Label> labels = {7};
+  const Graph g = GenerateRandomGraph(1, 0.0, labels, &rng);
+  EXPECT_EQ(g.NumVertices(), 1u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(SyntheticDatabaseTest, MatchesParameters) {
+  SyntheticParams params;
+  params.num_graphs = 40;
+  params.vertices_per_graph = 30;
+  params.degree = 4.0;
+  params.num_labels = 5;
+  params.size_jitter = 0.0;
+  params.seed = 11;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+  ASSERT_EQ(db.size(), 40u);
+  const DatabaseStats stats = db.ComputeStats();
+  EXPECT_DOUBLE_EQ(stats.avg_vertices_per_graph, 30.0);
+  EXPECT_NEAR(stats.avg_degree_per_graph, 4.0, 0.2);
+  EXPECT_LE(stats.num_distinct_labels, 5u);
+}
+
+TEST(SyntheticDatabaseTest, Deterministic) {
+  SyntheticParams params;
+  params.num_graphs = 5;
+  params.vertices_per_graph = 20;
+  params.seed = 3;
+  const GraphDatabase a = GenerateSyntheticDatabase(params);
+  const GraphDatabase b = GenerateSyntheticDatabase(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (GraphId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.graph(i).NumVertices(), b.graph(i).NumVertices());
+    EXPECT_EQ(a.graph(i).NumEdges(), b.graph(i).NumEdges());
+  }
+}
+
+TEST(SyntheticDatabaseTest, LabelsPerGraphRestrictsUniverse) {
+  SyntheticParams params;
+  params.num_graphs = 20;
+  params.vertices_per_graph = 50;
+  params.num_labels = 40;
+  params.labels_per_graph = 4;
+  params.seed = 9;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+  const DatabaseStats stats = db.ComputeStats();
+  EXPECT_LT(stats.avg_labels_per_graph, 8.0);
+  EXPECT_GE(stats.avg_labels_per_graph, 1.0);
+}
+
+TEST(QueryGenTest, SparseQueriesHaveExactEdgeCountAndAreConnected) {
+  SyntheticParams params;
+  params.num_graphs = 10;
+  params.vertices_per_graph = 40;
+  params.degree = 5.0;
+  params.seed = 21;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+  const QuerySet set = GenerateQuerySet(db, QueryKind::kSparse, 8, 25, 1);
+  EXPECT_EQ(set.name, "Q_8S");
+  EXPECT_GE(set.queries.size(), 20u);
+  for (const Graph& q : set.queries) {
+    EXPECT_EQ(q.NumEdges(), 8u);
+    EXPECT_TRUE(IsConnected(q));
+  }
+}
+
+TEST(QueryGenTest, DenseQueriesAreDenser) {
+  SyntheticParams params;
+  params.num_graphs = 10;
+  params.vertices_per_graph = 60;
+  params.degree = 8.0;
+  params.seed = 22;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+  const QuerySet sparse = GenerateQuerySet(db, QueryKind::kSparse, 16, 25, 2);
+  const QuerySet dense = GenerateQuerySet(db, QueryKind::kDense, 16, 25, 2);
+  ASSERT_GE(sparse.queries.size(), 20u);
+  ASSERT_GE(dense.queries.size(), 20u);
+  for (const Graph& q : dense.queries) {
+    EXPECT_EQ(q.NumEdges(), 16u);
+    EXPECT_TRUE(IsConnected(q));
+  }
+  const QuerySetStats ss = ComputeQuerySetStats(sparse);
+  const QuerySetStats ds = ComputeQuerySetStats(dense);
+  // Table V trend: BFS-extracted queries have fewer vertices (=> higher
+  // degree) than random-walk queries of the same edge count.
+  EXPECT_LT(ds.avg_vertices, ss.avg_vertices);
+  EXPECT_GT(ds.avg_degree, ss.avg_degree);
+}
+
+TEST(QueryGenTest, QueriesAlwaysMatchTheirSourceDatabaseSomewhere) {
+  // Every generated query is a subgraph of some data graph by construction;
+  // its label set must exist in the database.
+  SyntheticParams params;
+  params.num_graphs = 6;
+  params.vertices_per_graph = 30;
+  params.degree = 4.0;
+  params.num_labels = 6;
+  params.seed = 30;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+  const QuerySet set = GenerateQuerySet(db, QueryKind::kSparse, 4, 10, 5);
+  for (const Graph& q : set.queries) {
+    for (VertexId u = 0; u < q.NumVertices(); ++u) {
+      EXPECT_LT(q.label(u), params.num_labels);
+    }
+  }
+}
+
+TEST(QueryGenTest, FailsGracefullyOnTinyDatabase) {
+  GraphDatabase db;
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(0);
+  b.AddEdge(0, 1);
+  db.Add(b.Build());
+  Rng rng(1);
+  Graph q;
+  // 32-edge query cannot come out of a 1-edge graph.
+  EXPECT_FALSE(GenerateQuery(db, QueryKind::kSparse, 32, &rng, &q));
+  // 1-edge query can.
+  EXPECT_TRUE(GenerateQuery(db, QueryKind::kSparse, 1, &rng, &q));
+  EXPECT_EQ(q.NumEdges(), 1u);
+}
+
+TEST(QueryGenTest, StandardBatteryShape) {
+  SyntheticParams params;
+  params.num_graphs = 8;
+  params.vertices_per_graph = 50;
+  params.degree = 6.0;
+  params.seed = 40;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+  const auto sets = GenerateStandardQuerySets(db, 5, 7);
+  ASSERT_EQ(sets.size(), 8u);
+  EXPECT_EQ(sets[0].name, "Q_4S");
+  EXPECT_EQ(sets[3].name, "Q_32S");
+  EXPECT_EQ(sets[4].name, "Q_4D");
+  EXPECT_EQ(sets[7].name, "Q_32D");
+}
+
+TEST(DatasetProfilesTest, ProfilesMatchTableFour) {
+  const auto& profiles = RealWorldProfiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_EQ(ProfileByName("AIDS").num_graphs, 40000u);
+  EXPECT_EQ(ProfileByName("PDBS").num_labels, 10u);
+  EXPECT_EQ(ProfileByName("PCM").avg_vertices, 377u);
+  EXPECT_NEAR(ProfileByName("PPI").avg_degree, 10.87, 1e-9);
+}
+
+TEST(DatasetProfilesTest, StandInScalesAndPreservesRegime) {
+  const GraphDatabase aids =
+      GenerateStandIn(ProfileByName("AIDS"), 0.005, 1.0, 1);
+  EXPECT_EQ(aids.size(), 200u);
+  const DatabaseStats stats = aids.ComputeStats();
+  EXPECT_NEAR(stats.avg_vertices_per_graph, 45.0, 5.0);
+  EXPECT_NEAR(stats.avg_degree_per_graph, 2.09, 0.5);
+  EXPECT_LT(stats.avg_labels_per_graph, 10.0);
+
+  const GraphDatabase ppi = GenerateStandIn(ProfileByName("PPI"), 0.5, 0.1, 2);
+  EXPECT_EQ(ppi.size(), 10u);
+  EXPECT_NEAR(ppi.ComputeStats().avg_degree_per_graph, 10.87, 2.0);
+}
+
+}  // namespace
+}  // namespace sgq

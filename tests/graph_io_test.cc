@@ -1,0 +1,134 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "tests/test_util.h"
+
+namespace sgq {
+namespace {
+
+using ::sgq::testing::MakeGraph;
+
+TEST(GraphIoTest, ParsesSimpleDatabase) {
+  const char* text =
+      "t # 0\n"
+      "v 0 1\n"
+      "v 1 2\n"
+      "e 0 1\n"
+      "t # 1\n"
+      "v 0 5\n";
+  GraphDatabase db;
+  std::string error;
+  ASSERT_TRUE(ParseDatabase(text, &db, &error)) << error;
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.graph(0).NumVertices(), 2u);
+  EXPECT_EQ(db.graph(0).NumEdges(), 1u);
+  EXPECT_EQ(db.graph(0).label(1), 2u);
+  EXPECT_EQ(db.graph(1).NumVertices(), 1u);
+  EXPECT_EQ(db.graph(1).label(0), 5u);
+}
+
+TEST(GraphIoTest, SkipsCommentsAndBlankLines) {
+  const char* text =
+      "# a comment\n"
+      "\n"
+      "t # 0\n"
+      "v 0 1\n"
+      "\n"
+      "# another\n"
+      "v 1 1\n"
+      "e 0 1 42\n";  // trailing edge label is tolerated
+  GraphDatabase db;
+  std::string error;
+  ASSERT_TRUE(ParseDatabase(text, &db, &error)) << error;
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.graph(0).NumEdges(), 1u);
+}
+
+TEST(GraphIoTest, RejectsVertexBeforeHeader) {
+  GraphDatabase db;
+  std::string error;
+  EXPECT_FALSE(ParseDatabase("v 0 1\n", &db, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsNonDenseVertexIds) {
+  GraphDatabase db;
+  std::string error;
+  EXPECT_FALSE(ParseDatabase("t # 0\nv 1 0\n", &db, &error));
+  EXPECT_NE(error.find("dense"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsEdgeToUndeclaredVertex) {
+  GraphDatabase db;
+  std::string error;
+  EXPECT_FALSE(ParseDatabase("t # 0\nv 0 0\ne 0 3\n", &db, &error));
+}
+
+TEST(GraphIoTest, RejectsSelfLoop) {
+  GraphDatabase db;
+  std::string error;
+  EXPECT_FALSE(ParseDatabase("t # 0\nv 0 0\ne 0 0\n", &db, &error));
+}
+
+TEST(GraphIoTest, RejectsDuplicateEdge) {
+  GraphDatabase db;
+  std::string error;
+  EXPECT_FALSE(
+      ParseDatabase("t # 0\nv 0 0\nv 1 0\ne 0 1\ne 1 0\n", &db, &error));
+}
+
+TEST(GraphIoTest, RejectsMalformedTokens) {
+  GraphDatabase db;
+  std::string error;
+  EXPECT_FALSE(ParseDatabase("t # 0\nv zero 1\n", &db, &error));
+  EXPECT_FALSE(ParseDatabase("t # 0\nv 0\n", &db, &error));
+  EXPECT_FALSE(ParseDatabase("x 1 2\n", &db, &error));
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  GraphDatabase db;
+  db.Add(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}}));
+  db.Add(MakeGraph({9}, {}));
+  const std::string text = SerializeDatabase(db);
+
+  GraphDatabase reparsed;
+  std::string error;
+  ASSERT_TRUE(ParseDatabase(text, &reparsed, &error)) << error;
+  ASSERT_EQ(reparsed.size(), db.size());
+  for (GraphId i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(SerializeGraph(db.graph(i), i),
+              SerializeGraph(reparsed.graph(i), i));
+  }
+}
+
+TEST(GraphIoTest, ParseSingleGraph) {
+  Graph g;
+  std::string error;
+  ASSERT_TRUE(ParseSingleGraph("t # 0\nv 0 3\nv 1 3\ne 0 1\n", &g, &error))
+      << error;
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_FALSE(ParseSingleGraph("t # 0\nv 0 3\nt # 1\nv 0 4\n", &g, &error));
+  EXPECT_FALSE(ParseSingleGraph("", &g, &error));
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  GraphDatabase db;
+  db.Add(MakeGraph({0, 1}, {{0, 1}}));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sgq_io_test.db").string();
+  std::string error;
+  ASSERT_TRUE(SaveDatabase(db, path, &error)) << error;
+  GraphDatabase loaded;
+  ASSERT_TRUE(LoadDatabase(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.size(), 1u);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(LoadDatabase("/nonexistent/path/xyz.db", &loaded, &error));
+}
+
+}  // namespace
+}  // namespace sgq

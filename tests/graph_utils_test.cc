@@ -1,0 +1,100 @@
+#include "graph/graph_utils.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace sgq {
+namespace {
+
+using ::sgq::testing::MakeCycle;
+using ::sgq::testing::MakeGraph;
+using ::sgq::testing::MakePath;
+
+TEST(BfsTreeTest, PathGraph) {
+  Graph g = MakePath({0, 0, 0, 0});
+  const BfsTree t = BuildBfsTree(g, 0);
+  EXPECT_EQ(t.root, 0u);
+  EXPECT_EQ(t.parent[0], kInvalidVertex);
+  EXPECT_EQ(t.parent[1], 0u);
+  EXPECT_EQ(t.parent[3], 2u);
+  EXPECT_EQ(t.level[3], 3u);
+  EXPECT_EQ(t.num_levels, 4u);
+  EXPECT_EQ(t.order.size(), 4u);
+  EXPECT_EQ(t.order[0], 0u);
+}
+
+TEST(BfsTreeTest, LevelsFromMiddle) {
+  Graph g = MakePath({0, 0, 0, 0, 0});
+  const BfsTree t = BuildBfsTree(g, 2);
+  EXPECT_EQ(t.level[2], 0u);
+  EXPECT_EQ(t.level[0], 2u);
+  EXPECT_EQ(t.level[4], 2u);
+  EXPECT_EQ(t.num_levels, 3u);
+  EXPECT_EQ(t.children[2].size(), 2u);
+}
+
+TEST(ConnectivityTest, Basics) {
+  EXPECT_TRUE(IsConnected(Graph()));
+  EXPECT_TRUE(IsConnected(MakePath({0, 1, 2})));
+  EXPECT_FALSE(IsConnected(MakeGraph({0, 1, 2}, {{0, 1}})));
+}
+
+TEST(ConnectivityTest, Components) {
+  Graph g = MakeGraph({0, 0, 0, 0, 0}, {{0, 1}, {2, 3}});
+  const auto comp = ConnectedComponents(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[0]);
+  EXPECT_NE(comp[4], comp[2]);
+}
+
+TEST(TwoCoreTest, CycleWithTail) {
+  // Triangle 0-1-2 with a tail 2-3-4: the 2-core is exactly the triangle.
+  Graph g = MakeGraph({0, 0, 0, 0, 0},
+                      {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  const auto core = TwoCoreMembership(g);
+  EXPECT_TRUE(core[0]);
+  EXPECT_TRUE(core[1]);
+  EXPECT_TRUE(core[2]);
+  EXPECT_FALSE(core[3]);
+  EXPECT_FALSE(core[4]);
+}
+
+TEST(TwoCoreTest, TreeHasEmptyCore) {
+  Graph g = MakePath({0, 0, 0, 0});
+  for (bool b : TwoCoreMembership(g)) EXPECT_FALSE(b);
+}
+
+TEST(TwoCoreTest, CascadingRemoval) {
+  // A "broom": path attached to a star; everything should be removed.
+  Graph g = MakeGraph({0, 0, 0, 0, 0}, {{0, 1}, {1, 2}, {1, 3}, {1, 4}});
+  for (bool b : TwoCoreMembership(g)) EXPECT_FALSE(b);
+}
+
+TEST(AcyclicTest, Basics) {
+  EXPECT_TRUE(IsAcyclic(MakePath({0, 0, 0})));
+  EXPECT_FALSE(IsAcyclic(MakeCycle({0, 0, 0})));
+  // Forest (disconnected, no cycles).
+  EXPECT_TRUE(IsAcyclic(MakeGraph({0, 0, 0, 0}, {{0, 1}, {2, 3}})));
+  // Disconnected with one cycle.
+  EXPECT_FALSE(
+      IsAcyclic(MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}})));
+}
+
+TEST(SortedMultisetContainsTest, Cases) {
+  using V = std::vector<Label>;
+  const V empty;
+  const V a = {1, 2, 2, 5};
+  EXPECT_TRUE(SortedMultisetContains(a, empty));
+  EXPECT_TRUE(SortedMultisetContains(a, V{2, 2}));
+  EXPECT_TRUE(SortedMultisetContains(a, V{1, 2, 2, 5}));
+  EXPECT_FALSE(SortedMultisetContains(a, V{2, 2, 2}));
+  EXPECT_FALSE(SortedMultisetContains(a, V{3}));
+  EXPECT_FALSE(SortedMultisetContains(a, V{1, 2, 2, 5, 5}));
+  EXPECT_FALSE(SortedMultisetContains(empty, V{1}));
+}
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,142 @@
+// Index persistence: built indexes round-trip through SaveTo/LoadFrom with
+// identical filtering behavior; corrupt/truncated inputs are rejected.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+
+#include "gen/graph_gen.h"
+#include "gen/query_gen.h"
+#include "index/ct_index.h"
+#include "index/ggsx_index.h"
+#include "index/graphgrep_index.h"
+#include "index/mined_path_index.h"
+#include "index/grapes_index.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+std::unique_ptr<GraphIndex> MakeIndex(const std::string& name) {
+  if (name == "Grapes") return std::make_unique<GrapesIndex>();
+  if (name == "GGSX") return std::make_unique<GgsxIndex>();
+  if (name == "CT-Index") return std::make_unique<CtIndex>();
+  if (name == "GraphGrep") return std::make_unique<GraphGrepIndex>();
+  if (name == "MinedPath") return std::make_unique<MinedPathIndex>();
+  SGQ_LOG(Fatal) << "unknown index " << name;
+  return nullptr;
+}
+
+GraphDatabase MakeDb() {
+  SyntheticParams params;
+  params.num_graphs = 15;
+  params.vertices_per_graph = 18;
+  params.degree = 2.5;
+  params.num_labels = 4;
+  params.seed = 77;
+  return GenerateSyntheticDatabase(params);
+}
+
+class IndexPersistenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IndexPersistenceTest, RoundTripPreservesFiltering) {
+  const GraphDatabase db = MakeDb();
+  auto original = MakeIndex(GetParam());
+  ASSERT_TRUE(original->Build(db, Deadline::Infinite()));
+
+  std::stringstream buffer;
+  ASSERT_TRUE(original->SaveTo(buffer));
+
+  auto loaded = MakeIndex(GetParam());
+  ASSERT_TRUE(loaded->LoadFrom(buffer));
+  EXPECT_TRUE(loaded->built());
+
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph q;
+    if (!GenerateQuery(db, QueryKind::kSparse, 4 + trial % 4, &rng, &q)) {
+      continue;
+    }
+    EXPECT_EQ(original->FilterCandidates(q), loaded->FilterCandidates(q))
+        << GetParam() << " trial " << trial;
+  }
+}
+
+TEST_P(IndexPersistenceTest, UnbuiltIndexRefusesToSave) {
+  auto index = MakeIndex(GetParam());
+  std::stringstream buffer;
+  EXPECT_FALSE(index->SaveTo(buffer));
+}
+
+TEST_P(IndexPersistenceTest, RejectsGarbageAndTruncation) {
+  auto index = MakeIndex(GetParam());
+  {
+    std::stringstream garbage("this is not an index file at all");
+    EXPECT_FALSE(index->LoadFrom(garbage));
+    EXPECT_FALSE(index->built());
+  }
+  {
+    std::stringstream empty;
+    EXPECT_FALSE(index->LoadFrom(empty));
+  }
+  // Truncated valid prefix.
+  const GraphDatabase db = MakeDb();
+  auto original = MakeIndex(GetParam());
+  ASSERT_TRUE(original->Build(db, Deadline::Infinite()));
+  std::stringstream buffer;
+  ASSERT_TRUE(original->SaveTo(buffer));
+  const std::string full = buffer.str();
+  for (size_t cut : {size_t{1}, size_t{4}, full.size() / 2,
+                     full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    auto fresh = MakeIndex(GetParam());
+    EXPECT_FALSE(fresh->LoadFrom(truncated)) << "cut at " << cut;
+  }
+}
+
+TEST_P(IndexPersistenceTest, RejectsWrongFormat) {
+  // Each index's file must be rejected by the other index types.
+  const GraphDatabase db = MakeDb();
+  auto original = MakeIndex(GetParam());
+  ASSERT_TRUE(original->Build(db, Deadline::Infinite()));
+  std::stringstream buffer;
+  ASSERT_TRUE(original->SaveTo(buffer));
+  for (const char* other : {"Grapes", "GGSX", "CT-Index"}) {
+    if (other == GetParam()) continue;
+    std::stringstream copy(buffer.str());
+    auto fresh = MakeIndex(other);
+    EXPECT_FALSE(fresh->LoadFrom(copy))
+        << other << " accepted a " << GetParam() << " file";
+  }
+}
+
+TEST_P(IndexPersistenceTest, FileRoundTrip) {
+  const GraphDatabase db = MakeDb();
+  auto original = MakeIndex(GetParam());
+  ASSERT_TRUE(original->Build(db, Deadline::Infinite()));
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("sgq_index_" + std::to_string(::getpid()) + ".bin"))
+          .string();
+  std::string error;
+  ASSERT_TRUE(original->SaveToFile(path, &error)) << error;
+  auto loaded = MakeIndex(GetParam());
+  ASSERT_TRUE(loaded->LoadFromFile(path, &error)) << error;
+  std::remove(path.c_str());
+  EXPECT_FALSE(loaded->LoadFromFile("/nonexistent/dir/x.bin", &error));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexPersistenceTest,
+                         ::testing::Values("Grapes", "GGSX", "CT-Index", "GraphGrep",
+                                           "MinedPath"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace sgq

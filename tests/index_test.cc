@@ -1,0 +1,249 @@
+// Index-level tests: the no-false-drop invariant (C(q) ⊇ A(q)) for every
+// IFV index, OOT behavior, and the structural precision relationships the
+// paper reports (Grapes >= GGSX thanks to occurrence counts).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gen/graph_gen.h"
+#include "gen/query_gen.h"
+#include "index/ct_index.h"
+#include "index/ggsx_index.h"
+#include "index/graph_index.h"
+#include "index/graphgrep_index.h"
+#include "index/mined_path_index.h"
+#include "index/grapes_index.h"
+#include "matching/brute_force.h"
+#include "tests/test_util.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+using ::sgq::testing::MakeCycle;
+using ::sgq::testing::MakeGraph;
+using ::sgq::testing::MakePath;
+
+std::unique_ptr<GraphIndex> MakeIndex(const std::string& name) {
+  if (name == "Grapes") return std::make_unique<GrapesIndex>();
+  if (name == "GGSX") return std::make_unique<GgsxIndex>();
+  if (name == "CT-Index") return std::make_unique<CtIndex>();
+  if (name == "GraphGrep") return std::make_unique<GraphGrepIndex>();
+  if (name == "MinedPath") return std::make_unique<MinedPathIndex>();
+  SGQ_LOG(Fatal) << "unknown index " << name;
+  return nullptr;
+}
+
+GraphDatabase SmallDatabase() {
+  GraphDatabase db;
+  db.Add(MakePath({0, 1, 2}));                                // 0
+  db.Add(MakeCycle({0, 1, 2}));                               // 1
+  db.Add(MakeGraph({0, 1, 2, 1}, {{0, 1}, {1, 2}, {2, 3}}));  // 2
+  db.Add(MakePath({3, 3}));                                   // 3
+  return db;
+}
+
+class IndexTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<GraphIndex> index_ = MakeIndex(GetParam());
+};
+
+TEST_P(IndexTest, BuildsAndReportsMemory) {
+  const GraphDatabase db = SmallDatabase();
+  ASSERT_TRUE(index_->Build(db, Deadline::Infinite()));
+  EXPECT_TRUE(index_->built());
+  EXPECT_GT(index_->MemoryBytes(), 0u);
+}
+
+TEST_P(IndexTest, NoFalseDropsOnSmallDatabase) {
+  const GraphDatabase db = SmallDatabase();
+  ASSERT_TRUE(index_->Build(db, Deadline::Infinite()));
+  const Graph q = MakePath({0, 1});
+  const auto candidates = index_->FilterCandidates(q);
+  for (GraphId g = 0; g < db.size(); ++g) {
+    if (BruteForceContains(q, db.graph(g))) {
+      EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), g) !=
+                  candidates.end())
+          << GetParam() << " dropped answer graph " << g;
+    }
+  }
+}
+
+TEST_P(IndexTest, ImpossibleLabelYieldsNoCandidates) {
+  const GraphDatabase db = SmallDatabase();
+  ASSERT_TRUE(index_->Build(db, Deadline::Infinite()));
+  const Graph q = MakePath({40, 41});
+  if (GetParam() == "MinedPath") {
+    // Mining-based indices only select frequent features; a label absent
+    // from every data graph is infrequent, hence unindexed, hence unable
+    // to prune — all graphs come back and verification rejects them (the
+    // gIndex semantics the paper's §II-B1 describes).
+    EXPECT_EQ(index_->FilterCandidates(q).size(), db.size());
+  } else {
+    EXPECT_TRUE(index_->FilterCandidates(q).empty());
+  }
+}
+
+TEST_P(IndexTest, CandidatesSortedAndUnique) {
+  const GraphDatabase db = SmallDatabase();
+  ASSERT_TRUE(index_->Build(db, Deadline::Infinite()));
+  const auto candidates = index_->FilterCandidates(MakePath({1}));
+  EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+  EXPECT_TRUE(std::adjacent_find(candidates.begin(), candidates.end()) ==
+              candidates.end());
+}
+
+TEST_P(IndexTest, NoFalseDropsRandomized) {
+  SyntheticParams params;
+  params.num_graphs = 25;
+  params.vertices_per_graph = 20;
+  params.degree = 3.0;
+  params.num_labels = 4;
+  params.seed = 17;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+  ASSERT_TRUE(index_->Build(db, Deadline::Infinite()));
+
+  Rng rng(5);
+  int verified_answers = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph q;
+    const QueryKind kind =
+        trial % 2 == 0 ? QueryKind::kSparse : QueryKind::kDense;
+    if (!GenerateQuery(db, kind, 4 + trial % 5, &rng, &q)) continue;
+    const auto candidates = index_->FilterCandidates(q);
+    for (GraphId g = 0; g < db.size(); ++g) {
+      if (BruteForceContains(q, db.graph(g))) {
+        ++verified_answers;
+        EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), g) !=
+                    candidates.end())
+            << GetParam() << " dropped graph " << g << " in trial " << trial;
+      }
+    }
+  }
+  EXPECT_GT(verified_answers, 0);
+}
+
+TEST_P(IndexTest, BuildTimesOutOnDenseDatabase) {
+  // A database of dense unlabeled graphs with an unreasonably tight
+  // deadline must report OOT, like Tables VI and VIII.
+  SyntheticParams params;
+  params.num_graphs = 30;
+  params.vertices_per_graph = 60;
+  params.degree = 20.0;
+  params.num_labels = 1;
+  params.seed = 23;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+  EXPECT_FALSE(index_->Build(db, Deadline::AfterSeconds(1e-4)));
+  EXPECT_FALSE(index_->built());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexTest,
+                         ::testing::Values("Grapes", "GGSX", "CT-Index", "GraphGrep",
+                                           "MinedPath"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+TEST(GrapesVsGgsxTest, CountsGiveGrapesExtraPruning) {
+  // Query with a repeated feature: two disjoint (0,1) edges. A data graph
+  // with only ONE (0,1) edge passes GGSX's presence check but fails
+  // Grapes' count check.
+  GraphDatabase db;
+  db.Add(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}}));           // one (0,1) edge
+  db.Add(MakeGraph({0, 1, 0, 1}, {{0, 1}, {2, 3}, {1, 2}}));  // two
+
+  const Graph q = MakeGraph({0, 1, 0, 1}, {{0, 1}, {2, 3}, {1, 2}});
+
+  GrapesIndex grapes;
+  GgsxIndex ggsx;
+  ASSERT_TRUE(grapes.Build(db, Deadline::Infinite()));
+  ASSERT_TRUE(ggsx.Build(db, Deadline::Infinite()));
+
+  const auto grapes_cands = grapes.FilterCandidates(q);
+  const auto ggsx_cands = ggsx.FilterCandidates(q);
+  // Grapes prunes graph 0; GGSX keeps it (presence only).
+  EXPECT_EQ(grapes_cands, (std::vector<GraphId>{1}));
+  EXPECT_LE(grapes_cands.size(), ggsx_cands.size());
+  EXPECT_TRUE(std::find(ggsx_cands.begin(), ggsx_cands.end(), 1) !=
+              ggsx_cands.end());
+}
+
+TEST(CtIndexTest, FingerprintSubsetForSubgraphs) {
+  // If q ⊆ G then fingerprint(q) ⊆ fingerprint(G).
+  const Graph g =
+      MakeGraph({0, 1, 2, 0}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  const Graph q = MakePath({0, 1, 2});
+  CtIndex index;
+  Bitset fq, fg;
+  DeadlineChecker unlimited{Deadline::Infinite()};
+  ASSERT_TRUE(index.ComputeFingerprint(q, &unlimited, &fq));
+  ASSERT_TRUE(index.ComputeFingerprint(g, &unlimited, &fg));
+  EXPECT_TRUE(fq.IsSubsetOf(fg));
+  EXPECT_FALSE(fg.IsSubsetOf(fq));
+}
+
+TEST(CtIndexTest, CycleFeatureDistinguishes) {
+  // A 4-cycle query against a path database: tree features match but the
+  // cycle feature prunes.
+  GraphDatabase db;
+  db.Add(MakePath({0, 0, 0, 0, 0}));
+  db.Add(MakeCycle({0, 0, 0, 0}));
+  CtIndex index;
+  ASSERT_TRUE(index.Build(db, Deadline::Infinite()));
+  const auto candidates = index.FilterCandidates(MakeCycle({0, 0, 0, 0}));
+  EXPECT_EQ(candidates, (std::vector<GraphId>{1}));
+}
+
+}  // namespace
+}  // namespace sgq
+
+namespace sgq {
+namespace {
+
+TEST(MemoryBudgetTest, BuildReportsOomWhenBudgetExceeded) {
+  SyntheticParams params;
+  params.num_graphs = 30;
+  params.vertices_per_graph = 40;
+  params.degree = 6.0;
+  params.num_labels = 10;
+  params.seed = 91;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+
+  GrapesOptions tight;
+  tight.memory_limit_bytes = 1024;  // absurdly small
+  GrapesIndex grapes(tight);
+  EXPECT_FALSE(grapes.Build(db, Deadline::Infinite()));
+  EXPECT_EQ(grapes.build_failure(), GraphIndex::BuildFailure::kMemory);
+
+  GgsxOptions tight_ggsx;
+  tight_ggsx.memory_limit_bytes = 1024;
+  GgsxIndex ggsx(tight_ggsx);
+  EXPECT_FALSE(ggsx.Build(db, Deadline::Infinite()));
+  EXPECT_EQ(ggsx.build_failure(), GraphIndex::BuildFailure::kMemory);
+
+  // A generous budget succeeds and reports kNone.
+  GrapesOptions loose;
+  loose.memory_limit_bytes = 1ull << 32;
+  GrapesIndex ok(loose);
+  EXPECT_TRUE(ok.Build(db, Deadline::Infinite()));
+  EXPECT_EQ(ok.build_failure(), GraphIndex::BuildFailure::kNone);
+}
+
+TEST(MemoryBudgetTest, TimeoutStillReportedAsTimeout) {
+  SyntheticParams params;
+  params.num_graphs = 20;
+  params.vertices_per_graph = 60;
+  params.degree = 20.0;
+  params.num_labels = 1;
+  params.seed = 92;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+  GrapesIndex grapes;
+  EXPECT_FALSE(grapes.Build(db, Deadline::AfterSeconds(1e-4)));
+  EXPECT_EQ(grapes.build_failure(), GraphIndex::BuildFailure::kTimeout);
+}
+
+}  // namespace
+}  // namespace sgq

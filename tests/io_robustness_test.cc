@@ -1,0 +1,96 @@
+// Parser robustness: randomized garbage and adversarial near-valid inputs
+// must be rejected cleanly (no crash, no partial state in the output
+// database).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/graph_io.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+TEST(IoRobustnessTest, RandomGarbageNeverCrashes) {
+  Rng rng(404);
+  const std::string alphabet = "tve 0123456789#\n\t\r xyz-";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const size_t length = rng.NextBounded(200);
+    for (size_t i = 0; i < length; ++i) {
+      text.push_back(alphabet[rng.NextBounded(alphabet.size())]);
+    }
+    GraphDatabase db;
+    std::string error;
+    if (ParseDatabase(text, &db, &error)) {
+      // Whatever parsed must be structurally sound.
+      for (GraphId g = 0; g < db.size(); ++g) {
+        const Graph& graph = db.graph(g);
+        for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+          for (VertexId u : graph.Neighbors(v)) {
+            ASSERT_LT(u, graph.NumVertices());
+            ASSERT_TRUE(graph.HasEdge(u, v));
+          }
+        }
+      }
+    } else {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST(IoRobustnessTest, AdversarialNearValidInputs) {
+  const char* cases[] = {
+      "t\nv 0 1\n",                 // bare t header is fine
+      "t # x\nv 0 1\n",             // non-numeric id ignored
+      "t # 0\nv 0 4294967294\n",    // max supported label
+      "t # 0\nv 0 4294967295\n",    // reserved label value -> reject
+      "t # 0\nv 0 99999999999\n",   // label overflow -> reject
+      "t # 0\nv -1 0\n",            // negative id -> reject
+      "t # 0\nv 0 1\ne 0\n",        // short edge -> reject
+      "t # 0\nv 0 1\nv 1 1\ne 0 1 2 3 4\n",  // extra tokens tolerated
+      "e 0 1\n",                    // edge before header -> reject
+      "t # 0\n\x01\x02\n",          // control characters -> reject
+  };
+  for (const char* text : cases) {
+    GraphDatabase db;
+    std::string error;
+    ParseDatabase(text, &db, &error);  // must not crash either way
+  }
+}
+
+TEST(IoRobustnessTest, EmptyAndWhitespaceOnly) {
+  GraphDatabase db;
+  std::string error;
+  EXPECT_TRUE(ParseDatabase("", &db, &error));
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_TRUE(ParseDatabase("\n\n  \n# only comments\n", &db, &error));
+  EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(IoRobustnessTest, WindowsLineEndings) {
+  GraphDatabase db;
+  std::string error;
+  ASSERT_TRUE(ParseDatabase("t # 0\r\nv 0 1\r\nv 1 2\r\ne 0 1\r\n", &db,
+                            &error))
+      << error;
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.graph(0).NumEdges(), 1u);
+}
+
+TEST(IoRobustnessTest, LargeGraphRoundTrip) {
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < 500; ++i) builder.AddVertex(i % 7);
+  for (uint32_t i = 0; i + 1 < 500; ++i) builder.AddEdge(i, i + 1);
+  GraphDatabase db;
+  db.Add(builder.Build());
+  const std::string text = SerializeDatabase(db);
+  GraphDatabase reparsed;
+  std::string error;
+  ASSERT_TRUE(ParseDatabase(text, &reparsed, &error)) << error;
+  EXPECT_EQ(reparsed.graph(0).NumVertices(), 500u);
+  EXPECT_EQ(reparsed.graph(0).NumEdges(), 499u);
+}
+
+}  // namespace
+}  // namespace sgq

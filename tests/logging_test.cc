@@ -1,0 +1,50 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace sgq {
+namespace {
+
+TEST(LoggingTest, CheckPassesSilently) {
+  SGQ_CHECK(true);
+  SGQ_CHECK_EQ(1, 1);
+  SGQ_CHECK_NE(1, 2);
+  SGQ_CHECK_LT(1, 2);
+  SGQ_CHECK_LE(2, 2);
+  SGQ_CHECK_GT(3, 2);
+  SGQ_CHECK_GE(3, 3);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(SGQ_CHECK(false) << "boom", "Check failed: false boom");
+  EXPECT_DEATH(SGQ_CHECK_EQ(1, 2), "Check failed");
+  EXPECT_DEATH(SGQ_CHECK_LT(5, 2), "5 vs 2");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(SGQ_LOG(Fatal) << "fatal message", "fatal message");
+}
+
+TEST(LoggingTest, ThresholdControlsOutput) {
+  const LogLevel original = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+  // Below-threshold messages must not crash (output suppressed).
+  SGQ_LOG(Info) << "suppressed";
+  SGQ_LOG(Warning) << "suppressed";
+  SetLogThreshold(original);
+}
+
+TEST(LoggingTest, CheckBindsTightlyInIfElse) {
+  // The macro must not swallow an else branch.
+  bool reached_else = false;
+  if (false) {
+    SGQ_CHECK(true);
+  } else {
+    reached_else = true;
+  }
+  EXPECT_TRUE(reached_else);
+}
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,123 @@
+#include "query/match_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/graph_gen.h"
+#include "gen/query_gen.h"
+#include "index/grapes_index.h"
+#include "matching/brute_force.h"
+#include "matching/cfql.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+using ::sgq::testing::MakeCycle;
+using ::sgq::testing::MakePath;
+
+GraphDatabase MakeDb(uint64_t seed) {
+  SyntheticParams params;
+  params.num_graphs = 20;
+  params.vertices_per_graph = 18;
+  params.degree = 3.0;
+  params.num_labels = 3;
+  params.seed = seed;
+  return GenerateSyntheticDatabase(params);
+}
+
+TEST(MatchEngineTest, CountsMatchBruteForce) {
+  const GraphDatabase db = MakeDb(1);
+  MatchEngine engine(std::make_unique<CfqlMatcher>());
+  ASSERT_TRUE(engine.Prepare(db, Deadline::Infinite()));
+  Rng rng(2);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph q;
+    if (!GenerateQuery(db, QueryKind::kSparse, 4, &rng, &q)) continue;
+    const MatchResult r = engine.Match(q);
+    uint64_t expected_total = 0;
+    for (GraphId g = 0; g < db.size(); ++g) {
+      const uint64_t count = BruteForceEnumerate(q, db.graph(g), UINT64_MAX);
+      expected_total += count;
+      const auto it = std::find_if(
+          r.matches.begin(), r.matches.end(),
+          [g](const GraphMatches& m) { return m.graph == g; });
+      if (count > 0) {
+        ASSERT_NE(it, r.matches.end()) << "graph " << g;
+        EXPECT_EQ(it->num_embeddings, count);
+      } else {
+        EXPECT_EQ(it, r.matches.end());
+      }
+    }
+    EXPECT_EQ(r.total_embeddings, expected_total);
+  }
+}
+
+TEST(MatchEngineTest, HybridAgreesWithPureSweep) {
+  const GraphDatabase db = MakeDb(3);
+  MatchEngine pure(std::make_unique<CfqlMatcher>());
+  MatchEngine hybrid(std::make_unique<GrapesIndex>(),
+                     std::make_unique<CfqlMatcher>());
+  ASSERT_TRUE(pure.Prepare(db, Deadline::Infinite()));
+  ASSERT_TRUE(hybrid.Prepare(db, Deadline::Infinite()));
+  EXPECT_FALSE(pure.has_index());
+  EXPECT_TRUE(hybrid.has_index());
+  Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph q;
+    if (!GenerateQuery(db, QueryKind::kDense, 5, &rng, &q)) continue;
+    const MatchResult a = pure.Match(q);
+    const MatchResult b = hybrid.Match(q);
+    EXPECT_EQ(a.total_embeddings, b.total_embeddings);
+    ASSERT_EQ(a.matches.size(), b.matches.size());
+    for (size_t i = 0; i < a.matches.size(); ++i) {
+      EXPECT_EQ(a.matches[i].graph, b.matches[i].graph);
+      EXPECT_EQ(a.matches[i].num_embeddings, b.matches[i].num_embeddings);
+    }
+    // The hybrid runs the matcher on no more graphs than the pure sweep.
+    EXPECT_LE(b.stats.num_candidates, a.stats.num_candidates);
+  }
+}
+
+TEST(MatchEngineTest, PerGraphLimitCapsEnumeration) {
+  GraphDatabase db;
+  db.Add(MakeCycle({0, 0, 0, 0, 0}));  // many embeddings of an edge
+  MatchEngine engine(std::make_unique<CfqlMatcher>());
+  ASSERT_TRUE(engine.Prepare(db, Deadline::Infinite()));
+  MatchOptions options;
+  options.per_graph_limit = 3;
+  const MatchResult r = engine.Match(MakePath({0, 0}), options);
+  ASSERT_EQ(r.matches.size(), 1u);
+  EXPECT_EQ(r.matches[0].num_embeddings, 3u);
+}
+
+TEST(MatchEngineTest, CollectsValidEmbeddings) {
+  GraphDatabase db;
+  db.Add(MakeCycle({0, 1, 0, 1}));
+  MatchEngine engine(std::make_unique<CfqlMatcher>());
+  ASSERT_TRUE(engine.Prepare(db, Deadline::Infinite()));
+  MatchOptions options;
+  options.collect_embeddings = true;
+  const Graph q = MakePath({0, 1});
+  const MatchResult r = engine.Match(q, options);
+  ASSERT_EQ(r.matches.size(), 1u);
+  EXPECT_EQ(r.matches[0].embeddings.size(), r.matches[0].num_embeddings);
+  for (const auto& mapping : r.matches[0].embeddings) {
+    ASSERT_EQ(mapping.size(), q.NumVertices());
+    EXPECT_TRUE(db.graph(0).HasEdge(mapping[0], mapping[1]));
+    EXPECT_EQ(db.graph(0).label(mapping[0]), 0u);
+    EXPECT_EQ(db.graph(0).label(mapping[1]), 1u);
+  }
+}
+
+TEST(MatchEngineTest, EmptyDatabase) {
+  GraphDatabase db;
+  MatchEngine engine(std::make_unique<CfqlMatcher>());
+  ASSERT_TRUE(engine.Prepare(db, Deadline::Infinite()));
+  const MatchResult r = engine.Match(MakePath({0, 1}));
+  EXPECT_TRUE(r.matches.empty());
+  EXPECT_EQ(r.total_embeddings, 0u);
+}
+
+}  // namespace
+}  // namespace sgq

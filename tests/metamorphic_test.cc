@@ -1,0 +1,152 @@
+// Metamorphic properties implied by Definition II.1/II.2, checked across
+// engines:
+//   (M1) query relaxation: removing an edge from q (keeping it connected)
+//        can only grow the answer set: A(q) ⊆ A(q');
+//   (M2) database growth: adding graphs never removes answers;
+//   (M3) every answer graph really contains the query (witness check);
+//   (M4) a query extracted from data graph G is always answered with G.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/graph_gen.h"
+#include "gen/query_gen.h"
+#include "graph/graph_utils.h"
+#include "matching/brute_force.h"
+#include "query/engine_factory.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+GraphDatabase MakeDb(uint64_t seed) {
+  SyntheticParams params;
+  params.num_graphs = 25;
+  params.vertices_per_graph = 22;
+  params.degree = 3.0;
+  params.num_labels = 4;
+  params.seed = seed;
+  return GenerateSyntheticDatabase(params);
+}
+
+// Removes one non-bridge edge of q; returns false if none exists.
+bool RelaxQuery(const Graph& q, Rng* rng, Graph* out) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v < q.NumVertices(); ++v) {
+    for (VertexId u : q.Neighbors(v)) {
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  for (size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[rng->NextBounded(i)]);
+  }
+  for (const auto& victim : edges) {
+    GraphBuilder builder;
+    for (VertexId v = 0; v < q.NumVertices(); ++v) {
+      builder.AddVertex(q.label(v));
+    }
+    for (const auto& e : edges) {
+      if (e != victim) builder.AddEdge(e.first, e.second);
+    }
+    Graph candidate = builder.Build();
+    if (IsConnected(candidate)) {
+      *out = std::move(candidate);
+      return true;
+    }
+  }
+  return false;
+}
+
+class MetamorphicTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MetamorphicTest, RelaxationGrowsAnswerSet) {
+  const GraphDatabase db = MakeDb(11);
+  auto engine = MakeEngine(GetParam());
+  ASSERT_TRUE(engine->Prepare(db, Deadline::Infinite()));
+  Rng rng(3);
+  int checked = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    Graph q;
+    if (!GenerateQuery(db, QueryKind::kDense, 8, &rng, &q)) continue;
+    Graph relaxed;
+    if (!RelaxQuery(q, &rng, &relaxed)) continue;
+    const auto full = engine->Query(q).answers;
+    const auto loose = engine->Query(relaxed).answers;
+    EXPECT_TRUE(std::includes(loose.begin(), loose.end(), full.begin(),
+                              full.end()))
+        << GetParam() << " trial " << trial;
+    ++checked;
+  }
+  EXPECT_GT(checked, 3);
+}
+
+TEST_P(MetamorphicTest, DatabaseGrowthPreservesAnswers) {
+  GraphDatabase db = MakeDb(12);
+  Rng rng(4);
+  Graph q;
+  ASSERT_TRUE(GenerateQuery(db, QueryKind::kSparse, 6, &rng, &q));
+
+  auto engine = MakeEngine(GetParam());
+  ASSERT_TRUE(engine->Prepare(db, Deadline::Infinite()));
+  const auto before = engine->Query(q).answers;
+
+  // Append five more graphs; old ids are unchanged by Add().
+  std::vector<Label> labels = {0, 1, 2, 3};
+  for (int i = 0; i < 5; ++i) {
+    db.Add(GenerateRandomGraph(20, 3.0, labels, &rng));
+  }
+  // IFV engines must re-prepare after updates (their documented
+  // limitation); vcFV engines keep working either way — re-prepare both to
+  // test the common contract.
+  ASSERT_TRUE(engine->Prepare(db, Deadline::Infinite()));
+  const auto after = engine->Query(q).answers;
+  EXPECT_TRUE(
+      std::includes(after.begin(), after.end(), before.begin(), before.end()))
+      << GetParam();
+}
+
+TEST_P(MetamorphicTest, AnswersContainWitnesses) {
+  const GraphDatabase db = MakeDb(13);
+  auto engine = MakeEngine(GetParam());
+  ASSERT_TRUE(engine->Prepare(db, Deadline::Infinite()));
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph q;
+    if (!GenerateQuery(db, QueryKind::kSparse, 5, &rng, &q)) continue;
+    for (GraphId g : engine->Query(q).answers) {
+      EXPECT_TRUE(BruteForceContains(q, db.graph(g)))
+          << GetParam() << " returned non-containing graph " << g;
+    }
+  }
+}
+
+TEST_P(MetamorphicTest, ExtractedQueryFindsItsSource) {
+  const GraphDatabase db = MakeDb(14);
+  auto engine = MakeEngine(GetParam());
+  ASSERT_TRUE(engine->Prepare(db, Deadline::Infinite()));
+  Rng rng(6);
+  int non_empty = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph q;
+    if (!GenerateQuery(db, QueryKind::kDense, 6, &rng, &q)) continue;
+    // The generator extracted q from SOME data graph, so at least one
+    // answer must exist.
+    const auto answers = engine->Query(q).answers;
+    EXPECT_FALSE(answers.empty()) << GetParam() << " trial " << trial;
+    non_empty += !answers.empty();
+  }
+  EXPECT_GT(non_empty, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, MetamorphicTest,
+    ::testing::Values("Grapes", "GGSX", "CT-Index", "CFQL", "CFL", "GraphQL",
+                      "vcGrapes", "vcGGSX", "TurboIso", "CFQL-parallel"),
+    [](const auto& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+}  // namespace
+}  // namespace sgq

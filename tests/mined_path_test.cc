@@ -1,0 +1,132 @@
+// White-box tests of the mining-based index: support threshold, label
+// features always kept, discriminative-ratio selection, and the sound
+// "cannot prune on unindexed features" semantics.
+#include "index/mined_path_index.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/graph_gen.h"
+#include "gen/query_gen.h"
+#include "matching/brute_force.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+using ::sgq::testing::MakeGraph;
+using ::sgq::testing::MakePath;
+
+GraphDatabase PathsDatabase() {
+  // 10 graphs: the path (0,1) appears in all, (0,2) in exactly 2.
+  GraphDatabase db;
+  for (int i = 0; i < 8; ++i) db.Add(MakePath({0, 1}));
+  db.Add(MakePath({0, 2}));
+  db.Add(MakePath({0, 2, 1}));
+  return db;
+}
+
+TEST(MinedPathTest, SupportThresholdControlsSelection) {
+  const GraphDatabase db = PathsDatabase();
+
+  MinedPathOptions strict;
+  strict.min_support = 0.5;  // (0,2)-features appear in 2/10 < 0.5
+  MinedPathIndex high(strict);
+  ASSERT_TRUE(high.Build(db, Deadline::Infinite()));
+
+  MinedPathOptions loose;
+  loose.min_support = 0.1;
+  MinedPathIndex low(loose);
+  ASSERT_TRUE(low.Build(db, Deadline::Infinite()));
+
+  EXPECT_GT(low.NumSelectedFeatures(), high.NumSelectedFeatures());
+
+  // With the strict threshold, a (0,2) query cannot be pruned by its rare
+  // edge feature — only by the label features.
+  const Graph q = MakePath({0, 2});
+  const auto strict_candidates = high.FilterCandidates(q);
+  const auto loose_candidates = low.FilterCandidates(q);
+  EXPECT_LE(loose_candidates.size(), strict_candidates.size());
+  // Both must retain the true answers.
+  for (GraphId g = 0; g < db.size(); ++g) {
+    if (BruteForceContains(q, db.graph(g))) {
+      EXPECT_TRUE(std::binary_search(strict_candidates.begin(),
+                                     strict_candidates.end(), g));
+      EXPECT_TRUE(std::binary_search(loose_candidates.begin(),
+                                     loose_candidates.end(), g));
+    }
+  }
+}
+
+TEST(MinedPathTest, LabelFeaturesAlwaysUsable) {
+  const GraphDatabase db = PathsDatabase();
+  MinedPathOptions opts;
+  opts.min_support = 0.15;
+  MinedPathIndex index(opts);
+  ASSERT_TRUE(index.Build(db, Deadline::Infinite()));
+  // Label 2 appears in 2/10 graphs (support 0.2 >= 0.15): queries with
+  // label 2 prune to those graphs.
+  const auto candidates = index.FilterCandidates(MakeGraph({2}, {}));
+  EXPECT_EQ(candidates, (std::vector<GraphId>{8, 9}));
+}
+
+TEST(MinedPathTest, DiscriminativeRatioDropsRedundantFeatures) {
+  // Every graph containing (0,1,0) also contains (0,1) with the same
+  // posting list; a high ratio must drop the longer feature.
+  GraphDatabase db;
+  for (int i = 0; i < 10; ++i) db.Add(MakePath({0, 1, 0}));
+  MinedPathOptions keep_all;
+  keep_all.min_support = 0.1;
+  keep_all.discriminative_ratio = 1.0;  // everything discriminative enough
+  MinedPathIndex all(keep_all);
+  ASSERT_TRUE(all.Build(db, Deadline::Infinite()));
+
+  MinedPathOptions strict;
+  strict.min_support = 0.1;
+  strict.discriminative_ratio = 1.5;  // identical postings -> dropped
+  MinedPathIndex pruned(strict);
+  ASSERT_TRUE(pruned.Build(db, Deadline::Infinite()));
+
+  EXPECT_LT(pruned.NumSelectedFeatures(), all.NumSelectedFeatures());
+}
+
+TEST(MinedPathTest, AppendUnsupportedFailsClosed) {
+  GraphDatabase db = PathsDatabase();
+  MinedPathIndex index;
+  ASSERT_TRUE(index.Build(db, Deadline::Infinite()));
+  const Graph extra = MakePath({0, 1});
+  EXPECT_FALSE(index.AppendGraph(extra, Deadline::Infinite()));
+  EXPECT_FALSE(index.built());  // must rebuild after a failed append
+}
+
+TEST(MinedPathTest, RandomizedNoFalseDropsAcrossThresholds) {
+  SyntheticParams params;
+  params.num_graphs = 20;
+  params.vertices_per_graph = 16;
+  params.degree = 2.5;
+  params.num_labels = 3;
+  params.seed = 5;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+  Rng rng(6);
+  for (double support : {0.05, 0.3, 0.8}) {
+    MinedPathOptions opts;
+    opts.min_support = support;
+    MinedPathIndex index(opts);
+    ASSERT_TRUE(index.Build(db, Deadline::Infinite()));
+    for (int trial = 0; trial < 8; ++trial) {
+      Graph q;
+      if (!GenerateQuery(db, QueryKind::kSparse, 4, &rng, &q)) continue;
+      const auto candidates = index.FilterCandidates(q);
+      for (GraphId g = 0; g < db.size(); ++g) {
+        if (BruteForceContains(q, db.graph(g))) {
+          EXPECT_TRUE(std::binary_search(candidates.begin(),
+                                         candidates.end(), g))
+              << "support " << support << " dropped " << g;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,108 @@
+// Properties of the molecule-like generator and the locality option.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "gen/graph_gen.h"
+#include "graph/graph_utils.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+TEST(MoleculeGenTest, ExactEdgeCountAndConnected) {
+  Rng rng(1);
+  std::vector<Label> labels = {0, 1, 2};
+  for (int trial = 0; trial < 40; ++trial) {
+    const uint32_t n = 10 + static_cast<uint32_t>(rng.NextBounded(60));
+    const double degree = 2.0 + rng.NextDouble();  // molecule range
+    const Graph g = GenerateMoleculeLikeGraph(n, degree, labels, &rng);
+    EXPECT_EQ(g.NumVertices(), n);
+    EXPECT_EQ(g.NumEdges(),
+              static_cast<uint64_t>(std::llround(degree * n / 2.0)));
+    EXPECT_TRUE(IsConnected(g)) << "trial " << trial;
+  }
+}
+
+TEST(MoleculeGenTest, HasTheRequestedNumberOfRings) {
+  // Cyclomatic number = |E| - |V| + 1 for connected graphs; the generator
+  // realizes each unit as a fused small ring.
+  Rng rng(2);
+  std::vector<Label> labels = {0};
+  const Graph g = GenerateMoleculeLikeGraph(45, 2.09, labels, &rng);
+  const int64_t cyclomatic =
+      static_cast<int64_t>(g.NumEdges()) - g.NumVertices() + 1;
+  EXPECT_GE(cyclomatic, 1);
+  EXPECT_FALSE(IsAcyclic(g));
+  // The 2-core (the fused-ring cluster) is non-empty and compact.
+  const auto core = TwoCoreMembership(g);
+  uint32_t core_size = 0;
+  for (bool b : core) core_size += b;
+  EXPECT_GT(core_size, 4u);          // at least one full ring
+  EXPECT_LT(core_size, g.NumVertices());  // chains exist too
+}
+
+TEST(MoleculeGenTest, FallsBackForTreeBudgets) {
+  Rng rng(3);
+  std::vector<Label> labels = {0};
+  // degree < 2 => cyclomatic < 1 => plain random generator.
+  const Graph g = GenerateMoleculeLikeGraph(20, 1.5, labels, &rng);
+  EXPECT_EQ(g.NumVertices(), 20u);
+  EXPECT_EQ(g.NumEdges(), 15u);
+}
+
+TEST(MoleculeGenTest, TinyGraphsSupported) {
+  Rng rng(4);
+  std::vector<Label> labels = {0};
+  for (uint32_t n : {1u, 2u, 5u, 6u, 7u}) {
+    const Graph g = GenerateMoleculeLikeGraph(n, 2.2, labels, &rng);
+    EXPECT_EQ(g.NumVertices(), n);
+  }
+}
+
+TEST(LocalityGenTest, LocalityRaisesShortCycleCount) {
+  Rng rng(5);
+  std::vector<Label> labels = {0};
+  // Compare triangle counts at locality 0 vs 0.9 (same size/degree).
+  auto count_triangles = [](const Graph& g) {
+    uint64_t count = 0;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      for (VertexId u : g.Neighbors(v)) {
+        if (u <= v) continue;
+        for (VertexId w : g.Neighbors(u)) {
+          if (w > u && g.HasEdge(v, w)) ++count;
+        }
+      }
+    }
+    return count;
+  };
+  uint64_t uniform = 0, local = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    uniform += count_triangles(
+        GenerateRandomGraph(100, 6.0, labels, &rng, /*edge_locality=*/0.0));
+    local += count_triangles(
+        GenerateRandomGraph(100, 6.0, labels, &rng, /*edge_locality=*/0.9));
+  }
+  EXPECT_GT(local, uniform * 2);
+}
+
+TEST(SyntheticStructureTest, MolecularDatabaseKeepsStats) {
+  SyntheticParams params;
+  params.num_graphs = 30;
+  params.vertices_per_graph = 45;
+  params.degree = 2.09;
+  params.num_labels = 10;
+  params.structure = SyntheticParams::Structure::kMolecular;
+  params.size_jitter = 0.0;
+  params.seed = 6;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+  const DatabaseStats s = db.ComputeStats();
+  EXPECT_DOUBLE_EQ(s.avg_vertices_per_graph, 45.0);
+  EXPECT_NEAR(s.avg_degree_per_graph, 2.09, 0.1);
+  for (const Graph& g : db.graphs()) {
+    EXPECT_TRUE(IsConnected(g));
+    EXPECT_FALSE(IsAcyclic(g));  // every molecule has rings at this degree
+  }
+}
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,164 @@
+// Matching-order properties: JoinBasedOrder produces a connected
+// permutation starting at the rarest vertex; the shared backtracker honors
+// limits and deadlines.
+#include <gtest/gtest.h>
+
+#include "gen/graph_gen.h"
+#include "graph/graph_utils.h"
+#include "matching/graphql.h"
+#include "matching/matcher.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+using ::sgq::testing::MakeCycle;
+using ::sgq::testing::MakeGraph;
+using ::sgq::testing::MakePath;
+
+CandidateSets UniformPhi(const Graph& q, uint32_t size) {
+  CandidateSets phi(q.NumVertices());
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    for (VertexId v = 0; v < size; ++v) phi.mutable_set(u).push_back(v);
+  }
+  return phi;
+}
+
+TEST(JoinBasedOrderTest, IsConnectedPermutation) {
+  Rng rng(31);
+  std::vector<Label> labels = {0, 1};
+  for (int trial = 0; trial < 50; ++trial) {
+    const Graph q = GenerateRandomGraph(
+        2 + rng.NextBounded(8), 1.2 + rng.NextDouble() * 2, labels, &rng);
+    if (!IsConnected(q)) continue;
+    const CandidateSets phi = UniformPhi(q, 5);
+    const auto order = JoinBasedOrder(q, phi);
+    ASSERT_EQ(order.size(), q.NumVertices());
+    std::vector<bool> seen(q.NumVertices(), false);
+    seen[order[0]] = true;
+    for (size_t i = 1; i < order.size(); ++i) {
+      EXPECT_FALSE(seen[order[i]]) << "duplicate in order";
+      bool connected = false;
+      for (VertexId w : q.Neighbors(order[i])) connected |= seen[w];
+      EXPECT_TRUE(connected) << "prefix disconnected at step " << i;
+      seen[order[i]] = true;
+    }
+  }
+}
+
+TEST(JoinBasedOrderTest, StartsAtFewestCandidates) {
+  const Graph q = MakePath({0, 1, 2});
+  CandidateSets phi(3);
+  phi.mutable_set(0) = {0, 1, 2};
+  phi.mutable_set(1) = {0, 1};
+  phi.mutable_set(2) = {0};
+  const auto order = JoinBasedOrder(q, phi);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 1u);  // only frontier neighbor
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(JoinBasedOrderTest, PrefersCheapFrontier) {
+  // Star center 0 with leaves 1..3; leaf 2 has the smallest candidate set
+  // but the order must still start with the global minimum.
+  const Graph q = MakeGraph({0, 1, 1, 1}, {{0, 1}, {0, 2}, {0, 3}});
+  CandidateSets phi(4);
+  phi.mutable_set(0) = {0, 1};
+  phi.mutable_set(1) = {0, 1, 2};
+  phi.mutable_set(2) = {0};
+  phi.mutable_set(3) = {0, 1, 2, 3};
+  const auto order = JoinBasedOrder(q, phi);
+  EXPECT_EQ(order[0], 2u);   // global min
+  EXPECT_EQ(order[1], 0u);   // only neighbor of 2
+  EXPECT_EQ(order[2], 1u);   // cheaper frontier than 3
+  EXPECT_EQ(order[3], 3u);
+}
+
+TEST(BacktrackTest, ZeroLimitShortCircuits) {
+  const Graph q = MakePath({0, 0});
+  const Graph g = MakeCycle({0, 0, 0});
+  CandidateSets phi(2);
+  phi.mutable_set(0) = {0, 1, 2};
+  phi.mutable_set(1) = {0, 1, 2};
+  const auto r = BacktrackOverCandidates(q, g, phi, {0, 1}, 0, nullptr,
+                                         nullptr);
+  EXPECT_EQ(r.embeddings, 0u);
+  EXPECT_EQ(r.recursion_calls, 0u);
+}
+
+TEST(BacktrackTest, CountsRecursionCalls) {
+  const Graph q = MakePath({0, 0});
+  const Graph g = MakeCycle({0, 0, 0});
+  CandidateSets phi(2);
+  phi.mutable_set(0) = {0, 1, 2};
+  phi.mutable_set(1) = {0, 1, 2};
+  const auto r = BacktrackOverCandidates(q, g, phi, {0, 1}, UINT64_MAX,
+                                         nullptr, nullptr);
+  EXPECT_EQ(r.embeddings, 6u);
+  EXPECT_GT(r.recursion_calls, 6u);
+  EXPECT_FALSE(r.aborted);
+}
+
+TEST(BacktrackTest, RespectsInjectivity) {
+  // Query = 2 adjacent same-label vertices; data = single vertex with a
+  // self-loop is impossible here, so use a single edge: exactly 2 ordered
+  // embeddings, never mapping both query vertices to one data vertex.
+  const Graph q = MakePath({0, 0});
+  const Graph g = MakePath({0, 0});
+  CandidateSets phi(2);
+  phi.mutable_set(0) = {0, 1};
+  phi.mutable_set(1) = {0, 1};
+  uint64_t count = 0;
+  BacktrackOverCandidates(q, g, phi, {0, 1}, UINT64_MAX, nullptr,
+                          [&](const std::vector<VertexId>& m) {
+                            ++count;
+                            EXPECT_NE(m[0], m[1]);
+                          });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(BacktrackTest, DeadlineAborts) {
+  // Large unlabeled complete-ish search space with an impossible final
+  // constraint would run a long time; a tiny deadline aborts it.
+  Rng rng(3);
+  std::vector<Label> labels = {0};
+  const Graph q = GenerateRandomGraph(12, 8.0, labels, &rng);
+  const Graph g = GenerateRandomGraph(200, 10.0, labels, &rng);
+  CandidateSets phi(q.NumVertices());
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      phi.mutable_set(u).push_back(v);
+    }
+  }
+  const BfsTree tree = BuildBfsTree(q, 0);
+  DeadlineChecker tight{Deadline::AfterSeconds(1e-3)};
+  const auto r = BacktrackOverCandidates(q, g, phi, tree.order, UINT64_MAX,
+                                         &tight, nullptr);
+  // With 200^12 possible mappings it cannot finish in a millisecond unless
+  // it aborted (or found astronomically many embeddings instantly).
+  EXPECT_TRUE(r.aborted || r.embeddings > 0);
+}
+
+TEST(GraphQlRefinementTest, RoundsOnlyShrinkPhi) {
+  Rng rng(41);
+  std::vector<Label> labels = {0, 1};
+  GraphQlMatcher r0{GraphQlOptions{.refinement_rounds = 0}};
+  GraphQlMatcher r2{GraphQlOptions{.refinement_rounds = 2}};
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph q = GenerateRandomGraph(4, 1.5, labels, &rng);
+    if (!IsConnected(q)) continue;
+    const Graph g = GenerateRandomGraph(25, 3.0, labels, &rng);
+    const auto phi0 = r0.Filter(q, g);
+    const auto phi2 = r2.Filter(q, g);
+    for (VertexId u = 0; u < q.NumVertices(); ++u) {
+      EXPECT_LE(phi2->phi.set(u).size(), phi0->phi.set(u).size());
+      for (VertexId v : phi2->phi.set(u)) {
+        EXPECT_TRUE(phi0->phi.Contains(u, v));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgq

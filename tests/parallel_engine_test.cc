@@ -1,0 +1,70 @@
+#include "query/parallel_vcfv_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/graph_gen.h"
+#include "gen/query_gen.h"
+#include "matching/cfql.h"
+#include "query/engine_factory.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+GraphDatabase MakeDb(uint64_t seed, uint32_t graphs) {
+  SyntheticParams params;
+  params.num_graphs = graphs;
+  params.vertices_per_graph = 25;
+  params.degree = 3.5;
+  params.num_labels = 5;
+  params.seed = seed;
+  return GenerateSyntheticDatabase(params);
+}
+
+TEST(ParallelVcfvTest, AgreesWithSerialCfql) {
+  const GraphDatabase db = MakeDb(1, 60);
+  auto serial = MakeEngine("CFQL");
+  ASSERT_TRUE(serial->Prepare(db, Deadline::Infinite()));
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    ParallelVcfvEngine parallel(
+        "CFQL-parallel", [] { return std::make_unique<CfqlMatcher>(); },
+        threads);
+    ASSERT_TRUE(parallel.Prepare(db, Deadline::Infinite()));
+    Rng rng(7);
+    for (int trial = 0; trial < 8; ++trial) {
+      Graph q;
+      if (!GenerateQuery(db, QueryKind::kSparse, 6, &rng, &q)) continue;
+      const QueryResult expected = serial->Query(q);
+      const QueryResult actual = parallel.Query(q, Deadline::Infinite());
+      EXPECT_EQ(actual.answers, expected.answers)
+          << threads << " threads, trial " << trial;
+      EXPECT_EQ(actual.stats.num_candidates, expected.stats.num_candidates);
+      EXPECT_FALSE(actual.stats.timed_out);
+    }
+  }
+}
+
+TEST(ParallelVcfvTest, AnswersSortedAndStatsConsistent) {
+  const GraphDatabase db = MakeDb(2, 40);
+  auto engine = MakeEngine("CFQL-parallel");
+  ASSERT_TRUE(engine->Prepare(db, Deadline::Infinite()));
+  Rng rng(9);
+  Graph q;
+  ASSERT_TRUE(GenerateQuery(db, QueryKind::kDense, 6, &rng, &q));
+  const QueryResult r = engine->Query(q);
+  EXPECT_TRUE(std::is_sorted(r.answers.begin(), r.answers.end()));
+  EXPECT_EQ(r.stats.num_answers, r.answers.size());
+  EXPECT_LE(r.stats.num_answers, r.stats.num_candidates);
+  EXPECT_GE(r.stats.filtering_ms, 0.0);
+  EXPECT_GE(r.stats.verification_ms, 0.0);
+  EXPECT_EQ(engine->IndexMemoryBytes(), 0u);
+}
+
+TEST(ParallelVcfvTest, DefaultsToHardwareConcurrency) {
+  ParallelVcfvEngine engine("p",
+                            [] { return std::make_unique<CfqlMatcher>(); });
+  EXPECT_GE(engine.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,218 @@
+#include "index/path_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "index/path_trie.h"
+#include "tests/test_util.h"
+
+namespace sgq {
+namespace {
+
+using ::sgq::testing::MakeCycle;
+using ::sgq::testing::MakeGraph;
+using ::sgq::testing::MakePath;
+
+PathFeatureCounts Enumerate(const Graph& g, uint32_t max_edges) {
+  PathFeatureCounts out;
+  DeadlineChecker unlimited{Deadline::Infinite()};
+  EXPECT_TRUE(EnumeratePathFeatures(g, max_edges, &unlimited, &out));
+  return out;
+}
+
+TEST(FeatureKeyTest, PackingRoundTrip) {
+  const FeatureKey a = MakePathKey({1, 2});
+  const FeatureKey b = MakePathKey({1, 2});
+  const FeatureKey c = MakePathKey({2, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(KeyLength(a), 2u);
+  EXPECT_LT(a, c);  // lexicographic on label sequences
+}
+
+TEST(PathEnumeratorTest, SingleEdgeDistinctLabels) {
+  const Graph g = MakePath({0, 1});
+  const auto counts = Enumerate(g, 4);
+  // Features: [0], [1], [0,1] (canonical direction).
+  EXPECT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts.at(MakePathKey({0})), 1u);
+  EXPECT_EQ(counts.at(MakePathKey({1})), 1u);
+  EXPECT_EQ(counts.at(MakePathKey({0, 1})), 1u);
+  EXPECT_EQ(counts.count(MakePathKey({1, 0})), 0u);
+}
+
+TEST(PathEnumeratorTest, PalindromeCountedFromBothEnds) {
+  const Graph g = MakePath({3, 3});
+  const auto counts = Enumerate(g, 4);
+  // [3] twice (two vertices); [3,3] counted from both directions.
+  EXPECT_EQ(counts.at(MakePathKey({3})), 2u);
+  EXPECT_EQ(counts.at(MakePathKey({3, 3})), 2u);
+}
+
+TEST(PathEnumeratorTest, RespectsMaxEdges) {
+  const Graph g = MakePath({0, 1, 2, 3, 4});
+  const auto counts = Enumerate(g, 2);
+  for (const auto& [key, count] : counts) {
+    EXPECT_LE(KeyLength(key), 3u);  // <= 2 edges -> <= 3 labels
+  }
+  EXPECT_TRUE(counts.count(MakePathKey({0, 1, 2})) > 0);
+  EXPECT_EQ(counts.count(MakePathKey({0, 1, 2, 3})), 0u);
+}
+
+TEST(PathEnumeratorTest, SimplePathsOnly) {
+  // Triangle with one label: longest simple path has 3 vertices.
+  const Graph g = MakeCycle({0, 0, 0});
+  const auto counts = Enumerate(g, 4);
+  for (const auto& [key, count] : counts) {
+    EXPECT_LE(KeyLength(key), 3u);
+  }
+  // 3 directed walks of length 2 per starting pair... verify count of the
+  // 3-label path: 6 directed simple paths of 3 vertices, palindromic
+  // sequence (0,0,0) counted from both directions -> 6.
+  EXPECT_EQ(counts.at(MakePathKey({0, 0, 0})), 6u);
+}
+
+TEST(PathEnumeratorTest, QueryDataCountConsistency) {
+  // The Grapes filter invariant: if q ⊆ G then for every feature f,
+  // count_q(f) <= count_G(f). Spot-check on a path inside a cycle.
+  const Graph q = MakePath({1, 0, 1});
+  const Graph g = MakeCycle({1, 0, 1, 0});
+  const auto qc = Enumerate(q, 4);
+  const auto gc = Enumerate(g, 4);
+  for (const auto& [key, count] : qc) {
+    ASSERT_TRUE(gc.count(key) > 0) << "feature missing";
+    EXPECT_GE(gc.at(key), count);
+  }
+}
+
+TEST(PathEnumeratorTest, DeadlineAborts) {
+  // A dense unlabeled graph has an astronomical number of simple paths.
+  GraphBuilder b;
+  for (int i = 0; i < 40; ++i) b.AddVertex(0);
+  for (VertexId u = 0; u < 40; ++u) {
+    for (VertexId v = u + 1; v < 40; ++v) b.AddEdge(u, v);
+  }
+  const Graph g = b.Build();
+  PathFeatureCounts out;
+  DeadlineChecker tight{Deadline::AfterSeconds(1e-4)};
+  EXPECT_FALSE(EnumeratePathFeatures(g, 6, &tight, &out));
+}
+
+TEST(PathTrieTest, InsertAndFind) {
+  PathTrie trie(/*store_counts=*/true);
+  trie.Insert(MakePathKey({0, 1}), 0, 2);
+  trie.Insert(MakePathKey({0, 1}), 2, 5);
+  trie.Insert(MakePathKey({0}), 1, 1);
+
+  const std::vector<uint32_t>* counts = nullptr;
+  const auto* graphs = trie.Find(MakePathKey({0, 1}), &counts);
+  ASSERT_NE(graphs, nullptr);
+  ASSERT_NE(counts, nullptr);
+  EXPECT_EQ(*graphs, (std::vector<GraphId>{0, 2}));
+  EXPECT_EQ(*counts, (std::vector<uint32_t>{2, 5}));
+
+  EXPECT_EQ(trie.Find(MakePathKey({9}), nullptr), nullptr);
+  EXPECT_EQ(trie.Find(MakePathKey({0, 1, 2}), nullptr), nullptr);
+  // Prefix node exists but has its own postings.
+  const auto* prefix = trie.Find(MakePathKey({0}), nullptr);
+  ASSERT_NE(prefix, nullptr);
+  EXPECT_EQ(*prefix, (std::vector<GraphId>{1}));
+}
+
+TEST(PathTrieTest, AccumulatesRepeatedInsertsForSameGraph) {
+  PathTrie trie(/*store_counts=*/true);
+  trie.Insert(MakePathKey({4}), 3, 1);
+  trie.Insert(MakePathKey({4}), 3, 2);
+  const std::vector<uint32_t>* counts = nullptr;
+  const auto* graphs = trie.Find(MakePathKey({4}), &counts);
+  ASSERT_NE(graphs, nullptr);
+  EXPECT_EQ(graphs->size(), 1u);
+  EXPECT_EQ((*counts)[0], 3u);
+}
+
+TEST(PathTrieTest, PresenceOnlyMode) {
+  PathTrie trie(/*store_counts=*/false);
+  trie.Insert(MakePathKey({1, 2}), 0, 7);
+  const std::vector<uint32_t>* counts = nullptr;
+  const auto* graphs = trie.Find(MakePathKey({1, 2}), &counts);
+  ASSERT_NE(graphs, nullptr);
+  EXPECT_EQ(counts, nullptr);
+  EXPECT_EQ(graphs->size(), 1u);
+}
+
+TEST(PathTrieTest, MemoryGrowsWithContent) {
+  PathTrie small(true);
+  small.Insert(MakePathKey({0}), 0, 1);
+  PathTrie big(true);
+  for (Label l = 0; l < 100; ++l) big.Insert(MakePathKey({l, l + 1}), 0, 1);
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+  EXPECT_GT(big.NumNodes(), small.NumNodes());
+}
+
+}  // namespace
+}  // namespace sgq
+
+#include "gen/graph_gen.h"
+#include "index/local_path_trie.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+// The trie-based build-path enumerator must produce exactly the same
+// feature multiset as the string-keyed reference enumerator.
+TEST(LocalPathTrieTest, MatchesStringEnumerator) {
+  Rng rng(123);
+  std::vector<Label> labels = {0, 1, 2, 3};
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = GenerateRandomGraph(
+        10 + static_cast<uint32_t>(rng.NextBounded(20)),
+        1.0 + rng.NextDouble() * 4.0, labels, &rng);
+    PathFeatureCounts expected;
+    DeadlineChecker unlimited1{Deadline::Infinite()};
+    ASSERT_TRUE(EnumeratePathFeatures(g, 4, &unlimited1, &expected));
+
+    LocalPathTrie local;
+    DeadlineChecker unlimited2{Deadline::Infinite()};
+    ASSERT_TRUE(EnumeratePathsIntoTrie(g, 4, &unlimited2, &local));
+    PathTrie global(/*store_counts=*/true);
+    MergeLocalTrie(local, /*graph=*/0, &global);
+
+    size_t found = 0;
+    for (const auto& [key, count] : expected) {
+      const std::vector<uint32_t>* counts = nullptr;
+      const auto* graphs = global.Find(key, &counts);
+      ASSERT_NE(graphs, nullptr) << "missing feature, trial " << trial;
+      ASSERT_EQ(graphs->size(), 1u);
+      EXPECT_EQ((*counts)[0], count) << "trial " << trial;
+      ++found;
+    }
+    // No extra features: count trie postings.
+    std::function<size_t(const LocalPathTrie&, uint32_t)> count_nodes =
+        [&](const LocalPathTrie& t, uint32_t n) {
+          size_t c = t.node(n).count > 0 ? 1 : 0;
+          for (const auto& [label, child] : t.node(n).children) {
+            c += count_nodes(t, child);
+          }
+          return c;
+        };
+    EXPECT_EQ(count_nodes(local, local.root()), expected.size())
+        << "trial " << trial;
+  }
+}
+
+TEST(LocalPathTrieTest, DeadlineAborts) {
+  GraphBuilder b;
+  for (int i = 0; i < 40; ++i) b.AddVertex(0);
+  for (VertexId u = 0; u < 40; ++u) {
+    for (VertexId v = u + 1; v < 40; ++v) b.AddEdge(u, v);
+  }
+  const Graph g = b.Build();
+  LocalPathTrie out;
+  DeadlineChecker tight{Deadline::AfterSeconds(1e-4)};
+  EXPECT_FALSE(EnumeratePathsIntoTrie(g, 6, &tight, &out));
+}
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,75 @@
+#include "util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sgq {
+namespace {
+
+TEST(SerializeTest, U32RoundTrip) {
+  std::stringstream buffer;
+  WriteU32(buffer, 0);
+  WriteU32(buffer, 1);
+  WriteU32(buffer, 0xdeadbeef);
+  WriteU32(buffer, UINT32_MAX);
+  uint32_t v = 0;
+  ASSERT_TRUE(ReadU32(buffer, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(ReadU32(buffer, &v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(ReadU32(buffer, &v));
+  EXPECT_EQ(v, 0xdeadbeefu);
+  ASSERT_TRUE(ReadU32(buffer, &v));
+  EXPECT_EQ(v, UINT32_MAX);
+  EXPECT_FALSE(ReadU32(buffer, &v));  // exhausted
+}
+
+TEST(SerializeTest, U64RoundTrip) {
+  std::stringstream buffer;
+  WriteU64(buffer, 0x0123456789abcdefULL);
+  WriteU64(buffer, UINT64_MAX);
+  uint64_t v = 0;
+  ASSERT_TRUE(ReadU64(buffer, &v));
+  EXPECT_EQ(v, 0x0123456789abcdefULL);
+  ASSERT_TRUE(ReadU64(buffer, &v));
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(SerializeTest, TruncatedReadsFail) {
+  std::stringstream buffer;
+  WriteU64(buffer, 42);
+  std::string bytes = buffer.str();
+  for (size_t cut = 0; cut < 8; ++cut) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    uint64_t v = 0;
+    EXPECT_FALSE(ReadU64(truncated, &v)) << "cut " << cut;
+  }
+}
+
+TEST(SerializeTest, VectorRoundTrip) {
+  std::stringstream buffer;
+  const std::vector<uint32_t> values = {3, 1, 4, 1, 5, 9, 2, 6};
+  WriteU32Vector(buffer, values);
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(ReadU32Vector(buffer, 100, &out));
+  EXPECT_EQ(out, values);
+}
+
+TEST(SerializeTest, VectorSizeGuardRejectsHugeDeclaredSizes) {
+  std::stringstream buffer;
+  WriteU64(buffer, uint64_t{1} << 40);  // absurd declared length
+  std::vector<uint32_t> out;
+  EXPECT_FALSE(ReadU32Vector(buffer, 1000, &out));
+}
+
+TEST(SerializeTest, EmptyVector) {
+  std::stringstream buffer;
+  WriteU32Vector(buffer, std::vector<uint32_t>{});
+  std::vector<uint32_t> out = {7};
+  ASSERT_TRUE(ReadU32Vector(buffer, 10, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,75 @@
+// White-box tests of SPath's neighborhood signatures.
+#include "matching/spath.h"
+
+#include <gtest/gtest.h>
+
+#include "matching/brute_force.h"
+#include "tests/test_util.h"
+
+namespace sgq {
+namespace {
+
+using ::sgq::testing::MakeCycle;
+using ::sgq::testing::MakeGraph;
+using ::sgq::testing::MakePath;
+
+TEST(SPathTest, SignaturePrunesBeyondOneHop) {
+  // u0 (label 0) needs a label-2 vertex at distance 2. Plain NLF (1-hop)
+  // cannot see that; SPath's depth-2 signature can.
+  const Graph q = MakePath({0, 1, 2});
+  // v0's 2-hop neighborhood has labels {1, 3}: no 2 within distance 2.
+  // v3's has {1, 2}: survives.
+  const Graph g = MakeGraph({0, 1, 3, 0, 1, 2},
+                            {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  SPathMatcher matcher;
+  const auto data = matcher.Filter(q, g);
+  EXPECT_EQ(data->phi.set(0), (std::vector<VertexId>{3}));
+  EXPECT_EQ(matcher.Enumerate(q, g, *data, UINT64_MAX, nullptr).embeddings,
+            1u);
+}
+
+TEST(SPathTest, CumulativeDominanceIsDistanceRobust) {
+  // In the query, the second label-1 vertex is at distance 2 from u0; in
+  // the data it is at distance 1 (the path shortens through a chord). The
+  // cumulative signature must keep the candidate.
+  const Graph q = MakeGraph({0, 1, 1}, {{0, 1}, {1, 2}});
+  const Graph g = MakeGraph({0, 1, 1}, {{0, 1}, {1, 2}, {0, 2}});
+  SPathMatcher matcher;
+  const auto data = matcher.Filter(q, g);
+  ASSERT_TRUE(data->Passed());
+  EXPECT_TRUE(data->phi.Contains(0, 0));
+  EXPECT_EQ(matcher.Enumerate(q, g, *data, UINT64_MAX, nullptr).embeddings,
+            BruteForceEnumerate(q, g, UINT64_MAX));
+}
+
+TEST(SPathTest, DepthOneEqualsNlfStyleFiltering) {
+  SPathMatcher shallow{SPathOptions{.signature_depth = 1}};
+  SPathMatcher deep{SPathOptions{.signature_depth = 3}};
+  const Graph q = MakePath({0, 1, 2, 1});
+  const Graph g = MakeGraph({0, 1, 2, 1, 0, 1},
+                            {{0, 1}, {1, 2}, {2, 3}, {4, 5}});
+  const auto a = shallow.Filter(q, g);
+  const auto b = deep.Filter(q, g);
+  // Deeper signatures can only shrink candidate sets.
+  for (VertexId u = 0; u < q.NumVertices(); ++u) {
+    for (VertexId v : b->phi.set(u)) {
+      EXPECT_TRUE(a->phi.Contains(u, v));
+    }
+    EXPECT_LE(b->phi.set(u).size(), a->phi.set(u).size());
+  }
+}
+
+TEST(SPathTest, TriangleCountsExact) {
+  const Graph tri = MakeCycle({0, 1, 2});
+  const Graph g = MakeGraph(
+      {0, 1, 2, 0, 1, 2},
+      {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  SPathMatcher matcher;
+  const auto data = matcher.Filter(tri, g);
+  ASSERT_TRUE(data->Passed());
+  EXPECT_EQ(matcher.Enumerate(tri, g, *data, UINT64_MAX, nullptr).embeddings,
+            BruteForceEnumerate(tri, g, UINT64_MAX));
+}
+
+}  // namespace
+}  // namespace sgq

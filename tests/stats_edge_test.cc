@@ -1,0 +1,82 @@
+// Edge cases of the metrics layer and other small contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/graph_gen.h"
+#include "query/stats.h"
+#include "tests/test_util.h"
+#include "util/deadline.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+TEST(SummarizeEdgeTest, EmptyInput) {
+  const QuerySetSummary s = Summarize({}, 1000);
+  EXPECT_EQ(s.num_queries, 0u);
+  EXPECT_EQ(s.num_timeouts, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_query_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.filtering_precision, 0.0);
+}
+
+TEST(SummarizeEdgeTest, AllTimeouts) {
+  std::vector<QueryResult> results(3);
+  for (auto& r : results) {
+    r.stats.timed_out = true;
+    r.stats.filtering_ms = 1;
+    r.stats.verification_ms = 500;
+    r.stats.num_candidates = 10;
+    r.stats.num_answers = 1;
+  }
+  const QuerySetSummary s = Summarize(results, /*timeout_ms=*/600);
+  EXPECT_EQ(s.num_timeouts, 3u);
+  // Timed-out queries are charged the limit, as the paper does.
+  EXPECT_DOUBLE_EQ(s.avg_query_ms, 600.0);
+  EXPECT_DOUBLE_EQ(s.filtering_precision, 0.1);
+}
+
+TEST(SummarizeEdgeTest, PerSiSkipsZeroCandidateQueries) {
+  std::vector<QueryResult> results(2);
+  results[0].stats.num_candidates = 0;
+  results[0].stats.verification_ms = 0;
+  results[1].stats.num_candidates = 5;
+  results[1].stats.verification_ms = 10;
+  const QuerySetSummary s = Summarize(results, 1000);
+  EXPECT_DOUBLE_EQ(s.per_si_test_ms, 1.0);  // (skip + 10/5) / 2
+}
+
+TEST(DeadlineEdgeTest, SecondsRemaining) {
+  EXPECT_TRUE(std::isinf(Deadline::Infinite().SecondsRemaining()));
+  const Deadline d = Deadline::AfterSeconds(100);
+  const double remaining = d.SecondsRemaining();
+  EXPECT_GT(remaining, 95.0);
+  EXPECT_LE(remaining, 100.0);
+}
+
+TEST(GraphMemoryTest, GrowsWithSize) {
+  Rng rng(1);
+  std::vector<Label> labels = {0, 1};
+  const Graph small = GenerateRandomGraph(10, 2.0, labels, &rng);
+  const Graph big = GenerateRandomGraph(200, 6.0, labels, &rng);
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(DatabaseStatsTest, EmptyDatabase) {
+  GraphDatabase db;
+  const DatabaseStats s = db.ComputeStats();
+  EXPECT_EQ(s.num_graphs, 0u);
+  EXPECT_EQ(s.num_distinct_labels, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_vertices_per_graph, 0.0);
+  EXPECT_EQ(db.MemoryBytes(), 0u);
+}
+
+TEST(QueryStatsTest, DefaultsAreZero) {
+  QueryStats s;
+  EXPECT_DOUBLE_EQ(s.QueryMs(), 0.0);
+  EXPECT_FALSE(s.timed_out);
+  EXPECT_EQ(s.aux_memory_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace sgq

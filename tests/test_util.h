@@ -1,0 +1,57 @@
+// Shared helpers for the test suite.
+#ifndef SGQ_TESTS_TEST_UTIL_H_
+#define SGQ_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace sgq::testing {
+
+// Builds a graph from a label list and an edge list.
+inline Graph MakeGraph(std::initializer_list<Label> labels,
+                       std::initializer_list<std::pair<VertexId, VertexId>>
+                           edges) {
+  GraphBuilder builder;
+  for (Label l : labels) builder.AddVertex(l);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+// A labeled path v0 - v1 - ... - v_{n-1}.
+inline Graph MakePath(std::initializer_list<Label> labels) {
+  GraphBuilder builder;
+  VertexId prev = kInvalidVertex;
+  for (Label l : labels) {
+    const VertexId v = builder.AddVertex(l);
+    if (prev != kInvalidVertex) builder.AddEdge(prev, v);
+    prev = v;
+  }
+  return builder.Build();
+}
+
+// A labeled cycle.
+inline Graph MakeCycle(std::initializer_list<Label> labels) {
+  GraphBuilder builder;
+  std::vector<VertexId> ids;
+  for (Label l : labels) ids.push_back(builder.AddVertex(l));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    builder.AddEdge(ids[i], ids[(i + 1) % ids.size()]);
+  }
+  return builder.Build();
+}
+
+// Canonicalizes a list of embeddings for order-insensitive comparison.
+inline std::vector<std::vector<VertexId>> Sorted(
+    std::vector<std::vector<VertexId>> embeddings) {
+  std::sort(embeddings.begin(), embeddings.end());
+  return embeddings;
+}
+
+}  // namespace sgq::testing
+
+#endif  // SGQ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,103 @@
+// White-box tests of TurboIso's candidate regions: per-root partitioning,
+// region-level completeness, and the parent-precedence of region orders.
+#include "matching/turboiso.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/graph_gen.h"
+#include "matching/brute_force.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+using ::sgq::testing::MakeCycle;
+using ::sgq::testing::MakeGraph;
+using ::sgq::testing::MakePath;
+
+const TurboIsoData& AsTurbo(const FilterData& data) {
+  return dynamic_cast<const TurboIsoData&>(data);
+}
+
+TEST(TurboIsoTest, RegionsPartitionByRootCandidate) {
+  const Graph q = MakePath({0, 1, 2});
+  const Graph g = MakeGraph({0, 1, 2, 0, 1, 2},
+                            {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  TurboIsoMatcher matcher;
+  const auto data = matcher.Filter(q, g);
+  const TurboIsoData& turbo = AsTurbo(*data);
+  ASSERT_FALSE(turbo.regions.empty());
+  // Root candidates are distinct across regions.
+  std::set<VertexId> roots;
+  for (const CandidateRegion& r : turbo.regions) {
+    EXPECT_TRUE(roots.insert(r.root_candidate).second);
+    // Region root set is exactly {root_candidate}.
+    ASSERT_EQ(r.candidates[turbo.tree.root].size(), 1u);
+    EXPECT_EQ(r.candidates[turbo.tree.root][0], r.root_candidate);
+  }
+}
+
+TEST(TurboIsoTest, RegionCompletenessPerRoot) {
+  // Every embedding that maps the tree root to v must have all its mapped
+  // vertices inside region(v).
+  Rng rng(91);
+  std::vector<Label> labels = {0, 1, 2};
+  TurboIsoMatcher matcher;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Graph q = GenerateRandomGraph(4, 1.6, labels, &rng);
+    if (!IsConnected(q)) continue;
+    const Graph g = GenerateRandomGraph(20, 3.5, labels, &rng);
+    const auto data = matcher.Filter(q, g);
+    const TurboIsoData& turbo = AsTurbo(*data);
+    for (const auto& mapping : BruteForceAllEmbeddings(q, g)) {
+      const VertexId root_image = mapping[turbo.tree.root];
+      const CandidateRegion* region = nullptr;
+      for (const CandidateRegion& r : turbo.regions) {
+        if (r.root_candidate == root_image) region = &r;
+      }
+      ASSERT_NE(region, nullptr) << "missing region, trial " << trial;
+      for (VertexId u = 0; u < q.NumVertices(); ++u) {
+        EXPECT_TRUE(std::binary_search(region->candidates[u].begin(),
+                                       region->candidates[u].end(),
+                                       mapping[u]))
+            << "trial " << trial << " u=" << u;
+      }
+    }
+  }
+}
+
+TEST(TurboIsoTest, StartVertexMinimizesFreqOverDegree) {
+  // Query: high-degree vertex with rare label should win the start rule.
+  const Graph q = MakeGraph({0, 1, 1, 1}, {{0, 1}, {0, 2}, {0, 3}});
+  // Data: label 0 appears once, label 1 many times.
+  const Graph g = MakeGraph({0, 1, 1, 1, 1, 1},
+                            {{0, 1}, {0, 2}, {0, 3}, {3, 4}, {4, 5}});
+  TurboIsoMatcher matcher;
+  const auto data = matcher.Filter(q, g);
+  const TurboIsoData& turbo = AsTurbo(*data);
+  EXPECT_EQ(turbo.tree.root, 0u);  // freq(0)/deg(3) = 1/3 beats 5/1
+}
+
+TEST(TurboIsoTest, NoRegionsMeansFilteredOut) {
+  const Graph q = MakeCycle({0, 0, 0});
+  const Graph g = MakePath({0, 0, 0, 0});  // no triangle
+  TurboIsoMatcher matcher;
+  const auto data = matcher.Filter(q, g);
+  EXPECT_FALSE(data->Passed());
+  EXPECT_EQ(matcher.Enumerate(q, g, *data, UINT64_MAX, nullptr).embeddings,
+            0u);
+}
+
+TEST(TurboIsoTest, MemoryBytesIncludesRegions) {
+  const Graph q = MakePath({0, 1});
+  const Graph g = MakeCycle({0, 1, 0, 1});
+  TurboIsoMatcher matcher;
+  const auto data = matcher.Filter(q, g);
+  ASSERT_TRUE(data->Passed());
+  EXPECT_GT(data->MemoryBytes(), data->phi.MemoryBytes());
+}
+
+
+}  // namespace
+}  // namespace sgq

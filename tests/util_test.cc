@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/bitset.h"
+#include "util/deadline.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace sgq {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t x = a.Next();
+    EXPECT_EQ(x, b.Next());
+    if (x != c.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(10), 10u);
+    const int64_t x = rng.NextInRange(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+  EXPECT_EQ(rng.NextInRange(3, 3), 3);
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset b(130);
+  EXPECT_EQ(b.size_bits(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+  b.Reset();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitsetTest, SubsetTest) {
+  Bitset a(100), b(100);
+  a.Set(3);
+  a.Set(77);
+  b.Set(3);
+  b.Set(77);
+  b.Set(50);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  Bitset empty(100);
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(empty));
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.IsInfinite());
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, ExpiresAfterDuration) {
+  Deadline d = Deadline::AfterSeconds(0.01);
+  EXPECT_FALSE(d.IsInfinite());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineCheckerTest, SticksOnceExpired) {
+  DeadlineChecker checker(Deadline::AfterSeconds(0.005));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // The checker polls every 1024 ticks, so spin enough times.
+  bool expired = false;
+  for (int i = 0; i < 5000 && !expired; ++i) expired = checker.Tick();
+  EXPECT_TRUE(expired);
+  EXPECT_TRUE(checker.Tick());
+  EXPECT_TRUE(checker.expired());
+}
+
+TEST(DeadlineCheckerTest, InfiniteNeverTicksOver) {
+  DeadlineChecker checker{Deadline::Infinite()};
+  for (int i = 0; i < 5000; ++i) EXPECT_FALSE(checker.Tick());
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(t.ElapsedMillis(), 4.0);
+  t.Restart();
+  EXPECT_LT(t.ElapsedMillis(), 5.0);
+}
+
+TEST(IntervalTimerTest, Accumulates) {
+  IntervalTimer t;
+  t.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  t.Stop();
+  const double first = t.TotalMillis();
+  EXPECT_GE(first, 2.0);
+  t.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  t.Stop();
+  EXPECT_GE(t.TotalMillis(), first + 2.0);
+  t.Reset();
+  EXPECT_EQ(t.TotalNanos(), 0);
+}
+
+}  // namespace
+}  // namespace sgq
