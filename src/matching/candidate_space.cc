@@ -6,6 +6,13 @@
 
 namespace sgq {
 
+void CandidateSets::ResetForReuse(uint32_t num_query_vertices) {
+  // resize() keeps the capacity of surviving inner vectors; only a shrink
+  // releases the trailing ones (queries in one workload rarely shrink).
+  sets_.resize(num_query_vertices);
+  for (auto& s : sets_) s.clear();
+}
+
 bool CandidateSets::Contains(VertexId u, VertexId v) const {
   const auto& s = sets_[u];
   return std::binary_search(s.begin(), s.end(), v);
@@ -30,9 +37,8 @@ size_t CandidateSets::MemoryBytes() const {
   return bytes;
 }
 
-bool PassesLdfNlf(const Graph& query, const Graph& data, VertexId u,
-                  VertexId v, bool use_nlf) {
-  if (data.label(v) != query.label(u)) return false;
+bool PassesDegreeNlf(const Graph& query, const Graph& data, VertexId u,
+                     VertexId v, bool use_nlf) {
   if (data.degree(v) < query.degree(u)) return false;
   if (use_nlf &&
       !SortedMultisetContains(data.NeighborLabels(v),
@@ -42,13 +48,29 @@ bool PassesLdfNlf(const Graph& query, const Graph& data, VertexId u,
   return true;
 }
 
+bool PassesLdfNlf(const Graph& query, const Graph& data, VertexId u,
+                  VertexId v, bool use_nlf) {
+  if (data.label(v) != query.label(u)) return false;
+  return PassesDegreeNlf(query, data, u, v, use_nlf);
+}
+
+void LdfNlfCandidatesInto(const Graph& query, const Graph& data, VertexId u,
+                          bool use_nlf, std::vector<VertexId>* out) {
+  out->clear();
+  // Everything VerticesWithLabel yields already carries the label, so the
+  // scan checks only degree + neighbor profile.
+  const auto with_label = data.VerticesWithLabel(query.label(u));
+  out->reserve(with_label.size());
+  for (VertexId v : with_label) {
+    if (PassesDegreeNlf(query, data, u, v, use_nlf)) out->push_back(v);
+  }
+  // VerticesWithLabel is sorted, so out is sorted.
+}
+
 std::vector<VertexId> LdfNlfCandidates(const Graph& query, const Graph& data,
                                        VertexId u, bool use_nlf) {
   std::vector<VertexId> result;
-  for (VertexId v : data.VerticesWithLabel(query.label(u))) {
-    if (PassesLdfNlf(query, data, u, v, use_nlf)) result.push_back(v);
-  }
-  // VerticesWithLabel is sorted, so result is sorted.
+  LdfNlfCandidatesInto(query, data, u, use_nlf, &result);
   return result;
 }
 

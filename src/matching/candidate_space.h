@@ -25,6 +25,11 @@ class CandidateSets {
     return static_cast<uint32_t>(sets_.size());
   }
 
+  // Re-shapes to `num_query_vertices` empty sets without releasing the
+  // per-set heap buffers, so a recycled CandidateSets (MatchWorkspace) fills
+  // up allocation-free once warm.
+  void ResetForReuse(uint32_t num_query_vertices);
+
   std::vector<VertexId>& mutable_set(VertexId u) { return sets_[u]; }
   const std::vector<VertexId>& set(VertexId u) const { return sets_[u]; }
 
@@ -52,9 +57,19 @@ class CandidateSets {
 std::vector<VertexId> LdfNlfCandidates(const Graph& query, const Graph& data,
                                        VertexId u, bool use_nlf);
 
+// Allocation-free variant: clears `out` (keeping its capacity) and fills it
+// with the LDF+NLF candidates.
+void LdfNlfCandidatesInto(const Graph& query, const Graph& data, VertexId u,
+                          bool use_nlf, std::vector<VertexId>* out);
+
 // True iff data vertex v passes LDF(+NLF) for query vertex u.
 bool PassesLdfNlf(const Graph& query, const Graph& data, VertexId u,
                   VertexId v, bool use_nlf);
+
+// The degree + neighbor-label checks alone, for callers that already scanned
+// VerticesWithLabel (the label test is then vacuous).
+bool PassesDegreeNlf(const Graph& query, const Graph& data, VertexId u,
+                     VertexId v, bool use_nlf);
 
 }  // namespace sgq
 

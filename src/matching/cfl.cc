@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "matching/workspace.h"
 #include "util/logging.h"
 
 namespace sgq {
@@ -55,8 +56,8 @@ VertexId SelectRoot(const Graph& query, const Graph& data) {
 // available vertex (tree parent already emitted) with the best
 // (core-membership, estimated path cardinality, |Φ|) priority. Guarantees
 // parents precede children, which the CPI-driven enumeration requires.
-std::vector<VertexId> BuildMatchingOrder(const Graph& query,
-                                         const CpiData& cpi) {
+// Writes into out->matching_order (recycled capacity).
+void BuildMatchingOrder(const Graph& query, CpiData* cpi) {
   const uint32_t n = query.NumVertices();
   const std::vector<bool> in_core = TwoCoreMembership(query);
 
@@ -64,25 +65,26 @@ std::vector<VertexId> BuildMatchingOrder(const Graph& query,
   // vertex: est(u) = est(parent) * avg CPI fanout of the tree edge; leaves
   // propagate their est to ancestors via min.
   std::vector<double> down_est(n, 0);
-  for (VertexId u : cpi.tree.order) {
-    if (u == cpi.tree.root) {
-      down_est[u] = static_cast<double>(cpi.phi.set(u).size());
+  for (VertexId u : cpi->tree.order) {
+    if (u == cpi->tree.root) {
+      down_est[u] = static_cast<double>(cpi->phi.set(u).size());
       continue;
     }
-    const VertexId p = cpi.tree.parent[u];
+    const VertexId p = cpi->tree.parent[u];
     uint64_t edge_count = 0;
-    for (const auto& list : cpi.children[u]) edge_count += list.size();
+    for (const auto& list : cpi->children[u]) edge_count += list.size();
     const double fanout =
-        cpi.phi.set(p).empty()
+        cpi->phi.set(p).empty()
             ? 1.0
-            : static_cast<double>(edge_count) / cpi.phi.set(p).size();
+            : static_cast<double>(edge_count) / cpi->phi.set(p).size();
     down_est[u] = down_est[p] * std::max(fanout, 1e-3);
   }
   std::vector<double> path_est = down_est;
   // Reverse BFS order: fold the cheapest descendant path into each vertex.
-  for (auto it = cpi.tree.order.rbegin(); it != cpi.tree.order.rend(); ++it) {
+  for (auto it = cpi->tree.order.rbegin(); it != cpi->tree.order.rend();
+       ++it) {
     const VertexId u = *it;
-    for (VertexId c : cpi.tree.children[u]) {
+    for (VertexId c : cpi->tree.children[u]) {
       path_est[u] = std::min(path_est[u], path_est[c]);
     }
   }
@@ -94,10 +96,10 @@ std::vector<VertexId> BuildMatchingOrder(const Graph& query,
     return query.degree(u) <= 1 ? 2 : 1;
   };
 
-  std::vector<VertexId> order;
+  std::vector<VertexId>& order = cpi->matching_order;
+  order.clear();
   order.reserve(n);
-  std::vector<bool> emitted(n, false);
-  std::vector<VertexId> available = {cpi.tree.root};
+  std::vector<VertexId> available = {cpi->tree.root};
   while (!available.empty()) {
     size_t best = 0;
     for (size_t i = 1; i < available.size(); ++i) {
@@ -112,16 +114,14 @@ std::vector<VertexId> BuildMatchingOrder(const Graph& query,
         if (path_est[a] < path_est[b]) best = i;
         continue;
       }
-      if (cpi.phi.set(a).size() < cpi.phi.set(b).size()) best = i;
+      if (cpi->phi.set(a).size() < cpi->phi.set(b).size()) best = i;
     }
     const VertexId u = available[best];
     available.erase(available.begin() + static_cast<long>(best));
     order.push_back(u);
-    emitted[u] = true;
-    for (VertexId c : cpi.tree.children[u]) available.push_back(c);
+    for (VertexId c : cpi->tree.children[u]) available.push_back(c);
   }
   SGQ_CHECK_EQ(order.size(), n);
-  return order;
 }
 
 struct CflEnumContext {
@@ -133,11 +133,12 @@ struct CflEnumContext {
   const EmbeddingCallback& callback;
 
   // Backward neighbors per depth, split into the tree parent (candidate
-  // source) and the rest (adjacency checks).
-  std::vector<std::vector<VertexId>> check_neighbors;
-  std::vector<VertexId> mapping;
-  std::vector<uint32_t> phi_index;  // index of mapping[u] in phi.set(u)
-  std::vector<bool> used;
+  // source) and the rest (adjacency checks). All borrowed from a workspace
+  // (or a call-local one) so capacity survives across calls.
+  std::vector<std::vector<VertexId>>& check_neighbors;
+  std::vector<VertexId>& mapping;
+  std::vector<uint32_t>& phi_index;  // index of mapping[u] in phi.set(u)
+  std::vector<char>& used;
   EnumerateResult result;
 
   bool TryVertex(uint32_t depth, VertexId u, uint32_t candidate_index) {
@@ -182,15 +183,50 @@ struct CflEnumContext {
   }
 };
 
+EnumerateResult CflEnumerate(const Graph& query, const Graph& data,
+                             const CpiData& cpi, uint64_t limit,
+                             DeadlineChecker* checker,
+                             const EmbeddingCallback& callback,
+                             MatchWorkspace& w) {
+  const uint32_t n = query.NumVertices();
+  if (w.backward_neighbors.size() != n) w.backward_neighbors.resize(n);
+  for (auto& l : w.backward_neighbors) l.clear();
+  w.placed.assign(n, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    const VertexId u = cpi.matching_order[i];
+    const VertexId parent =
+        u == cpi.tree.root ? kInvalidVertex : cpi.tree.parent[u];
+    for (VertexId v : query.Neighbors(u)) {
+      // The tree parent's adjacency is implied by the CPI edge; check only
+      // the other backward neighbors.
+      if (w.placed[v] && v != parent) w.backward_neighbors[i].push_back(v);
+    }
+    w.placed[u] = 1;
+  }
+  w.mapping.assign(n, kInvalidVertex);
+  w.phi_index.assign(n, UINT32_MAX);
+  w.used.assign(data.NumVertices(), 0);
+
+  CflEnumContext ctx{query,    data,      cpi,         limit, checker,
+                     callback, w.backward_neighbors, w.mapping,
+                     w.phi_index, w.used, {}};
+  ctx.Recurse(0);
+  return ctx.result;
+}
+
 }  // namespace
 
-std::unique_ptr<FilterData> CflMatcher::Filter(const Graph& query,
-                                               const Graph& data) const {
+void CflMatcher::FilterInto(const Graph& query, const Graph& data,
+                            MatchWorkspace* ws, CpiData* out) const {
   SGQ_CHECK_GT(query.NumVertices(), 0u);
-  auto out = std::make_unique<CpiData>();
   const uint32_t n = query.NumVertices();
-  out->phi = CandidateSets(n);
-  if (data.NumVertices() == 0) return out;
+  out->phi.ResetForReuse(n);
+  if (data.NumVertices() == 0) return;
+
+  // Scratch comes from the workspace when one is given; the call-local
+  // fallback keeps the allocating Filter() path identical in behavior.
+  MatchWorkspace local;
+  MatchWorkspace& w = ws != nullptr ? *ws : local;
 
   const VertexId root = SelectRoot(query, data);
   out->tree = BuildBfsTree(query, root);
@@ -198,7 +234,8 @@ std::unique_ptr<FilterData> CflMatcher::Filter(const Graph& query,
 
   // Position of each query vertex in BFS visit order; backward neighbors of
   // u are its query-graph neighbors visited before u.
-  std::vector<uint32_t> order_pos(n);
+  std::vector<uint32_t>& order_pos = w.order_pos;
+  order_pos.resize(n);
   for (uint32_t i = 0; i < n; ++i) order_pos[tree.order[i]] = i;
 
   // --- Top-down generation with backward pruning ------------------------
@@ -206,59 +243,63 @@ std::unique_ptr<FilterData> CflMatcher::Filter(const Graph& query,
   // have a candidate adjacent to w; incremented only when cnt[w] == k while
   // processing the k-th backward neighbor, which both dedups per-neighbor
   // contributions and intersects across neighbors.
-  std::vector<uint32_t> cnt(data.NumVertices(), 0);
+  std::vector<uint32_t>& cnt = w.vertex_counts;
+  cnt.assign(data.NumVertices(), 0);
+  std::vector<VertexId> backward;
   for (uint32_t i = 0; i < n; ++i) {
     const VertexId u = tree.order[i];
     auto& set = out->phi.mutable_set(u);
     if (u == root) {
-      set = LdfNlfCandidates(query, data, u, options_.use_nlf);
-      if (set.empty()) return out;
+      LdfNlfCandidatesInto(query, data, u, options_.use_nlf, &set);
+      if (set.empty()) return;
       continue;
     }
-    std::vector<VertexId> backward;
-    for (VertexId w : query.Neighbors(u)) {
-      if (order_pos[w] < i) backward.push_back(w);
+    backward.clear();
+    for (VertexId v : query.Neighbors(u)) {
+      if (order_pos[v] < i) backward.push_back(v);
     }
     SGQ_CHECK(!backward.empty());
     std::fill(cnt.begin(), cnt.end(), 0);
     uint32_t k = 0;
     for (VertexId uprime : backward) {
       for (VertexId vprime : out->phi.set(uprime)) {
-        for (VertexId w : data.Neighbors(vprime)) {
-          if (cnt[w] == k) ++cnt[w];
+        for (VertexId v : data.Neighbors(vprime)) {
+          if (cnt[v] == k) ++cnt[v];
         }
       }
       ++k;
     }
-    for (VertexId w : data.VerticesWithLabel(query.label(u))) {
-      if (cnt[w] == k && PassesLdfNlf(query, data, u, w, options_.use_nlf)) {
-        set.push_back(w);
+    for (VertexId v : data.VerticesWithLabel(query.label(u))) {
+      if (cnt[v] == k && PassesDegreeNlf(query, data, u, v, options_.use_nlf)) {
+        set.push_back(v);
       }
     }
-    if (set.empty()) return out;
+    if (set.empty()) return;
   }
 
   // --- Bottom-up refinement ---------------------------------------------
   if (options_.refine_bottom_up) {
     // member[u] marks Φ(u) membership for O(d(v)) intersection tests.
-    std::vector<std::vector<uint8_t>> member(n);
+    std::vector<std::vector<uint8_t>>& member = w.byte_rows;
+    if (member.size() < n) member.resize(n);
     for (VertexId u = 0; u < n; ++u) {
       member[u].assign(data.NumVertices(), 0);
       for (VertexId v : out->phi.set(u)) member[u][v] = 1;
     }
+    std::vector<VertexId> forward;
     for (uint32_t i = n; i-- > 0;) {
       const VertexId u = tree.order[i];
-      std::vector<VertexId> forward;
-      for (VertexId w : query.Neighbors(u)) {
-        if (order_pos[w] > i) forward.push_back(w);
+      forward.clear();
+      for (VertexId v : query.Neighbors(u)) {
+        if (order_pos[v] > i) forward.push_back(v);
       }
       if (forward.empty()) continue;
       auto& set = out->phi.mutable_set(u);
       auto keep_end = std::remove_if(set.begin(), set.end(), [&](VertexId v) {
         for (VertexId uprime : forward) {
           bool any = false;
-          for (VertexId w : data.Neighbors(v)) {
-            if (member[uprime][w]) {
+          for (VertexId w2 : data.Neighbors(v)) {
+            if (member[uprime][w2]) {
               any = true;
               break;
             }
@@ -271,33 +312,53 @@ std::unique_ptr<FilterData> CflMatcher::Filter(const Graph& query,
         return false;
       });
       set.erase(keep_end, set.end());
-      if (set.empty()) return out;
+      if (set.empty()) return;
     }
   }
 
   // --- CPI edges along tree edges ----------------------------------------
   // For each non-root u and each candidate of parent(u), record the indices
-  // (into Φ(u)) of adjacent candidates.
-  out->children.assign(n, {});
-  std::vector<uint32_t> index_of(data.NumVertices(), UINT32_MAX);
+  // (into Φ(u)) of adjacent candidates. The nested lists are resized, not
+  // reassigned, so a recycled CpiData keeps their heap buffers.
+  if (out->children.size() != n) out->children.resize(n);
+  std::vector<uint32_t>& index_of = w.index_of;
+  index_of.assign(data.NumVertices(), UINT32_MAX);
   for (uint32_t i = 0; i < n; ++i) {
     const VertexId u = tree.order[i];
-    if (u == root) continue;
+    auto& per_parent = out->children[u];
+    if (u == root) {
+      per_parent.clear();
+      continue;
+    }
     const VertexId p = tree.parent[u];
     const auto& pu_set = out->phi.set(p);
     const auto& u_set = out->phi.set(u);
     for (uint32_t j = 0; j < u_set.size(); ++j) index_of[u_set[j]] = j;
-    auto& per_parent = out->children[u];
-    per_parent.assign(pu_set.size(), {});
+    per_parent.resize(pu_set.size());
     for (uint32_t pj = 0; pj < pu_set.size(); ++pj) {
-      for (VertexId w : data.Neighbors(pu_set[pj])) {
-        if (index_of[w] != UINT32_MAX) per_parent[pj].push_back(index_of[w]);
+      per_parent[pj].clear();
+      for (VertexId v : data.Neighbors(pu_set[pj])) {
+        if (index_of[v] != UINT32_MAX) per_parent[pj].push_back(index_of[v]);
       }
     }
     for (uint32_t j = 0; j < u_set.size(); ++j) index_of[u_set[j]] = UINT32_MAX;
   }
 
-  out->matching_order = BuildMatchingOrder(query, *out);
+  BuildMatchingOrder(query, out);
+}
+
+std::unique_ptr<FilterData> CflMatcher::Filter(const Graph& query,
+                                               const Graph& data) const {
+  auto out = std::make_unique<CpiData>();
+  FilterInto(query, data, /*ws=*/nullptr, out.get());
+  return out;
+}
+
+FilterData* CflMatcher::Filter(const Graph& query, const Graph& data,
+                               MatchWorkspace* ws) const {
+  SGQ_CHECK(ws != nullptr);
+  CpiData* out = ws->AcquireFilterData<CpiData>();
+  FilterInto(query, data, ws, out);
   return out;
 }
 
@@ -308,29 +369,20 @@ EnumerateResult CflMatcher::Enumerate(const Graph& query, const Graph& data,
   const auto* cpi = dynamic_cast<const CpiData*>(&data_aux);
   SGQ_CHECK(cpi != nullptr) << "CflMatcher::Enumerate requires CpiData";
   if (!cpi->Passed() || limit == 0) return {};
+  MatchWorkspace local;
+  return CflEnumerate(query, data, *cpi, limit, checker, callback, local);
+}
 
-  CflEnumContext ctx{query, data,    *cpi,     limit, checker,
-                     callback, {},   {},       {},    {},
-                     {}};
-  const uint32_t n = query.NumVertices();
-  ctx.check_neighbors.resize(n);
-  std::vector<bool> placed(n, false);
-  for (uint32_t i = 0; i < n; ++i) {
-    const VertexId u = cpi->matching_order[i];
-    const VertexId parent =
-        u == cpi->tree.root ? kInvalidVertex : cpi->tree.parent[u];
-    for (VertexId w : query.Neighbors(u)) {
-      // The tree parent's adjacency is implied by the CPI edge; check only
-      // the other backward neighbors.
-      if (placed[w] && w != parent) ctx.check_neighbors[i].push_back(w);
-    }
-    placed[u] = true;
-  }
-  ctx.mapping.assign(n, kInvalidVertex);
-  ctx.phi_index.assign(n, UINT32_MAX);
-  ctx.used.assign(data.NumVertices(), false);
-  ctx.Recurse(0);
-  return ctx.result;
+EnumerateResult CflMatcher::Enumerate(const Graph& query, const Graph& data,
+                                      const FilterData& data_aux,
+                                      uint64_t limit, DeadlineChecker* checker,
+                                      MatchWorkspace* ws,
+                                      const EmbeddingCallback& callback) const {
+  const auto* cpi = dynamic_cast<const CpiData*>(&data_aux);
+  SGQ_CHECK(cpi != nullptr) << "CflMatcher::Enumerate requires CpiData";
+  SGQ_CHECK(ws != nullptr);
+  if (!cpi->Passed() || limit == 0) return {};
+  return CflEnumerate(query, data, *cpi, limit, checker, callback, *ws);
 }
 
 }  // namespace sgq

@@ -51,16 +51,28 @@ class CflMatcher : public Matcher {
 
   std::unique_ptr<FilterData> Filter(const Graph& query,
                                      const Graph& data) const override;
+  FilterData* Filter(const Graph& query, const Graph& data,
+                     MatchWorkspace* ws) const override;
 
   EnumerateResult Enumerate(const Graph& query, const Graph& data,
                             const FilterData& data_aux, uint64_t limit,
                             DeadlineChecker* checker,
                             const EmbeddingCallback& callback =
                                 nullptr) const override;
+  EnumerateResult Enumerate(const Graph& query, const Graph& data,
+                            const FilterData& data_aux, uint64_t limit,
+                            DeadlineChecker* checker, MatchWorkspace* ws,
+                            const EmbeddingCallback& callback =
+                                nullptr) const override;
 
   const CflOptions& options() const { return options_; }
 
  private:
+  // The shared CPI-construction body: fills `out` in place (recycling its
+  // nested buffers), drawing |V(G)|-sized scratch from `ws` when given.
+  void FilterInto(const Graph& query, const Graph& data, MatchWorkspace* ws,
+                  CpiData* out) const;
+
   CflOptions options_;
 };
 

@@ -1,5 +1,7 @@
 #include "matching/cfql.h"
 
+#include "matching/workspace.h"
+
 namespace sgq {
 
 EnumerateResult CfqlMatcher::Enumerate(const Graph& query, const Graph& data,
@@ -12,6 +14,20 @@ EnumerateResult CfqlMatcher::Enumerate(const Graph& query, const Graph& data,
   const std::vector<VertexId> order = JoinBasedOrder(query, data_aux.phi);
   return BacktrackOverCandidates(query, data, data_aux.phi, order, limit,
                                  checker, callback);
+}
+
+EnumerateResult CfqlMatcher::Enumerate(const Graph& query, const Graph& data,
+                                       const FilterData& data_aux,
+                                       uint64_t limit,
+                                       DeadlineChecker* checker,
+                                       MatchWorkspace* ws,
+                                       const EmbeddingCallback& callback)
+    const {
+  if (!data_aux.Passed() || limit == 0) return {};
+  const std::vector<VertexId>& order =
+      JoinBasedOrder(query, data_aux.phi, ws);
+  return BacktrackOverCandidates(query, data, data_aux.phi, order, limit,
+                                 checker, callback, ws);
 }
 
 }  // namespace sgq

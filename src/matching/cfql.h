@@ -25,10 +25,19 @@ class CfqlMatcher : public Matcher {
                                      const Graph& data) const override {
     return cfl_.Filter(query, data);
   }
+  FilterData* Filter(const Graph& query, const Graph& data,
+                     MatchWorkspace* ws) const override {
+    return cfl_.Filter(query, data, ws);
+  }
 
   EnumerateResult Enumerate(const Graph& query, const Graph& data,
                             const FilterData& data_aux, uint64_t limit,
                             DeadlineChecker* checker,
+                            const EmbeddingCallback& callback =
+                                nullptr) const override;
+  EnumerateResult Enumerate(const Graph& query, const Graph& data,
+                            const FilterData& data_aux, uint64_t limit,
+                            DeadlineChecker* checker, MatchWorkspace* ws,
                             const EmbeddingCallback& callback =
                                 nullptr) const override;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "matching/bigraph_matching.h"
+#include "matching/workspace.h"
 #include "util/logging.h"
 
 namespace sgq {
@@ -11,12 +12,15 @@ namespace {
 
 // Dense membership view of Φ for O(1) Contains during refinement; the
 // paper's stated space complexity for GraphQL's filter is
-// O(|V(q)| * |V(G)|), which is exactly this bitmap.
+// O(|V(q)| * |V(G)|), which is exactly this bitmap. The backing bytes are
+// borrowed so a workspace can recycle them across data graphs.
 class MembershipMatrix {
  public:
-  MembershipMatrix(uint32_t num_query, uint32_t num_data)
-      : num_data_(num_data), bits_(static_cast<size_t>(num_query) * num_data,
-                                   0) {}
+  MembershipMatrix(std::vector<uint8_t>* storage, uint32_t num_query,
+                   uint32_t num_data)
+      : num_data_(num_data), bits_(*storage) {
+    bits_.assign(static_cast<size_t>(num_query) * num_data, 0);
+  }
 
   void Set(VertexId u, VertexId v, bool value) {
     bits_[static_cast<size_t>(u) * num_data_ + v] = value ? 1 : 0;
@@ -27,7 +31,7 @@ class MembershipMatrix {
 
  private:
   uint32_t num_data_;
-  std::vector<uint8_t> bits_;
+  std::vector<uint8_t>& bits_;
 };
 
 // Pseudo subgraph isomorphism check for candidate v of query vertex u:
@@ -52,19 +56,21 @@ bool PassesPseudoIso(const Graph& query, const Graph& data, VertexId u,
 
 }  // namespace
 
-std::unique_ptr<FilterData> GraphQlMatcher::Filter(const Graph& query,
-                                                   const Graph& data) const {
+void GraphQlMatcher::FilterInto(const Graph& query, const Graph& data,
+                                MatchWorkspace* ws, FilterData* out) const {
   SGQ_CHECK_GT(query.NumVertices(), 0u);
-  auto out = std::make_unique<FilterData>();
   const uint32_t n = query.NumVertices();
-  out->phi = CandidateSets(n);
+  out->phi.ResetForReuse(n);
+
+  std::vector<uint8_t> local_bits;
+  MembershipMatrix member(ws != nullptr ? &ws->byte_matrix : &local_bits, n,
+                          data.NumVertices());
 
   // Step 1: neighborhood-profile candidates, in ascending query id order.
-  MembershipMatrix member(n, data.NumVertices());
   for (VertexId u = 0; u < n; ++u) {
     auto& set = out->phi.mutable_set(u);
-    set = LdfNlfCandidates(query, data, u, options_.use_profile);
-    if (set.empty()) return out;  // graph filtered out
+    LdfNlfCandidatesInto(query, data, u, options_.use_profile, &set);
+    if (set.empty()) return;  // graph filtered out
     for (VertexId v : set) member.Set(u, v, true);
   }
 
@@ -82,10 +88,24 @@ std::unique_ptr<FilterData> GraphQlMatcher::Filter(const Graph& query,
         return true;
       });
       set.erase(keep_end, set.end());
-      if (set.empty()) return out;  // graph filtered out
+      if (set.empty()) return;  // graph filtered out
     }
     if (!changed) break;
   }
+}
+
+std::unique_ptr<FilterData> GraphQlMatcher::Filter(const Graph& query,
+                                                   const Graph& data) const {
+  auto out = std::make_unique<FilterData>();
+  FilterInto(query, data, /*ws=*/nullptr, out.get());
+  return out;
+}
+
+FilterData* GraphQlMatcher::Filter(const Graph& query, const Graph& data,
+                                   MatchWorkspace* ws) const {
+  SGQ_CHECK(ws != nullptr);
+  FilterData* out = ws->AcquireFilterData<FilterData>();
+  FilterInto(query, data, ws, out);
   return out;
 }
 
@@ -100,6 +120,21 @@ EnumerateResult GraphQlMatcher::Enumerate(const Graph& query,
   const std::vector<VertexId> order = JoinBasedOrder(query, data_aux.phi);
   return BacktrackOverCandidates(query, data, data_aux.phi, order, limit,
                                  checker, callback);
+}
+
+EnumerateResult GraphQlMatcher::Enumerate(const Graph& query,
+                                          const Graph& data,
+                                          const FilterData& data_aux,
+                                          uint64_t limit,
+                                          DeadlineChecker* checker,
+                                          MatchWorkspace* ws,
+                                          const EmbeddingCallback& callback)
+    const {
+  if (!data_aux.Passed()) return {};
+  const std::vector<VertexId>& order =
+      JoinBasedOrder(query, data_aux.phi, ws);
+  return BacktrackOverCandidates(query, data, data_aux.phi, order, limit,
+                                 checker, callback, ws);
 }
 
 }  // namespace sgq

@@ -34,16 +34,28 @@ class GraphQlMatcher : public Matcher {
 
   std::unique_ptr<FilterData> Filter(const Graph& query,
                                      const Graph& data) const override;
+  FilterData* Filter(const Graph& query, const Graph& data,
+                     MatchWorkspace* ws) const override;
 
   EnumerateResult Enumerate(const Graph& query, const Graph& data,
                             const FilterData& data_aux, uint64_t limit,
                             DeadlineChecker* checker,
                             const EmbeddingCallback& callback =
                                 nullptr) const override;
+  EnumerateResult Enumerate(const Graph& query, const Graph& data,
+                            const FilterData& data_aux, uint64_t limit,
+                            DeadlineChecker* checker, MatchWorkspace* ws,
+                            const EmbeddingCallback& callback =
+                                nullptr) const override;
 
   const GraphQlOptions& options() const { return options_; }
 
  private:
+  // The shared filtering body: fills `out` in place, drawing scratch (the
+  // membership bitmap) from `ws` when one is given.
+  void FilterInto(const Graph& query, const Graph& data, MatchWorkspace* ws,
+                  FilterData* out) const;
+
   GraphQlOptions options_;
 };
 

@@ -2,9 +2,24 @@
 
 #include <algorithm>
 
+#include "matching/workspace.h"
 #include "util/logging.h"
 
 namespace sgq {
+
+FilterData* Matcher::Filter(const Graph& query, const Graph& data,
+                            MatchWorkspace* ws) const {
+  SGQ_CHECK(ws != nullptr);
+  return ws->ParkFilterData(Filter(query, data));
+}
+
+EnumerateResult Matcher::Enumerate(const Graph& query, const Graph& data,
+                                   const FilterData& data_aux, uint64_t limit,
+                                   DeadlineChecker* checker, MatchWorkspace* ws,
+                                   const EmbeddingCallback& callback) const {
+  (void)ws;
+  return Enumerate(query, data, data_aux, limit, checker, callback);
+}
 
 int Matcher::Contains(const Graph& query, const Graph& data,
                       DeadlineChecker* checker) const {
@@ -16,23 +31,35 @@ int Matcher::Contains(const Graph& query, const Graph& data,
   return result.embeddings > 0 ? 1 : 0;
 }
 
+int Matcher::Contains(const Graph& query, const Graph& data,
+                      DeadlineChecker* checker, MatchWorkspace* ws) const {
+  const FilterData* filter_data = Filter(query, data, ws);
+  if (!filter_data->Passed()) return 0;
+  const EnumerateResult result =
+      Enumerate(query, data, *filter_data, /*limit=*/1, checker, ws);
+  if (result.aborted) return -1;
+  return result.embeddings > 0 ? 1 : 0;
+}
+
 namespace {
 
 // Iterative-friendly recursive backtracking; query sizes are tiny (tens of
-// vertices) so recursion depth is not a concern.
+// vertices) so recursion depth is not a concern. All vectors are borrowed
+// from a MatchWorkspace (or a call-local one) so repeated calls reuse their
+// capacity.
 struct BacktrackContext {
   const Graph& query;
   const Graph& data;
   const CandidateSets& phi;
   const std::vector<VertexId>& order;
   // For each depth i, the already-ordered neighbors of order[i].
-  std::vector<std::vector<VertexId>> backward_neighbors;
+  std::vector<std::vector<VertexId>>& backward_neighbors;
   uint64_t limit;
   DeadlineChecker* checker;
   const EmbeddingCallback& callback;
 
-  std::vector<VertexId> mapping;      // query vertex -> data vertex
-  std::vector<bool> used;             // data vertex already matched
+  std::vector<VertexId>& mapping;  // query vertex -> data vertex
+  std::vector<char>& used;         // data vertex already matched
   EnumerateResult result;
 
   bool Recurse(uint32_t depth) {
@@ -68,6 +95,13 @@ struct BacktrackContext {
   }
 };
 
+// Resizes the per-depth neighbor lists without freeing inner capacity.
+void ResetBackwardNeighbors(std::vector<std::vector<VertexId>>* lists,
+                            size_t depths) {
+  if (lists->size() != depths) lists->resize(depths);
+  for (auto& l : *lists) l.clear();
+}
+
 }  // namespace
 
 EnumerateResult BacktrackOverCandidates(const Graph& query, const Graph& data,
@@ -75,52 +109,60 @@ EnumerateResult BacktrackOverCandidates(const Graph& query, const Graph& data,
                                         const std::vector<VertexId>& order,
                                         uint64_t limit,
                                         DeadlineChecker* checker,
-                                        const EmbeddingCallback& callback) {
+                                        const EmbeddingCallback& callback,
+                                        MatchWorkspace* ws) {
   SGQ_CHECK_EQ(order.size(), query.NumVertices());
   if (limit == 0) return {};
-  BacktrackContext ctx{query, data,    phi,
-                       order, {},      limit,
-                       checker, callback, {}, {}, {}};
-  ctx.backward_neighbors.resize(order.size());
-  std::vector<bool> placed(query.NumVertices(), false);
+  MatchWorkspace local;
+  MatchWorkspace& w = ws != nullptr ? *ws : local;
+
+  ResetBackwardNeighbors(&w.backward_neighbors, order.size());
+  w.placed.assign(query.NumVertices(), 0);
   for (uint32_t i = 0; i < order.size(); ++i) {
     const VertexId u = order[i];
-    for (VertexId w : query.Neighbors(u)) {
-      if (placed[w]) ctx.backward_neighbors[i].push_back(w);
+    for (VertexId v : query.Neighbors(u)) {
+      if (w.placed[v]) w.backward_neighbors[i].push_back(v);
     }
-    placed[u] = true;
+    w.placed[u] = 1;
   }
-  ctx.mapping.assign(query.NumVertices(), kInvalidVertex);
-  ctx.used.assign(data.NumVertices(), false);
+  w.mapping.assign(query.NumVertices(), kInvalidVertex);
+  w.used.assign(data.NumVertices(), 0);
+
+  BacktrackContext ctx{query,   data,     phi,       order,
+                       w.backward_neighbors, limit, checker, callback,
+                       w.mapping, w.used,  {}};
   ctx.Recurse(0);
   return ctx.result;
 }
 
-std::vector<VertexId> JoinBasedOrder(const Graph& query,
-                                     const CandidateSets& phi) {
+namespace {
+
+void JoinBasedOrderInto(const Graph& query, const CandidateSets& phi,
+                        std::vector<VertexId>* order,
+                        std::vector<char>* selected) {
   const uint32_t n = query.NumVertices();
   SGQ_CHECK_GT(n, 0u);
-  std::vector<VertexId> order;
-  order.reserve(n);
-  std::vector<bool> selected(n, false);
+  order->clear();
+  order->reserve(n);
+  selected->assign(n, 0);
 
   // Start vertex: globally fewest candidates (ties -> smaller id).
   VertexId start = 0;
   for (VertexId u = 1; u < n; ++u) {
     if (phi.set(u).size() < phi.set(start).size()) start = u;
   }
-  order.push_back(start);
-  selected[start] = true;
+  order->push_back(start);
+  (*selected)[start] = 1;
 
   for (uint32_t step = 1; step < n; ++step) {
     VertexId best = kInvalidVertex;
     for (VertexId u = 0; u < n; ++u) {
-      if (selected[u]) continue;
+      if ((*selected)[u]) continue;
       // u must neighbor a selected vertex (query is connected, so one
       // always exists among unselected-with-selected-neighbor vertices).
       bool frontier = false;
       for (VertexId w : query.Neighbors(u)) {
-        if (selected[w]) {
+        if ((*selected)[w]) {
           frontier = true;
           break;
         }
@@ -132,10 +174,27 @@ std::vector<VertexId> JoinBasedOrder(const Graph& query,
       }
     }
     SGQ_CHECK_NE(best, kInvalidVertex) << "query must be connected";
-    order.push_back(best);
-    selected[best] = true;
+    order->push_back(best);
+    (*selected)[best] = 1;
   }
+}
+
+}  // namespace
+
+std::vector<VertexId> JoinBasedOrder(const Graph& query,
+                                     const CandidateSets& phi) {
+  std::vector<VertexId> order;
+  std::vector<char> selected;
+  JoinBasedOrderInto(query, phi, &order, &selected);
   return order;
+}
+
+const std::vector<VertexId>& JoinBasedOrder(const Graph& query,
+                                            const CandidateSets& phi,
+                                            MatchWorkspace* ws) {
+  SGQ_CHECK(ws != nullptr);
+  JoinBasedOrderInto(query, phi, &ws->order, &ws->placed);
+  return ws->order;
 }
 
 }  // namespace sgq

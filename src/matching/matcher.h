@@ -19,6 +19,8 @@
 
 namespace sgq {
 
+class MatchWorkspace;
+
 // Called for every embedding found: mapping[u] is the data vertex matched to
 // query vertex u. Return value ignored.
 using EmbeddingCallback = std::function<void(const std::vector<VertexId>&)>;
@@ -56,6 +58,15 @@ class Matcher {
   virtual std::unique_ptr<FilterData> Filter(const Graph& query,
                                              const Graph& data) const = 0;
 
+  // Workspace variant of the preprocessing phase: the FilterData is owned by
+  // `ws` (valid until the next Filter() on the same workspace) and its
+  // buffers are recycled across calls, so a thread scanning many data graphs
+  // pays the candidate-set allocations once. The base implementation falls
+  // back to the allocating Filter() and parks the result in the workspace;
+  // GraphQL/CFL/CFQL override it with true reuse.
+  virtual FilterData* Filter(const Graph& query, const Graph& data,
+                             MatchWorkspace* ws) const;
+
   // Enumeration phase over a FilterData produced by this matcher's Filter()
   // (CFQL is the deliberate exception: it enumerates over CFL's output).
   // Stops after `limit` embeddings or when the deadline expires.
@@ -65,10 +76,23 @@ class Matcher {
                                     const EmbeddingCallback& callback =
                                         nullptr) const = 0;
 
+  // Workspace variant of the enumeration phase: visited/mapping/order
+  // scratch comes from `ws` instead of per-call allocations. The base
+  // implementation ignores the workspace.
+  virtual EnumerateResult Enumerate(const Graph& query, const Graph& data,
+                                    const FilterData& data_aux, uint64_t limit,
+                                    DeadlineChecker* checker,
+                                    MatchWorkspace* ws,
+                                    const EmbeddingCallback& callback =
+                                        nullptr) const;
+
   // The subgraph isomorphism test: filter + first-match enumeration.
-  // Returns 1 if q ⊆ g, 0 if not, -1 on deadline expiry.
+  // Returns 1 if q ⊆ g, 0 if not, -1 on deadline expiry. The workspace
+  // overload reuses `ws` for both phases.
   int Contains(const Graph& query, const Graph& data,
                DeadlineChecker* checker) const;
+  int Contains(const Graph& query, const Graph& data, DeadlineChecker* checker,
+               MatchWorkspace* ws) const;
 };
 
 // Generic connectivity-aware backtracking over candidate sets: at depth i
@@ -79,18 +103,29 @@ class Matcher {
 //
 // `order` must start at an arbitrary vertex and keep the prefix connected
 // (every later vertex has an earlier neighbor).
+//
+// With a workspace the mapping/visited/backward-neighbor scratch is drawn
+// from `ws` (everything except ws->order, which may hold `order` itself);
+// without one it is allocated per call as before.
 EnumerateResult BacktrackOverCandidates(const Graph& query, const Graph& data,
                                         const CandidateSets& phi,
                                         const std::vector<VertexId>& order,
                                         uint64_t limit,
                                         DeadlineChecker* checker,
-                                        const EmbeddingCallback& callback);
+                                        const EmbeddingCallback& callback,
+                                        MatchWorkspace* ws = nullptr);
 
 // The join-based ordering of GraphQL: start from the query vertex with the
 // fewest candidates; repeatedly append the neighbor of the selected set with
 // the fewest candidates.
 std::vector<VertexId> JoinBasedOrder(const Graph& query,
                                      const CandidateSets& phi);
+
+// Workspace variant: writes the order into ws->order (returned by
+// reference; valid until the next call on the same workspace).
+const std::vector<VertexId>& JoinBasedOrder(const Graph& query,
+                                            const CandidateSets& phi,
+                                            MatchWorkspace* ws);
 
 }  // namespace sgq
 

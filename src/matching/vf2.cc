@@ -1,5 +1,6 @@
 #include "matching/vf2.h"
 
+#include "matching/workspace.h"
 #include "util/logging.h"
 
 namespace sgq {
@@ -14,11 +15,11 @@ struct Vf2State {
   DeadlineChecker* checker;
   const EmbeddingCallback& callback;
 
-  std::vector<VertexId> core_q;  // query -> data (kInvalidVertex if unmapped)
-  std::vector<VertexId> core_d;  // data -> query
+  std::vector<VertexId>& core_q;  // query -> data (kInvalidVertex if unmapped)
+  std::vector<VertexId>& core_d;  // data -> query
   // #mapped neighbors of each (unmapped) vertex: > 0 means "terminal".
-  std::vector<uint32_t> term_q;
-  std::vector<uint32_t> term_d;
+  std::vector<uint32_t>& term_q;
+  std::vector<uint32_t>& term_d;
   uint32_t depth = 0;
 
   EnumerateResult result;
@@ -126,10 +127,23 @@ struct Vf2State {
 EnumerateResult Vf2::Enumerate(const Graph& query, const Graph& data,
                                uint64_t limit, DeadlineChecker* checker,
                                const EmbeddingCallback& callback) const {
+  return Enumerate(query, data, limit, checker, /*ws=*/nullptr, callback);
+}
+
+EnumerateResult Vf2::Enumerate(const Graph& query, const Graph& data,
+                               uint64_t limit, DeadlineChecker* checker,
+                               MatchWorkspace* ws,
+                               const EmbeddingCallback& callback) const {
   SGQ_CHECK_GT(query.NumVertices(), 0u);
   if (limit == 0 || data.NumVertices() == 0) return {};
-  Vf2State state{query, data, options_, limit, checker, callback,
-                 {},    {},   {},       {},    0,       {}};
+  MatchWorkspace local;
+  MatchWorkspace& w = ws != nullptr ? *ws : local;
+  Vf2State state{query,     data,
+                 options_,  limit,
+                 checker,   callback,
+                 w.mapping, w.reverse_mapping,
+                 w.term_query, w.term_data,
+                 0,         {}};
   state.core_q.assign(query.NumVertices(), kInvalidVertex);
   state.core_d.assign(data.NumVertices(), kInvalidVertex);
   state.term_q.assign(query.NumVertices(), 0);
@@ -140,7 +154,12 @@ EnumerateResult Vf2::Enumerate(const Graph& query, const Graph& data,
 
 int Vf2::Contains(const Graph& query, const Graph& data,
                   DeadlineChecker* checker) const {
-  const EnumerateResult r = Enumerate(query, data, /*limit=*/1, checker);
+  return Contains(query, data, checker, /*ws=*/nullptr);
+}
+
+int Vf2::Contains(const Graph& query, const Graph& data,
+                  DeadlineChecker* checker, MatchWorkspace* ws) const {
+  const EnumerateResult r = Enumerate(query, data, /*limit=*/1, checker, ws);
   if (r.embeddings > 0) return 1;
   return r.aborted ? -1 : 0;
 }

@@ -19,6 +19,8 @@ struct Vf2Options {
   bool heuristic_order = false;
 };
 
+class MatchWorkspace;
+
 class Vf2 {
  public:
   explicit Vf2(Vf2Options options = {}) : options_(options) {}
@@ -28,9 +30,19 @@ class Vf2 {
                             uint64_t limit, DeadlineChecker* checker,
                             const EmbeddingCallback& callback = nullptr) const;
 
+  // Workspace variant: the core/terminal-set arrays come from `ws` instead
+  // of per-call allocations — the IFV verification loop runs one of these
+  // per candidate graph.
+  EnumerateResult Enumerate(const Graph& query, const Graph& data,
+                            uint64_t limit, DeadlineChecker* checker,
+                            MatchWorkspace* ws,
+                            const EmbeddingCallback& callback = nullptr) const;
+
   // Subgraph isomorphism test: 1 if contained, 0 if not, -1 on deadline.
   int Contains(const Graph& query, const Graph& data,
                DeadlineChecker* checker) const;
+  int Contains(const Graph& query, const Graph& data, DeadlineChecker* checker,
+               MatchWorkspace* ws) const;
 
   const Vf2Options& options() const { return options_; }
 

@@ -1,0 +1,28 @@
+#include "matching/workspace.h"
+
+namespace sgq {
+
+size_t MatchWorkspace::MemoryBytes() const {
+  size_t bytes = 0;
+  if (filter_data_ != nullptr) bytes += filter_data_->MemoryBytes();
+  bytes += backward_neighbors.capacity() * sizeof(std::vector<VertexId>);
+  for (const auto& v : backward_neighbors) {
+    bytes += v.capacity() * sizeof(VertexId);
+  }
+  bytes += mapping.capacity() * sizeof(VertexId);
+  bytes += phi_index.capacity() * sizeof(uint32_t);
+  bytes += used.capacity() + placed.capacity();
+  bytes += order.capacity() * sizeof(VertexId);
+  bytes += reverse_mapping.capacity() * sizeof(VertexId);
+  bytes += term_query.capacity() * sizeof(uint32_t);
+  bytes += term_data.capacity() * sizeof(uint32_t);
+  bytes += byte_matrix.capacity();
+  bytes += byte_rows.capacity() * sizeof(std::vector<uint8_t>);
+  for (const auto& row : byte_rows) bytes += row.capacity();
+  bytes += order_pos.capacity() * sizeof(uint32_t);
+  bytes += vertex_counts.capacity() * sizeof(uint32_t);
+  bytes += index_of.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace sgq

@@ -12,6 +12,7 @@
 #include "matching/spath.h"
 #include "matching/turboiso.h"
 #include "matching/vf2.h"
+#include "matching/workspace.h"
 #include "query/ifv_engine.h"
 #include "query/ivcfv_engine.h"
 #include "query/parallel_vcfv_engine.h"
@@ -42,7 +43,8 @@ class Vf2ScanEngine : public QueryEngine {
     WallTimer verify_timer;
     result.stats.num_candidates = db_->size();
     for (GraphId g = 0; g < db_->size(); ++g) {
-      const int outcome = verifier_.Contains(query, db_->graph(g), &checker);
+      const int outcome =
+          verifier_.Contains(query, db_->graph(g), &checker, &workspace_);
       ++result.stats.si_tests;
       if (outcome == 1) result.answers.push_back(g);
       if (outcome == -1 || deadline.Expired()) {
@@ -59,6 +61,7 @@ class Vf2ScanEngine : public QueryEngine {
 
  private:
   Vf2 verifier_;
+  mutable MatchWorkspace workspace_;
   const GraphDatabase* db_ = nullptr;
 };
 
@@ -163,7 +166,8 @@ std::unique_ptr<QueryEngine> MakeEngine(const std::string& name,
   }
   if (name == "CFQL-parallel") {
     return std::make_unique<ParallelVcfvEngine>(
-        name, [] { return std::make_unique<CfqlMatcher>(); });
+        name, [] { return std::make_unique<CfqlMatcher>(); },
+        config.parallel_threads, config.parallel_chunk);
   }
   if (name == "VF2-scan") {
     return std::make_unique<Vf2ScanEngine>();

@@ -23,6 +23,10 @@ struct EngineConfig {
   uint32_t ct_fingerprint_bits = 4096;
   uint32_t ct_max_tree_edges = 4;
   uint32_t ct_max_cycle_length = 4;
+  // CFQL-parallel worker threads (0 = hardware concurrency) and graphs per
+  // scheduling chunk (0 = auto, see ThreadPool::DefaultChunk).
+  uint32_t parallel_threads = 0;
+  uint32_t parallel_chunk = 0;
 };
 
 // Names: "CT-Index", "Grapes", "GGSX" (IFV);

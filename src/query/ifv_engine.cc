@@ -31,7 +31,8 @@ QueryResult IfvEngine::Query(const Graph& query, Deadline deadline) const {
   // Verification step: one subgraph isomorphism test per candidate.
   WallTimer verify_timer;
   for (GraphId g : candidates) {
-    const int outcome = verifier_.Contains(query, db_->graph(g), &checker);
+    const int outcome =
+        verifier_.Contains(query, db_->graph(g), &checker, &workspace_);
     ++result.stats.si_tests;
     if (outcome == 1) result.answers.push_back(g);
     if (outcome == -1 || checker.expired()) {

@@ -9,6 +9,7 @@
 
 #include "index/graph_index.h"
 #include "matching/vf2.h"
+#include "matching/workspace.h"
 #include "query/query_engine.h"
 
 namespace sgq {
@@ -46,6 +47,9 @@ class IfvEngine : public QueryEngine {
   std::string name_;
   std::unique_ptr<GraphIndex> index_;
   Vf2 verifier_;
+  // Recycled VF2 core/terminal arrays for the verification loop; makes
+  // Query() non-reentrant (one Query at a time per engine).
+  mutable MatchWorkspace workspace_;
   const GraphDatabase* db_ = nullptr;
 };
 

@@ -32,12 +32,16 @@ QueryResult IvcfvEngine::Query(const Graph& query, Deadline deadline) const {
       index_->FilterCandidates(query);
   filter_timer.Stop();
 
+  const uint64_t ws_hits_before = workspace_.filter_hits();
+  const uint64_t ws_misses_before = workspace_.filter_misses();
   for (GraphId g : index_candidates) {
     const Graph& data = db_->graph(g);
 
-    // Level-2 filtering: the matcher's preprocessing (vertex connectivity).
+    // Level-2 filtering: the matcher's preprocessing (vertex connectivity),
+    // into the engine's recycled workspace.
     filter_timer.Start();
-    const auto filter_data = matcher_->Filter(query, data);
+    const FilterData* filter_data =
+        matcher_->Filter(query, data, &workspace_);
     filter_timer.Stop();
     result.stats.aux_memory_bytes =
         std::max(result.stats.aux_memory_bytes, filter_data->MemoryBytes());
@@ -45,9 +49,9 @@ QueryResult IvcfvEngine::Query(const Graph& query, Deadline deadline) const {
     if (filter_data->Passed()) {
       ++result.stats.num_candidates;
       verify_timer.Start();
-      const EnumerateResult er = matcher_->Enumerate(query, data,
-                                                     *filter_data,
-                                                     /*limit=*/1, &checker);
+      const EnumerateResult er =
+          matcher_->Enumerate(query, data, *filter_data,
+                              /*limit=*/1, &checker, &workspace_);
       verify_timer.Stop();
       ++result.stats.si_tests;
       if (er.embeddings > 0) result.answers.push_back(g);
@@ -64,6 +68,9 @@ QueryResult IvcfvEngine::Query(const Graph& query, Deadline deadline) const {
   result.stats.filtering_ms = filter_timer.TotalMillis();
   result.stats.verification_ms = verify_timer.TotalMillis();
   result.stats.num_answers = result.answers.size();
+  result.stats.ws_filter_hits = workspace_.filter_hits() - ws_hits_before;
+  result.stats.ws_filter_misses =
+      workspace_.filter_misses() - ws_misses_before;
   return result;
 }
 

@@ -10,6 +10,7 @@
 
 #include "index/graph_index.h"
 #include "matching/matcher.h"
+#include "matching/workspace.h"
 #include "query/query_engine.h"
 
 namespace sgq {
@@ -42,6 +43,9 @@ class IvcfvEngine : public QueryEngine {
   std::string name_;
   std::unique_ptr<GraphIndex> index_;
   std::unique_ptr<Matcher> matcher_;
+  // Recycled level-2 filtering/verification scratch; makes Query()
+  // non-reentrant (one Query at a time per engine).
+  mutable MatchWorkspace workspace_;
   const GraphDatabase* db_ = nullptr;
 };
 

@@ -20,6 +20,8 @@ MatchResult MatchEngine::Match(const Graph& query, const MatchOptions& options,
   MatchResult result;
   DeadlineChecker checker(deadline);
   IntervalTimer filter_timer, verify_timer;
+  const uint64_t ws_hits_before = workspace_.filter_hits();
+  const uint64_t ws_misses_before = workspace_.filter_misses();
 
   // Level-1 filtering (hybrid mode only).
   std::vector<GraphId> candidates;
@@ -36,7 +38,8 @@ MatchResult MatchEngine::Match(const Graph& query, const MatchOptions& options,
     const Graph& data = db_->graph(g);
 
     filter_timer.Start();
-    const auto filter_data = matcher_->Filter(query, data);
+    const FilterData* filter_data =
+        matcher_->Filter(query, data, &workspace_);
     filter_timer.Stop();
     result.stats.aux_memory_bytes =
         std::max(result.stats.aux_memory_bytes, filter_data->MemoryBytes());
@@ -54,7 +57,8 @@ MatchResult MatchEngine::Match(const Graph& query, const MatchOptions& options,
       verify_timer.Start();
       const EnumerateResult er =
           matcher_->Enumerate(query, data, *filter_data,
-                              options.per_graph_limit, &checker, callback);
+                              options.per_graph_limit, &checker, &workspace_,
+                              callback);
       verify_timer.Stop();
       ++result.stats.si_tests;
       matches.num_embeddings = er.embeddings;
@@ -73,6 +77,9 @@ MatchResult MatchEngine::Match(const Graph& query, const MatchOptions& options,
   result.stats.filtering_ms = filter_timer.TotalMillis();
   result.stats.verification_ms = verify_timer.TotalMillis();
   result.stats.num_answers = result.matches.size();
+  result.stats.ws_filter_hits = workspace_.filter_hits() - ws_hits_before;
+  result.stats.ws_filter_misses =
+      workspace_.filter_misses() - ws_misses_before;
   return result;
 }
 

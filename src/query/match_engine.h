@@ -17,6 +17,7 @@
 #include "graph/graph_database.h"
 #include "index/graph_index.h"
 #include "matching/matcher.h"
+#include "matching/workspace.h"
 #include "query/stats.h"
 
 namespace sgq {
@@ -64,6 +65,9 @@ class MatchEngine {
  private:
   std::unique_ptr<GraphIndex> index_;
   std::unique_ptr<Matcher> matcher_;
+  // Recycled filter/enumeration scratch; makes Match() non-reentrant (one
+  // Match at a time per engine).
+  mutable MatchWorkspace workspace_;
   const GraphDatabase* db_ = nullptr;
 };
 

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
-#include <thread>
 
 #include "util/logging.h"
 #include "util/timer.h"
@@ -12,13 +10,18 @@ namespace sgq {
 
 ParallelVcfvEngine::ParallelVcfvEngine(
     std::string name, std::function<std::unique_ptr<Matcher>()> matcher_factory,
-    uint32_t num_threads)
-    : name_(std::move(name)), matcher_factory_(std::move(matcher_factory)) {
-  if (num_threads == 0) {
-    num_threads = std::thread::hardware_concurrency();
-    if (num_threads == 0) num_threads = 1;
+    uint32_t num_threads, uint32_t chunk_size)
+    : name_(std::move(name)),
+      chunk_size_(chunk_size),
+      pool_(std::make_unique<ThreadPool>(num_threads)) {
+  // One slot per ParallelFor executor: every pool thread plus the calling
+  // thread, which participates in the chunk loop under the last slot id.
+  const uint32_t num_slots = pool_->num_threads() + 1;
+  slots_.reserve(num_slots);
+  for (uint32_t i = 0; i < num_slots; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+    slots_.back()->matcher = matcher_factory();
   }
-  num_threads_ = num_threads;
 }
 
 bool ParallelVcfvEngine::Prepare(const GraphDatabase& db, Deadline deadline) {
@@ -31,9 +34,10 @@ QueryResult ParallelVcfvEngine::Query(const Graph& query,
                                       Deadline deadline) const {
   SGQ_CHECK(db_ != nullptr) << name_ << ": call Prepare() first";
   QueryResult result;
-  WallTimer wall;
+  const size_t num_graphs = db_->size();
+  const uint32_t executors = pool_->num_threads() + 1;
 
-  struct ThreadAccumulator {
+  struct SlotAccumulator {
     std::vector<GraphId> answers;
     uint64_t candidates = 0;
     uint64_t si_tests = 0;
@@ -41,59 +45,61 @@ QueryResult ParallelVcfvEngine::Query(const Graph& query,
     int64_t filter_nanos = 0;
     int64_t verify_nanos = 0;
   };
-  std::vector<ThreadAccumulator> accumulators(num_threads_);
-  std::atomic<size_t> next{0};
+  std::vector<SlotAccumulator> accumulators(executors);
   std::atomic<bool> timed_out{false};
 
-  auto worker = [&](uint32_t tid) {
-    const std::unique_ptr<Matcher> matcher = matcher_factory_();
-    ThreadAccumulator& acc = accumulators[tid];
-    DeadlineChecker checker(deadline);
-    IntervalTimer filter_timer, verify_timer;
-    while (!timed_out.load(std::memory_order_relaxed)) {
-      const size_t g = next.fetch_add(1);
-      if (g >= db_->size()) break;
-      const Graph& data = db_->graph(static_cast<GraphId>(g));
-
-      filter_timer.Start();
-      const auto filter_data = matcher->Filter(query, data);
-      filter_timer.Stop();
-      acc.max_aux = std::max(acc.max_aux, filter_data->MemoryBytes());
-
-      if (filter_data->Passed()) {
-        ++acc.candidates;
-        verify_timer.Start();
-        const EnumerateResult er = matcher->Enumerate(
-            query, data, *filter_data, /*limit=*/1, &checker);
-        verify_timer.Stop();
-        ++acc.si_tests;
-        if (er.embeddings > 0) acc.answers.push_back(static_cast<GraphId>(g));
-        if (er.aborted) {
-          timed_out.store(true, std::memory_order_relaxed);
-          break;
-        }
-      }
-      if (deadline.Expired()) {
-        timed_out.store(true, std::memory_order_relaxed);
-        break;
-      }
-    }
-    acc.filter_nanos = filter_timer.TotalNanos();
-    acc.verify_nanos = verify_timer.TotalNanos();
-  };
-
-  if (num_threads_ == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads_);
-    for (uint32_t t = 0; t < num_threads_; ++t) threads.emplace_back(worker, t);
-    for (auto& t : threads) t.join();
+  uint64_t ws_hits_before = 0, ws_misses_before = 0;
+  for (const auto& slot : slots_) {
+    ws_hits_before += slot->workspace.filter_hits();
+    ws_misses_before += slot->workspace.filter_misses();
   }
 
-  const double wall_ms = wall.ElapsedMillis();
+  const size_t chunk = chunk_size_ != 0
+                           ? chunk_size_
+                           : ThreadPool::DefaultChunk(num_graphs, executors);
+  pool_->ParallelFor(
+      num_graphs, chunk, [&](size_t begin, size_t end, uint32_t slot_id) {
+        if (timed_out.load(std::memory_order_relaxed)) return;
+        WorkerSlot& slot = *slots_[slot_id];
+        SlotAccumulator& acc = accumulators[slot_id];
+        DeadlineChecker checker(deadline);
+        WallTimer timer;
+        for (size_t g = begin; g < end; ++g) {
+          if (timed_out.load(std::memory_order_relaxed)) return;
+          const Graph& data = db_->graph(static_cast<GraphId>(g));
+
+          timer.Restart();
+          const FilterData* filter_data =
+              slot.matcher->Filter(query, data, &slot.workspace);
+          acc.filter_nanos += timer.ElapsedNanos();
+          acc.max_aux = std::max(acc.max_aux, filter_data->MemoryBytes());
+
+          if (filter_data->Passed()) {
+            ++acc.candidates;
+            timer.Restart();
+            const EnumerateResult er =
+                slot.matcher->Enumerate(query, data, *filter_data,
+                                        /*limit=*/1, &checker,
+                                        &slot.workspace);
+            acc.verify_nanos += timer.ElapsedNanos();
+            ++acc.si_tests;
+            if (er.embeddings > 0) {
+              acc.answers.push_back(static_cast<GraphId>(g));
+            }
+            if (er.aborted) {
+              timed_out.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
+          if (deadline.Expired()) {
+            timed_out.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+
   int64_t filter_nanos = 0, verify_nanos = 0;
-  for (const ThreadAccumulator& acc : accumulators) {
+  for (const SlotAccumulator& acc : accumulators) {
     result.answers.insert(result.answers.end(), acc.answers.begin(),
                           acc.answers.end());
     result.stats.num_candidates += acc.candidates;
@@ -106,15 +112,20 @@ QueryResult ParallelVcfvEngine::Query(const Graph& query,
   std::sort(result.answers.begin(), result.answers.end());
   result.stats.num_answers = result.answers.size();
   result.stats.timed_out = timed_out.load();
-  // Split the wall time proportionally to the summed per-thread phases.
-  const double total_nanos =
-      static_cast<double>(filter_nanos) + static_cast<double>(verify_nanos);
-  if (total_nanos > 0) {
-    result.stats.filtering_ms =
-        wall_ms * static_cast<double>(filter_nanos) / total_nanos;
-    result.stats.verification_ms =
-        wall_ms * static_cast<double>(verify_nanos) / total_nanos;
+  // Parallel wall-clock estimate: summed per-slot phase time spread over
+  // the executor count (see the convention note in query/stats.h).
+  result.stats.filtering_ms =
+      static_cast<double>(filter_nanos) / executors / 1e6;
+  result.stats.verification_ms =
+      static_cast<double>(verify_nanos) / executors / 1e6;
+
+  uint64_t ws_hits_after = 0, ws_misses_after = 0;
+  for (const auto& slot : slots_) {
+    ws_hits_after += slot->workspace.filter_hits();
+    ws_misses_after += slot->workspace.filter_misses();
   }
+  result.stats.ws_filter_hits = ws_hits_after - ws_hits_before;
+  result.stats.ws_filter_misses = ws_misses_after - ws_misses_before;
   return result;
 }
 

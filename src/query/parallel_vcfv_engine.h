@@ -4,30 +4,46 @@
 // parallel index construction (the paper's related work, [19]/[31], notes
 // single-machine parallel subgraph matching as the natural extension).
 //
-// Time accounting: filtering_ms / verification_ms are wall-clock for the
-// whole parallel region, split between the two phases in proportion to the
-// summed per-thread phase times (per-thread sums alone would overstate a
-// multi-core run).
+// Concurrency substrate: the engine owns a persistent ThreadPool (created
+// once, reused by every Query) plus one worker slot per executor — the pool
+// threads and the calling thread, which ParallelFor drafts into the chunk
+// loop instead of letting it sleep. Each slot holds a Matcher instance and a
+// MatchWorkspace. Work is handed out in chunks of `chunk_size` graphs per
+// atomic operation (ThreadPool::ParallelFor), and the workspace recycles
+// candidate-set/CPI/enumeration buffers across all graphs a slot processes —
+// the two fixed costs a per-query thread spawn used to re-pay.
+//
+// Time accounting: filtering_ms / verification_ms are the summed per-slot
+// phase nanos divided by the executor count — a parallel wall-clock estimate
+// comparable with the serial engines (see the convention in query/stats.h).
+//
+// Query() is not reentrant: one Query at a time per engine (the worker
+// slots and the pool are shared state).
 #ifndef SGQ_QUERY_PARALLEL_VCFV_ENGINE_H_
 #define SGQ_QUERY_PARALLEL_VCFV_ENGINE_H_
 
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "matching/matcher.h"
+#include "matching/workspace.h"
 #include "query/query_engine.h"
+#include "util/thread_pool.h"
 
 namespace sgq {
 
 class ParallelVcfvEngine : public QueryEngine {
  public:
-  // `matcher_factory` is invoked once per worker thread (matchers are
-  // stateless in this library, but per-thread instances keep the contract
-  // obvious). `num_threads` defaults to the hardware concurrency.
+  // `matcher_factory` is invoked once per worker slot when the engine is
+  // built; the instances (and their workspaces) persist across queries.
+  // `num_threads` defaults to the hardware concurrency; `chunk_size` is the
+  // number of graphs a worker claims per scheduling step (0 = pick
+  // automatically from the database size).
   ParallelVcfvEngine(std::string name,
                      std::function<std::unique_ptr<Matcher>()> matcher_factory,
-                     uint32_t num_threads = 0);
+                     uint32_t num_threads = 0, uint32_t chunk_size = 0);
 
   const char* name() const override { return name_.c_str(); }
 
@@ -37,12 +53,24 @@ class ParallelVcfvEngine : public QueryEngine {
 
   size_t IndexMemoryBytes() const override { return 0; }
 
-  uint32_t num_threads() const { return num_threads_; }
+  uint32_t num_threads() const { return pool_->num_threads(); }
+  uint32_t chunk_size() const { return chunk_size_; }
 
  private:
+  struct WorkerSlot {
+    std::unique_ptr<Matcher> matcher;
+    MatchWorkspace workspace;
+  };
+
   std::string name_;
-  std::function<std::unique_ptr<Matcher>()> matcher_factory_;
-  uint32_t num_threads_;
+  uint32_t chunk_size_;
+  std::unique_ptr<ThreadPool> pool_;
+  // One slot per executor (pool threads + the participating caller);
+  // ParallelFor guarantees a slot is driven by at most one thread at a
+  // time, so slots need no locks. Mutable because the
+  // workspaces accumulate reusable buffers across const Query() calls.
+  // unique_ptr because MatchWorkspace is neither copyable nor movable.
+  mutable std::vector<std::unique_ptr<WorkerSlot>> slots_;
   const GraphDatabase* db_ = nullptr;
 };
 

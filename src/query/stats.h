@@ -12,6 +12,15 @@
 
 namespace sgq {
 
+// Phase-time convention: for serial engines, filtering_ms/verification_ms
+// are summed wall-clock over the per-graph phases. For parallel engines they
+// are *parallel wall-clock estimates*: the summed per-slot phase nanos
+// divided by the executor count (the pool threads plus the calling thread,
+// which participates in the chunk loop), i.e. the time the phase would
+// occupy with perfect load balance. The two therefore stay comparable
+// across thread counts (a phase that sums to 80 ms over 8 executors reports
+// 10 ms), and QueryMs() approximates the parallel region's wall time rather
+// than the aggregate CPU time.
 struct QueryStats {
   double filtering_ms = 0;     // index lookup and/or Φ construction
   double verification_ms = 0;  // SI tests over C(q)  (Equation 2)
@@ -20,6 +29,12 @@ struct QueryStats {
   uint64_t si_tests = 0;       // verifications actually executed
   bool timed_out = false;      // per-query time limit expired
   size_t aux_memory_bytes = 0; // peak auxiliary-structure footprint
+  // MatchWorkspace reuse counters for this query (vcFV-family engines): a
+  // hit is a Filter() call served from recycled workspace memory, a miss an
+  // actual FilterData allocation. hits + misses == number of Filter() calls,
+  // so misses is the per-query allocation count the reuse is eliminating.
+  uint64_t ws_filter_hits = 0;
+  uint64_t ws_filter_misses = 0;
 
   double QueryMs() const { return filtering_ms + verification_ms; }
 };

@@ -19,13 +19,17 @@ QueryResult VcfvEngine::Query(const Graph& query, Deadline deadline) const {
   DeadlineChecker checker(deadline);
   IntervalTimer filter_timer;
   IntervalTimer verify_timer;
+  const uint64_t ws_hits_before = workspace_.filter_hits();
+  const uint64_t ws_misses_before = workspace_.filter_misses();
 
   for (GraphId g = 0; g < db_->size(); ++g) {
     const Graph& data = db_->graph(g);
 
-    // Filtering: the matcher's preprocessing phase (Algorithm 2, line 4).
+    // Filtering: the matcher's preprocessing phase (Algorithm 2, line 4),
+    // into the engine's recycled workspace.
     filter_timer.Start();
-    const auto filter_data = matcher_->Filter(query, data);
+    const FilterData* filter_data =
+        matcher_->Filter(query, data, &workspace_);
     filter_timer.Stop();
     result.stats.aux_memory_bytes =
         std::max(result.stats.aux_memory_bytes, filter_data->MemoryBytes());
@@ -34,9 +38,9 @@ QueryResult VcfvEngine::Query(const Graph& query, Deadline deadline) const {
       ++result.stats.num_candidates;
       // Verification: first-match enumeration (Algorithm 2, line 6).
       verify_timer.Start();
-      const EnumerateResult er = matcher_->Enumerate(query, data,
-                                                     *filter_data,
-                                                     /*limit=*/1, &checker);
+      const EnumerateResult er =
+          matcher_->Enumerate(query, data, *filter_data,
+                              /*limit=*/1, &checker, &workspace_);
       verify_timer.Stop();
       ++result.stats.si_tests;
       if (er.embeddings > 0) result.answers.push_back(g);
@@ -55,6 +59,9 @@ QueryResult VcfvEngine::Query(const Graph& query, Deadline deadline) const {
   result.stats.filtering_ms = filter_timer.TotalMillis();
   result.stats.verification_ms = verify_timer.TotalMillis();
   result.stats.num_answers = result.answers.size();
+  result.stats.ws_filter_hits = workspace_.filter_hits() - ws_hits_before;
+  result.stats.ws_filter_misses =
+      workspace_.filter_misses() - ws_misses_before;
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "matching/matcher.h"
+#include "matching/workspace.h"
 #include "query/query_engine.h"
 
 namespace sgq {
@@ -31,6 +32,10 @@ class VcfvEngine : public QueryEngine {
  private:
   std::string name_;
   std::unique_ptr<Matcher> matcher_;
+  // Long-lived scratch: one workspace for the engine's single scan thread,
+  // recycled across every (query, data graph) pair this engine processes.
+  // Makes Query() non-reentrant (one Query at a time per engine).
+  mutable MatchWorkspace workspace_;
   const GraphDatabase* db_ = nullptr;
 };
 

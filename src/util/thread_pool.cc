@@ -1,0 +1,92 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace sgq {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t chunk,
+    const std::function<void(size_t, size_t, uint32_t)>& body) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  std::atomic<size_t> next{0};
+  const auto drain = [&](uint32_t slot) {
+    for (;;) {
+      const size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      body(begin, std::min(begin + chunk, n), slot);
+    }
+  };
+  // One task per worker slot; a task loops until the range is exhausted. A
+  // slow worker may leave its task to be picked up late by a faster one, but
+  // each slot's task is still a single sequential execution.
+  for (uint32_t slot = 0; slot < num_threads(); ++slot) {
+    Submit([&drain, slot] { drain(slot); });
+  }
+  // The caller works too (slot num_threads()) instead of sleeping until the
+  // workers are done — on a loaded or single-core machine it would otherwise
+  // spend the whole range context-switching in Wait().
+  drain(num_threads());
+  Wait();
+}
+
+size_t ThreadPool::DefaultChunk(size_t n, uint32_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  const size_t chunk = n / (static_cast<size_t>(num_threads) * 8);
+  return std::clamp<size_t>(chunk, 1, 64);
+}
+
+}  // namespace sgq

@@ -1,0 +1,147 @@
+// The workspace path must be a pure optimization: for every matcher the
+// workspace-fed Filter/Enumerate must produce exactly the candidate sets,
+// embedding counts and answers of the allocating path, while actually
+// recycling the FilterData (hit/miss counters) after one warm-up graph.
+#include "matching/workspace.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gen/graph_gen.h"
+#include "gen/query_gen.h"
+#include "matching/cfl.h"
+#include "matching/cfql.h"
+#include "matching/direct_enumeration.h"
+#include "matching/graphql.h"
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+GraphDatabase MakeDb(uint64_t seed, uint32_t graphs) {
+  SyntheticParams params;
+  params.num_graphs = graphs;
+  params.vertices_per_graph = 22;
+  params.degree = 3.2;
+  params.num_labels = 4;
+  params.seed = seed;
+  return GenerateSyntheticDatabase(params);
+}
+
+std::vector<VertexId> SortedCandidates(const CandidateSets& phi, VertexId u) {
+  std::vector<VertexId> c(phi.set(u).begin(), phi.set(u).end());
+  std::sort(c.begin(), c.end());
+  return c;
+}
+
+// One long-lived workspace scanning the whole database must reproduce the
+// allocating path graph for graph: same Φ sets, same pass/fail, same
+// first-match verdicts and full embedding counts.
+void CheckParityOverScan(const Matcher& matcher) {
+  const GraphDatabase db = MakeDb(3, 30);
+  Rng rng(17);
+  Graph query;
+  ASSERT_TRUE(GenerateQuery(db, QueryKind::kSparse, 5, &rng, &query));
+
+  MatchWorkspace ws;
+  DeadlineChecker checker{Deadline::Infinite()};
+  for (GraphId g = 0; g < db.size(); ++g) {
+    SCOPED_TRACE(::testing::Message() << matcher.name() << " graph " << g);
+    const Graph& data = db.graph(g);
+
+    const std::unique_ptr<FilterData> fresh = matcher.Filter(query, data);
+    const FilterData* reused = matcher.Filter(query, data, &ws);
+
+    ASSERT_EQ(fresh->phi.NumQueryVertices(), reused->phi.NumQueryVertices());
+    for (VertexId u = 0; u < query.NumVertices(); ++u) {
+      EXPECT_EQ(SortedCandidates(fresh->phi, u),
+                SortedCandidates(reused->phi, u))
+          << "query vertex " << u;
+    }
+    ASSERT_EQ(fresh->Passed(), reused->Passed());
+    if (!reused->Passed()) continue;
+
+    const EnumerateResult expect_all =
+        matcher.Enumerate(query, data, *fresh, UINT64_MAX, &checker);
+    const EnumerateResult got_all = matcher.Enumerate(
+        query, data, *reused, UINT64_MAX, &checker, &ws);
+    EXPECT_EQ(got_all.embeddings, expect_all.embeddings);
+
+    const EnumerateResult got_first =
+        matcher.Enumerate(query, data, *reused, 1, &checker, &ws);
+    EXPECT_EQ(got_first.embeddings > 0, expect_all.embeddings > 0);
+  }
+}
+
+TEST(WorkspaceParityTest, GraphQl) { CheckParityOverScan(GraphQlMatcher()); }
+TEST(WorkspaceParityTest, Cfl) { CheckParityOverScan(CflMatcher()); }
+TEST(WorkspaceParityTest, Cfql) { CheckParityOverScan(CfqlMatcher()); }
+// QuickSI has no workspace overrides: exercises the base-class fallback path
+// (ParkFilterData + workspace-ignoring Enumerate).
+TEST(WorkspaceParityTest, QuickSiFallbackPath) {
+  CheckParityOverScan(QuickSiMatcher());
+}
+
+TEST(WorkspaceTest, AcquireReusesExactTypeOnly) {
+  MatchWorkspace ws;
+  FilterData* plain = ws.AcquireFilterData<FilterData>();
+  ASSERT_NE(plain, nullptr);
+  EXPECT_EQ(ws.filter_misses(), 1u);
+  EXPECT_EQ(ws.filter_hits(), 0u);
+
+  // Same type again: the very same object comes back.
+  FilterData* again = ws.AcquireFilterData<FilterData>();
+  EXPECT_EQ(again, plain);
+  EXPECT_EQ(ws.filter_hits(), 1u);
+
+  // Different dynamic type: must NOT reuse (a CpiData is not a plain
+  // FilterData even though it derives from one).
+  CpiData* cpi = ws.AcquireFilterData<CpiData>();
+  ASSERT_NE(cpi, nullptr);
+  EXPECT_EQ(ws.filter_misses(), 2u);
+
+  // And back: the CpiData replaced the plain one, so this misses again.
+  ws.AcquireFilterData<FilterData>();
+  EXPECT_EQ(ws.filter_misses(), 3u);
+  EXPECT_EQ(ws.filter_hits(), 1u);
+}
+
+TEST(WorkspaceTest, ParkAlwaysCountsAsMiss) {
+  MatchWorkspace ws;
+  FilterData* parked = ws.ParkFilterData(std::make_unique<FilterData>());
+  ASSERT_NE(parked, nullptr);
+  ws.ParkFilterData(std::make_unique<FilterData>());
+  EXPECT_EQ(ws.filter_misses(), 2u);
+  EXPECT_EQ(ws.filter_hits(), 0u);
+}
+
+TEST(WorkspaceTest, CountersResetAndMemoryGrows) {
+  const GraphDatabase db = MakeDb(9, 6);
+  Rng rng(5);
+  Graph query;
+  ASSERT_TRUE(GenerateQuery(db, QueryKind::kSparse, 4, &rng, &query));
+
+  MatchWorkspace ws;
+  EXPECT_EQ(ws.MemoryBytes(), 0u);
+  const CfqlMatcher matcher;
+  DeadlineChecker checker{Deadline::Infinite()};
+  for (GraphId g = 0; g < db.size(); ++g) {
+    const FilterData* fd = matcher.Filter(query, db.graph(g), &ws);
+    if (fd->Passed()) {
+      matcher.Enumerate(query, db.graph(g), *fd, 1, &checker, &ws);
+    }
+  }
+  // First graph missed, the rest hit.
+  EXPECT_EQ(ws.filter_misses(), 1u);
+  EXPECT_EQ(ws.filter_hits(), static_cast<uint64_t>(db.size()) - 1);
+  EXPECT_GT(ws.MemoryBytes(), 0u);
+
+  ws.ResetCounters();
+  EXPECT_EQ(ws.filter_hits(), 0u);
+  EXPECT_EQ(ws.filter_misses(), 0u);
+}
+
+}  // namespace
+}  // namespace sgq

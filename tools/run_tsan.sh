@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds the concurrency tests with ThreadSanitizer and runs everything
+# carrying the `tsan` CTest label (thread pool, parallel engine,
+# parallel determinism).
+#
+# Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build-tsan}"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DSGQ_TSAN=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target thread_pool_test parallel_engine_test parallel_determinism_test
+cd "$BUILD_DIR" && ctest -L tsan --output-on-failure -j"$(nproc)"

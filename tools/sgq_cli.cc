@@ -10,6 +10,7 @@
 //   sgq_cli stats    --db db.txt
 //   sgq_cli query    --db db.txt --queries queries.txt [--engine CFQL]
 //                    [--time-limit 600] [--build-limit 86400]
+//                    [--threads N] [--chunk K]   (CFQL-parallel only)
 //   sgq_cli index    --db db.txt --type Grapes|GGSX|CT-Index --out idx.bin
 //                    [--build-limit 86400]
 //   sgq_cli filter   --index idx.bin --type Grapes|GGSX|CT-Index
@@ -236,8 +237,8 @@ int CmdStats(const Flags& flags) {
 }
 
 int CmdQuery(const Flags& flags) {
-  if (!flags.Validate(
-          {"db", "queries", "engine", "time-limit", "build-limit"})) {
+  if (!flags.Validate({"db", "queries", "engine", "time-limit", "build-limit",
+                       "threads", "chunk"})) {
     return 2;
   }
   GraphDatabase db;
@@ -251,7 +252,11 @@ int CmdQuery(const Flags& flags) {
   }
 
   const std::string engine_name = flags.Get("engine", "CFQL");
-  auto engine = MakeEngine(engine_name);
+  EngineConfig config;
+  config.parallel_threads =
+      static_cast<uint32_t>(flags.GetDouble("threads", 0));
+  config.parallel_chunk = static_cast<uint32_t>(flags.GetDouble("chunk", 0));
+  auto engine = MakeEngine(engine_name, config);
   WallTimer prep_timer;
   if (!engine->Prepare(
           db, Deadline::AfterSeconds(flags.GetDouble("build-limit", 86400)))) {
