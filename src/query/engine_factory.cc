@@ -39,6 +39,11 @@ class Vf2ScanEngine : public QueryEngine {
   QueryResult Query(const Graph& query, Deadline deadline) const override {
     SGQ_CHECK(db_ != nullptr);
     QueryResult result;
+    // Expired before we start: OOT with zero work done (see vcfv_engine.cc).
+    if (deadline.Expired()) {
+      result.stats.timed_out = true;
+      return result;
+    }
     DeadlineChecker checker(deadline);
     WallTimer verify_timer;
     result.stats.num_candidates = db_->size();
@@ -174,6 +179,20 @@ std::unique_ptr<QueryEngine> MakeEngine(const std::string& name,
   }
   SGQ_LOG(Fatal) << "unknown engine: " << name;
   return nullptr;
+}
+
+bool IsKnownEngine(const std::string& name) {
+  static const std::vector<std::string>& kExtensions =
+      *new std::vector<std::string>{"MinedPath", "GraphGrep", "TurboIso",
+                                    "Ullmann",   "QuickSI",   "SPath",
+                                    "CFQL-parallel", "VF2-scan"};
+  for (const std::string& n : AllEngineNames()) {
+    if (n == name) return true;
+  }
+  for (const std::string& n : kExtensions) {
+    if (n == name) return true;
+  }
+  return false;
 }
 
 const std::vector<std::string>& AllEngineNames() {

@@ -46,6 +46,11 @@ std::unique_ptr<QueryEngine> MakeEngine(const std::string& name,
 // The eight competing algorithms of Table III, in paper order.
 const std::vector<std::string>& AllEngineNames();
 
+// True iff MakeEngine(name) would succeed. Front ends (CLI, server) use
+// this to reject bad --engine values with an error instead of the Fatal
+// abort inside MakeEngine.
+bool IsKnownEngine(const std::string& name);
+
 }  // namespace sgq
 
 #endif  // SGQ_QUERY_ENGINE_FACTORY_H_

@@ -20,6 +20,12 @@ QueryResult IfvEngine::Query(const Graph& query, Deadline deadline) const {
   SGQ_CHECK(db_ != nullptr && index_->built())
       << name_ << ": Prepare() must succeed before Query()";
   QueryResult result;
+  // A deadline that expired before we start (e.g. while the request sat in
+  // a service admission queue) is the OOT outcome with zero work done.
+  if (deadline.Expired()) {
+    result.stats.timed_out = true;
+    return result;
+  }
   DeadlineChecker checker(deadline);
 
   // Filtering step: index lookup.
@@ -35,7 +41,10 @@ QueryResult IfvEngine::Query(const Graph& query, Deadline deadline) const {
         verifier_.Contains(query, db_->graph(g), &checker, &workspace_);
     ++result.stats.si_tests;
     if (outcome == 1) result.answers.push_back(g);
-    if (outcome == -1 || checker.expired()) {
+    // The checker only polls the clock every 1024 ticks inside Contains();
+    // short verifications may never reach a poll, so check the deadline
+    // directly between candidates as well.
+    if (outcome == -1 || checker.expired() || deadline.Expired()) {
       result.stats.timed_out = true;
       break;
     }

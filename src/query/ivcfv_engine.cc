@@ -22,6 +22,12 @@ QueryResult IvcfvEngine::Query(const Graph& query, Deadline deadline) const {
   SGQ_CHECK(db_ != nullptr && index_->built())
       << name_ << ": Prepare() must succeed before Query()";
   QueryResult result;
+  // A deadline that expired before we start (e.g. while the request sat in
+  // a service admission queue) is the OOT outcome with zero work done.
+  if (deadline.Expired()) {
+    result.stats.timed_out = true;
+    return result;
+  }
   DeadlineChecker checker(deadline);
   IntervalTimer filter_timer;
   IntervalTimer verify_timer;

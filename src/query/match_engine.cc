@@ -18,6 +18,12 @@ MatchResult MatchEngine::Match(const Graph& query, const MatchOptions& options,
                                Deadline deadline) const {
   SGQ_CHECK(db_ != nullptr) << "call Prepare() first";
   MatchResult result;
+  // A deadline that expired before we start (e.g. while the request sat in
+  // a service admission queue) is the OOT outcome with zero work done.
+  if (deadline.Expired()) {
+    result.stats.timed_out = true;
+    return result;
+  }
   DeadlineChecker checker(deadline);
   IntervalTimer filter_timer, verify_timer;
   const uint64_t ws_hits_before = workspace_.filter_hits();

@@ -34,6 +34,12 @@ QueryResult ParallelVcfvEngine::Query(const Graph& query,
                                       Deadline deadline) const {
   SGQ_CHECK(db_ != nullptr) << name_ << ": call Prepare() first";
   QueryResult result;
+  // A deadline that expired before we start (e.g. while the request sat in
+  // a service admission queue) is the OOT outcome with zero work done.
+  if (deadline.Expired()) {
+    result.stats.timed_out = true;
+    return result;
+  }
   const size_t num_graphs = db_->size();
   const uint32_t executors = pool_->num_threads() + 1;
 

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/types.h"
@@ -60,6 +61,12 @@ struct QuerySetSummary {
 
 QuerySetSummary Summarize(std::span<const QueryResult> results,
                           double timeout_ms);
+
+// Machine-readable serialization shared by `sgq_cli query --format json`
+// and the query service's STATS reply: a single-line JSON object, keys in
+// declaration order, doubles printed with enough precision to round-trip.
+std::string ToJson(const QueryStats& stats);
+std::string ToJson(const QuerySetSummary& summary);
 
 }  // namespace sgq
 

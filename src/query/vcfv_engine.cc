@@ -16,6 +16,12 @@ bool VcfvEngine::Prepare(const GraphDatabase& db, Deadline deadline) {
 QueryResult VcfvEngine::Query(const Graph& query, Deadline deadline) const {
   SGQ_CHECK(db_ != nullptr) << name_ << ": call Prepare() first";
   QueryResult result;
+  // A deadline that expired before we start (e.g. while the request sat in
+  // a service admission queue) is the OOT outcome with zero work done.
+  if (deadline.Expired()) {
+    result.stats.timed_out = true;
+    return result;
+  }
   DeadlineChecker checker(deadline);
   IntervalTimer filter_timer;
   IntervalTimer verify_timer;

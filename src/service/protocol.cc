@@ -1,0 +1,198 @@
+#include "service/protocol.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace sgq {
+
+namespace {
+
+std::vector<std::string_view> SplitTokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+bool ParseTimeout(std::string_view token, double* seconds) {
+  char* end = nullptr;
+  const std::string copy(token);
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || value < 0 || value != value) {
+    return false;
+  }
+  *seconds = value;
+  return true;
+}
+
+bool ParseLength(std::string_view token, size_t* length) {
+  if (token.empty()) return false;
+  size_t value = 0;
+  for (const char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    if (value > (SIZE_MAX - 9) / 10) return false;  // overflow
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  *length = value;
+  return true;
+}
+
+// One-line sanitization for messages echoed back over the wire.
+std::string StripNewlines(std::string_view message) {
+  std::string out;
+  out.reserve(message.size());
+  for (const char c : message) out += (c == '\n' || c == '\r') ? ' ' : c;
+  return out;
+}
+
+}  // namespace
+
+RequestParser::Status RequestParser::Next(Request* request,
+                                          std::string* error) {
+  if (failed_) {
+    *error = "parser in error state";
+    return Status::kError;
+  }
+  for (;;) {
+    if (awaiting_payload_) {
+      if (buffer_.size() < payload_bytes_) return Status::kNeedMore;
+      pending_.graph_text = buffer_.substr(0, payload_bytes_);
+      buffer_.erase(0, payload_bytes_);
+      awaiting_payload_ = false;
+      *request = std::move(pending_);
+      pending_ = Request();
+      return Status::kReady;
+    }
+    const size_t newline = buffer_.find('\n');
+    if (newline == std::string::npos) {
+      if (buffer_.size() > kMaxCommandLineBytes) {
+        failed_ = true;
+        *error = "command line exceeds " +
+                 std::to_string(kMaxCommandLineBytes) + " bytes";
+        return Status::kError;
+      }
+      return Status::kNeedMore;
+    }
+    std::string_view line(buffer_.data(), newline);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.size() > kMaxCommandLineBytes) {
+      failed_ = true;
+      *error = "command line exceeds " +
+               std::to_string(kMaxCommandLineBytes) + " bytes";
+      return Status::kError;
+    }
+    const Status status = ParseCommandLine(line, error);
+    buffer_.erase(0, newline + 1);
+    if (status == Status::kError) {
+      failed_ = true;
+      return status;
+    }
+    if (status == Status::kReady) {
+      if (awaiting_payload_) continue;  // QUERY <len>: collect the payload
+      *request = std::move(pending_);
+      pending_ = Request();
+      return Status::kReady;
+    }
+    // kNeedMore: blank line, keep scanning.
+  }
+}
+
+RequestParser::Status RequestParser::ParseCommandLine(std::string_view line,
+                                                      std::string* error) {
+  const std::vector<std::string_view> tokens = SplitTokens(line);
+  if (tokens.empty()) return Status::kNeedMore;  // blank line
+  const std::string_view verb = tokens[0];
+  pending_ = Request();
+
+  if (verb == "STATS" || verb == "SHUTDOWN") {
+    if (tokens.size() != 1) {
+      *error = std::string(verb) + " takes no arguments";
+      return Status::kError;
+    }
+    pending_.verb = verb == "STATS" ? Request::Verb::kStats
+                                    : Request::Verb::kShutdown;
+    return Status::kReady;
+  }
+
+  if (verb == "RELOAD") {
+    if (tokens.size() > 2 ||
+        (tokens.size() == 2 && tokens[1].front() != '@')) {
+      *error = "usage: RELOAD [@<path>]";
+      return Status::kError;
+    }
+    pending_.verb = Request::Verb::kReload;
+    if (tokens.size() == 2) pending_.file_ref = tokens[1].substr(1);
+    return Status::kReady;
+  }
+
+  if (verb == "QUERY") {
+    if (tokens.size() < 2 || tokens.size() > 3) {
+      *error = "usage: QUERY <len>|@<path> [timeout_s]";
+      return Status::kError;
+    }
+    pending_.verb = Request::Verb::kQuery;
+    if (tokens.size() == 3 &&
+        !ParseTimeout(tokens[2], &pending_.timeout_seconds)) {
+      *error = "bad timeout: " + std::string(tokens[2]);
+      return Status::kError;
+    }
+    if (tokens[1].front() == '@') {
+      if (tokens[1].size() == 1) {
+        *error = "empty @path";
+        return Status::kError;
+      }
+      pending_.file_ref = tokens[1].substr(1);
+      return Status::kReady;
+    }
+    size_t length = 0;
+    if (!ParseLength(tokens[1], &length)) {
+      *error = "bad payload length: " + std::string(tokens[1]);
+      return Status::kError;
+    }
+    if (length > max_payload_bytes_) {
+      *error = "payload of " + std::to_string(length) +
+               " bytes exceeds limit of " +
+               std::to_string(max_payload_bytes_);
+      return Status::kError;
+    }
+    awaiting_payload_ = true;
+    payload_bytes_ = length;
+    return Status::kReady;  // caller loops to collect the payload
+  }
+
+  *error = "unknown verb: " + std::string(verb);
+  return Status::kError;
+}
+
+std::string FormatQueryResponse(const QueryResult& result) {
+  std::string out = result.stats.timed_out ? "TIMEOUT " : "OK ";
+  out += std::to_string(result.answers.size());
+  out += ' ';
+  out += ToJson(result.stats);
+  out += '\n';
+  return out;
+}
+
+std::string FormatOverloadedResponse(std::string_view detail) {
+  std::string out = "OVERLOADED";
+  if (!detail.empty()) {
+    out += ' ';
+    out += StripNewlines(detail);
+  }
+  out += '\n';
+  return out;
+}
+
+std::string FormatBadRequestResponse(std::string_view message) {
+  return "BAD_REQUEST " + StripNewlines(message) + "\n";
+}
+
+}  // namespace sgq

@@ -1,0 +1,100 @@
+// The sgq wire protocol: a newline-delimited command line, optionally
+// followed by a length-prefixed graph payload. Designed so a scripted
+// client (or netcat) can drive the server with plain text while inline
+// graphs of any size stay unambiguous.
+//
+// Requests:
+//   QUERY <len> [timeout_s]\n<len bytes of graph text>
+//   QUERY @<path> [timeout_s]\n          (server-side file, absolute path)
+//   STATS\n
+//   RELOAD [@<path>]\n                   (default: the path served at start)
+//   SHUTDOWN\n
+//
+// The payload is *exactly* <len> bytes; the next command starts immediately
+// after it. `timeout_s` is a per-request deadline in seconds (fractional
+// allowed); omitted or 0 means the server default. A trailing '\r' on the
+// command line is stripped, and blank lines between commands are ignored.
+//
+// Responses are a single line whose first token is the outcome:
+//   OK <n_answers> <stats-json>          (query completed)
+//   TIMEOUT <n_answers> <stats-json>     (deadline expired; partial answers)
+//   OVERLOADED [detail]                  (admission queue full / draining)
+//   BAD_REQUEST <message>                (unparseable or oversized request)
+//   OK <json>                            (STATS)
+//   OK reloaded <n> graphs               (RELOAD)
+//   BYE                                  (SHUTDOWN acknowledged)
+#ifndef SGQ_SERVICE_PROTOCOL_H_
+#define SGQ_SERVICE_PROTOCOL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "query/stats.h"
+
+namespace sgq {
+
+// Longest accepted command line (excluding the payload). Anything longer
+// without a newline is a protocol error — it bounds buffering on garbage
+// input.
+inline constexpr size_t kMaxCommandLineBytes = 4096;
+
+// Default cap on an inline QUERY payload; the server can lower or raise it.
+inline constexpr size_t kDefaultMaxPayloadBytes = 16 * 1024 * 1024;
+
+struct Request {
+  enum class Verb { kQuery, kStats, kReload, kShutdown };
+  Verb verb = Verb::kStats;
+  std::string graph_text;      // inline payload (QUERY <len>)
+  std::string file_ref;        // QUERY @path / RELOAD @path
+  double timeout_seconds = 0;  // 0 = server default
+};
+
+// Incremental request decoder. Feed() raw bytes as they arrive from the
+// socket; Next() yields complete requests. A protocol error is terminal:
+// the connection cannot be resynchronized and should be closed after
+// sending BAD_REQUEST.
+class RequestParser {
+ public:
+  explicit RequestParser(size_t max_payload_bytes = kDefaultMaxPayloadBytes)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  enum class Status {
+    kNeedMore,  // no complete request buffered yet
+    kReady,     // *request filled
+    kError,     // *error filled; parser is dead
+  };
+
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  Status Next(Request* request, std::string* error);
+
+  // True when bytes of an incomplete request are buffered (used to flag a
+  // truncated request when the peer disconnects mid-payload).
+  bool HasPartial() const { return awaiting_payload_ || !buffer_.empty(); }
+
+ private:
+  Status ParseCommandLine(std::string_view line, std::string* error);
+
+  size_t max_payload_bytes_;
+  std::string buffer_;
+  bool failed_ = false;
+  bool awaiting_payload_ = false;  // header consumed, payload pending
+  size_t payload_bytes_ = 0;
+  Request pending_;
+};
+
+// --- Response formatting (shared by the server and in-process tests) ---
+
+// "OK <n> <json>\n" or "TIMEOUT <n> <json>\n" depending on
+// result.stats.timed_out.
+std::string FormatQueryResponse(const QueryResult& result);
+
+std::string FormatOverloadedResponse(std::string_view detail = {});
+std::string FormatBadRequestResponse(std::string_view message);
+
+inline constexpr std::string_view kByeResponse = "BYE\n";
+
+}  // namespace sgq
+
+#endif  // SGQ_SERVICE_PROTOCOL_H_

@@ -1,0 +1,255 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sgq {
+
+namespace {
+
+void AppendField(std::string* out, const char* key, uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu",
+                out->back() == '{' ? "" : ",", key,
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+void AppendField(std::string* out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\":%.6g",
+                out->back() == '{' ? "" : ",", key, value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string ServiceStatsSnapshot::ToJson() const {
+  std::string out = "{";
+  AppendField(&out, "received", received);
+  AppendField(&out, "admitted", admitted);
+  AppendField(&out, "rejected_overloaded", rejected_overloaded);
+  AppendField(&out, "completed_ok", completed_ok);
+  AppendField(&out, "completed_timeout", completed_timeout);
+  AppendField(&out, "bad_requests", bad_requests);
+  AppendField(&out, "reloads", reloads);
+  AppendField(&out, "answers_total", answers_total);
+  AppendField(&out, "filtering_ms_total", filtering_ms_total);
+  AppendField(&out, "verification_ms_total", verification_ms_total);
+  AppendField(&out, "queue_peak", queue_peak);
+  AppendField(&out, "queue_depth", queue_depth);
+  AppendField(&out, "in_flight", in_flight);
+  AppendField(&out, "db_graphs", static_cast<uint64_t>(db_graphs));
+  out += "}";
+  return out;
+}
+
+const char* ToString(QueryService::Outcome outcome) {
+  switch (outcome) {
+    case QueryService::Outcome::kOk:
+      return "OK";
+    case QueryService::Outcome::kTimeout:
+      return "TIMEOUT";
+    case QueryService::Outcome::kOverloaded:
+      return "OVERLOADED";
+    case QueryService::Outcome::kShuttingDown:
+      return "SHUTTING_DOWN";
+  }
+  return "UNKNOWN";
+}
+
+QueryService::QueryService(ServiceConfig config)
+    : config_(std::move(config)) {}
+
+QueryService::~QueryService() { Shutdown(); }
+
+bool QueryService::Start(GraphDatabase db, std::string* error) {
+  if (!IsKnownEngine(config_.engine_name)) {
+    *error = "unknown engine: " + config_.engine_name;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stopping_) {
+    *error = "service already started";
+    return false;
+  }
+  db_ = std::move(db);
+  const uint32_t num_workers = std::max(1u, config_.workers);
+  const Deadline build_deadline =
+      Deadline::AfterSeconds(config_.build_timeout_seconds);
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    engines_.push_back(MakeEngine(config_.engine_name, config_.engine));
+    if (!engines_.back()->Prepare(db_, build_deadline)) {
+      *error = config_.engine_name +
+               ": engine preparation failed (OOT/OOM) for worker " +
+               std::to_string(i);
+      engines_.clear();
+      return false;
+    }
+  }
+  started_ = true;
+  stats_.db_graphs = db_.size();
+  workers_.reserve(num_workers);
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back(&QueryService::WorkerLoop, this, i);
+  }
+  return true;
+}
+
+QueryService::Response QueryService::Execute(Graph query,
+                                             double timeout_seconds) {
+  const double timeout = timeout_seconds > 0
+                             ? timeout_seconds
+                             : config_.default_timeout_seconds;
+  std::future<Response> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.received;
+    if (!started_ || stopping_) {
+      ++stats_.rejected_overloaded;
+      Response response;
+      response.outcome = Outcome::kShuttingDown;
+      return response;
+    }
+    if (reloading_ || queue_.size() >= std::max<size_t>(
+                                           1, config_.queue_capacity)) {
+      ++stats_.rejected_overloaded;
+      Response response;
+      response.outcome = Outcome::kOverloaded;
+      return response;
+    }
+    auto request = std::make_unique<PendingRequest>();
+    request->query = std::move(query);
+    // The deadline starts at admission: time spent waiting in the queue
+    // counts against the request, so a stale queued request is cancelled
+    // by its worker instead of scanning the database pointlessly.
+    request->deadline = Deadline::AfterSeconds(timeout);
+    future = request->promise.get_future();
+    queue_.push_back(std::move(request));
+    ++stats_.admitted;
+    stats_.queue_peak =
+        std::max<uint64_t>(stats_.queue_peak, queue_.size());
+  }
+  work_cv_.notify_one();
+  return future.get();
+}
+
+void QueryService::WorkerLoop(uint32_t worker_id) {
+  QueryEngine* engine = engines_[worker_id].get();
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;  // drained: admitted work all answered
+      continue;
+    }
+    std::unique_ptr<PendingRequest> request = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+
+    Response response;
+    if (request->deadline.Expired()) {
+      // Cancelled in the queue: the deadline passed before a worker was
+      // free. Report the OOT outcome without touching the database.
+      response.outcome = Outcome::kTimeout;
+      response.result.stats.timed_out = true;
+    } else {
+      response.result = engine->Query(request->query, request->deadline);
+      response.outcome = response.result.stats.timed_out
+                             ? Outcome::kTimeout
+                             : Outcome::kOk;
+    }
+
+    lock.lock();
+    --running_;
+    if (response.outcome == Outcome::kOk) {
+      ++stats_.completed_ok;
+    } else {
+      ++stats_.completed_timeout;
+    }
+    stats_.answers_total += response.result.answers.size();
+    stats_.filtering_ms_total += response.result.stats.filtering_ms;
+    stats_.verification_ms_total += response.result.stats.verification_ms;
+    if (queue_.empty() && running_ == 0) drain_cv_.notify_all();
+    lock.unlock();
+    // Counters are updated before the promise resolves, so a client that
+    // sees its response and then asks for STATS observes itself counted.
+    request->promise.set_value(std::move(response));
+    lock.lock();
+  }
+}
+
+bool QueryService::Reload(GraphDatabase db, std::string* error) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!started_ || stopping_) {
+    *error = "service not running";
+    return false;
+  }
+  if (reloading_) {
+    *error = "reload already in progress";
+    return false;
+  }
+  reloading_ = true;  // admission now rejects with kOverloaded
+  drain_cv_.wait(lock, [&] {
+    return (queue_.empty() && running_ == 0) || stopping_;
+  });
+  if (stopping_) {
+    reloading_ = false;
+    *error = "shutdown during reload";
+    return false;
+  }
+  db_ = std::move(db);
+  // Workers are idle and admission is closed, so the engines are ours to
+  // re-prepare without holding the service mutex.
+  lock.unlock();
+  bool ok = true;
+  const Deadline build_deadline =
+      Deadline::AfterSeconds(config_.build_timeout_seconds);
+  for (auto& engine : engines_) {
+    if (!engine->Prepare(db_, build_deadline)) {
+      ok = false;
+      break;
+    }
+  }
+  lock.lock();
+  reloading_ = false;
+  if (!ok) {
+    // A half-prepared engine set cannot serve queries; fail closed.
+    stopping_ = true;
+    lock.unlock();
+    work_cv_.notify_all();
+    *error = config_.engine_name + ": engine re-preparation failed (OOT/OOM)";
+    return false;
+  }
+  ++stats_.reloads;
+  stats_.db_graphs = db_.size();
+  return true;
+}
+
+void QueryService::Shutdown() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    workers.swap(workers_);
+  }
+  work_cv_.notify_all();
+  drain_cv_.notify_all();
+  for (std::thread& worker : workers) worker.join();
+}
+
+void QueryService::CountBadRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.bad_requests;
+}
+
+ServiceStatsSnapshot QueryService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStatsSnapshot snapshot = stats_;
+  snapshot.queue_depth = queue_.size();
+  snapshot.in_flight = running_;
+  return snapshot;
+}
+
+}  // namespace sgq

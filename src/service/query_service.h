@@ -1,0 +1,153 @@
+// A long-running query service: owns a loaded GraphDatabase and prepared
+// engines, admits requests through a bounded queue with backpressure, and
+// enforces a per-request deadline that covers queue wait *and* execution.
+//
+// Concurrency model: `workers` executor threads, each with its own
+// prepared QueryEngine clone (engines keep mutable per-query workspaces,
+// so they are confined to one thread; the database itself is shared
+// read-only). Admission is O(1) under one mutex:
+//
+//   Execute() ── full queue ──────────────▶ kOverloaded (rejected, counted)
+//       │
+//       ▼ admitted (deadline starts NOW)
+//   pending queue ── worker pops, deadline already expired ─▶ kTimeout
+//       │                              (cancelled without touching the db)
+//       ▼
+//   engine->Query(q, deadline) ─▶ kOk, or kTimeout with partial answers
+//
+// Shutdown() stops admission and *drains* everything already admitted —
+// an admitted request is a promise. Reload() quiesces (waits for the queue
+// to empty and workers to go idle), swaps the database, and re-prepares
+// every engine; requests arriving during the swap are rejected with
+// kOverloaded (backpressure, not an error).
+#ifndef SGQ_SERVICE_QUERY_SERVICE_H_
+#define SGQ_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph_database.h"
+#include "query/engine_factory.h"
+#include "query/query_engine.h"
+#include "util/defaults.h"
+
+namespace sgq {
+
+struct ServiceConfig {
+  std::string engine_name = "CFQL";
+  EngineConfig engine;
+  // Concurrent query executors; each gets its own engine clone (index
+  // engines build one index per worker — size accordingly).
+  uint32_t workers = 2;
+  // Admitted-but-not-running bound; beyond it Execute() rejects with
+  // kOverloaded instead of queueing unboundedly.
+  size_t queue_capacity = 64;
+  double default_timeout_seconds = kDefaultQueryTimeoutSeconds;
+  double build_timeout_seconds = kDefaultBuildTimeoutSeconds;
+};
+
+// Aggregated counters; invariant once quiescent:
+//   received == admitted + rejected_overloaded, and
+//   admitted == completed_ok + completed_timeout (+ still queued/running).
+struct ServiceStatsSnapshot {
+  uint64_t received = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected_overloaded = 0;
+  uint64_t completed_ok = 0;
+  uint64_t completed_timeout = 0;
+  uint64_t bad_requests = 0;  // protocol-level, counted via CountBadRequest
+  uint64_t reloads = 0;
+  uint64_t answers_total = 0;
+  double filtering_ms_total = 0;
+  double verification_ms_total = 0;
+  uint64_t queue_peak = 0;  // high-water mark of the pending queue
+  uint64_t queue_depth = 0; // currently pending
+  uint64_t in_flight = 0;   // currently executing
+  size_t db_graphs = 0;
+
+  std::string ToJson() const;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ServiceConfig config);
+  ~QueryService();  // implies Shutdown()
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Takes ownership of the database, prepares one engine per worker, and
+  // starts the executor threads. False + *error if the engine name is
+  // unknown or any Prepare() fails (OOT/OOM).
+  bool Start(GraphDatabase db, std::string* error);
+
+  enum class Outcome {
+    kOk,            // completed within the deadline
+    kTimeout,       // deadline expired (queued too long or mid-scan)
+    kOverloaded,    // rejected at admission: queue full or reloading
+    kShuttingDown,  // rejected: shutdown in progress / not started
+  };
+
+  struct Response {
+    Outcome outcome = Outcome::kShuttingDown;
+    QueryResult result;  // partial answers on kTimeout; empty on rejection
+  };
+
+  // Blocking request: admits, waits for a worker, returns the outcome.
+  // `timeout_seconds <= 0` uses the config default. Safe to call from any
+  // number of threads concurrently.
+  Response Execute(Graph query, double timeout_seconds = 0);
+
+  // Swaps in a new database after draining in-flight work. Blocks until
+  // the swap and re-prepare finish. False + *error if re-prepare fails
+  // (the service then refuses further queries).
+  bool Reload(GraphDatabase db, std::string* error);
+
+  // Graceful: stops admission, drains every admitted request, joins the
+  // workers. Idempotent.
+  void Shutdown();
+
+  // Lets the protocol front end count codec failures in the same snapshot.
+  void CountBadRequest();
+
+  ServiceStatsSnapshot Stats() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct PendingRequest {
+    Graph query;
+    Deadline deadline;
+    std::promise<Response> promise;
+  };
+
+  void WorkerLoop(uint32_t worker_id);
+
+  const ServiceConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // wakes workers: request or shutdown
+  std::condition_variable drain_cv_;  // wakes Reload(): queue empty + idle
+  GraphDatabase db_;
+  std::vector<std::unique_ptr<QueryEngine>> engines_;  // one per worker
+  std::vector<std::thread> workers_;
+  std::deque<std::unique_ptr<PendingRequest>> queue_;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool reloading_ = false;
+  uint32_t running_ = 0;  // requests currently executing
+  ServiceStatsSnapshot stats_;
+};
+
+const char* ToString(QueryService::Outcome outcome);
+
+}  // namespace sgq
+
+#endif  // SGQ_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,19 @@
+// The paper's canonical time limits (Section IV-A), shared by every front
+// end so the CLI, the server, and the benches agree on what "default"
+// means. Before this header existed the literals 600 and 86400 were
+// scattered across the CLI verbs and drifted independently.
+#ifndef SGQ_UTIL_DEFAULTS_H_
+#define SGQ_UTIL_DEFAULTS_H_
+
+namespace sgq {
+
+// Per-query time limit: the paper records OOT for queries exceeding 10
+// minutes and charges the limit itself as their query time.
+inline constexpr double kDefaultQueryTimeoutSeconds = 600.0;
+
+// Index-construction limit: Tables VI/VIII mark builds OOT after 24 hours.
+inline constexpr double kDefaultBuildTimeoutSeconds = 86400.0;
+
+}  // namespace sgq
+
+#endif  // SGQ_UTIL_DEFAULTS_H_

@@ -1,0 +1,200 @@
+// Unit tests for the wire-protocol codec: request grammar, incremental
+// (byte-at-a-time) feeding, length-prefixed payload handling, and the
+// error paths a hostile or broken client can hit — malformed verbs,
+// truncated payloads, oversized requests, over-long command lines.
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "query/stats.h"
+
+namespace sgq {
+namespace {
+
+using Status = RequestParser::Status;
+
+TEST(ProtocolTest, ParsesSimpleVerbs) {
+  RequestParser parser;
+  parser.Feed("STATS\nSHUTDOWN\nRELOAD\nRELOAD @/tmp/db.txt\n");
+  Request request;
+  std::string error;
+
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady);
+  EXPECT_EQ(request.verb, Request::Verb::kStats);
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady);
+  EXPECT_EQ(request.verb, Request::Verb::kShutdown);
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady);
+  EXPECT_EQ(request.verb, Request::Verb::kReload);
+  EXPECT_TRUE(request.file_ref.empty());
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady);
+  EXPECT_EQ(request.verb, Request::Verb::kReload);
+  EXPECT_EQ(request.file_ref, "/tmp/db.txt");
+  EXPECT_EQ(parser.Next(&request, &error), Status::kNeedMore);
+  EXPECT_FALSE(parser.HasPartial());
+}
+
+TEST(ProtocolTest, ParsesInlineQueryWithPayload) {
+  const std::string payload = "t # 0\nv 0 1\nv 1 2\ne 0 1\n";
+  RequestParser parser;
+  parser.Feed("QUERY " + std::to_string(payload.size()) + " 2.5\n" + payload);
+  Request request;
+  std::string error;
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_EQ(request.verb, Request::Verb::kQuery);
+  EXPECT_EQ(request.graph_text, payload);
+  EXPECT_DOUBLE_EQ(request.timeout_seconds, 2.5);
+  EXPECT_TRUE(request.file_ref.empty());
+}
+
+TEST(ProtocolTest, PayloadBytesAreNotInterpretedAsCommands) {
+  // A payload that looks like protocol must be passed through verbatim.
+  const std::string payload = "SHUTDOWN\nSTATS\n";
+  RequestParser parser;
+  parser.Feed("QUERY " + std::to_string(payload.size()) + "\n" + payload +
+              "STATS\n");
+  Request request;
+  std::string error;
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady);
+  EXPECT_EQ(request.verb, Request::Verb::kQuery);
+  EXPECT_EQ(request.graph_text, payload);
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady);
+  EXPECT_EQ(request.verb, Request::Verb::kStats);
+}
+
+TEST(ProtocolTest, ByteAtATimeFeeding) {
+  const std::string payload = "t # 0\nv 0 3\n";
+  const std::string wire =
+      "QUERY @/data/q7.txt 0.25\r\nQUERY " +
+      std::to_string(payload.size()) + "\n" + payload + "STATS\n";
+  RequestParser parser;
+  std::vector<Request> requests;
+  std::string error;
+  for (const char c : wire) {
+    parser.Feed(std::string_view(&c, 1));
+    Request request;
+    while (parser.Next(&request, &error) == Status::kReady) {
+      requests.push_back(request);
+    }
+  }
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_EQ(requests[0].verb, Request::Verb::kQuery);
+  EXPECT_EQ(requests[0].file_ref, "/data/q7.txt");
+  EXPECT_DOUBLE_EQ(requests[0].timeout_seconds, 0.25);
+  EXPECT_EQ(requests[1].graph_text, payload);
+  EXPECT_EQ(requests[2].verb, Request::Verb::kStats);
+}
+
+TEST(ProtocolTest, BlankLinesAreIgnored) {
+  RequestParser parser;
+  parser.Feed("\n\r\n  \nSTATS\n");
+  Request request;
+  std::string error;
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady);
+  EXPECT_EQ(request.verb, Request::Verb::kStats);
+}
+
+TEST(ProtocolTest, MalformedVerbIsAnError) {
+  RequestParser parser;
+  parser.Feed("FROBNICATE 12\n");
+  Request request;
+  std::string error;
+  EXPECT_EQ(parser.Next(&request, &error), Status::kError);
+  EXPECT_NE(error.find("unknown verb"), std::string::npos);
+  // The parser is dead after an error: resynchronization is impossible.
+  parser.Feed("STATS\n");
+  EXPECT_EQ(parser.Next(&request, &error), Status::kError);
+}
+
+TEST(ProtocolTest, BadArgumentsAreErrors) {
+  const char* bad[] = {
+      "QUERY\n",              // missing length
+      "QUERY twelve\n",       // non-numeric length
+      "QUERY -5\n",           // negative length
+      "QUERY 5 1.5 extra\n",  // too many tokens
+      "QUERY 5 -2\n",         // negative timeout
+      "QUERY 5 abc\n",        // non-numeric timeout
+      "QUERY @\n",            // empty path
+      "STATS now\n",          // STATS takes no arguments
+      "SHUTDOWN 1\n",         // SHUTDOWN takes no arguments
+      "RELOAD db.txt\n",      // RELOAD path must be @-prefixed
+      "RELOAD @a @b\n",       // too many tokens
+  };
+  for (const char* line : bad) {
+    SCOPED_TRACE(line);
+    RequestParser parser;
+    parser.Feed(line);
+    Request request;
+    std::string error;
+    EXPECT_EQ(parser.Next(&request, &error), Status::kError);
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ProtocolTest, TruncatedPayloadReportsNeedMoreAndPartial) {
+  RequestParser parser;
+  parser.Feed("QUERY 100\nonly a few bytes");
+  Request request;
+  std::string error;
+  EXPECT_EQ(parser.Next(&request, &error), Status::kNeedMore);
+  EXPECT_TRUE(parser.HasPartial());  // disconnect now = truncated request
+  // The remaining bytes complete the request.
+  parser.Feed(std::string(100 - 16, 'x'));
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady);
+  EXPECT_EQ(request.graph_text.size(), 100u);
+}
+
+TEST(ProtocolTest, OversizedPayloadIsRejectedUpFront) {
+  RequestParser parser(/*max_payload_bytes=*/1024);
+  parser.Feed("QUERY 1025\n");
+  Request request;
+  std::string error;
+  EXPECT_EQ(parser.Next(&request, &error), Status::kError);
+  EXPECT_NE(error.find("exceeds limit"), std::string::npos);
+
+  RequestParser ok_parser(/*max_payload_bytes=*/1024);
+  ok_parser.Feed("QUERY 1024\n" + std::string(1024, 'v'));
+  EXPECT_EQ(ok_parser.Next(&request, &error), Status::kReady);
+}
+
+TEST(ProtocolTest, HugeLengthTokenDoesNotOverflow) {
+  RequestParser parser;
+  parser.Feed("QUERY 99999999999999999999999999\n");
+  Request request;
+  std::string error;
+  EXPECT_EQ(parser.Next(&request, &error), Status::kError);
+}
+
+TEST(ProtocolTest, UnterminatedCommandLineIsBounded) {
+  RequestParser parser;
+  parser.Feed(std::string(kMaxCommandLineBytes + 1, 'A'));  // no newline
+  Request request;
+  std::string error;
+  EXPECT_EQ(parser.Next(&request, &error), Status::kError);
+  EXPECT_NE(error.find("command line exceeds"), std::string::npos);
+}
+
+TEST(ProtocolTest, QueryResponseFormatting) {
+  QueryResult result;
+  result.answers = {3, 7, 9};
+  result.stats.num_answers = 3;
+  result.stats.num_candidates = 5;
+  const std::string ok = FormatQueryResponse(result);
+  EXPECT_EQ(ok.rfind("OK 3 {", 0), 0u) << ok;
+  EXPECT_EQ(ok.back(), '\n');
+  EXPECT_NE(ok.find("\"num_candidates\":5"), std::string::npos);
+
+  result.stats.timed_out = true;
+  const std::string timeout = FormatQueryResponse(result);
+  EXPECT_EQ(timeout.rfind("TIMEOUT 3 {", 0), 0u) << timeout;
+}
+
+TEST(ProtocolTest, ErrorResponsesAreSingleLine) {
+  EXPECT_EQ(FormatOverloadedResponse(), "OVERLOADED\n");
+  EXPECT_EQ(FormatOverloadedResponse("shutting-down"),
+            "OVERLOADED shutting-down\n");
+  EXPECT_EQ(FormatBadRequestResponse("bad\nthing"),
+            "BAD_REQUEST bad thing\n");
+}
+
+}  // namespace
+}  // namespace sgq

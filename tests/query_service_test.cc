@@ -1,0 +1,261 @@
+// QueryService unit tests: admission control and backpressure, per-request
+// deadlines covering queue wait, graceful shutdown draining, reload, and
+// the stats invariants the server's STATS verb reports.
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gen/graph_gen.h"
+#include "query/engine_factory.h"
+#include "tests/test_util.h"
+
+namespace sgq {
+namespace {
+
+using Outcome = QueryService::Outcome;
+
+GraphDatabase SmallDb(uint32_t num_graphs = 30) {
+  SyntheticParams params;
+  params.num_graphs = num_graphs;
+  params.vertices_per_graph = 16;
+  params.degree = 3.0;
+  params.num_labels = 4;
+  params.seed = 9;
+  return GenerateSyntheticDatabase(params);
+}
+
+// K_{n,n} with a single label: dense, symmetric, and bipartite.
+Graph CompleteBipartite(uint32_t n) {
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < 2 * n; ++i) builder.AddVertex(0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) builder.AddEdge(i, n + j);
+  }
+  return builder.Build();
+}
+
+// An odd cycle with the same single label. No odd cycle embeds in a
+// bipartite graph, but label/degree/NLF filtering cannot see that, so the
+// enumeration must explore an astronomically large candidate space before
+// failing — a deterministic "slow query" whose runtime is bounded only by
+// its deadline.
+Graph OddCycleQuery() {
+  return sgq::testing::MakeCycle({0, 0, 0, 0, 0, 0, 0, 0, 0});
+}
+
+// A database whose graph 0 is the bipartite trap; the rest are ordinary.
+GraphDatabase DbWithHardInstance() {
+  GraphDatabase db;
+  db.Add(CompleteBipartite(12));
+  const GraphDatabase rest = SmallDb();
+  for (const Graph& g : rest.graphs()) db.Add(g);
+  return db;
+}
+
+ServiceConfig Config(uint32_t workers, size_t queue_capacity) {
+  ServiceConfig config;
+  config.engine_name = "CFQL";
+  config.workers = workers;
+  config.queue_capacity = queue_capacity;
+  return config;
+}
+
+TEST(QueryServiceTest, ExecutesQueriesLikeADirectEngine) {
+  const GraphDatabase reference_db = SmallDb();
+  auto engine = MakeEngine("CFQL");
+  ASSERT_TRUE(engine->Prepare(reference_db, Deadline::Infinite()));
+
+  QueryService service(Config(/*workers=*/2, /*queue_capacity=*/16));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
+  for (GraphId i = 0; i < 5; ++i) {
+    const Graph query = reference_db.graph(i);
+    const QueryService::Response response = service.Execute(query);
+    EXPECT_EQ(response.outcome, Outcome::kOk);
+    EXPECT_EQ(response.result.answers,
+              engine->Query(query, Deadline::Infinite()).answers);
+  }
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.received, 5u);
+  EXPECT_EQ(stats.admitted, 5u);
+  EXPECT_EQ(stats.completed_ok, 5u);
+  EXPECT_EQ(stats.completed_timeout, 0u);
+  EXPECT_EQ(stats.db_graphs, 30u);
+}
+
+TEST(QueryServiceTest, UnknownEngineFailsToStart) {
+  ServiceConfig config;
+  config.engine_name = "NoSuchEngine";
+  QueryService service(config);
+  std::string error;
+  EXPECT_FALSE(service.Start(SmallDb(), &error));
+  EXPECT_NE(error.find("unknown engine"), std::string::npos);
+}
+
+TEST(QueryServiceTest, TinyDeadlineTimesOutWithoutScanning) {
+  QueryService service(Config(1, 4));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
+  const QueryService::Response response =
+      service.Execute(SmallDb().graph(0), /*timeout_seconds=*/1e-9);
+  EXPECT_EQ(response.outcome, Outcome::kTimeout);
+  EXPECT_TRUE(response.result.stats.timed_out);
+  EXPECT_TRUE(response.result.answers.empty());
+  EXPECT_EQ(service.Stats().completed_timeout, 1u);
+}
+
+TEST(QueryServiceTest, SlowQueryIsBoundedByItsDeadline) {
+  QueryService service(Config(1, 4));
+  std::string error;
+  ASSERT_TRUE(service.Start(DbWithHardInstance(), &error)) << error;
+  const auto start = std::chrono::steady_clock::now();
+  const QueryService::Response response =
+      service.Execute(OddCycleQuery(), /*timeout_seconds=*/0.3);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(response.outcome, Outcome::kTimeout);
+  EXPECT_GE(elapsed, 0.25);  // really ran until the deadline
+}
+
+TEST(QueryServiceTest, FullQueueRejectsWithOverloaded) {
+  QueryService service(Config(/*workers=*/1, /*queue_capacity=*/1));
+  std::string error;
+  ASSERT_TRUE(service.Start(DbWithHardInstance(), &error)) << error;
+
+  // Occupy the single worker with a deadline-bounded slow query, then fill
+  // the one queue slot with a second; the third must bounce.
+  std::thread in_flight([&] {
+    EXPECT_EQ(service.Execute(OddCycleQuery(), 0.6).outcome,
+              Outcome::kTimeout);
+  });
+  while (service.Stats().in_flight == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::thread queued([&] {
+    // Cancelled at pop: its deadline expires while the worker is busy.
+    EXPECT_EQ(service.Execute(OddCycleQuery(), 0.5).outcome,
+              Outcome::kTimeout);
+  });
+  while (service.Stats().queue_depth == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  const QueryService::Response rejected = service.Execute(SmallDb().graph(0));
+  EXPECT_EQ(rejected.outcome, Outcome::kOverloaded);
+
+  in_flight.join();
+  queued.join();
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.received, 3u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected_overloaded, 1u);
+  EXPECT_EQ(stats.completed_timeout, 2u);
+  EXPECT_GE(stats.queue_peak, 1u);
+}
+
+TEST(QueryServiceTest, ShutdownDrainsAdmittedRequests) {
+  QueryService service(Config(/*workers=*/1, /*queue_capacity=*/8));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
+
+  std::vector<std::thread> clients;
+  std::vector<Outcome> outcomes(4, Outcome::kShuttingDown);
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([&, i] {
+      outcomes[i] = service.Execute(SmallDb().graph(i)).outcome;
+    });
+  }
+  // Shutdown races the submissions on purpose: every admitted request
+  // must still be answered, every late one rejected — never a hang.
+  service.Shutdown();
+  for (std::thread& client : clients) client.join();
+  for (const Outcome outcome : outcomes) {
+    EXPECT_TRUE(outcome == Outcome::kOk ||
+                outcome == Outcome::kShuttingDown);
+  }
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.admitted, stats.completed_ok + stats.completed_timeout);
+  EXPECT_EQ(stats.received,
+            stats.admitted + stats.rejected_overloaded);
+  EXPECT_EQ(service.Execute(SmallDb().graph(0)).outcome,
+            Outcome::kShuttingDown);
+}
+
+TEST(QueryServiceTest, ReloadSwapsTheDatabase) {
+  // db2 = db1 plus one distinctive pentagon using a label (7) absent from
+  // db1, so the query matches only after the reload.
+  const Graph pentagon = sgq::testing::MakeCycle({7, 7, 7, 7, 7});
+  GraphDatabase db1 = SmallDb(10);
+  GraphDatabase db2 = SmallDb(10);
+  const GraphId pentagon_id = db2.Add(pentagon);
+
+  QueryService service(Config(2, 8));
+  std::string error;
+  ASSERT_TRUE(service.Start(std::move(db1), &error)) << error;
+  EXPECT_TRUE(service.Execute(pentagon).result.answers.empty());
+
+  ASSERT_TRUE(service.Reload(std::move(db2), &error)) << error;
+  const QueryService::Response after = service.Execute(pentagon);
+  ASSERT_EQ(after.result.answers.size(), 1u);
+  EXPECT_EQ(after.result.answers[0], pentagon_id);
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_EQ(stats.db_graphs, 11u);
+}
+
+TEST(QueryServiceTest, BadRequestCounterFeedsSnapshot) {
+  QueryService service(Config(1, 4));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
+  service.CountBadRequest();
+  service.CountBadRequest();
+  EXPECT_EQ(service.Stats().bad_requests, 2u);
+  EXPECT_NE(service.Stats().ToJson().find("\"bad_requests\":2"),
+            std::string::npos);
+}
+
+TEST(QueryServiceTest, ConcurrentMixedWorkloadKeepsInvariants) {
+  QueryService service(Config(/*workers=*/2, /*queue_capacity=*/4));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
+
+  std::atomic<uint64_t> ok{0}, timeout{0}, overloaded{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 25; ++i) {
+        const double timeout_seconds = (i % 5 == 0) ? 1e-9 : 0;
+        const QueryService::Response response =
+            service.Execute(SmallDb().graph((c * 25 + i) % 30),
+                            timeout_seconds);
+        switch (response.outcome) {
+          case Outcome::kOk: ++ok; break;
+          case Outcome::kTimeout: ++timeout; break;
+          case Outcome::kOverloaded: ++overloaded; break;
+          case Outcome::kShuttingDown: ADD_FAILURE(); break;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.received, 100u);
+  EXPECT_EQ(stats.completed_ok, ok.load());
+  EXPECT_EQ(stats.completed_timeout, timeout.load());
+  EXPECT_EQ(stats.rejected_overloaded, overloaded.load());
+  EXPECT_EQ(stats.received, stats.admitted + stats.rejected_overloaded);
+  EXPECT_EQ(stats.admitted, stats.completed_ok + stats.completed_timeout);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+}
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,377 @@
+// End-to-end acceptance test for the service subsystem: a real
+// SocketServer on a Unix socket, raw-socket clients speaking the line
+// protocol, ≥100 queries over ≥4 concurrent connections, a deliberate
+// TIMEOUT, a deterministic OVERLOADED, STATS totals that must match the
+// client-side counts exactly, and a graceful shutdown that drains.
+// Runs under the `tsan` ctest label.
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/graph_gen.h"
+#include "graph/graph_io.h"
+#include "service/server.h"
+#include "tests/test_util.h"
+#include "util/socket.h"
+
+namespace sgq {
+namespace {
+
+GraphDatabase SmallDb(uint32_t num_graphs = 40) {
+  SyntheticParams params;
+  params.num_graphs = num_graphs;
+  params.vertices_per_graph = 16;
+  params.degree = 3.0;
+  params.num_labels = 4;
+  params.seed = 21;
+  return GenerateSyntheticDatabase(params);
+}
+
+// K_{n,n}, single label. Together with an odd-cycle query this is a
+// deterministic deadline-bound workload: the cycle cannot embed (parity),
+// but the search space is far too large to exhaust, so Query() runs until
+// its deadline — exactly what the TIMEOUT / OVERLOADED phases need.
+Graph CompleteBipartite(uint32_t n) {
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < 2 * n; ++i) builder.AddVertex(0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) builder.AddEdge(i, n + j);
+  }
+  return builder.Build();
+}
+
+GraphDatabase DbWithHardInstance() {
+  GraphDatabase db;
+  db.Add(CompleteBipartite(12));
+  const GraphDatabase rest = SmallDb();
+  for (const Graph& g : rest.graphs()) db.Add(g);
+  return db;
+}
+
+std::string UniqueSocketPath(const char* tag) {
+  return "/tmp/sgq_e2e_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+// Minimal blocking line-protocol client over a Unix socket.
+class Client {
+ public:
+  bool Connect(const std::string& path) {
+    std::string error;
+    fd_ = ConnectUnix(path, &error);
+    return fd_.valid();
+  }
+
+  bool Send(const std::string& bytes) { return WriteAll(fd_.get(), bytes); }
+
+  bool RecvLine(std::string* line) {
+    line->clear();
+    for (;;) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[512];
+      const ssize_t n = ReadSome(fd_.get(), chunk, sizeof(chunk));
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  // Sends one inline QUERY and returns the response line ("" on drop).
+  std::string Query(const std::string& payload, double timeout_seconds = 0) {
+    std::string header = "QUERY ";
+    header += std::to_string(payload.size());
+    if (timeout_seconds > 0) {
+      header += ' ';
+      header += std::to_string(timeout_seconds);
+    }
+    header += '\n';
+    std::string line;
+    if (!Send(header) || !Send(payload) || !RecvLine(&line)) return "";
+    return line;
+  }
+
+ private:
+  UniqueFd fd_;
+  std::string buffer_;
+};
+
+uint64_t ExtractUint(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << json;
+  if (pos == std::string::npos) return ~0ull;
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+ServiceStatsSnapshot StatsOverWire(const std::string& socket_path,
+                                   std::string* raw_json) {
+  Client client;
+  EXPECT_TRUE(client.Connect(socket_path));
+  EXPECT_TRUE(client.Send("STATS\n"));
+  std::string line;
+  EXPECT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(line.rfind("OK {", 0), 0u) << line;
+  *raw_json = line.substr(3);
+  ServiceStatsSnapshot stats;
+  stats.received = ExtractUint(*raw_json, "received");
+  stats.admitted = ExtractUint(*raw_json, "admitted");
+  stats.rejected_overloaded = ExtractUint(*raw_json, "rejected_overloaded");
+  stats.completed_ok = ExtractUint(*raw_json, "completed_ok");
+  stats.completed_timeout = ExtractUint(*raw_json, "completed_timeout");
+  stats.bad_requests = ExtractUint(*raw_json, "bad_requests");
+  stats.queue_depth = ExtractUint(*raw_json, "queue_depth");
+  stats.in_flight = ExtractUint(*raw_json, "in_flight");
+  return stats;
+}
+
+TEST(ServiceE2eTest, ServeQueryStatsShutdownOverUnixSocket) {
+  const std::string socket_path = UniqueSocketPath("basic");
+  ServerConfig server_config;
+  server_config.unix_path = socket_path;
+  ServiceConfig service_config;
+  service_config.engine_name = "CFQL";
+  service_config.workers = 2;
+  service_config.queue_capacity = 8;
+
+  SocketServer server(server_config, service_config);
+  std::string error;
+  ASSERT_TRUE(server.Start(SmallDb(), &error)) << error;
+
+  const GraphDatabase db = SmallDb();
+  const std::string payload = SerializeGraph(db.graph(0), 0);
+
+  Client client;
+  ASSERT_TRUE(client.Connect(socket_path));
+
+  // Inline query: graph 0 is a subgraph of itself, so >= 1 answer.
+  const std::string response = client.Query(payload);
+  EXPECT_EQ(response.rfind("OK ", 0), 0u) << response;
+  EXPECT_NE(response.find("\"num_answers\":"), std::string::npos);
+
+  // @file query: same graph via a file reference.
+  const std::string query_file =
+      "/tmp/sgq_e2e_q_" + std::to_string(::getpid()) + ".txt";
+  { std::ofstream(query_file) << payload; }
+  std::string line;
+  ASSERT_TRUE(client.Send("QUERY @" + query_file + "\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(line.rfind("OK ", 0), 0u) << line;
+  ::unlink(query_file.c_str());
+
+  // A protocol error gets BAD_REQUEST, closes that connection only, and
+  // shows up in the stats.
+  Client hostile;
+  ASSERT_TRUE(hostile.Connect(socket_path));
+  ASSERT_TRUE(hostile.Send("FROBNICATE\n"));
+  ASSERT_TRUE(hostile.RecvLine(&line));
+  EXPECT_EQ(line.rfind("BAD_REQUEST", 0), 0u) << line;
+
+  std::string raw_json;
+  const ServiceStatsSnapshot stats = StatsOverWire(socket_path, &raw_json);
+  EXPECT_EQ(stats.received, 2u);
+  EXPECT_EQ(stats.completed_ok, 2u);
+  EXPECT_EQ(stats.bad_requests, 1u);
+
+  // SHUTDOWN over the wire: BYE, then the server drains and the socket
+  // file disappears.
+  ASSERT_TRUE(client.Send("SHUTDOWN\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(line, "BYE");
+  server.Wait();
+  EXPECT_NE(::access(socket_path.c_str(), F_OK), 0);
+}
+
+TEST(ServiceE2eTest, FloodWithDeliberateTimeoutAndOverload) {
+  const std::string socket_path = UniqueSocketPath("flood");
+  ServerConfig server_config;
+  server_config.unix_path = socket_path;
+  ServiceConfig service_config;
+  service_config.engine_name = "CFQL";
+  service_config.workers = 2;
+  service_config.queue_capacity = 2;
+
+  SocketServer server(server_config, service_config);
+  std::string error;
+  ASSERT_TRUE(server.Start(DbWithHardInstance(), &error)) << error;
+
+  const std::string slow_payload =
+      SerializeGraph(sgq::testing::MakeCycle({0, 0, 0, 0, 0, 0, 0, 0, 0}), 0);
+  const GraphDatabase fast_queries = SmallDb();
+
+  // Client-side ground truth, compared against STATS at the end.
+  std::atomic<uint64_t> ok{0}, timeout{0}, overloaded{0}, dropped{0};
+  const auto count = [&](const std::string& line) {
+    if (line.rfind("OK ", 0) == 0) {
+      ++ok;
+    } else if (line.rfind("TIMEOUT ", 0) == 0) {
+      ++timeout;
+    } else if (line.rfind("OVERLOADED", 0) == 0) {
+      ++overloaded;
+    } else {
+      ++dropped;
+      ADD_FAILURE() << "unexpected response: '" << line << "'";
+    }
+  };
+
+  // Phase A — deliberate TIMEOUT: the bipartite trap bounded to 0.3s.
+  {
+    Client client;
+    ASSERT_TRUE(client.Connect(socket_path));
+    const std::string line = client.Query(slow_payload, 0.3);
+    EXPECT_EQ(line.rfind("TIMEOUT ", 0), 0u) << line;
+    count(line);
+  }
+
+  // Phase B — deterministic OVERLOADED: occupy both workers with slow
+  // queries, fill both queue slots with two more, then a fifth request
+  // must bounce at admission.
+  {
+    std::vector<std::thread> busy;
+    for (int i = 0; i < 2; ++i) {
+      busy.emplace_back([&] {
+        Client client;
+        ASSERT_TRUE(client.Connect(socket_path));
+        count(client.Query(slow_payload, 1.5));
+      });
+    }
+    std::string raw_json;
+    while (StatsOverWire(socket_path, &raw_json).in_flight < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::vector<std::thread> queued;
+    for (int i = 0; i < 2; ++i) {
+      queued.emplace_back([&] {
+        Client client;
+        ASSERT_TRUE(client.Connect(socket_path));
+        // Expires in the queue while both workers grind on 1.5s queries;
+        // the worker cancels it at pop without touching the database.
+        count(client.Query(slow_payload, 1.0));
+      });
+    }
+    while (StatsOverWire(socket_path, &raw_json).queue_depth < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    Client client;
+    ASSERT_TRUE(client.Connect(socket_path));
+    const std::string line =
+        client.Query(SerializeGraph(fast_queries.graph(0), 0));
+    EXPECT_EQ(line, "OVERLOADED") << line;
+    count(line);
+
+    for (std::thread& t : busy) t.join();
+    for (std::thread& t : queued) t.join();
+  }
+  EXPECT_GE(timeout.load(), 5u);  // phase A + all four slow queries
+
+  // Let phase B fully settle before the flood.
+  std::string raw_json;
+  for (;;) {
+    const ServiceStatsSnapshot s = StatsOverWire(socket_path, &raw_json);
+    if (s.in_flight == 0 && s.queue_depth == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Phase C — the flood: 4 connections x 30 fast queries each. A client
+  // that is bounced by backpressure retries, like a real one would: with
+  // only 2 workers + 2 queue slots, a request can arrive in the window
+  // where a worker has finished one query but not yet popped the next,
+  // so transient OVERLOADED is legitimate here. Every response is still
+  // counted, so the books below must balance regardless.
+  std::vector<std::thread> flood;
+  for (int c = 0; c < 4; ++c) {
+    flood.emplace_back([&, c] {
+      Client client;
+      ASSERT_TRUE(client.Connect(socket_path));
+      for (int i = 0; i < 30; ++i) {
+        const GraphId id = static_cast<GraphId>((c * 30 + i) %
+                                                fast_queries.size());
+        const std::string payload = SerializeGraph(fast_queries.graph(id), id);
+        for (;;) {
+          const std::string line = client.Query(payload);
+          count(line);
+          if (line.rfind("OK ", 0) == 0) break;
+          ASSERT_EQ(line, "OVERLOADED") << line;
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+    });
+  }
+  for (std::thread& t : flood) t.join();
+
+  // The books must balance: STATS totals == client-side counts.
+  const uint64_t sent = ok + timeout + overloaded + dropped;
+  EXPECT_EQ(ok.load(), 120u);      // every flood query eventually succeeded
+  EXPECT_EQ(timeout.load(), 5u);   // phase A + the four phase-B slow queries
+  EXPECT_EQ(dropped.load(), 0u);
+  EXPECT_GE(ok.load(), 100u);
+  EXPECT_GE(timeout.load(), 1u);
+  EXPECT_GE(overloaded.load(), 1u);
+
+  const ServiceStatsSnapshot wire = StatsOverWire(socket_path, &raw_json);
+  EXPECT_EQ(wire.received, sent);
+  EXPECT_EQ(wire.completed_ok, ok.load());
+  EXPECT_EQ(wire.completed_timeout, timeout.load());
+  EXPECT_EQ(wire.rejected_overloaded, overloaded.load());
+  EXPECT_EQ(wire.admitted, ok.load() + timeout.load());
+  EXPECT_EQ(wire.bad_requests, 0u);
+
+  // Graceful shutdown via signal-style RequestStop (what SIGTERM does in
+  // sgq_server): drains and unlinks the socket. The in-process snapshot
+  // must agree with what the wire reported.
+  server.RequestStop();
+  server.Wait();
+  const ServiceStatsSnapshot final_stats = server.Stats();
+  EXPECT_EQ(final_stats.received, wire.received);
+  EXPECT_EQ(final_stats.completed_ok, wire.completed_ok);
+  EXPECT_EQ(final_stats.completed_timeout, wire.completed_timeout);
+  EXPECT_EQ(final_stats.rejected_overloaded, wire.rejected_overloaded);
+  EXPECT_EQ(final_stats.in_flight, 0u);
+  EXPECT_EQ(final_stats.queue_depth, 0u);
+  EXPECT_NE(::access(socket_path.c_str(), F_OK), 0);
+}
+
+// Shutdown must not strand a connection that is mid-payload: the
+// connection closes once the client is idle, and admitted work still
+// completes.
+TEST(ServiceE2eTest, ShutdownWithIdleConnectionsDoesNotHang) {
+  const std::string socket_path = UniqueSocketPath("idle");
+  ServerConfig server_config;
+  server_config.unix_path = socket_path;
+  ServiceConfig service_config;
+  service_config.workers = 1;
+  service_config.queue_capacity = 4;
+
+  SocketServer server(server_config, service_config);
+  std::string error;
+  ASSERT_TRUE(server.Start(SmallDb(), &error)) << error;
+
+  // Three connections sit idle; one holds a truncated payload forever.
+  std::vector<std::unique_ptr<Client>> idle;
+  for (int i = 0; i < 3; ++i) {
+    idle.push_back(std::make_unique<Client>());
+    ASSERT_TRUE(idle.back()->Connect(socket_path));
+  }
+  ASSERT_TRUE(idle[2]->Send("QUERY 100\npartial"));
+
+  server.RequestStop();
+  server.Wait();  // must return despite the idle/truncated connections
+  EXPECT_NE(::access(socket_path.c_str(), F_OK), 0);
+}
+
+}  // namespace
+}  // namespace sgq

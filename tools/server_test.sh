@@ -1,0 +1,42 @@
+#!/bin/sh
+# End-to-end exercise of sgq_server + sgq_client over a Unix socket: serve,
+# query (inline and @file), json stats via the CLI, RELOAD, and a graceful
+# SIGTERM shutdown that must drain and exit 0. Any failure aborts.
+set -e
+CLI="$1"
+SERVER="$2"
+CLIENT="$3"
+DIR="$(mktemp -d)"
+SOCK="$DIR/sgq.sock"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" generate --out "$DIR/db.txt" --graphs 30 --vertices 20 --degree 3 \
+  --labels 5 --seed 11
+"$CLI" genq --db "$DIR/db.txt" --out "$DIR/q.txt" --edges 5 --count 6 \
+  --seed 4
+
+# The CLI json format must emit a parsable summary object.
+"$CLI" query --db "$DIR/db.txt" --queries "$DIR/q.txt" --engine CFQL \
+  --format json | grep -q '"summary":{"num_queries":6'
+
+"$SERVER" --db "$DIR/db.txt" --socket "$SOCK" --engine CFQL --workers 2 \
+  --queue 16 > "$DIR/server.log" 2>&1 &
+SERVER_PID=$!
+for i in $(seq 1 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "server did not come up" >&2; exit 1; }
+
+"$CLIENT" --socket "$SOCK" --op query --queries "$DIR/q.txt" --repeat 3 \
+  --connections 3 --quiet 1 | grep -q "summary: ok 18,"
+"$CLIENT" --socket "$SOCK" --op stats | grep -q '"completed_ok":18'
+"$CLIENT" --socket "$SOCK" --op reload | grep -q "OK reloaded 30 graphs"
+# A malformed inline request must be rejected, not crash the server.
+printf 'NONSENSE\n' | timeout 5 sh -c \
+  "\"$CLIENT\" --socket \"$SOCK\" --op stats > /dev/null" # server still alive
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+grep -q "drained, final stats" "$DIR/server.log"
+[ ! -S "$SOCK" ] || { echo "socket file not removed" >&2; exit 1; }
+echo "server_test OK"

@@ -11,6 +11,9 @@
 //   sgq_cli query    --db db.txt --queries queries.txt [--engine CFQL]
 //                    [--time-limit 600] [--build-limit 86400]
 //                    [--threads N] [--chunk K]   (CFQL-parallel only)
+//                    [--format text|json]   (json: one machine-readable
+//                    object per query plus a summary object, sharing the
+//                    server's STATS serialization)
 //   sgq_cli index    --db db.txt --type Grapes|GGSX|CT-Index --out idx.bin
 //                    [--build-limit 86400]
 //   sgq_cli filter   --index idx.bin --type Grapes|GGSX|CT-Index
@@ -36,62 +39,14 @@
 #include "gen/query_gen.h"
 #include "graph/graph_io.h"
 #include "query/engine_factory.h"
+#include "tool_flags.h"
+#include "util/defaults.h"
 #include "util/timer.h"
 
 namespace {
 
 using namespace sgq;
-
-// Minimal --key value flag parser.
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
-        ok_ = false;
-        return;
-      }
-      key = key.substr(2);
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for --%s\n", key.c_str());
-        ok_ = false;
-        return;
-      }
-      values_[key] = argv[++i];
-    }
-  }
-
-  bool ok() const { return ok_; }
-
-  std::string Get(const std::string& key, const std::string& fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  double GetDouble(const std::string& key, double fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
-  }
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
-
-  // All provided keys must be in `allowed`.
-  bool Validate(const std::vector<std::string>& allowed) const {
-    for (const auto& [key, value] : values_) {
-      bool found = false;
-      for (const auto& a : allowed) found |= a == key;
-      if (!found) {
-        std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
-        return false;
-      }
-    }
-    return true;
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-  bool ok_ = true;
-};
+using sgq_tools::Flags;
 
 std::unique_ptr<GraphIndex> MakeIndexByType(const std::string& type) {
   if (type == "Grapes") return std::make_unique<GrapesIndex>();
@@ -238,9 +193,15 @@ int CmdStats(const Flags& flags) {
 
 int CmdQuery(const Flags& flags) {
   if (!flags.Validate({"db", "queries", "engine", "time-limit", "build-limit",
-                       "threads", "chunk"})) {
+                       "threads", "chunk", "format"})) {
     return 2;
   }
+  const std::string format = flags.Get("format", "text");
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "--format must be text or json\n");
+    return 2;
+  }
+  const bool json = format == "json";
   GraphDatabase db;
   if (!LoadDbOrDie(flags.Get("db", ""), &db)) return 1;
   GraphDatabase queries;
@@ -256,38 +217,55 @@ int CmdQuery(const Flags& flags) {
   config.parallel_threads =
       static_cast<uint32_t>(flags.GetDouble("threads", 0));
   config.parallel_chunk = static_cast<uint32_t>(flags.GetDouble("chunk", 0));
+  if (!IsKnownEngine(engine_name)) {
+    std::fprintf(stderr, "unknown engine: %s\n", engine_name.c_str());
+    return 2;
+  }
   auto engine = MakeEngine(engine_name, config);
   WallTimer prep_timer;
-  if (!engine->Prepare(
-          db, Deadline::AfterSeconds(flags.GetDouble("build-limit", 86400)))) {
+  if (!engine->Prepare(db, Deadline::AfterSeconds(flags.GetDouble(
+                               "build-limit", kDefaultBuildTimeoutSeconds)))) {
     std::fprintf(stderr, "%s: index construction timed out (OOT)\n",
                  engine_name.c_str());
     return 1;
   }
-  std::printf("prepared %s in %.1f ms (index %.3f MB)\n", engine_name.c_str(),
-              prep_timer.ElapsedMillis(),
-              static_cast<double>(engine->IndexMemoryBytes()) /
-                  (1024.0 * 1024.0));
+  if (!json) {
+    std::printf("prepared %s in %.1f ms (index %.3f MB)\n",
+                engine_name.c_str(), prep_timer.ElapsedMillis(),
+                static_cast<double>(engine->IndexMemoryBytes()) /
+                    (1024.0 * 1024.0));
+  }
 
-  const double limit = flags.GetDouble("time-limit", 600);
+  const double limit =
+      flags.GetDouble("time-limit", kDefaultQueryTimeoutSeconds);
   std::vector<QueryResult> results;
   for (GraphId i = 0; i < queries.size(); ++i) {
     const QueryResult r =
         engine->Query(queries.graph(i), Deadline::AfterSeconds(limit));
-    std::printf("query %u: %zu answers, |C|=%llu, filter %.3f ms, "
-                "verify %.3f ms%s\n",
-                i, r.answers.size(),
-                static_cast<unsigned long long>(r.stats.num_candidates),
-                r.stats.filtering_ms, r.stats.verification_ms,
-                r.stats.timed_out ? " [TIMEOUT]" : "");
+    if (json) {
+      std::printf("{\"query\":%u,\"stats\":%s}\n", i,
+                  ToJson(r.stats).c_str());
+    } else {
+      std::printf("query %u: %zu answers, |C|=%llu, filter %.3f ms, "
+                  "verify %.3f ms%s\n",
+                  i, r.answers.size(),
+                  static_cast<unsigned long long>(r.stats.num_candidates),
+                  r.stats.filtering_ms, r.stats.verification_ms,
+                  r.stats.timed_out ? " [TIMEOUT]" : "");
+    }
     results.push_back(r);
   }
   const QuerySetSummary s = Summarize(results, limit * 1e3);
-  std::printf(
-      "summary: %u queries, %u timeouts, avg query %.3f ms "
-      "(filter %.3f + verify %.3f), precision %.3f, avg |C| %.1f\n",
-      s.num_queries, s.num_timeouts, s.avg_query_ms, s.avg_filtering_ms,
-      s.avg_verification_ms, s.filtering_precision, s.avg_candidates);
+  if (json) {
+    std::printf("{\"engine\":\"%s\",\"summary\":%s}\n", engine_name.c_str(),
+                ToJson(s).c_str());
+  } else {
+    std::printf(
+        "summary: %u queries, %u timeouts, avg query %.3f ms "
+        "(filter %.3f + verify %.3f), precision %.3f, avg |C| %.1f\n",
+        s.num_queries, s.num_timeouts, s.avg_query_ms, s.avg_filtering_ms,
+        s.avg_verification_ms, s.filtering_precision, s.avg_candidates);
+  }
   return 0;
 }
 
@@ -301,8 +279,8 @@ int CmdIndex(const Flags& flags) {
     return 2;
   }
   WallTimer timer;
-  if (!index->Build(db, Deadline::AfterSeconds(
-                            flags.GetDouble("build-limit", 86400)))) {
+  if (!index->Build(db, Deadline::AfterSeconds(flags.GetDouble(
+                            "build-limit", kDefaultBuildTimeoutSeconds)))) {
     std::fprintf(stderr, "index construction timed out (OOT)\n");
     return 1;
   }
@@ -361,8 +339,10 @@ int CmdCrosscheck(const Flags& flags) {
     std::fprintf(stderr, "failed to load queries: %s\n", error.c_str());
     return 1;
   }
-  const double build_limit = flags.GetDouble("build-limit", 86400);
-  const double time_limit = flags.GetDouble("time-limit", 600);
+  const double build_limit =
+      flags.GetDouble("build-limit", kDefaultBuildTimeoutSeconds);
+  const double time_limit =
+      flags.GetDouble("time-limit", kDefaultQueryTimeoutSeconds);
 
   std::vector<std::string> names = AllEngineNames();
   names.insert(names.end(), {"TurboIso", "GraphGrep", "MinedPath",

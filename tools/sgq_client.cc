@@ -1,0 +1,206 @@
+// sgq_client: scripted client for sgq_server. Sends queries (inline,
+// length-prefixed) over one or more concurrent connections and prints the
+// per-request response lines plus a summary of outcomes.
+//
+//   sgq_client (--socket PATH | --host H --port N) --op query
+//              (--graph one.txt | --queries many.txt)
+//              [--timeout S] [--repeat 1] [--connections 1] [--quiet 0]
+//   sgq_client ... --op stats
+//   sgq_client ... --op reload [--db new_db.txt]
+//   sgq_client ... --op shutdown
+//
+// Exit status: 0 when every response was OK (or the single control verb
+// succeeded), 1 when any request failed or the connection dropped.
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph_io.h"
+#include "tool_flags.h"
+#include "util/socket.h"
+
+namespace {
+
+using namespace sgq;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sgq_client (--socket PATH | --host H --port N)\n"
+      "                  --op query (--graph FILE | --queries FILE)\n"
+      "                  [--timeout S] [--repeat N] [--connections C] "
+      "[--quiet 1]\n"
+      "       sgq_client ... --op stats|reload|shutdown [--db FILE]\n");
+  return 2;
+}
+
+UniqueFd Connect(const sgq_tools::Flags& flags, std::string* error) {
+  const std::string socket_path = flags.Get("socket", "");
+  if (!socket_path.empty()) return ConnectUnix(socket_path, error);
+  if (!flags.Has("port")) {
+    *error = "one of --socket or --port is required";
+    return UniqueFd();
+  }
+  return ConnectTcp(flags.Get("host", "127.0.0.1"),
+                    static_cast<uint16_t>(flags.GetDouble("port", 0)), error);
+}
+
+// Reads one '\n'-terminated response line (the newline is stripped).
+bool ReadLine(int fd, std::string* line) {
+  line->clear();
+  char c;
+  for (;;) {
+    const ssize_t n = ReadSome(fd, &c, 1);
+    if (n <= 0) return false;
+    if (c == '\n') return true;
+    *line += c;
+  }
+}
+
+struct OutcomeCounts {
+  uint64_t ok = 0, timeout = 0, overloaded = 0, bad = 0, dropped = 0;
+};
+
+void CountResponse(const std::string& line, OutcomeCounts* counts) {
+  if (line.rfind("OK", 0) == 0) {
+    ++counts->ok;
+  } else if (line.rfind("TIMEOUT", 0) == 0) {
+    ++counts->timeout;
+  } else if (line.rfind("OVERLOADED", 0) == 0) {
+    ++counts->overloaded;
+  } else {
+    ++counts->bad;
+  }
+}
+
+int RunQueries(const sgq_tools::Flags& flags) {
+  GraphDatabase queries;
+  std::string error;
+  const std::string graph_path = flags.Get("graph", "");
+  const std::string queries_path = flags.Get("queries", "");
+  if (graph_path.empty() == queries_path.empty()) {
+    std::fprintf(stderr, "--op query needs exactly one of --graph/--queries\n");
+    return 2;
+  }
+  const std::string path = graph_path.empty() ? queries_path : graph_path;
+  if (!LoadDatabase(path, &queries, &error)) {
+    std::fprintf(stderr, "failed to load %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  const int repeat = std::max(1, static_cast<int>(flags.GetDouble("repeat", 1)));
+  const int connections =
+      std::max(1, static_cast<int>(flags.GetDouble("connections", 1)));
+  const double timeout = flags.GetDouble("timeout", 0);
+  const bool quiet = flags.GetDouble("quiet", 0) != 0;
+
+  // Pre-serialize each query once; every connection replays its share.
+  std::vector<std::string> payloads;
+  for (GraphId i = 0; i < queries.size(); ++i) {
+    payloads.push_back(SerializeGraph(queries.graph(i), i));
+  }
+
+  std::mutex print_mu;
+  OutcomeCounts totals;
+  bool connect_failed = false;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      std::string conn_error;
+      UniqueFd fd = Connect(flags, &conn_error);
+      OutcomeCounts counts;
+      if (!fd.valid()) {
+        std::lock_guard<std::mutex> lock(print_mu);
+        std::fprintf(stderr, "connection %d: %s\n", c, conn_error.c_str());
+        connect_failed = true;
+        return;
+      }
+      // Round-robin: connection c takes work items c, c+C, c+2C, ...
+      const size_t total = payloads.size() * static_cast<size_t>(repeat);
+      for (size_t w = static_cast<size_t>(c); w < total;
+           w += static_cast<size_t>(connections)) {
+        const std::string& payload = payloads[w % payloads.size()];
+        std::string header = "QUERY ";
+        header += std::to_string(payload.size());
+        if (timeout > 0) {
+          header += ' ';
+          header += std::to_string(timeout);
+        }
+        header += '\n';
+        std::string line;
+        if (!WriteAll(fd.get(), header) || !WriteAll(fd.get(), payload) ||
+            !ReadLine(fd.get(), &line)) {
+          ++counts.dropped;
+          break;
+        }
+        CountResponse(line, &counts);
+        if (!quiet) {
+          std::lock_guard<std::mutex> lock(print_mu);
+          std::printf("[conn %d] %s\n", c, line.c_str());
+        }
+      }
+      std::lock_guard<std::mutex> lock(print_mu);
+      totals.ok += counts.ok;
+      totals.timeout += counts.timeout;
+      totals.overloaded += counts.overloaded;
+      totals.bad += counts.bad;
+      totals.dropped += counts.dropped;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::printf("summary: ok %llu, timeout %llu, overloaded %llu, bad %llu, "
+              "dropped %llu\n",
+              static_cast<unsigned long long>(totals.ok),
+              static_cast<unsigned long long>(totals.timeout),
+              static_cast<unsigned long long>(totals.overloaded),
+              static_cast<unsigned long long>(totals.bad),
+              static_cast<unsigned long long>(totals.dropped));
+  return (connect_failed || totals.bad > 0 || totals.dropped > 0) ? 1 : 0;
+}
+
+int RunControl(const sgq_tools::Flags& flags, const std::string& op) {
+  std::string error;
+  UniqueFd fd = Connect(flags, &error);
+  if (!fd.valid()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::string command;
+  if (op == "stats") {
+    command = "STATS\n";
+  } else if (op == "shutdown") {
+    command = "SHUTDOWN\n";
+  } else {  // reload
+    const std::string db = flags.Get("db", "");
+    command = db.empty() ? "RELOAD\n" : "RELOAD @" + db + "\n";
+  }
+  std::string line;
+  if (!WriteAll(fd.get(), command) || !ReadLine(fd.get(), &line)) {
+    std::fprintf(stderr, "connection dropped\n");
+    return 1;
+  }
+  std::printf("%s\n", line.c_str());
+  const bool ok = line.rfind("OK", 0) == 0 || line.rfind("BYE", 0) == 0;
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sgq_tools::Flags flags(argc, argv, 1);
+  if (!flags.ok() ||
+      !flags.Validate({"socket", "host", "port", "op", "graph", "queries",
+                       "timeout", "repeat", "connections", "quiet", "db"})) {
+    return Usage();
+  }
+  const std::string op = flags.Get("op", "query");
+  if (op == "query") return RunQueries(flags);
+  if (op == "stats" || op == "reload" || op == "shutdown") {
+    return RunControl(flags, op);
+  }
+  std::fprintf(stderr, "unknown --op: %s\n", op.c_str());
+  return Usage();
+}

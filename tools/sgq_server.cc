@@ -1,0 +1,137 @@
+// sgq_server: a long-running subgraph-query server. Loads a database once,
+// prepares the engine(s) once, then serves the line protocol of
+// src/service/protocol.h over a Unix or TCP socket until SIGINT/SIGTERM or
+// a SHUTDOWN request — at which point it stops admitting, drains every
+// in-flight query, and exits cleanly.
+//
+//   sgq_server --db db.txt --socket /tmp/sgq.sock [--engine CFQL]
+//              [--workers 2] [--queue 64] [--default-timeout 600]
+//              [--build-limit 86400] [--max-request-bytes 16777216]
+//              [--threads N] [--chunk K]     (CFQL-parallel only)
+//   sgq_server --db db.txt --port 7474 [--host 127.0.0.1] ...
+//
+// Protocol (one response line per request; see src/service/protocol.h):
+//   QUERY <len> [timeout_s]\n<len bytes>   -> OK <n> <json> | TIMEOUT ...
+//   QUERY @<path> [timeout_s]              -> ... | OVERLOADED | BAD_REQUEST
+//   STATS                                  -> OK <json>
+//   RELOAD [@<path>]                       -> OK reloaded <n> graphs
+//   SHUTDOWN                               -> BYE (then graceful drain)
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "graph/graph_io.h"
+#include "service/server.h"
+#include "tool_flags.h"
+#include "util/defaults.h"
+
+namespace {
+
+sgq::SocketServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  // Async-signal-safe: RequestStop only flips an atomic and writes a pipe.
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sgq_server --db db.txt (--socket PATH | --port N) "
+               "[--host 127.0.0.1]\n"
+               "                  [--engine CFQL] [--workers 2] [--queue 64]\n"
+               "                  [--default-timeout 600] "
+               "[--build-limit 86400]\n"
+               "                  [--max-request-bytes N] [--threads N] "
+               "[--chunk K]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sgq;
+  sgq_tools::Flags flags(argc, argv, 1);
+  if (!flags.ok() ||
+      !flags.Validate({"db", "socket", "port", "host", "engine", "workers",
+                       "queue", "default-timeout", "build-limit",
+                       "max-request-bytes", "threads", "chunk"})) {
+    return Usage();
+  }
+  const std::string db_path = flags.Get("db", "");
+  if (db_path.empty()) {
+    std::fprintf(stderr, "--db is required\n");
+    return Usage();
+  }
+  if (!flags.Has("socket") && !flags.Has("port")) {
+    std::fprintf(stderr, "one of --socket or --port is required\n");
+    return Usage();
+  }
+
+  ServiceConfig service_config;
+  service_config.engine_name = flags.Get("engine", "CFQL");
+  service_config.workers = static_cast<uint32_t>(flags.GetDouble("workers", 2));
+  service_config.queue_capacity =
+      static_cast<size_t>(flags.GetDouble("queue", 64));
+  service_config.default_timeout_seconds =
+      flags.GetDouble("default-timeout", kDefaultQueryTimeoutSeconds);
+  service_config.build_timeout_seconds =
+      flags.GetDouble("build-limit", kDefaultBuildTimeoutSeconds);
+  service_config.engine.parallel_threads =
+      static_cast<uint32_t>(flags.GetDouble("threads", 0));
+  service_config.engine.parallel_chunk =
+      static_cast<uint32_t>(flags.GetDouble("chunk", 0));
+  if (!IsKnownEngine(service_config.engine_name)) {
+    std::fprintf(stderr, "unknown engine: %s\n",
+                 service_config.engine_name.c_str());
+    return 2;
+  }
+
+  ServerConfig server_config;
+  server_config.unix_path = flags.Get("socket", "");
+  if (flags.Has("port")) {
+    server_config.port = static_cast<int>(flags.GetDouble("port", 0));
+  }
+  server_config.host = flags.Get("host", "127.0.0.1");
+  server_config.max_payload_bytes = static_cast<size_t>(flags.GetDouble(
+      "max-request-bytes", static_cast<double>(kDefaultMaxPayloadBytes)));
+  server_config.db_path = db_path;
+
+  GraphDatabase db;
+  std::string error;
+  if (!LoadDatabase(db_path, &db, &error)) {
+    std::fprintf(stderr, "failed to load %s: %s\n", db_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  const size_t num_graphs = db.size();
+
+  SocketServer server(server_config, service_config);
+  if (!server.Start(std::move(db), &error)) {
+    std::fprintf(stderr, "failed to start: %s\n", error.c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  if (!server_config.unix_path.empty()) {
+    std::printf("sgq_server: %s over %zu graphs on unix:%s (%u workers, "
+                "queue %zu)\n",
+                service_config.engine_name.c_str(), num_graphs,
+                server_config.unix_path.c_str(), service_config.workers,
+                service_config.queue_capacity);
+  } else {
+    std::printf("sgq_server: %s over %zu graphs on %s:%u (%u workers, "
+                "queue %zu)\n",
+                service_config.engine_name.c_str(), num_graphs,
+                server_config.host.c_str(), server.port(),
+                service_config.workers, service_config.queue_capacity);
+  }
+  std::fflush(stdout);
+
+  server.Wait();
+  g_server = nullptr;
+  std::printf("sgq_server: drained, final stats %s\n",
+              server.Stats().ToJson().c_str());
+  return 0;
+}

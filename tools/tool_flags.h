@@ -1,0 +1,66 @@
+// Minimal --key value flag parser shared by the sgq command-line tools
+// (sgq_cli, sgq_server, sgq_client).
+#ifndef SGQ_TOOLS_TOOL_FLAGS_H_
+#define SGQ_TOOLS_TOOL_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sgq_tools {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --%s\n", key.c_str());
+        ok_ = false;
+        return;
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  // All provided keys must be in `allowed`.
+  bool Validate(const std::vector<std::string>& allowed) const {
+    for (const auto& [key, value] : values_) {
+      bool found = false;
+      for (const auto& a : allowed) found |= a == key;
+      if (!found) {
+        std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+}  // namespace sgq_tools
+
+#endif  // SGQ_TOOLS_TOOL_FLAGS_H_
