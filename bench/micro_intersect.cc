@@ -1,0 +1,170 @@
+// Microbenchmarks (google-benchmark) for the sorted-set intersection
+// kernels: the adaptive dispatcher and its three underlying kernels
+// against the pre-PR baselines — std::set_intersection and the
+// per-element std::binary_search probe that the enumeration hot loop used
+// to run. Args are (|small|, |large|): equal sizes exercise the merge/SIMD
+// regime, skewed sizes the galloping regime where the binary-search
+// baseline's advantage should disappear.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "util/intersect.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sgq;
+
+std::vector<uint32_t> RandomSorted(size_t n, uint32_t universe, Rng* rng) {
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    out.push_back(static_cast<uint32_t>(rng->NextBounded(universe)));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+struct Inputs {
+  std::vector<uint32_t> small_list;
+  std::vector<uint32_t> large;
+};
+
+// ~50% of the small list hits the large one: representative of candidate
+// lists against adjacency lists mid-search.
+Inputs MakeInputs(size_t small_n, size_t large_n) {
+  Rng rng(1234);
+  Inputs in;
+  in.large = RandomSorted(large_n, static_cast<uint32_t>(4 * large_n), &rng);
+  in.small_list =
+      RandomSorted(small_n, static_cast<uint32_t>(4 * large_n), &rng);
+  for (size_t i = 0; i < in.small_list.size(); i += 2) {
+    in.small_list[i] = in.large[rng.NextBounded(in.large.size())];
+  }
+  std::sort(in.small_list.begin(), in.small_list.end());
+  in.small_list.erase(
+      std::unique(in.small_list.begin(), in.small_list.end()),
+      in.small_list.end());
+  return in;
+}
+
+void BM_IntersectBinarySearchBaseline(benchmark::State& state) {
+  // The pre-PR hot-loop idiom: probe each element of the small list into
+  // the large one with binary search.
+  const Inputs in = MakeInputs(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(1)));
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    for (uint32_t v : in.small_list) {
+      if (std::binary_search(in.large.begin(), in.large.end(), v)) {
+        out.push_back(v);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_IntersectStdSetIntersection(benchmark::State& state) {
+  const Inputs in = MakeInputs(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(1)));
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    std::set_intersection(in.small_list.begin(), in.small_list.end(),
+                          in.large.begin(), in.large.end(),
+                          std::back_inserter(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_IntersectMerge(benchmark::State& state) {
+  const Inputs in = MakeInputs(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(1)));
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    IntersectMergeInto(in.small_list, in.large, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_IntersectGallop(benchmark::State& state) {
+  const Inputs in = MakeInputs(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(1)));
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    IntersectGallopInto(in.small_list, in.large, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_IntersectSimd(benchmark::State& state) {
+  const Inputs in = MakeInputs(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(1)));
+  if (!IntersectSimdEnabled()) {
+    state.SkipWithError("SIMD path unavailable on this host/build");
+    return;
+  }
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    IntersectSimdInto(in.small_list, in.large, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_IntersectAdaptive(benchmark::State& state) {
+  const Inputs in = MakeInputs(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(1)));
+  std::vector<uint32_t> out;
+  IntersectCounters counters;
+  for (auto _ : state) {
+    IntersectInto(in.small_list, in.large, &out, &counters);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["gallop_frac"] = benchmark::Counter(
+      counters.calls == 0 ? 0.0
+                          : static_cast<double>(counters.gallop_calls) /
+                                static_cast<double>(counters.calls));
+}
+
+void BM_IntersectAdaptiveScalar(benchmark::State& state) {
+  const Inputs in = MakeInputs(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(1)));
+  const bool saved = IntersectSimdEnabled();
+  SetIntersectSimdEnabled(false);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    IntersectInto(in.small_list, in.large, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetIntersectSimdEnabled(saved);
+}
+
+// (|small|, |large|) shapes: comparable (merge/SIMD regime), moderately
+// skewed (near the gallop crossover), and heavily skewed (gallop regime —
+// the shape where the adaptive kernel must beat per-element binary search).
+void IntersectShapes(benchmark::internal::Benchmark* b) {
+  b->Args({128, 128})
+      ->Args({1024, 1024})
+      ->Args({64, 1024})
+      ->Args({32, 4096})
+      ->Args({16, 65536})
+      ->Args({256, 65536});
+}
+
+BENCHMARK(BM_IntersectBinarySearchBaseline)->Apply(IntersectShapes);
+BENCHMARK(BM_IntersectStdSetIntersection)->Apply(IntersectShapes);
+BENCHMARK(BM_IntersectMerge)->Apply(IntersectShapes);
+BENCHMARK(BM_IntersectGallop)->Apply(IntersectShapes);
+BENCHMARK(BM_IntersectSimd)->Apply(IntersectShapes);
+BENCHMARK(BM_IntersectAdaptive)->Apply(IntersectShapes);
+BENCHMARK(BM_IntersectAdaptiveScalar)->Apply(IntersectShapes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <map>
 
+#include "util/intersect.h"
 #include "util/logging.h"
 #include "util/serialize.h"
 
@@ -47,11 +48,13 @@ std::vector<FeatureKey> ProperSubpaths(const std::vector<Label>& labels) {
   return out;
 }
 
+// Posting lists are sorted GraphId (= uint32) sequences, so the adaptive
+// merge/gallop/SIMD kernel applies directly; galloping pays off here because
+// a discriminative feature's list is often tiny next to the implied set.
 std::vector<GraphId> Intersect(const std::vector<GraphId>& a,
                                const std::vector<GraphId>& b) {
   std::vector<GraphId> out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
+  IntersectInto(a, b, &out);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "matching/workspace.h"
+#include "util/intersect.h"
 #include "util/logging.h"
 
 namespace sgq {
@@ -138,20 +139,23 @@ struct CflEnumContext {
   std::vector<std::vector<VertexId>>& check_neighbors;
   std::vector<VertexId>& mapping;
   std::vector<uint32_t>& phi_index;  // index of mapping[u] in phi.set(u)
-  std::vector<char>& used;
+  // Epoch-stamped "already matched" marker (see MatchWorkspace): v is used
+  // iff used_stamp[v] == epoch, so no per-call O(|V(G)|) clear.
+  std::vector<uint32_t>& used_stamp;
+  const uint32_t epoch;
   EnumerateResult result;
 
   bool TryVertex(uint32_t depth, VertexId u, uint32_t candidate_index) {
     const VertexId v = cpi.phi.set(u)[candidate_index];
-    if (used[v]) return true;
+    if (used_stamp[v] == epoch) return true;
     for (VertexId w : check_neighbors[depth]) {
       if (!data.HasEdge(mapping[w], v)) return true;
     }
     mapping[u] = v;
     phi_index[u] = candidate_index;
-    used[v] = true;
+    used_stamp[v] = epoch;
     const bool keep_going = Recurse(depth + 1);
-    used[v] = false;
+    used_stamp[v] = 0;
     mapping[u] = kInvalidVertex;
     return keep_going;
   }
@@ -205,11 +209,11 @@ EnumerateResult CflEnumerate(const Graph& query, const Graph& data,
   }
   w.mapping.assign(n, kInvalidVertex);
   w.phi_index.assign(n, UINT32_MAX);
-  w.used.assign(data.NumVertices(), 0);
+  const uint32_t epoch = w.BeginUsedEpoch(data.NumVertices());
 
   CflEnumContext ctx{query,    data,      cpi,         limit, checker,
                      callback, w.backward_neighbors, w.mapping,
-                     w.phi_index, w.used, {}};
+                     w.phi_index, w.used_stamp, epoch, {}};
   ctx.Recurse(0);
   return ctx.result;
 }
@@ -279,13 +283,12 @@ void CflMatcher::FilterInto(const Graph& query, const Graph& data,
 
   // --- Bottom-up refinement ---------------------------------------------
   if (options_.refine_bottom_up) {
-    // member[u] marks Φ(u) membership for O(d(v)) intersection tests.
-    std::vector<std::vector<uint8_t>>& member = w.byte_rows;
-    if (member.size() < n) member.resize(n);
-    for (VertexId u = 0; u < n; ++u) {
-      member[u].assign(data.NumVertices(), 0);
-      for (VertexId v : out->phi.set(u)) member[u][v] = 1;
-    }
+    // Keep v in Φ(u) only if every forward neighbor u' has a candidate
+    // adjacent to v, i.e. N(v) ∩ Φ(u') ≠ ∅ — the adaptive early-exit
+    // intersection kernel, against the already-pruned Φ(u') (forward
+    // vertices are processed earlier in this reverse sweep, so in-place
+    // erasure keeps the membership view exact without the O(n·|V(G)|)
+    // byte rows this sweep used to build).
     std::vector<VertexId> forward;
     for (uint32_t i = n; i-- > 0;) {
       const VertexId u = tree.order[i];
@@ -297,15 +300,7 @@ void CflMatcher::FilterInto(const Graph& query, const Graph& data,
       auto& set = out->phi.mutable_set(u);
       auto keep_end = std::remove_if(set.begin(), set.end(), [&](VertexId v) {
         for (VertexId uprime : forward) {
-          bool any = false;
-          for (VertexId w2 : data.Neighbors(v)) {
-            if (member[uprime][w2]) {
-              any = true;
-              break;
-            }
-          }
-          if (!any) {
-            member[u][v] = 0;
+          if (!IntersectNonEmpty(data.Neighbors(v), out->phi.set(uprime))) {
             return true;
           }
         }

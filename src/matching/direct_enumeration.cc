@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "matching/workspace.h"
+#include "util/intersect.h"
 #include "util/logging.h"
 
 namespace sgq {
@@ -32,6 +34,11 @@ struct UllmannState {
   uint64_t limit;
   DeadlineChecker* checker;
   const EmbeddingCallback& callback;
+  // Per-depth candidate-matrix pool (MatchWorkspace::ullmann_pool): the
+  // classic copy-on-assign refinement copies into the reserved matrix of
+  // its depth instead of heap-allocating a fresh matrix per search node;
+  // sibling nodes at the same depth recycle the same buffers.
+  std::vector<std::vector<std::vector<VertexId>>>& pool;
 
   // candidates[u] is the current (mutable) candidate list of u; the search
   // copies-on-refine per level, Ullmann's matrix style.
@@ -40,8 +47,9 @@ struct UllmannState {
   EnumerateResult result;
 
   // Ullmann's refinement: drop v from candidates[u] when some neighbor u'
-  // of u has no candidate adjacent to v. Iterates to a fixpoint. Returns
-  // false if a candidate list empties.
+  // of u has no candidate adjacent to v — an emptiness test of
+  // N(v) ∩ candidates[u'], served by the adaptive early-exit intersection
+  // kernel. Iterates to a fixpoint. Returns false if a list empties.
   bool Refine(std::vector<std::vector<VertexId>>* candidates) const {
     bool changed = true;
     while (changed) {
@@ -51,15 +59,10 @@ struct UllmannState {
         auto keep_end =
             std::remove_if(set.begin(), set.end(), [&](VertexId v) {
               for (VertexId uprime : query.Neighbors(u)) {
-                bool any = false;
-                for (VertexId w : data.Neighbors(v)) {
-                  if (std::binary_search((*candidates)[uprime].begin(),
-                                         (*candidates)[uprime].end(), w)) {
-                    any = true;
-                    break;
-                  }
+                if (!IntersectNonEmpty(data.Neighbors(v),
+                                       (*candidates)[uprime])) {
+                  return true;
                 }
-                if (!any) return true;
               }
               return false;
             });
@@ -96,9 +99,16 @@ struct UllmannState {
         }
       }
       if (!consistent) continue;
-      // Assign and refine a copy of the matrix (the Ullmann step).
-      auto narrowed = candidates;
-      narrowed[u] = {v};
+      // Assign and refine a pooled copy of the matrix (the Ullmann step).
+      // The copy keeps each row's heap buffer; only contents are replaced.
+      auto& narrowed = pool[depth];
+      if (narrowed.size() != candidates.size()) {
+        narrowed.resize(candidates.size());
+      }
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        narrowed[i].assign(candidates[i].begin(), candidates[i].end());
+      }
+      narrowed[u].assign(1, v);
       mapping[u] = v;
       used[v] = true;
       if (Refine(&narrowed)) {
@@ -130,8 +140,24 @@ EnumerateResult UllmannMatcher::Enumerate(const Graph& query,
                                           DeadlineChecker* checker,
                                           const EmbeddingCallback& callback)
     const {
+  MatchWorkspace ws;
+  return Enumerate(query, data, data_aux, limit, checker, &ws, callback);
+}
+
+EnumerateResult UllmannMatcher::Enumerate(const Graph& query,
+                                          const Graph& data,
+                                          const FilterData& data_aux,
+                                          uint64_t limit,
+                                          DeadlineChecker* checker,
+                                          MatchWorkspace* ws,
+                                          const EmbeddingCallback& callback)
+    const {
   if (!data_aux.Passed() || limit == 0) return {};
-  UllmannState state{query, data, limit, checker, callback, {}, {}, {}};
+  if (ws->ullmann_pool.size() < query.NumVertices()) {
+    ws->ullmann_pool.resize(query.NumVertices());
+  }
+  UllmannState state{query,    data,  limit, checker, callback,
+                     ws->ullmann_pool, {},   {},      {}};
   state.mapping.assign(query.NumVertices(), kInvalidVertex);
   state.used.assign(data.NumVertices(), false);
   std::vector<std::vector<VertexId>> candidates(query.NumVertices());

@@ -30,6 +30,15 @@ class UllmannMatcher : public Matcher {
                             DeadlineChecker* checker,
                             const EmbeddingCallback& callback =
                                 nullptr) const override;
+
+  // Workspace variant: the per-depth candidate-matrix pool (one matrix per
+  // search level, copied into instead of freshly allocated per node) comes
+  // from `ws`, so repeated calls run allocation-free once warm.
+  EnumerateResult Enumerate(const Graph& query, const Graph& data,
+                            const FilterData& data_aux, uint64_t limit,
+                            DeadlineChecker* checker, MatchWorkspace* ws,
+                            const EmbeddingCallback& callback =
+                                nullptr) const override;
 };
 
 // QuickSI: orders query vertices by a rare-label-first Prim-style spanning

@@ -41,11 +41,30 @@ struct FilterData {
   virtual size_t MemoryBytes() const { return phi.MemoryBytes(); }
 };
 
-// Counters reported by one Enumerate() call.
+// Counters reported by one Enumerate() call. The intersect_* fields account
+// the adaptive set-intersection kernels of the local-candidate extension
+// step (util/intersect.h): calls = adaptive dispatches, and the
+// merge/gallop/simd split records which kernel each dispatch resolved to.
+// local_candidates sums the local candidate-set sizes the intersections
+// produced (the per-search-node extension frontier).
 struct EnumerateResult {
   uint64_t embeddings = 0;       // found (up to the limit)
   uint64_t recursion_calls = 0;  // search-tree nodes visited
   bool aborted = false;          // deadline expired mid-search
+  uint64_t intersect_calls = 0;
+  uint64_t intersect_merge = 0;
+  uint64_t intersect_gallop = 0;
+  uint64_t intersect_simd = 0;
+  uint64_t local_candidates = 0;
+
+  void AddCounters(const EnumerateResult& other) {
+    recursion_calls += other.recursion_calls;
+    intersect_calls += other.intersect_calls;
+    intersect_merge += other.intersect_merge;
+    intersect_gallop += other.intersect_gallop;
+    intersect_simd += other.intersect_simd;
+    local_candidates += other.local_candidates;
+  }
 };
 
 class Matcher {
@@ -95,6 +114,26 @@ class Matcher {
                MatchWorkspace* ws) const;
 };
 
+// How the backtracking computes each search node's extension frontier.
+//   kProbe     — the legacy path: scan all of Φ(u), probing data.HasEdge for
+//                every backward neighbor per candidate.
+//   kIntersect — compute the local candidate set explicitly: intersect the
+//                mapped backward neighbors' adjacency lists (smallest first,
+//                short-circuiting on empty) and filter through a Φ(u)
+//                membership row; Φ(u) joins the list intersection instead
+//                whenever it is the smallest operand.
+//   kAdaptive  — kIntersect, but falling back to kProbe per node when the
+//                probe scan is predicted cheaper (tiny Φ(u)). The default.
+// All three enumerate candidates in the same ascending order, so embedding
+// counts, embedding order, and recursion_calls are identical across paths.
+enum class ExtensionPath { kAdaptive, kProbe, kIntersect };
+
+// Process-wide default used when BacktrackOverCandidates is called without
+// an explicit path — a knob for benchmarks and determinism tests comparing
+// the legacy and intersection paths through unmodified engines.
+void SetDefaultExtensionPath(ExtensionPath path);
+ExtensionPath DefaultExtensionPath();
+
 // Generic connectivity-aware backtracking over candidate sets: at depth i
 // the query vertex order[i] is matched against its candidates, checking
 // injectivity and all edges to already-matched query vertices. This is the
@@ -114,6 +153,17 @@ EnumerateResult BacktrackOverCandidates(const Graph& query, const Graph& data,
                                         DeadlineChecker* checker,
                                         const EmbeddingCallback& callback,
                                         MatchWorkspace* ws = nullptr);
+
+// Explicit-path overload; the default-argument form above uses
+// DefaultExtensionPath().
+EnumerateResult BacktrackOverCandidates(const Graph& query, const Graph& data,
+                                        const CandidateSets& phi,
+                                        const std::vector<VertexId>& order,
+                                        uint64_t limit,
+                                        DeadlineChecker* checker,
+                                        const EmbeddingCallback& callback,
+                                        MatchWorkspace* ws,
+                                        ExtensionPath path);
 
 // The join-based ordering of GraphQL: start from the query vertex with the
 // fewest candidates; repeatedly append the neighbor of the selected set with

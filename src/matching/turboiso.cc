@@ -170,7 +170,7 @@ EnumerateResult TurboIsoMatcher::Enumerate(const Graph& query,
     const EnumerateResult r = BacktrackOverCandidates(
         query, data, phi, order, limit - total.embeddings, checker, callback);
     total.embeddings += r.embeddings;
-    total.recursion_calls += r.recursion_calls;
+    total.AddCounters(r);
     if (r.aborted) {
       total.aborted = true;
       break;

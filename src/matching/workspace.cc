@@ -11,14 +11,25 @@ size_t MatchWorkspace::MemoryBytes() const {
   }
   bytes += mapping.capacity() * sizeof(VertexId);
   bytes += phi_index.capacity() * sizeof(uint32_t);
-  bytes += used.capacity() + placed.capacity();
+  bytes += used_stamp.capacity() * sizeof(uint32_t) + placed.capacity();
   bytes += order.capacity() * sizeof(VertexId);
+  bytes += phi_stamp.capacity() * sizeof(std::vector<uint32_t>);
+  for (const auto& row : phi_stamp) bytes += row.capacity() * sizeof(uint32_t);
+  bytes += phi_stamp_epoch.capacity() * sizeof(uint32_t);
+  bytes += local_a.capacity() * sizeof(std::vector<VertexId>);
+  for (const auto& v : local_a) bytes += v.capacity() * sizeof(VertexId);
+  bytes += local_b.capacity() * sizeof(std::vector<VertexId>);
+  for (const auto& v : local_b) bytes += v.capacity() * sizeof(VertexId);
+  bytes += adj_by_size.capacity() * sizeof(std::pair<uint32_t, VertexId>);
+  for (const auto& matrix : ullmann_pool) {
+    bytes += matrix.capacity() * sizeof(std::vector<VertexId>);
+    for (const auto& row : matrix) bytes += row.capacity() * sizeof(VertexId);
+  }
+  bytes += ullmann_pool.capacity() * sizeof(std::vector<std::vector<VertexId>>);
   bytes += reverse_mapping.capacity() * sizeof(VertexId);
   bytes += term_query.capacity() * sizeof(uint32_t);
   bytes += term_data.capacity() * sizeof(uint32_t);
   bytes += byte_matrix.capacity();
-  bytes += byte_rows.capacity() * sizeof(std::vector<uint8_t>);
-  for (const auto& row : byte_rows) bytes += row.capacity();
   bytes += order_pos.capacity() * sizeof(uint32_t);
   bytes += vertex_counts.capacity() * sizeof(uint32_t);
   bytes += index_of.capacity() * sizeof(uint32_t);

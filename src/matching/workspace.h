@@ -22,10 +22,12 @@
 #ifndef SGQ_MATCHING_WORKSPACE_H_
 #define SGQ_MATCHING_WORKSPACE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <typeinfo>
+#include <utility>
 #include <vector>
 
 #include "graph/types.h"
@@ -84,10 +86,54 @@ class MatchWorkspace {
   std::vector<std::vector<VertexId>> backward_neighbors;  // per matching depth
   std::vector<VertexId> mapping;    // query vertex -> data vertex
   std::vector<uint32_t> phi_index;  // CFL: index of mapping[u] in phi.set(u)
-  std::vector<char> used;           // data vertex already matched
   std::vector<char> placed;         // query-vertex marker (order building)
   std::vector<VertexId> order;      // matching order (JoinBasedOrder output);
                                     // not touched by the backtracking itself
+
+  // Epoch-stamped "data vertex already matched" marker: v is used iff
+  // used_stamp[v] == used_epoch. Bumping the epoch (BeginUsedEpoch) clears
+  // the whole array in O(1), so per-enumeration setup no longer scales with
+  // |V(G)| the way the old `used.assign(NumVertices, 0)` did.
+  std::vector<uint32_t> used_stamp;
+
+  // Per-depth Φ(order[depth]) membership rows for the intersection-based
+  // extension step, stamped with the same epoch (row d is valid iff
+  // phi_stamp_epoch[d] == used_epoch; rows are built lazily the first time
+  // a depth actually extends through the densest-operand bitmap path).
+  std::vector<std::vector<uint32_t>> phi_stamp;
+  std::vector<uint32_t> phi_stamp_epoch;
+
+  // Per-depth local-candidate scratch (intersection outputs, ping-pong when
+  // folding 3+ operands). Valid for the duration of one search node at that
+  // depth; deeper recursion uses deeper buffers.
+  std::vector<std::vector<VertexId>> local_a;
+  std::vector<std::vector<VertexId>> local_b;
+  // (size, mapped data vertex) pairs while ordering a node's backward
+  // adjacency lists smallest-first; consumed before recursing, so one
+  // shared buffer serves every depth.
+  std::vector<std::pair<uint32_t, VertexId>> adj_by_size;
+
+  // Ullmann's per-depth candidate-matrix pool: Recurse(depth) copies the
+  // current matrix into ullmann_pool[depth] (reusing each row's capacity)
+  // instead of heap-allocating a fresh matrix per search node.
+  std::vector<std::vector<std::vector<VertexId>>> ullmann_pool;
+
+  // Starts a fresh used/Φ-membership epoch sized for `num_data_vertices`
+  // and returns the new epoch value. Grows (never shrinks) the stamp array;
+  // on the (theoretical) 2^32 wrap every stamp is wholesale-reset so stale
+  // values cannot collide with re-issued epochs.
+  uint32_t BeginUsedEpoch(uint32_t num_data_vertices) {
+    if (used_stamp.size() < num_data_vertices) {
+      used_stamp.resize(num_data_vertices, 0);
+    }
+    if (++used_epoch_ == 0) {
+      std::fill(used_stamp.begin(), used_stamp.end(), 0);
+      phi_stamp.clear();
+      phi_stamp_epoch.clear();
+      used_epoch_ = 1;
+    }
+    return used_epoch_;
+  }
 
   // VF2 state (the IFV engines' verification loop): reverse data->query
   // mapping plus the terminal-set counters; `mapping` above doubles as the
@@ -97,9 +143,8 @@ class MatchWorkspace {
   std::vector<uint32_t> term_data;
 
   // --- filtering scratch ---------------------------------------------------
-  // GraphQL's membership bitmap / CFL's per-vertex membership rows.
+  // GraphQL's membership bitmap.
   std::vector<uint8_t> byte_matrix;
-  std::vector<std::vector<uint8_t>> byte_rows;
   // CFL: visit-order positions, backward-prune counters, candidate-index map.
   std::vector<uint32_t> order_pos;
   std::vector<uint32_t> vertex_counts;
@@ -109,6 +154,7 @@ class MatchWorkspace {
   std::unique_ptr<FilterData> filter_data_;
   uint64_t filter_hits_ = 0;
   uint64_t filter_misses_ = 0;
+  uint32_t used_epoch_ = 0;
 };
 
 }  // namespace sgq

@@ -60,6 +60,7 @@ QueryResult IvcfvEngine::Query(const Graph& query, Deadline deadline) const {
                               /*limit=*/1, &checker, &workspace_);
       verify_timer.Stop();
       ++result.stats.si_tests;
+      AddIntersectCounters(&result.stats, er);
       if (er.embeddings > 0) result.answers.push_back(g);
       if (er.aborted) {
         result.stats.timed_out = true;

@@ -67,6 +67,7 @@ MatchResult MatchEngine::Match(const Graph& query, const MatchOptions& options,
                               callback);
       verify_timer.Stop();
       ++result.stats.si_tests;
+      AddIntersectCounters(&result.stats, er);
       matches.num_embeddings = er.embeddings;
       result.total_embeddings += er.embeddings;
       if (er.embeddings > 0) result.matches.push_back(std::move(matches));

@@ -50,6 +50,7 @@ QueryResult ParallelVcfvEngine::Query(const Graph& query,
     size_t max_aux = 0;
     int64_t filter_nanos = 0;
     int64_t verify_nanos = 0;
+    EnumerateResult counters;  // intersect_*/local_candidates sums
   };
   std::vector<SlotAccumulator> accumulators(executors);
   std::atomic<bool> timed_out{false};
@@ -89,6 +90,7 @@ QueryResult ParallelVcfvEngine::Query(const Graph& query,
                                         &slot.workspace);
             acc.verify_nanos += timer.ElapsedNanos();
             ++acc.si_tests;
+            acc.counters.AddCounters(er);
             if (er.embeddings > 0) {
               acc.answers.push_back(static_cast<GraphId>(g));
             }
@@ -110,6 +112,7 @@ QueryResult ParallelVcfvEngine::Query(const Graph& query,
                           acc.answers.end());
     result.stats.num_candidates += acc.candidates;
     result.stats.si_tests += acc.si_tests;
+    AddIntersectCounters(&result.stats, acc.counters);
     result.stats.aux_memory_bytes =
         std::max(result.stats.aux_memory_bytes, acc.max_aux);
     filter_nanos += acc.filter_nanos;

@@ -45,6 +45,11 @@ std::string ToJson(const QueryStats& stats) {
               static_cast<uint64_t>(stats.aux_memory_bytes));
   AppendField(&out, "ws_filter_hits", stats.ws_filter_hits);
   AppendField(&out, "ws_filter_misses", stats.ws_filter_misses);
+  AppendField(&out, "intersect_calls", stats.intersect_calls);
+  AppendField(&out, "intersect_merge", stats.intersect_merge);
+  AppendField(&out, "intersect_gallop", stats.intersect_gallop);
+  AppendField(&out, "intersect_simd", stats.intersect_simd);
+  AppendField(&out, "local_candidates", stats.local_candidates);
   out += "}";
   return out;
 }

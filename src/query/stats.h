@@ -36,6 +36,15 @@ struct QueryStats {
   // so misses is the per-query allocation count the reuse is eliminating.
   uint64_t ws_filter_hits = 0;
   uint64_t ws_filter_misses = 0;
+  // Intersection-kernel counters summed over this query's Enumerate() calls
+  // (see EnumerateResult): adaptive dispatches, the merge/gallop/SIMD split
+  // of how each dispatch resolved, and the total local candidate-set sizes
+  // the extension step produced.
+  uint64_t intersect_calls = 0;
+  uint64_t intersect_merge = 0;
+  uint64_t intersect_gallop = 0;
+  uint64_t intersect_simd = 0;
+  uint64_t local_candidates = 0;
 
   double QueryMs() const { return filtering_ms + verification_ms; }
 };
@@ -44,6 +53,18 @@ struct QueryResult {
   std::vector<GraphId> answers;  // A(q), sorted ascending
   QueryStats stats;
 };
+
+// Folds one Enumerate() call's kernel counters into the query's stats.
+// Templated so this header need not depend on matching/matcher.h; any type
+// exposing the intersect_*/local_candidates fields (EnumerateResult) works.
+template <typename Counters>
+void AddIntersectCounters(QueryStats* stats, const Counters& er) {
+  stats->intersect_calls += er.intersect_calls;
+  stats->intersect_merge += er.intersect_merge;
+  stats->intersect_gallop += er.intersect_gallop;
+  stats->intersect_simd += er.intersect_simd;
+  stats->local_candidates += er.local_candidates;
+}
 
 // Aggregates over a query set, as reported in the paper's figures. Queries
 // that timed out contribute `timeout_ms` as their query time (the paper

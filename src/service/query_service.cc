@@ -36,6 +36,8 @@ std::string ServiceStatsSnapshot::ToJson() const {
   AppendField(&out, "answers_total", answers_total);
   AppendField(&out, "filtering_ms_total", filtering_ms_total);
   AppendField(&out, "verification_ms_total", verification_ms_total);
+  AppendField(&out, "intersect_calls_total", intersect_calls_total);
+  AppendField(&out, "local_candidates_total", local_candidates_total);
   AppendField(&out, "queue_peak", queue_peak);
   AppendField(&out, "queue_depth", queue_depth);
   AppendField(&out, "in_flight", in_flight);
@@ -171,6 +173,8 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
     stats_.answers_total += response.result.answers.size();
     stats_.filtering_ms_total += response.result.stats.filtering_ms;
     stats_.verification_ms_total += response.result.stats.verification_ms;
+    stats_.intersect_calls_total += response.result.stats.intersect_calls;
+    stats_.local_candidates_total += response.result.stats.local_candidates;
     if (queue_.empty() && running_ == 0) drain_cv_.notify_all();
     lock.unlock();
     // Counters are updated before the promise resolves, so a client that

@@ -67,6 +67,10 @@ struct ServiceStatsSnapshot {
   uint64_t answers_total = 0;
   double filtering_ms_total = 0;
   double verification_ms_total = 0;
+  // Intersection-kernel totals over all completed queries (see the
+  // intersect_* fields of QueryStats).
+  uint64_t intersect_calls_total = 0;
+  uint64_t local_candidates_total = 0;
   uint64_t queue_peak = 0;  // high-water mark of the pending queue
   uint64_t queue_depth = 0; // currently pending
   uint64_t in_flight = 0;   // currently executing

@@ -10,9 +10,13 @@
 
 #include "gen/graph_gen.h"
 #include "gen/query_gen.h"
+#include "graph/graph_utils.h"
 #include "matching/brute_force.h"
+#include "matching/matcher.h"
+#include "matching/workspace.h"
 #include "query/stats.h"
 #include "tests/test_util.h"
+#include "util/intersect.h"
 #include "util/rng.h"
 
 namespace sgq {
@@ -121,6 +125,140 @@ TEST(EngineAgreementTest, AllEnginesAgreeOnRandomizedDatabases) {
         // candidate counts are bounded by |D| and bounded below by |A|.
         EXPECT_GE(r.stats.num_candidates, r.answers.size());
       }
+    }
+  }
+}
+
+// RAII guard: restores the process-wide extension path and SIMD flag so a
+// failing assertion cannot leak a non-default configuration into later tests.
+struct ExtensionPathGuard {
+  const ExtensionPath saved_path = DefaultExtensionPath();
+  const bool saved_simd = IntersectSimdEnabled();
+  ~ExtensionPathGuard() {
+    SetDefaultExtensionPath(saved_path);
+    SetIntersectSimdEnabled(saved_simd);
+  }
+};
+
+TEST(ExtensionPathDeterminismTest, EnginesAgreeAcrossPathsAndSimd) {
+  // The probe, intersection, and adaptive extension paths (with and without
+  // the SIMD kernels) must be observationally identical through unmodified
+  // engines: same answers, same candidate counts, same SI-test counts.
+  ExtensionPathGuard guard;
+  SyntheticParams params;
+  params.num_graphs = 40;
+  params.vertices_per_graph = 30;
+  params.degree = 4.0;
+  params.num_labels = 4;
+  params.seed = 77;
+  const GraphDatabase db = GenerateSyntheticDatabase(params);
+  std::vector<Graph> queries;
+  Rng rng(55);
+  while (queries.size() < 5) {
+    Graph q;
+    if (GenerateQuery(db, queries.size() % 2 == 0 ? QueryKind::kSparse
+                                                  : QueryKind::kDense,
+                      6, &rng, &q)) {
+      queries.push_back(std::move(q));
+    }
+  }
+
+  struct Config {
+    ExtensionPath path;
+    bool simd;
+    const char* name;
+  };
+  const Config configs[] = {
+      {ExtensionPath::kProbe, true, "probe"},
+      {ExtensionPath::kIntersect, true, "intersect"},
+      {ExtensionPath::kAdaptive, true, "adaptive"},
+      {ExtensionPath::kIntersect, false, "intersect-scalar"},
+      {ExtensionPath::kAdaptive, false, "adaptive-scalar"},
+  };
+  for (const std::string& engine_name :
+       {std::string("GraphQL"), std::string("CFQL")}) {
+    std::vector<QueryResult> expected;
+    for (const Config& config : configs) {
+      SetDefaultExtensionPath(config.path);
+      SetIntersectSimdEnabled(config.simd);
+      auto engine = MakeEngine(engine_name);
+      ASSERT_TRUE(engine->Prepare(db, Deadline::Infinite()));
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const QueryResult r = engine->Query(queries[i]);
+        if (expected.size() <= i) {
+          expected.push_back(r);
+          continue;
+        }
+        SCOPED_TRACE(::testing::Message() << engine_name << " config="
+                                          << config.name << " query=" << i);
+        EXPECT_EQ(r.answers, expected[i].answers);
+        EXPECT_EQ(r.stats.num_candidates, expected[i].stats.num_candidates);
+        EXPECT_EQ(r.stats.si_tests, expected[i].stats.si_tests);
+      }
+    }
+  }
+}
+
+TEST(ExtensionPathDeterminismTest, EmbeddingsAndFirstMappingBitIdentical) {
+  // Stronger than answer-set equality: full embedding counts, the first
+  // embedding's mapping, and the visited search-tree size must match across
+  // every path/SIMD combination.
+  ExtensionPathGuard guard;
+  Rng rng(121);
+  std::vector<Label> labels = {0, 1, 2};
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph q = GenerateRandomGraph(5, 2.0, labels, &rng);
+    if (!IsConnected(q)) continue;
+    const Graph g = GenerateRandomGraph(60, 5.0, labels, &rng);
+    CandidateSets phi(q.NumVertices());
+    for (VertexId u = 0; u < q.NumVertices(); ++u) {
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        if (g.label(v) == q.label(u)) phi.mutable_set(u).push_back(v);
+      }
+    }
+    if (!phi.AllNonEmpty()) continue;
+    const std::vector<VertexId> order = JoinBasedOrder(q, phi);
+
+    struct Run {
+      EnumerateResult result;
+      std::vector<VertexId> first_mapping;
+      std::vector<std::vector<VertexId>> all;
+    };
+    auto run_path = [&](ExtensionPath path, bool simd) {
+      SetIntersectSimdEnabled(simd);
+      Run run;
+      MatchWorkspace ws;
+      run.result = BacktrackOverCandidates(
+          q, g, phi, order, UINT64_MAX, nullptr,
+          [&](const std::vector<VertexId>& m) {
+            if (run.all.empty()) run.first_mapping = m;
+            run.all.push_back(m);
+          },
+          &ws, path);
+      return run;
+    };
+
+    const Run probe = run_path(ExtensionPath::kProbe, true);
+    for (const auto& [path, simd] :
+         {std::pair{ExtensionPath::kIntersect, true},
+          std::pair{ExtensionPath::kIntersect, false},
+          std::pair{ExtensionPath::kAdaptive, true},
+          std::pair{ExtensionPath::kAdaptive, false}}) {
+      const Run other = run_path(path, simd);
+      SCOPED_TRACE(::testing::Message()
+                   << "trial=" << trial << " path=" << static_cast<int>(path)
+                   << " simd=" << simd);
+      EXPECT_EQ(other.result.embeddings, probe.result.embeddings);
+      EXPECT_EQ(other.result.recursion_calls, probe.result.recursion_calls);
+      EXPECT_EQ(other.first_mapping, probe.first_mapping);
+      EXPECT_EQ(other.all, probe.all);  // same embeddings in the same order
+    }
+    // The intersection path must actually exercise the kernels somewhere in
+    // this sweep (dense-enough queries have backward neighbors beyond the
+    // tree edge), otherwise the comparison above is vacuous.
+    const Run isect = run_path(ExtensionPath::kIntersect, true);
+    if (q.NumEdges() >= q.NumVertices()) {
+      EXPECT_GT(isect.result.intersect_calls, 0u);
     }
   }
 }

@@ -1,0 +1,176 @@
+// Property tests for the adaptive sorted-set intersection kernels
+// (util/intersect.h): every variant must agree exactly with
+// std::set_intersection on strictly-increasing uint32 inputs, across sizes,
+// size skews, and overlap shapes — including the SIMD path when the host
+// CPU supports it, the scalar path with SIMD force-disabled, and the
+// empty/disjoint/subset edge cases.
+#include "util/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sgq {
+namespace {
+
+std::vector<uint32_t> Reference(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// A strictly increasing sequence of `n` values drawn from [0, universe).
+std::vector<uint32_t> RandomSorted(size_t n, uint32_t universe, Rng* rng) {
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    out.push_back(rng->NextBounded(universe));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// Runs every kernel variant on (a, b) and checks each against the reference.
+void CheckAllKernels(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b) {
+  const std::vector<uint32_t> expected = Reference(a, b);
+  std::vector<uint32_t> out = {0xdeadbeef};  // must be cleared by the kernel
+
+  IntersectMergeInto(a, b, &out);
+  EXPECT_EQ(out, expected) << "merge";
+  IntersectMergeInto(b, a, &out);
+  EXPECT_EQ(out, expected) << "merge swapped";
+
+  IntersectGallopInto(a, b, &out);
+  EXPECT_EQ(out, expected) << "gallop";
+  IntersectGallopInto(b, a, &out);
+  EXPECT_EQ(out, expected) << "gallop swapped";
+
+  IntersectSimdInto(a, b, &out);
+  EXPECT_EQ(out, expected) << "simd";
+  IntersectSimdInto(b, a, &out);
+  EXPECT_EQ(out, expected) << "simd swapped";
+
+  IntersectCounters counters;
+  IntersectInto(a, b, &out, &counters);
+  EXPECT_EQ(out, expected) << "adaptive";
+  // An empty operand short-circuits before dispatch, so no kernel (and no
+  // dispatch counter) fires; otherwise exactly one kernel ran.
+  const uint64_t dispatches = a.empty() || b.empty() ? 0u : 1u;
+  EXPECT_EQ(counters.calls, dispatches);
+  EXPECT_EQ(counters.merge_calls + counters.gallop_calls +
+                counters.simd_calls,
+            dispatches);
+  EXPECT_EQ(counters.output_elems, expected.size());
+  IntersectInto(b, a, &out, &counters);
+  EXPECT_EQ(out, expected) << "adaptive swapped";
+
+  EXPECT_EQ(IntersectNonEmpty(a, b), !expected.empty());
+  EXPECT_EQ(IntersectNonEmpty(b, a), !expected.empty());
+}
+
+TEST(IntersectTest, EdgeCases) {
+  const std::vector<uint32_t> empty;
+  const std::vector<uint32_t> one = {7};
+  const std::vector<uint32_t> evens = {0, 2, 4, 6, 8, 10, 12, 14, 16, 18};
+  const std::vector<uint32_t> odds = {1, 3, 5, 7, 9, 11, 13, 15, 17, 19};
+  const std::vector<uint32_t> inner = {4, 6, 8};
+
+  CheckAllKernels(empty, empty);
+  CheckAllKernels(empty, evens);
+  CheckAllKernels(one, odds);       // singleton hit
+  CheckAllKernels(one, evens);      // singleton miss
+  CheckAllKernels(evens, odds);     // interleaved, fully disjoint
+  CheckAllKernels(inner, evens);    // strict subset
+  CheckAllKernels(evens, evens);    // identical
+  // Disjoint ranges: a entirely below b.
+  CheckAllKernels({1, 2, 3}, {100, 200, 300});
+}
+
+TEST(IntersectTest, RandomizedAgainstStdSetIntersection) {
+  Rng rng(99);
+  // (|a|, |b|) pairs spanning the dispatcher's regimes: comparable sizes
+  // (merge/SIMD), skews beyond kIntersectGallopRatio (gallop), and sizes
+  // straddling kIntersectSimdMin.
+  const std::pair<size_t, size_t> shapes[] = {
+      {3, 5},     {15, 17},   {64, 64},    {100, 1000}, {5, 500},
+      {2, 10000}, {800, 803}, {1000, 1000}, {1, 4096},  {33, 2000}};
+  for (const auto& [na, nb] : shapes) {
+    for (uint32_t universe : {64u, 1024u, 1u << 20}) {
+      for (int trial = 0; trial < 8; ++trial) {
+        const auto a = RandomSorted(na, universe, &rng);
+        const auto b = RandomSorted(nb, universe, &rng);
+        CheckAllKernels(a, b);
+      }
+    }
+  }
+}
+
+TEST(IntersectTest, ScalarPathMatchesWithSimdDisabled) {
+  // Force the scalar fallback and re-run the randomized sweep; afterwards
+  // restore the default so test order does not matter.
+  const bool was_enabled = IntersectSimdEnabled();
+  SetIntersectSimdEnabled(false);
+  EXPECT_FALSE(IntersectSimdEnabled());
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = RandomSorted(1 + rng.NextBounded(300), 4096, &rng);
+    const auto b = RandomSorted(1 + rng.NextBounded(300), 4096, &rng);
+    CheckAllKernels(a, b);
+  }
+  SetIntersectSimdEnabled(was_enabled);
+  EXPECT_EQ(IntersectSimdEnabled(), was_enabled);
+}
+
+TEST(IntersectTest, AdaptiveDispatchRespectsGallopRatio) {
+  Rng rng(3);
+  const auto small_list = RandomSorted(4, 1 << 16, &rng);
+  const auto large = RandomSorted(4 * kIntersectGallopRatio + 64, 1 << 16,
+                                  &rng);
+  IntersectCounters counters;
+  std::vector<uint32_t> out;
+  IntersectInto(small_list, large, &out, &counters);
+  EXPECT_EQ(counters.gallop_calls, 1u) << "skewed sizes must gallop";
+
+  const auto peer = RandomSorted(large.size(), 1 << 16, &rng);
+  IntersectCounters counters2;
+  IntersectInto(large, peer, &out, &counters2);
+  EXPECT_EQ(counters2.gallop_calls, 0u)
+      << "comparable sizes must use the (possibly vectorized) merge";
+  EXPECT_EQ(counters2.merge_calls + counters2.simd_calls, 1u);
+}
+
+TEST(IntersectTest, BitmapAndStampVariants) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint32_t universe = 512;
+    const auto list = RandomSorted(1 + rng.NextBounded(200), universe, &rng);
+    const auto members = RandomSorted(1 + rng.NextBounded(200), universe, &rng);
+    const auto expected = Reference(list, members);
+
+    std::vector<uint8_t> bitmap(universe, 0);
+    for (uint32_t v : members) bitmap[v] = 1;
+    std::vector<uint32_t> out = {123};
+    IntersectBitmapInto(list, bitmap, &out);
+    EXPECT_EQ(out, expected) << "bitmap";
+
+    // Stamp rows: only cells stamped with the *current* epoch count, so
+    // leftovers from a previous epoch must not leak in.
+    const uint32_t epoch = 5;
+    std::vector<uint32_t> stamps(universe, epoch - 1);  // stale everywhere
+    for (uint32_t v : members) stamps[v] = epoch;
+    IntersectStampInto(list, stamps, epoch, &out);
+    EXPECT_EQ(out, expected) << "stamp";
+  }
+}
+
+}  // namespace
+}  // namespace sgq

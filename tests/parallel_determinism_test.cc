@@ -10,8 +10,10 @@
 #include "gen/graph_gen.h"
 #include "gen/query_gen.h"
 #include "matching/cfql.h"
+#include "matching/matcher.h"
 #include "query/engine_factory.h"
 #include "query/parallel_vcfv_engine.h"
+#include "util/intersect.h"
 #include "util/rng.h"
 
 namespace sgq {
@@ -97,6 +99,50 @@ TEST(ParallelDeterminismTest, RepeatedQueriesOnOneEngineAreStable) {
     EXPECT_EQ(again.stats.num_candidates, first[i].stats.num_candidates);
     EXPECT_EQ(again.stats.si_tests, first[i].stats.si_tests);
   }
+}
+
+TEST(ParallelDeterminismTest, ExtensionPathsAgreeUnderParallelism) {
+  // The intersection-based extension step must not perturb parallel
+  // determinism: every extension path (and the scalar-kernel fallback)
+  // through the parallel engine reproduces the serial probe-path result.
+  const ExtensionPath saved_path = DefaultExtensionPath();
+  const bool saved_simd = IntersectSimdEnabled();
+  const GraphDatabase db = MakeDb(19, 56);
+  const std::vector<Graph> queries = MakeQueries(db, 4, 37);
+
+  SetDefaultExtensionPath(ExtensionPath::kProbe);
+  auto serial = MakeEngine("CFQL");
+  ASSERT_TRUE(serial->Prepare(db, Deadline::Infinite()));
+  std::vector<QueryResult> expected;
+  for (const Graph& q : queries) expected.push_back(serial->Query(q));
+
+  struct Config {
+    ExtensionPath path;
+    bool simd;
+  };
+  for (const Config& config :
+       {Config{ExtensionPath::kIntersect, true},
+        Config{ExtensionPath::kAdaptive, true},
+        Config{ExtensionPath::kIntersect, false}}) {
+    SetDefaultExtensionPath(config.path);
+    SetIntersectSimdEnabled(config.simd);
+    ParallelVcfvEngine parallel(
+        "CFQL-parallel", [] { return std::make_unique<CfqlMatcher>(); }, 4, 3);
+    ASSERT_TRUE(parallel.Prepare(db, Deadline::Infinite()));
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const QueryResult actual =
+          parallel.Query(queries[i], Deadline::Infinite());
+      SCOPED_TRACE(::testing::Message()
+                   << "path=" << static_cast<int>(config.path)
+                   << " simd=" << config.simd << " query=" << i);
+      EXPECT_EQ(actual.answers, expected[i].answers);
+      EXPECT_EQ(actual.stats.num_candidates,
+                expected[i].stats.num_candidates);
+      EXPECT_EQ(actual.stats.si_tests, expected[i].stats.si_tests);
+    }
+  }
+  SetDefaultExtensionPath(saved_path);
+  SetIntersectSimdEnabled(saved_simd);
 }
 
 TEST(ParallelDeterminismTest, WorkspaceHitRateClimbsAfterWarmup) {
