@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark) for the query-result cache stack:
+// canonical-hash throughput over realistic query shapes (the per-request
+// cost every cache lookup pays, hit or miss), hot-key lookup latency (the
+// full cost of serving a repeated query from cache), and insert/evict
+// churn under a tight byte budget. Canonicalization arg is the query edge
+// count; sparse (tree-like) and dense variants bracket the workload.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/canonical.h"
+#include "cache/result_cache.h"
+#include "gen/graph_gen.h"
+#include "gen/query_gen.h"
+
+namespace {
+
+using namespace sgq;
+
+GraphDatabase BenchDb() {
+  SyntheticParams params;
+  params.num_graphs = 50;
+  params.vertices_per_graph = 64;
+  params.degree = 4.0;
+  params.num_labels = 8;
+  params.seed = 17;
+  return GenerateSyntheticDatabase(params);
+}
+
+std::vector<Graph> Queries(QueryKind kind, uint32_t num_edges) {
+  const GraphDatabase db = BenchDb();
+  return GenerateQuerySet(db, kind, num_edges, /*count=*/32, /*seed=*/3)
+      .queries;
+}
+
+void BM_CanonicalizeSparse(benchmark::State& state) {
+  const std::vector<Graph> queries =
+      Queries(QueryKind::kSparse, static_cast<uint32_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CanonicalQueryHash(queries[i]));
+    i = (i + 1) % queries.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CanonicalizeSparse)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CanonicalizeDense(benchmark::State& state) {
+  const std::vector<Graph> queries =
+      Queries(QueryKind::kDense, static_cast<uint32_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CanonicalQueryHash(queries[i]));
+    i = (i + 1) % queries.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CanonicalizeDense)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+CacheKey KeyFor(uint64_t id) {
+  CacheKey key;
+  key.engine = "CFQL";
+  key.hash = {id * 0x9E3779B97F4A7C15ull, id};
+  return key;
+}
+
+QueryResult ResultOfSize(size_t num_answers) {
+  QueryResult result;
+  result.answers.resize(num_answers);
+  for (size_t i = 0; i < num_answers; ++i) {
+    result.answers[i] = static_cast<GraphId>(i);
+  }
+  return result;
+}
+
+// End-to-end cost of serving a repeated query from cache: canonicalize
+// the query, then hit the hot entry. Arg is the answer count (copy size).
+void BM_HotKeyLookup(benchmark::State& state) {
+  const std::vector<Graph> queries = Queries(QueryKind::kSparse, 8);
+  CacheConfig config;
+  ResultCache cache(config);
+  CacheKey key;
+  key.engine = "CFQL";
+  key.hash = CanonicalQueryHash(queries[0]);
+  cache.Insert(key, ResultOfSize(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    CacheKey probe;
+    probe.engine = "CFQL";
+    probe.hash = CanonicalQueryHash(queries[0]);
+    QueryResult out;
+    benchmark::DoNotOptimize(cache.Lookup(probe, &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotKeyLookup)->Arg(1)->Arg(64)->Arg(1024);
+
+// Steady-state churn: every insert on a full shard evicts the LRU tail.
+void BM_InsertEvictChurn(benchmark::State& state) {
+  CacheConfig config;
+  config.max_bytes = 64 << 10;
+  config.shards = 1;
+  ResultCache cache(config);
+  const QueryResult result = ResultOfSize(16);
+  uint64_t id = 0;
+  for (auto _ : state) {
+    cache.Insert(KeyFor(id++), result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InsertEvictChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

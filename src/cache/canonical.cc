@@ -1,0 +1,260 @@
+#include "cache/canonical.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace sgq {
+
+namespace {
+
+// SplitMix64 finalizer: the color-mixing primitive. Every color is a pure
+// function of isomorphism-invariant inputs, so equal-up-to-relabeling
+// graphs produce identical color multisets.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashBytes(const std::string& bytes, uint64_t seed) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(bytes.data());
+  size_t len = bytes.size();
+  uint64_t h = seed ^ Mix64(len);
+  while (len >= 8) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    h = Mix64(h ^ Mix64(k));
+    p += 8;
+    len -= 8;
+  }
+  uint64_t tail = 0;
+  if (len > 0) std::memcpy(&tail, p, len);
+  return Mix64(h ^ Mix64(tail ^ len));
+}
+
+void AppendU32(std::string* out, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);
+  out->append(buf, 4);
+}
+
+size_t CountDistinct(std::vector<uint64_t> colors) {
+  std::sort(colors.begin(), colors.end());
+  return static_cast<size_t>(
+      std::unique(colors.begin(), colors.end()) - colors.begin());
+}
+
+// The tiebreak search: place vertices class by class (classes in invariant
+// color order), exploring every within-class choice whose adjacency row —
+// the sorted positions of its already-placed neighbors — is minimal at its
+// position, and keeping the lexicographically smallest complete row
+// sequence. Rows are compared as (length, elements) encoded sequences, the
+// exact order they take in the final encoding.
+class TiebreakSearch {
+ public:
+  TiebreakSearch(const Graph& graph, std::vector<VertexId> layout,
+                 std::vector<uint32_t> class_of_pos, uint64_t budget)
+      : graph_(graph),
+        layout_(std::move(layout)),
+        class_of_pos_(std::move(class_of_pos)),
+        budget_(budget),
+        placed_(graph.NumVertices(), false),
+        pos_of_(graph.NumVertices(), 0),
+        rows_(graph.NumVertices()),
+        perm_(graph.NumVertices(), 0) {}
+
+  void Run() {
+    if (graph_.NumVertices() == 0) {
+      have_best_ = true;
+      return;
+    }
+    // Start in "tight" mode: until a first complete ordering exists there
+    // is nothing to compare against, and once one is recorded, every
+    // still-open sibling branch shares its row prefix (all explored
+    // candidates at a position share the minimal row), so comparing
+    // against best_rows_ from the divergence point onward is exact.
+    Descend(0, /*prefix_smaller=*/false);
+  }
+
+  const std::vector<std::vector<uint32_t>>& best_rows() const {
+    return best_rows_;
+  }
+  const std::vector<VertexId>& best_perm() const { return best_perm_; }
+  bool exact() const { return exact_; }
+  uint64_t nodes() const { return nodes_; }
+
+ private:
+  // Encoded-row order: shorter rows sort first, then element-wise.
+  static int CompareRows(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b) {
+    if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+    }
+    return 0;
+  }
+
+  std::vector<uint32_t> RowOf(VertexId v) const {
+    std::vector<uint32_t> row;
+    for (const VertexId w : graph_.Neighbors(v)) {
+      if (placed_[w]) row.push_back(pos_of_[w]);
+    }
+    std::sort(row.begin(), row.end());
+    return row;
+  }
+
+  // `prefix_smaller` is true when rows_[0..pos) is already strictly below
+  // best_rows_ (or no best exists yet): the branch wins regardless, so only
+  // within-branch minimality matters. Otherwise the prefix ties best_rows_
+  // and each position is checked against it.
+  void Descend(uint32_t pos, bool prefix_smaller) {
+    const uint32_t n = graph_.NumVertices();
+    if (pos == n) {
+      if (prefix_smaller || !have_best_) {
+        best_rows_ = rows_;
+        best_perm_ = perm_;
+        have_best_ = true;
+      }
+      return;
+    }
+    const uint32_t cls = class_of_pos_[pos];
+    // Candidates: unplaced members of this position's class, keeping only
+    // those whose row is minimal — any larger row loses at this position.
+    std::vector<VertexId> minimal;
+    std::vector<uint32_t> min_row;
+    bool first = true;
+    for (uint32_t i = 0; i < n; ++i) {
+      const VertexId v = layout_[i];
+      if (class_of_pos_[i] != cls || placed_[v]) continue;
+      std::vector<uint32_t> row = RowOf(v);
+      if (first) {
+        min_row = std::move(row);
+        minimal.assign(1, v);
+        first = false;
+        continue;
+      }
+      const int cmp = CompareRows(row, min_row);
+      if (cmp < 0) {
+        min_row = std::move(row);
+        minimal.assign(1, v);
+      } else if (cmp == 0) {
+        minimal.push_back(v);
+      }
+    }
+    bool smaller = prefix_smaller;
+    if (!smaller && have_best_) {
+      const int cmp = CompareRows(min_row, best_rows_[pos]);
+      if (cmp > 0) return;  // cannot reach the current best from here
+      if (cmp < 0) smaller = true;
+    }
+    for (const VertexId v : minimal) {
+      ++nodes_;
+      placed_[v] = true;
+      pos_of_[v] = pos;
+      perm_[pos] = v;
+      rows_[pos] = min_row;
+      Descend(pos + 1, smaller);
+      placed_[v] = false;
+      if (nodes_ > budget_) {
+        // Budget exhausted: finish greedily (first minimal candidate only)
+        // and stop branching. The result is still a valid complete
+        // encoding, just not guaranteed relabeling-invariant.
+        exact_ = false;
+        break;
+      }
+    }
+  }
+
+  const Graph& graph_;
+  const std::vector<VertexId> layout_;
+  const std::vector<uint32_t> class_of_pos_;
+  const uint64_t budget_;
+
+  std::vector<bool> placed_;
+  std::vector<uint32_t> pos_of_;
+  std::vector<std::vector<uint32_t>> rows_;
+  std::vector<VertexId> perm_;
+
+  std::vector<std::vector<uint32_t>> best_rows_;
+  std::vector<VertexId> best_perm_;
+  bool have_best_ = false;
+  bool exact_ = true;
+  uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+CanonicalForm Canonicalize(const Graph& graph, uint64_t search_budget) {
+  const uint32_t n = graph.NumVertices();
+  CanonicalForm form;
+
+  // --- 1. Color refinement ---
+  std::vector<uint64_t> colors(n);
+  for (VertexId v = 0; v < n; ++v) {
+    colors[v] = Mix64(0x5CA1AB1Eull ^ Mix64(graph.label(v)));
+  }
+  size_t distinct = CountDistinct(colors);
+  std::vector<uint64_t> next(n);
+  std::vector<uint64_t> neighbor_colors;
+  for (uint32_t round = 0; round < n && distinct < n; ++round) {
+    for (VertexId v = 0; v < n; ++v) {
+      neighbor_colors.clear();
+      for (const VertexId w : graph.Neighbors(v)) {
+        neighbor_colors.push_back(colors[w]);
+      }
+      std::sort(neighbor_colors.begin(), neighbor_colors.end());
+      uint64_t h = Mix64(colors[v] ^ 0xC0FFEEull);
+      for (const uint64_t c : neighbor_colors) h = Mix64(h ^ Mix64(c));
+      next[v] = h;
+    }
+    colors.swap(next);
+    ++form.refinement_rounds;
+    const size_t now_distinct = CountDistinct(colors);
+    if (now_distinct == distinct) break;  // partition is stable
+    distinct = now_distinct;
+  }
+
+  // --- 2. Invariant class layout: vertices grouped by color, classes in
+  // ascending color order. Positions 0..n-1 draw from these classes in
+  // sequence; the search permutes only within a class.
+  std::vector<VertexId> layout(n);
+  for (VertexId v = 0; v < n; ++v) layout[v] = v;
+  std::sort(layout.begin(), layout.end(), [&](VertexId a, VertexId b) {
+    return colors[a] != colors[b] ? colors[a] < colors[b] : a < b;
+  });
+  std::vector<uint32_t> class_of_pos(n, 0);
+  for (uint32_t i = 1; i < n; ++i) {
+    class_of_pos[i] = class_of_pos[i - 1] +
+                      (colors[layout[i]] != colors[layout[i - 1]] ? 1 : 0);
+  }
+
+  // --- 3. Bounded minimal-encoding search ---
+  TiebreakSearch search(graph, layout, class_of_pos, search_budget);
+  search.Run();
+  form.exact = search.exact();
+  form.search_nodes = search.nodes();
+
+  // --- 4. Complete encoding: (n, m) header, then per position the vertex
+  // label and its adjacency row against earlier positions. This determines
+  // the graph up to isomorphism, so equal encodings => isomorphic graphs.
+  form.encoding.reserve(8 + n * 8);
+  AppendU32(&form.encoding, n);
+  AppendU32(&form.encoding, static_cast<uint32_t>(graph.NumEdges()));
+  for (uint32_t pos = 0; pos < n; ++pos) {
+    AppendU32(&form.encoding, graph.label(search.best_perm()[pos]));
+    const std::vector<uint32_t>& row = search.best_rows()[pos];
+    AppendU32(&form.encoding, static_cast<uint32_t>(row.size()));
+    for (const uint32_t p : row) AppendU32(&form.encoding, p);
+  }
+  form.hash.lo = HashBytes(form.encoding, 0x8BADF00Dull);
+  form.hash.hi = HashBytes(form.encoding, 0xFEEDFACEull);
+  return form;
+}
+
+CanonicalHash CanonicalQueryHash(const Graph& graph) {
+  return Canonicalize(graph).hash;
+}
+
+}  // namespace sgq

@@ -1,0 +1,77 @@
+// Canonicalization of query graphs for the result cache: two queries that
+// are isomorphic (identical up to a relabeling of vertex ids) must map to
+// the same cache key, and two non-isomorphic queries must never collide.
+//
+// The pipeline is the classic one from practical graph-isomorphism codes
+// (nauty-style, cut down for the small query graphs of this workload):
+//
+//   1. Iterative color refinement (1-dimensional Weisfeiler–Leman): every
+//      vertex starts with a color derived from its label, then repeatedly
+//      absorbs the sorted multiset of its neighbors' colors until the
+//      partition into color classes stops splitting. The resulting colors
+//      are isomorphism-invariant by construction.
+//   2. A bounded permutation-search tiebreak: vertices are laid out class
+//      by class (classes in invariant order); within a class every
+//      placement that yields the lexicographically minimal adjacency row
+//      is explored, so the final ordering minimizes the full encoding.
+//      The search is exact for the partition — it only permutes within
+//      classes — and is budgeted: past `search_budget` explored nodes it
+//      degrades to a greedy first-minimal choice and reports
+//      `exact == false`.
+//
+// The canonical *encoding* is a complete description of the graph (labels
+// plus the adjacency structure under the chosen order), so equal encodings
+// imply isomorphic graphs even when the search budget was exhausted — an
+// inexact form can only cost cache hits (an isomorphic relabeling may
+// encode differently), never correctness. The 128-bit hash over the
+// encoding is what the cache keys on; a collision requires either equal
+// encodings (isomorphic, by completeness) or a 2^-128 hash accident.
+#ifndef SGQ_CACHE_CANONICAL_H_
+#define SGQ_CACHE_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace sgq {
+
+struct CanonicalHash {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const CanonicalHash& a, const CanonicalHash& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const CanonicalHash& a, const CanonicalHash& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const CanonicalHash& a, const CanonicalHash& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+struct CanonicalForm {
+  CanonicalHash hash;     // 128-bit hash of `encoding`
+  std::string encoding;   // complete: reconstructs the graph up to iso
+  bool exact = true;      // tiebreak search finished within budget
+  uint32_t refinement_rounds = 0;
+  uint64_t search_nodes = 0;  // tiebreak branches explored
+};
+
+// Nodes the tiebreak search may explore before degrading to greedy. Query
+// graphs in this workload have <= ~35 vertices and refinement usually
+// leaves singleton classes, so the default is generous; even fully
+// regular 35-vertex graphs stay exact well below it.
+inline constexpr uint64_t kDefaultCanonicalSearchBudget = 1 << 15;
+
+CanonicalForm Canonicalize(
+    const Graph& graph,
+    uint64_t search_budget = kDefaultCanonicalSearchBudget);
+
+// Convenience: just the hash (what the result cache keys on).
+CanonicalHash CanonicalQueryHash(const Graph& graph);
+
+}  // namespace sgq
+
+#endif  // SGQ_CACHE_CANONICAL_H_

@@ -1,0 +1,141 @@
+#include "cache/result_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sgq {
+
+bool CacheEnabledByEnv() {
+  static const bool enabled = [] {
+    const char* value = std::getenv("SGQ_CACHE");
+    if (value == nullptr) return true;
+    return std::strcmp(value, "off") != 0 && std::strcmp(value, "0") != 0 &&
+           std::strcmp(value, "false") != 0 && std::strcmp(value, "OFF") != 0;
+  }();
+  return enabled;
+}
+
+std::string CacheStatsSnapshot::ToJson() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"enabled\":%s,\"hits\":%llu,\"misses\":%llu,\"inserts\":%llu,"
+      "\"evictions\":%llu,\"invalidated\":%llu,\"entries\":%llu,"
+      "\"bytes\":%llu,\"capacity_bytes\":%llu,\"epoch\":%llu,"
+      "\"singleflight_shared\":%llu,\"singleflight_waiting\":%llu}",
+      enabled ? "true" : "false", static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses),
+      static_cast<unsigned long long>(inserts),
+      static_cast<unsigned long long>(evictions),
+      static_cast<unsigned long long>(invalidated),
+      static_cast<unsigned long long>(entries),
+      static_cast<unsigned long long>(bytes),
+      static_cast<unsigned long long>(capacity_bytes),
+      static_cast<unsigned long long>(epoch),
+      static_cast<unsigned long long>(singleflight_shared),
+      static_cast<unsigned long long>(singleflight_waiting));
+  return buf;
+}
+
+size_t CachedResultBytes(const CacheKey& key, const QueryResult& result) {
+  return sizeof(CacheKey) + key.engine.size() +
+         sizeof(QueryResult) + result.answers.size() * sizeof(GraphId) +
+         // list node + hash-map slot overhead, estimated
+         4 * sizeof(void*);
+}
+
+ResultCache::ResultCache(CacheConfig config)
+    : config_(config),
+      enabled_(config.enabled && config.max_bytes > 0 &&
+               CacheEnabledByEnv()),
+      shard_budget_(config.max_bytes /
+                    std::max<uint32_t>(1, config.shards)) {
+  const uint32_t shards = std::max<uint32_t>(1, config_.shards);
+  shards_.reserve(shards);
+  for (uint32_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool ResultCache::Lookup(const CacheKey& key, QueryResult* out) {
+  if (!enabled_) return false;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->result;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResultCache::Insert(const CacheKey& key, const QueryResult& result) {
+  if (!enabled_) return;
+  const size_t bytes = CachedResultBytes(key, result);
+  if (bytes > shard_budget_) return;  // would evict the whole shard for one key
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  shard.lru.push_front(Entry{key, result, bytes});
+  shard.map.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ResultCache::PurgeAll(std::atomic<uint64_t>* counter) {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    counter->fetch_add(shard->lru.size(), std::memory_order_relaxed);
+    shard->map.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+}
+
+uint64_t ResultCache::AdvanceEpoch() {
+  // Advance first: new lookups/inserts key on the new epoch immediately,
+  // and stale entries become unreachable even before the purge walks the
+  // shards.
+  const uint64_t next = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  PurgeAll(&invalidated_);
+  return next;
+}
+
+void ResultCache::Clear() { PurgeAll(&invalidated_); }
+
+CacheStatsSnapshot ResultCache::Stats() const {
+  CacheStatsSnapshot snapshot;
+  snapshot.enabled = enabled_;
+  snapshot.hits = hits_.load(std::memory_order_relaxed);
+  snapshot.misses = misses_.load(std::memory_order_relaxed);
+  snapshot.inserts = inserts_.load(std::memory_order_relaxed);
+  snapshot.evictions = evictions_.load(std::memory_order_relaxed);
+  snapshot.invalidated = invalidated_.load(std::memory_order_relaxed);
+  snapshot.capacity_bytes = enabled_ ? config_.max_bytes : 0;
+  snapshot.epoch = epoch_.load(std::memory_order_acquire);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    snapshot.entries += shard->lru.size();
+    snapshot.bytes += shard->bytes;
+  }
+  return snapshot;
+}
+
+}  // namespace sgq

@@ -1,0 +1,165 @@
+// Query-result cache: maps (db epoch, engine name, canonical query hash)
+// to a completed QueryResult so repeated — or isomorphically relabeled —
+// queries skip the whole filtering/verification pipeline.
+//
+// Design:
+//   * Sharded LRU. Keys are spread over `shards` independent shards, each
+//     with its own mutex, hash map, and recency list, so concurrent
+//     workers do not serialize on one lock. The byte budget is split
+//     evenly; a shard evicts from its own LRU tail when over budget.
+//   * Epoch-based bulk invalidation. The key embeds the database epoch;
+//     RELOAD advances the epoch (AdvanceEpoch), making every prior entry
+//     unreachable in O(1), and eagerly purges the shards to release
+//     memory. A result computed against the old database can only ever be
+//     inserted under the old epoch (callers capture the epoch before
+//     executing), so a reload can never be polluted by stragglers.
+//   * Exact keys. Lookup compares the full key (epoch, engine, 128-bit
+//     canonical hash), so distinct engines and distinct epochs never
+//     cross-talk even on a hash accident.
+//
+// The cache stores only *completed* results — callers must skip TIMEOUT /
+// OOT results, which are partial relative to one request's deadline.
+//
+// The `SGQ_CACHE` environment variable ("off" / "0" / "false") force-
+// disables every cache instance regardless of configuration; the CI
+// cache-off leg uses it to prove results are bit-identical without caching.
+#ifndef SGQ_CACHE_RESULT_CACHE_H_
+#define SGQ_CACHE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/canonical.h"
+#include "query/stats.h"
+
+namespace sgq {
+
+// True unless the SGQ_CACHE environment variable disables caching
+// process-wide. Read once on first use.
+bool CacheEnabledByEnv();
+
+struct CacheConfig {
+  bool enabled = true;
+  // Total byte budget across all shards; 0 disables the cache.
+  size_t max_bytes = 64ull << 20;
+  uint32_t shards = 8;
+};
+
+struct CacheKey {
+  uint64_t epoch = 0;
+  std::string engine;  // engine name (clones share one prepared database)
+  CanonicalHash hash;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    return a.epoch == b.epoch && a.hash == b.hash && a.engine == b.engine;
+  }
+};
+
+struct CacheKeyHasher {
+  size_t operator()(const CacheKey& key) const {
+    uint64_t h = key.hash.lo ^ (key.hash.hi * 0x9E3779B97F4A7C15ull) ^
+                 (key.epoch * 0xBF58476D1CE4E5B9ull);
+    for (const char c : key.engine) h = (h ^ static_cast<uint8_t>(c)) * 31;
+    return static_cast<size_t>(h);
+  }
+};
+
+// Counter snapshot; also the `cache` section of the service's STATS reply.
+struct CacheStatsSnapshot {
+  bool enabled = false;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;    // LRU byte-budget evictions
+  uint64_t invalidated = 0;  // entries purged by AdvanceEpoch / Clear
+  uint64_t entries = 0;
+  size_t bytes = 0;
+  size_t capacity_bytes = 0;
+  uint64_t epoch = 0;
+  // Filled by the service layer (the cache itself does not singleflight).
+  uint64_t singleflight_shared = 0;
+  uint64_t singleflight_waiting = 0;
+
+  std::string ToJson() const;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(CacheConfig config);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // False when configured off, budget is 0, or SGQ_CACHE disables it.
+  bool enabled() const { return enabled_; }
+
+  // Current database epoch; capture it *before* executing a query and use
+  // the captured value for both Lookup and Insert.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // On hit copies the stored result into *out, refreshes recency, and
+  // counts a hit; otherwise counts a miss. Always a miss when disabled.
+  bool Lookup(const CacheKey& key, QueryResult* out);
+
+  // Stores a completed result (callers must not insert timed-out results);
+  // overwrites an existing entry for the key, then evicts LRU entries
+  // until the shard is back under its byte budget. Entries for epochs
+  // other than the current one are accepted (they are simply unreachable
+  // after the epoch moved on — harmless, purged by the next sweep).
+  // No-op when disabled or when the entry alone exceeds a shard's budget.
+  void Insert(const CacheKey& key, const QueryResult& result);
+
+  // Bulk invalidation on RELOAD: advances the epoch (making every prior
+  // entry unreachable) and purges all shards. Returns the new epoch.
+  uint64_t AdvanceEpoch();
+
+  // CACHE CLEAR: purges all shards without advancing the epoch.
+  void Clear();
+
+  CacheStatsSnapshot Stats() const;
+
+ private:
+  struct Entry {
+    CacheKey key;
+    QueryResult result;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHasher>
+        map;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const CacheKey& key) {
+    return *shards_[key.hash.lo % shards_.size()];
+  }
+  void PurgeAll(std::atomic<uint64_t>* counter);
+
+  const CacheConfig config_;
+  const bool enabled_;
+  const size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> epoch_{0};
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidated_{0};
+};
+
+// Approximate heap footprint of one cached result (used for the budget).
+size_t CachedResultBytes(const CacheKey& key, const QueryResult& result);
+
+}  // namespace sgq
+
+#endif  // SGQ_CACHE_RESULT_CACHE_H_

@@ -1,0 +1,80 @@
+#include "cache/singleflight.h"
+
+#include <chrono>
+
+namespace sgq {
+
+struct Flight {
+  CacheKey key;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool published = false;  // false on Abort
+  QueryResult result;
+};
+
+SingleFlight::Ticket SingleFlight::Join(const CacheKey& key) {
+  Ticket ticket;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = flights_.find(key);
+  if (it != flights_.end()) {
+    ticket.leader = false;
+    ticket.flight = it->second;
+    return ticket;
+  }
+  ticket.leader = true;
+  ticket.flight = std::make_shared<Flight>();
+  ticket.flight->key = key;
+  flights_.emplace(key, ticket.flight);
+  return ticket;
+}
+
+void SingleFlight::Finish(const Ticket& ticket, const QueryResult* result) {
+  // Drop the table entry first so a request racing in after completion
+  // starts a fresh flight instead of waiting on a finished one.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = flights_.find(ticket.flight->key);
+    if (it != flights_.end() && it->second == ticket.flight) {
+      flights_.erase(it);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ticket.flight->mu);
+    if (result != nullptr) {
+      ticket.flight->result = *result;
+      ticket.flight->published = true;
+    }
+    ticket.flight->done = true;
+  }
+  ticket.flight->cv.notify_all();
+}
+
+void SingleFlight::Publish(const Ticket& ticket, const QueryResult& result) {
+  Finish(ticket, &result);
+}
+
+void SingleFlight::Abort(const Ticket& ticket) { Finish(ticket, nullptr); }
+
+bool SingleFlight::Wait(const Ticket& ticket, Deadline deadline,
+                        QueryResult* out) {
+  Flight& flight = *ticket.flight;
+  waiting_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(flight.mu);
+  while (!flight.done) {
+    const double remaining = deadline.SecondsRemaining();
+    if (remaining <= 0) break;
+    // Bounded waits only: the publish notify wakes us immediately, the
+    // cap just keeps an infinite-deadline follower re-checking cheaply.
+    const auto chunk = std::chrono::duration<double>(
+        remaining < 0.1 ? remaining : 0.1);
+    flight.cv.wait_for(lock, chunk);
+  }
+  const bool ok = flight.done && flight.published;
+  if (ok) *out = flight.result;
+  lock.unlock();
+  waiting_.fetch_sub(1, std::memory_order_relaxed);
+  return ok;
+}
+
+}  // namespace sgq

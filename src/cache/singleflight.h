@@ -1,0 +1,82 @@
+// Singleflight request deduplication: N concurrent identical requests
+// (same cache key) collapse into one engine execution. The first joiner
+// becomes the *leader* and runs the query; the others become *followers*
+// and block on the leader's published result — each bounded by its own
+// deadline, so a follower whose budget runs out while waiting gives up
+// with a timeout instead of waiting forever.
+//
+// Semantics (Go-singleflight-style, with one refinement): the leader
+// publishes whatever it produced, including a TIMEOUT. A follower adopts a
+// published OK result unconditionally; for a published TIMEOUT the *caller*
+// decides — a follower whose own deadline also expired adopts it, one with
+// remaining budget re-executes on its own (see QueryService::WorkerLoop).
+// That split keeps a short-deadline leader from clipping a long-deadline
+// follower while still collapsing the common same-deadline flood.
+//
+// Lifecycle: Join() either registers a new flight (leader) or attaches to
+// the in-table one (follower). Publish()/Abort() remove the flight from
+// the table *before* waking followers, so requests arriving after
+// completion start a fresh flight (the result cache serves them instead).
+// A Flight outlives the table entry via shared_ptr: late followers already
+// holding a ticket still observe the published value.
+#ifndef SGQ_CACHE_SINGLEFLIGHT_H_
+#define SGQ_CACHE_SINGLEFLIGHT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "cache/result_cache.h"
+#include "query/stats.h"
+#include "util/deadline.h"
+
+namespace sgq {
+
+class SingleFlight {
+ public:
+  SingleFlight() = default;
+  SingleFlight(const SingleFlight&) = delete;
+  SingleFlight& operator=(const SingleFlight&) = delete;
+
+  struct Ticket {
+    bool leader = false;
+    std::shared_ptr<struct Flight> flight;
+  };
+
+  // Leader if no flight for `key` is in progress; follower otherwise.
+  Ticket Join(const CacheKey& key);
+
+  // Leader only: publish the result (OK or TIMEOUT) and wake followers.
+  void Publish(const Ticket& ticket, const QueryResult& result);
+
+  // Leader only: abandon without a result (e.g. shutdown); followers wake
+  // and fall back to executing themselves.
+  void Abort(const Ticket& ticket);
+
+  // Follower only: block until the leader publishes or `deadline` passes.
+  // True + *out on a published result in time; false when the deadline
+  // expired first or the leader aborted. Whether an adopted result counts
+  // as "shared" is the caller's call (see the TIMEOUT refinement above),
+  // so the service owns that counter, not this class.
+  bool Wait(const Ticket& ticket, Deadline deadline, QueryResult* out);
+
+  // Followers currently blocked in Wait() (gauge, for STATS and tests).
+  uint64_t waiting() const {
+    return waiting_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Finish(const Ticket& ticket, const QueryResult* result);
+
+  std::mutex mu_;
+  std::unordered_map<CacheKey, std::shared_ptr<Flight>, CacheKeyHasher>
+      flights_;
+  std::atomic<uint64_t> waiting_{0};
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_CACHE_SINGLEFLIGHT_H_

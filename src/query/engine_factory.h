@@ -27,6 +27,11 @@ struct EngineConfig {
   // scheduling chunk (0 = auto, see ThreadPool::DefaultChunk).
   uint32_t parallel_threads = 0;
   uint32_t parallel_chunk = 0;
+  // Query-result cache budget in MiB (0 disables). Consumed by the front
+  // ends that sit above the engines — the query service and `sgq_cli
+  // query` — not by the engines themselves; it lives here so every front
+  // end shares one knob (`--cache-mb` / `--cache off`).
+  size_t cache_mb = 64;
 };
 
 // Names: "CT-Index", "Grapes", "GGSX" (IFV);

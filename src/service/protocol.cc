@@ -122,6 +122,16 @@ RequestParser::Status RequestParser::ParseCommandLine(std::string_view line,
     return Status::kReady;
   }
 
+  if (verb == "CACHE") {
+    // Namespaced admin verb; CLEAR is the only subcommand so far.
+    if (tokens.size() != 2 || tokens[1] != "CLEAR") {
+      *error = "usage: CACHE CLEAR";
+      return Status::kError;
+    }
+    pending_.verb = Request::Verb::kCacheClear;
+    return Status::kReady;
+  }
+
   if (verb == "RELOAD") {
     if (tokens.size() > 2 ||
         (tokens.size() == 2 && tokens[1].front() != '@')) {

@@ -8,6 +8,7 @@
 //   QUERY @<path> [timeout_s]\n          (server-side file, absolute path)
 //   STATS\n
 //   RELOAD [@<path>]\n                   (default: the path served at start)
+//   CACHE CLEAR\n                        (drop every cached query result)
 //   SHUTDOWN\n
 //
 // The payload is *exactly* <len> bytes; the next command starts immediately
@@ -20,8 +21,9 @@
 //   TIMEOUT <n_answers> <stats-json>     (deadline expired; partial answers)
 //   OVERLOADED [detail]                  (admission queue full / draining)
 //   BAD_REQUEST <message>                (unparseable or oversized request)
-//   OK <json>                            (STATS)
+//   OK <json>                            (STATS; includes a "cache" section)
 //   OK reloaded <n> graphs               (RELOAD)
+//   OK cache cleared                     (CACHE CLEAR)
 //   BYE                                  (SHUTDOWN acknowledged)
 #ifndef SGQ_SERVICE_PROTOCOL_H_
 #define SGQ_SERVICE_PROTOCOL_H_
@@ -43,7 +45,7 @@ inline constexpr size_t kMaxCommandLineBytes = 4096;
 inline constexpr size_t kDefaultMaxPayloadBytes = 16 * 1024 * 1024;
 
 struct Request {
-  enum class Verb { kQuery, kStats, kReload, kShutdown };
+  enum class Verb { kQuery, kStats, kReload, kCacheClear, kShutdown };
   Verb verb = Verb::kStats;
   std::string graph_text;      // inline payload (QUERY <len>)
   std::string file_ref;        // QUERY @path / RELOAD @path
@@ -94,6 +96,7 @@ std::string FormatOverloadedResponse(std::string_view detail = {});
 std::string FormatBadRequestResponse(std::string_view message);
 
 inline constexpr std::string_view kByeResponse = "BYE\n";
+inline constexpr std::string_view kCacheClearedResponse = "OK cache cleared\n";
 
 }  // namespace sgq
 

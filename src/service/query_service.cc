@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
+
+#include "cache/canonical.h"
 
 namespace sgq {
 
@@ -41,7 +44,10 @@ std::string ServiceStatsSnapshot::ToJson() const {
   AppendField(&out, "queue_peak", queue_peak);
   AppendField(&out, "queue_depth", queue_depth);
   AppendField(&out, "in_flight", in_flight);
+  AppendField(&out, "engine_executions", engine_executions);
   AppendField(&out, "db_graphs", static_cast<uint64_t>(db_graphs));
+  out += ",\"cache\":";
+  out += cache.ToJson();
   out += "}";
   return out;
 }
@@ -61,7 +67,13 @@ const char* ToString(QueryService::Outcome outcome) {
 }
 
 QueryService::QueryService(ServiceConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)) {
+  CacheConfig cache_config;
+  cache_config.enabled = config_.engine.cache_mb > 0;
+  cache_config.max_bytes = config_.engine.cache_mb << 20;
+  cache_config.shards = std::max<uint32_t>(1, config_.cache_shards);
+  cache_ = std::make_unique<ResultCache>(cache_config);
+}
 
 QueryService::~QueryService() { Shutdown(); }
 
@@ -151,16 +163,16 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
     lock.unlock();
 
     Response response;
+    bool executed = false;
+    bool shared = false;
     if (request->deadline.Expired()) {
       // Cancelled in the queue: the deadline passed before a worker was
       // free. Report the OOT outcome without touching the database.
       response.outcome = Outcome::kTimeout;
       response.result.stats.timed_out = true;
     } else {
-      response.result = engine->Query(request->query, request->deadline);
-      response.outcome = response.result.stats.timed_out
-                             ? Outcome::kTimeout
-                             : Outcome::kOk;
+      response = Serve(engine, request->query, request->deadline, &executed,
+                       &shared);
     }
 
     lock.lock();
@@ -171,10 +183,17 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
       ++stats_.completed_timeout;
     }
     stats_.answers_total += response.result.answers.size();
-    stats_.filtering_ms_total += response.result.stats.filtering_ms;
-    stats_.verification_ms_total += response.result.stats.verification_ms;
-    stats_.intersect_calls_total += response.result.stats.intersect_calls;
-    stats_.local_candidates_total += response.result.stats.local_candidates;
+    if (executed) {
+      // Phase-time and kernel totals describe work actually performed;
+      // cache hits and singleflight followers replay a result whose cost
+      // was already booked by the execution that produced it.
+      ++stats_.engine_executions;
+      stats_.filtering_ms_total += response.result.stats.filtering_ms;
+      stats_.verification_ms_total += response.result.stats.verification_ms;
+      stats_.intersect_calls_total += response.result.stats.intersect_calls;
+      stats_.local_candidates_total += response.result.stats.local_candidates;
+    }
+    if (shared) ++singleflight_shared_;
     if (queue_.empty() && running_ == 0) drain_cv_.notify_all();
     lock.unlock();
     // Counters are updated before the promise resolves, so a client that
@@ -182,6 +201,78 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
     request->promise.set_value(std::move(response));
     lock.lock();
   }
+}
+
+QueryService::Response QueryService::Serve(QueryEngine* engine,
+                                           const Graph& query,
+                                           Deadline deadline, bool* executed,
+                                           bool* shared) {
+  Response response;
+  const auto execute = [&] {
+    if (config_.pre_execute_hook) config_.pre_execute_hook(query);
+    response.result = engine->Query(query, deadline);
+    *executed = true;
+  };
+  if (!cache_->enabled()) {
+    execute();
+    response.outcome = response.result.stats.timed_out ? Outcome::kTimeout
+                                                       : Outcome::kOk;
+    return response;
+  }
+
+  // The epoch is captured once, before execution: a result computed here
+  // is keyed to the database it ran against, so even if a RELOAD could
+  // slip past the drain it would populate an unreachable old-epoch slot,
+  // never the new database's namespace.
+  CacheKey key;
+  key.epoch = cache_->epoch();
+  key.engine = config_.engine_name;
+  key.hash = Canonicalize(query).hash;
+
+  QueryResult cached;
+  if (cache_->Lookup(key, &cached)) {
+    response.outcome = Outcome::kOk;  // only completed results are stored
+    response.result = std::move(cached);
+    return response;
+  }
+
+  const SingleFlight::Ticket ticket = singleflight_.Join(key);
+  if (ticket.leader) {
+    execute();
+    if (!response.result.stats.timed_out) {
+      cache_->Insert(key, response.result);
+    }
+    // Publish even a TIMEOUT: followers whose own deadline also lapsed
+    // adopt it (below), the rest re-execute with their remaining budget.
+    singleflight_.Publish(ticket, response.result);
+  } else {
+    QueryResult leader_result;
+    if (singleflight_.Wait(ticket, deadline, &leader_result)) {
+      if (!leader_result.stats.timed_out || deadline.Expired()) {
+        response.result = std::move(leader_result);
+        *shared = true;
+      } else {
+        // The leader ran out of *its* deadline but ours still has room:
+        // a shorter-budget request must not clip a longer-budget one.
+        execute();
+        if (!response.result.stats.timed_out) {
+          cache_->Insert(key, response.result);
+        }
+      }
+    } else if (!deadline.Expired()) {
+      // Leader aborted (shutdown teardown) with our budget left.
+      execute();
+      if (!response.result.stats.timed_out) {
+        cache_->Insert(key, response.result);
+      }
+    } else {
+      // Our own deadline passed while waiting on the leader.
+      response.result.stats.timed_out = true;
+    }
+  }
+  response.outcome = response.result.stats.timed_out ? Outcome::kTimeout
+                                                     : Outcome::kOk;
+  return response;
 }
 
 bool QueryService::Reload(GraphDatabase db, std::string* error) {
@@ -204,6 +295,10 @@ bool QueryService::Reload(GraphDatabase db, std::string* error) {
     return false;
   }
   db_ = std::move(db);
+  // The database is gone: every cached result is stale. Advancing the
+  // epoch makes them unreachable in O(1) (and purges them); queries after
+  // the swap key on the new epoch.
+  cache_->AdvanceEpoch();
   // Workers are idle and admission is closed, so the engines are ours to
   // re-prepare without holding the service mutex.
   lock.unlock();
@@ -248,11 +343,22 @@ void QueryService::CountBadRequest() {
   ++stats_.bad_requests;
 }
 
+void QueryService::CacheClear() { cache_->Clear(); }
+
 ServiceStatsSnapshot QueryService::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  ServiceStatsSnapshot snapshot = stats_;
-  snapshot.queue_depth = queue_.size();
-  snapshot.in_flight = running_;
+  ServiceStatsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = stats_;
+    snapshot.queue_depth = queue_.size();
+    snapshot.in_flight = running_;
+    snapshot.cache.singleflight_shared = singleflight_shared_;
+  }
+  // Cache counters are internally synchronized; read them outside mu_.
+  const uint64_t shared = snapshot.cache.singleflight_shared;
+  snapshot.cache = cache_->Stats();
+  snapshot.cache.singleflight_shared = shared;
+  snapshot.cache.singleflight_waiting = singleflight_.waiting();
   return snapshot;
 }
 

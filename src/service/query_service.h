@@ -26,6 +26,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -33,6 +34,8 @@
 #include <thread>
 #include <vector>
 
+#include "cache/result_cache.h"
+#include "cache/singleflight.h"
 #include "graph/graph_database.h"
 #include "query/engine_factory.h"
 #include "query/query_engine.h"
@@ -51,6 +54,13 @@ struct ServiceConfig {
   size_t queue_capacity = 64;
   double default_timeout_seconds = kDefaultQueryTimeoutSeconds;
   double build_timeout_seconds = kDefaultBuildTimeoutSeconds;
+  // Result-cache byte budget comes from engine.cache_mb (0 disables); the
+  // SGQ_CACHE environment variable can force it off regardless.
+  uint32_t cache_shards = 8;
+  // Test-only seam: called by a worker right before an engine execution
+  // (cache hits and singleflight followers never trigger it). Lets tests
+  // hold the singleflight leader in place deterministically.
+  std::function<void(const Graph&)> pre_execute_hook;
 };
 
 // Aggregated counters; invariant once quiescent:
@@ -74,7 +84,15 @@ struct ServiceStatsSnapshot {
   uint64_t queue_peak = 0;  // high-water mark of the pending queue
   uint64_t queue_depth = 0; // currently pending
   uint64_t in_flight = 0;   // currently executing
+  // Completed requests that actually ran an engine (the rest were served
+  // by the cache or a singleflight leader):
+  //   admitted == engine_executions + cache.hits + cache.singleflight_shared
+  //               (+ queue-expired cancellations + still queued/running).
+  uint64_t engine_executions = 0;
   size_t db_graphs = 0;
+  // Result-cache counters, serialized as a nested "cache" object (the
+  // singleflight_* fields are filled by the service, see WorkerLoop).
+  CacheStatsSnapshot cache;
 
   std::string ToJson() const;
 };
@@ -121,6 +139,11 @@ class QueryService {
   // Lets the protocol front end count codec failures in the same snapshot.
   void CountBadRequest();
 
+  // CACHE CLEAR: drops every cached result (the epoch stays, so in-flight
+  // executions may still repopulate current-epoch keys afterwards — the
+  // entries they write are freshly computed, not stale).
+  void CacheClear();
+
   ServiceStatsSnapshot Stats() const;
 
   const ServiceConfig& config() const { return config_; }
@@ -133,6 +156,12 @@ class QueryService {
   };
 
   void WorkerLoop(uint32_t worker_id);
+  // Serves one popped request through the cache / singleflight / engine
+  // stack. Called without holding mu_. Sets *executed when an engine
+  // actually ran and *shared when a singleflight follower adopted the
+  // leader's result.
+  Response Serve(QueryEngine* engine, const Graph& query, Deadline deadline,
+                 bool* executed, bool* shared);
 
   const ServiceConfig config_;
 
@@ -148,6 +177,13 @@ class QueryService {
   bool reloading_ = false;
   uint32_t running_ = 0;  // requests currently executing
   ServiceStatsSnapshot stats_;
+
+  // The cache stack is internally synchronized (sharded mutexes / atomics)
+  // and deliberately not guarded by mu_: workers canonicalize, look up,
+  // and populate outside the service lock.
+  std::unique_ptr<ResultCache> cache_;
+  SingleFlight singleflight_;
+  uint64_t singleflight_shared_ = 0;  // under mu_, folded into Stats()
 };
 
 const char* ToString(QueryService::Outcome outcome);

@@ -198,6 +198,9 @@ bool SocketServer::Dispatch(int fd, const Request& request) {
       return WriteAll(
           fd, "OK reloaded " + std::to_string(num_graphs) + " graphs\n");
     }
+    case Request::Verb::kCacheClear:
+      service_.CacheClear();
+      return WriteAll(fd, std::string(kCacheClearedResponse));
     case Request::Verb::kShutdown:
       WriteAll(fd, std::string(kByeResponse));
       RequestStop();

@@ -1,0 +1,281 @@
+// Service-level cache tests: resubmission and isomorphic-relabeling hits,
+// bit-identical results with the cache on, off, and after CACHE CLEAR,
+// timeouts staying uncached, deterministic singleflight collapse of a
+// flood of identical queries, and RELOAD invalidation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "cache/result_cache.h"
+#include "gen/graph_gen.h"
+#include "service/query_service.h"
+#include "tests/test_util.h"
+
+namespace sgq {
+namespace {
+
+using Outcome = QueryService::Outcome;
+using sgq::testing::MakeCycle;
+
+GraphDatabase SmallDb(uint32_t num_graphs = 30) {
+  SyntheticParams params;
+  params.num_graphs = num_graphs;
+  params.vertices_per_graph = 16;
+  params.degree = 3.0;
+  params.num_labels = 4;
+  params.seed = 9;
+  return GenerateSyntheticDatabase(params);
+}
+
+// See query_service_test.cc: a single-label odd cycle against a database
+// whose graph 0 is K_{12,12} runs until its deadline.
+Graph OddCycleQuery() {
+  return MakeCycle({0, 0, 0, 0, 0, 0, 0, 0, 0});
+}
+
+GraphDatabase DbWithHardInstance() {
+  GraphDatabase db;
+  GraphBuilder bipartite;
+  for (uint32_t i = 0; i < 24; ++i) bipartite.AddVertex(0);
+  for (uint32_t i = 0; i < 12; ++i) {
+    for (uint32_t j = 0; j < 12; ++j) bipartite.AddEdge(i, 12 + j);
+  }
+  db.Add(bipartite.Build());
+  const GraphDatabase rest = SmallDb();
+  for (const Graph& g : rest.graphs()) db.Add(g);
+  return db;
+}
+
+ServiceConfig Config(uint32_t workers, size_t queue_capacity) {
+  ServiceConfig config;
+  config.engine_name = "CFQL";
+  config.workers = workers;
+  config.queue_capacity = queue_capacity;
+  return config;
+}
+
+// Rebuilds `graph` with old vertex i placed at position pos[i].
+Graph Relabel(const Graph& graph, const std::vector<VertexId>& pos) {
+  const uint32_t n = graph.NumVertices();
+  std::vector<Label> labels(n);
+  for (VertexId v = 0; v < n; ++v) labels[pos[v]] = graph.label(v);
+  GraphBuilder builder;
+  for (VertexId v = 0; v < n; ++v) builder.AddVertex(labels[v]);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId v : graph.Neighbors(u)) {
+      if (u < v) builder.AddEdge(pos[u], pos[v]);
+    }
+  }
+  return builder.Build();
+}
+
+TEST(CacheServiceTest, ResubmissionServesFromCache) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  QueryService service(Config(2, 16));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
+
+  const Graph query = SmallDb().graph(3);
+  const QueryService::Response first = service.Execute(query);
+  const QueryService::Response second = service.Execute(query);
+  EXPECT_EQ(first.outcome, Outcome::kOk);
+  EXPECT_EQ(second.outcome, Outcome::kOk);
+  EXPECT_EQ(first.result.answers, second.result.answers);
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.engine_executions, 1u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.completed_ok, 2u);
+  // Phase totals describe the single real execution, not the replay.
+  EXPECT_EQ(stats.answers_total, 2 * first.result.answers.size());
+}
+
+TEST(CacheServiceTest, IsomorphicRelabelingHitsCache) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  QueryService service(Config(2, 16));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
+
+  const Graph query = SmallDb().graph(5);
+  std::vector<VertexId> pos(query.NumVertices());
+  for (VertexId v = 0; v < query.NumVertices(); ++v) {
+    pos[v] = (v + 7) % query.NumVertices();  // a nontrivial permutation
+  }
+  const QueryService::Response original = service.Execute(query);
+  const QueryService::Response relabeled =
+      service.Execute(Relabel(query, pos));
+  EXPECT_EQ(original.result.answers, relabeled.result.answers);
+  EXPECT_EQ(service.Stats().engine_executions, 1u);
+  EXPECT_EQ(service.Stats().cache.hits, 1u);
+}
+
+TEST(CacheServiceTest, ResultsBitIdenticalCacheOnOffAndAfterClear) {
+  ServiceConfig cached_config = Config(2, 16);
+  ServiceConfig uncached_config = Config(2, 16);
+  uncached_config.engine.cache_mb = 0;
+  QueryService cached(cached_config);
+  QueryService uncached(uncached_config);
+  std::string error;
+  ASSERT_TRUE(cached.Start(SmallDb(), &error)) << error;
+  ASSERT_TRUE(uncached.Start(SmallDb(), &error)) << error;
+
+  const GraphDatabase queries = SmallDb();
+  std::vector<std::vector<GraphId>> cold, warm, off, after_clear;
+  for (GraphId i = 0; i < 8; ++i) {
+    cold.push_back(cached.Execute(queries.graph(i)).result.answers);
+  }
+  for (GraphId i = 0; i < 8; ++i) {
+    warm.push_back(cached.Execute(queries.graph(i)).result.answers);
+    off.push_back(uncached.Execute(queries.graph(i)).result.answers);
+  }
+  cached.CacheClear();
+  for (GraphId i = 0; i < 8; ++i) {
+    after_clear.push_back(cached.Execute(queries.graph(i)).result.answers);
+  }
+  EXPECT_EQ(cold, warm);
+  EXPECT_EQ(cold, off);
+  EXPECT_EQ(cold, after_clear);
+  EXPECT_EQ(uncached.Stats().cache.hits, 0u);
+  EXPECT_EQ(uncached.Stats().engine_executions, 8u);
+}
+
+TEST(CacheServiceTest, CacheClearForcesReExecution) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  QueryService service(Config(1, 8));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
+  const Graph query = SmallDb().graph(0);
+  service.Execute(query);
+  service.CacheClear();
+  service.Execute(query);
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.engine_executions, 2u);
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.invalidated, 1u);
+  EXPECT_EQ(stats.cache.epoch, 0u);  // CLEAR purges without an epoch bump
+}
+
+TEST(CacheServiceTest, TimeoutsAreNeverCached) {
+  QueryService service(Config(1, 8));
+  std::string error;
+  ASSERT_TRUE(service.Start(DbWithHardInstance(), &error)) << error;
+  const Graph slow = OddCycleQuery();
+  EXPECT_EQ(service.Execute(slow, /*timeout_seconds=*/0.2).outcome,
+            Outcome::kTimeout);
+  EXPECT_EQ(service.Execute(slow, /*timeout_seconds=*/0.2).outcome,
+            Outcome::kTimeout);
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.engine_executions, 2u);  // the second really re-ran
+  EXPECT_EQ(stats.cache.inserts, 0u);
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.entries, 0u);
+}
+
+TEST(CacheServiceTest, FloodOfIdenticalQueriesCollapsesToOneExecution) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  // Deterministic singleflight collapse: the pre-execute hook holds the
+  // leader until every other request is blocked in the flight (observable
+  // via the singleflight_waiting gauge), so no follower can race ahead to
+  // a cache hit and no request can miss the flight.
+  constexpr uint32_t kClients = 4;
+  std::atomic<bool> release{false};
+  ServiceConfig config = Config(/*workers=*/kClients, /*queue_capacity=*/16);
+  config.pre_execute_hook = [&](const Graph&) {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  QueryService service(config);
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
+
+  const Graph query = SmallDb().graph(2);
+  std::vector<std::thread> clients;
+  std::vector<std::vector<GraphId>> answers(kClients);
+  for (uint32_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      answers[i] = service.Execute(query).result.answers;
+    });
+  }
+  while (service.Stats().cache.singleflight_waiting < kClients - 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release.store(true, std::memory_order_release);
+  for (std::thread& client : clients) client.join();
+
+  for (uint32_t i = 1; i < kClients; ++i) EXPECT_EQ(answers[i], answers[0]);
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.engine_executions, 1u);
+  EXPECT_EQ(stats.cache.singleflight_shared, kClients - 1);
+  EXPECT_EQ(stats.completed_ok, kClients);
+  EXPECT_EQ(stats.cache.singleflight_waiting, 0u);
+  // The one real execution populated the cache for later requests.
+  EXPECT_EQ(stats.cache.inserts, 1u);
+  service.Execute(query);
+  EXPECT_EQ(service.Stats().cache.hits, 1u);
+}
+
+TEST(CacheServiceTest, ReloadInvalidatesCachedResults) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  // db2 = db1 plus a pentagon with a label absent from db1: a cached
+  // "no answers" for the pentagon query must not survive the reload.
+  const Graph pentagon = MakeCycle({7, 7, 7, 7, 7});
+  GraphDatabase db1 = SmallDb(10);
+  GraphDatabase db2 = SmallDb(10);
+  const GraphId pentagon_id = db2.Add(pentagon);
+
+  QueryService service(Config(2, 8));
+  std::string error;
+  ASSERT_TRUE(service.Start(std::move(db1), &error)) << error;
+  EXPECT_TRUE(service.Execute(pentagon).result.answers.empty());
+  EXPECT_TRUE(service.Execute(pentagon).result.answers.empty());  // hit
+  EXPECT_EQ(service.Stats().cache.hits, 1u);
+
+  ASSERT_TRUE(service.Reload(std::move(db2), &error)) << error;
+  const QueryService::Response after = service.Execute(pentagon);
+  ASSERT_EQ(after.result.answers.size(), 1u);
+  EXPECT_EQ(after.result.answers[0], pentagon_id);
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.cache.epoch, 1u);
+  EXPECT_GE(stats.cache.invalidated, 1u);
+  EXPECT_EQ(stats.engine_executions, 2u);  // pre-reload + post-reload
+}
+
+TEST(CacheServiceTest, ConcurrentMixedTrafficKeepsAdmissionInvariant) {
+  // Under concurrent identical + distinct traffic the bookkeeping must
+  // balance: every admitted request is either a real execution, a cache
+  // hit, a singleflight share, or a queue-expired timeout. With generous
+  // deadlines and capacity there are no expiries, so the first three
+  // partition `admitted` exactly.
+  QueryService service(Config(/*workers=*/3, /*queue_capacity=*/64));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 20; ++i) {
+        const QueryService::Response response =
+            service.Execute(SmallDb().graph((c + i) % 8));
+        EXPECT_EQ(response.outcome, Outcome::kOk);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.admitted, 120u);
+  EXPECT_EQ(stats.admitted, stats.engine_executions + stats.cache.hits +
+                                stats.cache.singleflight_shared);
+  if (CacheEnabledByEnv()) {
+    EXPECT_LE(stats.engine_executions, 8u * 3u);  // bounded by keys×workers
+  }
+}
+
+}  // namespace
+}  // namespace sgq

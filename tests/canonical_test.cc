@@ -1,0 +1,191 @@
+// Canonicalization property tests: isomorphic relabelings must hash
+// identically, non-isomorphic near-misses (same degree sequence, same
+// label multiset) must hash differently, and the form must be
+// deterministic — including when the tiebreak search budget is exhausted.
+#include "cache/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "gen/graph_gen.h"
+#include "gen/query_gen.h"
+#include "tests/test_util.h"
+
+namespace sgq {
+namespace {
+
+using sgq::testing::MakeCycle;
+using sgq::testing::MakeGraph;
+using sgq::testing::MakePath;
+
+// Rebuilds `graph` with old vertex i placed at position pos[i]; the result
+// is isomorphic to the input by construction.
+Graph Relabel(const Graph& graph, const std::vector<VertexId>& pos) {
+  const uint32_t n = graph.NumVertices();
+  std::vector<Label> labels(n);
+  for (VertexId v = 0; v < n; ++v) labels[pos[v]] = graph.label(v);
+  GraphBuilder builder;
+  for (VertexId v = 0; v < n; ++v) builder.AddVertex(labels[v]);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId v : graph.Neighbors(u)) {
+      if (u < v) builder.AddEdge(pos[u], pos[v]);
+    }
+  }
+  return builder.Build();
+}
+
+GraphDatabase TestDb() {
+  SyntheticParams params;
+  params.num_graphs = 12;
+  params.vertices_per_graph = 24;
+  params.degree = 3.5;
+  params.num_labels = 5;
+  params.seed = 42;
+  return GenerateSyntheticDatabase(params);
+}
+
+TEST(CanonicalTest, DeterministicAcrossCalls) {
+  const Graph g = MakeCycle({0, 1, 2, 0, 1, 2});
+  const CanonicalForm a = Canonicalize(g);
+  const CanonicalForm b = Canonicalize(g);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.encoding, b.encoding);
+  EXPECT_TRUE(a.exact);
+}
+
+TEST(CanonicalTest, RandomRelabelingsHashIdentically) {
+  // Property test over realistic query shapes: every random relabeling of
+  // a query must produce the same canonical hash *and* encoding.
+  const GraphDatabase db = TestDb();
+  std::mt19937_64 rng(2026);
+  for (const QueryKind kind : {QueryKind::kSparse, QueryKind::kDense}) {
+    const QuerySet set = GenerateQuerySet(db, kind, /*num_edges=*/8,
+                                          /*count=*/10, /*seed=*/5);
+    for (const Graph& query : set.queries) {
+      const CanonicalForm reference = Canonicalize(query);
+      std::vector<VertexId> pos(query.NumVertices());
+      std::iota(pos.begin(), pos.end(), 0);
+      for (int trial = 0; trial < 8; ++trial) {
+        std::shuffle(pos.begin(), pos.end(), rng);
+        const CanonicalForm relabeled = Canonicalize(Relabel(query, pos));
+        EXPECT_EQ(relabeled.hash, reference.hash);
+        EXPECT_EQ(relabeled.encoding, reference.encoding);
+      }
+    }
+  }
+}
+
+TEST(CanonicalTest, RegularNearMissPairHashesDifferently) {
+  // K_{3,3} and the triangular prism: both 3-regular on 6 vertices with
+  // one label, so degree sequences and label multisets agree; refinement
+  // alone cannot split either graph and the tiebreak search must find the
+  // structural difference (the prism has triangles).
+  GraphBuilder k33;
+  for (int i = 0; i < 6; ++i) k33.AddVertex(0);
+  for (VertexId i = 0; i < 3; ++i) {
+    for (VertexId j = 3; j < 6; ++j) k33.AddEdge(i, j);
+  }
+  const Graph prism = MakeGraph({0, 0, 0, 0, 0, 0},
+                                {{0, 1}, {1, 2}, {2, 0},    // top triangle
+                                 {3, 4}, {4, 5}, {5, 3},    // bottom triangle
+                                 {0, 3}, {1, 4}, {2, 5}});  // struts
+  const CanonicalForm a = Canonicalize(k33.Build());
+  const CanonicalForm b = Canonicalize(prism);
+  EXPECT_TRUE(a.exact);
+  EXPECT_TRUE(b.exact);
+  EXPECT_NE(a.hash, b.hash);
+  EXPECT_NE(a.encoding, b.encoding);
+}
+
+TEST(CanonicalTest, SpiderTreeNearMissPairHashesDifferently) {
+  // Two 6-vertex trees with degree sequence (3,2,1,1,1,1): a center with
+  // legs of lengths (1,1,3) vs (1,2,2). Same label multiset, same degree
+  // sequence, not isomorphic.
+  const Graph spider113 = MakeGraph(
+      {0, 0, 0, 0, 0, 0}, {{0, 1}, {0, 2}, {0, 3}, {3, 4}, {4, 5}});
+  const Graph spider122 = MakeGraph(
+      {0, 0, 0, 0, 0, 0}, {{0, 1}, {0, 2}, {2, 3}, {0, 4}, {4, 5}});
+  EXPECT_NE(Canonicalize(spider113).hash, Canonicalize(spider122).hash);
+}
+
+TEST(CanonicalTest, LabeledCycleNearMissPairHashesDifferently) {
+  // C4 with labels (0,0,1,1) around the cycle vs (0,1,0,1): identical
+  // structure and label multiset, different label placement.
+  EXPECT_NE(Canonicalize(MakeCycle({0, 0, 1, 1})).hash,
+            Canonicalize(MakeCycle({0, 1, 0, 1})).hash);
+}
+
+TEST(CanonicalTest, LabelsDistinguishIdenticalStructure) {
+  EXPECT_NE(Canonicalize(MakePath({0, 0, 0})).hash,
+            Canonicalize(MakePath({0, 1, 0})).hash);
+}
+
+TEST(CanonicalTest, IsomorphicCyclesWithRotatedLabelsHashIdentically) {
+  // Rotating the labels around a cycle is a relabeling of the same graph.
+  EXPECT_EQ(Canonicalize(MakeCycle({0, 1, 2, 3})).hash,
+            Canonicalize(MakeCycle({1, 2, 3, 0})).hash);
+}
+
+TEST(CanonicalTest, ExhaustedBudgetIsInexactButDeterministic) {
+  // A single-label K_{4,4} keeps refinement from splitting anything, so a
+  // budget of 1 node exhausts immediately; the greedy fallback must report
+  // exact == false yet stay deterministic for the *same* input.
+  GraphBuilder k44;
+  for (int i = 0; i < 8; ++i) k44.AddVertex(0);
+  for (VertexId i = 0; i < 4; ++i) {
+    for (VertexId j = 4; j < 8; ++j) k44.AddEdge(i, j);
+  }
+  const Graph g = k44.Build();
+  const CanonicalForm a = Canonicalize(g, /*search_budget=*/1);
+  const CanonicalForm b = Canonicalize(g, /*search_budget=*/1);
+  EXPECT_FALSE(a.exact);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.encoding, b.encoding);
+  // With the default budget the same graph is canonicalized exactly.
+  EXPECT_TRUE(Canonicalize(g).exact);
+}
+
+TEST(CanonicalTest, RefinementAloneHandlesLabeledQueries) {
+  // A typical labeled query needs no (or almost no) tiebreak search:
+  // refinement splits everything and the form is exact.
+  const GraphDatabase db = TestDb();
+  const QuerySet set =
+      GenerateQuerySet(db, QueryKind::kSparse, 6, 5, /*seed=*/11);
+  for (const Graph& query : set.queries) {
+    const CanonicalForm form = Canonicalize(query);
+    EXPECT_TRUE(form.exact);
+    EXPECT_GE(form.refinement_rounds, 1u);
+  }
+}
+
+TEST(CanonicalTest, EncodingIsCompleteOnSmallGraphCatalog) {
+  // Sanity for the soundness argument (equal encodings => isomorphic):
+  // across a catalog of pairwise non-isomorphic small graphs, all
+  // encodings and hashes are distinct.
+  std::vector<Graph> catalog;
+  catalog.push_back(MakePath({0, 0, 0, 0}));
+  catalog.push_back(MakeCycle({0, 0, 0, 0}));
+  catalog.push_back(MakeCycle({0, 0, 0, 0, 0}));
+  catalog.push_back(MakeGraph({0, 0, 0, 0}, {{0, 1}, {0, 2}, {0, 3}}));
+  catalog.push_back(
+      MakeGraph({0, 0, 0, 0}, {{0, 1}, {0, 2}, {0, 3}, {1, 2}}));
+  catalog.push_back(MakeGraph(
+      {0, 0, 0, 0}, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}));
+  catalog.push_back(MakePath({0, 1, 0, 0}));
+  catalog.push_back(MakePath({1, 0, 0, 0}));
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    for (size_t j = i + 1; j < catalog.size(); ++j) {
+      EXPECT_NE(Canonicalize(catalog[i]).encoding,
+                Canonicalize(catalog[j]).encoding)
+          << "catalog graphs " << i << " and " << j;
+      EXPECT_NE(Canonicalize(catalog[i]).hash, Canonicalize(catalog[j]).hash);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgq

@@ -15,7 +15,7 @@ using Status = RequestParser::Status;
 
 TEST(ProtocolTest, ParsesSimpleVerbs) {
   RequestParser parser;
-  parser.Feed("STATS\nSHUTDOWN\nRELOAD\nRELOAD @/tmp/db.txt\n");
+  parser.Feed("STATS\nSHUTDOWN\nRELOAD\nRELOAD @/tmp/db.txt\nCACHE CLEAR\n");
   Request request;
   std::string error;
 
@@ -29,6 +29,8 @@ TEST(ProtocolTest, ParsesSimpleVerbs) {
   ASSERT_EQ(parser.Next(&request, &error), Status::kReady);
   EXPECT_EQ(request.verb, Request::Verb::kReload);
   EXPECT_EQ(request.file_ref, "/tmp/db.txt");
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady);
+  EXPECT_EQ(request.verb, Request::Verb::kCacheClear);
   EXPECT_EQ(parser.Next(&request, &error), Status::kNeedMore);
   EXPECT_FALSE(parser.HasPartial());
 }
@@ -118,6 +120,10 @@ TEST(ProtocolTest, BadArgumentsAreErrors) {
       "SHUTDOWN 1\n",         // SHUTDOWN takes no arguments
       "RELOAD db.txt\n",      // RELOAD path must be @-prefixed
       "RELOAD @a @b\n",       // too many tokens
+      "CACHE\n",              // missing subcommand
+      "CACHE FLUSH\n",        // unknown subcommand
+      "CACHE CLEAR extra\n",  // too many tokens
+      "CACHE clear\n",        // subcommands are case-sensitive
   };
   for (const char* line : bad) {
     SCOPED_TRACE(line);

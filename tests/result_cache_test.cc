@@ -1,0 +1,294 @@
+// ResultCache unit tests (LRU eviction, byte budget, epoch invalidation,
+// CACHE CLEAR semantics) plus SingleFlight unit tests: one leader per key,
+// follower adoption, follower deadlines, and leader abort.
+#include "cache/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/singleflight.h"
+
+namespace sgq {
+namespace {
+
+CacheKey Key(uint64_t id, uint64_t epoch = 0,
+             const std::string& engine = "CFQL") {
+  CacheKey key;
+  key.epoch = epoch;
+  key.engine = engine;
+  key.hash = {id * 0x9E3779B97F4A7C15ull, id};
+  return key;
+}
+
+QueryResult Result(GraphId answer, size_t padding_answers = 0) {
+  QueryResult result;
+  result.answers.assign(padding_answers + 1, answer);
+  result.stats.num_answers = static_cast<uint64_t>(result.answers.size());
+  return result;
+}
+
+CacheConfig SingleShard(size_t max_bytes) {
+  CacheConfig config;
+  config.max_bytes = max_bytes;
+  config.shards = 1;  // deterministic LRU order
+  return config;
+}
+
+TEST(ResultCacheTest, MissThenHitRoundTrips) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  ResultCache cache(SingleShard(1 << 20));
+  QueryResult out;
+  EXPECT_FALSE(cache.Lookup(Key(1), &out));
+  cache.Insert(Key(1), Result(7));
+  ASSERT_TRUE(cache.Lookup(Key(1), &out));
+  EXPECT_EQ(out.answers, std::vector<GraphId>{7});
+  const CacheStatsSnapshot stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(ResultCacheTest, DisabledCacheNeverHits) {
+  CacheConfig config;
+  config.enabled = false;
+  ResultCache cache(config);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(Key(1), Result(7));
+  QueryResult out;
+  EXPECT_FALSE(cache.Lookup(Key(1), &out));
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, ZeroBudgetDisables) {
+  ResultCache cache(SingleShard(0));
+  EXPECT_FALSE(cache.enabled());
+}
+
+TEST(ResultCacheTest, KeyIsExactAcrossEnginesAndEpochs) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  ResultCache cache(SingleShard(1 << 20));
+  cache.Insert(Key(1, /*epoch=*/0, "CFQL"), Result(7));
+  QueryResult out;
+  EXPECT_FALSE(cache.Lookup(Key(1, /*epoch=*/0, "VF2"), &out));
+  EXPECT_FALSE(cache.Lookup(Key(1, /*epoch=*/1, "CFQL"), &out));
+  EXPECT_TRUE(cache.Lookup(Key(1, /*epoch=*/0, "CFQL"), &out));
+}
+
+TEST(ResultCacheTest, LruEvictsColdestUnderByteBudget) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  // Budget sized (empirically via CachedResultBytes) for ~3 entries.
+  const size_t entry_bytes = CachedResultBytes(Key(0), Result(0, 63));
+  ResultCache cache(SingleShard(3 * entry_bytes + entry_bytes / 2));
+  cache.Insert(Key(1), Result(1, 63));
+  cache.Insert(Key(2), Result(2, 63));
+  cache.Insert(Key(3), Result(3, 63));
+  QueryResult out;
+  ASSERT_TRUE(cache.Lookup(Key(1), &out));  // refresh 1: now 2 is coldest
+  cache.Insert(Key(4), Result(4, 63));      // evicts 2
+  EXPECT_FALSE(cache.Lookup(Key(2), &out));
+  EXPECT_TRUE(cache.Lookup(Key(1), &out));
+  EXPECT_TRUE(cache.Lookup(Key(3), &out));
+  EXPECT_TRUE(cache.Lookup(Key(4), &out));
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_LE(cache.Stats().bytes, cache.Stats().capacity_bytes);
+}
+
+TEST(ResultCacheTest, OversizedEntryIsNotCached) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  ResultCache cache(SingleShard(256));
+  cache.Insert(Key(1), Result(1, /*padding_answers=*/100000));
+  QueryResult out;
+  EXPECT_FALSE(cache.Lookup(Key(1), &out));
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, InsertOverwritesExistingKey) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  ResultCache cache(SingleShard(1 << 20));
+  cache.Insert(Key(1), Result(7));
+  cache.Insert(Key(1), Result(9));
+  QueryResult out;
+  ASSERT_TRUE(cache.Lookup(Key(1), &out));
+  EXPECT_EQ(out.answers, std::vector<GraphId>{9});
+  EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
+TEST(ResultCacheTest, AdvanceEpochInvalidatesEverything) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  ResultCache cache(SingleShard(1 << 20));
+  EXPECT_EQ(cache.epoch(), 0u);
+  cache.Insert(Key(1, cache.epoch()), Result(7));
+  cache.Insert(Key(2, cache.epoch()), Result(8));
+  EXPECT_EQ(cache.AdvanceEpoch(), 1u);
+  QueryResult out;
+  // Old-epoch keys are purged; new-epoch keys were never inserted.
+  EXPECT_FALSE(cache.Lookup(Key(1, 0), &out));
+  EXPECT_FALSE(cache.Lookup(Key(1, 1), &out));
+  EXPECT_EQ(cache.Stats().invalidated, 2u);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Stats().bytes, 0u);
+  // A straggler computed against the old database inserts under the old
+  // epoch: accepted but unreachable by current-epoch lookups.
+  cache.Insert(Key(3, 0), Result(9));
+  EXPECT_FALSE(cache.Lookup(Key(3, cache.epoch()), &out));
+}
+
+TEST(ResultCacheTest, ClearPurgesWithoutAdvancingEpoch) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  ResultCache cache(SingleShard(1 << 20));
+  cache.Insert(Key(1), Result(7));
+  cache.Clear();
+  EXPECT_EQ(cache.epoch(), 0u);
+  QueryResult out;
+  EXPECT_FALSE(cache.Lookup(Key(1), &out));
+  EXPECT_EQ(cache.Stats().invalidated, 1u);
+  // The same key can be repopulated after a clear.
+  cache.Insert(Key(1), Result(7));
+  EXPECT_TRUE(cache.Lookup(Key(1), &out));
+}
+
+TEST(ResultCacheTest, StatsJsonCarriesEveryField) {
+  ResultCache cache(SingleShard(1 << 20));
+  const std::string json = cache.Stats().ToJson();
+  for (const char* field :
+       {"\"enabled\":", "\"hits\":", "\"misses\":", "\"inserts\":",
+        "\"evictions\":", "\"invalidated\":", "\"entries\":", "\"bytes\":",
+        "\"capacity_bytes\":", "\"epoch\":", "\"singleflight_shared\":",
+        "\"singleflight_waiting\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field << " in " << json;
+  }
+}
+
+TEST(ResultCacheTest, ConcurrentMixedTrafficKeepsBudget) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  CacheConfig config;
+  config.max_bytes = 16 << 10;
+  config.shards = 4;
+  ResultCache cache(config);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < 400; ++i) {
+        const CacheKey key = Key(t * 1000 + (i % 40));
+        QueryResult out;
+        if (!cache.Lookup(key, &out)) {
+          cache.Insert(key, Result(static_cast<GraphId>(i), 15));
+        }
+        if (i % 97 == 0) cache.Clear();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const CacheStatsSnapshot stats = cache.Stats();
+  EXPECT_LE(stats.bytes, stats.capacity_bytes);
+  EXPECT_EQ(stats.hits + stats.misses, 1600u);
+}
+
+// --- SingleFlight ---
+
+TEST(SingleFlightTest, SecondJoinerIsFollowerAndAdoptsResult) {
+  SingleFlight flights;
+  const SingleFlight::Ticket leader = flights.Join(Key(1));
+  ASSERT_TRUE(leader.leader);
+  const SingleFlight::Ticket follower = flights.Join(Key(1));
+  EXPECT_FALSE(follower.leader);
+
+  std::thread publisher([&] {
+    // Give the follower a moment to actually block in Wait().
+    while (flights.waiting() == 0) std::this_thread::yield();
+    flights.Publish(leader, Result(7));
+  });
+  QueryResult out;
+  EXPECT_TRUE(flights.Wait(follower, Deadline::Infinite(), &out));
+  EXPECT_EQ(out.answers, std::vector<GraphId>{7});
+  publisher.join();
+  EXPECT_EQ(flights.waiting(), 0u);
+}
+
+TEST(SingleFlightTest, DistinctKeysAreIndependentFlights) {
+  SingleFlight flights;
+  const SingleFlight::Ticket a = flights.Join(Key(1));
+  const SingleFlight::Ticket b = flights.Join(Key(2));
+  EXPECT_TRUE(a.leader);
+  EXPECT_TRUE(b.leader);
+  flights.Publish(a, Result(1));
+  flights.Publish(b, Result(2));
+}
+
+TEST(SingleFlightTest, FloodCollapsesToExactlyOneExecution) {
+  // The acceptance shape: N concurrent identical requests, exactly one
+  // leader executes, every other joiner shares its result (N-1 sharers).
+  constexpr int kRequests = 16;
+  SingleFlight flights;
+  std::atomic<int> executions{0};
+  std::atomic<int> shared{0};
+  std::atomic<int> leaders_ready{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kRequests; ++i) {
+    threads.emplace_back([&] {
+      const SingleFlight::Ticket ticket = flights.Join(Key(42));
+      if (ticket.leader) {
+        // Hold the flight open until every other thread has joined it, so
+        // the collapse is deterministic, then "execute" once.
+        while (leaders_ready.load() < kRequests - 1) {
+          std::this_thread::yield();
+        }
+        ++executions;
+        flights.Publish(ticket, Result(9));
+      } else {
+        ++leaders_ready;
+        QueryResult out;
+        ASSERT_TRUE(flights.Wait(ticket, Deadline::Infinite(), &out));
+        EXPECT_EQ(out.answers, std::vector<GraphId>{9});
+        ++shared;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_EQ(shared.load(), kRequests - 1);
+}
+
+TEST(SingleFlightTest, NewFlightStartsAfterPublish) {
+  SingleFlight flights;
+  const SingleFlight::Ticket first = flights.Join(Key(1));
+  flights.Publish(first, Result(1));
+  // The finished flight left the table: the next joiner leads again.
+  EXPECT_TRUE(flights.Join(Key(1)).leader);
+}
+
+TEST(SingleFlightTest, FollowerDeadlineExpiresWhileWaiting) {
+  SingleFlight flights;
+  const SingleFlight::Ticket leader = flights.Join(Key(1));
+  const SingleFlight::Ticket follower = flights.Join(Key(1));
+  QueryResult out;
+  EXPECT_FALSE(
+      flights.Wait(follower, Deadline::AfterSeconds(0.05), &out));
+  flights.Publish(leader, Result(1));  // leader finishes later; no crash
+}
+
+TEST(SingleFlightTest, AbortWakesFollowersWithoutResult) {
+  SingleFlight flights;
+  const SingleFlight::Ticket leader = flights.Join(Key(1));
+  const SingleFlight::Ticket follower = flights.Join(Key(1));
+  std::promise<bool> woke;
+  std::thread waiter([&] {
+    QueryResult out;
+    woke.set_value(flights.Wait(follower, Deadline::AfterSeconds(5), &out));
+  });
+  while (flights.waiting() == 0) std::this_thread::yield();
+  flights.Abort(leader);
+  EXPECT_FALSE(woke.get_future().get());  // woke early, no published result
+  waiter.join();
+  // The aborted flight left the table.
+  EXPECT_TRUE(flights.Join(Key(1)).leader);
+}
+
+}  // namespace
+}  // namespace sgq

@@ -2,8 +2,9 @@
 // SocketServer on a Unix socket, raw-socket clients speaking the line
 // protocol, ≥100 queries over ≥4 concurrent connections, a deliberate
 // TIMEOUT, a deterministic OVERLOADED, STATS totals that must match the
-// client-side counts exactly, and a graceful shutdown that drains.
-// Runs under the `tsan` ctest label.
+// client-side counts exactly, a graceful shutdown that drains, the cache
+// section of STATS with CACHE CLEAR over the wire, and RELOAD invalidation
+// under concurrent query load. Runs under the `tsan` ctest label.
 #include <unistd.h>
 
 #include <gtest/gtest.h>
@@ -18,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "gen/graph_gen.h"
 #include "graph/graph_io.h"
 #include "service/server.h"
@@ -343,6 +345,167 @@ TEST(ServiceE2eTest, FloodWithDeliberateTimeoutAndOverload) {
   EXPECT_EQ(final_stats.in_flight, 0u);
   EXPECT_EQ(final_stats.queue_depth, 0u);
   EXPECT_NE(::access(socket_path.c_str(), F_OK), 0);
+}
+
+// Number of answers in an "OK <n> <json>" / "TIMEOUT <n> <json>" response;
+// ~0ull for anything else (OVERLOADED during a reload drain).
+uint64_t AnswersInResponse(const std::string& line) {
+  const size_t space = line.find(' ');
+  if (space == std::string::npos) return ~0ull;
+  if (line.rfind("OK ", 0) != 0) return ~0ull;
+  return std::strtoull(line.c_str() + space + 1, nullptr, 10);
+}
+
+TEST(ServiceE2eTest, StatsCacheSectionAndCacheClearOverWire) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  const std::string socket_path = UniqueSocketPath("cache");
+  ServerConfig server_config;
+  server_config.unix_path = socket_path;
+  ServiceConfig service_config;
+  service_config.workers = 2;
+  service_config.queue_capacity = 8;
+
+  SocketServer server(server_config, service_config);
+  std::string error;
+  ASSERT_TRUE(server.Start(SmallDb(), &error)) << error;
+
+  const std::string payload = SerializeGraph(SmallDb().graph(1), 0);
+  Client client;
+  ASSERT_TRUE(client.Connect(socket_path));
+  const std::string first = client.Query(payload);
+  const std::string second = client.Query(payload);  // cache hit
+  EXPECT_EQ(first, second);  // byte-identical response line
+
+  std::string raw_json;
+  StatsOverWire(socket_path, &raw_json);
+  EXPECT_NE(raw_json.find("\"cache\":{"), std::string::npos) << raw_json;
+  EXPECT_EQ(ExtractUint(raw_json, "hits"), 1u);
+  EXPECT_EQ(ExtractUint(raw_json, "engine_executions"), 1u);
+  EXPECT_EQ(ExtractUint(raw_json, "entries"), 1u);
+
+  // CACHE CLEAR over the wire empties the cache; the next identical query
+  // re-executes and produces the same bytes again.
+  std::string line;
+  ASSERT_TRUE(client.Send("CACHE CLEAR\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(line, "OK cache cleared");
+  StatsOverWire(socket_path, &raw_json);
+  EXPECT_EQ(ExtractUint(raw_json, "entries"), 0u);
+  // The re-execution reports fresh timings, but the answers are identical.
+  const std::string third = client.Query(payload);
+  EXPECT_EQ(AnswersInResponse(third), AnswersInResponse(first));
+  StatsOverWire(socket_path, &raw_json);
+  EXPECT_EQ(ExtractUint(raw_json, "engine_executions"), 2u);
+
+  server.RequestStop();
+  server.Wait();
+}
+
+TEST(ServiceE2eTest, ReloadInvalidatesCacheUnderConcurrentLoad) {
+  // db2 = db1 plus a pentagon whose label is absent from db1. Clients
+  // hammer the pentagon query while the database is swapped underneath
+  // them via RELOAD @file. The invariant: per connection, the answer
+  // count is monotone 0 -> 1 — a cached pre-swap "no answers" must never
+  // be served once any answer from the new database has been seen, and
+  // in-flight old-epoch queries never surface post-swap results early.
+  const Graph pentagon = sgq::testing::MakeCycle({7, 7, 7, 7, 7});
+  GraphDatabase db1 = SmallDb(10);
+  GraphDatabase db2 = SmallDb(10);
+  db2.Add(pentagon);
+  const std::string db1_path =
+      "/tmp/sgq_e2e_db1_" + std::to_string(::getpid()) + ".txt";
+  const std::string db2_path =
+      "/tmp/sgq_e2e_db2_" + std::to_string(::getpid()) + ".txt";
+  std::string error;
+  ASSERT_TRUE(SaveDatabase(db1, db1_path, &error)) << error;
+  ASSERT_TRUE(SaveDatabase(db2, db2_path, &error)) << error;
+
+  const std::string socket_path = UniqueSocketPath("reload");
+  ServerConfig server_config;
+  server_config.unix_path = socket_path;
+  server_config.db_path = db1_path;
+  ServiceConfig service_config;
+  service_config.workers = 2;
+  service_config.queue_capacity = 16;
+
+  SocketServer server(server_config, service_config);
+  ASSERT_TRUE(server.Start(SmallDb(10), &error)) << error;
+  // Note: Start() got an in-memory copy of db1; the RELOAD below reads
+  // db2 from disk, which is how sgq_server swaps databases too.
+
+  const std::string pentagon_payload = SerializeGraph(pentagon, 0);
+  constexpr int kClients = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries_done{0};
+  std::vector<std::thread> clients;
+  std::vector<bool> monotone(kClients, true);
+  std::vector<uint64_t> last_seen(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client;
+      ASSERT_TRUE(client.Connect(socket_path));
+      // After `stop`, keep going (bounded) until this connection has seen
+      // the post-reload database, so the final assertions are not timing-
+      // dependent.
+      int post_stop_attempts = 0;
+      while (!stop.load(std::memory_order_acquire) ||
+             (last_seen[c] == 0 && ++post_stop_attempts < 500)) {
+        const std::string line = client.Query(pentagon_payload);
+        const uint64_t answers = AnswersInResponse(line);
+        if (answers == ~0ull) {
+          // OVERLOADED while the reload drains; back off and retry.
+          EXPECT_EQ(line.rfind("OVERLOADED", 0), 0u) << line;
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          continue;
+        }
+        if (answers < last_seen[c]) monotone[c] = false;
+        last_seen[c] = answers;
+        ++queries_done;
+      }
+    });
+  }
+
+  // Let the cache warm up with pre-swap answers, then swap.
+  while (queries_done.load() < 50) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  Client admin;
+  ASSERT_TRUE(admin.Connect(socket_path));
+  std::string line;
+  ASSERT_TRUE(admin.Send("RELOAD @" + db2_path + "\n"));
+  ASSERT_TRUE(admin.RecvLine(&line));
+  EXPECT_EQ(line, "OK reloaded 11 graphs") << line;
+
+  // After the reload acknowledges, a fresh query must see the pentagon —
+  // the pre-swap cached "0 answers" is unreachable (epoch moved).
+  const std::string after = admin.Query(pentagon_payload);
+  EXPECT_EQ(AnswersInResponse(after), 1u) << after;
+
+  // Keep the flood going briefly on the new database, then stop.
+  const uint64_t at_reload = queries_done.load();
+  while (queries_done.load() < at_reload + 20) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(monotone[c]) << "connection " << c
+                             << " saw answers regress after the reload";
+    EXPECT_EQ(last_seen[c], 1u) << "connection " << c
+                                << " never saw the post-reload database";
+  }
+
+  std::string raw_json;
+  StatsOverWire(socket_path, &raw_json);
+  if (CacheEnabledByEnv()) {
+    EXPECT_EQ(ExtractUint(raw_json, "epoch"), 1u);
+  }
+  EXPECT_EQ(ExtractUint(raw_json, "reloads"), 1u);
+
+  server.RequestStop();
+  server.Wait();
+  ::unlink(db1_path.c_str());
+  ::unlink(db2_path.c_str());
 }
 
 // Shutdown must not strand a connection that is mid-payload: the

@@ -11,6 +11,9 @@
 //   sgq_cli query    --db db.txt --queries queries.txt [--engine CFQL]
 //                    [--time-limit 600] [--build-limit 86400]
 //                    [--threads N] [--chunk K]   (CFQL-parallel only)
+//                    [--cache-mb 64]   (0 or SGQ_CACHE=off disables the
+//                    result cache; repeated/isomorphic queries in the set
+//                    are then served from memory)
 //                    [--format text|json]   (json: one machine-readable
 //                    object per query plus a summary object, sharing the
 //                    server's STATS serialization)
@@ -31,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/canonical.h"
+#include "cache/result_cache.h"
 #include "gen/dataset_profiles.h"
 #include "index/ct_index.h"
 #include "index/ggsx_index.h"
@@ -193,7 +198,7 @@ int CmdStats(const Flags& flags) {
 
 int CmdQuery(const Flags& flags) {
   if (!flags.Validate({"db", "queries", "engine", "time-limit", "build-limit",
-                       "threads", "chunk", "format"})) {
+                       "threads", "chunk", "format", "cache-mb"})) {
     return 2;
   }
   const std::string format = flags.Get("format", "text");
@@ -217,6 +222,8 @@ int CmdQuery(const Flags& flags) {
   config.parallel_threads =
       static_cast<uint32_t>(flags.GetDouble("threads", 0));
   config.parallel_chunk = static_cast<uint32_t>(flags.GetDouble("chunk", 0));
+  config.cache_mb = static_cast<size_t>(
+      flags.GetDouble("cache-mb", static_cast<double>(config.cache_mb)));
   if (!IsKnownEngine(engine_name)) {
     std::fprintf(stderr, "unknown engine: %s\n", engine_name.c_str());
     return 2;
@@ -238,33 +245,60 @@ int CmdQuery(const Flags& flags) {
 
   const double limit =
       flags.GetDouble("time-limit", kDefaultQueryTimeoutSeconds);
+  // Same cache stack as the server, minus singleflight (execution here is
+  // sequential): canonical hash -> lookup -> execute on miss -> insert.
+  CacheConfig cache_config;
+  cache_config.enabled = config.cache_mb > 0;
+  cache_config.max_bytes = config.cache_mb << 20;
+  ResultCache cache(cache_config);
   std::vector<QueryResult> results;
   for (GraphId i = 0; i < queries.size(); ++i) {
-    const QueryResult r =
-        engine->Query(queries.graph(i), Deadline::AfterSeconds(limit));
+    CacheKey key;
+    key.engine = engine_name;
+    bool cache_hit = false;
+    QueryResult r;
+    if (cache.enabled()) {
+      key.hash = CanonicalQueryHash(queries.graph(i));
+      cache_hit = cache.Lookup(key, &r);
+    }
+    if (!cache_hit) {
+      r = engine->Query(queries.graph(i), Deadline::AfterSeconds(limit));
+      if (cache.enabled() && !r.stats.timed_out) cache.Insert(key, r);
+    }
     if (json) {
-      std::printf("{\"query\":%u,\"stats\":%s}\n", i,
-                  ToJson(r.stats).c_str());
+      std::printf("{\"query\":%u,\"cache_hit\":%s,\"stats\":%s}\n", i,
+                  cache_hit ? "true" : "false", ToJson(r.stats).c_str());
     } else {
       std::printf("query %u: %zu answers, |C|=%llu, filter %.3f ms, "
-                  "verify %.3f ms%s\n",
+                  "verify %.3f ms%s%s\n",
                   i, r.answers.size(),
                   static_cast<unsigned long long>(r.stats.num_candidates),
                   r.stats.filtering_ms, r.stats.verification_ms,
-                  r.stats.timed_out ? " [TIMEOUT]" : "");
+                  r.stats.timed_out ? " [TIMEOUT]" : "",
+                  cache_hit ? " [cached]" : "");
     }
-    results.push_back(r);
+    results.push_back(std::move(r));
   }
   const QuerySetSummary s = Summarize(results, limit * 1e3);
   if (json) {
-    std::printf("{\"engine\":\"%s\",\"summary\":%s}\n", engine_name.c_str(),
-                ToJson(s).c_str());
+    std::printf("{\"engine\":\"%s\",\"summary\":%s,\"cache\":%s}\n",
+                engine_name.c_str(), ToJson(s).c_str(),
+                cache.Stats().ToJson().c_str());
   } else {
     std::printf(
         "summary: %u queries, %u timeouts, avg query %.3f ms "
         "(filter %.3f + verify %.3f), precision %.3f, avg |C| %.1f\n",
         s.num_queries, s.num_timeouts, s.avg_query_ms, s.avg_filtering_ms,
         s.avg_verification_ms, s.filtering_precision, s.avg_candidates);
+    const CacheStatsSnapshot cs = cache.Stats();
+    if (cs.enabled) {
+      std::printf("cache: %llu hits, %llu misses, %llu evictions, "
+                  "%llu bytes\n",
+                  static_cast<unsigned long long>(cs.hits),
+                  static_cast<unsigned long long>(cs.misses),
+                  static_cast<unsigned long long>(cs.evictions),
+                  static_cast<unsigned long long>(cs.bytes));
+    }
   }
   return 0;
 }

@@ -7,15 +7,24 @@
 //              [--timeout S] [--repeat 1] [--connections 1] [--quiet 0]
 //   sgq_client ... --op stats
 //   sgq_client ... --op reload [--db new_db.txt]
+//   sgq_client ... --op cache-clear
 //   sgq_client ... --op shutdown
+//
+// After a query run the summary line is followed by per-request latency
+// percentiles (p50/p95/p99 over every request that got a response) and the
+// aggregate throughput across all connections.
 //
 // Exit status: 0 when every response was OK (or the single control verb
 // succeeded), 1 when any request failed or the connection dropped.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/timer.h"
 
 #include "graph/graph_io.h"
 #include "tool_flags.h"
@@ -32,7 +41,8 @@ int Usage() {
       "                  --op query (--graph FILE | --queries FILE)\n"
       "                  [--timeout S] [--repeat N] [--connections C] "
       "[--quiet 1]\n"
-      "       sgq_client ... --op stats|reload|shutdown [--db FILE]\n");
+      "       sgq_client ... --op stats|reload|cache-clear|shutdown "
+      "[--db FILE]\n");
   return 2;
 }
 
@@ -62,6 +72,14 @@ bool ReadLine(int fd, std::string* line) {
 struct OutcomeCounts {
   uint64_t ok = 0, timeout = 0, overloaded = 0, bad = 0, dropped = 0;
 };
+
+// Nearest-rank percentile over a sorted sample; q in (0, 100].
+double PercentileMs(const std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  const size_t rank = static_cast<size_t>(
+      std::max(1.0, std::ceil(q / 100.0 * sorted_ms.size())));
+  return sorted_ms[std::min(rank, sorted_ms.size()) - 1];
+}
 
 void CountResponse(const std::string& line, OutcomeCounts* counts) {
   if (line.rfind("OK", 0) == 0) {
@@ -104,13 +122,16 @@ int RunQueries(const sgq_tools::Flags& flags) {
 
   std::mutex print_mu;
   OutcomeCounts totals;
+  std::vector<double> latencies_ms;  // merged under print_mu at thread exit
   bool connect_failed = false;
+  WallTimer run_timer;
   std::vector<std::thread> threads;
   for (int c = 0; c < connections; ++c) {
     threads.emplace_back([&, c] {
       std::string conn_error;
       UniqueFd fd = Connect(flags, &conn_error);
       OutcomeCounts counts;
+      std::vector<double> thread_latencies_ms;
       if (!fd.valid()) {
         std::lock_guard<std::mutex> lock(print_mu);
         std::fprintf(stderr, "connection %d: %s\n", c, conn_error.c_str());
@@ -130,11 +151,13 @@ int RunQueries(const sgq_tools::Flags& flags) {
         }
         header += '\n';
         std::string line;
+        WallTimer request_timer;
         if (!WriteAll(fd.get(), header) || !WriteAll(fd.get(), payload) ||
             !ReadLine(fd.get(), &line)) {
           ++counts.dropped;
           break;
         }
+        thread_latencies_ms.push_back(request_timer.ElapsedMillis());
         CountResponse(line, &counts);
         if (!quiet) {
           std::lock_guard<std::mutex> lock(print_mu);
@@ -147,9 +170,12 @@ int RunQueries(const sgq_tools::Flags& flags) {
       totals.overloaded += counts.overloaded;
       totals.bad += counts.bad;
       totals.dropped += counts.dropped;
+      latencies_ms.insert(latencies_ms.end(), thread_latencies_ms.begin(),
+                          thread_latencies_ms.end());
     });
   }
   for (std::thread& t : threads) t.join();
+  const double wall_seconds = run_timer.ElapsedMillis() / 1e3;
 
   std::printf("summary: ok %llu, timeout %llu, overloaded %llu, bad %llu, "
               "dropped %llu\n",
@@ -158,6 +184,18 @@ int RunQueries(const sgq_tools::Flags& flags) {
               static_cast<unsigned long long>(totals.overloaded),
               static_cast<unsigned long long>(totals.bad),
               static_cast<unsigned long long>(totals.dropped));
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    std::printf(
+        "latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms (%zu requests)\n",
+        PercentileMs(latencies_ms, 50), PercentileMs(latencies_ms, 95),
+        PercentileMs(latencies_ms, 99), latencies_ms.size());
+    std::printf("throughput: %.1f req/s over %.3f s (%d connections)\n",
+                wall_seconds > 0
+                    ? static_cast<double>(latencies_ms.size()) / wall_seconds
+                    : 0.0,
+                wall_seconds, connections);
+  }
   return (connect_failed || totals.bad > 0 || totals.dropped > 0) ? 1 : 0;
 }
 
@@ -173,6 +211,8 @@ int RunControl(const sgq_tools::Flags& flags, const std::string& op) {
     command = "STATS\n";
   } else if (op == "shutdown") {
     command = "SHUTDOWN\n";
+  } else if (op == "cache-clear") {
+    command = "CACHE CLEAR\n";
   } else {  // reload
     const std::string db = flags.Get("db", "");
     command = db.empty() ? "RELOAD\n" : "RELOAD @" + db + "\n";
@@ -198,7 +238,8 @@ int main(int argc, char** argv) {
   }
   const std::string op = flags.Get("op", "query");
   if (op == "query") return RunQueries(flags);
-  if (op == "stats" || op == "reload" || op == "shutdown") {
+  if (op == "stats" || op == "reload" || op == "cache-clear" ||
+      op == "shutdown") {
     return RunControl(flags, op);
   }
   std::fprintf(stderr, "unknown --op: %s\n", op.c_str());

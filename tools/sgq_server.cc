@@ -8,7 +8,13 @@
 //              [--workers 2] [--queue 64] [--default-timeout 600]
 //              [--build-limit 86400] [--max-request-bytes 16777216]
 //              [--threads N] [--chunk K]     (CFQL-parallel only)
+//              [--cache-mb 64] [--cache on|off]
 //   sgq_server --db db.txt --port 7474 [--host 127.0.0.1] ...
+//
+// The query-result cache (--cache-mb, default 64 MiB; --cache off or
+// SGQ_CACHE=off to disable) serves repeated and isomorphically relabeled
+// queries without re-running the engine; RELOAD invalidates it wholesale
+// and CACHE CLEAR drops it on demand.
 //
 // Protocol (one response line per request; see src/service/protocol.h):
 //   QUERY <len> [timeout_s]\n<len bytes>   -> OK <n> <json> | TIMEOUT ...
@@ -42,7 +48,8 @@ int Usage() {
                "                  [--default-timeout 600] "
                "[--build-limit 86400]\n"
                "                  [--max-request-bytes N] [--threads N] "
-               "[--chunk K]\n");
+               "[--chunk K]\n"
+               "                  [--cache-mb 64] [--cache on|off]\n");
   return 2;
 }
 
@@ -54,7 +61,8 @@ int main(int argc, char** argv) {
   if (!flags.ok() ||
       !flags.Validate({"db", "socket", "port", "host", "engine", "workers",
                        "queue", "default-timeout", "build-limit",
-                       "max-request-bytes", "threads", "chunk"})) {
+                       "max-request-bytes", "threads", "chunk", "cache-mb",
+                       "cache"})) {
     return Usage();
   }
   const std::string db_path = flags.Get("db", "");
@@ -80,6 +88,17 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(flags.GetDouble("threads", 0));
   service_config.engine.parallel_chunk =
       static_cast<uint32_t>(flags.GetDouble("chunk", 0));
+  const std::string cache_switch = flags.Get("cache", "on");
+  if (cache_switch != "on" && cache_switch != "off") {
+    std::fprintf(stderr, "--cache must be on or off\n");
+    return 2;
+  }
+  service_config.engine.cache_mb =
+      cache_switch == "off"
+          ? 0
+          : static_cast<size_t>(flags.GetDouble(
+                "cache-mb",
+                static_cast<double>(service_config.engine.cache_mb)));
   if (!IsKnownEngine(service_config.engine_name)) {
     std::fprintf(stderr, "unknown engine: %s\n",
                  service_config.engine_name.c_str());
