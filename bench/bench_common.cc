@@ -1,10 +1,13 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "gen/dataset_profiles.h"
 #include "gen/graph_gen.h"
@@ -40,6 +43,75 @@ BenchEnv GetBenchEnv() {
   env.cache_dir = EnvString("SGQ_CACHE_DIR", ".sgq_bench_cache");
   env.no_cache = std::getenv("SGQ_NO_CACHE") != nullptr;
   return env;
+}
+
+std::string BenchJsonPathFromEnv(const std::string& suite_name) {
+  const std::string exact = EnvString("SGQ_BENCH_JSON", "");
+  if (!exact.empty()) return exact;
+  const std::string dir = EnvString("SGQ_BENCH_JSON_DIR", "");
+  if (!dir.empty()) return dir + "/BENCH_" + suite_name + ".json";
+  return "";
+}
+
+namespace {
+
+// Benchmark names are ASCII identifiers plus '/' and ':'; escape the two
+// JSON-reserved characters anyway so the writer never emits invalid JSON.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// %.9g round-trips the values we record (ns/op, rates, small ratios)
+// without printf's locale pitfalls; JSON forbids inf/nan, so clamp those
+// to 0 (a skipped or zero-iteration run).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool WriteBenchJson(const std::string& path, const std::string& suite_name,
+                    const std::vector<BenchRecord>& records) {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n  \"suite\": \"" << JsonEscape(suite_name) << "\",\n"
+      << "  \"threads_available\": "
+      << std::max(1u, std::thread::hardware_concurrency()) << ",\n"
+      << "  \"benchmarks\": [";
+  bool first = true;
+  for (const BenchRecord& r : records) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"name\": \"" << JsonEscape(r.name) << "\", \"iterations\": "
+        << r.iterations << ", \"ns_per_op\": " << JsonNumber(r.ns_per_op);
+    if (!r.counters.empty()) {
+      out << ", \"counters\": {";
+      bool first_counter = true;
+      for (const auto& [key, value] : r.counters) {
+        if (!first_counter) out << ", ";
+        first_counter = false;
+        out << "\"" << JsonEscape(key) << "\": " << JsonNumber(value);
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  return static_cast<bool>(out);
 }
 
 const QuerySetSummary* EngineDatasetResult::FindSet(

@@ -84,6 +84,32 @@ struct SyntheticSweepPoint {
 };
 const std::vector<SyntheticSweepPoint>& SyntheticSweep();
 
+// ---- machine-readable microbench snapshots (BENCH_*.json) ------------------
+// The micro_* binaries tee their google-benchmark results into a small JSON
+// snapshot so perf runs are diffable across commits (ROADMAP cross-cutting
+// ask). scripts/run_micro_benches.sh is the documented invocation.
+
+struct BenchRecord {
+  std::string name;        // full benchmark name, e.g. "BM_EnumerateSteal/4"
+  uint64_t iterations = 0;
+  double ns_per_op = 0;    // real time per iteration, nanoseconds
+  // User counters in insertion order (speedup_vs_serial, ws_hit_rate, ...).
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+// Resolves where suite `suite_name` should write its snapshot:
+//   SGQ_BENCH_JSON      exact output path (single-suite runs), else
+//   SGQ_BENCH_JSON_DIR  directory, file named BENCH_<suite_name>.json,
+// else "" — no JSON requested, console output only.
+std::string BenchJsonPathFromEnv(const std::string& suite_name);
+
+// Writes the snapshot: suite name, the machine's hardware concurrency
+// (threads_available — thread-scaling numbers are meaningless without it),
+// and one object per record. Creates parent directories. False on I/O
+// failure.
+bool WriteBenchJson(const std::string& path, const std::string& suite_name,
+                    const std::vector<BenchRecord>& records);
+
 // ---- printing helpers ------------------------------------------------------
 
 // Prints a standard header naming the experiment and the paper artifact.

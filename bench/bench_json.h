@@ -1,0 +1,72 @@
+// JSON tee for the google-benchmark micro suites: the normal console table
+// still prints, and every completed run is also collected into BenchRecords
+// so SGQ_BENCH_MAIN can write a BENCH_<suite>.json snapshot (see
+// WriteBenchJson in bench_common.h; scripts/run_micro_benches.sh is the
+// documented invocation).
+#ifndef SGQ_BENCH_BENCH_JSON_H_
+#define SGQ_BENCH_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace sgq::bench {
+
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      // Aggregate rows (mean/median/stddev under --benchmark_repetitions)
+      // would double-count the per-repetition rows; errored runs have no
+      // timing to record.
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      BenchRecord rec;
+      rec.name = run.benchmark_name();
+      rec.iterations = static_cast<uint64_t>(run.iterations);
+      if (run.iterations > 0) {
+        rec.ns_per_op = run.real_accumulated_time /
+                        static_cast<double>(run.iterations) * 1e9;
+      }
+      for (const auto& [name, counter] : run.counters) {
+        rec.counters.emplace_back(name, counter.value);
+      }
+      records_.push_back(std::move(rec));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace sgq::bench
+
+// Drop-in replacement for BENCHMARK_MAIN() that tees results into
+// BENCH_<suite>.json when SGQ_BENCH_JSON / SGQ_BENCH_JSON_DIR is set.
+#define SGQ_BENCH_MAIN(suite)                                               \
+  int main(int argc, char** argv) {                                         \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    ::sgq::bench::JsonTeeReporter reporter;                                 \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);                         \
+    ::benchmark::Shutdown();                                                \
+    const std::string json_path = ::sgq::bench::BenchJsonPathFromEnv(suite);\
+    if (!json_path.empty()) {                                               \
+      if (!::sgq::bench::WriteBenchJson(json_path, suite,                   \
+                                        reporter.records())) {              \
+        std::fprintf(stderr, "failed to write %s\n", json_path.c_str());    \
+        return 1;                                                           \
+      }                                                                     \
+      std::fprintf(stderr, "wrote %s (%zu benchmarks)\n", json_path.c_str(),\
+                   reporter.records().size());                              \
+    }                                                                       \
+    return 0;                                                               \
+  }
+
+#endif  // SGQ_BENCH_BENCH_JSON_H_

@@ -6,6 +6,8 @@
 // count; sparse (tree-like) and dense variants bracket the workload.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -112,4 +114,4 @@ BENCHMARK(BM_InsertEvictChurn);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SGQ_BENCH_MAIN("micro_cache");

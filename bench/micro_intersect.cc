@@ -7,6 +7,8 @@
 // baseline's advantage should disappear.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include <algorithm>
 #include <cstdint>
 #include <iterator>
@@ -167,4 +169,4 @@ BENCHMARK(BM_IntersectAdaptiveScalar)->Apply(IntersectShapes);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SGQ_BENCH_MAIN("micro_intersect");

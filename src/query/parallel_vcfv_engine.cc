@@ -2,18 +2,73 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <string_view>
+#include <thread>
 
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace sgq {
 
+namespace {
+
+struct SlotAccumulator {
+  std::vector<GraphId> answers;
+  uint64_t candidates = 0;
+  uint64_t si_tests = 0;
+  size_t max_aux = 0;
+  int64_t filter_nanos = 0;
+  int64_t verify_nanos = 0;
+  EnumerateResult counters;  // intersect_*/local_candidates sums
+};
+
+// Merges the per-slot accumulators into the result, sorts the answers, and
+// converts the summed phase nanos to the parallel wall-clock estimate (see
+// the convention in query/stats.h).
+void FoldAccumulators(const std::vector<SlotAccumulator>& accumulators,
+                      uint32_t executors, QueryResult* result) {
+  int64_t filter_nanos = 0, verify_nanos = 0;
+  for (const SlotAccumulator& acc : accumulators) {
+    result->answers.insert(result->answers.end(), acc.answers.begin(),
+                           acc.answers.end());
+    result->stats.num_candidates += acc.candidates;
+    result->stats.si_tests += acc.si_tests;
+    AddIntersectCounters(&result->stats, acc.counters);
+    result->stats.aux_memory_bytes =
+        std::max(result->stats.aux_memory_bytes, acc.max_aux);
+    filter_nanos += acc.filter_nanos;
+    verify_nanos += acc.verify_nanos;
+  }
+  std::sort(result->answers.begin(), result->answers.end());
+  result->stats.num_answers = result->answers.size();
+  result->stats.filtering_ms =
+      static_cast<double>(filter_nanos) / executors / 1e6;
+  result->stats.verification_ms =
+      static_cast<double>(verify_nanos) / executors / 1e6;
+}
+
+}  // namespace
+
 ParallelVcfvEngine::ParallelVcfvEngine(
     std::string name, std::function<std::unique_ptr<Matcher>()> matcher_factory,
-    uint32_t num_threads, uint32_t chunk_size)
+    uint32_t num_threads, uint32_t chunk_size, IntraQueryConfig intra)
     : name_(std::move(name)),
       chunk_size_(chunk_size),
+      intra_(intra),
       pool_(std::make_unique<ThreadPool>(num_threads)) {
+  // SGQ_INTRA_STEAL overrides the configuration, mirroring SGQ_CACHE: "on"
+  // forces stealing with heavy_threshold=1 so even small enumerations run
+  // through the scheduler (the CI determinism-stress leg), "off" disables.
+  if (const char* env = std::getenv("SGQ_INTRA_STEAL")) {
+    const std::string_view v(env);
+    if (v == "on") {
+      intra_.enabled = true;
+      intra_.heavy_threshold = 1;
+    } else if (v == "off") {
+      intra_.enabled = false;
+    }
+  }
   // One slot per ParallelFor executor: every pool thread plus the calling
   // thread, which participates in the chunk loop under the last slot id.
   const uint32_t num_slots = pool_->num_threads() + 1;
@@ -21,6 +76,11 @@ ParallelVcfvEngine::ParallelVcfvEngine(
   for (uint32_t i = 0; i < num_slots; ++i) {
     slots_.push_back(std::make_unique<WorkerSlot>());
     slots_.back()->matcher = matcher_factory();
+  }
+  if (intra_.enabled) {
+    scheduler_ = std::make_unique<StealScheduler>(
+        num_slots, StealConfig{intra_.steal_chunk, intra_.intra_threads,
+                               intra_.heavy_threshold});
   }
 }
 
@@ -33,6 +93,7 @@ bool ParallelVcfvEngine::Prepare(const GraphDatabase& db, Deadline deadline) {
 QueryResult ParallelVcfvEngine::Query(const Graph& query,
                                       Deadline deadline) const {
   SGQ_CHECK(db_ != nullptr) << name_ << ": call Prepare() first";
+  if (scheduler_ != nullptr) return QueryIntra(query, deadline);
   QueryResult result;
   // A deadline that expired before we start (e.g. while the request sat in
   // a service admission queue) is the OOT outcome with zero work done.
@@ -43,15 +104,6 @@ QueryResult ParallelVcfvEngine::Query(const Graph& query,
   const size_t num_graphs = db_->size();
   const uint32_t executors = pool_->num_threads() + 1;
 
-  struct SlotAccumulator {
-    std::vector<GraphId> answers;
-    uint64_t candidates = 0;
-    uint64_t si_tests = 0;
-    size_t max_aux = 0;
-    int64_t filter_nanos = 0;
-    int64_t verify_nanos = 0;
-    EnumerateResult counters;  // intersect_*/local_candidates sums
-  };
   std::vector<SlotAccumulator> accumulators(executors);
   std::atomic<bool> timed_out{false};
 
@@ -106,27 +158,149 @@ QueryResult ParallelVcfvEngine::Query(const Graph& query,
         }
       });
 
-  int64_t filter_nanos = 0, verify_nanos = 0;
-  for (const SlotAccumulator& acc : accumulators) {
-    result.answers.insert(result.answers.end(), acc.answers.begin(),
-                          acc.answers.end());
-    result.stats.num_candidates += acc.candidates;
-    result.stats.si_tests += acc.si_tests;
-    AddIntersectCounters(&result.stats, acc.counters);
-    result.stats.aux_memory_bytes =
-        std::max(result.stats.aux_memory_bytes, acc.max_aux);
-    filter_nanos += acc.filter_nanos;
-    verify_nanos += acc.verify_nanos;
-  }
-  std::sort(result.answers.begin(), result.answers.end());
-  result.stats.num_answers = result.answers.size();
+  FoldAccumulators(accumulators, executors, &result);
   result.stats.timed_out = timed_out.load();
-  // Parallel wall-clock estimate: summed per-slot phase time spread over
-  // the executor count (see the convention note in query/stats.h).
-  result.stats.filtering_ms =
-      static_cast<double>(filter_nanos) / executors / 1e6;
-  result.stats.verification_ms =
-      static_cast<double>(verify_nanos) / executors / 1e6;
+
+  uint64_t ws_hits_after = 0, ws_misses_after = 0;
+  for (const auto& slot : slots_) {
+    ws_hits_after += slot->workspace.filter_hits();
+    ws_misses_after += slot->workspace.filter_misses();
+  }
+  result.stats.ws_filter_hits = ws_hits_after - ws_hits_before;
+  result.stats.ws_filter_misses = ws_misses_after - ws_misses_before;
+  return result;
+}
+
+QueryResult ParallelVcfvEngine::QueryIntra(const Graph& query,
+                                           Deadline deadline) const {
+  QueryResult result;
+  if (deadline.Expired()) {
+    result.stats.timed_out = true;
+    return result;
+  }
+  const size_t num_graphs = db_->size();
+  const uint32_t executors = pool_->num_threads() + 1;
+
+  std::vector<SlotAccumulator> accumulators(executors);
+  std::atomic<bool> timed_out{false};
+  // Graph hand-out counter — the ParallelFor loop, inlined so an executor
+  // that drains the range can fall through into the help phase below
+  // instead of exiting the parallel region.
+  std::atomic<size_t> next{0};
+  // Executors still in the scan loop. Owners block inside
+  // StealScheduler::Enumerate until their job's last task retires, so once
+  // this reaches zero no job is in flight and helpers may leave.
+  std::atomic<uint32_t> scanning{executors};
+
+  uint64_t ws_hits_before = 0, ws_misses_before = 0;
+  for (const auto& slot : slots_) {
+    ws_hits_before += slot->workspace.filter_hits();
+    ws_misses_before += slot->workspace.filter_misses();
+  }
+
+  const size_t chunk = chunk_size_ != 0
+                           ? chunk_size_
+                           : ThreadPool::DefaultChunk(num_graphs, executors);
+
+  auto worker = [&](uint32_t slot_id) {
+    WorkerSlot& slot = *slots_[slot_id];
+    SlotAccumulator& acc = accumulators[slot_id];
+    DeadlineChecker checker(deadline);
+    WallTimer timer;
+    bool bail = false;
+    while (!bail) {
+      const size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= num_graphs) break;
+      const size_t end = std::min(begin + chunk, num_graphs);
+      for (size_t g = begin; g < end && !bail; ++g) {
+        if (timed_out.load(std::memory_order_relaxed)) {
+          bail = true;
+          break;
+        }
+        const Graph& data = db_->graph(static_cast<GraphId>(g));
+
+        timer.Restart();
+        const FilterData* filter_data =
+            slot.matcher->Filter(query, data, &slot.workspace);
+        acc.filter_nanos += timer.ElapsedNanos();
+        acc.max_aux = std::max(acc.max_aux, filter_data->MemoryBytes());
+
+        if (filter_data->Passed()) {
+          ++acc.candidates;
+          timer.Restart();
+          // The matcher contract for intra engines: Enumerate() is
+          // JoinBasedOrder + BacktrackOverCandidates (GraphQL/CFQL family),
+          // so splitting the same order across the scheduler is
+          // bit-identical to the matcher's own call.
+          const std::vector<VertexId>& order =
+              JoinBasedOrder(query, filter_data->phi, &slot.workspace);
+          EnumerateResult er;
+          if (scheduler_->ShouldSplit(
+                  filter_data->phi.set(order[0]).size())) {
+            er = scheduler_->Enumerate(slot_id, query, data,
+                                       filter_data->phi, order,
+                                       /*limit=*/1, deadline, nullptr,
+                                       &slot.workspace,
+                                       DefaultExtensionPath());
+          } else {
+            er = BacktrackOverCandidates(query, data, filter_data->phi,
+                                         order, /*limit=*/1, &checker,
+                                         nullptr, &slot.workspace,
+                                         DefaultExtensionPath());
+          }
+          acc.verify_nanos += timer.ElapsedNanos();
+          ++acc.si_tests;
+          acc.counters.AddCounters(er);
+          if (er.embeddings > 0) {
+            acc.answers.push_back(static_cast<GraphId>(g));
+          }
+          if (er.aborted) {
+            timed_out.store(true, std::memory_order_relaxed);
+            bail = true;
+            break;
+          }
+        }
+        if (deadline.Expired()) {
+          timed_out.store(true, std::memory_order_relaxed);
+          bail = true;
+        }
+      }
+    }
+    // Scan share drained (or timed out): help the executors still working
+    // on heavy graphs instead of idling out of the parallel region. The
+    // release decrement pairs with the acquire loads below.
+    scanning.fetch_sub(1, std::memory_order_release);
+    if (!scheduler_->CanHelp(slot_id)) return;
+    timer.Restart();
+    bool helped = false;
+    while (scanning.load(std::memory_order_acquire) > 0 ||
+           scheduler_->HasPendingTasks()) {
+      if (scheduler_->TryHelp(slot_id, &slot.workspace)) {
+        helped = true;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    // Help time lands in verification: that is the phase the stolen tasks
+    // belong to. Only charged when a task was actually run, so pure
+    // yield-spinning does not inflate the estimate (see DESIGN.md on the
+    // residual fuzziness).
+    if (helped) acc.verify_nanos += timer.ElapsedNanos();
+  };
+
+  for (uint32_t i = 0; i < pool_->num_threads(); ++i) {
+    pool_->Submit([&worker, i] { worker(i); });
+  }
+  worker(executors - 1);  // the caller participates under the last slot id
+  pool_->Wait();
+
+  FoldAccumulators(accumulators, executors, &result);
+  result.stats.timed_out = timed_out.load();
+
+  const StealCounters sc = scheduler_->DrainCounters();
+  result.stats.tasks_spawned = sc.tasks_spawned;
+  result.stats.tasks_stolen = sc.tasks_stolen;
+  result.stats.tasks_aborted = sc.tasks_aborted;
 
   uint64_t ws_hits_after = 0, ws_misses_after = 0;
   for (const auto& slot : slots_) {

@@ -28,11 +28,29 @@
 #include <vector>
 
 #include "matching/matcher.h"
+#include "matching/parallel_backtrack.h"
 #include "matching/workspace.h"
 #include "query/query_engine.h"
 #include "util/thread_pool.h"
 
 namespace sgq {
+
+// Intra-query parallelism knobs. When enabled, a heavy enumeration (one
+// whose first-level candidate set reaches heavy_threshold) is split into
+// steal-able tasks on a StealScheduler instead of pinning its executor, and
+// executors whose share of the graph scan drains join those tasks instead
+// of exiting the parallel region. Requires a matcher whose Enumerate() is
+// JoinBasedOrder + BacktrackOverCandidates (the GraphQL/CFQL family) — the
+// engine factory only wires intra mode for those. The SGQ_INTRA_STEAL
+// environment variable overrides: "on" enables with heavy_threshold=1 (every
+// verification runs through the scheduler — the determinism-stress setting),
+// "off" disables.
+struct IntraQueryConfig {
+  bool enabled = false;
+  uint32_t steal_chunk = 0;      // StealConfig::chunk (0 = auto)
+  uint32_t intra_threads = 0;    // StealConfig::intra_threads (0 = all)
+  uint32_t heavy_threshold = 0;  // StealConfig::heavy_threshold (0 = auto)
+};
 
 class ParallelVcfvEngine : public QueryEngine {
  public:
@@ -43,7 +61,8 @@ class ParallelVcfvEngine : public QueryEngine {
   // automatically from the database size).
   ParallelVcfvEngine(std::string name,
                      std::function<std::unique_ptr<Matcher>()> matcher_factory,
-                     uint32_t num_threads = 0, uint32_t chunk_size = 0);
+                     uint32_t num_threads = 0, uint32_t chunk_size = 0,
+                     IntraQueryConfig intra = {});
 
   const char* name() const override { return name_.c_str(); }
 
@@ -55,6 +74,7 @@ class ParallelVcfvEngine : public QueryEngine {
 
   uint32_t num_threads() const { return pool_->num_threads(); }
   uint32_t chunk_size() const { return chunk_size_; }
+  bool intra_enabled() const { return scheduler_ != nullptr; }
 
  private:
   struct WorkerSlot {
@@ -62,9 +82,18 @@ class ParallelVcfvEngine : public QueryEngine {
     MatchWorkspace workspace;
   };
 
+  // The scan loop with intra-query stealing: heavy enumerations are split
+  // across the scheduler; drained executors help until the last one
+  // finishes its range.
+  QueryResult QueryIntra(const Graph& query, Deadline deadline) const;
+
   std::string name_;
   uint32_t chunk_size_;
+  IntraQueryConfig intra_;
   std::unique_ptr<ThreadPool> pool_;
+  // Present iff intra-query stealing is enabled; sized to the executor
+  // count (pool threads + caller).
+  std::unique_ptr<StealScheduler> scheduler_;
   // One slot per executor (pool threads + the participating caller);
   // ParallelFor guarantees a slot is driven by at most one thread at a
   // time, so slots need no locks. Mutable because the

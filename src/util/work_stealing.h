@@ -1,0 +1,169 @@
+// A Chase-Lev-style work-stealing deque (Chase & Lev, SPAA'05), the
+// per-worker task queue behind intra-query parallel backtracking.
+//
+// One OWNER thread pushes and pops at the bottom (LIFO — the hot path stays
+// on the freshest, cache-warm task); any number of THIEF threads steal from
+// the top (FIFO — thieves take the oldest, typically largest, task). The
+// owner's fast path is a handful of atomic operations with no lock; thieves
+// synchronize through a single compare-exchange on `top_`.
+//
+// Memory-ordering note: the textbook formulation relies on standalone
+// memory fences, which ThreadSanitizer does not model (it would lose the
+// synchronizes-with edges and the suite runs under a tsan CTest label).
+// This implementation instead puts seq_cst ordering on the top_/bottom_
+// accesses that the fences would have ordered. At our task granularity — a
+// task is a whole backtracking subtree, microseconds to milliseconds — the
+// extra ordering cost is unmeasurable, and the algorithm is exactly the
+// sequentially-consistent ABP/Chase-Lev from the original paper.
+//
+// Growth: the circular buffer doubles when full. Old buffers are retired,
+// not freed, because a concurrent thief may still be reading through a
+// stale buffer pointer; retirees are reclaimed in the destructor (and the
+// capacity stays warm for the next query, matching the MatchWorkspace
+// recycling idiom).
+#ifndef SGQ_UTIL_WORK_STEALING_H_
+#define SGQ_UTIL_WORK_STEALING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace sgq {
+
+// Outcome of a Steal() attempt. kAbort means the thief lost a race (with
+// the owner's pop of the last element or another thief) — the deque may
+// still hold work, so callers typically retry or move to the next victim.
+enum class StealOutcome { kSuccess, kEmpty, kAbort };
+
+template <typename T>
+class WorkStealingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "elements are copied through atomic cells");
+
+ public:
+  explicit WorkStealingDeque(size_t initial_capacity = 64) {
+    size_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    buffers_.push_back(std::make_unique<Buffer>(cap));
+    buffer_.store(buffers_.back().get(), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  // Owner only. Never blocks; grows the buffer when full.
+  void PushBottom(T item) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<int64_t>(buf->capacity)) {
+      buf = Grow(buf, t, b);
+    }
+    buf->Put(b, item);
+    // seq_cst publish: a thief that observes the new bottom_ also observes
+    // the element store (the cells are atomics, so this is a plain
+    // release/acquire edge strengthened to total order with top_).
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  // Owner only. LIFO: returns the most recently pushed item.
+  bool PopBottom(T* out) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    // Reserve the bottom slot before reading top_ — the seq_cst pair with
+    // Steal()'s top_ CAS guarantees at most one of {owner, thief} wins the
+    // last element.
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Empty: undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    T item = buf->Get(b);
+    if (t == b) {
+      // Last element: race a pending thief for it via the same CAS a thief
+      // would use.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        // Thief won.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    *out = item;
+    return true;
+  }
+
+  // Any thread. FIFO: takes the oldest item.
+  StealOutcome Steal(T* out) {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return StealOutcome::kEmpty;
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    T item = buf->Get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return StealOutcome::kAbort;  // lost to the owner or another thief
+    }
+    *out = item;
+    return StealOutcome::kSuccess;
+  }
+
+  // Approximate (racy) emptiness check — useful as a cheap pre-filter
+  // before paying for a Steal attempt.
+  bool Empty() const {
+    return top_.load(std::memory_order_relaxed) >=
+           bottom_.load(std::memory_order_relaxed);
+  }
+
+  // Approximate size; exact when quiescent.
+  size_t Size() const {
+    const int64_t d = bottom_.load(std::memory_order_relaxed) -
+                      top_.load(std::memory_order_relaxed);
+    return d > 0 ? static_cast<size_t>(d) : 0;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(size_t cap)
+        : capacity(cap), mask(cap - 1), cells(new std::atomic<T>[cap]) {}
+    const size_t capacity;
+    const size_t mask;
+    std::unique_ptr<std::atomic<T>[]> cells;
+
+    T Get(int64_t i) const {
+      return cells[static_cast<size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void Put(int64_t i, T v) {
+      cells[static_cast<size_t>(i) & mask].store(v,
+                                                 std::memory_order_relaxed);
+    }
+  };
+
+  // Owner only. Doubles capacity, copying the live range [t, b). The old
+  // buffer stays in buffers_ (thieves may hold a stale pointer); publish
+  // the new one with release so a thief's acquire load sees the copies.
+  Buffer* Grow(Buffer* old, int64_t t, int64_t b) {
+    buffers_.push_back(std::make_unique<Buffer>(old->capacity * 2));
+    Buffer* fresh = buffers_.back().get();
+    for (int64_t i = t; i < b; ++i) fresh->Put(i, old->Get(i));
+    buffer_.store(fresh, std::memory_order_release);
+    return fresh;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_{nullptr};
+  // All buffers ever allocated, current one last; mutated by the owner only.
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_UTIL_WORK_STEALING_H_

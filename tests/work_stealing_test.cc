@@ -1,0 +1,219 @@
+// Chase-Lev deque (util/work_stealing.h): owner LIFO semantics, thief FIFO
+// semantics, buffer growth, and — under the tsan CTest label — the owner
+// push/pop vs. concurrent-stealers races. The conservation checks (every
+// pushed item taken exactly once, by exactly one taker) are the properties
+// the intra-query scheduler's task accounting depends on.
+#include "util/work_stealing.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace sgq {
+namespace {
+
+TEST(WorkStealingDequeTest, PopIsLifo) {
+  WorkStealingDeque<int> dq;
+  for (int i = 0; i < 10; ++i) dq.PushBottom(i);
+  for (int i = 9; i >= 0; --i) {
+    int out = -1;
+    ASSERT_TRUE(dq.PopBottom(&out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(dq.PopBottom(&out));
+}
+
+TEST(WorkStealingDequeTest, StealIsFifo) {
+  WorkStealingDeque<int> dq;
+  for (int i = 0; i < 10; ++i) dq.PushBottom(i);
+  for (int i = 0; i < 10; ++i) {
+    int out = -1;
+    ASSERT_EQ(dq.Steal(&out), StealOutcome::kSuccess);
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_EQ(dq.Steal(&out), StealOutcome::kEmpty);
+}
+
+TEST(WorkStealingDequeTest, EmptyDequeRefusesBothEnds) {
+  WorkStealingDeque<int> dq;
+  int out = -1;
+  EXPECT_TRUE(dq.Empty());
+  EXPECT_EQ(dq.Size(), 0u);
+  EXPECT_FALSE(dq.PopBottom(&out));
+  EXPECT_EQ(dq.Steal(&out), StealOutcome::kEmpty);
+  // Emptied-after-use behaves like fresh.
+  dq.PushBottom(7);
+  ASSERT_TRUE(dq.PopBottom(&out));
+  EXPECT_FALSE(dq.PopBottom(&out));
+  EXPECT_EQ(dq.Steal(&out), StealOutcome::kEmpty);
+}
+
+TEST(WorkStealingDequeTest, OwnerAndThiefInterleave) {
+  WorkStealingDeque<int> dq;
+  for (int i = 0; i < 4; ++i) dq.PushBottom(i);  // bottom: 3, top: 0
+  int out = -1;
+  ASSERT_EQ(dq.Steal(&out), StealOutcome::kSuccess);  // oldest
+  EXPECT_EQ(out, 0);
+  ASSERT_TRUE(dq.PopBottom(&out));  // freshest
+  EXPECT_EQ(out, 3);
+  ASSERT_EQ(dq.Steal(&out), StealOutcome::kSuccess);
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(dq.PopBottom(&out));  // last element, owner wins the CAS race
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(dq.PopBottom(&out));
+  EXPECT_EQ(dq.Steal(&out), StealOutcome::kEmpty);
+}
+
+TEST(WorkStealingDequeTest, GrowsPastInitialCapacity) {
+  WorkStealingDeque<int> dq(/*initial_capacity=*/4);
+  constexpr int kN = 1000;  // forces several doublings
+  for (int i = 0; i < kN; ++i) dq.PushBottom(i);
+  EXPECT_EQ(dq.Size(), static_cast<size_t>(kN));
+  // Half from the top (FIFO), half from the bottom (LIFO) — the live range
+  // must have been copied intact across every Grow.
+  for (int i = 0; i < kN / 2; ++i) {
+    int out = -1;
+    ASSERT_EQ(dq.Steal(&out), StealOutcome::kSuccess);
+    EXPECT_EQ(out, i);
+  }
+  for (int i = kN - 1; i >= kN / 2; --i) {
+    int out = -1;
+    ASSERT_TRUE(dq.PopBottom(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(dq.Empty());
+}
+
+TEST(WorkStealingDequeTest, GrowthWhileNonEmptyPreservesOrder) {
+  WorkStealingDeque<int> dq(/*initial_capacity=*/4);
+  // Interleave pushes and pops so the live window wraps around the ring
+  // before a growth happens.
+  int next = 0, expect_top = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 7; ++i) dq.PushBottom(next++);
+    int out = -1;
+    ASSERT_EQ(dq.Steal(&out), StealOutcome::kSuccess);
+    EXPECT_EQ(out, expect_top++);
+  }
+  // Drain from the top: strictly ascending continuation.
+  int out = -1;
+  while (dq.Steal(&out) == StealOutcome::kSuccess) {
+    EXPECT_EQ(out, expect_top++);
+  }
+  EXPECT_EQ(expect_top, next);
+}
+
+// The race the scheduler lives on: one owner pushing/popping while several
+// thieves steal. Every item must be taken exactly once — counted via a
+// per-item tally — and totals must conserve. Run under TSan via the tsan
+// CTest label.
+TEST(WorkStealingDequeTest, StressOwnerVsConcurrentStealers) {
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque<int> dq(/*initial_capacity=*/8);
+  std::vector<std::atomic<int>> taken(kItems);
+  for (auto& t : taken) t.store(0, std::memory_order_relaxed);
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> stolen_count{0};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&dq, &taken, &done, &stolen_count] {
+      uint64_t local = 0;
+      while (true) {
+        int out = -1;
+        const StealOutcome outcome = dq.Steal(&out);
+        if (outcome == StealOutcome::kSuccess) {
+          taken[out].fetch_add(1, std::memory_order_relaxed);
+          ++local;
+        } else if (outcome == StealOutcome::kEmpty &&
+                   done.load(std::memory_order_acquire)) {
+          break;
+        }
+        // kAbort (lost a race): just retry.
+      }
+      stolen_count.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  // Owner: push in bursts, pop some back LIFO — the scheduler's pattern of
+  // seeding a job then draining its own deque while thieves raid it.
+  uint64_t popped_count = 0;
+  int next = 0;
+  while (next < kItems) {
+    for (int burst = 0; burst < 16 && next < kItems; ++burst) {
+      dq.PushBottom(next++);
+    }
+    for (int pops = 0; pops < 8; ++pops) {
+      int out = -1;
+      if (!dq.PopBottom(&out)) break;
+      taken[out].fetch_add(1, std::memory_order_relaxed);
+      ++popped_count;
+    }
+  }
+  // Drain the remainder as the owner, racing the thieves for the tail.
+  int out = -1;
+  while (dq.PopBottom(&out)) {
+    taken[out].fetch_add(1, std::memory_order_relaxed);
+    ++popped_count;
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : thieves) t.join();
+
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(taken[i].load(std::memory_order_relaxed), 1)
+        << "item " << i << " taken " << taken[i].load() << " times";
+  }
+  EXPECT_EQ(popped_count + stolen_count.load(),
+            static_cast<uint64_t>(kItems));
+  EXPECT_TRUE(dq.Empty());
+}
+
+// Thieves-only contention: all items consumed through Steal, with kAbort
+// retries. Exercises the thief-vs-thief CAS path without the owner in play.
+TEST(WorkStealingDequeTest, StressThievesOnly) {
+  constexpr int kItems = 10000;
+  constexpr int kThieves = 4;
+  WorkStealingDeque<int> dq;
+  for (int i = 0; i < kItems; ++i) dq.PushBottom(i);
+
+  std::vector<std::atomic<int>> taken(kItems);
+  for (auto& t : taken) t.store(0, std::memory_order_relaxed);
+  std::vector<std::thread> thieves;
+  std::vector<std::vector<int>> orders(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&dq, &taken, &orders, t] {
+      int out = -1;
+      while (true) {
+        const StealOutcome outcome = dq.Steal(&out);
+        if (outcome == StealOutcome::kEmpty) break;
+        if (outcome != StealOutcome::kSuccess) continue;
+        taken[out].fetch_add(1, std::memory_order_relaxed);
+        orders[t].push_back(out);
+      }
+    });
+  }
+  for (std::thread& t : thieves) t.join();
+
+  uint64_t total = 0;
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(taken[i].load(std::memory_order_relaxed), 1) << "item " << i;
+  }
+  for (const auto& order : orders) {
+    total += order.size();
+    // Each thief's view of the deque is FIFO: the items it won must be in
+    // ascending push order.
+    for (size_t j = 1; j < order.size(); ++j) {
+      ASSERT_LT(order[j - 1], order[j]);
+    }
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kItems));
+}
+
+}  // namespace
+}  // namespace sgq

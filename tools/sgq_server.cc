@@ -7,7 +7,10 @@
 //   sgq_server --db db.txt --socket /tmp/sgq.sock [--engine CFQL]
 //              [--workers 2] [--queue 64] [--default-timeout 600]
 //              [--build-limit 86400] [--max-request-bytes 16777216]
-//              [--threads N] [--chunk K]     (CFQL-parallel only)
+//              [--threads N] [--chunk K]     (CFQL-parallel family)
+//              [--intra-threads N] [--steal-chunk K]
+//              (CFQL-parallel-intra only: cap on workers stealing
+//              intra-query tasks, root candidates per stolen task)
 //              [--cache-mb 64] [--cache on|off]
 //   sgq_server --db db.txt --port 7474 [--host 127.0.0.1] ...
 //
@@ -49,6 +52,7 @@ int Usage() {
                "[--build-limit 86400]\n"
                "                  [--max-request-bytes N] [--threads N] "
                "[--chunk K]\n"
+               "                  [--intra-threads N] [--steal-chunk K]\n"
                "                  [--cache-mb 64] [--cache on|off]\n");
   return 2;
 }
@@ -61,7 +65,8 @@ int main(int argc, char** argv) {
   if (!flags.ok() ||
       !flags.Validate({"db", "socket", "port", "host", "engine", "workers",
                        "queue", "default-timeout", "build-limit",
-                       "max-request-bytes", "threads", "chunk", "cache-mb",
+                       "max-request-bytes", "threads", "chunk",
+                       "intra-threads", "steal-chunk", "cache-mb",
                        "cache"})) {
     return Usage();
   }
@@ -88,6 +93,10 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(flags.GetDouble("threads", 0));
   service_config.engine.parallel_chunk =
       static_cast<uint32_t>(flags.GetDouble("chunk", 0));
+  service_config.engine.intra_threads =
+      static_cast<uint32_t>(flags.GetDouble("intra-threads", 0));
+  service_config.engine.steal_chunk =
+      static_cast<uint32_t>(flags.GetDouble("steal-chunk", 0));
   const std::string cache_switch = flags.Get("cache", "on");
   if (cache_switch != "on" && cache_switch != "off") {
     std::fprintf(stderr, "--cache must be on or off\n");
