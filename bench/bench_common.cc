@@ -1,6 +1,7 @@
 #include "bench/bench_common.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -112,6 +113,119 @@ bool WriteBenchJson(const std::string& path, const std::string& suite_name,
   }
   out << "\n  ]\n}\n";
   return static_cast<bool>(out);
+}
+
+namespace {
+
+// --- ReadBenchJson helpers: a scanner for the exact shape WriteBenchJson
+// emits (flat keys, strings escaping only '"' and '\\'). ---
+
+// Unescapes the string literal starting at text[*pos] == '"'; advances
+// *pos past the closing quote.
+bool ScanJsonString(const std::string& text, size_t* pos, std::string* out) {
+  if (*pos >= text.size() || text[*pos] != '"') return false;
+  out->clear();
+  for (size_t i = *pos + 1; i < text.size(); ++i) {
+    if (text[i] == '\\') {
+      if (++i >= text.size()) return false;
+      *out += text[i];
+    } else if (text[i] == '"') {
+      *pos = i + 1;
+      return true;
+    } else {
+      *out += text[i];
+    }
+  }
+  return false;
+}
+
+// Finds `"key":` after `from` and returns the position of the value's
+// first non-space character; std::string::npos when absent.
+size_t FindJsonValue(const std::string& text, size_t from,
+                     const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = text.find(needle, from);
+  if (at == std::string::npos) return std::string::npos;
+  size_t pos = at + needle.size();
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+}  // namespace
+
+bool ReadBenchJson(const std::string& path, std::string* suite_name,
+                   std::vector<BenchRecord>* records) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  size_t pos = FindJsonValue(text, 0, "suite");
+  std::string suite;
+  if (pos == std::string::npos || !ScanJsonString(text, &pos, &suite)) {
+    return false;
+  }
+  if (suite_name != nullptr) *suite_name = suite;
+
+  records->clear();
+  size_t array = FindJsonValue(text, 0, "benchmarks");
+  if (array == std::string::npos || text[array] != '[') return false;
+  size_t cursor = array + 1;
+  while (true) {
+    const size_t open = text.find('{', cursor);
+    const size_t close_array = text.find(']', cursor);
+    if (open == std::string::npos || close_array < open) break;
+    // Objects nest at most once (the counters map); find the record's end.
+    size_t end = text.find('}', open + 1);
+    if (end == std::string::npos) return false;
+    const size_t counters_at = FindJsonValue(text, open, "counters");
+    if (counters_at != std::string::npos && counters_at < end) {
+      end = text.find('}', end + 1);  // first '}' closed the counters map
+      if (end == std::string::npos) return false;
+    }
+    const std::string object = text.substr(open, end - open + 1);
+
+    BenchRecord record;
+    size_t at = FindJsonValue(object, 0, "name");
+    if (at == std::string::npos || !ScanJsonString(object, &at, &record.name)) {
+      return false;
+    }
+    at = FindJsonValue(object, 0, "iterations");
+    if (at != std::string::npos) {
+      record.iterations =
+          static_cast<uint64_t>(std::strtoull(object.c_str() + at, nullptr, 10));
+    }
+    at = FindJsonValue(object, 0, "ns_per_op");
+    if (at != std::string::npos) {
+      record.ns_per_op = std::strtod(object.c_str() + at, nullptr);
+    }
+    const size_t counters = FindJsonValue(object, 0, "counters");
+    if (counters != std::string::npos && object[counters] == '{') {
+      size_t cpos = counters + 1;
+      while (true) {
+        const size_t quote = object.find('"', cpos);
+        const size_t close = object.find('}', cpos);
+        if (quote == std::string::npos || close < quote) break;
+        size_t spos = quote;
+        std::string key;
+        if (!ScanJsonString(object, &spos, &key)) return false;
+        const size_t colon = object.find(':', spos);
+        if (colon == std::string::npos) return false;
+        record.counters.emplace_back(
+            key, std::strtod(object.c_str() + colon + 1, nullptr));
+        cpos = object.find(',', colon);
+        if (cpos == std::string::npos || cpos > close) break;
+        ++cpos;
+      }
+    }
+    records->push_back(std::move(record));
+    cursor = end + 1;
+  }
+  return true;
 }
 
 const QuerySetSummary* EngineDatasetResult::FindSet(

@@ -110,6 +110,15 @@ std::string BenchJsonPathFromEnv(const std::string& suite_name);
 bool WriteBenchJson(const std::string& path, const std::string& suite_name,
                     const std::vector<BenchRecord>& records);
 
+// Reads a snapshot previously written by WriteBenchJson back into records
+// (suite_name may be null). Parses only our own fixed format; false when
+// the file is missing or does not look like a snapshot. Lets a tool merge
+// new records into an existing file — sgq_client --bench-json uses it so
+// the service-flood snapshot keeps the single-server and routed
+// configurations side by side.
+bool ReadBenchJson(const std::string& path, std::string* suite_name,
+                   std::vector<BenchRecord>* records);
+
 // ---- printing helpers ------------------------------------------------------
 
 // Prints a standard header naming the experiment and the paper artifact.

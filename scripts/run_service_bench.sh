@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Service-level flood bench: floods a freshly started fleet with queries
+# through sgq_client and records latency percentiles + throughput into one
+# BENCH_service_flood.json snapshot with two records side by side:
+#
+#   direct_1server   sgq_client -> sgq_server            (no router)
+#   routed_2shards   sgq_client -> sgq_router -> 2x sgq_server --shard-of
+#
+# Latency is first-byte-after-request (connection setup excluded, see
+# tools/sgq_client.cc), so the two records isolate exactly the router's
+# scatter-gather overhead. sgq_client merges records by name into the
+# existing file, so re-running one configuration refreshes only its record.
+#
+# Usage:
+#   scripts/run_service_bench.sh [build_dir] [out_dir]
+#
+#   build_dir  defaults to ./build   (must contain tools/sgq_{cli,server,client,router})
+#   out_dir    defaults to ./bench/results
+#
+# Scale knobs (environment):
+#   SGQ_FLOOD_GRAPHS       database size        (default 200)
+#   SGQ_FLOOD_QUERIES      distinct queries     (default 20)
+#   SGQ_FLOOD_REPEAT       repeats per query    (default 25)
+#   SGQ_FLOOD_CONNECTIONS  concurrent clients   (default 8)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+out_dir="${2:-bench/results}"
+graphs="${SGQ_FLOOD_GRAPHS:-200}"
+queries="${SGQ_FLOOD_QUERIES:-20}"
+repeat="${SGQ_FLOOD_REPEAT:-25}"
+connections="${SGQ_FLOOD_CONNECTIONS:-8}"
+
+cli="${build_dir}/tools/sgq_cli"
+server="${build_dir}/tools/sgq_server"
+client="${build_dir}/tools/sgq_client"
+router="${build_dir}/tools/sgq_router"
+for bin in "${cli}" "${server}" "${client}" "${router}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not built (cmake --build ${build_dir})" >&2
+    exit 1
+  fi
+done
+
+mkdir -p "${out_dir}"
+out_json="${out_dir}/BENCH_service_flood.json"
+dir="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill "${pid}" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "${dir}"
+}
+trap cleanup EXIT
+
+"${cli}" generate --out "${dir}/db.txt" --graphs "${graphs}" --vertices 16 \
+  --degree 3 --labels 6 --seed 11
+"${cli}" genq --db "${dir}/db.txt" --out "${dir}/q.txt" --edges 4 \
+  --count "${queries}" --seed 4
+
+wait_sock() {
+  for _ in $(seq 1 100); do
+    [[ -S "$1" ]] && return 0
+    sleep 0.1
+  done
+  echo "error: $1 did not come up" >&2
+  exit 1
+}
+
+start_server() {  # socket [extra args...]
+  local sock="$1"; shift
+  "${server}" --db "${dir}/db.txt" --socket "${sock}" --engine CFQL \
+    --workers 2 --queue 64 "$@" > /dev/null 2>&1 &
+  pids+=($!)
+  wait_sock "${sock}"
+}
+
+flood() {  # socket record_name
+  "${client}" --socket "$1" --op query --queries "${dir}/q.txt" \
+    --repeat "${repeat}" --connections "${connections}" --quiet 1 \
+    --bench-json "${out_json}" --bench-name "$2"
+}
+
+echo "==> direct_1server"
+start_server "${dir}/direct.sock"
+flood "${dir}/direct.sock" direct_1server
+"${client}" --socket "${dir}/direct.sock" --op shutdown > /dev/null
+
+echo "==> routed_2shards"
+start_server "${dir}/s0.sock" --shard-of 0/2
+start_server "${dir}/s1.sock" --shard-of 1/2
+"${router}" --shards "unix:${dir}/s0.sock,unix:${dir}/s1.sock" \
+  --socket "${dir}/router.sock" > /dev/null 2>&1 &
+pids+=($!)
+wait_sock "${dir}/router.sock"
+flood "${dir}/router.sock" routed_2shards
+"${client}" --socket "${dir}/router.sock" --op shutdown > /dev/null
+
+echo "snapshot:"
+cat "${out_json}"

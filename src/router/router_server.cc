@@ -1,0 +1,270 @@
+#include "router/router_server.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace sgq {
+
+namespace {
+
+// Stop-flag poll cadence for idle client connections (matches server.cc).
+constexpr int kConnectionPollMs = 100;
+
+bool ReadFileToString(const std::string& path, std::string* contents,
+                      std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *contents = buffer.str();
+  return true;
+}
+
+// "OK reloaded <n> graphs" -> n. False for any other line.
+bool ParseReloadedCount(std::string_view line, uint64_t* count) {
+  constexpr std::string_view kPrefix = "OK reloaded ";
+  if (line.rfind(kPrefix, 0) != 0) return false;
+  std::string_view rest = line.substr(kPrefix.size());
+  const size_t space = rest.find(' ');
+  if (space == std::string_view::npos || rest.substr(space + 1) != "graphs") {
+    return false;
+  }
+  rest = rest.substr(0, space);
+  if (rest.empty() || rest.size() > 18) return false;
+  uint64_t value = 0;
+  for (const char c : rest) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *count = value;
+  return true;
+}
+
+}  // namespace
+
+RouterServer::RouterServer(RouterServerConfig server_config,
+                           RouterConfig router_config)
+    : config_(std::move(server_config)),
+      scatter_(std::move(router_config)) {}
+
+RouterServer::~RouterServer() {
+  RequestStop();
+  if (started_) Wait();
+}
+
+bool RouterServer::Start(std::string* error) {
+  if (started_) {
+    *error = "router already started";
+    return false;
+  }
+  if (config_.unix_path.empty() && config_.port < 0) {
+    *error = "set RouterServerConfig::unix_path or RouterServerConfig::port";
+    return false;
+  }
+  if (scatter_.config().shards.empty()) {
+    *error = "no shard endpoints configured";
+    return false;
+  }
+  if (!config_.unix_path.empty()) {
+    listener_ = ListenUnix(config_.unix_path, error);
+  } else {
+    listener_ = ListenTcp(config_.host, static_cast<uint16_t>(config_.port),
+                          &port_, error);
+  }
+  if (!listener_.valid()) return false;
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    *error = "pipe() failed";
+    listener_.Reset();
+    return false;
+  }
+  stop_pipe_rd_ = UniqueFd(pipe_fds[0]);
+  stop_pipe_wr_ = UniqueFd(pipe_fds[1]);
+  started_ = true;
+  accept_thread_ = std::thread(&RouterServer::AcceptLoop, this);
+  return true;
+}
+
+void RouterServer::RequestStop() {
+  stopping_.store(true, std::memory_order_release);
+  if (stop_pipe_wr_.valid()) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_wr_.get(), &byte, 1);
+  }
+}
+
+void RouterServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void RouterServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listener_.get(), POLLIN, 0};
+    fds[1] = {stop_pipe_rd_.get(), POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) continue;  // EINTR
+    if (fds[1].revents != 0 || stopping_.load(std::memory_order_acquire)) {
+      break;
+    }
+    if (fds[0].revents == 0) continue;
+    UniqueFd conn = AcceptConnection(listener_.get());
+    if (!conn.valid()) continue;
+    connections_.emplace_back(&RouterServer::HandleConnection, this,
+                              std::move(conn));
+  }
+  listener_.Reset();
+  for (std::thread& connection : connections_) connection.join();
+  connections_.clear();
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+}
+
+void RouterServer::HandleConnection(UniqueFd fd) {
+  RequestParser parser(config_.max_payload_bytes);
+  char buf[4096];
+  for (;;) {
+    Request request;
+    std::string parse_error;
+    const RequestParser::Status status = parser.Next(&request, &parse_error);
+    if (status == RequestParser::Status::kReady) {
+      if (!Dispatch(fd.get(), request)) return;
+      continue;
+    }
+    if (status == RequestParser::Status::kError) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      WriteAll(fd.get(), FormatBadRequestResponse(parse_error));
+      return;  // protocol errors are terminal
+    }
+    const int ready = PollReadable(fd.get(), kConnectionPollMs);
+    if (ready < 0) return;
+    if (ready == 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    const ssize_t n = ReadSome(fd.get(), buf, sizeof(buf));
+    if (n <= 0) return;
+    parser.Feed({buf, static_cast<size_t>(n)});
+  }
+}
+
+bool RouterServer::Dispatch(int fd, const Request& request) {
+  switch (request.verb) {
+    case Request::Verb::kQuery:
+      return DispatchQuery(fd, request);
+    case Request::Verb::kStats:
+      return DispatchStats(fd);
+    case Request::Verb::kReload:
+    case Request::Verb::kCacheClear:
+      return DispatchBroadcast(fd, request);
+    case Request::Verb::kShutdown: {
+      WriteAll(fd, std::string(kByeResponse));
+      if (scatter_.config().forward_shutdown) {
+        scatter_.Broadcast("SHUTDOWN");
+      }
+      RequestStop();
+      return false;
+    }
+  }
+  return false;
+}
+
+bool RouterServer::DispatchQuery(int fd, const Request& request) {
+  std::string text = request.graph_text;
+  std::string error;
+  // QUERY @path resolves on the router's filesystem; shards always get
+  // the graph inline, so they need no shared view of the path.
+  if (!request.file_ref.empty() &&
+      !ReadFileToString(request.file_ref, &text, &error)) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return WriteAll(fd, FormatBadRequestResponse(error));
+  }
+  MergedQuery merged =
+      scatter_.Query(text, request.timeout_seconds, request.limit);
+  if (!merged.ok) {
+    return WriteAll(fd, FormatOverloadedResponse(merged.detail));
+  }
+  return WriteAll(fd, FormatQueryResponse(merged.result, &merged.shards,
+                                          request.want_ids));
+}
+
+bool RouterServer::DispatchStats(int fd) {
+  const std::vector<ScatterGather::BroadcastReply> replies =
+      scatter_.Broadcast("STATS");
+  RouterStatsSnapshot snapshot = scatter_.Stats();
+  std::string json = "{\"router\":";
+  json += snapshot.ToJson();
+  // Splice the codec-failure count into the router object.
+  json.insert(json.size() - 1,
+              ",\"bad_requests\":" +
+                  std::to_string(
+                      bad_requests_.load(std::memory_order_relaxed)));
+  json += ",\"shards\":[";
+  for (size_t i = 0; i < replies.size(); ++i) {
+    if (i > 0) json += ',';
+    const ScatterGather::BroadcastReply& reply = replies[i];
+    const ResponseHead head =
+        reply.ok ? ParseResponseHead(reply.line) : ResponseHead{};
+    if (reply.ok && head.kind == ResponseHead::Kind::kOk &&
+        !head.has_count && !head.body.empty() && head.body.front() == '{') {
+      json += head.body;
+    } else {
+      json += "null";  // unreachable or non-stats reply
+    }
+  }
+  json += "]}";
+  return WriteAll(fd, "OK " + json + "\n");
+}
+
+bool RouterServer::DispatchBroadcast(int fd, const Request& request) {
+  const bool is_reload = request.verb == Request::Verb::kReload;
+  std::string command;
+  if (is_reload) {
+    // RELOAD with no path falls back to each shard's own --db default;
+    // with a path, every shard re-reads that file and re-filters its
+    // slice, so the fleet swaps to the same database.
+    command = request.file_ref.empty() ? "RELOAD"
+                                       : "RELOAD @" + request.file_ref;
+  } else {
+    command = "CACHE CLEAR";
+  }
+  const std::vector<ScatterGather::BroadcastReply> replies =
+      scatter_.Broadcast(command);
+  // Strict on both verbs: a fleet where only some shards reloaded (or
+  // dropped their cache) would mix database versions in one answer.
+  uint64_t total_graphs = 0;
+  for (size_t i = 0; i < replies.size(); ++i) {
+    std::string detail;
+    if (!replies[i].ok) {
+      detail = replies[i].error;
+    } else if (is_reload) {
+      uint64_t count = 0;
+      if (ParseReloadedCount(replies[i].line, &count)) {
+        total_graphs += count;
+      } else {
+        detail = "unexpected reply: " + replies[i].line;
+      }
+    } else if (replies[i].line !=
+               std::string_view(kCacheClearedResponse)
+                   .substr(0, kCacheClearedResponse.size() - 1)) {
+      detail = "unexpected reply: " + replies[i].line;
+    }
+    if (!detail.empty()) {
+      return WriteAll(fd, FormatOverloadedResponse(
+                              "shard " + std::to_string(i) + ": " + detail));
+    }
+  }
+  if (is_reload) {
+    return WriteAll(
+        fd, "OK reloaded " + std::to_string(total_graphs) + " graphs\n");
+  }
+  return WriteAll(fd, std::string(kCacheClearedResponse));
+}
+
+}  // namespace sgq

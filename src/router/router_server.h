@@ -1,0 +1,88 @@
+// Socket front end for the scatter-gather router: accepts client
+// connections on a Unix or TCP socket, speaks the same line protocol as
+// sgq_server (clients cannot tell a router from a single server, except
+// for the shards_ok/shards_total fields in query stats), and fans every
+// request out through a ScatterGather executor.
+//
+// Verb handling:
+//   QUERY        scatter to all shards with IDS, merge (scatter_gather.h)
+//   STATS        router counters + every shard's stats json, one object
+//   RELOAD       broadcast; strict — all shards must reload or the router
+//                reports OVERLOADED (a half-reloaded fleet would serve a
+//                frankenstein database)
+//   CACHE CLEAR  broadcast; strict for the same reason
+//   SHUTDOWN     BYE to the client, optionally SHUTDOWN to the shards,
+//                then graceful stop
+//
+// The serve loop lives in the library so tests can run router + shards
+// in-process over Unix sockets, including under TSan.
+#ifndef SGQ_ROUTER_ROUTER_SERVER_H_
+#define SGQ_ROUTER_ROUTER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "router/scatter_gather.h"
+#include "service/protocol.h"
+#include "util/socket.h"
+
+namespace sgq {
+
+struct RouterServerConfig {
+  // Exactly one of the two, as in ServerConfig.
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+
+  size_t max_payload_bytes = kDefaultMaxPayloadBytes;
+};
+
+class RouterServer {
+ public:
+  RouterServer(RouterServerConfig server_config, RouterConfig router_config);
+  ~RouterServer();
+
+  RouterServer(const RouterServer&) = delete;
+  RouterServer& operator=(const RouterServer&) = delete;
+
+  // Binds the socket and starts serving in background threads. Does NOT
+  // contact the shards — connections are dialed lazily per request, so
+  // the fleet can come up in any order.
+  bool Start(std::string* error);
+
+  uint16_t port() const { return port_; }
+
+  // Async-signal-safe graceful stop; idempotent.
+  void RequestStop();
+
+  // Blocks until fully stopped. Call once, after Start succeeded.
+  void Wait();
+
+  RouterStatsSnapshot Stats() const { return scatter_.Stats(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(UniqueFd fd);
+  bool Dispatch(int fd, const Request& request);
+  bool DispatchQuery(int fd, const Request& request);
+  bool DispatchStats(int fd);
+  bool DispatchBroadcast(int fd, const Request& request);
+
+  const RouterServerConfig config_;
+  ScatterGather scatter_;
+  std::atomic<uint64_t> bad_requests_{0};  // codec failures, for STATS
+  UniqueFd listener_;
+  UniqueFd stop_pipe_rd_, stop_pipe_wr_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> connections_;  // accept thread only
+  uint16_t port_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_ROUTER_ROUTER_SERVER_H_

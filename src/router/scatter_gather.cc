@@ -1,0 +1,289 @@
+#include "router/scatter_gather.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+namespace sgq {
+
+bool ParseShardFailurePolicy(std::string_view text,
+                             ShardFailurePolicy* policy) {
+  if (text == "error") {
+    *policy = ShardFailurePolicy::kError;
+    return true;
+  }
+  if (text == "degraded") {
+    *policy = ShardFailurePolicy::kDegraded;
+    return true;
+  }
+  return false;
+}
+
+const char* ToString(ShardFailurePolicy policy) {
+  return policy == ShardFailurePolicy::kError ? "error" : "degraded";
+}
+
+std::string RouterStatsSnapshot::ToJson() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"received\":%llu,\"merged_ok\":%llu,\"merged_timeout\":%llu,"
+      "\"failed\":%llu,\"degraded\":%llu,\"shard_failures\":%llu,"
+      "\"retries\":%llu,\"shards_total\":%u}",
+      static_cast<unsigned long long>(received),
+      static_cast<unsigned long long>(merged_ok),
+      static_cast<unsigned long long>(merged_timeout),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(degraded),
+      static_cast<unsigned long long>(shard_failures),
+      static_cast<unsigned long long>(retries), shards_total);
+  return buf;
+}
+
+MergedQuery MergeShardResults(const std::vector<ShardQueryReply>& replies,
+                              ShardFailurePolicy policy, uint64_t limit) {
+  MergedQuery merged;
+  merged.shards.total = static_cast<uint32_t>(replies.size());
+
+  // Backpressure first: a shard that rejected with OVERLOADED is alive and
+  // will take the retry — degrading would drop its graphs for no reason.
+  for (size_t i = 0; i < replies.size(); ++i) {
+    if (!replies[i].ok && replies[i].overloaded) {
+      merged.detail =
+          "shard " + std::to_string(i) + " overloaded: " + replies[i].error;
+      return merged;
+    }
+  }
+
+  std::string first_failure;
+  for (size_t i = 0; i < replies.size(); ++i) {
+    if (replies[i].ok) {
+      ++merged.shards.ok;
+    } else if (first_failure.empty()) {
+      first_failure =
+          "shard " + std::to_string(i) + " failed: " + replies[i].error;
+    }
+  }
+  if (merged.shards.ok < merged.shards.total &&
+      policy == ShardFailurePolicy::kError) {
+    merged.detail = first_failure;
+    return merged;
+  }
+  if (merged.shards.ok == 0) {
+    merged.detail = replies.empty() ? "no shards configured" : first_failure;
+    return merged;
+  }
+
+  QueryResult& out = merged.result;
+  for (const ShardQueryReply& reply : replies) {
+    if (!reply.ok) continue;
+    out.answers.insert(out.answers.end(), reply.ids.begin(),
+                       reply.ids.end());
+    const QueryStats& s = reply.stats;
+    // Phase times are per-shard wall clock and the shards ran in parallel:
+    // the slowest shard is the fan-out's wall-clock estimate (the
+    // convention of query/stats.h). Everything countable sums.
+    out.stats.filtering_ms = std::max(out.stats.filtering_ms, s.filtering_ms);
+    out.stats.verification_ms =
+        std::max(out.stats.verification_ms, s.verification_ms);
+    out.stats.num_candidates += s.num_candidates;
+    out.stats.si_tests += s.si_tests;
+    out.stats.timed_out |= s.timed_out;
+    out.stats.aux_memory_bytes += s.aux_memory_bytes;
+    out.stats.ws_filter_hits += s.ws_filter_hits;
+    out.stats.ws_filter_misses += s.ws_filter_misses;
+    out.stats.intersect_calls += s.intersect_calls;
+    out.stats.intersect_merge += s.intersect_merge;
+    out.stats.intersect_gallop += s.intersect_gallop;
+    out.stats.intersect_simd += s.intersect_simd;
+    out.stats.local_candidates += s.local_candidates;
+    out.stats.tasks_spawned += s.tasks_spawned;
+    out.stats.tasks_stolen += s.tasks_stolen;
+    out.stats.tasks_aborted += s.tasks_aborted;
+  }
+  // Shards partition the database, so the id sets are disjoint — a plain
+  // sort rebuilds the unsharded ascending order, independent of which
+  // shard answered first.
+  std::sort(out.answers.begin(), out.answers.end());
+  out.stats.num_answers = out.answers.size();
+  ApplyAnswerLimit(&out, limit);
+  merged.ok = true;
+  return merged;
+}
+
+ScatterGather::ScatterGather(RouterConfig config)
+    : config_(std::move(config)), pool_(config_.shards) {
+  stats_.shards_total = static_cast<uint32_t>(config_.shards.size());
+}
+
+bool ScatterGather::WithConnection(
+    size_t shard, const std::string& request,
+    const std::function<bool(ShardConnection*, std::string*)>& read,
+    std::string* error) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::unique_ptr<ShardConnection> connection =
+        attempt == 0 ? pool_.Checkout(shard)
+                     : std::make_unique<ShardConnection>(
+                           pool_.endpoint(shard));
+    if (!connection->Connect(error)) return false;  // fresh dial failed
+    const bool reused = connection->reused();
+    if (connection->Send(request, error) && read(connection.get(), error)) {
+      pool_.CheckIn(shard, std::move(connection));
+      return true;
+    }
+    // A reused pooled socket may simply have gone stale (shard restarted
+    // between requests); one fresh attempt distinguishes that from a down
+    // shard. Fresh-connection failures are final.
+    if (!reused) return false;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.retries;
+  }
+  return false;
+}
+
+ShardQueryReply ScatterGather::QueryShard(size_t shard,
+                                          const std::string& request,
+                                          Deadline deadline) {
+  ShardQueryReply reply;
+  const auto read = [&](ShardConnection* connection, std::string* error) {
+    std::string line;
+    if (!connection->ReadLine(deadline, &line, error)) return false;
+    const ResponseHead head = ParseResponseHead(line);
+    switch (head.kind) {
+      case ResponseHead::Kind::kOk:
+      case ResponseHead::Kind::kTimeout:
+        break;
+      case ResponseHead::Kind::kOverloaded:
+        reply.overloaded = true;
+        *error = head.body.empty() ? "(no detail)" : head.body;
+        return false;
+      case ResponseHead::Kind::kBadRequest:
+        // An old server rejecting the LIMIT/IDS grammar lands here; the
+        // message makes the version mismatch visible instead of a desync.
+        *error = "shard rejected request: " + head.body;
+        return false;
+      default:
+        *error = "malformed shard response: " + line;
+        return false;
+    }
+    if (!head.has_count) {
+      *error = "query response without answer count: " + line;
+      return false;
+    }
+    if (!ParseQueryStatsJson(head.body, &reply.stats)) {
+      *error = "unparseable shard stats: " + head.body;
+      return false;
+    }
+    std::string ids_line;
+    if (!connection->ReadLine(deadline, &ids_line, error)) return false;
+    if (!ParseIdsLine(ids_line, head.num_answers, &reply.ids)) {
+      *error = "bad IDS line (expected " +
+               std::to_string(head.num_answers) + " ids): " + ids_line;
+      return false;
+    }
+    reply.timed_out = head.kind == ResponseHead::Kind::kTimeout;
+    return true;
+  };
+  std::string error;
+  if (WithConnection(shard, request, read, &error)) {
+    reply.ok = true;
+  } else {
+    reply.ok = false;
+    reply.error = error.empty()
+                      ? pool_.endpoint(shard).ToString() + ": failed"
+                      : error;
+  }
+  return reply;
+}
+
+MergedQuery ScatterGather::Query(const std::string& graph_text,
+                                 double timeout_seconds, uint64_t limit) {
+  const double timeout = timeout_seconds > 0
+                             ? timeout_seconds
+                             : config_.default_timeout_seconds;
+  // The deadline covers the whole fan-out; each shard is told the budget
+  // remaining when its request is built, so a silent shard costs deadline,
+  // not a hang.
+  const Deadline deadline = Deadline::AfterSeconds(timeout);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.received;
+  }
+
+  const size_t num_shards = config_.shards.size();
+  std::vector<ShardQueryReply> replies(num_shards);
+  std::vector<std::thread> threads;
+  threads.reserve(num_shards);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    threads.emplace_back([this, shard, &graph_text, limit, deadline,
+                          &replies] {
+      const double remaining =
+          std::max(0.001, deadline.SecondsRemaining());
+      char header[128];
+      int header_len;
+      if (limit > 0) {
+        header_len = std::snprintf(
+            header, sizeof(header), "QUERY %zu %.3f LIMIT %llu IDS\n",
+            graph_text.size(), remaining,
+            static_cast<unsigned long long>(limit));
+      } else {
+        header_len =
+            std::snprintf(header, sizeof(header), "QUERY %zu %.3f IDS\n",
+                          graph_text.size(), remaining);
+      }
+      std::string request(header, static_cast<size_t>(header_len));
+      request += graph_text;
+      replies[shard] = QueryShard(shard, request, deadline);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  MergedQuery merged =
+      MergeShardResults(replies, config_.on_shard_failure, limit);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (const ShardQueryReply& reply : replies) {
+    if (!reply.ok) ++stats_.shard_failures;
+  }
+  if (!merged.ok) {
+    ++stats_.failed;
+  } else {
+    if (merged.result.stats.timed_out) {
+      ++stats_.merged_timeout;
+    } else {
+      ++stats_.merged_ok;
+    }
+    if (merged.shards.ok < merged.shards.total) ++stats_.degraded;
+  }
+  return merged;
+}
+
+std::vector<ScatterGather::BroadcastReply> ScatterGather::Broadcast(
+    const std::string& command_line) {
+  const Deadline deadline =
+      Deadline::AfterSeconds(config_.admin_timeout_seconds);
+  const std::string request = command_line + "\n";
+  const size_t num_shards = config_.shards.size();
+  std::vector<BroadcastReply> replies(num_shards);
+  std::vector<std::thread> threads;
+  threads.reserve(num_shards);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    threads.emplace_back([this, shard, &request, deadline, &replies] {
+      BroadcastReply& reply = replies[shard];
+      const auto read = [&](ShardConnection* connection,
+                            std::string* error) {
+        return connection->ReadLine(deadline, &reply.line, error);
+      };
+      reply.ok = WithConnection(shard, request, read, &reply.error);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return replies;
+}
+
+RouterStatsSnapshot ScatterGather::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace sgq

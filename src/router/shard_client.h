@@ -1,0 +1,109 @@
+// Router-side client plumbing for one shard backend: endpoint addressing,
+// a persistent line-protocol connection with deadline-bounded reads, and a
+// per-shard connection pool.
+//
+// Failure handling is the caller's job (scatter_gather.cc): a connection
+// that saw any error — including a read that ran out of deadline, which
+// leaves an unread response in flight — must be dropped, never checked
+// back in, because the line protocol cannot be resynchronized.
+#ifndef SGQ_ROUTER_SHARD_CLIENT_H_
+#define SGQ_ROUTER_SHARD_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/deadline.h"
+#include "util/socket.h"
+
+namespace sgq {
+
+// Where a shard server listens. Exactly one form: a Unix socket path or a
+// TCP host:port.
+struct ShardEndpoint {
+  std::string unix_path;  // non-empty selects Unix
+  std::string host;
+  uint16_t port = 0;
+
+  std::string ToString() const;
+};
+
+// One endpoint: "unix:/path", a bare absolute path (leading '/'), or
+// "host:port".
+bool ParseShardEndpoint(std::string_view text, ShardEndpoint* endpoint,
+                        std::string* error);
+
+// Comma-separated endpoint list, in shard order: element i serves shard
+// i/N. Requires at least one element.
+bool ParseShardEndpoints(std::string_view csv,
+                         std::vector<ShardEndpoint>* endpoints,
+                         std::string* error);
+
+// Longest response line the router will buffer from a shard (an IDS line
+// grows with the answer set, so this is generous).
+inline constexpr size_t kMaxShardResponseLineBytes = 64 * 1024 * 1024;
+
+// A single connection to a shard server. Not thread-safe; ownership moves
+// between the pool and exactly one scatter-gather worker at a time.
+class ShardConnection {
+ public:
+  explicit ShardConnection(ShardEndpoint endpoint)
+      : endpoint_(std::move(endpoint)) {}
+
+  // Connects if not already connected. False + *error on failure.
+  bool Connect(std::string* error);
+  bool connected() const { return fd_.valid(); }
+  // True when this object had a live connection before the current
+  // request — i.e. a send/read failure may just mean the pooled socket
+  // went stale, and the caller should retry once on a fresh connection.
+  bool reused() const { return reused_; }
+
+  bool Send(std::string_view bytes, std::string* error);
+
+  // Reads one '\n'-terminated line (terminator stripped) by `deadline`.
+  // False + *error on EOF, socket error, oversized line, or deadline
+  // expiry ("shard read timed out"). Bytes past the line stay buffered
+  // for the next call.
+  bool ReadLine(Deadline deadline, std::string* line, std::string* error);
+
+  const ShardEndpoint& endpoint() const { return endpoint_; }
+
+ private:
+  ShardEndpoint endpoint_;
+  UniqueFd fd_;
+  std::string buffer_;
+  bool reused_ = false;
+};
+
+// Keeps idle connections per shard so consecutive requests reuse sockets.
+// Checkout hands ownership to the caller; CheckIn returns a *healthy*
+// connection after a complete request/response exchange. Dropping the
+// unique_ptr instead is how failed connections leave the pool.
+class ShardConnectionPool {
+ public:
+  explicit ShardConnectionPool(std::vector<ShardEndpoint> endpoints)
+      : endpoints_(std::move(endpoints)), idle_(endpoints_.size()) {}
+
+  size_t size() const { return endpoints_.size(); }
+  const ShardEndpoint& endpoint(size_t shard) const {
+    return endpoints_[shard];
+  }
+
+  // Pooled connection for `shard` if one is idle, else a fresh
+  // (unconnected) one.
+  std::unique_ptr<ShardConnection> Checkout(size_t shard);
+  void CheckIn(size_t shard, std::unique_ptr<ShardConnection> connection);
+
+ private:
+  std::mutex mu_;
+  const std::vector<ShardEndpoint> endpoints_;
+  std::vector<std::vector<std::unique_ptr<ShardConnection>>> idle_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_ROUTER_SHARD_CLIENT_H_

@@ -1,0 +1,70 @@
+#include "router/shard_map.h"
+
+#include <cctype>
+#include <utility>
+
+namespace sgq {
+
+bool ParseShardSpec(std::string_view text, ShardSpec* spec,
+                    std::string* error) {
+  const auto parse_u32 = [](std::string_view token, uint32_t* out) {
+    if (token.empty() || token.size() > 9) return false;
+    uint32_t value = 0;
+    for (const char c : token) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+      value = value * 10 + static_cast<uint32_t>(c - '0');
+    }
+    *out = value;
+    return true;
+  };
+  const size_t slash = text.find('/');
+  ShardSpec parsed;
+  if (slash == std::string_view::npos ||
+      !parse_u32(text.substr(0, slash), &parsed.index) ||
+      !parse_u32(text.substr(slash + 1), &parsed.count)) {
+    *error = "expected <index>/<count>, e.g. 0/2, got '" + std::string(text) +
+             "'";
+    return false;
+  }
+  if (parsed.count == 0) {
+    *error = "shard count must be >= 1";
+    return false;
+  }
+  if (parsed.index >= parsed.count) {
+    *error = "shard index " + std::to_string(parsed.index) +
+             " out of range for count " + std::to_string(parsed.count);
+    return false;
+  }
+  *spec = parsed;
+  return true;
+}
+
+uint64_t ShardHashGraphId(GraphId id) {
+  // splitmix64 (Steele/Lea/Flood). Part of the wire contract — do not
+  // change the constants; router_test pins golden outputs.
+  uint64_t z = static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint32_t ShardOfGraph(GraphId id, uint32_t shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<uint32_t>(ShardHashGraphId(id) %
+                               static_cast<uint64_t>(shard_count));
+}
+
+GraphDatabase FilterDatabaseToShard(GraphDatabase db, ShardSpec spec,
+                                    std::vector<GraphId>* global_ids) {
+  global_ids->clear();
+  if (spec.count <= 1) return db;
+  GraphDatabase shard;
+  for (GraphId id = 0; id < db.size(); ++id) {
+    if (ShardOfGraph(id, spec.count) != spec.index) continue;
+    shard.Add(db.graph(id));
+    global_ids->push_back(id);
+  }
+  return shard;
+}
+
+}  // namespace sgq

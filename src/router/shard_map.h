@@ -1,0 +1,56 @@
+// The shard-assignment contract of the scatter-gather tier: which shard of
+// an M-way deployment owns which data graph. Both sides of the wire agree
+// on it —
+//   * `sgq_server --shard-of i/M` keeps only its own graphs when loading a
+//     database file (FilterDatabaseToShard), and
+//   * `sgq_router` relies on the shards jointly covering the database
+//     exactly once, so the union of per-shard answer sets IS the unsharded
+//     answer set and merging never needs to deduplicate.
+//
+// Assignment hashes the graph's position in the database file (its global
+// GraphId), not its content: ids are dense, the hash spreads consecutive
+// ids across shards, and every shard can compute its share from the same
+// file without coordination. The hash is a fixed constant of the wire
+// contract — changing it would silently misroute a mixed-version fleet, so
+// router_test pins golden values.
+#ifndef SGQ_ROUTER_SHARD_MAP_H_
+#define SGQ_ROUTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph_database.h"
+#include "graph/types.h"
+
+namespace sgq {
+
+// One shard's identity inside an M-way deployment: index in [0, count).
+struct ShardSpec {
+  uint32_t index = 0;
+  uint32_t count = 1;  // 1 = unsharded
+};
+
+// Parses "i/M" (e.g. "0/2", "1/2"). Requires M >= 1 and i < M.
+bool ParseShardSpec(std::string_view text, ShardSpec* spec,
+                    std::string* error);
+
+// splitmix64 of the graph id — a fixed, platform-independent mix so the
+// assignment is stable across builds and machines.
+uint64_t ShardHashGraphId(GraphId id);
+
+// The shard that owns global graph id `id` in a `shard_count`-way split.
+uint32_t ShardOfGraph(GraphId id, uint32_t shard_count);
+
+// Compacts `db` down to the graphs owned by `spec`, preserving file order.
+// *global_ids receives the local-to-global id map (local id i is global id
+// global_ids[i]; strictly increasing, so answers sorted by local id stay
+// sorted after mapping). For an unsharded spec (count <= 1) the database
+// passes through and *global_ids is left empty (identity).
+GraphDatabase FilterDatabaseToShard(GraphDatabase db, ShardSpec spec,
+                                    std::vector<GraphId>* global_ids);
+
+}  // namespace sgq
+
+#endif  // SGQ_ROUTER_SHARD_MAP_H_

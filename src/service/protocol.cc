@@ -144,15 +144,48 @@ RequestParser::Status RequestParser::ParseCommandLine(std::string_view line,
   }
 
   if (verb == "QUERY") {
-    if (tokens.size() < 2 || tokens.size() > 3) {
-      *error = "usage: QUERY <len>|@<path> [timeout_s]";
+    if (tokens.size() < 2) {
+      *error = "usage: QUERY <len>|@<path> [timeout_s] [LIMIT <k>] [IDS]";
       return Status::kError;
     }
     pending_.verb = Request::Verb::kQuery;
-    if (tokens.size() == 3 &&
-        !ParseTimeout(tokens[2], &pending_.timeout_seconds)) {
-      *error = "bad timeout: " + std::string(tokens[2]);
-      return Status::kError;
+    // Options after the length/@path token: an optional bare timeout first
+    // (the pre-extension grammar), then LIMIT <k> / IDS in either order,
+    // each at most once.
+    bool saw_option = false;
+    bool saw_limit = false, saw_ids = false;
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      if (tokens[i] == "LIMIT") {
+        if (saw_limit || i + 1 >= tokens.size()) {
+          *error = "usage: LIMIT <k>";
+          return Status::kError;
+        }
+        size_t k = 0;
+        if (!ParseLength(tokens[i + 1], &k) || k == 0) {
+          *error = "bad LIMIT: " + std::string(tokens[i + 1]);
+          return Status::kError;
+        }
+        pending_.limit = k;
+        saw_limit = true;
+        saw_option = true;
+        ++i;  // consumed the count
+      } else if (tokens[i] == "IDS") {
+        if (saw_ids) {
+          *error = "duplicate IDS";
+          return Status::kError;
+        }
+        pending_.want_ids = true;
+        saw_ids = true;
+        saw_option = true;
+      } else if (i == 2 && !saw_option) {
+        if (!ParseTimeout(tokens[i], &pending_.timeout_seconds)) {
+          *error = "bad timeout: " + std::string(tokens[i]);
+          return Status::kError;
+        }
+      } else {
+        *error = "unexpected QUERY option: " + std::string(tokens[i]);
+        return Status::kError;
+      }
     }
     if (tokens[1].front() == '@') {
       if (tokens[1].size() == 1) {
@@ -183,12 +216,165 @@ RequestParser::Status RequestParser::ParseCommandLine(std::string_view line,
 }
 
 std::string FormatQueryResponse(const QueryResult& result) {
+  return FormatQueryResponse(result, nullptr, false);
+}
+
+std::string FormatQueryResponse(const QueryResult& result,
+                                const ShardHealth* shards, bool with_ids) {
+  std::string json = ToJson(result.stats);
+  if (shards != nullptr) {
+    // Splice the shard-health fields into the flat stats object.
+    json.pop_back();  // '}'
+    json += ",\"shards_ok\":" + std::to_string(shards->ok) +
+            ",\"shards_total\":" + std::to_string(shards->total) + "}";
+  }
   std::string out = result.stats.timed_out ? "TIMEOUT " : "OK ";
   out += std::to_string(result.answers.size());
   out += ' ';
-  out += ToJson(result.stats);
+  out += json;
+  out += '\n';
+  if (with_ids) out += FormatIdsLine(result.answers);
+  return out;
+}
+
+std::string FormatIdsLine(std::span<const GraphId> ids) {
+  std::string out = "IDS";
+  for (const GraphId id : ids) {
+    out += ' ';
+    out += std::to_string(id);
+  }
   out += '\n';
   return out;
+}
+
+void ApplyAnswerLimit(QueryResult* result, uint64_t limit) {
+  if (limit == 0 || result->answers.size() <= limit) return;
+  result->answers.resize(limit);
+  result->stats.num_answers = limit;
+}
+
+ResponseHead ParseResponseHead(std::string_view line) {
+  ResponseHead head;
+  while (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const size_t space = line.find(' ');
+  const std::string_view outcome = line.substr(0, space);
+  std::string_view rest =
+      space == std::string_view::npos ? std::string_view() : line.substr(space + 1);
+  if (outcome == "OK") {
+    head.kind = ResponseHead::Kind::kOk;
+  } else if (outcome == "TIMEOUT") {
+    head.kind = ResponseHead::Kind::kTimeout;
+  } else if (outcome == "OVERLOADED") {
+    head.kind = ResponseHead::Kind::kOverloaded;
+  } else if (outcome == "BAD_REQUEST") {
+    head.kind = ResponseHead::Kind::kBadRequest;
+  } else if (outcome == "BYE" && rest.empty()) {
+    head.kind = ResponseHead::Kind::kBye;
+    return head;
+  } else {
+    return head;  // kMalformed
+  }
+  // Query responses carry "<n> <stats-json>": a leading all-digit token.
+  const size_t count_end = rest.find(' ');
+  const std::string_view first = rest.substr(0, count_end);
+  size_t count = 0;
+  if ((head.kind == ResponseHead::Kind::kOk ||
+       head.kind == ResponseHead::Kind::kTimeout) &&
+      !first.empty() && ParseLength(first, &count)) {
+    head.has_count = true;
+    head.num_answers = count;
+    rest = count_end == std::string_view::npos ? std::string_view()
+                                               : rest.substr(count_end + 1);
+  }
+  head.body = std::string(rest);
+  return head;
+}
+
+bool ParseIdsLine(std::string_view line, uint64_t expected,
+                  std::vector<GraphId>* ids) {
+  ids->clear();
+  while (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const std::vector<std::string_view> tokens = SplitTokens(line);
+  if (tokens.empty() || tokens[0] != "IDS") return false;
+  if (tokens.size() - 1 != expected) return false;
+  ids->reserve(expected);
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    size_t id = 0;
+    if (!ParseLength(tokens[i], &id)) return false;
+    ids->push_back(static_cast<GraphId>(id));
+  }
+  return true;
+}
+
+namespace {
+
+// Value of `"key":` in a flat json object, as a string_view over the raw
+// token (number / true / false). Empty when absent.
+std::string_view JsonRawValue(std::string_view json, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string_view::npos) return {};
+  size_t begin = pos + needle.size();
+  size_t end = begin;
+  while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+  return json.substr(begin, end - begin);
+}
+
+bool JsonUint(std::string_view json, std::string_view key, uint64_t* out) {
+  const std::string_view raw = JsonRawValue(json, key);
+  if (raw.empty()) return false;
+  size_t value = 0;
+  if (!ParseLength(raw, &value)) return false;
+  *out = value;
+  return true;
+}
+
+void JsonDouble(std::string_view json, std::string_view key, double* out) {
+  const std::string_view raw = JsonRawValue(json, key);
+  if (raw.empty()) return;
+  const std::string copy(raw);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str() + copy.size()) *out = value;
+}
+
+}  // namespace
+
+bool ParseQueryStatsJson(std::string_view json, QueryStats* stats) {
+  if (json.empty() || json.front() != '{' || json.back() != '}') return false;
+  *stats = QueryStats();
+  JsonDouble(json, "filtering_ms", &stats->filtering_ms);
+  JsonDouble(json, "verification_ms", &stats->verification_ms);
+  JsonUint(json, "num_candidates", &stats->num_candidates);
+  JsonUint(json, "num_answers", &stats->num_answers);
+  JsonUint(json, "si_tests", &stats->si_tests);
+  stats->timed_out = JsonRawValue(json, "timed_out") == "true";
+  uint64_t aux = 0;
+  if (JsonUint(json, "aux_memory_bytes", &aux)) {
+    stats->aux_memory_bytes = static_cast<size_t>(aux);
+  }
+  JsonUint(json, "ws_filter_hits", &stats->ws_filter_hits);
+  JsonUint(json, "ws_filter_misses", &stats->ws_filter_misses);
+  JsonUint(json, "intersect_calls", &stats->intersect_calls);
+  JsonUint(json, "intersect_merge", &stats->intersect_merge);
+  JsonUint(json, "intersect_gallop", &stats->intersect_gallop);
+  JsonUint(json, "intersect_simd", &stats->intersect_simd);
+  JsonUint(json, "local_candidates", &stats->local_candidates);
+  JsonUint(json, "tasks_spawned", &stats->tasks_spawned);
+  JsonUint(json, "tasks_stolen", &stats->tasks_stolen);
+  JsonUint(json, "tasks_aborted", &stats->tasks_aborted);
+  return true;
+}
+
+bool ParseShardHealth(std::string_view json, ShardHealth* health) {
+  uint64_t ok = 0, total = 0;
+  if (!JsonUint(json, "shards_ok", &ok) ||
+      !JsonUint(json, "shards_total", &total)) {
+    return false;
+  }
+  health->ok = static_cast<uint32_t>(ok);
+  health->total = static_cast<uint32_t>(total);
+  return true;
 }
 
 std::string FormatOverloadedResponse(std::string_view detail) {

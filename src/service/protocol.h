@@ -4,8 +4,8 @@
 // graphs of any size stay unambiguous.
 //
 // Requests:
-//   QUERY <len> [timeout_s]\n<len bytes of graph text>
-//   QUERY @<path> [timeout_s]\n          (server-side file, absolute path)
+//   QUERY <len> [timeout_s] [LIMIT <k>] [IDS]\n<len bytes of graph text>
+//   QUERY @<path> [timeout_s] [LIMIT <k>] [IDS]\n   (server-side file)
 //   STATS\n
 //   RELOAD [@<path>]\n                   (default: the path served at start)
 //   CACHE CLEAR\n                        (drop every cached query result)
@@ -13,8 +13,13 @@
 //
 // The payload is *exactly* <len> bytes; the next command starts immediately
 // after it. `timeout_s` is a per-request deadline in seconds (fractional
-// allowed); omitted or 0 means the server default. A trailing '\r' on the
-// command line is stripped, and blank lines between commands are ignored.
+// allowed); omitted or 0 means the server default. `LIMIT <k>` truncates the
+// answer set to its first k graph ids (k >= 1; answers are sorted, so this
+// is the k smallest ids). `IDS` asks for the answer ids themselves — the
+// partial-result framing the scatter-gather router needs to merge shards.
+// LIMIT/IDS may appear in either order but each at most once, and a bare
+// timeout must come before them. A trailing '\r' on the command line is
+// stripped, and blank lines between commands are ignored.
 //
 // Responses are a single line whose first token is the outcome:
 //   OK <n_answers> <stats-json>          (query completed)
@@ -25,13 +30,29 @@
 //   OK reloaded <n> graphs               (RELOAD)
 //   OK cache cleared                     (CACHE CLEAR)
 //   BYE                                  (SHUTDOWN acknowledged)
+// except that a query which asked for IDS gets one extra line directly
+// after its OK/TIMEOUT line (and only then — error outcomes stay one line):
+//   IDS <id_0> <id_1> ... <id_{n-1}>\n   (exactly n_answers ids, ascending)
+//
+// A server without these extensions rejects the new grammar with a
+// BAD_REQUEST and closes the connection (protocol errors are terminal), so
+// a router talking to an old server fails cleanly instead of desyncing.
+//
+// Responses from a scatter-gather router additionally carry
+// "shards_ok"/"shards_total" fields inside the stats json — under a
+// degraded partial-failure policy, shards_ok < shards_total flags an answer
+// that is missing the dead shards' graphs.
 #ifndef SGQ_SERVICE_PROTOCOL_H_
 #define SGQ_SERVICE_PROTOCOL_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "graph/types.h"
 #include "query/stats.h"
 
 namespace sgq {
@@ -50,6 +71,8 @@ struct Request {
   std::string graph_text;      // inline payload (QUERY <len>)
   std::string file_ref;        // QUERY @path / RELOAD @path
   double timeout_seconds = 0;  // 0 = server default
+  uint64_t limit = 0;          // LIMIT <k>; 0 = unlimited
+  bool want_ids = false;       // IDS: append the answer-id line
 };
 
 // Incremental request decoder. Feed() raw bytes as they arrive from the
@@ -86,17 +109,68 @@ class RequestParser {
   Request pending_;
 };
 
-// --- Response formatting (shared by the server and in-process tests) ---
+// --- Response formatting (shared by the server, router and tests) ---
+
+// Shard-health summary a router splices into merged query stats. ok == total
+// on a fully healthy fan-out; ok < total marks a degraded answer.
+struct ShardHealth {
+  uint32_t ok = 0;
+  uint32_t total = 0;
+};
 
 // "OK <n> <json>\n" or "TIMEOUT <n> <json>\n" depending on
 // result.stats.timed_out.
 std::string FormatQueryResponse(const QueryResult& result);
+
+// Same, with optional extensions: when `shards` is non-null the stats json
+// gains "shards_ok"/"shards_total" fields (router responses), and when
+// `with_ids` is set an "IDS ..." line follows the response line.
+std::string FormatQueryResponse(const QueryResult& result,
+                                const ShardHealth* shards, bool with_ids);
+
+// "IDS <id_0> ... <id_{n-1}>\n" ("IDS\n" for an empty answer set).
+std::string FormatIdsLine(std::span<const GraphId> ids);
+
+// LIMIT semantics, shared by the shard server (per-shard truncation) and
+// the router (post-merge truncation): keeps the first `limit` answers
+// (answers are sorted ascending, so the smallest ids) and updates
+// stats.num_answers to the truncated count. limit == 0 leaves everything.
+void ApplyAnswerLimit(QueryResult* result, uint64_t limit);
 
 std::string FormatOverloadedResponse(std::string_view detail = {});
 std::string FormatBadRequestResponse(std::string_view message);
 
 inline constexpr std::string_view kByeResponse = "BYE\n";
 inline constexpr std::string_view kCacheClearedResponse = "OK cache cleared\n";
+
+// --- Response decoding (router shard clients, sgq_client, tests) ---
+
+// First line of any response, split into outcome + payload. For query
+// responses (`OK <n> <json>` / `TIMEOUT <n> <json>`) `has_count` is set and
+// `num_answers`/`body` hold the count and the stats json; for the other OK
+// forms (`OK <json>`, `OK reloaded ...`) `body` is everything after the
+// outcome token. kMalformed covers anything that is not a known outcome.
+struct ResponseHead {
+  enum class Kind { kOk, kTimeout, kOverloaded, kBadRequest, kBye, kMalformed };
+  Kind kind = Kind::kMalformed;
+  bool has_count = false;
+  uint64_t num_answers = 0;
+  std::string body;
+};
+ResponseHead ParseResponseHead(std::string_view line);
+
+// Parses an "IDS ..." line; fails unless exactly `expected` ids are present.
+bool ParseIdsLine(std::string_view line, uint64_t expected,
+                  std::vector<GraphId>* ids);
+
+// Reads the flat json emitted by ToJson(QueryStats) back into a QueryStats.
+// Unknown keys are ignored; missing keys stay zero. False on anything that
+// is not a json object.
+bool ParseQueryStatsJson(std::string_view json, QueryStats* stats);
+
+// Extracts "shards_ok"/"shards_total" from a (router) stats json. False
+// when the fields are absent — i.e. the response came from a plain server.
+bool ParseShardHealth(std::string_view json, ShardHealth* health);
 
 }  // namespace sgq
 

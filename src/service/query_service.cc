@@ -81,8 +81,18 @@ QueryService::QueryService(ServiceConfig config)
 QueryService::~QueryService() { Shutdown(); }
 
 bool QueryService::Start(GraphDatabase db, std::string* error) {
+  return Start(std::move(db), {}, error);
+}
+
+bool QueryService::Start(GraphDatabase db, std::vector<GraphId> global_ids,
+                         std::string* error) {
   if (!IsKnownEngine(config_.engine_name)) {
     *error = "unknown engine: " + config_.engine_name;
+    return false;
+  }
+  if (!global_ids.empty() && global_ids.size() != db.size()) {
+    *error = "global id map covers " + std::to_string(global_ids.size()) +
+             " graphs, database has " + std::to_string(db.size());
     return false;
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -91,6 +101,7 @@ bool QueryService::Start(GraphDatabase db, std::string* error) {
     return false;
   }
   db_ = std::move(db);
+  global_ids_ = std::move(global_ids);
   const uint32_t num_workers = std::max(1u, config_.workers);
   const Deadline build_deadline =
       Deadline::AfterSeconds(config_.build_timeout_seconds);
@@ -176,6 +187,16 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
     } else {
       response = Serve(engine, request->query, request->deadline, &executed,
                        &shared);
+    }
+    if (!global_ids_.empty()) {
+      // Rewrite local answer ids to their unsharded (global) ids. Safe
+      // without mu_: this request still counts in running_, so Reload's
+      // drain cannot have swapped the map yet. The cache stack stores
+      // *local* ids (Insert/Publish run inside Serve, before this point),
+      // so hits and singleflight followers are rewritten here too — once
+      // each, on their own copy. The map is strictly increasing, so sorted
+      // answers stay sorted.
+      for (GraphId& id : response.result.answers) id = global_ids_[id];
     }
 
     lock.lock();
@@ -282,6 +303,16 @@ QueryService::Response QueryService::Serve(QueryEngine* engine,
 }
 
 bool QueryService::Reload(GraphDatabase db, std::string* error) {
+  return Reload(std::move(db), {}, error);
+}
+
+bool QueryService::Reload(GraphDatabase db, std::vector<GraphId> global_ids,
+                          std::string* error) {
+  if (!global_ids.empty() && global_ids.size() != db.size()) {
+    *error = "global id map covers " + std::to_string(global_ids.size()) +
+             " graphs, database has " + std::to_string(db.size());
+    return false;
+  }
   std::unique_lock<std::mutex> lock(mu_);
   if (!started_ || stopping_) {
     *error = "service not running";
@@ -301,6 +332,8 @@ bool QueryService::Reload(GraphDatabase db, std::string* error) {
     return false;
   }
   db_ = std::move(db);
+  // Drained (running_ == 0), so no worker is reading the old map.
+  global_ids_ = std::move(global_ids);
   // The database is gone: every cached result is stale. Advancing the
   // epoch makes them unreachable in O(1) (and purges them); queries after
   // the swap key on the new epoch.

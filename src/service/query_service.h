@@ -115,6 +115,15 @@ class QueryService {
   // unknown or any Prepare() fails (OOT/OOM).
   bool Start(GraphDatabase db, std::string* error);
 
+  // Sharded variant: `global_ids` maps each local graph id to its id in the
+  // unsharded database (see router/shard_map.h). Workers rewrite the answer
+  // ids of every response through it, so a shard reports the same ids the
+  // unsharded server would and the router can merge shards without any id
+  // translation of its own. An empty map is the identity. Must be strictly
+  // increasing (keeps answers sorted) and sized to the database.
+  bool Start(GraphDatabase db, std::vector<GraphId> global_ids,
+             std::string* error);
+
   enum class Outcome {
     kOk,            // completed within the deadline
     kTimeout,       // deadline expired (queued too long or mid-scan)
@@ -136,6 +145,8 @@ class QueryService {
   // the swap and re-prepare finish. False + *error if re-prepare fails
   // (the service then refuses further queries).
   bool Reload(GraphDatabase db, std::string* error);
+  bool Reload(GraphDatabase db, std::vector<GraphId> global_ids,
+              std::string* error);
 
   // Graceful: stops admission, drains every admitted request, joins the
   // workers. Idempotent.
@@ -174,6 +185,11 @@ class QueryService {
   std::condition_variable work_cv_;   // wakes workers: request or shutdown
   std::condition_variable drain_cv_;  // wakes Reload(): queue empty + idle
   GraphDatabase db_;
+  // Local-to-global answer-id map (sharded deployments; empty = identity).
+  // Written only while quiesced (Start before workers exist, Reload after
+  // the drain), read by workers while their request counts in running_ —
+  // the drain predicate makes those phases mutually exclusive.
+  std::vector<GraphId> global_ids_;
   std::vector<std::unique_ptr<QueryEngine>> engines_;  // one per worker
   std::vector<std::thread> workers_;
   std::deque<std::unique_ptr<PendingRequest>> queue_;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "graph/graph_io.h"
+#include "router/shard_map.h"
 
 namespace sgq {
 
@@ -51,7 +52,15 @@ bool SocketServer::Start(GraphDatabase db, std::string* error) {
     *error = "set ServerConfig::unix_path or ServerConfig::port";
     return false;
   }
-  if (!service_.Start(std::move(db), error)) return false;
+  std::vector<GraphId> global_ids;
+  if (config_.shard_count > 1) {
+    db = FilterDatabaseToShard(
+        std::move(db), {config_.shard_index, config_.shard_count},
+        &global_ids);
+  }
+  if (!service_.Start(std::move(db), std::move(global_ids), error)) {
+    return false;
+  }
 
   if (!config_.unix_path.empty()) {
     listener_ = ListenUnix(config_.unix_path, error);
@@ -162,12 +171,14 @@ bool SocketServer::Dispatch(int fd, const Request& request) {
         service_.CountBadRequest();
         return WriteAll(fd, FormatBadRequestResponse(error));
       }
-      const QueryService::Response response =
+      QueryService::Response response =
           service_.Execute(std::move(query), request.timeout_seconds);
       switch (response.outcome) {
         case QueryService::Outcome::kOk:
         case QueryService::Outcome::kTimeout:
-          return WriteAll(fd, FormatQueryResponse(response.result));
+          ApplyAnswerLimit(&response.result, request.limit);
+          return WriteAll(fd, FormatQueryResponse(response.result, nullptr,
+                                                  request.want_ids));
         case QueryService::Outcome::kOverloaded:
           return WriteAll(fd, FormatOverloadedResponse());
         case QueryService::Outcome::kShuttingDown:
@@ -191,8 +202,15 @@ bool SocketServer::Dispatch(int fd, const Request& request) {
         service_.CountBadRequest();
         return WriteAll(fd, FormatBadRequestResponse(error));
       }
+      std::vector<GraphId> global_ids;
+      if (config_.shard_count > 1) {
+        db = FilterDatabaseToShard(
+            std::move(db), {config_.shard_index, config_.shard_count},
+            &global_ids);
+      }
+      // Reports the post-filter count: what this server actually serves.
       const size_t num_graphs = db.size();
-      if (!service_.Reload(std::move(db), &error)) {
+      if (!service_.Reload(std::move(db), std::move(global_ids), &error)) {
         return WriteAll(fd, FormatOverloadedResponse(error));
       }
       return WriteAll(

@@ -32,6 +32,11 @@ struct ServerConfig {
   size_t max_payload_bytes = kDefaultMaxPayloadBytes;
   // Database file served at startup; also the default RELOAD target.
   std::string db_path;
+  // Shard identity (`--shard-of i/M`). With shard_count > 1 the server
+  // keeps only its own slice of the database (see router/shard_map.h) and
+  // reports answers under their global ids; RELOAD re-applies the filter.
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
 };
 
 class SocketServer {

@@ -165,8 +165,11 @@ ssize_t ReadSome(int fd, char* buf, size_t len) {
 bool WriteAll(int fd, std::string_view data) {
   size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n =
-        ::write(fd, data.data() + written, data.size() - written);
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE,
+    // not kill the process — the router writes to shard connections that
+    // can die at any moment.
+    const ssize_t n = ::send(fd, data.data() + written,
+                             data.size() - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;

@@ -73,7 +73,8 @@ int PollReadable(int fd, int timeout_ms);
 ssize_t ReadSome(int fd, char* buf, size_t len);
 
 // Writes the whole buffer, retrying on EINTR and short writes. False on
-// error (e.g. the peer closed the connection).
+// error (e.g. the peer closed the connection — reported as EPIPE, never
+// SIGPIPE; fd must be a socket).
 bool WriteAll(int fd, std::string_view data);
 
 }  // namespace sgq

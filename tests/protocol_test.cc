@@ -202,5 +202,205 @@ TEST(ProtocolTest, ErrorResponsesAreSingleLine) {
             "BAD_REQUEST bad thing\n");
 }
 
+// --- LIMIT / IDS grammar (the router's partial-result framing) ---
+
+TEST(ProtocolTest, ParsesLimitAndIdsOptions) {
+  RequestParser parser;
+  parser.Feed(
+      "QUERY 2 1.5 LIMIT 10 IDS\nxx"
+      "QUERY 2 IDS LIMIT 3\nxx"
+      "QUERY 2 LIMIT 7\nxx"
+      "QUERY 2 IDS\nxx"
+      "QUERY @/tmp/q.txt 0.5 LIMIT 2 IDS\n");
+  Request request;
+  std::string error;
+
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_DOUBLE_EQ(request.timeout_seconds, 1.5);
+  EXPECT_EQ(request.limit, 10u);
+  EXPECT_TRUE(request.want_ids);
+
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_DOUBLE_EQ(request.timeout_seconds, 0);  // options in either order
+  EXPECT_EQ(request.limit, 3u);
+  EXPECT_TRUE(request.want_ids);
+
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_EQ(request.limit, 7u);
+  EXPECT_FALSE(request.want_ids);
+
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_EQ(request.limit, 0u);
+  EXPECT_TRUE(request.want_ids);
+
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_EQ(request.file_ref, "/tmp/q.txt");
+  EXPECT_DOUBLE_EQ(request.timeout_seconds, 0.5);
+  EXPECT_EQ(request.limit, 2u);
+  EXPECT_TRUE(request.want_ids);
+}
+
+TEST(ProtocolTest, LimitIdsGrammarErrors) {
+  const char* bad[] = {
+      "QUERY 5 LIMIT\n",            // missing count
+      "QUERY 5 LIMIT 0\n",          // k must be >= 1
+      "QUERY 5 LIMIT abc\n",        // non-numeric count
+      "QUERY 5 LIMIT 2 LIMIT 3\n",  // duplicate LIMIT
+      "QUERY 5 IDS IDS\n",          // duplicate IDS
+      "QUERY 5 IDS 1.5\n",          // bare timeout must come first
+      "QUERY 5 LIMIT 2 bogus\n",    // unknown option
+  };
+  for (const char* line : bad) {
+    SCOPED_TRACE(line);
+    RequestParser parser;
+    parser.Feed(line);
+    Request request;
+    std::string error;
+    EXPECT_EQ(parser.Next(&request, &error), Status::kError);
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ProtocolTest, IdsLineFormatting) {
+  EXPECT_EQ(FormatIdsLine({}), "IDS\n");
+  const GraphId ids[] = {0, 12, 345};
+  EXPECT_EQ(FormatIdsLine(ids), "IDS 0 12 345\n");
+}
+
+TEST(ProtocolTest, QueryResponseWithShardsAndIds) {
+  QueryResult result;
+  result.answers = {4, 8};
+  result.stats.num_answers = 2;
+  const ShardHealth health{1, 2};
+  const std::string response = FormatQueryResponse(result, &health, true);
+  // One response line + one IDS line.
+  const size_t newline = response.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  const std::string head = response.substr(0, newline);
+  EXPECT_EQ(head.rfind("OK 2 {", 0), 0u) << head;
+  EXPECT_NE(head.find("\"shards_ok\":1"), std::string::npos) << head;
+  EXPECT_NE(head.find("\"shards_total\":2"), std::string::npos) << head;
+  EXPECT_EQ(response.substr(newline + 1), "IDS 4 8\n");
+
+  // The health fields must round-trip through the stats json.
+  const ResponseHead parsed = ParseResponseHead(head);
+  ShardHealth parsed_health;
+  ASSERT_TRUE(ParseShardHealth(parsed.body, &parsed_health));
+  EXPECT_EQ(parsed_health.ok, 1u);
+  EXPECT_EQ(parsed_health.total, 2u);
+  // A plain server's stats json has no shard fields.
+  EXPECT_FALSE(
+      ParseShardHealth(ToJson(QueryStats{}), &parsed_health));
+}
+
+TEST(ProtocolTest, ApplyAnswerLimitTruncates) {
+  QueryResult result;
+  result.answers = {1, 2, 3, 4, 5};
+  result.stats.num_answers = 5;
+  ApplyAnswerLimit(&result, 0);  // 0 = unlimited
+  EXPECT_EQ(result.answers.size(), 5u);
+  ApplyAnswerLimit(&result, 9);  // larger than the set
+  EXPECT_EQ(result.answers.size(), 5u);
+  ApplyAnswerLimit(&result, 2);
+  EXPECT_EQ(result.answers, (std::vector<GraphId>{1, 2}));
+  EXPECT_EQ(result.stats.num_answers, 2u);
+}
+
+TEST(ProtocolTest, ParseResponseHeadRecognizesEveryOutcome) {
+  ResponseHead head = ParseResponseHead("OK 3 {\"num_answers\":3}");
+  EXPECT_EQ(head.kind, ResponseHead::Kind::kOk);
+  EXPECT_TRUE(head.has_count);
+  EXPECT_EQ(head.num_answers, 3u);
+  EXPECT_EQ(head.body, "{\"num_answers\":3}");
+
+  head = ParseResponseHead("TIMEOUT 0 {}");
+  EXPECT_EQ(head.kind, ResponseHead::Kind::kTimeout);
+  EXPECT_TRUE(head.has_count);
+  EXPECT_EQ(head.num_answers, 0u);
+
+  head = ParseResponseHead("OK {\"received\":1}");  // STATS reply
+  EXPECT_EQ(head.kind, ResponseHead::Kind::kOk);
+  EXPECT_FALSE(head.has_count);
+  EXPECT_EQ(head.body, "{\"received\":1}");
+
+  head = ParseResponseHead("OK reloaded 30 graphs");
+  EXPECT_EQ(head.kind, ResponseHead::Kind::kOk);
+  EXPECT_FALSE(head.has_count);
+
+  head = ParseResponseHead("OVERLOADED queue full");
+  EXPECT_EQ(head.kind, ResponseHead::Kind::kOverloaded);
+  EXPECT_EQ(head.body, "queue full");
+
+  // An old server rejects the extended grammar with BAD_REQUEST and closes;
+  // the router must see a clean, classifiable outcome, not a desync.
+  head = ParseResponseHead("BAD_REQUEST too many QUERY arguments");
+  EXPECT_EQ(head.kind, ResponseHead::Kind::kBadRequest);
+  EXPECT_EQ(head.body, "too many QUERY arguments");
+
+  EXPECT_EQ(ParseResponseHead("BYE").kind, ResponseHead::Kind::kBye);
+  EXPECT_EQ(ParseResponseHead("BYE\r").kind, ResponseHead::Kind::kBye);
+  EXPECT_EQ(ParseResponseHead("").kind, ResponseHead::Kind::kMalformed);
+  EXPECT_EQ(ParseResponseHead("GARBAGE 1").kind,
+            ResponseHead::Kind::kMalformed);
+  EXPECT_EQ(ParseResponseHead("OK x {}").kind, ResponseHead::Kind::kOk);
+  EXPECT_FALSE(ParseResponseHead("OK x {}").has_count);
+}
+
+TEST(ProtocolTest, ParseIdsLineChecksCount) {
+  std::vector<GraphId> ids;
+  EXPECT_TRUE(ParseIdsLine("IDS 1 5 9", 3, &ids));
+  EXPECT_EQ(ids, (std::vector<GraphId>{1, 5, 9}));
+  EXPECT_TRUE(ParseIdsLine("IDS", 0, &ids));
+  EXPECT_TRUE(ids.empty());
+  EXPECT_FALSE(ParseIdsLine("IDS 1 5", 3, &ids));     // too few
+  EXPECT_FALSE(ParseIdsLine("IDS 1 5 9 11", 3, &ids));  // too many
+  EXPECT_FALSE(ParseIdsLine("IDS 1 x 9", 3, &ids));   // non-numeric
+  EXPECT_FALSE(ParseIdsLine("ANSWERS 1 5 9", 3, &ids));  // wrong tag
+}
+
+TEST(ProtocolTest, QueryStatsJsonRoundTrips) {
+  QueryStats stats;
+  stats.filtering_ms = 1.25;
+  stats.verification_ms = 0.5;
+  stats.num_candidates = 42;
+  stats.num_answers = 7;
+  stats.si_tests = 40;
+  stats.timed_out = true;
+  stats.aux_memory_bytes = 4096;
+  stats.ws_filter_hits = 3;
+  stats.ws_filter_misses = 2;
+  stats.intersect_calls = 11;
+  stats.intersect_merge = 5;
+  stats.intersect_gallop = 4;
+  stats.intersect_simd = 2;
+  stats.local_candidates = 99;
+  stats.tasks_spawned = 8;
+  stats.tasks_stolen = 6;
+  stats.tasks_aborted = 1;
+
+  QueryStats parsed;
+  ASSERT_TRUE(ParseQueryStatsJson(ToJson(stats), &parsed));
+  EXPECT_DOUBLE_EQ(parsed.filtering_ms, stats.filtering_ms);
+  EXPECT_DOUBLE_EQ(parsed.verification_ms, stats.verification_ms);
+  EXPECT_EQ(parsed.num_candidates, stats.num_candidates);
+  EXPECT_EQ(parsed.num_answers, stats.num_answers);
+  EXPECT_EQ(parsed.si_tests, stats.si_tests);
+  EXPECT_EQ(parsed.timed_out, stats.timed_out);
+  EXPECT_EQ(parsed.aux_memory_bytes, stats.aux_memory_bytes);
+  EXPECT_EQ(parsed.ws_filter_hits, stats.ws_filter_hits);
+  EXPECT_EQ(parsed.ws_filter_misses, stats.ws_filter_misses);
+  EXPECT_EQ(parsed.intersect_calls, stats.intersect_calls);
+  EXPECT_EQ(parsed.intersect_merge, stats.intersect_merge);
+  EXPECT_EQ(parsed.intersect_gallop, stats.intersect_gallop);
+  EXPECT_EQ(parsed.intersect_simd, stats.intersect_simd);
+  EXPECT_EQ(parsed.local_candidates, stats.local_candidates);
+  EXPECT_EQ(parsed.tasks_spawned, stats.tasks_spawned);
+  EXPECT_EQ(parsed.tasks_stolen, stats.tasks_stolen);
+  EXPECT_EQ(parsed.tasks_aborted, stats.tasks_aborted);
+
+  EXPECT_FALSE(ParseQueryStatsJson("not json", &parsed));
+  EXPECT_FALSE(ParseQueryStatsJson("", &parsed));
+}
+
 }  // namespace
 }  // namespace sgq

@@ -1,0 +1,452 @@
+// End-to-end acceptance test for the sharded serving stack: two real
+// shard SocketServers plus a RouterServer, all in-process over Unix
+// sockets (runs under the `tsan` ctest label). The core acceptance
+// criterion is bit-identity — for every query, the router over 2 shards
+// must produce the same response a single unsharded server produces,
+// including the IDS line, the ordering, and LIMIT semantics. On top of
+// that: STATS / RELOAD / CACHE CLEAR fan-out, the degraded-vs-error
+// policies when a shard dies, reconnection after a shard restart, and a
+// dead shard consuming deadline rather than hanging the router.
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/graph_gen.h"
+#include "graph/graph_io.h"
+#include "router/router_server.h"
+#include "router/shard_map.h"
+#include "service/server.h"
+#include "tests/test_util.h"
+#include "util/socket.h"
+#include "util/timer.h"
+
+namespace sgq {
+namespace {
+
+GraphDatabase SmallDb(uint32_t num_graphs = 40) {
+  SyntheticParams params;
+  params.num_graphs = num_graphs;
+  params.vertices_per_graph = 16;
+  params.degree = 3.0;
+  params.num_labels = 4;
+  params.seed = 21;
+  return GenerateSyntheticDatabase(params);
+}
+
+std::string UniqueSocketPath(const char* tag) {
+  return "/tmp/sgq_router_e2e_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+// Minimal blocking line-protocol client (same shape as service_e2e_test).
+class Client {
+ public:
+  bool Connect(const std::string& path) {
+    std::string error;
+    fd_ = ConnectUnix(path, &error);
+    return fd_.valid();
+  }
+
+  bool Send(const std::string& bytes) { return WriteAll(fd_.get(), bytes); }
+
+  bool RecvLine(std::string* line) {
+    line->clear();
+    for (;;) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[512];
+      const ssize_t n = ReadSome(fd_.get(), chunk, sizeof(chunk));
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  // One QUERY ... IDS exchange. Returns the head line; *ids gets the IDS
+  // continuation line when the head carries an answer count (OK/TIMEOUT),
+  // "" otherwise.
+  std::string QueryIds(const std::string& payload, std::string* ids,
+                       uint64_t limit = 0, double timeout_seconds = 0) {
+    std::string header = "QUERY " + std::to_string(payload.size());
+    if (timeout_seconds > 0) header += ' ' + std::to_string(timeout_seconds);
+    if (limit > 0) header += " LIMIT " + std::to_string(limit);
+    header += " IDS\n";
+    ids->clear();
+    std::string line;
+    if (!Send(header) || !Send(payload) || !RecvLine(&line)) return "";
+    const ResponseHead head = ParseResponseHead(line);
+    if (head.has_count && !RecvLine(ids)) return "";
+    return line;
+  }
+
+ private:
+  UniqueFd fd_;
+  std::string buffer_;
+};
+
+// SocketServer::Start consumes the database by value; tests keep a master
+// copy and hand out clones.
+GraphDatabase Clone(const GraphDatabase& db) {
+  GraphDatabase copy;
+  for (const Graph& g : db.graphs()) copy.Add(g);
+  return copy;
+}
+
+// A 2-shard fleet plus router, torn down in reverse order.
+struct Fleet {
+  static constexpr uint32_t kShards = 2;
+
+  std::string shard_paths[kShards];
+  std::unique_ptr<SocketServer> shards[kShards];
+  std::string router_path;
+  std::unique_ptr<RouterServer> router;
+
+  bool StartShard(uint32_t i, GraphDatabase db, std::string* error,
+                  const std::string& db_path = "") {
+    ServerConfig server_config;
+    server_config.unix_path = shard_paths[i];
+    server_config.db_path = db_path;
+    server_config.shard_index = i;
+    server_config.shard_count = kShards;
+    ServiceConfig service_config;
+    service_config.workers = 2;
+    service_config.queue_capacity = 16;
+    shards[i] = std::make_unique<SocketServer>(server_config, service_config);
+    return shards[i]->Start(std::move(db), error);
+  }
+
+  bool Start(const GraphDatabase& db, ShardFailurePolicy policy,
+             std::string* error, const std::string& db_path = "") {
+    for (uint32_t i = 0; i < kShards; ++i) {
+      shard_paths[i] = UniqueSocketPath(("shard" + std::to_string(i)).c_str());
+      if (!StartShard(i, Clone(db), error, db_path)) return false;
+    }
+    router_path = UniqueSocketPath("router");
+    RouterServerConfig server_config;
+    server_config.unix_path = router_path;
+    RouterConfig router_config;
+    for (uint32_t i = 0; i < kShards; ++i) {
+      ShardEndpoint endpoint;
+      endpoint.unix_path = shard_paths[i];
+      router_config.shards.push_back(endpoint);
+    }
+    router_config.on_shard_failure = policy;
+    router_config.forward_shutdown = false;  // the test owns the shards
+    router = std::make_unique<RouterServer>(server_config, router_config);
+    return router->Start(error);
+  }
+
+  void StopShard(uint32_t i) {
+    shards[i]->RequestStop();
+    shards[i]->Wait();
+  }
+
+  void Stop() {
+    if (router) {
+      router->RequestStop();
+      router->Wait();
+    }
+    for (uint32_t i = 0; i < kShards; ++i) {
+      if (shards[i]) StopShard(i);
+    }
+  }
+};
+
+TEST(RouterE2eTest, MatchesUnshardedServerBitForBit) {
+  const GraphDatabase db = SmallDb();
+
+  // Reference: one unsharded server over the same database.
+  const std::string reference_path = UniqueSocketPath("reference");
+  ServerConfig reference_config;
+  reference_config.unix_path = reference_path;
+  ServiceConfig service_config;
+  service_config.workers = 2;
+  service_config.queue_capacity = 16;
+  SocketServer reference(reference_config, service_config);
+  std::string error;
+  ASSERT_TRUE(reference.Start(Clone(db), &error)) << error;
+
+  Fleet fleet;
+  ASSERT_TRUE(fleet.Start(Clone(db), ShardFailurePolicy::kError, &error))
+      << error;
+  // Sanity: the shards really did split the database.
+  const uint64_t shard_graphs[2] = {fleet.shards[0]->Stats().db_graphs,
+                                    fleet.shards[1]->Stats().db_graphs};
+  EXPECT_GT(shard_graphs[0], 0u);
+  EXPECT_GT(shard_graphs[1], 0u);
+  EXPECT_EQ(shard_graphs[0] + shard_graphs[1], db.size());
+
+  Client direct, routed;
+  ASSERT_TRUE(direct.Connect(reference_path));
+  ASSERT_TRUE(routed.Connect(fleet.router_path));
+
+  // Database graphs as queries (each matches at least itself) plus small
+  // patterns that match many graphs — exercising empty, sparse and dense
+  // answer sets across both shards.
+  std::vector<std::string> payloads;
+  for (GraphId id = 0; id < 10; ++id) {
+    payloads.push_back(SerializeGraph(db.graph(id), id));
+  }
+  payloads.push_back(SerializeGraph(sgq::testing::MakePath({0, 1}), 0));
+  payloads.push_back(SerializeGraph(sgq::testing::MakePath({2, 3, 1}), 0));
+  payloads.push_back(SerializeGraph(sgq::testing::MakeCycle({0, 1, 2}), 0));
+  // An un-matchable query: label outside the generator's universe.
+  payloads.push_back(SerializeGraph(sgq::testing::MakePath({9, 9}), 0));
+
+  uint64_t nonempty = 0;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    SCOPED_TRACE("payload " + std::to_string(i));
+    std::string direct_ids, routed_ids;
+    const std::string direct_line = direct.QueryIds(payloads[i], &direct_ids);
+    const std::string routed_line = routed.QueryIds(payloads[i], &routed_ids);
+
+    // The IDS line is the whole acceptance criterion: same match set, same
+    // (sorted) order, byte for byte.
+    EXPECT_EQ(routed_ids, direct_ids);
+    if (direct_ids != "IDS") ++nonempty;
+
+    // Head lines: identical outcome and answer count; stats timings may
+    // differ, but the router's json must carry the shard-health fields.
+    const ResponseHead direct_head = ParseResponseHead(direct_line);
+    const ResponseHead routed_head = ParseResponseHead(routed_line);
+    ASSERT_EQ(direct_head.kind, ResponseHead::Kind::kOk) << direct_line;
+    ASSERT_EQ(routed_head.kind, ResponseHead::Kind::kOk) << routed_line;
+    EXPECT_EQ(routed_head.num_answers, direct_head.num_answers);
+    EXPECT_EQ(direct_head.body.find("\"shards_ok\""), std::string::npos);
+    ShardHealth health;
+    ASSERT_TRUE(ParseShardHealth(routed_head.body, &health)) << routed_line;
+    EXPECT_EQ(health.ok, 2u);
+    EXPECT_EQ(health.total, 2u);
+  }
+  EXPECT_GE(nonempty, 10u);  // the comparison actually compared answers
+
+  // LIMIT k must agree bit-for-bit too: per-shard truncation + post-merge
+  // take-k == unsharded take-k.
+  for (const uint64_t limit : {1ull, 2ull, 7ull}) {
+    SCOPED_TRACE("limit " + std::to_string(limit));
+    const std::string payload =
+        SerializeGraph(sgq::testing::MakePath({0, 1}), 0);
+    std::string direct_ids, routed_ids;
+    const std::string direct_line =
+        direct.QueryIds(payload, &direct_ids, limit);
+    const std::string routed_line =
+        routed.QueryIds(payload, &routed_ids, limit);
+    EXPECT_EQ(routed_ids, direct_ids);
+    EXPECT_EQ(ParseResponseHead(routed_line).num_answers,
+              ParseResponseHead(direct_line).num_answers);
+  }
+
+  // Router STATS: one object embedding the router counters and both
+  // shards' stats jsons.
+  std::string line;
+  ASSERT_TRUE(routed.Send("STATS\n"));
+  ASSERT_TRUE(routed.RecvLine(&line));
+  ASSERT_EQ(line.rfind("OK {\"router\":{", 0), 0u) << line;
+  EXPECT_NE(line.find("\"shards_total\":2"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"bad_requests\":0"), std::string::npos) << line;
+  const size_t shards_array = line.find("\"shards\":[{");
+  ASSERT_NE(shards_array, std::string::npos) << line;
+  EXPECT_NE(line.find("},{", shards_array), std::string::npos) << line;
+  EXPECT_EQ(line.find("null"), std::string::npos) << line;
+
+  fleet.Stop();
+  reference.RequestStop();
+  reference.Wait();
+}
+
+TEST(RouterE2eTest, ReloadAndCacheClearFanOutToEveryShard) {
+  // db2 = db1 plus a pentagon with a label absent from db1, as in
+  // service_e2e_test: RELOAD through the router must swap every shard, and
+  // the merged answer set must include the new graph at its global id.
+  const Graph pentagon = sgq::testing::MakeCycle({7, 7, 7, 7, 7});
+  GraphDatabase db1 = SmallDb(10);
+  GraphDatabase db2 = Clone(db1);
+  db2.Add(pentagon);
+  const std::string db2_path =
+      "/tmp/sgq_router_e2e_db2_" + std::to_string(::getpid()) + ".txt";
+  std::string error;
+  ASSERT_TRUE(SaveDatabase(db2, db2_path, &error)) << error;
+
+  Fleet fleet;
+  ASSERT_TRUE(fleet.Start(Clone(db1), ShardFailurePolicy::kError, &error))
+      << error;
+  Client client;
+  ASSERT_TRUE(client.Connect(fleet.router_path));
+
+  const std::string pentagon_payload = SerializeGraph(pentagon, 0);
+  std::string ids;
+  std::string line = client.QueryIds(pentagon_payload, &ids);
+  EXPECT_EQ(ids, "IDS") << "pentagon matched before the reload: " << line;
+
+  // RELOAD @file fans out; the router sums the per-shard counts, which
+  // must cover the whole database exactly once.
+  ASSERT_TRUE(client.Send("RELOAD @" + db2_path + "\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(line, "OK reloaded 11 graphs") << line;
+
+  // The new graph is answer 10 in global ids — whichever shard owns it.
+  line = client.QueryIds(pentagon_payload, &ids);
+  EXPECT_EQ(ids, "IDS 10") << line;
+
+  // CACHE CLEAR fans out and reports the single-server success line.
+  ASSERT_TRUE(client.Send("CACHE CLEAR\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(line, "OK cache cleared");
+  // Same answers after the clear (now re-executed on every shard).
+  line = client.QueryIds(pentagon_payload, &ids);
+  EXPECT_EQ(ids, "IDS 10") << line;
+
+  fleet.Stop();
+  ::unlink(db2_path.c_str());
+}
+
+TEST(RouterE2eTest, KilledShardDegradesOrErrorsPerPolicy) {
+  const GraphDatabase db = SmallDb();
+  const std::string payload = SerializeGraph(sgq::testing::MakePath({0, 1}), 0);
+  std::string error;
+
+  Fleet fleet;
+  ASSERT_TRUE(fleet.Start(Clone(db), ShardFailurePolicy::kDegraded, &error))
+      << error;
+  // A second router over the same shards with the strict policy, so both
+  // behaviors are observed against the same kill.
+  const std::string strict_path = UniqueSocketPath("strict");
+  RouterServerConfig strict_config;
+  strict_config.unix_path = strict_path;
+  RouterConfig strict_router;
+  for (const std::string& path : fleet.shard_paths) {
+    ShardEndpoint endpoint;
+    endpoint.unix_path = path;
+    strict_router.shards.push_back(endpoint);
+  }
+  strict_router.on_shard_failure = ShardFailurePolicy::kError;
+  strict_router.forward_shutdown = false;
+  RouterServer strict(strict_config, strict_router);
+  ASSERT_TRUE(strict.Start(&error)) << error;
+
+  Client degraded_client, strict_client;
+  ASSERT_TRUE(degraded_client.Connect(fleet.router_path));
+  ASSERT_TRUE(strict_client.Connect(strict_path));
+
+  // Healthy fleet first: both routers serve the full answer set.
+  std::string full_ids, ids;
+  std::string line = degraded_client.QueryIds(payload, &full_ids);
+  const ResponseHead healthy_head = ParseResponseHead(line);
+  ASSERT_EQ(healthy_head.kind, ResponseHead::Kind::kOk) << line;
+  EXPECT_NE(full_ids, "IDS");
+  std::vector<GraphId> healthy_answers;
+  ASSERT_TRUE(
+      ParseIdsLine(full_ids, healthy_head.num_answers, &healthy_answers));
+  line = strict_client.QueryIds(payload, &ids);
+  EXPECT_EQ(ids, full_ids);
+
+  // Kill shard 1 (graceful stop — its socket disappears).
+  fleet.StopShard(1);
+
+  // Degraded policy: a well-formed OK response, answers = shard 0's slice
+  // only (a strict subset of the healthy answer set, still sorted), with
+  // shards_ok 1 of 2 in the stats.
+  line = degraded_client.QueryIds(payload, &ids, 0, 5.0);
+  const ResponseHead degraded_head = ParseResponseHead(line);
+  ASSERT_EQ(degraded_head.kind, ResponseHead::Kind::kOk) << line;
+  ShardHealth health;
+  ASSERT_TRUE(ParseShardHealth(degraded_head.body, &health)) << line;
+  EXPECT_EQ(health.ok, 1u);
+  EXPECT_EQ(health.total, 2u);
+  EXPECT_NE(ids, "IDS");
+  EXPECT_NE(ids, full_ids);
+  // Every surviving id was in the healthy answer set and belongs to shard 0.
+  std::vector<GraphId> survivors;
+  ASSERT_TRUE(ParseIdsLine(ids, degraded_head.num_answers, &survivors)) << ids;
+  for (const GraphId id : survivors) {
+    EXPECT_TRUE(std::find(healthy_answers.begin(), healthy_answers.end(),
+                          id) != healthy_answers.end())
+        << id;
+    EXPECT_EQ(ShardOfGraph(id, Fleet::kShards), 0u);
+  }
+
+  // Error policy: the same query is refused, naming the dead shard.
+  line = strict_client.QueryIds(payload, &ids, 0, 5.0);
+  EXPECT_EQ(line.rfind("OVERLOADED", 0), 0u) << line;
+  EXPECT_NE(line.find("shard 1"), std::string::npos) << line;
+
+  // Restart shard 1 on the same socket: both routers reconnect and the
+  // full fleet answer comes back bit-identical to the pre-kill one.
+  ASSERT_TRUE(fleet.StartShard(1, Clone(db), &error)) << error;
+  line = degraded_client.QueryIds(payload, &ids);
+  EXPECT_EQ(ids, full_ids) << line;
+  line = strict_client.QueryIds(payload, &ids);
+  EXPECT_EQ(ids, full_ids) << line;
+
+  strict.RequestStop();
+  strict.Wait();
+  fleet.Stop();
+}
+
+TEST(RouterE2eTest, DeadShardConsumesDeadlineNotForever) {
+  // Shard 1's endpoint is never bound: every connect fails immediately.
+  // The router must turn that into a prompt OVERLOADED under the error
+  // policy — a dead shard costs (at most) the request budget, not a hang.
+  const GraphDatabase db = SmallDb(10);
+  const std::string live_path = UniqueSocketPath("live");
+  ServerConfig server_config;
+  server_config.unix_path = live_path;
+  server_config.shard_index = 0;
+  server_config.shard_count = 2;
+  ServiceConfig service_config;
+  service_config.workers = 1;
+  service_config.queue_capacity = 4;
+  SocketServer live(server_config, service_config);
+  std::string error;
+  ASSERT_TRUE(live.Start(Clone(db), &error)) << error;
+
+  const std::string router_path = UniqueSocketPath("deadline");
+  RouterServerConfig router_server_config;
+  router_server_config.unix_path = router_path;
+  RouterConfig router_config;
+  ShardEndpoint endpoint;
+  endpoint.unix_path = live_path;
+  router_config.shards.push_back(endpoint);
+  endpoint.unix_path = UniqueSocketPath("never_bound");
+  router_config.shards.push_back(endpoint);
+  router_config.on_shard_failure = ShardFailurePolicy::kError;
+  router_config.forward_shutdown = false;
+  RouterServer router(router_server_config, router_config);
+  ASSERT_TRUE(router.Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect(router_path));
+  const std::string payload =
+      SerializeGraph(sgq::testing::MakePath({0, 1}), 0);
+  WallTimer timer;
+  std::string ids;
+  const std::string line = client.QueryIds(payload, &ids, 0, 2.0);
+  EXPECT_EQ(line.rfind("OVERLOADED", 0), 0u) << line;
+  // Bound generously for loaded CI machines; the point is "seconds, not
+  // the 600 s default timeout".
+  EXPECT_LT(timer.ElapsedMillis(), 30'000.0);
+
+  const RouterStatsSnapshot stats = router.Stats();
+  EXPECT_EQ(stats.received, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_GE(stats.shard_failures, 1u);
+
+  router.RequestStop();
+  router.Wait();
+  live.RequestStop();
+  live.Wait();
+}
+
+}  // namespace
+}  // namespace sgq

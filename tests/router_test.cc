@@ -1,0 +1,304 @@
+// Unit tests for the router building blocks: shard-spec and endpoint
+// parsing, the pinned shard-assignment hash (a wire contract — changing it
+// would misroute a mixed-version fleet), database filtering as an exact
+// partition, and the scatter-gather merge rules (determinism, limit
+// semantics, stats folding, failure policies).
+#include "router/scatter_gather.h"
+#include "router/shard_client.h"
+#include "router/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "gen/graph_gen.h"
+#include "graph/graph_database.h"
+#include "tests/test_util.h"
+
+namespace sgq {
+namespace {
+
+TEST(ShardSpecTest, ParsesValidSpecs) {
+  ShardSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseShardSpec("0/1", &spec, &error));
+  EXPECT_EQ(spec.index, 0u);
+  EXPECT_EQ(spec.count, 1u);
+  ASSERT_TRUE(ParseShardSpec("3/8", &spec, &error));
+  EXPECT_EQ(spec.index, 3u);
+  EXPECT_EQ(spec.count, 8u);
+}
+
+TEST(ShardSpecTest, RejectsInvalidSpecs) {
+  const char* bad[] = {"", "1", "1/", "/2", "a/2", "1/b", "2/2", "5/3",
+                       "1/0", "-1/2", "1/2/3", "9999999999/9999999999"};
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    ShardSpec spec;
+    std::string error;
+    EXPECT_FALSE(ParseShardSpec(text, &spec, &error));
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ShardMapTest, HashIsPinned) {
+  // splitmix64 golden values. These are part of the wire contract: every
+  // server and router in a fleet must agree on them, so a change here is a
+  // breaking protocol change, not a refactor.
+  EXPECT_EQ(ShardHashGraphId(0), 16294208416658607535ull);
+  EXPECT_EQ(ShardHashGraphId(1), 10451216379200822465ull);
+  EXPECT_EQ(ShardHashGraphId(2), 10905525725756348110ull);
+  EXPECT_EQ(ShardHashGraphId(7), 7191089600892374487ull);
+  EXPECT_EQ(ShardHashGraphId(1000000), 7497680628364559847ull);
+}
+
+TEST(ShardMapTest, AssignmentIsInRangeAndRoughlyBalanced) {
+  constexpr uint32_t kShards = 4;
+  constexpr GraphId kIds = 10000;
+  std::vector<uint32_t> counts(kShards, 0);
+  for (GraphId id = 0; id < kIds; ++id) {
+    const uint32_t shard = ShardOfGraph(id, kShards);
+    ASSERT_LT(shard, kShards);
+    ++counts[shard];
+  }
+  // splitmix64 spreads dense ids ~uniformly; allow a generous band around
+  // the 2500 expectation so the test never flakes on the fixed hash.
+  for (uint32_t shard = 0; shard < kShards; ++shard) {
+    EXPECT_GT(counts[shard], 2200u) << "shard " << shard;
+    EXPECT_LT(counts[shard], 2800u) << "shard " << shard;
+  }
+  EXPECT_EQ(ShardOfGraph(123, 1), 0u);
+  EXPECT_EQ(ShardOfGraph(123, 0), 0u);
+}
+
+GraphDatabase MakeDatabase(size_t graphs) {
+  SyntheticParams params;
+  params.num_graphs = static_cast<uint32_t>(graphs);
+  params.vertices_per_graph = 8;
+  params.degree = 2.0;
+  params.num_labels = 4;
+  params.seed = 7;
+  return GenerateSyntheticDatabase(params);
+}
+
+// FilterDatabaseToShard consumes its input; tests hand out clones of a
+// master copy.
+GraphDatabase Clone(const GraphDatabase& db) {
+  GraphDatabase copy;
+  for (const Graph& g : db.graphs()) copy.Add(g);
+  return copy;
+}
+
+TEST(ShardMapTest, FilterIsAnExactPartition) {
+  constexpr uint32_t kShards = 3;
+  const GraphDatabase db = MakeDatabase(50);
+  std::vector<bool> covered(db.size(), false);
+  for (uint32_t s = 0; s < kShards; ++s) {
+    std::vector<GraphId> global_ids;
+    const GraphDatabase shard =
+        FilterDatabaseToShard(Clone(db), {s, kShards}, &global_ids);
+    ASSERT_EQ(shard.size(), global_ids.size());
+    for (GraphId local = 0; local < shard.size(); ++local) {
+      const GraphId global = global_ids[local];
+      ASSERT_LT(global, db.size());
+      EXPECT_FALSE(covered[global]) << "graph owned by two shards";
+      covered[global] = true;
+      // Ownership must agree with the hash, and the shard's copy must be
+      // the original graph (same vertex/edge counts as a cheap identity).
+      EXPECT_EQ(ShardOfGraph(global, kShards), s);
+      EXPECT_EQ(shard.graph(local).NumVertices(),
+                db.graph(global).NumVertices());
+      EXPECT_EQ(shard.graph(local).NumEdges(), db.graph(global).NumEdges());
+      // Strictly increasing map: sorted local answers stay sorted globally.
+      if (local > 0) {
+        EXPECT_LT(global_ids[local - 1], global);
+      }
+    }
+  }
+  EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
+                          [](bool b) { return b; }));
+}
+
+TEST(ShardMapTest, UnshardedSpecPassesThrough) {
+  const GraphDatabase db = MakeDatabase(10);
+  std::vector<GraphId> global_ids = {1, 2, 3};  // must be cleared
+  const GraphDatabase out =
+      FilterDatabaseToShard(Clone(db), {0, 1}, &global_ids);
+  EXPECT_EQ(out.size(), db.size());
+  EXPECT_TRUE(global_ids.empty());
+}
+
+TEST(ShardEndpointTest, ParsesAllForms) {
+  ShardEndpoint endpoint;
+  std::string error;
+  ASSERT_TRUE(ParseShardEndpoint("unix:/tmp/s.sock", &endpoint, &error));
+  EXPECT_EQ(endpoint.unix_path, "/tmp/s.sock");
+  ASSERT_TRUE(ParseShardEndpoint("/var/run/sgq.sock", &endpoint, &error));
+  EXPECT_EQ(endpoint.unix_path, "/var/run/sgq.sock");
+  ASSERT_TRUE(ParseShardEndpoint("127.0.0.1:7474", &endpoint, &error));
+  EXPECT_TRUE(endpoint.unix_path.empty());
+  EXPECT_EQ(endpoint.host, "127.0.0.1");
+  EXPECT_EQ(endpoint.port, 7474);
+
+  const char* bad[] = {"", "unix:", "host", "host:", ":80", "host:0",
+                       "host:99999", "host:12ab"};
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    EXPECT_FALSE(ParseShardEndpoint(text, &endpoint, &error));
+  }
+
+  std::vector<ShardEndpoint> endpoints;
+  ASSERT_TRUE(ParseShardEndpoints("unix:/a.sock,localhost:91,/b.sock",
+                                  &endpoints, &error));
+  ASSERT_EQ(endpoints.size(), 3u);
+  EXPECT_EQ(endpoints[0].unix_path, "/a.sock");
+  EXPECT_EQ(endpoints[1].port, 91);
+  EXPECT_EQ(endpoints[2].unix_path, "/b.sock");
+  EXPECT_FALSE(ParseShardEndpoints("", &endpoints, &error));
+  EXPECT_FALSE(ParseShardEndpoints("unix:/a.sock,,unix:/b.sock", &endpoints,
+                                   &error));
+}
+
+TEST(ShardFailurePolicyTest, Parses) {
+  ShardFailurePolicy policy;
+  ASSERT_TRUE(ParseShardFailurePolicy("error", &policy));
+  EXPECT_EQ(policy, ShardFailurePolicy::kError);
+  ASSERT_TRUE(ParseShardFailurePolicy("degraded", &policy));
+  EXPECT_EQ(policy, ShardFailurePolicy::kDegraded);
+  EXPECT_FALSE(ParseShardFailurePolicy("lenient", &policy));
+  EXPECT_STREQ(ToString(ShardFailurePolicy::kError), "error");
+  EXPECT_STREQ(ToString(ShardFailurePolicy::kDegraded), "degraded");
+}
+
+ShardQueryReply OkReply(std::vector<GraphId> ids, double filtering_ms = 1,
+                        double verification_ms = 1) {
+  ShardQueryReply reply;
+  reply.ok = true;
+  reply.ids = std::move(ids);
+  reply.stats.num_answers = reply.ids.size();
+  reply.stats.filtering_ms = filtering_ms;
+  reply.stats.verification_ms = verification_ms;
+  reply.stats.num_candidates = 10;
+  reply.stats.si_tests = 5;
+  reply.stats.aux_memory_bytes = 100;
+  return reply;
+}
+
+ShardQueryReply FailedReply(const std::string& error) {
+  ShardQueryReply reply;
+  reply.ok = false;
+  reply.error = error;
+  return reply;
+}
+
+TEST(MergeTest, MergesDisjointSortedAnswers) {
+  const std::vector<ShardQueryReply> replies = {
+      OkReply({1, 8, 40}, /*filtering_ms=*/2, /*verification_ms=*/1),
+      OkReply({0, 13}, /*filtering_ms=*/5, /*verification_ms=*/0.5),
+      OkReply({}, /*filtering_ms=*/0.5, /*verification_ms=*/8),
+  };
+  const MergedQuery merged =
+      MergeShardResults(replies, ShardFailurePolicy::kError, 0);
+  ASSERT_TRUE(merged.ok);
+  EXPECT_EQ(merged.result.answers, (std::vector<GraphId>{0, 1, 8, 13, 40}));
+  EXPECT_EQ(merged.result.stats.num_answers, 5u);
+  EXPECT_EQ(merged.shards.ok, 3u);
+  EXPECT_EQ(merged.shards.total, 3u);
+  // Parallel wall-clock convention: phase times take the max, counters sum.
+  EXPECT_DOUBLE_EQ(merged.result.stats.filtering_ms, 5);
+  EXPECT_DOUBLE_EQ(merged.result.stats.verification_ms, 8);
+  EXPECT_EQ(merged.result.stats.num_candidates, 30u);
+  EXPECT_EQ(merged.result.stats.si_tests, 15u);
+  EXPECT_EQ(merged.result.stats.aux_memory_bytes, 300u);
+  EXPECT_FALSE(merged.result.stats.timed_out);
+}
+
+TEST(MergeTest, ArrivalOrderDoesNotChangeTheResult) {
+  std::vector<ShardQueryReply> replies = {OkReply({2, 9}), OkReply({4}),
+                                          OkReply({0, 7, 11})};
+  const MergedQuery reference =
+      MergeShardResults(replies, ShardFailurePolicy::kError, 0);
+  std::vector<size_t> order = {0, 1, 2};
+  // All 6 arrival orders must merge to the identical answer vector.
+  while (std::next_permutation(order.begin(), order.end())) {
+    std::vector<ShardQueryReply> permuted;
+    for (const size_t i : order) permuted.push_back(replies[i]);
+    const MergedQuery merged =
+        MergeShardResults(permuted, ShardFailurePolicy::kError, 0);
+    ASSERT_TRUE(merged.ok);
+    EXPECT_EQ(merged.result.answers, reference.result.answers);
+  }
+}
+
+TEST(MergeTest, LimitAppliesPostMerge) {
+  // Per-shard truncation to k already happened server-side; the merged
+  // take-k must equal the global take-k (the k smallest overall).
+  const std::vector<ShardQueryReply> replies = {OkReply({3, 10}),
+                                                OkReply({1, 5})};
+  const MergedQuery merged =
+      MergeShardResults(replies, ShardFailurePolicy::kError, 2);
+  ASSERT_TRUE(merged.ok);
+  EXPECT_EQ(merged.result.answers, (std::vector<GraphId>{1, 3}));
+  EXPECT_EQ(merged.result.stats.num_answers, 2u);
+}
+
+TEST(MergeTest, TimeoutPropagates) {
+  ShardQueryReply slow = OkReply({4});
+  slow.timed_out = true;
+  slow.stats.timed_out = true;
+  const MergedQuery merged = MergeShardResults(
+      {OkReply({1}), slow}, ShardFailurePolicy::kError, 0);
+  ASSERT_TRUE(merged.ok);
+  EXPECT_TRUE(merged.result.stats.timed_out);  // partial answers: TIMEOUT
+  EXPECT_EQ(merged.result.answers, (std::vector<GraphId>{1, 4}));
+}
+
+TEST(MergeTest, ErrorPolicyFailsOnAnyShardFailure) {
+  const MergedQuery merged = MergeShardResults(
+      {OkReply({1}), FailedReply("connection refused")},
+      ShardFailurePolicy::kError, 0);
+  EXPECT_FALSE(merged.ok);
+  EXPECT_NE(merged.detail.find("shard 1"), std::string::npos);
+  EXPECT_NE(merged.detail.find("connection refused"), std::string::npos);
+}
+
+TEST(MergeTest, DegradedPolicyMergesSurvivors) {
+  const MergedQuery merged = MergeShardResults(
+      {FailedReply("connection refused"), OkReply({2, 6})},
+      ShardFailurePolicy::kDegraded, 0);
+  ASSERT_TRUE(merged.ok);
+  EXPECT_EQ(merged.result.answers, (std::vector<GraphId>{2, 6}));
+  EXPECT_EQ(merged.shards.ok, 1u);
+  EXPECT_EQ(merged.shards.total, 2u);
+}
+
+TEST(MergeTest, DegradedStillFailsWhenNoShardSurvives) {
+  const MergedQuery merged = MergeShardResults(
+      {FailedReply("down"), FailedReply("down")},
+      ShardFailurePolicy::kDegraded, 0);
+  EXPECT_FALSE(merged.ok);
+  EXPECT_FALSE(merged.detail.empty());
+}
+
+TEST(MergeTest, ShardOverloadPropagatesUnderEitherPolicy) {
+  ShardQueryReply overloaded = FailedReply("queue full");
+  overloaded.overloaded = true;
+  for (const ShardFailurePolicy policy :
+       {ShardFailurePolicy::kError, ShardFailurePolicy::kDegraded}) {
+    const MergedQuery merged =
+        MergeShardResults({OkReply({1}), overloaded}, policy, 0);
+    EXPECT_FALSE(merged.ok);
+    EXPECT_NE(merged.detail.find("overloaded"), std::string::npos);
+  }
+}
+
+TEST(MergeTest, NoShardsConfiguredFails) {
+  const MergedQuery merged =
+      MergeShardResults({}, ShardFailurePolicy::kDegraded, 0);
+  EXPECT_FALSE(merged.ok);
+}
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,118 @@
+#!/bin/sh
+# End-to-end exercise of the sharded serving stack with real processes:
+# two sgq_server shards (--shard-of 0/2 and 1/2), an sgq_router over
+# them, and an unsharded reference server over the same database. The
+# routed IDS lines must be byte-identical to the direct ones (including
+# under LIMIT), RELOAD must fan out to both shards, a SIGKILLed shard
+# must degrade (not error) under --on-shard-failure degraded, a restarted
+# shard must be picked back up, and SHUTDOWN must take the whole fleet
+# down. Any failure aborts.
+set -e
+CLI="$1"
+SERVER="$2"
+CLIENT="$3"
+ROUTER="$4"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"; kill $REF_PID $S0_PID $S1_PID $ROUTER_PID 2>/dev/null || true' EXIT
+
+"$CLI" generate --out "$DIR/db.txt" --graphs 40 --vertices 16 --degree 3 \
+  --labels 4 --seed 11
+"$CLI" genq --db "$DIR/db.txt" --out "$DIR/q.txt" --edges 4 --count 6 \
+  --seed 4
+
+wait_sock() {
+  for i in $(seq 1 50); do
+    [ -S "$1" ] && return 0
+    sleep 0.1
+  done
+  echo "$1 did not come up" >&2
+  exit 1
+}
+
+start_shard1() {
+  "$SERVER" --db "$DIR/db.txt" --socket "$DIR/s1.sock" --shard-of 1/2 \
+    --engine CFQL --workers 2 --queue 16 > "$DIR/s1.log" 2>&1 &
+  S1_PID=$!
+  wait_sock "$DIR/s1.sock"
+}
+
+"$SERVER" --db "$DIR/db.txt" --socket "$DIR/ref.sock" --engine CFQL \
+  --workers 2 --queue 16 > "$DIR/ref.log" 2>&1 &
+REF_PID=$!
+"$SERVER" --db "$DIR/db.txt" --socket "$DIR/s0.sock" --shard-of 0/2 \
+  --engine CFQL --workers 2 --queue 16 > "$DIR/s0.log" 2>&1 &
+S0_PID=$!
+wait_sock "$DIR/ref.sock"
+wait_sock "$DIR/s0.sock"
+start_shard1
+
+"$ROUTER" --shards "unix:$DIR/s0.sock,unix:$DIR/s1.sock" \
+  --socket "$DIR/router.sock" --on-shard-failure degraded \
+  > "$DIR/router.log" 2>&1 &
+ROUTER_PID=$!
+wait_sock "$DIR/router.sock"
+
+# The shards must have split the database between them.
+grep -q "as shard 0/2" "$DIR/s0.log"
+grep -q "as shard 1/2" "$DIR/s1.log"
+S0_GRAPHS=$(sed -n 's/^sgq_server: .* over \([0-9]*\) graphs.*/\1/p' "$DIR/s0.log")
+S1_GRAPHS=$(sed -n 's/^sgq_server: .* over \([0-9]*\) graphs.*/\1/p' "$DIR/s1.log")
+[ "$((S0_GRAPHS + S1_GRAPHS))" = 40 ] || {
+  echo "shards hold $S0_GRAPHS + $S1_GRAPHS graphs, want 40" >&2; exit 1; }
+
+# Bit-identity: the routed IDS lines equal the direct ones, byte for byte.
+"$CLIENT" --socket "$DIR/ref.sock" --op query --queries "$DIR/q.txt" \
+  --ids 1 | grep "] IDS" > "$DIR/direct_ids.txt"
+"$CLIENT" --socket "$DIR/router.sock" --op query --queries "$DIR/q.txt" \
+  --ids 1 | grep "] IDS" > "$DIR/routed_ids.txt"
+cmp "$DIR/direct_ids.txt" "$DIR/routed_ids.txt"
+# ... and under LIMIT as well (per-shard truncation + post-merge take-k).
+"$CLIENT" --socket "$DIR/ref.sock" --op query --queries "$DIR/q.txt" \
+  --ids 1 --limit 3 | grep "] IDS" > "$DIR/direct_limit.txt"
+"$CLIENT" --socket "$DIR/router.sock" --op query --queries "$DIR/q.txt" \
+  --ids 1 --limit 3 | grep "] IDS" > "$DIR/routed_limit.txt"
+cmp "$DIR/direct_limit.txt" "$DIR/routed_limit.txt"
+
+# Routed responses carry shard health; direct ones must not.
+"$CLIENT" --socket "$DIR/router.sock" --op query --queries "$DIR/q.txt" \
+  | grep -q '"shards_ok":2,"shards_total":2'
+if "$CLIENT" --socket "$DIR/ref.sock" --op query --queries "$DIR/q.txt" \
+  | grep -q '"shards_ok"'; then
+  echo "unsharded server reported shard health" >&2
+  exit 1
+fi
+
+# STATS through the router embeds both shards' stats objects.
+"$CLIENT" --socket "$DIR/router.sock" --op stats | grep -q '"router":{'
+"$CLIENT" --socket "$DIR/router.sock" --op stats \
+  | grep -q '"shards":\[{.*},{.*}\]'
+
+# RELOAD fans out; the per-shard counts must sum to the whole database.
+"$CLIENT" --socket "$DIR/router.sock" --op reload \
+  | grep -q "OK reloaded 40 graphs"
+
+# SIGKILL shard 1: degraded answers keep flowing (shards_ok drops to 1).
+kill -9 "$S1_PID" 2>/dev/null
+wait "$S1_PID" 2>/dev/null || true
+rm -f "$DIR/s1.sock"
+"$CLIENT" --socket "$DIR/router.sock" --op query --queries "$DIR/q.txt" \
+  --timeout 10 | grep -q '"shards_ok":1,"shards_total":2'
+
+# Restart shard 1: the router reconnects and full answers return.
+start_shard1
+"$CLIENT" --socket "$DIR/router.sock" --op query --queries "$DIR/q.txt" \
+  --ids 1 | grep "] IDS" > "$DIR/recovered_ids.txt"
+cmp "$DIR/direct_ids.txt" "$DIR/recovered_ids.txt"
+
+# SHUTDOWN through the router takes the shards down with it.
+"$CLIENT" --socket "$DIR/router.sock" --op shutdown
+wait "$ROUTER_PID"
+wait "$S0_PID"
+wait "$S1_PID"
+grep -q "stopped, final stats" "$DIR/router.log"
+grep -q "drained, final stats" "$DIR/s0.log"
+[ ! -S "$DIR/router.sock" ] || { echo "router socket not removed" >&2; exit 1; }
+
+kill -TERM "$REF_PID"
+wait "$REF_PID"
+echo "router_test OK"

@@ -1,18 +1,32 @@
-// sgq_client: scripted client for sgq_server. Sends queries (inline,
-// length-prefixed) over one or more concurrent connections and prints the
-// per-request response lines plus a summary of outcomes.
+// sgq_client: scripted client for sgq_server and sgq_router. Sends queries
+// (inline, length-prefixed) over one or more concurrent connections and
+// prints the per-request response lines plus a summary of outcomes.
 //
 //   sgq_client (--socket PATH | --host H --port N) --op query
 //              (--graph one.txt | --queries many.txt)
 //              [--timeout S] [--repeat 1] [--connections 1] [--quiet 0]
+//              [--limit K] [--ids 1]
+//              [--bench-json FILE] [--bench-name NAME]
 //   sgq_client ... --op stats
 //   sgq_client ... --op reload [--db new_db.txt]
 //   sgq_client ... --op cache-clear
 //   sgq_client ... --op shutdown
 //
 // After a query run the summary line is followed by per-request latency
-// percentiles (p50/p95/p99 over every request that got a response) and the
-// aggregate throughput across all connections.
+// percentiles (p50/p95/p99) and the aggregate throughput across all
+// connections. Latency is measured from the moment the request has been
+// written to the first byte of its response — connection setup (and any
+// mid-run reconnect) is excluded, so routed and direct runs compare
+// apples-to-apples.
+//
+// A dropped connection is re-dialed once per work item; only a request
+// that fails again on the fresh connection counts as dropped.
+//
+// --bench-json FILE appends the run as a BENCH_*.json record (suite
+// "service_flood", record name --bench-name). An existing snapshot at
+// FILE is merged: a record with the same name is replaced, others are
+// kept — so one file can hold the single-server and routed
+// configurations side by side. See bench/bench_common.h.
 //
 // Exit status: 0 when every response was OK (or the single control verb
 // succeeded), 1 when any request failed or the connection dropped.
@@ -26,7 +40,9 @@
 
 #include "util/timer.h"
 
+#include "bench/bench_common.h"
 #include "graph/graph_io.h"
+#include "service/protocol.h"
 #include "tool_flags.h"
 #include "util/socket.h"
 
@@ -41,6 +57,8 @@ int Usage() {
       "                  --op query (--graph FILE | --queries FILE)\n"
       "                  [--timeout S] [--repeat N] [--connections C] "
       "[--quiet 1]\n"
+      "                  [--limit K] [--ids 1] [--bench-json FILE] "
+      "[--bench-name NAME]\n"
       "       sgq_client ... --op stats|reload|cache-clear|shutdown "
       "[--db FILE]\n");
   return 2;
@@ -58,12 +76,20 @@ UniqueFd Connect(const sgq_tools::Flags& flags, std::string* error) {
 }
 
 // Reads one '\n'-terminated response line (the newline is stripped).
-bool ReadLine(int fd, std::string* line) {
+// When `first_byte_ms` is non-null it receives the time from the call —
+// i.e. from just after the request was written — to the first byte of the
+// response: the latency the server (or router fan-out) actually added.
+bool ReadLine(int fd, std::string* line, double* first_byte_ms = nullptr) {
   line->clear();
+  WallTimer timer;
   char c;
   for (;;) {
     const ssize_t n = ReadSome(fd, &c, 1);
     if (n <= 0) return false;
+    if (first_byte_ms != nullptr) {
+      *first_byte_ms = timer.ElapsedMillis();
+      first_byte_ms = nullptr;
+    }
     if (c == '\n') return true;
     *line += c;
   }
@@ -93,6 +119,23 @@ void CountResponse(const std::string& line, OutcomeCounts* counts) {
   }
 }
 
+// One request/response exchange; false on a connection-level failure
+// (write error, read error, or a malformed IDS continuation).
+bool ExchangeOnce(int fd, const std::string& header,
+                  const std::string& payload, bool want_ids,
+                  std::string* line, std::string* ids_line,
+                  double* latency_ms) {
+  if (!WriteAll(fd, header) || !WriteAll(fd, payload)) return false;
+  if (!ReadLine(fd, line, latency_ms)) return false;
+  ids_line->clear();
+  if (want_ids) {
+    // Only OK/TIMEOUT carry the IDS continuation line.
+    const ResponseHead head = ParseResponseHead(*line);
+    if (head.has_count && !ReadLine(fd, ids_line)) return false;
+  }
+  return true;
+}
+
 int RunQueries(const sgq_tools::Flags& flags) {
   GraphDatabase queries;
   std::string error;
@@ -113,6 +156,9 @@ int RunQueries(const sgq_tools::Flags& flags) {
       std::max(1, static_cast<int>(flags.GetDouble("connections", 1)));
   const double timeout = flags.GetDouble("timeout", 0);
   const bool quiet = flags.GetDouble("quiet", 0) != 0;
+  const uint64_t limit =
+      static_cast<uint64_t>(std::max(0.0, flags.GetDouble("limit", 0)));
+  const bool want_ids = flags.GetDouble("ids", 0) != 0;
 
   // Pre-serialize each query once; every connection replays its share.
   std::vector<std::string> payloads;
@@ -149,19 +195,38 @@ int RunQueries(const sgq_tools::Flags& flags) {
           header += ' ';
           header += std::to_string(timeout);
         }
+        if (limit > 0) {
+          header += " LIMIT ";
+          header += std::to_string(limit);
+        }
+        if (want_ids) header += " IDS";
         header += '\n';
-        std::string line;
-        WallTimer request_timer;
-        if (!WriteAll(fd.get(), header) || !WriteAll(fd.get(), payload) ||
-            !ReadLine(fd.get(), &line)) {
+        std::string line, ids_line;
+        double latency_ms = 0;
+        bool sent = ExchangeOnce(fd.get(), header, payload, want_ids, &line,
+                                 &ids_line, &latency_ms);
+        if (!sent) {
+          // The server may have restarted between requests; one fresh
+          // dial distinguishes a restart from a down server. The retried
+          // request gets a fresh latency measurement, so reconnect cost
+          // never pollutes the percentiles.
+          fd = Connect(flags, &conn_error);
+          sent = fd.valid() &&
+                 ExchangeOnce(fd.get(), header, payload, want_ids, &line,
+                              &ids_line, &latency_ms);
+        }
+        if (!sent) {
           ++counts.dropped;
           break;
         }
-        thread_latencies_ms.push_back(request_timer.ElapsedMillis());
+        thread_latencies_ms.push_back(latency_ms);
         CountResponse(line, &counts);
         if (!quiet) {
           std::lock_guard<std::mutex> lock(print_mu);
           std::printf("[conn %d] %s\n", c, line.c_str());
+          if (!ids_line.empty()) {
+            std::printf("[conn %d] %s\n", c, ids_line.c_str());
+          }
         }
       }
       std::lock_guard<std::mutex> lock(print_mu);
@@ -184,6 +249,10 @@ int RunQueries(const sgq_tools::Flags& flags) {
               static_cast<unsigned long long>(totals.overloaded),
               static_cast<unsigned long long>(totals.bad),
               static_cast<unsigned long long>(totals.dropped));
+  const double throughput =
+      wall_seconds > 0
+          ? static_cast<double>(latencies_ms.size()) / wall_seconds
+          : 0.0;
   if (!latencies_ms.empty()) {
     std::sort(latencies_ms.begin(), latencies_ms.end());
     std::printf(
@@ -191,10 +260,48 @@ int RunQueries(const sgq_tools::Flags& flags) {
         PercentileMs(latencies_ms, 50), PercentileMs(latencies_ms, 95),
         PercentileMs(latencies_ms, 99), latencies_ms.size());
     std::printf("throughput: %.1f req/s over %.3f s (%d connections)\n",
-                wall_seconds > 0
-                    ? static_cast<double>(latencies_ms.size()) / wall_seconds
-                    : 0.0,
-                wall_seconds, connections);
+                throughput, wall_seconds, connections);
+  }
+
+  const std::string bench_json = flags.Get("bench-json", "");
+  if (!bench_json.empty() && !latencies_ms.empty()) {
+    double sum_ms = 0;
+    for (const double ms : latencies_ms) sum_ms += ms;
+    bench::BenchRecord record;
+    record.name = flags.Get("bench-name", "flood");
+    record.iterations = latencies_ms.size();
+    record.ns_per_op = sum_ms / static_cast<double>(latencies_ms.size()) * 1e6;
+    record.counters = {
+        {"p50_ms", PercentileMs(latencies_ms, 50)},
+        {"p95_ms", PercentileMs(latencies_ms, 95)},
+        {"p99_ms", PercentileMs(latencies_ms, 99)},
+        {"throughput_rps", throughput},
+        {"connections", static_cast<double>(connections)},
+        {"ok", static_cast<double>(totals.ok)},
+        {"timeout", static_cast<double>(totals.timeout)},
+        {"overloaded", static_cast<double>(totals.overloaded)},
+        {"dropped", static_cast<double>(totals.dropped)},
+    };
+    // Merge-by-name into any existing snapshot so the direct and routed
+    // configurations of one bench run share a file.
+    std::vector<bench::BenchRecord> records;
+    std::string suite;
+    if (bench::ReadBenchJson(bench_json, &suite, &records)) {
+      records.erase(std::remove_if(records.begin(), records.end(),
+                                   [&](const bench::BenchRecord& r) {
+                                     return r.name == record.name;
+                                   }),
+                    records.end());
+    } else {
+      records.clear();
+    }
+    records.push_back(std::move(record));
+    if (!bench::WriteBenchJson(bench_json, "service_flood", records)) {
+      std::fprintf(stderr, "failed to write %s\n", bench_json.c_str());
+      return 1;
+    }
+    std::printf("bench: wrote %s (%zu records)\n", bench_json.c_str(),
+                records.size());
   }
   return (connect_failed || totals.bad > 0 || totals.dropped > 0) ? 1 : 0;
 }
@@ -233,7 +340,8 @@ int main(int argc, char** argv) {
   sgq_tools::Flags flags(argc, argv, 1);
   if (!flags.ok() ||
       !flags.Validate({"socket", "host", "port", "op", "graph", "queries",
-                       "timeout", "repeat", "connections", "quiet", "db"})) {
+                       "timeout", "repeat", "connections", "quiet", "db",
+                       "limit", "ids", "bench-json", "bench-name"})) {
     return Usage();
   }
   const std::string op = flags.Get("op", "query");

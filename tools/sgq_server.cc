@@ -12,7 +12,13 @@
 //              (CFQL-parallel-intra only: cap on workers stealing
 //              intra-query tasks, root candidates per stolen task)
 //              [--cache-mb 64] [--cache on|off]
+//              [--shard-of i/M]   (serve shard i of an M-way deployment)
 //   sgq_server --db db.txt --port 7474 [--host 127.0.0.1] ...
+//
+// With --shard-of the server loads the full database file but keeps only
+// the graphs the shard-map hash (src/router/shard_map.h) assigns to shard
+// i, and reports answers under their unsharded ids — the form sgq_router
+// expects from its backends.
 //
 // The query-result cache (--cache-mb, default 64 MiB; --cache off or
 // SGQ_CACHE=off to disable) serves repeated and isomorphically relabeled
@@ -30,6 +36,7 @@
 #include <string>
 
 #include "graph/graph_io.h"
+#include "router/shard_map.h"
 #include "service/server.h"
 #include "tool_flags.h"
 #include "util/defaults.h"
@@ -53,7 +60,8 @@ int Usage() {
                "                  [--max-request-bytes N] [--threads N] "
                "[--chunk K]\n"
                "                  [--intra-threads N] [--steal-chunk K]\n"
-               "                  [--cache-mb 64] [--cache on|off]\n");
+               "                  [--cache-mb 64] [--cache on|off] "
+               "[--shard-of i/M]\n");
   return 2;
 }
 
@@ -67,7 +75,7 @@ int main(int argc, char** argv) {
                        "queue", "default-timeout", "build-limit",
                        "max-request-bytes", "threads", "chunk",
                        "intra-threads", "steal-chunk", "cache-mb",
-                       "cache"})) {
+                       "cache", "shard-of"})) {
     return Usage();
   }
   const std::string db_path = flags.Get("db", "");
@@ -123,36 +131,50 @@ int main(int argc, char** argv) {
   server_config.max_payload_bytes = static_cast<size_t>(flags.GetDouble(
       "max-request-bytes", static_cast<double>(kDefaultMaxPayloadBytes)));
   server_config.db_path = db_path;
+  std::string error;
+  if (flags.Has("shard-of")) {
+    ShardSpec shard;
+    if (!ParseShardSpec(flags.Get("shard-of", ""), &shard, &error)) {
+      std::fprintf(stderr, "bad --shard-of: %s\n", error.c_str());
+      return 2;
+    }
+    server_config.shard_index = shard.index;
+    server_config.shard_count = shard.count;
+  }
 
   GraphDatabase db;
-  std::string error;
   if (!LoadDatabase(db_path, &db, &error)) {
     std::fprintf(stderr, "failed to load %s: %s\n", db_path.c_str(),
                  error.c_str());
     return 1;
   }
-  const size_t num_graphs = db.size();
-
   SocketServer server(server_config, service_config);
   if (!server.Start(std::move(db), &error)) {
     std::fprintf(stderr, "failed to start: %s\n", error.c_str());
     return 1;
   }
+  // Post-filter count: with --shard-of this is the shard's own slice.
+  const size_t num_graphs = server.Stats().db_graphs;
   g_server = &server;
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
+  const std::string shard_note =
+      server_config.shard_count > 1
+          ? " as shard " + std::to_string(server_config.shard_index) + "/" +
+                std::to_string(server_config.shard_count)
+          : "";
   if (!server_config.unix_path.empty()) {
-    std::printf("sgq_server: %s over %zu graphs on unix:%s (%u workers, "
+    std::printf("sgq_server: %s over %zu graphs%s on unix:%s (%u workers, "
                 "queue %zu)\n",
                 service_config.engine_name.c_str(), num_graphs,
-                server_config.unix_path.c_str(), service_config.workers,
-                service_config.queue_capacity);
+                shard_note.c_str(), server_config.unix_path.c_str(),
+                service_config.workers, service_config.queue_capacity);
   } else {
-    std::printf("sgq_server: %s over %zu graphs on %s:%u (%u workers, "
+    std::printf("sgq_server: %s over %zu graphs%s on %s:%u (%u workers, "
                 "queue %zu)\n",
                 service_config.engine_name.c_str(), num_graphs,
-                server_config.host.c_str(), server.port(),
+                shard_note.c_str(), server_config.host.c_str(), server.port(),
                 service_config.workers, service_config.queue_capacity);
   }
   std::fflush(stdout);
