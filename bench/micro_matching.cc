@@ -612,6 +612,7 @@ struct StealFixture {
         query, data, filtered->phi, order, limit, nullptr,
         [&serial_flat](const std::vector<VertexId>& m) {
           serial_flat.insert(serial_flat.end(), m.begin(), m.end());
+          return true;
         },
         &ws, DefaultExtensionPath());
     expected_embeddings = serial.embeddings;
@@ -648,6 +649,7 @@ struct StealFixture {
         0, query, data, filtered->phi, order, limit, Deadline::Infinite(),
         [&steal_flat](const std::vector<VertexId>& m) {
           steal_flat.insert(steal_flat.end(), m.begin(), m.end());
+          return true;
         },
         &owner_ws, DefaultExtensionPath());
     done.store(true, std::memory_order_release);

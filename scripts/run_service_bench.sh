@@ -3,13 +3,21 @@
 # through sgq_client and records latency percentiles + throughput into one
 # BENCH_service_flood.json snapshot with two records side by side:
 #
-#   direct_1server   sgq_client -> sgq_server            (no router)
-#   routed_2shards   sgq_client -> sgq_router -> 2x sgq_server --shard-of
+#   direct_1server          sgq_client -> sgq_server            (no router)
+#   routed_2shards          sgq_client -> sgq_router -> 2x sgq_server --shard-of
+#   mixed_fifo_cheap        cheap flood under heavy load, FIFO admission
+#   mixed_fifo_cheap_stream same, streamed (records time-to-first-embedding)
+#   mixed_sjf_cheap         cheap flood under heavy load, SJF admission
+#   mixed_sjf_cheap_stream  same, streamed
 #
 # Latency is first-byte-after-request (connection setup excluded, see
-# tools/sgq_client.cc), so the two records isolate exactly the router's
-# scatter-gather overhead. sgq_client merges records by name into the
-# existing file, so re-running one configuration refreshes only its record.
+# tools/sgq_client.cc), so the first two records isolate exactly the
+# router's scatter-gather overhead. The mixed_* records measure what the
+# cost-aware scheduler buys: a background client floods deadline-bound
+# heavy queries while the recorded client floods cheap ones — compare
+# p95_ms of mixed_fifo_cheap vs mixed_sjf_cheap. sgq_client merges records
+# by name into the existing file, so re-running one configuration
+# refreshes only its record.
 #
 # Usage:
 #   scripts/run_service_bench.sh [build_dir] [out_dir]
@@ -18,10 +26,13 @@
 #   out_dir    defaults to ./bench/results
 #
 # Scale knobs (environment):
-#   SGQ_FLOOD_GRAPHS       database size        (default 200)
-#   SGQ_FLOOD_QUERIES      distinct queries     (default 20)
-#   SGQ_FLOOD_REPEAT       repeats per query    (default 25)
-#   SGQ_FLOOD_CONNECTIONS  concurrent clients   (default 8)
+#   SGQ_FLOOD_GRAPHS          database size           (default 200)
+#   SGQ_FLOOD_QUERIES         distinct queries        (default 20)
+#   SGQ_FLOOD_REPEAT          repeats per query       (default 25)
+#   SGQ_FLOOD_CONNECTIONS     concurrent clients      (default 8)
+#   SGQ_FLOOD_HEAVY_EDGES     edges per heavy query   (default 24)
+#   SGQ_FLOOD_HEAVY_TIMEOUT   heavy query deadline, s (default 0.05)
+#   SGQ_FLOOD_SCHED_THRESHOLD cheap/heavy cost split  (default 1000000)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,6 +43,9 @@ graphs="${SGQ_FLOOD_GRAPHS:-200}"
 queries="${SGQ_FLOOD_QUERIES:-20}"
 repeat="${SGQ_FLOOD_REPEAT:-25}"
 connections="${SGQ_FLOOD_CONNECTIONS:-8}"
+heavy_edges="${SGQ_FLOOD_HEAVY_EDGES:-24}"
+heavy_timeout="${SGQ_FLOOD_HEAVY_TIMEOUT:-0.05}"
+sched_threshold="${SGQ_FLOOD_SCHED_THRESHOLD:-1000000}"
 
 cli="${build_dir}/tools/sgq_cli"
 server="${build_dir}/tools/sgq_server"
@@ -97,6 +111,57 @@ pids+=($!)
 wait_sock "${dir}/router.sock"
 flood "${dir}/router.sock" routed_2shards
 "${client}" --socket "${dir}/router.sock" --op shutdown > /dev/null
+
+# --- mixed cheap+heavy flood: FIFO vs SJF, batch vs stream ------------------
+# A background client floods deadline-bound heavy queries while the recorded
+# client floods cheap ones. Under FIFO the cheap queries queue behind the
+# heavy ones; under SJF the admission cost model lets them jump the queue.
+#
+# The mixed workload runs on its own single-label dense database: with one
+# label the candidate filters lose their pruning power, so a large mined
+# query turns into a non-containment proof on most graphs and reliably burns
+# its whole deadline, while a 2-edge query stays ~1 ms. The result cache is
+# off so every repeat really executes. The background flood is sized to
+# outlive the measurement and killed afterwards.
+"${cli}" generate --out "${dir}/db_mixed.txt" --graphs "${graphs}" \
+  --vertices 32 --degree 8 --labels 1 --seed 11
+"${cli}" genq --db "${dir}/db_mixed.txt" --out "${dir}/q_cheap.txt" \
+  --edges 2 --count "${queries}" --seed 7
+"${cli}" genq --db "${dir}/db_mixed.txt" --out "${dir}/q_heavy.txt" \
+  --edges "${heavy_edges}" --count 4 --seed 9
+
+start_mixed_server() {  # socket sched
+  local sock="$1" sched="$2"
+  "${server}" --db "${dir}/db_mixed.txt" --socket "${sock}" --engine CFQL \
+    --workers 2 --queue 64 --cache off --sched "${sched}" \
+    --sched-threshold "${sched_threshold}" > /dev/null 2>&1 &
+  pids+=($!)
+  wait_sock "${sock}"
+}
+
+mixed_flood() {  # socket record_name [extra cheap-client args...]
+  local sock="$1" name="$2"; shift 2
+  "${client}" --socket "${sock}" --op query --queries "${dir}/q_heavy.txt" \
+    --repeat 100000 --connections 2 --timeout "${heavy_timeout}" \
+    --quiet 1 > /dev/null 2>&1 &
+  local heavy_pid=$!
+  sleep 0.3  # let the heavy flood occupy the workers first
+  "${client}" --socket "${sock}" --op query --queries "${dir}/q_cheap.txt" \
+    --repeat "${repeat}" --connections "${connections}" --quiet 1 \
+    --bench-json "${out_json}" --bench-name "${name}" "$@"
+  kill "${heavy_pid}" 2>/dev/null || true
+  wait "${heavy_pid}" 2>/dev/null || true
+}
+
+for sched in fifo sjf; do
+  echo "==> mixed_${sched}"
+  start_mixed_server "${dir}/${sched}.sock" "${sched}"
+  mixed_flood "${dir}/${sched}.sock" "mixed_${sched}_cheap"
+  mixed_flood "${dir}/${sched}.sock" "mixed_${sched}_cheap_stream" --stream 1
+  "${client}" --socket "${dir}/${sched}.sock" --op stats \
+    | grep -o '"sched":{"policy":"[a-z]*","aged":[0-9]*' || true
+  "${client}" --socket "${dir}/${sched}.sock" --op shutdown > /dev/null
+done
 
 echo "snapshot:"
 cat "${out_json}"

@@ -32,6 +32,7 @@ std::vector<std::vector<VertexId>> BruteForceAllEmbeddings(
   BruteForceEnumerate(query, data, UINT64_MAX,
                       [&](const std::vector<VertexId>& mapping) {
                         embeddings.push_back(mapping);
+                        return true;
                       });
   return embeddings;
 }

@@ -168,7 +168,10 @@ struct CflEnumContext {
     ++result.recursion_calls;
     if (depth == cpi.matching_order.size()) {
       ++result.embeddings;
-      if (callback) callback(mapping);
+      if (callback && !callback(mapping)) {
+        result.sink_stopped = true;
+        return false;
+      }
       return result.embeddings < limit;
     }
     const VertexId u = cpi.matching_order[depth];

@@ -85,7 +85,10 @@ struct UllmannState {
     ++result.recursion_calls;
     if (depth == query.NumVertices()) {
       ++result.embeddings;
-      if (callback) callback(mapping);
+      if (callback && !callback(mapping)) {
+        result.sink_stopped = true;
+        return false;
+      }
       return result.embeddings < limit;
     }
     const VertexId u = depth;  // Ullmann searches in query-id order

@@ -255,7 +255,10 @@ struct BacktrackContext {
     }
     if (depth == order.size()) {
       ++result.embeddings;
-      if (callback) callback(mapping);
+      if (callback && !callback(mapping)) {
+        result.sink_stopped = true;
+        return false;
+      }
       return result.embeddings < limit;
     }
     if (depth == 0) return ExtendRoots();

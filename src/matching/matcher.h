@@ -24,8 +24,11 @@ namespace sgq {
 class MatchWorkspace;
 
 // Called for every embedding found: mapping[u] is the data vertex matched to
-// query vertex u. Return value ignored.
-using EmbeddingCallback = std::function<void(const std::vector<VertexId>&)>;
+// query vertex u. Returns whether to keep enumerating: false unwinds the
+// search immediately (result.sink_stopped set) — the hook result sinks use
+// to stop the matcher itself once a downstream LIMIT is satisfied, instead
+// of truncating a fully-materialized batch afterwards.
+using EmbeddingCallback = std::function<bool(const std::vector<VertexId>&)>;
 
 // Result of the preprocessing phase. Concrete matchers subclass this to
 // attach auxiliary structures (CFL's CPI); the candidate sets are always
@@ -54,6 +57,7 @@ struct EnumerateResult {
   uint64_t recursion_calls = 0;  // search-tree nodes visited
   bool aborted = false;          // deadline expired mid-search
   bool cancelled = false;        // a BacktrackTask stop flag ended the search
+  bool sink_stopped = false;     // the embedding callback returned false
   uint64_t intersect_calls = 0;
   uint64_t intersect_merge = 0;
   uint64_t intersect_gallop = 0;

@@ -130,8 +130,12 @@ void StealScheduler::ExecuteTask(TaskDesc* task, MatchWorkspace* ws,
     bt.stop = &job->stop;
     EmbeddingCallback cb;
     if (job->buffer_embeddings) {
+      // Buffering never stops the task: how many embeddings the consumer
+      // wants is decided at the owner's merge replay, where seed order (==
+      // serial order) is known.
       cb = [&seed](const std::vector<VertexId>& mapping) {
         seed.flat.insert(seed.flat.end(), mapping.begin(), mapping.end());
+        return true;
       };
     }
     seed.er = BacktrackOverCandidates(*job->query, *job->data, *job->phi,
@@ -271,6 +275,7 @@ EnumerateResult StealScheduler::Enumerate(
   uint64_t taken = 0;
   uint64_t executed = 0;
   bool any_aborted = false;
+  bool sink_stopped = false;
   std::vector<VertexId> replay;
   const size_t width = order.size();
   for (uint32_t i = 0; i < num_tasks; ++i) {
@@ -278,18 +283,27 @@ EnumerateResult StealScheduler::Enumerate(
     total.AddCounters(seed.er);
     if (seed.er.recursion_calls > 0) ++executed;
     any_aborted |= seed.er.aborted;
-    if (taken >= limit) continue;
+    if (sink_stopped || taken >= limit) continue;
     const uint64_t take = std::min(seed.er.embeddings, limit - taken);
     if (job.buffer_embeddings) {
+      // Replay in seed order == serial discovery order; a sink that stops
+      // mid-replay sees the exact prefix serial enumeration would have
+      // produced (the stopping embedding counts, as in the serial leaf).
       for (uint64_t e = 0; e < take; ++e) {
         replay.assign(seed.flat.begin() + e * width,
                       seed.flat.begin() + (e + 1) * width);
-        callback(replay);
+        ++taken;
+        if (!callback(replay)) {
+          sink_stopped = true;
+          break;
+        }
       }
+    } else {
+      taken += take;
     }
-    taken += take;
   }
   total.embeddings = taken;
+  total.sink_stopped = sink_stopped;
   // Every executed task pays one depth-0 dispatch call where the serial
   // search pays exactly one in total; collapse the duplicates so
   // recursion_calls is bit-identical to serial whenever nothing was
@@ -298,7 +312,7 @@ EnumerateResult StealScheduler::Enumerate(
   // A deadline abort only surfaces when the limit was not already covered —
   // the serial search would have returned complete before reaching the
   // aborted subtree.
-  total.aborted = any_aborted && taken < limit;
+  total.aborted = any_aborted && taken < limit && !sink_stopped;
   return total;
 }
 

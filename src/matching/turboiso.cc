@@ -171,6 +171,10 @@ EnumerateResult TurboIsoMatcher::Enumerate(const Graph& query,
         query, data, phi, order, limit - total.embeddings, checker, callback);
     total.embeddings += r.embeddings;
     total.AddCounters(r);
+    if (r.sink_stopped) {
+      total.sink_stopped = true;
+      break;
+    }
     if (r.aborted) {
       total.aborted = true;
       break;

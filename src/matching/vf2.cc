@@ -104,7 +104,10 @@ struct Vf2State {
     ++result.recursion_calls;
     if (depth == query.NumVertices()) {
       ++result.embeddings;
-      if (callback) callback(core_q);
+      if (callback && !callback(core_q)) {
+        result.sink_stopped = true;
+        return false;
+      }
       return result.embeddings < limit;
     }
     const VertexId u = NextQueryVertex();

@@ -37,6 +37,11 @@ class Vf2ScanEngine : public QueryEngine {
   }
 
   QueryResult Query(const Graph& query, Deadline deadline) const override {
+    return Query(query, deadline, /*sink=*/nullptr);
+  }
+
+  QueryResult Query(const Graph& query, Deadline deadline,
+                    ResultSink* sink) const override {
     SGQ_CHECK(db_ != nullptr);
     QueryResult result;
     // Expired before we start: OOT with zero work done (see vcfv_engine.cc).
@@ -51,12 +56,22 @@ class Vf2ScanEngine : public QueryEngine {
       const int outcome =
           verifier_.Contains(query, db_->graph(g), &checker, &workspace_);
       ++result.stats.si_tests;
-      if (outcome == 1) result.answers.push_back(g);
+      bool sink_stopped = false;
+      if (outcome == 1) {
+        result.answers.push_back(g);
+        if (sink != nullptr) sink_stopped = !sink->OnAnswer(g);
+      }
       if (outcome == -1 || deadline.Expired()) {
         result.stats.timed_out = true;
         break;
       }
+      if (sink_stopped) break;
+      if (sink != nullptr && (g % kSinkFlushIntervalGraphs) ==
+                                 kSinkFlushIntervalGraphs - 1) {
+        sink->FlushHint();
+      }
     }
+    if (sink != nullptr) sink->FlushHint();
     result.stats.verification_ms = verify_timer.ElapsedMillis();
     result.stats.num_answers = result.answers.size();
     return result;

@@ -17,6 +17,11 @@ bool IfvEngine::NotifyAdded(GraphId id, Deadline deadline) {
 }
 
 QueryResult IfvEngine::Query(const Graph& query, Deadline deadline) const {
+  return Query(query, deadline, /*sink=*/nullptr);
+}
+
+QueryResult IfvEngine::Query(const Graph& query, Deadline deadline,
+                             ResultSink* sink) const {
   SGQ_CHECK(db_ != nullptr && index_->built())
       << name_ << ": Prepare() must succeed before Query()";
   QueryResult result;
@@ -36,11 +41,16 @@ QueryResult IfvEngine::Query(const Graph& query, Deadline deadline) const {
 
   // Verification step: one subgraph isomorphism test per candidate.
   WallTimer verify_timer;
+  GraphId walked = 0;
   for (GraphId g : candidates) {
     const int outcome =
         verifier_.Contains(query, db_->graph(g), &checker, &workspace_);
     ++result.stats.si_tests;
-    if (outcome == 1) result.answers.push_back(g);
+    bool sink_stopped = false;
+    if (outcome == 1) {
+      result.answers.push_back(g);
+      if (sink != nullptr) sink_stopped = !sink->OnAnswer(g);
+    }
     // The checker only polls the clock every 1024 ticks inside Contains();
     // short verifications may never reach a poll, so check the deadline
     // directly between candidates as well.
@@ -48,7 +58,12 @@ QueryResult IfvEngine::Query(const Graph& query, Deadline deadline) const {
       result.stats.timed_out = true;
       break;
     }
+    if (sink_stopped) break;
+    if (sink != nullptr && (++walked % kSinkFlushIntervalGraphs) == 0) {
+      sink->FlushHint();
+    }
   }
+  if (sink != nullptr) sink->FlushHint();
   result.stats.verification_ms = verify_timer.ElapsedMillis();
   result.stats.num_answers = result.answers.size();
   return result;

@@ -28,6 +28,11 @@ class IfvEngine : public QueryEngine {
 
   QueryResult Query(const Graph& query, Deadline deadline) const override;
 
+  // Streaming scan: each candidate that passes verification is emitted
+  // immediately; a sink stop ends the candidate walk.
+  QueryResult Query(const Graph& query, Deadline deadline,
+                    ResultSink* sink) const override;
+
   size_t IndexMemoryBytes() const override { return index_->MemoryBytes(); }
 
   GraphIndex::BuildFailure prepare_failure() const override {

@@ -19,6 +19,11 @@ bool IvcfvEngine::NotifyAdded(GraphId id, Deadline deadline) {
 }
 
 QueryResult IvcfvEngine::Query(const Graph& query, Deadline deadline) const {
+  return Query(query, deadline, /*sink=*/nullptr);
+}
+
+QueryResult IvcfvEngine::Query(const Graph& query, Deadline deadline,
+                               ResultSink* sink) const {
   SGQ_CHECK(db_ != nullptr && index_->built())
       << name_ << ": Prepare() must succeed before Query()";
   QueryResult result;
@@ -40,6 +45,7 @@ QueryResult IvcfvEngine::Query(const Graph& query, Deadline deadline) const {
 
   const uint64_t ws_hits_before = workspace_.filter_hits();
   const uint64_t ws_misses_before = workspace_.filter_misses();
+  GraphId walked = 0;
   for (GraphId g : index_candidates) {
     const Graph& data = db_->graph(g);
 
@@ -61,17 +67,26 @@ QueryResult IvcfvEngine::Query(const Graph& query, Deadline deadline) const {
       verify_timer.Stop();
       ++result.stats.si_tests;
       AddIntersectCounters(&result.stats, er);
-      if (er.embeddings > 0) result.answers.push_back(g);
+      bool sink_stopped = false;
+      if (er.embeddings > 0) {
+        result.answers.push_back(g);
+        if (sink != nullptr) sink_stopped = !sink->OnAnswer(g);
+      }
       if (er.aborted) {
         result.stats.timed_out = true;
         break;
       }
+      if (sink_stopped) break;
+    }
+    if (sink != nullptr && (++walked % kSinkFlushIntervalGraphs) == 0) {
+      sink->FlushHint();
     }
     if (deadline.Expired()) {
       result.stats.timed_out = true;
       break;
     }
   }
+  if (sink != nullptr) sink->FlushHint();
   result.stats.filtering_ms = filter_timer.TotalMillis();
   result.stats.verification_ms = verify_timer.TotalMillis();
   result.stats.num_answers = result.answers.size();

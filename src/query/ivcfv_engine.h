@@ -29,6 +29,10 @@ class IvcfvEngine : public QueryEngine {
 
   QueryResult Query(const Graph& query, Deadline deadline) const override;
 
+  // Streaming scan over the index candidates; see VcfvEngine.
+  QueryResult Query(const Graph& query, Deadline deadline,
+                    ResultSink* sink) const override;
+
   size_t IndexMemoryBytes() const override { return index_->MemoryBytes(); }
 
   GraphIndex::BuildFailure prepare_failure() const override {

@@ -58,6 +58,7 @@ MatchResult MatchEngine::Match(const Graph& query, const MatchOptions& options,
       if (options.collect_embeddings) {
         callback = [&matches](const std::vector<VertexId>& mapping) {
           matches.embeddings.push_back(mapping);
+          return true;
         };
       }
       verify_timer.Start();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 #include <string_view>
 #include <thread>
 
@@ -160,6 +162,186 @@ QueryResult ParallelVcfvEngine::Query(const Graph& query,
 
   FoldAccumulators(accumulators, executors, &result);
   result.stats.timed_out = timed_out.load();
+
+  uint64_t ws_hits_after = 0, ws_misses_after = 0;
+  for (const auto& slot : slots_) {
+    ws_hits_after += slot->workspace.filter_hits();
+    ws_misses_after += slot->workspace.filter_misses();
+  }
+  result.stats.ws_filter_hits = ws_hits_after - ws_hits_before;
+  result.stats.ws_filter_misses = ws_misses_after - ws_misses_before;
+  return result;
+}
+
+QueryResult ParallelVcfvEngine::Query(const Graph& query, Deadline deadline,
+                                      ResultSink* sink) const {
+  SGQ_CHECK(db_ != nullptr) << name_ << ": call Prepare() first";
+  if (sink == nullptr) return Query(query, deadline);
+  return QueryStreaming(query, deadline, sink);
+}
+
+QueryResult ParallelVcfvEngine::QueryStreaming(const Graph& query,
+                                               Deadline deadline,
+                                               ResultSink* sink) const {
+  QueryResult result;
+  if (deadline.Expired()) {
+    result.stats.timed_out = true;
+    return result;
+  }
+  const size_t num_graphs = db_->size();
+  const uint32_t executors = pool_->num_threads() + 1;
+
+  std::vector<SlotAccumulator> accumulators(executors);
+  std::atomic<bool> timed_out{false};
+  std::atomic<bool> stop{false};  // the sink asked to stop
+  std::atomic<size_t> next{0};
+  std::atomic<uint32_t> scanning{executors};
+
+  uint64_t ws_hits_before = 0, ws_misses_before = 0;
+  for (const auto& slot : slots_) {
+    ws_hits_before += slot->workspace.filter_hits();
+    ws_misses_before += slot->workspace.filter_misses();
+  }
+
+  const size_t chunk = chunk_size_ != 0
+                           ? chunk_size_
+                           : ThreadPool::DefaultChunk(num_graphs, executors);
+
+  // Ordered chunk reassembly: chunks are the contiguous ranges
+  // [k*chunk, (k+1)*chunk); a finished chunk parks its answers until every
+  // earlier chunk has emitted, so the sink sees exactly the ascending-id
+  // sequence the sorted batch answers would hold — at any executor count.
+  std::mutex emit_mu;
+  std::map<size_t, std::vector<GraphId>> parked;
+  size_t frontier = 0;
+  std::vector<GraphId> emitted;
+
+  auto emit_chunk = [&](size_t begin, std::vector<GraphId>&& answers) {
+    std::lock_guard<std::mutex> lock(emit_mu);
+    parked.emplace(begin, std::move(answers));
+    bool delivered = false;
+    while (!parked.empty() && parked.begin()->first == frontier) {
+      auto node = parked.extract(parked.begin());
+      for (GraphId id : node.mapped()) {
+        if (stop.load(std::memory_order_relaxed)) break;
+        emitted.push_back(id);
+        delivered = true;
+        if (!sink->OnAnswer(id)) {
+          stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+      frontier = std::min(frontier + chunk, num_graphs);
+    }
+    if (delivered) sink->FlushHint();
+  };
+
+  auto worker = [&](uint32_t slot_id) {
+    WorkerSlot& slot = *slots_[slot_id];
+    SlotAccumulator& acc = accumulators[slot_id];
+    DeadlineChecker checker(deadline);
+    WallTimer timer;
+    bool bail = false;
+    while (!bail) {
+      const size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= num_graphs) break;
+      const size_t end = std::min(begin + chunk, num_graphs);
+      std::vector<GraphId> chunk_answers;
+      for (size_t g = begin; g < end && !bail; ++g) {
+        if (timed_out.load(std::memory_order_relaxed) ||
+            stop.load(std::memory_order_relaxed)) {
+          bail = true;
+          break;
+        }
+        const Graph& data = db_->graph(static_cast<GraphId>(g));
+
+        timer.Restart();
+        const FilterData* filter_data =
+            slot.matcher->Filter(query, data, &slot.workspace);
+        acc.filter_nanos += timer.ElapsedNanos();
+        acc.max_aux = std::max(acc.max_aux, filter_data->MemoryBytes());
+
+        if (filter_data->Passed()) {
+          ++acc.candidates;
+          timer.Restart();
+          EnumerateResult er;
+          if (scheduler_ != nullptr) {
+            const std::vector<VertexId>& order =
+                JoinBasedOrder(query, filter_data->phi, &slot.workspace);
+            if (scheduler_->ShouldSplit(
+                    filter_data->phi.set(order[0]).size())) {
+              er = scheduler_->Enumerate(slot_id, query, data,
+                                         filter_data->phi, order,
+                                         /*limit=*/1, deadline, nullptr,
+                                         &slot.workspace,
+                                         DefaultExtensionPath());
+            } else {
+              er = BacktrackOverCandidates(query, data, filter_data->phi,
+                                           order, /*limit=*/1, &checker,
+                                           nullptr, &slot.workspace,
+                                           DefaultExtensionPath());
+            }
+          } else {
+            er = slot.matcher->Enumerate(query, data, *filter_data,
+                                         /*limit=*/1, &checker,
+                                         &slot.workspace);
+          }
+          acc.verify_nanos += timer.ElapsedNanos();
+          ++acc.si_tests;
+          acc.counters.AddCounters(er);
+          if (er.embeddings > 0) {
+            chunk_answers.push_back(static_cast<GraphId>(g));
+          }
+          if (er.aborted) {
+            timed_out.store(true, std::memory_order_relaxed);
+            bail = true;
+            break;
+          }
+        }
+        if (deadline.Expired()) {
+          timed_out.store(true, std::memory_order_relaxed);
+          bail = true;
+        }
+      }
+      // Partial chunks (timeout bail) register too: the frontier can then
+      // pass them, matching the batch path's keep-what-was-confirmed
+      // behavior on TIMEOUT.
+      emit_chunk(begin, std::move(chunk_answers));
+    }
+    scanning.fetch_sub(1, std::memory_order_release);
+    if (scheduler_ == nullptr || !scheduler_->CanHelp(slot_id)) return;
+    timer.Restart();
+    bool helped = false;
+    while (scanning.load(std::memory_order_acquire) > 0 ||
+           scheduler_->HasPendingTasks()) {
+      if (scheduler_->TryHelp(slot_id, &slot.workspace)) {
+        helped = true;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    if (helped) acc.verify_nanos += timer.ElapsedNanos();
+  };
+
+  for (uint32_t i = 0; i < pool_->num_threads(); ++i) {
+    pool_->Submit([&worker, i] { worker(i); });
+  }
+  worker(executors - 1);
+  pool_->Wait();
+
+  // Counters fold as in the batch path; the answers are the emitted prefix
+  // (already ascending), not the per-slot union.
+  FoldAccumulators(accumulators, executors, &result);
+  result.answers = std::move(emitted);
+  result.stats.num_answers = result.answers.size();
+  result.stats.timed_out = timed_out.load();
+
+  if (scheduler_ != nullptr) {
+    const StealCounters sc = scheduler_->DrainCounters();
+    result.stats.tasks_spawned = sc.tasks_spawned;
+    result.stats.tasks_stolen = sc.tasks_stolen;
+    result.stats.tasks_aborted = sc.tasks_aborted;
+  }
 
   uint64_t ws_hits_after = 0, ws_misses_after = 0;
   for (const auto& slot : slots_) {

@@ -70,6 +70,14 @@ class ParallelVcfvEngine : public QueryEngine {
 
   QueryResult Query(const Graph& query, Deadline deadline) const override;
 
+  // Streaming scan: workers claim contiguous graph chunks and a chunk-order
+  // reassembly buffer emits each chunk's answers the moment every earlier
+  // chunk has been emitted, so the sink sees ascending ids identical to the
+  // (sorted) batch answers at any thread count. A sink stop cancels the
+  // remaining scan; result.answers is the emitted prefix.
+  QueryResult Query(const Graph& query, Deadline deadline,
+                    ResultSink* sink) const override;
+
   size_t IndexMemoryBytes() const override { return 0; }
 
   uint32_t num_threads() const { return pool_->num_threads(); }
@@ -86,6 +94,12 @@ class ParallelVcfvEngine : public QueryEngine {
   // across the scheduler; drained executors help until the last one
   // finishes its range.
   QueryResult QueryIntra(const Graph& query, Deadline deadline) const;
+
+  // The streaming scan loop behind Query(..., sink): dynamic contiguous
+  // chunk hand-out + ordered chunk emission; uses the steal scheduler for
+  // heavy enumerations when intra mode is on.
+  QueryResult QueryStreaming(const Graph& query, Deadline deadline,
+                             ResultSink* sink) const;
 
   std::string name_;
   uint32_t chunk_size_;

@@ -1,0 +1,24 @@
+#include "query/query_engine.h"
+
+namespace sgq {
+
+QueryResult QueryEngine::Query(const Graph& query, Deadline deadline,
+                               ResultSink* sink) const {
+  QueryResult result = Query(query, deadline);
+  if (sink == nullptr) return result;
+  // Fallback replay: semantically a stream (prefix semantics on stop), just
+  // without early delivery. Engines that can emit incrementally override.
+  size_t emitted = 0;
+  for (GraphId id : result.answers) {
+    ++emitted;
+    if (!sink->OnAnswer(id)) break;
+  }
+  if (emitted < result.answers.size()) {
+    result.answers.resize(emitted);
+    result.stats.num_answers = emitted;
+  }
+  sink->FlushHint();
+  return result;
+}
+
+}  // namespace sgq

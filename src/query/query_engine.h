@@ -8,6 +8,7 @@
 #include "graph/graph.h"
 #include "graph/graph_database.h"
 #include "index/graph_index.h"
+#include "query/result_sink.h"
 #include "query/stats.h"
 #include "util/deadline.h"
 
@@ -31,6 +32,17 @@ class QueryEngine {
   virtual QueryResult Query(const Graph& query,
                             Deadline deadline = Deadline::Infinite()) const
       = 0;
+
+  // Streaming variant: every confirmed answer id is pushed into `sink` (in
+  // ascending id order) the moment verification confirms it, and a sink
+  // returning false stops the scan — result.answers then holds exactly the
+  // emitted prefix, so a streamed response is always a bit-identical prefix
+  // of the batch response. The base implementation replays the batch
+  // answers (correct for any engine, streams nothing early); the concrete
+  // engines override it with true incremental emission. `sink == nullptr`
+  // degrades to the batch Query().
+  virtual QueryResult Query(const Graph& query, Deadline deadline,
+                            ResultSink* sink) const;
 
   // Footprint of persistent index structures (0 for vcFV algorithms).
   virtual size_t IndexMemoryBytes() const = 0;

@@ -1,0 +1,44 @@
+// The streaming result interface: instead of buffering the complete answer
+// set and replying once, an engine pushes each confirmed answer id into a
+// ResultSink the moment verification confirms it. Sinks flow through every
+// layer — engine scan loops, the service worker (global-id rewrite + LIMIT
+// enforcement), the socket server (chunked IDS continuation lines), and the
+// router's incremental shard merge — so first-k latency decouples from
+// full-enumeration time.
+#ifndef SGQ_QUERY_RESULT_SINK_H_
+#define SGQ_QUERY_RESULT_SINK_H_
+
+#include <cstdint>
+
+#include "graph/graph_database.h"
+
+namespace sgq {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  // One confirmed answer graph id. Engines call this in ascending id order
+  // (the same order the batch answer vector is built in), so the streamed
+  // sequence is always a prefix of the batch answers. Return false to stop
+  // the query: the engine ends its scan immediately — early LIMIT
+  // termination happens here, at the matcher/scan level, not by truncating
+  // a fully-materialized batch afterwards. The stopping answer counts as
+  // delivered.
+  virtual bool OnAnswer(GraphId id) = 0;
+
+  // Hint that now is a good moment to flush buffered chunks downstream
+  // (e.g. write a partial IDS line to the socket). Engines emit it
+  // periodically during long scans and once when the scan completes;
+  // implementations may ignore it.
+  virtual void FlushHint() {}
+};
+
+// How many data graphs a serial scan engine walks between FlushHint()s:
+// frequent enough that interactive clients see chunks trickle in during a
+// long scan, coarse enough to be invisible next to the per-graph work.
+inline constexpr GraphId kSinkFlushIntervalGraphs = 512;
+
+}  // namespace sgq
+
+#endif  // SGQ_QUERY_RESULT_SINK_H_

@@ -14,6 +14,11 @@ bool VcfvEngine::Prepare(const GraphDatabase& db, Deadline deadline) {
 }
 
 QueryResult VcfvEngine::Query(const Graph& query, Deadline deadline) const {
+  return Query(query, deadline, /*sink=*/nullptr);
+}
+
+QueryResult VcfvEngine::Query(const Graph& query, Deadline deadline,
+                              ResultSink* sink) const {
   SGQ_CHECK(db_ != nullptr) << name_ << ": call Prepare() first";
   QueryResult result;
   // A deadline that expired before we start (e.g. while the request sat in
@@ -50,11 +55,20 @@ QueryResult VcfvEngine::Query(const Graph& query, Deadline deadline) const {
       verify_timer.Stop();
       ++result.stats.si_tests;
       AddIntersectCounters(&result.stats, er);
-      if (er.embeddings > 0) result.answers.push_back(g);
+      bool sink_stopped = false;
+      if (er.embeddings > 0) {
+        result.answers.push_back(g);
+        if (sink != nullptr) sink_stopped = !sink->OnAnswer(g);
+      }
       if (er.aborted) {
         result.stats.timed_out = true;
         break;
       }
+      if (sink_stopped) break;
+    }
+    if (sink != nullptr && (g % kSinkFlushIntervalGraphs) ==
+                               kSinkFlushIntervalGraphs - 1) {
+      sink->FlushHint();
     }
     // The enumeration polls the deadline internally; between graphs we poll
     // it directly so a slow filter-only stretch cannot overrun the limit.
@@ -63,6 +77,7 @@ QueryResult VcfvEngine::Query(const Graph& query, Deadline deadline) const {
       break;
     }
   }
+  if (sink != nullptr) sink->FlushHint();
   result.stats.filtering_ms = filter_timer.TotalMillis();
   result.stats.verification_ms = verify_timer.TotalMillis();
   result.stats.num_answers = result.answers.size();

@@ -25,6 +25,11 @@ class VcfvEngine : public QueryEngine {
 
   QueryResult Query(const Graph& query, Deadline deadline) const override;
 
+  // Streaming scan: answers are emitted as each graph's verification
+  // confirms them; a sink stop ends the scan at the current graph.
+  QueryResult Query(const Graph& query, Deadline deadline,
+                    ResultSink* sink) const override;
+
   size_t IndexMemoryBytes() const override { return 0; }
 
   const Matcher& matcher() const { return *matcher_; }

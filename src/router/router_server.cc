@@ -3,9 +3,14 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <utility>
+
+#include "cache/canonical.h"
+#include "graph/graph_io.h"
+#include "service/stream_sink.h"
 
 namespace sgq {
 
@@ -52,7 +57,13 @@ bool ParseReloadedCount(std::string_view line, uint64_t* count) {
 RouterServer::RouterServer(RouterServerConfig server_config,
                            RouterConfig router_config)
     : config_(std::move(server_config)),
-      scatter_(std::move(router_config)) {}
+      scatter_(std::move(router_config)) {
+  CacheConfig cache_config;
+  cache_config.enabled = config_.cache_mb > 0;
+  cache_config.max_bytes = static_cast<size_t>(config_.cache_mb) << 20;
+  cache_config.shards = std::max<uint32_t>(1, config_.cache_shards);
+  cache_ = std::make_unique<ResultCache>(cache_config);
+}
 
 RouterServer::~RouterServer() {
   RequestStop();
@@ -185,10 +196,61 @@ bool RouterServer::DispatchQuery(int fd, const Request& request) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
     return WriteAll(fd, FormatBadRequestResponse(error));
   }
+
+  if (request.stream) {
+    // Streamed queries bypass the router cache: the scatter-gather merge
+    // forwards shard chunks as they arrive, and a partial (LIMIT) stream
+    // is not a cacheable full result anyway.
+    SocketStreamSink sink(fd);
+    MergedQuery merged = scatter_.Query(text, request.timeout_seconds,
+                                        request.limit, &sink);
+    if (!merged.ok) {
+      // Chunks may already be on the wire; the OVERLOADED terminal line
+      // tells the client to discard the partial stream.
+      return WriteAll(fd, FormatOverloadedResponse(merged.detail));
+    }
+    if (!sink.Flush()) return false;
+    return WriteAll(fd, FormatQueryResponse(merged.result, &merged.shards,
+                                            /*with_ids=*/false));
+  }
+
+  // Router-side cache: keyed on the parsed query's canonical form, so it
+  // also hits on isomorphic relabelings. Unparseable text skips the cache
+  // and lets the shards produce the authoritative rejection.
+  CacheKey key;
+  bool cacheable = false;
+  if (cache_->enabled()) {
+    Graph query;
+    std::string parse_error;
+    if (ParseSingleGraph(text, &query, &parse_error)) {
+      key.epoch = cache_->epoch();
+      key.engine = "router";
+      key.hash = Canonicalize(query).hash;
+      cacheable = true;
+      QueryResult cached;
+      if (cache_->Lookup(key, &cached)) {
+        // Only complete results from a fully healthy fan-out are stored,
+        // so a hit reports shards_ok == shards_total; a LIMIT request is
+        // served as the cached full result's prefix.
+        ApplyAnswerLimit(&cached, request.limit);
+        ShardHealth health;
+        health.ok = health.total =
+            static_cast<uint32_t>(scatter_.config().shards.size());
+        return WriteAll(fd,
+                        FormatQueryResponse(cached, &health,
+                                            request.want_ids));
+      }
+    }
+  }
+
   MergedQuery merged =
       scatter_.Query(text, request.timeout_seconds, request.limit);
   if (!merged.ok) {
     return WriteAll(fd, FormatOverloadedResponse(merged.detail));
+  }
+  if (cacheable && request.limit == 0 && !merged.result.stats.timed_out &&
+      merged.shards.ok == merged.shards.total) {
+    cache_->Insert(key, merged.result);
   }
   return WriteAll(fd, FormatQueryResponse(merged.result, &merged.shards,
                                           request.want_ids));
@@ -205,6 +267,7 @@ bool RouterServer::DispatchStats(int fd) {
               ",\"bad_requests\":" +
                   std::to_string(
                       bad_requests_.load(std::memory_order_relaxed)));
+  json += ",\"cache\":" + cache_->Stats().ToJson();
   json += ",\"shards\":[";
   for (size_t i = 0; i < replies.size(); ++i) {
     if (i > 0) json += ',';
@@ -261,9 +324,13 @@ bool RouterServer::DispatchBroadcast(int fd, const Request& request) {
     }
   }
   if (is_reload) {
+    // Every shard swapped databases, so every merged result the router
+    // cached is stale; the epoch bump makes them unreachable in O(1).
+    cache_->AdvanceEpoch();
     return WriteAll(
         fd, "OK reloaded " + std::to_string(total_graphs) + " graphs\n");
   }
+  cache_->Clear();
   return WriteAll(fd, std::string(kCacheClearedResponse));
 }
 

@@ -21,10 +21,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "router/scatter_gather.h"
 #include "service/protocol.h"
 #include "util/socket.h"
@@ -38,6 +40,14 @@ struct RouterServerConfig {
   int port = -1;
 
   size_t max_payload_bytes = kDefaultMaxPayloadBytes;
+
+  // Router-side result cache over merged full-query results (0 disables;
+  // the SGQ_CACHE environment variable can force it off regardless). Only
+  // complete, fully-healthy, non-streamed batch results are stored —
+  // LIMIT requests are served from a full cached result by prefix, and a
+  // successful RELOAD or CACHE CLEAR broadcast invalidates everything.
+  uint32_t cache_mb = 0;
+  uint32_t cache_shards = 8;
 };
 
 class RouterServer {
@@ -73,6 +83,9 @@ class RouterServer {
 
   const RouterServerConfig config_;
   ScatterGather scatter_;
+  // Internally synchronized; keyed on (epoch, "router", canonical query
+  // hash), so relabeled-isomorphic queries hit the same merged result.
+  std::unique_ptr<ResultCache> cache_;
   std::atomic<uint64_t> bad_requests_{0};  // codec failures, for STATS
   UniqueFd listener_;
   UniqueFd stop_pipe_rd_, stop_pipe_wr_;

@@ -1,7 +1,10 @@
 #include "router/scatter_gather.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
+#include <memory>
 #include <thread>
 #include <utility>
 
@@ -242,6 +245,229 @@ MergedQuery ScatterGather::Query(const std::string& graph_text,
   MergedQuery merged =
       MergeShardResults(replies, config_.on_shard_failure, limit);
   std::lock_guard<std::mutex> lock(stats_mu_);
+  for (const ShardQueryReply& reply : replies) {
+    if (!reply.ok) ++stats_.shard_failures;
+  }
+  if (!merged.ok) {
+    ++stats_.failed;
+  } else {
+    if (merged.result.stats.timed_out) {
+      ++stats_.merged_timeout;
+    } else {
+      ++stats_.merged_ok;
+    }
+    if (merged.shards.ok < merged.shards.total) ++stats_.degraded;
+  }
+  return merged;
+}
+
+// Shared between the per-shard reader threads (producers) and the calling
+// thread (the merger): per-shard ascending id queues plus a done flag each.
+// An id is safe to forward once every not-done shard has a buffered id —
+// the smallest front is then the global minimum of everything still to come.
+struct ScatterGather::StreamMerge {
+  explicit StreamMerge(size_t shards) : pending(shards), done(shards, 0) {}
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::deque<GraphId>> pending;
+  std::vector<char> done;
+};
+
+ShardQueryReply ScatterGather::QueryShardStreaming(size_t shard,
+                                                   const std::string& request,
+                                                   Deadline deadline,
+                                                   StreamMerge* merge) {
+  ShardQueryReply reply;
+  bool streamed_any = false;
+  const auto read = [&](ShardConnection* connection, std::string* error) {
+    std::vector<GraphId> chunk;
+    for (;;) {
+      std::string line;
+      if (!connection->ReadLine(deadline, &line, error)) return false;
+      if (line.rfind("IDS", 0) == 0) {
+        chunk.clear();
+        if (!ParseIdsChunk(line, &chunk)) {
+          *error = "bad IDS chunk: " + line;
+          return false;
+        }
+        reply.ids.insert(reply.ids.end(), chunk.begin(), chunk.end());
+        if (!chunk.empty()) {
+          streamed_any = true;
+          {
+            std::lock_guard<std::mutex> lock(merge->mu);
+            std::deque<GraphId>& dst = merge->pending[shard];
+            dst.insert(dst.end(), chunk.begin(), chunk.end());
+          }
+          merge->cv.notify_all();
+        }
+        continue;
+      }
+      const ResponseHead head = ParseResponseHead(line);
+      switch (head.kind) {
+        case ResponseHead::Kind::kOk:
+        case ResponseHead::Kind::kTimeout:
+          break;
+        case ResponseHead::Kind::kOverloaded:
+          reply.overloaded = true;
+          *error = head.body.empty() ? "(no detail)" : head.body;
+          return false;
+        case ResponseHead::Kind::kBadRequest:
+          // An old server rejecting the STREAM grammar lands here.
+          *error = "shard rejected request: " + head.body;
+          return false;
+        default:
+          *error = "malformed shard response: " + line;
+          return false;
+      }
+      if (!head.has_count) {
+        *error = "query response without answer count: " + line;
+        return false;
+      }
+      if (head.num_answers != reply.ids.size()) {
+        *error = "streamed " + std::to_string(reply.ids.size()) +
+                 " ids but terminal line reported " +
+                 std::to_string(head.num_answers);
+        return false;
+      }
+      if (!ParseQueryStatsJson(head.body, &reply.stats)) {
+        *error = "unparseable shard stats: " + head.body;
+        return false;
+      }
+      reply.timed_out = head.kind == ResponseHead::Kind::kTimeout;
+      return true;
+    }
+  };
+  // WithConnection's retry would replay already-merged (possibly already
+  // client-visible) ids, so retry a stale pooled socket only while nothing
+  // has been pushed to the merge.
+  std::string error;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::unique_ptr<ShardConnection> connection =
+        attempt == 0
+            ? pool_.Checkout(shard)
+            : std::make_unique<ShardConnection>(pool_.endpoint(shard));
+    if (!connection->Connect(&error)) break;
+    const bool reused = connection->reused();
+    if (connection->Send(request, &error) &&
+        read(connection.get(), &error)) {
+      pool_.CheckIn(shard, std::move(connection));
+      reply.ok = true;
+      return reply;
+    }
+    if (!reused || streamed_any) break;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.retries;
+  }
+  reply.ok = false;
+  reply.error = error.empty()
+                    ? pool_.endpoint(shard).ToString() + ": failed"
+                    : error;
+  return reply;
+}
+
+MergedQuery ScatterGather::Query(const std::string& graph_text,
+                                 double timeout_seconds, uint64_t limit,
+                                 ResultSink* sink) {
+  if (sink == nullptr) return Query(graph_text, timeout_seconds, limit);
+  const double timeout = timeout_seconds > 0
+                             ? timeout_seconds
+                             : config_.default_timeout_seconds;
+  const Deadline deadline = Deadline::AfterSeconds(timeout);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.received;
+  }
+
+  const size_t num_shards = config_.shards.size();
+  StreamMerge merge(num_shards);
+  std::vector<ShardQueryReply> replies(num_shards);
+  std::vector<std::thread> threads;
+  threads.reserve(num_shards);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    threads.emplace_back([this, shard, &graph_text, limit, deadline,
+                          &replies, &merge] {
+      const double remaining = std::max(0.001, deadline.SecondsRemaining());
+      char header[128];
+      int header_len;
+      if (limit > 0) {
+        header_len = std::snprintf(
+            header, sizeof(header), "QUERY %zu %.3f LIMIT %llu STREAM\n",
+            graph_text.size(), remaining,
+            static_cast<unsigned long long>(limit));
+      } else {
+        header_len =
+            std::snprintf(header, sizeof(header), "QUERY %zu %.3f STREAM\n",
+                          graph_text.size(), remaining);
+      }
+      std::string request(header, static_cast<size_t>(header_len));
+      request += graph_text;
+      replies[shard] = QueryShardStreaming(shard, request, deadline, &merge);
+      {
+        std::lock_guard<std::mutex> lock(merge.mu);
+        // A failed shard's reply is excluded from the merged result, so
+        // drop whatever it streamed but the merger has not forwarded yet
+        // (already-forwarded ids cannot be recalled — the caller's
+        // terminal line carries the failure).
+        if (!replies[shard].ok) merge.pending[shard].clear();
+        merge.done[shard] = 1;
+      }
+      merge.cv.notify_all();
+    });
+  }
+
+  // Incremental merge on the calling thread: repeatedly drain every id
+  // that is already order-safe into a batch, forward the batch without
+  // holding the merge lock (the sink writes to a socket), and sleep only
+  // when some not-done shard has an empty buffer. A shard with no answers
+  // sends nothing until its terminal line, so time-to-first-forwarded-id
+  // is bounded by the slowest shard's first flush — the price of strict
+  // global ordering.
+  uint64_t emitted = 0;
+  bool sink_open = true;
+  std::vector<GraphId> batch;
+  std::unique_lock<std::mutex> lock(merge.mu);
+  for (;;) {
+    batch.clear();
+    bool blocked = false;
+    for (;;) {
+      size_t best = num_shards;
+      blocked = false;
+      for (size_t i = 0; i < num_shards; ++i) {
+        if (!merge.pending[i].empty()) {
+          if (best == num_shards ||
+              merge.pending[i].front() < merge.pending[best].front()) {
+            best = i;
+          }
+        } else if (!merge.done[i]) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked || best == num_shards) break;
+      batch.push_back(merge.pending[best].front());
+      merge.pending[best].pop_front();
+    }
+    if (!batch.empty()) {
+      lock.unlock();
+      for (const GraphId id : batch) {
+        if (!sink_open || (limit > 0 && emitted >= limit)) break;
+        ++emitted;
+        if (!sink->OnAnswer(id)) sink_open = false;
+      }
+      sink->FlushHint();
+      lock.lock();
+      continue;
+    }
+    if (!blocked) break;  // every shard done and every buffer drained
+    merge.cv.wait(lock);
+  }
+  lock.unlock();
+  for (std::thread& thread : threads) thread.join();
+
+  MergedQuery merged =
+      MergeShardResults(replies, config_.on_shard_failure, limit);
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
   for (const ShardQueryReply& reply : replies) {
     if (!reply.ok) ++stats_.shard_failures;
   }

@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "query/result_sink.h"
 #include "router/shard_client.h"
 #include "service/protocol.h"
 #include "util/deadline.h"
@@ -109,6 +110,21 @@ class ScatterGather {
   MergedQuery Query(const std::string& graph_text, double timeout_seconds,
                     uint64_t limit);
 
+  // Streaming fan-out: queries every shard with STREAM and pushes the
+  // merged ascending global-id sequence to `sink` incrementally — an id is
+  // forwarded as soon as every shard that could still produce a smaller id
+  // has streamed past it (shard streams are ascending and disjoint, so the
+  // k-way merge of the chunk fronts is exactly the sorted union). With
+  // limit > 0 only the first `limit` merged ids reach the sink (the
+  // post-merge LIMIT cut; each shard is also sent LIMIT k, bounding its
+  // stream). The returned MergedQuery is identical to the batch overload's
+  // for the same replies. On a mid-stream shard failure ids may already
+  // have been forwarded — the caller must signal the failure in its
+  // terminal line rather than pretend the prefix is complete. A null sink
+  // falls back to the batch overload.
+  MergedQuery Query(const std::string& graph_text, double timeout_seconds,
+                    uint64_t limit, ResultSink* sink);
+
   struct BroadcastReply {
     bool ok = false;    // got a response line
     std::string line;   // the shard's response line (when ok)
@@ -136,6 +152,19 @@ class ScatterGather {
 
   ShardQueryReply QueryShard(size_t shard, const std::string& request,
                              Deadline deadline);
+
+  // Per-fan-out state of the incremental merge (defined in the .cc).
+  struct StreamMerge;
+
+  // Streaming exchange with one shard: each IDS chunk line is appended to
+  // the reply *and* pushed into the merge state as it arrives; the
+  // terminal OK/TIMEOUT line ends the exchange. Retries a stale pooled
+  // socket only while no chunk has been pushed yet — once ids entered the
+  // merge they may have been forwarded to the client, so a later failure
+  // is final.
+  ShardQueryReply QueryShardStreaming(size_t shard,
+                                      const std::string& request,
+                                      Deadline deadline, StreamMerge* merge);
 
   const RouterConfig config_;
   ShardConnectionPool pool_;

@@ -1,0 +1,115 @@
+#include "service/cost_model.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sgq {
+
+namespace {
+
+uint64_t PairKey(Label a, Label b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+void CostModel::Build(const GraphDatabase& db) {
+  label_counts_.clear();
+  pair_counts_.clear();
+  num_graphs_ = db.size();
+  total_vertices_ = 0;
+  total_edges_ = 0;
+  for (GraphId g = 0; g < db.size(); ++g) {
+    const Graph& graph = db.graph(g);
+    total_vertices_ += graph.NumVertices();
+    total_edges_ += graph.NumEdges();
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      ++label_counts_[graph.label(v)];
+      // Each undirected edge visited twice; count it once from the smaller
+      // endpoint.
+      for (VertexId w : graph.Neighbors(v)) {
+        if (v < w) ++pair_counts_[PairKey(graph.label(v), graph.label(w))];
+      }
+    }
+  }
+  built_ = true;
+}
+
+double CostModel::Estimate(const Graph& query, uint64_t limit) const {
+  if (!built_ || query.NumVertices() == 0) return 0.0;
+
+  auto label_count = [&](Label l) -> double {
+    const auto it = label_counts_.find(l);
+    return it == label_counts_.end() ? 0.0 : static_cast<double>(it->second);
+  };
+  auto pair_count = [&](Label a, Label b) -> double {
+    const auto it = pair_counts_.find(PairKey(a, b));
+    return it == pair_counts_.end() ? 0.0 : static_cast<double>(it->second);
+  };
+
+  // BFS spanning order from vertex 0 (queries are connected by contract).
+  const uint32_t n = query.NumVertices();
+  std::vector<VertexId> order;
+  std::vector<char> seen(n, 0);
+  std::vector<VertexId> parent(n, 0);
+  order.reserve(n);
+  order.push_back(0);
+  seen[0] = 1;
+  for (size_t head = 0; head < order.size(); ++head) {
+    const VertexId u = order[head];
+    for (VertexId w : query.Neighbors(u)) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        parent[w] = u;
+        order.push_back(w);
+      }
+    }
+  }
+
+  // Expected search-tree size: root candidates, then per added vertex the
+  // label-pair extension ratio through its tree edge, times a <=1 edge
+  // probability for every additional backward edge. cost accumulates the
+  // partial products — the node count of every level, not just the last.
+  std::vector<char> placed(n, 0);
+  placed[0] = 1;
+  double frontier = label_count(query.label(0));
+  double cost = frontier;
+  for (size_t i = 1; i < order.size() && frontier > 0.0; ++i) {
+    const VertexId u = order[i];
+    const VertexId p = parent[u];
+    const double parent_vertices = label_count(query.label(p));
+    const double ratio =
+        parent_vertices > 0.0
+            ? 2.0 * pair_count(query.label(p), query.label(u)) /
+                  parent_vertices
+            : 0.0;
+    frontier *= ratio;
+    for (VertexId w : query.Neighbors(u)) {
+      if (w == p || !placed[w]) continue;
+      // Non-tree backward edge: the probability a random (label(w),
+      // label(u)) vertex pair is adjacent, clamped to 1.
+      const double lw = label_count(query.label(w));
+      const double lu = label_count(query.label(u));
+      const double pairs = lw * lu;
+      const double selectivity =
+          pairs > 0.0
+              ? std::min(1.0, 2.0 * pair_count(query.label(w),
+                                               query.label(u)) / pairs)
+              : 0.0;
+      frontier *= selectivity;
+    }
+    placed[u] = 1;
+    cost += frontier;
+  }
+
+  // First-k early termination: a LIMIT k scan is expected to touch roughly
+  // the k/num_graphs fraction of the database before the prefix fills.
+  if (limit > 0 && num_graphs_ > 0) {
+    cost *= std::min(1.0, static_cast<double>(limit) /
+                              static_cast<double>(num_graphs_));
+  }
+  return cost;
+}
+
+}  // namespace sgq

@@ -1,0 +1,48 @@
+// A label-pair/NLF cost model in the spirit of l2Match: O(|E(q)|) per-query
+// cost estimation at admission time, from statistics built in one pass over
+// the database at load/RELOAD. The service uses the estimate to classify
+// queries cheap vs heavy and order each class shortest-job-first — it needs
+// only to rank queries, not predict wall-clock.
+#ifndef SGQ_SERVICE_COST_MODEL_H_
+#define SGQ_SERVICE_COST_MODEL_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+
+namespace sgq {
+
+class CostModel {
+ public:
+  // One pass over the database: per-label vertex counts, per-label-pair
+  // edge counts, vertex/edge totals. Replaces any previous statistics
+  // (RELOAD rebuilds on the new database).
+  void Build(const GraphDatabase& db);
+
+  bool built() const { return built_; }
+
+  // Estimated enumeration cost in abstract search-node units, summed over
+  // the whole database: the expected candidate count of a BFS spanning
+  // order's root, expanded edge by edge with label-pair extension ratios
+  // (expected matching neighbors per mapped vertex), each non-tree backward
+  // edge contributing its edge-probability as a <=1 selectivity. `limit`
+  // (first-k early termination, 0 = unlimited) scales the estimate by the
+  // expected fraction of the scan a k-answer prefix needs. Returns 0 when
+  // not built (everything is "cheap" until statistics exist).
+  double Estimate(const Graph& query, uint64_t limit = 0) const;
+
+ private:
+  bool built_ = false;
+  uint64_t num_graphs_ = 0;
+  uint64_t total_vertices_ = 0;
+  uint64_t total_edges_ = 0;
+  std::unordered_map<Label, uint64_t> label_counts_;
+  // Key: packed unordered label pair (smaller label in the high word).
+  std::unordered_map<uint64_t, uint64_t> pair_counts_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_SERVICE_COST_MODEL_H_

@@ -153,7 +153,7 @@ RequestParser::Status RequestParser::ParseCommandLine(std::string_view line,
     // (the pre-extension grammar), then LIMIT <k> / IDS in either order,
     // each at most once.
     bool saw_option = false;
-    bool saw_limit = false, saw_ids = false;
+    bool saw_limit = false, saw_ids = false, saw_stream = false;
     for (size_t i = 2; i < tokens.size(); ++i) {
       if (tokens[i] == "LIMIT") {
         if (saw_limit || i + 1 >= tokens.size()) {
@@ -176,6 +176,17 @@ RequestParser::Status RequestParser::ParseCommandLine(std::string_view line,
         }
         pending_.want_ids = true;
         saw_ids = true;
+        saw_option = true;
+      } else if (tokens[i] == "STREAM") {
+        // A server predating the streaming pipeline rejects this token
+        // with "unexpected QUERY option" — the clean-failure path the
+        // header promises for routers talking to old servers.
+        if (saw_stream) {
+          *error = "duplicate STREAM";
+          return Status::kError;
+        }
+        pending_.stream = true;
+        saw_stream = true;
         saw_option = true;
       } else if (i == 2 && !saw_option) {
         if (!ParseTimeout(tokens[i], &pending_.timeout_seconds)) {
@@ -306,6 +317,31 @@ bool ParseIdsLine(std::string_view line, uint64_t expected,
   return true;
 }
 
+bool ParseIdsChunk(std::string_view line, std::vector<GraphId>* ids) {
+  while (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const std::vector<std::string_view> tokens = SplitTokens(line);
+  if (tokens.empty() || tokens[0] != "IDS") return false;
+  ids->reserve(ids->size() + tokens.size() - 1);
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    size_t id = 0;
+    if (!ParseLength(tokens[i], &id)) return false;
+    ids->push_back(static_cast<GraphId>(id));
+  }
+  return true;
+}
+
+bool ParseRetryAfterMs(std::string_view body, uint64_t* retry_after_ms) {
+  constexpr std::string_view kKey = "retry_after_ms=";
+  for (const std::string_view token : SplitTokens(body)) {
+    if (token.substr(0, kKey.size()) != kKey) continue;
+    size_t value = 0;
+    if (!ParseLength(token.substr(kKey.size()), &value)) return false;
+    *retry_after_ms = value;
+    return true;
+  }
+  return false;
+}
+
 namespace {
 
 // Value of `"key":` in a flat json object, as a string_view over the raw
@@ -378,7 +414,15 @@ bool ParseShardHealth(std::string_view json, ShardHealth* health) {
 }
 
 std::string FormatOverloadedResponse(std::string_view detail) {
+  return FormatOverloadedResponse(detail, 0);
+}
+
+std::string FormatOverloadedResponse(std::string_view detail,
+                                     uint64_t retry_after_ms) {
   std::string out = "OVERLOADED";
+  if (retry_after_ms > 0) {
+    out += " retry_after_ms=" + std::to_string(retry_after_ms);
+  }
   if (!detail.empty()) {
     out += ' ';
     out += StripNewlines(detail);

@@ -4,8 +4,8 @@
 // graphs of any size stay unambiguous.
 //
 // Requests:
-//   QUERY <len> [timeout_s] [LIMIT <k>] [IDS]\n<len bytes of graph text>
-//   QUERY @<path> [timeout_s] [LIMIT <k>] [IDS]\n   (server-side file)
+//   QUERY <len> [timeout_s] [LIMIT <k>] [IDS] [STREAM]\n<len bytes of text>
+//   QUERY @<path> [timeout_s] [LIMIT <k>] [IDS] [STREAM]\n  (server-side file)
 //   STATS\n
 //   RELOAD [@<path>]\n                   (default: the path served at start)
 //   CACHE CLEAR\n                        (drop every cached query result)
@@ -15,16 +15,22 @@
 // after it. `timeout_s` is a per-request deadline in seconds (fractional
 // allowed); omitted or 0 means the server default. `LIMIT <k>` truncates the
 // answer set to its first k graph ids (k >= 1; answers are sorted, so this
-// is the k smallest ids). `IDS` asks for the answer ids themselves — the
-// partial-result framing the scatter-gather router needs to merge shards.
-// LIMIT/IDS may appear in either order but each at most once, and a bare
-// timeout must come before them. A trailing '\r' on the command line is
-// stripped, and blank lines between commands are ignored.
+// is the k smallest ids — and with the streaming result pipeline the server
+// stops enumerating at the k-th confirmed answer instead of truncating a
+// full batch). `IDS` asks for the answer ids themselves — the partial-result
+// framing the scatter-gather router needs to merge shards. `STREAM` asks for
+// incremental delivery (below). LIMIT/IDS/STREAM may appear in any order but
+// each at most once, and a bare timeout must come before them. A trailing
+// '\r' on the command line is stripped, and blank lines between commands are
+// ignored.
 //
 // Responses are a single line whose first token is the outcome:
 //   OK <n_answers> <stats-json>          (query completed)
 //   TIMEOUT <n_answers> <stats-json>     (deadline expired; partial answers)
-//   OVERLOADED [detail]                  (admission queue full / draining)
+//   OVERLOADED [retry_after_ms=<n>] [detail]
+//                                        (admission queue full / draining;
+//                                         the optional backoff hint derives
+//                                         from queue depth x EWMA latency)
 //   BAD_REQUEST <message>                (unparseable or oversized request)
 //   OK <json>                            (STATS; includes a "cache" section)
 //   OK reloaded <n> graphs               (RELOAD)
@@ -33,6 +39,19 @@
 // except that a query which asked for IDS gets one extra line directly
 // after its OK/TIMEOUT line (and only then — error outcomes stay one line):
 //   IDS <id_0> <id_1> ... <id_{n-1}>\n   (exactly n_answers ids, ascending)
+//
+// A STREAM query instead answers with zero or more IDS *chunk* lines,
+// emitted incrementally while the scan runs, followed by the terminal
+// OK/TIMEOUT line (admission errors stay a single OVERLOADED/BAD_REQUEST
+// line — a client sees either chunks + terminal or one error line):
+//   IDS <id...>\n         (any number of ids; chunks concatenate in order)
+//   ...
+//   OK <n_answers> <stats-json>\n        (n_answers == total streamed ids)
+// The streamed id sequence is ascending and bit-identical to the IDS line
+// the same query would produce in batch mode (with LIMIT k, to its first-k
+// prefix); STREAM suppresses the trailing batch IDS line even when IDS is
+// also given. The terminal line arrives after the last chunk, so a client
+// can stop reading at it.
 //
 // A server without these extensions rejects the new grammar with a
 // BAD_REQUEST and closes the connection (protocol errors are terminal), so
@@ -73,6 +92,7 @@ struct Request {
   double timeout_seconds = 0;  // 0 = server default
   uint64_t limit = 0;          // LIMIT <k>; 0 = unlimited
   bool want_ids = false;       // IDS: append the answer-id line
+  bool stream = false;         // STREAM: incremental IDS chunk delivery
 };
 
 // Incremental request decoder. Feed() raw bytes as they arrive from the
@@ -138,6 +158,11 @@ std::string FormatIdsLine(std::span<const GraphId> ids);
 void ApplyAnswerLimit(QueryResult* result, uint64_t limit);
 
 std::string FormatOverloadedResponse(std::string_view detail = {});
+// With a backoff hint: "OVERLOADED retry_after_ms=<n> [detail]". The hint
+// precedes the free-form detail so a client that treats everything after
+// the outcome token as detail still works; retry_after_ms == 0 omits it.
+std::string FormatOverloadedResponse(std::string_view detail,
+                                     uint64_t retry_after_ms);
 std::string FormatBadRequestResponse(std::string_view message);
 
 inline constexpr std::string_view kByeResponse = "BYE\n";
@@ -162,6 +187,14 @@ ResponseHead ParseResponseHead(std::string_view line);
 // Parses an "IDS ..." line; fails unless exactly `expected` ids are present.
 bool ParseIdsLine(std::string_view line, uint64_t expected,
                   std::vector<GraphId>* ids);
+
+// Parses a streamed IDS chunk line (any id count, including zero) and
+// *appends* to *ids — chunks of one response concatenate in arrival order.
+bool ParseIdsChunk(std::string_view line, std::vector<GraphId>* ids);
+
+// Extracts the retry_after_ms=<n> hint from an OVERLOADED response body.
+// False (out untouched) when the hint is absent or malformed.
+bool ParseRetryAfterMs(std::string_view body, uint64_t* retry_after_ms);
 
 // Reads the flat json emitted by ToJson(QueryStats) back into a QueryStats.
 // Unknown keys are ignored; missing keys stay zero. False on anything that

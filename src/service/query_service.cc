@@ -1,7 +1,10 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "cache/canonical.h"
@@ -25,7 +28,78 @@ void AppendField(std::string* out, const char* key, double value) {
   *out += buf;
 }
 
+// Worker-level sink: rewrites local answer ids to their global ids before
+// the client-facing sink sees them, and enforces the request's LIMIT at
+// the engine (returning false at the limit-th answer stops enumeration at
+// the matcher instead of truncating a full batch afterwards). The
+// stopping answer itself is delivered.
+class WorkerSink : public ResultSink {
+ public:
+  WorkerSink(ResultSink* inner, const std::vector<GraphId>* global_ids,
+             uint64_t limit)
+      : inner_(inner), global_ids_(global_ids), limit_(limit) {}
+
+  bool OnAnswer(GraphId id) override {
+    ++delivered_;
+    if (inner_ != nullptr) {
+      const GraphId global = global_ids_->empty() ? id : (*global_ids_)[id];
+      if (!inner_->OnAnswer(global)) return false;
+    }
+    return limit_ == 0 || delivered_ < limit_;
+  }
+
+  void FlushHint() override {
+    if (inner_ != nullptr) inner_->FlushHint();
+  }
+
+ private:
+  ResultSink* const inner_;
+  const std::vector<GraphId>* const global_ids_;
+  const uint64_t limit_;
+  uint64_t delivered_ = 0;
+};
+
+// Pushes a completed (cached) result through a sink, keeping only the
+// prefix the sink accepted — a LIMIT-bearing sink stops the replay the
+// same way it would stop a live engine scan.
+void ReplayThroughSink(ResultSink* sink, QueryResult* result) {
+  size_t emitted = 0;
+  for (GraphId id : result->answers) {
+    ++emitted;
+    if (!sink->OnAnswer(id)) break;
+  }
+  sink->FlushHint();
+  result->answers.resize(emitted);
+  result->stats.num_answers = emitted;
+}
+
 }  // namespace
+
+void SchedClassStats::Record(double ms) {
+  ++count;
+  total_ms += ms;
+  max_ms = std::max(max_ms, ms);
+  size_t bucket = 0;
+  if (ms >= 1.0) {
+    bucket = std::min(buckets.size() - 1,
+                      1 + static_cast<size_t>(std::log2(ms)));
+  }
+  ++buckets[bucket];
+}
+
+std::string SchedClassStats::ToJson() const {
+  std::string out = "{";
+  AppendField(&out, "count", count);
+  AppendField(&out, "total_ms", total_ms);
+  AppendField(&out, "max_ms", max_ms);
+  out += ",\"buckets\":[";
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(buckets[i]);
+  }
+  out += "]}";
+  return out;
+}
 
 std::string ServiceStatsSnapshot::ToJson() const {
   std::string out = "{";
@@ -49,6 +123,11 @@ std::string ServiceStatsSnapshot::ToJson() const {
   AppendField(&out, "in_flight", in_flight);
   AppendField(&out, "engine_executions", engine_executions);
   AppendField(&out, "db_graphs", static_cast<uint64_t>(db_graphs));
+  out += ",\"sched\":{\"policy\":\"" + sched_policy + "\"";
+  AppendField(&out, "aged", sched_aged);
+  out += ",\"cheap\":" + sched_cheap.ToJson();
+  out += ",\"heavy\":" + sched_heavy.ToJson();
+  out += "}";
   out += ",\"cache\":";
   out += cache.ToJson();
   out += "}";
@@ -76,6 +155,10 @@ QueryService::QueryService(ServiceConfig config)
   cache_config.max_bytes = config_.engine.cache_mb << 20;
   cache_config.shards = std::max<uint32_t>(1, config_.cache_shards);
   cache_ = std::make_unique<ResultCache>(cache_config);
+  const char* sched_env = std::getenv("SGQ_SCHED");
+  const std::string sched = sched_env != nullptr ? sched_env : config_.sched;
+  sjf_ = (sched == "sjf");
+  stats_.sched_policy = sjf_ ? "sjf" : "fifo";
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -102,6 +185,7 @@ bool QueryService::Start(GraphDatabase db, std::vector<GraphId> global_ids,
   }
   db_ = std::move(db);
   global_ids_ = std::move(global_ids);
+  cost_model_.Build(db_);
   const uint32_t num_workers = std::max(1u, config_.workers);
   const Deadline build_deadline =
       Deadline::AfterSeconds(config_.build_timeout_seconds);
@@ -125,9 +209,9 @@ bool QueryService::Start(GraphDatabase db, std::vector<GraphId> global_ids,
 }
 
 QueryService::Response QueryService::Execute(Graph query,
-                                             double timeout_seconds) {
-  const double timeout = timeout_seconds > 0
-                             ? timeout_seconds
+                                             const ExecuteOptions& options) {
+  const double timeout = options.timeout_seconds > 0
+                             ? options.timeout_seconds
                              : config_.default_timeout_seconds;
   std::future<Response> future;
   {
@@ -144,6 +228,7 @@ QueryService::Response QueryService::Execute(Graph query,
       ++stats_.rejected_overloaded;
       Response response;
       response.outcome = Outcome::kOverloaded;
+      response.retry_after_ms = RetryAfterMsLocked();
       return response;
     }
     auto request = std::make_unique<PendingRequest>();
@@ -152,6 +237,13 @@ QueryService::Response QueryService::Execute(Graph query,
     // counts against the request, so a stale queued request is cancelled
     // by its worker instead of scanning the database pointlessly.
     request->deadline = Deadline::AfterSeconds(timeout);
+    request->limit = options.limit;
+    request->sink = options.sink;
+    // Cost estimation is O(|E(q)|) against in-memory label statistics,
+    // cheap enough to run at admission under the lock.
+    request->cost = cost_model_.Estimate(request->query, options.limit);
+    request->heavy = request->cost >= config_.sched_heavy_threshold;
+    request->admitted_at = std::chrono::steady_clock::now();
     future = request->promise.get_future();
     queue_.push_back(std::move(request));
     ++stats_.admitted;
@@ -160,6 +252,53 @@ QueryService::Response QueryService::Execute(Graph query,
   }
   work_cv_.notify_one();
   return future.get();
+}
+
+QueryService::Response QueryService::Execute(Graph query,
+                                             double timeout_seconds) {
+  ExecuteOptions options;
+  options.timeout_seconds = timeout_seconds;
+  return Execute(std::move(query), options);
+}
+
+std::unique_ptr<QueryService::PendingRequest> QueryService::PopNextLocked() {
+  size_t pick = 0;
+  if (sjf_ && queue_.size() > 1) {
+    // Anti-starvation aging: once the oldest request has waited past the
+    // threshold it is served FIFO regardless of class — a heavy query can
+    // be deferred, never starved.
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - queue_.front()->admitted_at)
+            .count();
+    if (waited_ms >= config_.sched_aging_ms) {
+      ++stats_.sched_aged;
+    } else {
+      // Two-class SJF: cheapest cheap request first; heavy runs only when
+      // no cheap request waits. Strict < keeps the scan stable (earliest
+      // arrival wins ties).
+      const size_t none = queue_.size();
+      size_t best_cheap = none;
+      size_t best_heavy = none;
+      for (size_t i = 0; i < queue_.size(); ++i) {
+        const PendingRequest& r = *queue_[i];
+        size_t& best = r.heavy ? best_heavy : best_cheap;
+        if (best == none || r.cost < queue_[best]->cost) best = i;
+      }
+      pick = best_cheap != none ? best_cheap : best_heavy;
+    }
+  }
+  std::unique_ptr<PendingRequest> request = std::move(queue_[pick]);
+  queue_.erase(queue_.begin() + pick);
+  return request;
+}
+
+uint64_t QueryService::RetryAfterMsLocked() const {
+  if (ewma_latency_ms_ <= 0) return 0;
+  const double workers = std::max(1u, config_.workers);
+  const double estimate =
+      (static_cast<double>(queue_.size()) / workers + 1.0) * ewma_latency_ms_;
+  return static_cast<uint64_t>(std::min(30000.0, std::max(1.0, estimate)));
 }
 
 void QueryService::WorkerLoop(uint32_t worker_id) {
@@ -171,8 +310,7 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
       if (stopping_) return;  // drained: admitted work all answered
       continue;
     }
-    std::unique_ptr<PendingRequest> request = std::move(queue_.front());
-    queue_.pop_front();
+    std::unique_ptr<PendingRequest> request = PopNextLocked();
     ++running_;
     lock.unlock();
 
@@ -185,8 +323,15 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
       response.outcome = Outcome::kTimeout;
       response.result.stats.timed_out = true;
     } else {
-      response = Serve(engine, request->query, request->deadline, &executed,
-                       &shared);
+      // Reading global_ids_ without mu_ is safe for the same reason the
+      // rewrite loop below is: this request counts in running_, so
+      // Reload's drain cannot have swapped the map yet.
+      WorkerSink worker_sink(request->sink, &global_ids_, request->limit);
+      ResultSink* sink = (request->sink != nullptr || request->limit > 0)
+                             ? &worker_sink
+                             : nullptr;
+      response = Serve(engine, request->query, request->deadline, sink,
+                       &executed, &shared);
     }
     if (!global_ids_.empty()) {
       // Rewrite local answer ids to their unsharded (global) ids. Safe
@@ -198,6 +343,10 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
       // answers stay sorted.
       for (GraphId& id : response.result.answers) id = global_ids_[id];
     }
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - request->admitted_at)
+            .count();
 
     lock.lock();
     --running_;
@@ -206,6 +355,11 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
     } else {
       ++stats_.completed_timeout;
     }
+    (request->heavy ? stats_.sched_heavy : stats_.sched_cheap)
+        .Record(latency_ms);
+    ewma_latency_ms_ = ewma_latency_ms_ <= 0
+                           ? latency_ms
+                           : 0.8 * ewma_latency_ms_ + 0.2 * latency_ms;
     stats_.answers_total += response.result.answers.size();
     if (executed) {
       // Phase-time and kernel totals describe work actually performed;
@@ -232,12 +386,14 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
 
 QueryService::Response QueryService::Serve(QueryEngine* engine,
                                            const Graph& query,
-                                           Deadline deadline, bool* executed,
+                                           Deadline deadline,
+                                           ResultSink* sink, bool* executed,
                                            bool* shared) {
   Response response;
   const auto execute = [&] {
     if (config_.pre_execute_hook) config_.pre_execute_hook(query);
-    response.result = engine->Query(query, deadline);
+    response.result = sink != nullptr ? engine->Query(query, deadline, sink)
+                                      : engine->Query(query, deadline);
     *executed = true;
   };
   if (!cache_->enabled()) {
@@ -260,6 +416,19 @@ QueryService::Response QueryService::Serve(QueryEngine* engine,
   if (cache_->Lookup(key, &cached)) {
     response.outcome = Outcome::kOk;  // only completed results are stored
     response.result = std::move(cached);
+    // A cached result is the *full* answer set; streaming or limited
+    // requests consume it by prefix replay through their sink.
+    if (sink != nullptr) ReplayThroughSink(sink, &response.result);
+    return response;
+  }
+
+  if (sink != nullptr) {
+    // Streamed/limited executions may stop early, so their result can be
+    // a prefix of the full answer set: never insert it into the cache,
+    // and never let other requests adopt it through singleflight.
+    execute();
+    response.outcome = response.result.stats.timed_out ? Outcome::kTimeout
+                                                       : Outcome::kOk;
     return response;
   }
 
@@ -342,6 +511,9 @@ bool QueryService::Reload(GraphDatabase db, std::vector<GraphId> global_ids,
   // re-prepare without holding the service mutex.
   lock.unlock();
   bool ok = true;
+  // Admission is closed (reloading_), so nobody reads the cost model while
+  // it rebuilds against the new database.
+  cost_model_.Build(db_);
   const Deadline build_deadline =
       Deadline::AfterSeconds(config_.build_timeout_seconds);
   for (auto& engine : engines_) {

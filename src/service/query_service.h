@@ -23,6 +23,8 @@
 #ifndef SGQ_SERVICE_QUERY_SERVICE_H_
 #define SGQ_SERVICE_QUERY_SERVICE_H_
 
+#include <array>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,6 +41,8 @@
 #include "graph/graph_database.h"
 #include "query/engine_factory.h"
 #include "query/query_engine.h"
+#include "query/result_sink.h"
+#include "service/cost_model.h"
 #include "util/defaults.h"
 
 namespace sgq {
@@ -57,10 +61,36 @@ struct ServiceConfig {
   // Result-cache byte budget comes from engine.cache_mb (0 disables); the
   // SGQ_CACHE environment variable can force it off regardless.
   uint32_t cache_shards = 8;
+  // Admission scheduling policy: "fifo" serves in arrival order; "sjf" is
+  // the cost-aware two-class scheduler — requests are classed cheap/heavy
+  // by the CostModel estimate at admission, the cheapest cheap request runs
+  // first (heavy only when no cheap request waits), and any request that
+  // has waited sched_aging_ms is served next regardless of class so heavy
+  // work cannot starve. The SGQ_SCHED environment variable ("fifo"|"sjf")
+  // overrides this setting either way.
+  std::string sched = "fifo";
+  // CostModel estimate at or above which a request is classed heavy.
+  double sched_heavy_threshold = 10000.0;
+  // Anti-starvation aging: a request older than this is served FIFO.
+  double sched_aging_ms = 400.0;
   // Test-only seam: called by a worker right before an engine execution
   // (cache hits and singleflight followers never trigger it). Lets tests
   // hold the singleflight leader in place deterministically.
   std::function<void(const Graph&)> pre_execute_hook;
+};
+
+// Per-class (cheap/heavy) completion-latency accounting: count/total/max
+// plus a log2 histogram of admission-to-completion latency. Bucket 0 counts
+// completions under 1 ms, bucket i completions in [2^(i-1), 2^i) ms, and
+// the last bucket everything beyond.
+struct SchedClassStats {
+  uint64_t count = 0;
+  double total_ms = 0;
+  double max_ms = 0;
+  std::array<uint64_t, 16> buckets{};
+
+  void Record(double ms);
+  std::string ToJson() const;
 };
 
 // Aggregated counters; invariant once quiescent:
@@ -95,6 +125,12 @@ struct ServiceStatsSnapshot {
   //               (+ queue-expired cancellations + still queued/running).
   uint64_t engine_executions = 0;
   size_t db_graphs = 0;
+  // Scheduling: resolved policy, anti-starvation promotions, and per-class
+  // completion latency (serialized as a nested "sched" object).
+  std::string sched_policy = "fifo";
+  uint64_t sched_aged = 0;
+  SchedClassStats sched_cheap;
+  SchedClassStats sched_heavy;
   // Result-cache counters, serialized as a nested "cache" object (the
   // singleflight_* fields are filled by the service, see WorkerLoop).
   CacheStatsSnapshot cache;
@@ -134,11 +170,29 @@ class QueryService {
   struct Response {
     Outcome outcome = Outcome::kShuttingDown;
     QueryResult result;  // partial answers on kTimeout; empty on rejection
+    // On kOverloaded: suggested client backoff, derived from the queue
+    // depth and the EWMA completion latency (0 = no estimate available).
+    uint64_t retry_after_ms = 0;
+  };
+
+  struct ExecuteOptions {
+    double timeout_seconds = 0;  // <= 0 uses the config default
+    // First-k early termination: with limit > 0 the engine scan stops at
+    // the limit-th confirmed answer (enforced through the engine-level
+    // sink, not by truncating a full batch afterwards). 0 = unlimited.
+    uint64_t limit = 0;
+    // Streaming: every answer id (global ids on sharded deployments) is
+    // pushed here from the worker thread as verification confirms it; the
+    // response's answer vector still holds the full emitted prefix. The
+    // sink must stay valid until Execute returns. May be null.
+    ResultSink* sink = nullptr;
   };
 
   // Blocking request: admits, waits for a worker, returns the outcome.
-  // `timeout_seconds <= 0` uses the config default. Safe to call from any
-  // number of threads concurrently.
+  // Safe to call from any number of threads concurrently.
+  Response Execute(Graph query, const ExecuteOptions& options);
+
+  // Legacy convenience overload: batch, unlimited.
   Response Execute(Graph query, double timeout_seconds = 0);
 
   // Swaps in a new database after draining in-flight work. Blocks until
@@ -168,6 +222,11 @@ class QueryService {
   struct PendingRequest {
     Graph query;
     Deadline deadline;
+    uint64_t limit = 0;
+    ResultSink* sink = nullptr;
+    double cost = 0;    // CostModel estimate at admission
+    bool heavy = false; // cost >= sched_heavy_threshold
+    std::chrono::steady_clock::time_point admitted_at;
     std::promise<Response> promise;
   };
 
@@ -175,9 +234,17 @@ class QueryService {
   // Serves one popped request through the cache / singleflight / engine
   // stack. Called without holding mu_. Sets *executed when an engine
   // actually ran and *shared when a singleflight follower adopted the
-  // leader's result.
+  // leader's result. `sink` (may be null) is the worker-level sink —
+  // global-id rewrite and LIMIT enforcement already wrapped in; when
+  // non-null the request bypasses singleflight and never populates the
+  // cache (its result may be a partial prefix), though full-result cache
+  // hits still serve it by prefix replay.
   Response Serve(QueryEngine* engine, const Graph& query, Deadline deadline,
-                 bool* executed, bool* shared);
+                 ResultSink* sink, bool* executed, bool* shared);
+  // Picks the next request under mu_ according to the resolved policy.
+  std::unique_ptr<PendingRequest> PopNextLocked();
+  // Suggested backoff for an OVERLOADED rejection, under mu_.
+  uint64_t RetryAfterMsLocked() const;
 
   const ServiceConfig config_;
 
@@ -198,6 +265,14 @@ class QueryService {
   bool reloading_ = false;
   uint32_t running_ = 0;  // requests currently executing
   ServiceStatsSnapshot stats_;
+  // Resolved scheduling policy (config + SGQ_SCHED override), fixed at
+  // construction. The cost model is rebuilt at Start/Reload while workers
+  // are provably idle; Execute reads it under mu_.
+  bool sjf_ = false;
+  CostModel cost_model_;
+  // EWMA of admission-to-completion latency, under mu_; feeds the
+  // retry_after_ms hint on OVERLOADED rejections.
+  double ewma_latency_ms_ = 0;
 
   // The cache stack is internally synchronized (sharded mutexes / atomics)
   // and deliberately not guarded by mu_: workers canonicalize, look up,

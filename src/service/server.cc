@@ -9,6 +9,7 @@
 
 #include "graph/graph_io.h"
 #include "router/shard_map.h"
+#include "service/stream_sink.h"
 
 namespace sgq {
 
@@ -171,16 +172,34 @@ bool SocketServer::Dispatch(int fd, const Request& request) {
         service_.CountBadRequest();
         return WriteAll(fd, FormatBadRequestResponse(error));
       }
+      QueryService::ExecuteOptions options;
+      options.timeout_seconds = request.timeout_seconds;
+      // LIMIT is enforced inside the service (the engine scan stops at the
+      // k-th confirmed answer); the ApplyAnswerLimit below is a no-op kept
+      // for responses that predate the sink, e.g. cache entries rewritten
+      // by older code paths.
+      options.limit = request.limit;
+      SocketStreamSink stream_sink(fd);
+      if (request.stream) options.sink = &stream_sink;
       QueryService::Response response =
-          service_.Execute(std::move(query), request.timeout_seconds);
+          service_.Execute(std::move(query), options);
       switch (response.outcome) {
         case QueryService::Outcome::kOk:
         case QueryService::Outcome::kTimeout:
+          if (request.stream) {
+            // Last partial chunk, then the terminal line. STREAM suppresses
+            // the batch IDS trailer even when IDS was also requested.
+            if (!stream_sink.Flush()) return false;
+            return WriteAll(fd,
+                            FormatQueryResponse(response.result, nullptr,
+                                                /*with_ids=*/false));
+          }
           ApplyAnswerLimit(&response.result, request.limit);
           return WriteAll(fd, FormatQueryResponse(response.result, nullptr,
                                                   request.want_ids));
         case QueryService::Outcome::kOverloaded:
-          return WriteAll(fd, FormatOverloadedResponse());
+          return WriteAll(
+              fd, FormatOverloadedResponse({}, response.retry_after_ms));
         case QueryService::Outcome::kShuttingDown:
           return WriteAll(fd, FormatOverloadedResponse("shutting-down"));
       }

@@ -1,0 +1,140 @@
+// Unit tests for the admission-time cost model: statistics built in one
+// database pass, estimate monotonicity in query size/selectivity, LIMIT
+// scaling, and the unbuilt/degenerate cases the scheduler relies on
+// (everything is "cheap" until statistics exist).
+#include "service/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <initializer_list>
+
+#include "gen/graph_gen.h"
+#include "tests/test_util.h"
+
+namespace sgq {
+namespace {
+
+Graph Path(std::initializer_list<Label> labels) {
+  GraphBuilder builder;
+  VertexId prev = 0;
+  bool first = true;
+  for (const Label l : labels) {
+    const VertexId v = builder.AddVertex(l);
+    if (!first) builder.AddEdge(prev, v);
+    prev = v;
+    first = false;
+  }
+  return builder.Build();
+}
+
+Graph SingleVertex(Label l) {
+  GraphBuilder builder;
+  builder.AddVertex(l);
+  return builder.Build();
+}
+
+// Two triangles sharing no labels: label 0 is common (6 vertices, 6
+// (0,0)-edges across the two), label 5 appears nowhere.
+GraphDatabase TinyDb() {
+  GraphDatabase db;
+  db.Add(sgq::testing::MakeCycle({0, 0, 0}));
+  db.Add(sgq::testing::MakeCycle({0, 0, 0}));
+  db.Add(sgq::testing::MakeCycle({1, 2, 3}));
+  return db;
+}
+
+TEST(CostModelTest, UnbuiltEstimatesZero) {
+  CostModel model;
+  EXPECT_FALSE(model.built());
+  EXPECT_DOUBLE_EQ(model.Estimate(SingleVertex(0)), 0.0);
+}
+
+TEST(CostModelTest, SingleVertexEstimateIsLabelCount) {
+  CostModel model;
+  model.Build(TinyDb());
+  ASSERT_TRUE(model.built());
+  // 6 label-0 vertices across the database; labels absent cost nothing.
+  EXPECT_DOUBLE_EQ(model.Estimate(SingleVertex(0)), 6.0);
+  EXPECT_DOUBLE_EQ(model.Estimate(SingleVertex(1)), 1.0);
+  EXPECT_DOUBLE_EQ(model.Estimate(SingleVertex(5)), 0.0);
+}
+
+TEST(CostModelTest, AbsentLabelPairKillsTheEstimate) {
+  CostModel model;
+  model.Build(TinyDb());
+  // No (0,1) edge exists, so the tree extension ratio is 0: the estimate
+  // collapses to the root level only.
+  EXPECT_DOUBLE_EQ(model.Estimate(Path({0, 1})), 6.0);
+  // (0,0) edges exist: the 2-path must cost strictly more than its root.
+  EXPECT_GT(model.Estimate(Path({0, 0})), 6.0);
+}
+
+TEST(CostModelTest, LongerQueriesOnDenseLabelsCostMore) {
+  CostModel model;
+  model.Build(TinyDb());
+  // Each triangle vertex has 2 same-label neighbors, so the extension
+  // ratio for (0,0) is 2*6/6 = 2 and every extra path vertex doubles the
+  // frontier: the cost sequence is strictly increasing.
+  const double p2 = model.Estimate(Path({0, 0}));
+  const double p3 = model.Estimate(Path({0, 0, 0}));
+  const double p4 = model.Estimate(Path({0, 0, 0, 0}));
+  EXPECT_LT(p2, p3);
+  EXPECT_LT(p3, p4);
+}
+
+TEST(CostModelTest, BackwardEdgesOnlyReduceTheEstimate) {
+  CostModel model;
+  model.Build(TinyDb());
+  // Triangle = 3-path + one backward edge; the backward edge multiplies by
+  // a <=1 selectivity, so it can never raise the estimate.
+  const double path_cost = model.Estimate(Path({0, 0, 0}));
+  const double triangle_cost =
+      model.Estimate(sgq::testing::MakeCycle({0, 0, 0}));
+  EXPECT_LE(triangle_cost, path_cost);
+  EXPECT_GT(triangle_cost, 0.0);
+}
+
+TEST(CostModelTest, LimitScalesTheEstimateDown) {
+  CostModel model;
+  model.Build(TinyDb());  // 3 graphs
+  const Graph query = Path({0, 0});
+  const double full = model.Estimate(query);
+  ASSERT_GT(full, 0.0);
+  // LIMIT 1 of 3 graphs: a third of the scan.
+  EXPECT_DOUBLE_EQ(model.Estimate(query, 1), full / 3.0);
+  // A limit at or beyond the database size changes nothing.
+  EXPECT_DOUBLE_EQ(model.Estimate(query, 3), full);
+  EXPECT_DOUBLE_EQ(model.Estimate(query, 1000), full);
+}
+
+TEST(CostModelTest, RebuildReplacesStatistics) {
+  CostModel model;
+  model.Build(TinyDb());
+  const double before = model.Estimate(SingleVertex(0));
+  GraphDatabase bigger = TinyDb();
+  bigger.Add(sgq::testing::MakeCycle({0, 0, 0}));
+  model.Build(bigger);
+  EXPECT_DOUBLE_EQ(model.Estimate(SingleVertex(0)), before + 3.0);
+  // Rebuilding on an empty database clears everything.
+  model.Build(GraphDatabase());
+  EXPECT_TRUE(model.built());
+  EXPECT_DOUBLE_EQ(model.Estimate(SingleVertex(0)), 0.0);
+}
+
+TEST(CostModelTest, ScalesToSyntheticDatabaseAndStaysFinite) {
+  SyntheticParams params;
+  params.num_graphs = 50;
+  params.vertices_per_graph = 20;
+  params.degree = 3.0;
+  params.num_labels = 4;
+  params.seed = 13;
+  CostModel model;
+  model.Build(GenerateSyntheticDatabase(params));
+  const double cost = model.Estimate(sgq::testing::MakeCycle({0, 1, 2, 3}));
+  EXPECT_GE(cost, 0.0);
+  EXPECT_TRUE(std::isfinite(cost));
+}
+
+}  // namespace
+}  // namespace sgq

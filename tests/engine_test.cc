@@ -233,6 +233,7 @@ TEST(ExtensionPathDeterminismTest, EmbeddingsAndFirstMappingBitIdentical) {
           [&](const std::vector<VertexId>& m) {
             if (run.all.empty()) run.first_mapping = m;
             run.all.push_back(m);
+            return true;
           },
           &ws, path);
       return run;

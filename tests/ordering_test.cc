@@ -114,6 +114,7 @@ TEST(BacktrackTest, RespectsInjectivity) {
                           [&](const std::vector<VertexId>& m) {
                             ++count;
                             EXPECT_NE(m[0], m[1]);
+                            return true;
                           });
   EXPECT_EQ(count, 2u);
 }

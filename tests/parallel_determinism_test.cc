@@ -281,6 +281,7 @@ TEST(ParallelDeterminismTest, StealSchedulerEmbeddingSequencesBitIdentical) {
       std::numeric_limits<uint64_t>::max(), nullptr,
       [&serial_all](const std::vector<VertexId>& m) {
         serial_all.insert(serial_all.end(), m.begin(), m.end());
+        return true;
       },
       &serial_ws, DefaultExtensionPath());
   ASSERT_GT(serial_full.embeddings, 10u);
@@ -314,6 +315,7 @@ TEST(ParallelDeterminismTest, StealSchedulerEmbeddingSequencesBitIdentical) {
             0, query, data, filtered->phi, order, limit, Deadline::Infinite(),
             [&steal_flat](const std::vector<VertexId>& m) {
               steal_flat.insert(steal_flat.end(), m.begin(), m.end());
+              return true;
             },
             &owner_ws, DefaultExtensionPath());
         done.store(true, std::memory_order_release);
@@ -349,8 +351,11 @@ TEST(ParallelDeterminismTest, StealSchedulerPreExpiredDeadlineAborts) {
     const EnumerateResult er = sched.Enumerate(
         0, query, data, filtered->phi, order,
         std::numeric_limits<uint64_t>::max(), Deadline::AfterSeconds(-1.0),
-        [&calls](const std::vector<VertexId>&) { ++calls; }, &ws,
-        DefaultExtensionPath());
+        [&calls](const std::vector<VertexId>&) {
+          ++calls;
+          return true;
+        },
+        &ws, DefaultExtensionPath());
     EXPECT_TRUE(er.aborted);
     EXPECT_EQ(er.embeddings, 0u);
     EXPECT_EQ(calls, 0u);

@@ -358,6 +358,87 @@ TEST(ProtocolTest, ParseIdsLineChecksCount) {
   EXPECT_FALSE(ParseIdsLine("ANSWERS 1 5 9", 3, &ids));  // wrong tag
 }
 
+// --- STREAM grammar and incremental framing ---
+
+TEST(ProtocolTest, ParsesStreamOption) {
+  RequestParser parser;
+  parser.Feed(
+      "QUERY 2 STREAM\nxx"
+      "QUERY 2 1.5 LIMIT 3 STREAM\nxx"
+      "QUERY 2 STREAM IDS\nxx"
+      "QUERY @/tmp/q.txt STREAM\n"
+      "QUERY 2\nxx");
+  Request request;
+  std::string error;
+
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_TRUE(request.stream);
+  EXPECT_EQ(request.limit, 0u);
+
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_TRUE(request.stream);
+  EXPECT_EQ(request.limit, 3u);
+  EXPECT_DOUBLE_EQ(request.timeout_seconds, 1.5);
+
+  // STREAM composes with IDS (the batch trailer is suppressed at reply
+  // time, but the grammar accepts both).
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_TRUE(request.stream);
+  EXPECT_TRUE(request.want_ids);
+
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_TRUE(request.stream);
+  EXPECT_EQ(request.file_ref, "/tmp/q.txt");
+
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_FALSE(request.stream);  // default stays off
+}
+
+TEST(ProtocolTest, StreamGrammarErrors) {
+  RequestParser parser;
+  parser.Feed("QUERY 5 STREAM STREAM\n");
+  Request request;
+  std::string error;
+  EXPECT_EQ(parser.Next(&request, &error), Status::kError);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ProtocolTest, OverloadedResponseCarriesRetryAfterHint) {
+  EXPECT_EQ(FormatOverloadedResponse("", 250),
+            "OVERLOADED retry_after_ms=250\n");
+  EXPECT_EQ(FormatOverloadedResponse("queue full", 250),
+            "OVERLOADED retry_after_ms=250 queue full\n");
+  // A zero hint (no completed-query EWMA yet) keeps the legacy shape.
+  EXPECT_EQ(FormatOverloadedResponse("queue full", 0),
+            "OVERLOADED queue full\n");
+  EXPECT_EQ(FormatOverloadedResponse("", 0), "OVERLOADED\n");
+}
+
+TEST(ProtocolTest, ParseRetryAfterMs) {
+  uint64_t ms = 0;
+  const ResponseHead head =
+      ParseResponseHead("OVERLOADED retry_after_ms=120 queue full");
+  ASSERT_TRUE(ParseRetryAfterMs(head.body, &ms));
+  EXPECT_EQ(ms, 120u);
+  EXPECT_FALSE(ParseRetryAfterMs("queue full", &ms));
+  EXPECT_FALSE(ParseRetryAfterMs("", &ms));
+  EXPECT_FALSE(ParseRetryAfterMs("retry_after_ms=abc", &ms));
+}
+
+TEST(ProtocolTest, ParseIdsChunkAppends) {
+  std::vector<GraphId> ids;
+  EXPECT_TRUE(ParseIdsChunk("IDS 1 5", &ids));
+  EXPECT_TRUE(ParseIdsChunk("IDS 9", &ids));
+  EXPECT_EQ(ids, (std::vector<GraphId>{1, 5, 9}));  // appends, no reset
+  EXPECT_TRUE(ParseIdsChunk("IDS", &ids));  // empty chunk is legal
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_TRUE(ParseIdsChunk("IDS 11\r", &ids));  // CRLF tolerated
+  EXPECT_EQ(ids.back(), 11u);
+  EXPECT_FALSE(ParseIdsChunk("IDS 1 x", &ids));
+  EXPECT_FALSE(ParseIdsChunk("ANSWERS 1", &ids));
+  EXPECT_FALSE(ParseIdsChunk("", &ids));
+}
+
 TEST(ProtocolTest, QueryStatsJsonRoundTrips) {
   QueryStats stats;
   stats.filtering_ms = 1.25;

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -219,6 +220,258 @@ TEST(QueryServiceTest, BadRequestCounterFeedsSnapshot) {
   EXPECT_EQ(service.Stats().bad_requests, 2u);
   EXPECT_NE(service.Stats().ToJson().find("\"bad_requests\":2"),
             std::string::npos);
+}
+
+// Collects every streamed answer id; used to verify the sink path.
+class CollectSink : public ResultSink {
+ public:
+  bool OnAnswer(GraphId id) override {
+    ids.push_back(id);
+    return true;
+  }
+  std::vector<GraphId> ids;
+};
+
+TEST(QueryServiceTest, ExecuteOptionsLimitStopsEarlyAndStreamsPrefix) {
+  QueryService service(Config(2, 8));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
+
+  // Single labeled edge — matches many of the 30 graphs.
+  GraphBuilder builder;
+  builder.AddVertex(0);
+  builder.AddVertex(1);
+  builder.AddEdge(0, 1);
+  const Graph query = builder.Build();
+
+  const QueryService::Response batch = service.Execute(query);
+  ASSERT_EQ(batch.outcome, Outcome::kOk);
+  ASSERT_GE(batch.result.answers.size(), 3u);
+
+  // limit = 2: the engine stops at the second confirmed answer, and both
+  // the streamed ids and the response vector are the batch prefix.
+  QueryService::ExecuteOptions options;
+  options.limit = 2;
+  CollectSink sink;
+  options.sink = &sink;
+  const QueryService::Response limited = service.Execute(query, options);
+  EXPECT_EQ(limited.outcome, Outcome::kOk);
+  const std::vector<GraphId> expect(batch.result.answers.begin(),
+                                    batch.result.answers.begin() + 2);
+  EXPECT_EQ(limited.result.answers, expect);
+  EXPECT_EQ(sink.ids, expect);
+
+  // Full stream: the sink sees exactly the batch answer list, in order.
+  QueryService::ExecuteOptions stream_options;
+  CollectSink full_sink;
+  stream_options.sink = &full_sink;
+  const QueryService::Response streamed =
+      service.Execute(query, stream_options);
+  EXPECT_EQ(streamed.outcome, Outcome::kOk);
+  EXPECT_EQ(full_sink.ids, batch.result.answers);
+  EXPECT_EQ(streamed.result.answers, batch.result.answers);
+}
+
+// SJF harness: one worker, held in place by the pre-execute hook so the
+// queue can be staged deterministically, then released. The hook records
+// the execution order by query vertex count.
+struct SjfHarness {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool hold = false;
+  std::vector<size_t> exec_order;  // |V(q)| per engine execution, in order
+
+  void Install(ServiceConfig* config) {
+    config->pre_execute_hook = [this](const Graph& q) {
+      std::unique_lock<std::mutex> lock(mu);
+      exec_order.push_back(q.NumVertices());
+      cv.wait(lock, [&] { return !hold; });
+    };
+  }
+  void Hold() {
+    std::lock_guard<std::mutex> lock(mu);
+    hold = true;
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu);
+    hold = false;
+    cv.notify_all();
+  }
+  size_t Seen() {
+    std::lock_guard<std::mutex> lock(mu);
+    return exec_order.size();
+  }
+};
+
+// Absent label -> zero cost model estimate; cheapest possible request.
+Graph ZeroCostQuery() {
+  GraphBuilder builder;
+  builder.AddVertex(99);
+  return builder.Build();
+}
+
+// Present labels -> strictly positive estimate.
+Graph PositiveCostQuery() {
+  GraphBuilder builder;
+  builder.AddVertex(0);
+  builder.AddVertex(1);
+  builder.AddEdge(0, 1);
+  return builder.Build();
+}
+
+// SGQ_SCHED overrides the config either way; the SJF ordering tests only
+// make sense when the resolved policy actually is sjf.
+bool SjfOverriddenByEnv() {
+  const char* env = std::getenv("SGQ_SCHED");
+  return env != nullptr && std::string(env) != "sjf";
+}
+
+TEST(QueryServiceTest, SjfServesCheapestQueuedRequestFirst) {
+  if (SjfOverriddenByEnv()) GTEST_SKIP() << "SGQ_SCHED forces another policy";
+  ServiceConfig config = Config(/*workers=*/1, /*queue_capacity=*/8);
+  config.sched = "sjf";
+  SjfHarness harness;
+  harness.Install(&config);
+  QueryService service(config);
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
+  EXPECT_EQ(service.Stats().sched_policy, "sjf");
+
+  // Occupy the single worker, then stage: positive-cost first (arrival
+  // order), zero-cost second. SJF must pop the zero-cost one first.
+  harness.Hold();
+  std::thread blocker([&] {
+    EXPECT_EQ(service.Execute(SmallDb().graph(0)).outcome, Outcome::kOk);
+  });
+  while (harness.Seen() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::thread costly([&] {
+    EXPECT_EQ(service.Execute(PositiveCostQuery()).outcome, Outcome::kOk);
+  });
+  while (service.Stats().queue_depth < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::thread cheap([&] {
+    EXPECT_EQ(service.Execute(ZeroCostQuery()).outcome, Outcome::kOk);
+  });
+  while (service.Stats().queue_depth < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  harness.Release();
+  blocker.join();
+  costly.join();
+  cheap.join();
+
+  // blocker first, then the 1-vertex zero-cost query despite arriving
+  // last, then the 2-vertex positive-cost query.
+  const size_t blocker_vertices = SmallDb().graph(0).NumVertices();
+  EXPECT_EQ(harness.exec_order,
+            (std::vector<size_t>{blocker_vertices, 1, 2}));
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.sched_cheap.count + stats.sched_heavy.count, 3u);
+  EXPECT_NE(stats.ToJson().find("\"sched\":{\"policy\":\"sjf\""),
+            std::string::npos);
+}
+
+TEST(QueryServiceTest, SjfAgingPreventsStarvation) {
+  if (SjfOverriddenByEnv()) GTEST_SKIP() << "SGQ_SCHED forces another policy";
+  ServiceConfig config = Config(/*workers=*/1, /*queue_capacity=*/8);
+  config.sched = "sjf";
+  config.sched_aging_ms = 1;  // everything queued >1ms is served FIFO
+  SjfHarness harness;
+  harness.Install(&config);
+  QueryService service(config);
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
+
+  harness.Hold();
+  std::thread blocker([&] {
+    EXPECT_EQ(service.Execute(SmallDb().graph(0)).outcome, Outcome::kOk);
+  });
+  while (harness.Seen() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // The positive-cost request queues first and ages past the threshold
+  // before the zero-cost one arrives — aging must override cost order.
+  std::thread costly([&] {
+    EXPECT_EQ(service.Execute(PositiveCostQuery()).outcome, Outcome::kOk);
+  });
+  while (service.Stats().queue_depth < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread cheap([&] {
+    EXPECT_EQ(service.Execute(ZeroCostQuery()).outcome, Outcome::kOk);
+  });
+  while (service.Stats().queue_depth < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  harness.Release();
+  blocker.join();
+  costly.join();
+  cheap.join();
+
+  const size_t blocker_vertices = SmallDb().graph(0).NumVertices();
+  EXPECT_EQ(harness.exec_order,
+            (std::vector<size_t>{blocker_vertices, 2, 1}));
+  EXPECT_GE(service.Stats().sched_aged, 1u);
+}
+
+TEST(QueryServiceTest, OverloadedCarriesRetryAfterHint) {
+  ServiceConfig config = Config(/*workers=*/1, /*queue_capacity=*/1);
+  SjfHarness harness;
+  harness.Install(&config);
+  QueryService service(config);
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
+
+  // Before any completion there is no latency EWMA: an (immediately
+  // released) blocked pipeline still rejects, but with hint 0. Then a
+  // completed query seeds the EWMA and the next rejection carries >= 1ms.
+  harness.Hold();
+  std::thread blocker([&] {
+    EXPECT_EQ(service.Execute(SmallDb().graph(1)).outcome, Outcome::kOk);
+  });
+  while (harness.Seen() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::thread queued([&] {
+    EXPECT_EQ(service.Execute(SmallDb().graph(2)).outcome, Outcome::kOk);
+  });
+  while (service.Stats().queue_depth < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const QueryService::Response first_reject =
+      service.Execute(SmallDb().graph(3));
+  EXPECT_EQ(first_reject.outcome, Outcome::kOverloaded);
+  EXPECT_EQ(first_reject.retry_after_ms, 0u);  // no EWMA yet
+  harness.Release();
+  blocker.join();
+  queued.join();
+
+  // Re-stage the full pipeline, now with a latency EWMA on the books.
+  harness.Hold();
+  std::thread blocker2([&] {
+    EXPECT_EQ(service.Execute(SmallDb().graph(4)).outcome, Outcome::kOk);
+  });
+  while (harness.Seen() < 3) {  // blocker, queued, blocker2
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::thread queued2([&] {
+    EXPECT_EQ(service.Execute(SmallDb().graph(5)).outcome, Outcome::kOk);
+  });
+  while (service.Stats().queue_depth < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const QueryService::Response second_reject =
+      service.Execute(SmallDb().graph(6));
+  EXPECT_EQ(second_reject.outcome, Outcome::kOverloaded);
+  EXPECT_GE(second_reject.retry_after_ms, 1u);
+  EXPECT_LE(second_reject.retry_after_ms, 30000u);
+  harness.Release();
+  blocker2.join();
+  queued2.join();
 }
 
 TEST(QueryServiceTest, ConcurrentMixedWorkloadKeepsInvariants) {

@@ -90,6 +90,23 @@ class Client {
     return line;
   }
 
+  // One QUERY ... STREAM exchange: consumes incremental IDS chunk lines
+  // into `ids` and returns the terminal line ("" on drop/bad chunk).
+  std::string StreamQuery(const std::string& payload, uint64_t limit,
+                          std::vector<GraphId>* ids) {
+    std::string header = "QUERY " + std::to_string(payload.size());
+    if (limit > 0) header += " LIMIT " + std::to_string(limit);
+    header += " STREAM\n";
+    ids->clear();
+    if (!Send(header) || !Send(payload)) return "";
+    std::string line;
+    for (;;) {
+      if (!RecvLine(&line)) return "";
+      if (line.rfind("IDS", 0) != 0) return line;
+      if (!ParseIdsChunk(line, ids)) return "";
+    }
+  }
+
  private:
   UniqueFd fd_;
   std::string buffer_;
@@ -127,7 +144,8 @@ struct Fleet {
   }
 
   bool Start(const GraphDatabase& db, ShardFailurePolicy policy,
-             std::string* error, const std::string& db_path = "") {
+             std::string* error, const std::string& db_path = "",
+             uint32_t cache_mb = 0) {
     for (uint32_t i = 0; i < kShards; ++i) {
       shard_paths[i] = UniqueSocketPath(("shard" + std::to_string(i)).c_str());
       if (!StartShard(i, Clone(db), error, db_path)) return false;
@@ -135,6 +153,7 @@ struct Fleet {
     router_path = UniqueSocketPath("router");
     RouterServerConfig server_config;
     server_config.unix_path = router_path;
+    server_config.cache_mb = cache_mb;
     RouterConfig router_config;
     for (uint32_t i = 0; i < kShards; ++i) {
       ShardEndpoint endpoint;
@@ -306,6 +325,171 @@ TEST(RouterE2eTest, ReloadAndCacheClearFanOutToEveryShard) {
   // Same answers after the clear (now re-executed on every shard).
   line = client.QueryIds(pentagon_payload, &ids);
   EXPECT_EQ(ids, "IDS 10") << line;
+
+  fleet.Stop();
+  ::unlink(db2_path.c_str());
+}
+
+TEST(RouterE2eTest, StreamedRoutedQueryMatchesBatchMerge) {
+  // The router's incremental k-way merge must emit exactly the ids the
+  // batch merge produces — same set, same global sorted order, at every
+  // LIMIT — with the terminal count matching what was streamed.
+  const GraphDatabase db = SmallDb();
+  std::string error;
+  Fleet fleet;
+  ASSERT_TRUE(fleet.Start(Clone(db), ShardFailurePolicy::kError, &error))
+      << error;
+  Client client;
+  ASSERT_TRUE(client.Connect(fleet.router_path));
+
+  std::vector<std::string> payloads;
+  for (GraphId id = 0; id < 6; ++id) {
+    payloads.push_back(SerializeGraph(db.graph(id), id));
+  }
+  payloads.push_back(SerializeGraph(sgq::testing::MakePath({0, 1}), 0));
+  payloads.push_back(SerializeGraph(sgq::testing::MakeCycle({0, 1, 2}), 0));
+  payloads.push_back(SerializeGraph(sgq::testing::MakePath({9, 9}), 0));
+
+  uint64_t nonempty = 0;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    SCOPED_TRACE("payload " + std::to_string(i));
+    std::string batch_ids_line;
+    const std::string batch_line =
+        client.QueryIds(payloads[i], &batch_ids_line);
+    const ResponseHead batch_head = ParseResponseHead(batch_line);
+    ASSERT_EQ(batch_head.kind, ResponseHead::Kind::kOk) << batch_line;
+    std::vector<GraphId> batch_ids;
+    ASSERT_TRUE(
+        ParseIdsLine(batch_ids_line, batch_head.num_answers, &batch_ids));
+
+    std::vector<GraphId> streamed;
+    const std::string stream_line =
+        client.StreamQuery(payloads[i], /*limit=*/0, &streamed);
+    ASSERT_EQ(stream_line.rfind("OK ", 0), 0u) << stream_line;
+    EXPECT_EQ(streamed, batch_ids);
+    EXPECT_EQ(ParseResponseHead(stream_line).num_answers, streamed.size());
+    if (!batch_ids.empty()) ++nonempty;
+  }
+  EXPECT_GE(nonempty, 6u);
+
+  // LIMIT through the streamed merge: the post-merge cut emits exactly
+  // the first k of the batch-merged ids.
+  const std::string payload = SerializeGraph(sgq::testing::MakePath({0, 1}), 0);
+  std::string full_ids_line;
+  const std::string full_line = client.QueryIds(payload, &full_ids_line);
+  const ResponseHead full_head = ParseResponseHead(full_line);
+  std::vector<GraphId> full_ids;
+  ASSERT_TRUE(ParseIdsLine(full_ids_line, full_head.num_answers, &full_ids));
+  ASSERT_GE(full_ids.size(), 3u);
+  for (const uint64_t limit : {uint64_t{1}, uint64_t{3},
+                               static_cast<uint64_t>(full_ids.size() + 4)}) {
+    SCOPED_TRACE("limit " + std::to_string(limit));
+    std::vector<GraphId> streamed;
+    const std::string line = client.StreamQuery(payload, limit, &streamed);
+    ASSERT_EQ(line.rfind("OK ", 0), 0u) << line;
+    const size_t expect =
+        std::min<size_t>(static_cast<size_t>(limit), full_ids.size());
+    ASSERT_EQ(streamed.size(), expect);
+    EXPECT_TRUE(
+        std::equal(streamed.begin(), streamed.end(), full_ids.begin()));
+  }
+
+  fleet.Stop();
+}
+
+// Router cache json section, between the router object and the shards
+// array (the per-shard stats have their own "cache" objects further on).
+std::string RouterCacheJson(const std::string& stats_line) {
+  const size_t begin = stats_line.find("\"cache\":{");
+  const size_t end = stats_line.find("\"shards\":[");
+  if (begin == std::string::npos || end == std::string::npos || begin > end) {
+    return "";
+  }
+  return stats_line.substr(begin, end - begin);
+}
+
+uint64_t CacheCounter(const std::string& cache_json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = cache_json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << cache_json;
+  if (pos == std::string::npos) return ~0ull;
+  return std::strtoull(cache_json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST(RouterE2eTest, RouterCacheHitsAndInvalidatesOnReload) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  const Graph pentagon = sgq::testing::MakeCycle({7, 7, 7, 7, 7});
+  GraphDatabase db1 = SmallDb(10);
+  GraphDatabase db2 = Clone(db1);
+  db2.Add(pentagon);
+  const std::string db2_path =
+      "/tmp/sgq_router_e2e_cache_db2_" + std::to_string(::getpid()) + ".txt";
+  std::string error;
+  ASSERT_TRUE(SaveDatabase(db2, db2_path, &error)) << error;
+
+  Fleet fleet;
+  ASSERT_TRUE(fleet.Start(Clone(db1), ShardFailurePolicy::kError, &error,
+                          /*db_path=*/"", /*cache_mb=*/8))
+      << error;
+  Client client;
+  ASSERT_TRUE(client.Connect(fleet.router_path));
+
+  // First full query misses and populates; the identical repeat hits and
+  // returns the same bytes (including the synthesized 2/2 shard health).
+  const std::string payload = SerializeGraph(sgq::testing::MakePath({0, 1}), 0);
+  std::string first_ids, second_ids, line;
+  const std::string first = client.QueryIds(payload, &first_ids);
+  ASSERT_EQ(ParseResponseHead(first).kind, ResponseHead::Kind::kOk) << first;
+  const std::string second = client.QueryIds(payload, &second_ids);
+  EXPECT_EQ(second_ids, first_ids);
+  ShardHealth health;
+  ASSERT_TRUE(ParseShardHealth(ParseResponseHead(second).body, &health));
+  EXPECT_EQ(health.ok, 2u);
+  EXPECT_EQ(health.total, 2u);
+
+  ASSERT_TRUE(client.Send("STATS\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  std::string cache_json = RouterCacheJson(line);
+  ASSERT_FALSE(cache_json.empty()) << line;
+  EXPECT_EQ(CacheCounter(cache_json, "hits"), 1u);
+  EXPECT_GE(CacheCounter(cache_json, "entries"), 1u);
+
+  // A LIMIT request is served as the cached full result's prefix.
+  const ResponseHead first_head = ParseResponseHead(first);
+  std::vector<GraphId> full_ids;
+  ASSERT_TRUE(ParseIdsLine(first_ids, first_head.num_answers, &full_ids));
+  ASSERT_GE(full_ids.size(), 2u);
+  std::string limited_ids;
+  const std::string limited = client.QueryIds(payload, &limited_ids, 2);
+  std::vector<GraphId> limited_vec;
+  ASSERT_TRUE(
+      ParseIdsLine(limited_ids, ParseResponseHead(limited).num_answers,
+                   &limited_vec));
+  EXPECT_EQ(limited_vec,
+            (std::vector<GraphId>{full_ids[0], full_ids[1]}));
+
+  // Cache the pentagon's pre-reload empty answer, reload through the
+  // router, and verify the stale entry is unreachable: the post-reload
+  // query must see the new graph, not the cached miss.
+  const std::string pentagon_payload = SerializeGraph(pentagon, 0);
+  std::string ids;
+  line = client.QueryIds(pentagon_payload, &ids);
+  EXPECT_EQ(ids, "IDS") << line;
+  ASSERT_TRUE(client.Send("RELOAD @" + db2_path + "\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(line, "OK reloaded 11 graphs") << line;
+  line = client.QueryIds(pentagon_payload, &ids);
+  EXPECT_EQ(ids, "IDS 10") << line;
+
+  // CACHE CLEAR drops the router cache too.
+  ASSERT_TRUE(client.Send("CACHE CLEAR\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(line, "OK cache cleared");
+  ASSERT_TRUE(client.Send("STATS\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  cache_json = RouterCacheJson(line);
+  ASSERT_FALSE(cache_json.empty()) << line;
+  EXPECT_EQ(CacheCounter(cache_json, "entries"), 0u);
 
   fleet.Stop();
   ::unlink(db2_path.c_str());

@@ -67,6 +67,7 @@ TEST_P(Vf2Test, CallbackMappingsValid) {
                        EXPECT_TRUE(g.HasEdge(mapping[u], mapping[w]));
                      }
                    }
+                   return true;
                  });
   EXPECT_EQ(count, BruteForceEnumerate(q, g, UINT64_MAX));
 }

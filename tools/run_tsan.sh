@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Builds the concurrency tests with ThreadSanitizer and runs everything
-# carrying the `tsan` CTest label (thread pool, parallel engine,
-# parallel determinism).
+# Builds everything with ThreadSanitizer and runs all suites carrying
+# the `tsan` CTest label (thread pool, parallel engines, work stealing,
+# query service + scheduler, streaming e2e, cache, router e2e).
 #
 # Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -10,6 +10,5 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DSGQ_TSAN=ON
-cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target thread_pool_test parallel_engine_test parallel_determinism_test
+cmake --build "$BUILD_DIR" -j"$(nproc)"
 cd "$BUILD_DIR" && ctest -L tsan --output-on-failure -j"$(nproc)"

@@ -17,6 +17,9 @@
 //                    [--cache-mb 64]   (0 or SGQ_CACHE=off disables the
 //                    result cache; repeated/isomorphic queries in the set
 //                    are then served from memory)
+//                    [--stream 1]   (run each query through the streaming
+//                    sink path and report time-to-first-embedding; bypasses
+//                    the result cache so the timing reflects the engine)
 //                    [--format text|json]   (json: one machine-readable
 //                    object per query plus a summary object, sharing the
 //                    server's STATS serialization)
@@ -47,6 +50,7 @@
 #include "gen/query_gen.h"
 #include "graph/graph_io.h"
 #include "query/engine_factory.h"
+#include "query/result_sink.h"
 #include "tool_flags.h"
 #include "util/defaults.h"
 #include "util/timer.h"
@@ -199,10 +203,26 @@ int CmdStats(const Flags& flags) {
   return 0;
 }
 
+// Timestamps the first answer an engine streams; used by `query --stream`
+// to report time-to-first-embedding per query.
+class FirstAnswerSink : public ResultSink {
+ public:
+  bool OnAnswer(GraphId) override {
+    if (count_++ == 0) first_ms_ = timer_.ElapsedMillis();
+    return true;
+  }
+  double first_ms() const { return first_ms_; }  // -1: no answer streamed
+
+ private:
+  WallTimer timer_;
+  uint64_t count_ = 0;
+  double first_ms_ = -1;
+};
+
 int CmdQuery(const Flags& flags) {
   if (!flags.Validate({"db", "queries", "engine", "time-limit", "build-limit",
                        "threads", "chunk", "intra-threads", "steal-chunk",
-                       "format", "cache-mb"})) {
+                       "format", "cache-mb", "stream"})) {
     return 2;
   }
   const std::string format = flags.Get("format", "text");
@@ -253,13 +273,17 @@ int CmdQuery(const Flags& flags) {
 
   const double limit =
       flags.GetDouble("time-limit", kDefaultQueryTimeoutSeconds);
+  const bool stream = flags.GetDouble("stream", 0) != 0;
   // Same cache stack as the server, minus singleflight (execution here is
   // sequential): canonical hash -> lookup -> execute on miss -> insert.
+  // --stream bypasses the cache so the reported first-embedding latency
+  // measures the engine's streaming path, not a memory lookup.
   CacheConfig cache_config;
-  cache_config.enabled = config.cache_mb > 0;
+  cache_config.enabled = !stream && config.cache_mb > 0;
   cache_config.max_bytes = config.cache_mb << 20;
   ResultCache cache(cache_config);
   std::vector<QueryResult> results;
+  std::vector<double> first_ms_all;
   for (GraphId i = 0; i < queries.size(); ++i) {
     CacheKey key;
     key.engine = engine_name;
@@ -269,20 +293,40 @@ int CmdQuery(const Flags& flags) {
       key.hash = CanonicalQueryHash(queries.graph(i));
       cache_hit = cache.Lookup(key, &r);
     }
+    double first_ms = -1;
     if (!cache_hit) {
-      r = engine->Query(queries.graph(i), Deadline::AfterSeconds(limit));
+      if (stream) {
+        FirstAnswerSink sink;
+        r = engine->Query(queries.graph(i), Deadline::AfterSeconds(limit),
+                          &sink);
+        first_ms = sink.first_ms();
+        if (first_ms >= 0) first_ms_all.push_back(first_ms);
+      } else {
+        r = engine->Query(queries.graph(i), Deadline::AfterSeconds(limit));
+      }
       if (cache.enabled() && !r.stats.timed_out) cache.Insert(key, r);
     }
     if (json) {
-      std::printf("{\"query\":%u,\"cache_hit\":%s,\"stats\":%s}\n", i,
-                  cache_hit ? "true" : "false", ToJson(r.stats).c_str());
+      std::string extra;
+      if (stream && first_ms >= 0) {
+        extra = ",\"first_embedding_ms\":" + std::to_string(first_ms);
+      }
+      std::printf("{\"query\":%u,\"cache_hit\":%s%s,\"stats\":%s}\n", i,
+                  cache_hit ? "true" : "false", extra.c_str(),
+                  ToJson(r.stats).c_str());
     } else {
+      std::string ttfe;
+      if (stream && first_ms >= 0) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), ", first answer %.3f ms", first_ms);
+        ttfe = buf;
+      }
       std::printf("query %u: %zu answers, |C|=%llu, filter %.3f ms, "
-                  "verify %.3f ms%s%s\n",
+                  "verify %.3f ms%s%s%s\n",
                   i, r.answers.size(),
                   static_cast<unsigned long long>(r.stats.num_candidates),
                   r.stats.filtering_ms, r.stats.verification_ms,
-                  r.stats.timed_out ? " [TIMEOUT]" : "",
+                  ttfe.c_str(), r.stats.timed_out ? " [TIMEOUT]" : "",
                   cache_hit ? " [cached]" : "");
     }
     results.push_back(std::move(r));
@@ -298,6 +342,14 @@ int CmdQuery(const Flags& flags) {
         "(filter %.3f + verify %.3f), precision %.3f, avg |C| %.1f\n",
         s.num_queries, s.num_timeouts, s.avg_query_ms, s.avg_filtering_ms,
         s.avg_verification_ms, s.filtering_precision, s.avg_candidates);
+    if (stream && !first_ms_all.empty()) {
+      double sum = 0;
+      for (const double ms : first_ms_all) sum += ms;
+      std::printf("first-embedding: avg %.3f ms over %zu queries with "
+                  "answers\n",
+                  sum / static_cast<double>(first_ms_all.size()),
+                  first_ms_all.size());
+    }
     const CacheStatsSnapshot cs = cache.Stats();
     if (cs.enabled) {
       std::printf("cache: %llu hits, %llu misses, %llu evictions, "

@@ -5,7 +5,7 @@
 //   sgq_client (--socket PATH | --host H --port N) --op query
 //              (--graph one.txt | --queries many.txt)
 //              [--timeout S] [--repeat 1] [--connections 1] [--quiet 0]
-//              [--limit K] [--ids 1]
+//              [--limit K] [--ids 1] [--stream 1]
 //              [--bench-json FILE] [--bench-name NAME]
 //   sgq_client ... --op stats
 //   sgq_client ... --op reload [--db new_db.txt]
@@ -18,6 +18,13 @@
 // written to the first byte of its response — connection setup (and any
 // mid-run reconnect) is excluded, so routed and direct runs compare
 // apples-to-apples.
+//
+// --stream 1 sends STREAM queries: answer ids arrive as incremental IDS
+// chunk lines before the terminal OK/TIMEOUT line. The summary then also
+// reports time-to-first-embedding (request written -> first id received),
+// the headline win of the streaming pipeline. OVERLOADED rejections may
+// carry a retry_after_ms backoff hint; the summary reports the largest
+// hint seen.
 //
 // A dropped connection is re-dialed once per work item; only a request
 // that fails again on the fresh connection counts as dropped.
@@ -57,8 +64,9 @@ int Usage() {
       "                  --op query (--graph FILE | --queries FILE)\n"
       "                  [--timeout S] [--repeat N] [--connections C] "
       "[--quiet 1]\n"
-      "                  [--limit K] [--ids 1] [--bench-json FILE] "
-      "[--bench-name NAME]\n"
+      "                  [--limit K] [--ids 1] [--stream 1] "
+      "[--bench-json FILE]\n"
+      "                  [--bench-name NAME]\n"
       "       sgq_client ... --op stats|reload|cache-clear|shutdown "
       "[--db FILE]\n");
   return 2;
@@ -120,20 +128,41 @@ void CountResponse(const std::string& line, OutcomeCounts* counts) {
 }
 
 // One request/response exchange; false on a connection-level failure
-// (write error, read error, or a malformed IDS continuation).
+// (write error, read error, or a malformed IDS continuation). In stream
+// mode the exchange consumes IDS chunk lines until the terminal outcome
+// line, counting streamed ids and timing the first one.
 bool ExchangeOnce(int fd, const std::string& header,
-                  const std::string& payload, bool want_ids,
+                  const std::string& payload, bool want_ids, bool stream,
                   std::string* line, std::string* ids_line,
-                  double* latency_ms) {
+                  double* latency_ms, double* first_embedding_ms,
+                  uint64_t* streamed_ids) {
   if (!WriteAll(fd, header) || !WriteAll(fd, payload)) return false;
-  if (!ReadLine(fd, line, latency_ms)) return false;
   ids_line->clear();
-  if (want_ids) {
-    // Only OK/TIMEOUT carry the IDS continuation line.
-    const ResponseHead head = ParseResponseHead(*line);
-    if (head.has_count && !ReadLine(fd, ids_line)) return false;
+  if (!stream) {
+    if (!ReadLine(fd, line, latency_ms)) return false;
+    if (want_ids) {
+      // Only OK/TIMEOUT carry the IDS continuation line.
+      const ResponseHead head = ParseResponseHead(*line);
+      if (head.has_count && !ReadLine(fd, ids_line)) return false;
+    }
+    return true;
   }
-  return true;
+  WallTimer timer;
+  *first_embedding_ms = -1;  // no embedding received
+  *streamed_ids = 0;
+  bool first_line = true;
+  std::vector<GraphId> chunk;
+  for (;;) {
+    if (!ReadLine(fd, line, first_line ? latency_ms : nullptr)) return false;
+    first_line = false;
+    if (line->rfind("IDS", 0) != 0) return true;  // terminal line
+    chunk.clear();
+    if (!ParseIdsChunk(*line, &chunk)) return false;
+    if (*first_embedding_ms < 0 && !chunk.empty()) {
+      *first_embedding_ms = timer.ElapsedMillis();
+    }
+    *streamed_ids += chunk.size();
+  }
 }
 
 int RunQueries(const sgq_tools::Flags& flags) {
@@ -159,6 +188,7 @@ int RunQueries(const sgq_tools::Flags& flags) {
   const uint64_t limit =
       static_cast<uint64_t>(std::max(0.0, flags.GetDouble("limit", 0)));
   const bool want_ids = flags.GetDouble("ids", 0) != 0;
+  const bool stream = flags.GetDouble("stream", 0) != 0;
 
   // Pre-serialize each query once; every connection replays its share.
   std::vector<std::string> payloads;
@@ -169,6 +199,8 @@ int RunQueries(const sgq_tools::Flags& flags) {
   std::mutex print_mu;
   OutcomeCounts totals;
   std::vector<double> latencies_ms;  // merged under print_mu at thread exit
+  std::vector<double> first_embedding_ms_all;  // stream mode, non-empty only
+  uint64_t max_retry_after_ms = 0;
   bool connect_failed = false;
   WallTimer run_timer;
   std::vector<std::thread> threads;
@@ -178,6 +210,8 @@ int RunQueries(const sgq_tools::Flags& flags) {
       UniqueFd fd = Connect(flags, &conn_error);
       OutcomeCounts counts;
       std::vector<double> thread_latencies_ms;
+      std::vector<double> thread_first_embedding_ms;
+      uint64_t thread_max_retry_ms = 0;
       if (!fd.valid()) {
         std::lock_guard<std::mutex> lock(print_mu);
         std::fprintf(stderr, "connection %d: %s\n", c, conn_error.c_str());
@@ -200,11 +234,15 @@ int RunQueries(const sgq_tools::Flags& flags) {
           header += std::to_string(limit);
         }
         if (want_ids) header += " IDS";
+        if (stream) header += " STREAM";
         header += '\n';
         std::string line, ids_line;
         double latency_ms = 0;
-        bool sent = ExchangeOnce(fd.get(), header, payload, want_ids, &line,
-                                 &ids_line, &latency_ms);
+        double first_embedding_ms = -1;
+        uint64_t streamed_ids = 0;
+        bool sent = ExchangeOnce(fd.get(), header, payload, want_ids, stream,
+                                 &line, &ids_line, &latency_ms,
+                                 &first_embedding_ms, &streamed_ids);
         if (!sent) {
           // The server may have restarted between requests; one fresh
           // dial distinguishes a restart from a down server. The retried
@@ -212,14 +250,33 @@ int RunQueries(const sgq_tools::Flags& flags) {
           // never pollutes the percentiles.
           fd = Connect(flags, &conn_error);
           sent = fd.valid() &&
-                 ExchangeOnce(fd.get(), header, payload, want_ids, &line,
-                              &ids_line, &latency_ms);
+                 ExchangeOnce(fd.get(), header, payload, want_ids, stream,
+                              &line, &ids_line, &latency_ms,
+                              &first_embedding_ms, &streamed_ids);
         }
         if (!sent) {
           ++counts.dropped;
           break;
         }
         thread_latencies_ms.push_back(latency_ms);
+        if (stream && first_embedding_ms >= 0) {
+          thread_first_embedding_ms.push_back(first_embedding_ms);
+        }
+        if (stream) {
+          // The terminal count must equal what was streamed.
+          const ResponseHead head = ParseResponseHead(line);
+          if (head.has_count && head.num_answers != streamed_ids) {
+            ++counts.bad;
+            continue;
+          }
+        }
+        if (line.rfind("OVERLOADED", 0) == 0) {
+          uint64_t retry_ms = 0;
+          const ResponseHead head = ParseResponseHead(line);
+          if (ParseRetryAfterMs(head.body, &retry_ms)) {
+            thread_max_retry_ms = std::max(thread_max_retry_ms, retry_ms);
+          }
+        }
         CountResponse(line, &counts);
         if (!quiet) {
           std::lock_guard<std::mutex> lock(print_mu);
@@ -237,6 +294,10 @@ int RunQueries(const sgq_tools::Flags& flags) {
       totals.dropped += counts.dropped;
       latencies_ms.insert(latencies_ms.end(), thread_latencies_ms.begin(),
                           thread_latencies_ms.end());
+      first_embedding_ms_all.insert(first_embedding_ms_all.end(),
+                                    thread_first_embedding_ms.begin(),
+                                    thread_first_embedding_ms.end());
+      max_retry_after_ms = std::max(max_retry_after_ms, thread_max_retry_ms);
     });
   }
   for (std::thread& t : threads) t.join();
@@ -262,6 +323,18 @@ int RunQueries(const sgq_tools::Flags& flags) {
     std::printf("throughput: %.1f req/s over %.3f s (%d connections)\n",
                 throughput, wall_seconds, connections);
   }
+  if (stream && !first_embedding_ms_all.empty()) {
+    std::sort(first_embedding_ms_all.begin(), first_embedding_ms_all.end());
+    std::printf(
+        "first-embedding: p50 %.3f ms, p95 %.3f ms (%zu streamed replies)\n",
+        PercentileMs(first_embedding_ms_all, 50),
+        PercentileMs(first_embedding_ms_all, 95),
+        first_embedding_ms_all.size());
+  }
+  if (max_retry_after_ms > 0) {
+    std::printf("backoff: largest retry_after_ms hint %llu\n",
+                static_cast<unsigned long long>(max_retry_after_ms));
+  }
 
   const std::string bench_json = flags.Get("bench-json", "");
   if (!bench_json.empty() && !latencies_ms.empty()) {
@@ -282,6 +355,12 @@ int RunQueries(const sgq_tools::Flags& flags) {
         {"overloaded", static_cast<double>(totals.overloaded)},
         {"dropped", static_cast<double>(totals.dropped)},
     };
+    if (stream && !first_embedding_ms_all.empty()) {
+      record.counters.emplace_back(
+          "ttfe_p50_ms", PercentileMs(first_embedding_ms_all, 50));
+      record.counters.emplace_back(
+          "ttfe_p95_ms", PercentileMs(first_embedding_ms_all, 95));
+    }
     // Merge-by-name into any existing snapshot so the direct and routed
     // configurations of one bench run share a file.
     std::vector<bench::BenchRecord> records;
@@ -341,7 +420,8 @@ int main(int argc, char** argv) {
   if (!flags.ok() ||
       !flags.Validate({"socket", "host", "port", "op", "graph", "queries",
                        "timeout", "repeat", "connections", "quiet", "db",
-                       "limit", "ids", "bench-json", "bench-name"})) {
+                       "limit", "ids", "stream", "bench-json",
+                       "bench-name"})) {
     return Usage();
   }
   const std::string op = flags.Get("op", "query");

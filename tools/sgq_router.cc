@@ -10,6 +10,7 @@
 //              [--default-timeout 600] [--admin-timeout 3600]
 //              [--max-request-bytes 16777216]
 //              [--forward-shutdown on|off]           (default on)
+//              [--cache-mb 0]   (router-side merged-result cache; 0 = off)
 //
 // --shards lists the shard endpoints in shard order: element i must be an
 // sgq_server running with --shard-of i/N over the same database file.
@@ -46,6 +47,7 @@ int Usage() {
       "                  [--default-timeout 600] [--admin-timeout 3600]\n"
       "                  [--max-request-bytes N] "
       "[--forward-shutdown on|off]\n"
+      "                  [--cache-mb 0]\n"
       "  endpoints: unix:/path, /abs/path, or host:port — one per shard,\n"
       "  in shard order (shard i must run sgq_server --shard-of i/N)\n");
   return 2;
@@ -60,7 +62,7 @@ int main(int argc, char** argv) {
       !flags.Validate({"shards", "socket", "port", "host",
                        "on-shard-failure", "default-timeout",
                        "admin-timeout", "max-request-bytes",
-                       "forward-shutdown"})) {
+                       "forward-shutdown", "cache-mb"})) {
     return Usage();
   }
   const std::string shards_csv = flags.Get("shards", "");
@@ -104,6 +106,8 @@ int main(int argc, char** argv) {
   server_config.host = flags.Get("host", "127.0.0.1");
   server_config.max_payload_bytes = static_cast<size_t>(flags.GetDouble(
       "max-request-bytes", static_cast<double>(kDefaultMaxPayloadBytes)));
+  server_config.cache_mb =
+      static_cast<uint32_t>(flags.GetDouble("cache-mb", 0));
 
   RouterServer router(server_config, router_config);
   if (!router.Start(&error)) {

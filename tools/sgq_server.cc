@@ -12,6 +12,8 @@
 //              (CFQL-parallel-intra only: cap on workers stealing
 //              intra-query tasks, root candidates per stolen task)
 //              [--cache-mb 64] [--cache on|off]
+//              [--sched fifo|sjf] [--sched-threshold 10000]
+//              (cost-aware two-class scheduler; SGQ_SCHED overrides)
 //              [--shard-of i/M]   (serve shard i of an M-way deployment)
 //   sgq_server --db db.txt --port 7474 [--host 127.0.0.1] ...
 //
@@ -61,7 +63,9 @@ int Usage() {
                "[--chunk K]\n"
                "                  [--intra-threads N] [--steal-chunk K]\n"
                "                  [--cache-mb 64] [--cache on|off] "
-               "[--shard-of i/M]\n");
+               "[--shard-of i/M]\n"
+               "                  [--sched fifo|sjf] "
+               "[--sched-threshold 10000]\n");
   return 2;
 }
 
@@ -75,7 +79,7 @@ int main(int argc, char** argv) {
                        "queue", "default-timeout", "build-limit",
                        "max-request-bytes", "threads", "chunk",
                        "intra-threads", "steal-chunk", "cache-mb",
-                       "cache", "shard-of"})) {
+                       "cache", "shard-of", "sched", "sched-threshold"})) {
     return Usage();
   }
   const std::string db_path = flags.Get("db", "");
@@ -116,6 +120,13 @@ int main(int argc, char** argv) {
           : static_cast<size_t>(flags.GetDouble(
                 "cache-mb",
                 static_cast<double>(service_config.engine.cache_mb)));
+  service_config.sched = flags.Get("sched", "fifo");
+  if (service_config.sched != "fifo" && service_config.sched != "sjf") {
+    std::fprintf(stderr, "--sched must be fifo or sjf\n");
+    return 2;
+  }
+  service_config.sched_heavy_threshold = flags.GetDouble(
+      "sched-threshold", service_config.sched_heavy_threshold);
   if (!IsKnownEngine(service_config.engine_name)) {
     std::fprintf(stderr, "unknown engine: %s\n",
                  service_config.engine_name.c_str());
