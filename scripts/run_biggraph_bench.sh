@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the massive-single-graph micro suite (bench/micro_biggraph) and tees
+# its results into bench/results/BENCH_micro_biggraph.json (see
+# bench/bench_json.h). The acceptance counters live on two rows:
+#   BM_LoadSnapshot        load_speedup_vs_text  (target >= 10x)
+#   BM_FirstLevelIndexed   candidate_reduction   (target >= 5x)
+#
+# Usage:
+#   scripts/run_biggraph_bench.sh [--smoke] [build_dir] [out_dir] [extra args]
+#
+#   --smoke    shrink the generated graph (16k vertices) so CI finishes in
+#              seconds; full runs default to 131072 vertices.
+#   build_dir  defaults to ./build   (must contain bench/micro_biggraph)
+#   out_dir    defaults to ./bench/results
+#
+# Examples:
+#   scripts/run_biggraph_bench.sh
+#   scripts/run_biggraph_bench.sh --smoke
+#   scripts/run_biggraph_bench.sh build /tmp/perf --benchmark_min_time=0.5
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+smoke=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  smoke=1
+  shift
+fi
+
+build_dir="${1:-build}"
+out_dir="${2:-bench/results}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+bin="${build_dir}/bench/micro_biggraph"
+if [[ ! -x "${bin}" ]]; then
+  echo "error: ${bin} not built (cmake --build ${build_dir} --target micro_biggraph)" >&2
+  exit 1
+fi
+
+if [[ "${smoke}" == 1 ]]; then
+  export SGQ_BIGGRAPH_VERTICES="${SGQ_BIGGRAPH_VERTICES:-16384}"
+  export SGQ_BIGGRAPH_AVG_DEGREE="${SGQ_BIGGRAPH_AVG_DEGREE:-8}"
+fi
+
+mkdir -p "${out_dir}"
+SGQ_BENCH_JSON_DIR="${out_dir}" "${bin}" "$@"
+
+echo "snapshot:"
+ls -l "${out_dir}/BENCH_micro_biggraph.json"

@@ -1,0 +1,98 @@
+#include "gen/biggraph_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace sgq {
+
+namespace {
+
+// Cumulative Zipf(skew) weights over [0, num_labels); sampling is a binary
+// search over this table.
+std::vector<double> ZipfCdf(uint32_t num_labels, double skew) {
+  std::vector<double> cdf(num_labels);
+  double total = 0;
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    total += 1.0 / std::pow(static_cast<double>(l + 1), skew);
+    cdf[l] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+Label SampleLabel(const std::vector<double>& cdf, Rng* rng) {
+  const double x = rng->NextDouble();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), x);
+  return static_cast<Label>(it == cdf.end() ? cdf.size() - 1
+                                            : it - cdf.begin());
+}
+
+}  // namespace
+
+Graph GeneratePowerLawGraph(const PowerLawParams& params) {
+  SGQ_CHECK_GT(params.num_vertices, 0u);
+  SGQ_CHECK_GT(params.num_labels, 0u);
+  Rng rng(params.seed);
+  const uint32_t n = params.num_vertices;
+
+  GraphBuilder builder;
+  const std::vector<double> label_cdf = ZipfCdf(params.num_labels,
+                                                params.label_skew);
+  for (uint32_t v = 0; v < n; ++v) {
+    builder.AddVertex(SampleLabel(label_cdf, &rng));
+  }
+  if (n == 1) return builder.Build();
+
+  // Per-vertex attachment count: expected avg_degree / 2 new edges per
+  // vertex (each edge raises the degree sum by 2), stochastic rounding to
+  // hit fractional averages.
+  const double m_real = std::max(params.avg_degree / 2.0, 1.0);
+  const uint32_t m_base = static_cast<uint32_t>(m_real);
+  const double m_frac = m_real - m_base;
+
+  // Each added edge pushes both endpoints; a uniform draw from this list is
+  // a degree-proportional draw over vertices — preferential attachment with
+  // no degree bookkeeping.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(static_cast<size_t>(m_real * n) * 2 + 2);
+  auto add_edge = [&](VertexId u, VertexId v) {
+    if (u == v || !builder.AddEdge(u, v)) return false;
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+    return true;
+  };
+
+  // Seed: a path over the first seed_size vertices keeps the graph
+  // connected from the start.
+  const uint32_t seed_size = std::min(n, m_base + 1);
+  for (uint32_t v = 1; v < seed_size; ++v) add_edge(v - 1, v);
+
+  for (uint32_t v = seed_size; v < n; ++v) {
+    const uint32_t m =
+        m_base + (m_frac > 0 && rng.NextBool(m_frac) ? 1u : 0u);
+    // First edge attaches degree-proportionally (uniform endpoint), keeping
+    // connectivity; extras resample on collision, bounded so hub-saturated
+    // tiny graphs cannot spin.
+    uint32_t placed = 0;
+    for (uint32_t e = 0; e < m && placed < v; ++e) {
+      bool ok = false;
+      for (int attempt = 0; attempt < 16 && !ok; ++attempt) {
+        const VertexId target =
+            endpoints.empty()
+                ? static_cast<VertexId>(rng.NextBounded(v))
+                : endpoints[rng.NextBounded(endpoints.size())];
+        ok = add_edge(target, v);
+      }
+      if (ok) ++placed;
+    }
+    // Guarantee connectivity even if every preferential draw collided.
+    if (placed == 0) add_edge(static_cast<VertexId>(rng.NextBounded(v)), v);
+  }
+  return builder.Build();
+}
+
+}  // namespace sgq

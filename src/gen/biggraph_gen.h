@@ -1,0 +1,40 @@
+// Massive single-data-graph generation.
+//
+// The transactional generator (gen/graph_gen.h) targets databases of many
+// small graphs. The big-graph serving path instead needs ONE social-network-
+// scale graph: heavy-tailed degrees (a few hubs with thousands of
+// neighbors, a long tail of low-degree vertices) and a Zipf-skewed label
+// distribution, which is exactly the regime where the degree/label-
+// partitioned candidate index (index/vertex_candidate_index.h) pays off and
+// the mmap snapshot path (graph/csr_snapshot.h) matters for startup.
+#ifndef SGQ_GEN_BIGGRAPH_GEN_H_
+#define SGQ_GEN_BIGGRAPH_GEN_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace sgq {
+
+struct PowerLawParams {
+  uint32_t num_vertices = 1u << 20;  // |V(G)|
+  double avg_degree = 16.0;          // d(G) = 2|E| / |V|
+  uint32_t num_labels = 32;          // |Sigma|
+  // Zipf skew of the label distribution: label l gets mass proportional to
+  // 1 / (l+1)^label_skew. 0 = uniform.
+  double label_skew = 1.0;
+  uint64_t seed = 1;
+};
+
+// Generates a connected undirected graph with a preferential-attachment
+// degree distribution (Barabasi-Albert flavored): each new vertex attaches
+// to endpoints of uniformly sampled existing edges, so attachment
+// probability is proportional to current degree without any degree table.
+// Self loops and duplicate edges are rejected and resampled (bounded), so
+// the realized edge count can fall slightly short of the target on tiny
+// inputs. Deterministic in `seed`.
+Graph GeneratePowerLawGraph(const PowerLawParams& params);
+
+}  // namespace sgq
+
+#endif  // SGQ_GEN_BIGGRAPH_GEN_H_

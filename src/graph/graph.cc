@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/mmap_file.h"
 
 namespace sgq {
 
@@ -20,14 +21,79 @@ std::span<const VertexId> Graph::VerticesWithLabel(Label l) const {
           label_offsets_[slot + 1] - label_offsets_[slot]};
 }
 
+void Graph::RebindViews() {
+  labels_ = owned_.labels;
+  offsets_ = owned_.offsets;
+  neighbors_ = owned_.neighbors;
+  neighbor_labels_ = owned_.neighbor_labels;
+  label_values_ = owned_.label_values;
+  label_offsets_ = owned_.label_offsets;
+  vertices_by_label_ = owned_.vertices_by_label;
+}
+
+void Graph::CopyFrom(const Graph& other) {
+  if (other.mapping_ != nullptr) {
+    // View mode: share the mapping, point at the same bytes.
+    owned_ = Owned();
+    mapping_ = other.mapping_;
+    labels_ = other.labels_;
+    offsets_ = other.offsets_;
+    neighbors_ = other.neighbors_;
+    neighbor_labels_ = other.neighbor_labels_;
+    label_values_ = other.label_values_;
+    label_offsets_ = other.label_offsets_;
+    vertices_by_label_ = other.vertices_by_label_;
+  } else {
+    owned_ = other.owned_;
+    mapping_.reset();
+    RebindViews();
+  }
+  candidate_index_ = other.candidate_index_;
+  label_bound_ = other.label_bound_;
+  max_degree_ = other.max_degree_;
+}
+
+void Graph::MoveFrom(Graph&& other) noexcept {
+  // Moving vectors transfers their heap buffers, so the source's spans stay
+  // valid for the destination in both modes.
+  owned_ = std::move(other.owned_);
+  mapping_ = std::move(other.mapping_);
+  labels_ = other.labels_;
+  offsets_ = other.offsets_;
+  neighbors_ = other.neighbors_;
+  neighbor_labels_ = other.neighbor_labels_;
+  label_values_ = other.label_values_;
+  label_offsets_ = other.label_offsets_;
+  vertices_by_label_ = other.vertices_by_label_;
+  candidate_index_ = std::move(other.candidate_index_);
+  label_bound_ = other.label_bound_;
+  max_degree_ = other.max_degree_;
+  // Leave the source empty rather than dangling.
+  other.labels_ = {};
+  other.offsets_ = {};
+  other.neighbors_ = {};
+  other.neighbor_labels_ = {};
+  other.label_values_ = {};
+  other.label_offsets_ = {};
+  other.vertices_by_label_ = {};
+  other.label_bound_ = 0;
+  other.max_degree_ = 0;
+}
+
 size_t Graph::MemoryBytes() const {
-  return labels_.capacity() * sizeof(Label) +
-         offsets_.capacity() * sizeof(uint32_t) +
-         neighbors_.capacity() * sizeof(VertexId) +
-         neighbor_labels_.capacity() * sizeof(Label) +
-         label_values_.capacity() * sizeof(Label) +
-         label_offsets_.capacity() * sizeof(uint32_t) +
-         vertices_by_label_.capacity() * sizeof(VertexId);
+  if (mapping_ != nullptr) {
+    return labels_.size_bytes() + offsets_.size_bytes() +
+           neighbors_.size_bytes() + neighbor_labels_.size_bytes() +
+           label_values_.size_bytes() + label_offsets_.size_bytes() +
+           vertices_by_label_.size_bytes();
+  }
+  return owned_.labels.capacity() * sizeof(Label) +
+         owned_.offsets.capacity() * sizeof(uint32_t) +
+         owned_.neighbors.capacity() * sizeof(VertexId) +
+         owned_.neighbor_labels.capacity() * sizeof(Label) +
+         owned_.label_values.capacity() * sizeof(Label) +
+         owned_.label_offsets.capacity() * sizeof(uint32_t) +
+         owned_.vertices_by_label.capacity() * sizeof(VertexId);
 }
 
 void GraphBuilder::Reserve(uint32_t num_vertices, uint64_t num_edges) {
@@ -66,20 +132,20 @@ bool GraphBuilder::AddEdge(VertexId u, VertexId v) {
 Graph GraphBuilder::Build() const {
   Graph g;
   const uint32_t n = NumVertices();
-  g.labels_ = labels_;
-  g.offsets_.assign(n + 1, 0);
+  g.owned_.labels = labels_;
+  g.owned_.offsets.assign(n + 1, 0);
   for (uint32_t v = 0; v < n; ++v) {
-    g.offsets_[v + 1] =
-        g.offsets_[v] + static_cast<uint32_t>(adj_[v].size());
+    g.owned_.offsets[v + 1] =
+        g.owned_.offsets[v] + static_cast<uint32_t>(adj_[v].size());
   }
-  g.neighbors_.resize(g.offsets_[n]);
-  g.neighbor_labels_.resize(g.offsets_[n]);
+  g.owned_.neighbors.resize(g.owned_.offsets[n]);
+  g.owned_.neighbor_labels.resize(g.owned_.offsets[n]);
   uint32_t max_degree = 0;
   for (uint32_t v = 0; v < n; ++v) {
-    auto* out = g.neighbors_.data() + g.offsets_[v];
+    auto* out = g.owned_.neighbors.data() + g.owned_.offsets[v];
     std::copy(adj_[v].begin(), adj_[v].end(), out);
     std::sort(out, out + adj_[v].size());
-    auto* lab = g.neighbor_labels_.data() + g.offsets_[v];
+    auto* lab = g.owned_.neighbor_labels.data() + g.owned_.offsets[v];
     for (size_t i = 0; i < adj_[v].size(); ++i) lab[i] = labels_[out[i]];
     std::sort(lab, lab + adj_[v].size());
     max_degree = std::max(max_degree, static_cast<uint32_t>(adj_[v].size()));
@@ -87,30 +153,32 @@ Graph GraphBuilder::Build() const {
   g.max_degree_ = max_degree;
 
   // Label index over the distinct labels present (labels may be sparse).
-  g.label_values_ = labels_;
-  std::sort(g.label_values_.begin(), g.label_values_.end());
-  g.label_values_.erase(
-      std::unique(g.label_values_.begin(), g.label_values_.end()),
-      g.label_values_.end());
+  g.owned_.label_values = labels_;
+  std::sort(g.owned_.label_values.begin(), g.owned_.label_values.end());
+  g.owned_.label_values.erase(
+      std::unique(g.owned_.label_values.begin(), g.owned_.label_values.end()),
+      g.owned_.label_values.end());
   g.label_bound_ =
-      g.label_values_.empty() ? 0 : g.label_values_.back() + 1;
-  const size_t num_slots = g.label_values_.size();
+      g.owned_.label_values.empty() ? 0 : g.owned_.label_values.back() + 1;
+  const size_t num_slots = g.owned_.label_values.size();
   auto slot_of = [&](Label l) {
     return static_cast<size_t>(
-        std::lower_bound(g.label_values_.begin(), g.label_values_.end(), l) -
-        g.label_values_.begin());
+        std::lower_bound(g.owned_.label_values.begin(),
+                         g.owned_.label_values.end(), l) -
+        g.owned_.label_values.begin());
   };
-  g.label_offsets_.assign(num_slots + 1, 0);
-  for (Label l : labels_) ++g.label_offsets_[slot_of(l) + 1];
+  g.owned_.label_offsets.assign(num_slots + 1, 0);
+  for (Label l : labels_) ++g.owned_.label_offsets[slot_of(l) + 1];
   for (size_t s = 0; s < num_slots; ++s) {
-    g.label_offsets_[s + 1] += g.label_offsets_[s];
+    g.owned_.label_offsets[s + 1] += g.owned_.label_offsets[s];
   }
-  g.vertices_by_label_.resize(n);
-  std::vector<uint32_t> cursor(g.label_offsets_.begin(),
-                               g.label_offsets_.end() - 1);
+  g.owned_.vertices_by_label.resize(n);
+  std::vector<uint32_t> cursor(g.owned_.label_offsets.begin(),
+                               g.owned_.label_offsets.end() - 1);
   for (uint32_t v = 0; v < n; ++v) {
-    g.vertices_by_label_[cursor[slot_of(labels_[v])]++] = v;
+    g.owned_.vertices_by_label[cursor[slot_of(labels_[v])]++] = v;
   }
+  g.RebindViews();
   return g;
 }
 

@@ -6,10 +6,19 @@
 //   * a label index (vertices grouped by label) for candidate generation, and
 //   * per-vertex sorted neighbor-label arrays, which serve both GraphQL's
 //     neighborhood profiles and the neighbor-label-frequency (NLF) filter.
+//
+// Storage modes: a Graph either OWNS its arrays (vectors filled by
+// GraphBuilder, the historical mode) or VIEWS them inside a memory-mapped
+// CSR snapshot (graph/csr_snapshot.h). Every accessor reads through spans
+// that are valid in both modes, so the matchers and the intersection kernels
+// (util/intersect.h) run directly on mapped adjacency arrays without any
+// copy. View-mode graphs keep the mapping alive through a shared_ptr;
+// copying one shares the mapping instead of duplicating the arrays.
 #ifndef SGQ_GRAPH_GRAPH_H_
 #define SGQ_GRAPH_GRAPH_H_
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -18,15 +27,23 @@
 namespace sgq {
 
 class GraphBuilder;
+class MappedFile;
+class VertexCandidateIndex;
 
 class Graph {
  public:
   Graph() = default;
 
-  Graph(const Graph&) = default;
-  Graph& operator=(const Graph&) = default;
-  Graph(Graph&&) = default;
-  Graph& operator=(Graph&&) = default;
+  Graph(const Graph& other) { CopyFrom(other); }
+  Graph& operator=(const Graph& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Graph(Graph&& other) noexcept { MoveFrom(std::move(other)); }
+  Graph& operator=(Graph&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
 
   uint32_t NumVertices() const {
     return static_cast<uint32_t>(labels_.size());
@@ -77,23 +94,63 @@ class Graph {
                : 2.0 * static_cast<double>(NumEdges()) / NumVertices();
   }
 
-  // Footprint of all internal arrays in bytes (memory-cost metric).
+  // True iff the CSR arrays live inside a memory-mapped snapshot rather
+  // than heap vectors owned by this object.
+  bool IsMapped() const { return mapping_ != nullptr; }
+
+  // Optional per-graph candidate index (index/vertex_candidate_index.h).
+  // Attached once at load time, immutable afterwards; shared by copies of
+  // the graph. Null when no index was built (small graphs, tests).
+  void SetCandidateIndex(std::shared_ptr<const VertexCandidateIndex> index) {
+    candidate_index_ = std::move(index);
+  }
+  const VertexCandidateIndex* candidate_index() const {
+    return candidate_index_.get();
+  }
+
+  // Footprint of all internal arrays in bytes (memory-cost metric). For
+  // mapped graphs this is the size of the viewed arrays — bytes the mapping
+  // makes resident when touched, shared with every other view of the file.
   size_t MemoryBytes() const;
 
  private:
   friend class GraphBuilder;
+  friend class CsrSnapshotAccess;
 
-  std::vector<Label> labels_;
-  std::vector<uint32_t> offsets_;        // size NumVertices() + 1
-  std::vector<VertexId> neighbors_;      // sorted per vertex
-  std::vector<Label> neighbor_labels_;   // sorted per vertex (by label)
+  void CopyFrom(const Graph& other);
+  void MoveFrom(Graph&& other) noexcept;
+  // Points the view spans at the owned vectors (owned mode only).
+  void RebindViews();
+
+  // Owned storage; all empty in view mode.
+  struct Owned {
+    std::vector<Label> labels;
+    std::vector<uint32_t> offsets;
+    std::vector<VertexId> neighbors;
+    std::vector<Label> neighbor_labels;
+    std::vector<Label> label_values;
+    std::vector<uint32_t> label_offsets;
+    std::vector<VertexId> vertices_by_label;
+  };
+  Owned owned_;
+
+  // The views every accessor reads. In owned mode they alias owned_; in
+  // view mode they point into *mapping_.
+  std::span<const Label> labels_;
+  std::span<const uint32_t> offsets_;        // size NumVertices() + 1
+  std::span<const VertexId> neighbors_;      // sorted per vertex
+  std::span<const Label> neighbor_labels_;   // sorted per vertex (by label)
 
   // Label index over the distinct labels present, sorted ascending:
   // vertices with label label_values_[i] occupy
   // vertices_by_label_[label_offsets_[i] .. label_offsets_[i+1]).
-  std::vector<Label> label_values_;
-  std::vector<uint32_t> label_offsets_;  // size label_values_.size() + 1
-  std::vector<VertexId> vertices_by_label_;
+  std::span<const Label> label_values_;
+  std::span<const uint32_t> label_offsets_;  // size label_values_.size() + 1
+  std::span<const VertexId> vertices_by_label_;
+
+  // Keeps the mapped bytes alive in view mode; null in owned mode.
+  std::shared_ptr<const MappedFile> mapping_;
+  std::shared_ptr<const VertexCandidateIndex> candidate_index_;
 
   uint32_t label_bound_ = 0;
   uint32_t max_degree_ = 0;

@@ -50,6 +50,10 @@ class GraphDatabase {
 
   const Graph& graph(GraphId id) const { return graphs_[id]; }
 
+  // Mutable access, for attaching per-graph acceleration structures (see
+  // index/vertex_candidate_index.h) after the database is loaded.
+  Graph& mutable_graph(GraphId id) { return graphs_[id]; }
+
   const std::vector<Graph>& graphs() const { return graphs_; }
 
   DatabaseStats ComputeStats() const;

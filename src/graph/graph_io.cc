@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "graph/csr_snapshot.h"
+
 namespace sgq {
 
 namespace {
@@ -75,6 +77,13 @@ bool ParseDatabase(std::string_view text, GraphDatabase* db,
     if (tokens.empty() || tokens[0].front() == '#') continue;
     if (tokens[0] == "t") {
       // "t # <id>" — id is informational only; ids are assigned densely.
+      // A bare "t" is accepted; anything else in the separator slot is a
+      // malformed header, not a silently ignored one.
+      if (tokens.size() >= 2 && tokens[1] != "#") {
+        *error = LineError(line_no, "malformed graph header (expected 't # "
+                                    "<id>')");
+        return false;
+      }
       flush();
       in_graph = true;
     } else if (tokens[0] == "v") {
@@ -83,13 +92,20 @@ bool ParseDatabase(std::string_view text, GraphDatabase* db,
         return false;
       }
       uint32_t id = 0, label = 0;
-      if (tokens.size() < 3 || !ParseU32(tokens[1], &id) ||
+      if (tokens.size() != 3 || !ParseU32(tokens[1], &id) ||
           !ParseU32(tokens[2], &label) || label > kMaxLabel) {
         *error = LineError(line_no, "malformed vertex line");
         return false;
       }
+      // Every id is validated against the dense-and-ascending contract
+      // BEFORE it reaches the builder, so a malformed id is a line-numbered
+      // parse error and can never index out of range inside the builder.
       if (id != builder.NumVertices()) {
         *error = LineError(line_no, "vertex ids must be dense and ascending");
+        return false;
+      }
+      if (id >= kInvalidVertex) {
+        *error = LineError(line_no, "vertex id out of range");
         return false;
       }
       builder.AddVertex(label);
@@ -99,7 +115,8 @@ bool ParseDatabase(std::string_view text, GraphDatabase* db,
         return false;
       }
       uint32_t u = 0, v = 0;
-      if (tokens.size() < 3 || !ParseU32(tokens[1], &u) ||
+      // 3 tokens, or 4 with a trailing edge label (parsed and ignored).
+      if (tokens.size() < 3 || tokens.size() > 4 || !ParseU32(tokens[1], &u) ||
           !ParseU32(tokens[2], &v)) {
         *error = LineError(line_no, "malformed edge line");
         return false;
@@ -128,14 +145,29 @@ bool ParseDatabase(std::string_view text, GraphDatabase* db,
 
 bool LoadDatabase(const std::string& path, GraphDatabase* db,
                   std::string* error) {
+  // Binary CSR snapshots are auto-detected by magic bytes, so every load
+  // path — CLI, server startup, RELOAD — takes the zero-copy mmap fast path
+  // when pointed at a compiled snapshot (see graph/csr_snapshot.h).
+  if (IsSnapshotFile(path)) return LoadSnapshot(path, db, error);
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     *error = "cannot open file: " + path;
     return false;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseDatabase(buffer.str(), db, error);
+  // One sized read instead of a stringstream round-trip: the text parser is
+  // already the slow path, no need to copy multi-hundred-MB files twice.
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::string text;
+  if (size > 0) {
+    text.resize(static_cast<size_t>(size));
+    if (!in.read(text.data(), size)) {
+      *error = "read failed: " + path;
+      return false;
+    }
+  }
+  return ParseDatabase(text, db, error);
 }
 
 std::string SerializeGraph(const Graph& graph, GraphId id) {

@@ -10,7 +10,12 @@
 // Vertex ids must be dense and ascending within a graph; edges reference
 // previously declared vertices. Lines starting with '#' or empty lines are
 // skipped. Parsing is strict: any malformed line aborts the load and reports
-// a message with the offending line number.
+// a message with the offending line number, and every id is bounds-checked
+// before it reaches the graph builder.
+//
+// LoadDatabase additionally auto-detects binary CSR snapshots
+// (graph/csr_snapshot.h) by their magic bytes and loads them through the
+// zero-copy mmap path, so callers can point any front end at either format.
 #ifndef SGQ_GRAPH_GRAPH_IO_H_
 #define SGQ_GRAPH_GRAPH_IO_H_
 

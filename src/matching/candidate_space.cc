@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/graph_utils.h"
+#include "index/vertex_candidate_index.h"
 
 namespace sgq {
 
@@ -57,6 +58,27 @@ bool PassesLdfNlf(const Graph& query, const Graph& data, VertexId u,
 void LdfNlfCandidatesInto(const Graph& query, const Graph& data, VertexId u,
                           bool use_nlf, std::vector<VertexId>* out) {
   out->clear();
+  if (const auto* index = data.candidate_index()) {
+    // Fast path for indexed (massive) data graphs: the degree slice is a
+    // binary search and the signature AND kills most NLF failures before the
+    // multiset walk. Both filters are conservative and the exact NLF
+    // predicate is re-checked below, so the result is bit-identical to the
+    // full-scan path.
+    const uint64_t sig =
+        use_nlf ? VertexCandidateIndex::SignatureOf(query.NeighborLabels(u))
+                : 0;
+    index->CollectCandidates(query.label(u), query.degree(u), sig, out);
+    if (use_nlf) {
+      out->erase(std::remove_if(out->begin(), out->end(),
+                                [&](VertexId v) {
+                                  return !SortedMultisetContains(
+                                      data.NeighborLabels(v),
+                                      query.NeighborLabels(u));
+                                }),
+                 out->end());
+    }
+    return;  // CollectCandidates appends in ascending id order.
+  }
   // Everything VerticesWithLabel yields already carries the label, so the
   // scan checks only degree + neighbor profile.
   const auto with_label = data.VerticesWithLabel(query.label(u));

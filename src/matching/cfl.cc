@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "index/vertex_candidate_index.h"
 #include "matching/workspace.h"
 #include "util/intersect.h"
 #include "util/logging.h"
@@ -35,13 +36,20 @@ VertexId SelectRoot(const Graph& query, const Graph& data) {
   bool has_core = false;
   for (bool b : in_core) has_core |= b;
 
+  const auto* index = data.candidate_index();
   VertexId best = kInvalidVertex;
   double best_score = 0;
   for (VertexId u = 0; u < n; ++u) {
     if (has_core && !in_core[u]) continue;
     uint32_t count = 0;
-    for (VertexId v : data.VerticesWithLabel(query.label(u))) {
-      if (data.degree(v) >= query.degree(u)) ++count;
+    if (index != nullptr) {
+      // O(log bucket) exact LDF count from the degree-sorted index instead
+      // of scanning the whole label bucket per query vertex.
+      count = index->CountWithLabelDegree(query.label(u), query.degree(u));
+    } else {
+      for (VertexId v : data.VerticesWithLabel(query.label(u))) {
+        if (data.degree(v) >= query.degree(u)) ++count;
+      }
     }
     const double score =
         static_cast<double>(count) / static_cast<double>(query.degree(u));
@@ -276,9 +284,32 @@ void CflMatcher::FilterInto(const Graph& query, const Graph& data,
       }
       ++k;
     }
-    for (VertexId v : data.VerticesWithLabel(query.label(u))) {
-      if (cnt[v] == k && PassesDegreeNlf(query, data, u, v, options_.use_nlf)) {
-        set.push_back(v);
+    if (const auto* index = data.candidate_index()) {
+      // Indexed path: the degree slice + signature filter shrink the label
+      // bucket before the cnt/NLF checks; candidates come back in ascending
+      // id order, matching the full-scan path bit for bit (the exact NLF
+      // predicate is re-checked below).
+      std::vector<VertexId>& pre = w.scratch_candidates;
+      pre.clear();
+      const uint64_t sig =
+          options_.use_nlf
+              ? VertexCandidateIndex::SignatureOf(query.NeighborLabels(u))
+              : 0;
+      index->CollectCandidates(query.label(u), query.degree(u), sig, &pre);
+      for (VertexId v : pre) {
+        if (cnt[v] == k &&
+            (!options_.use_nlf ||
+             SortedMultisetContains(data.NeighborLabels(v),
+                                    query.NeighborLabels(u)))) {
+          set.push_back(v);
+        }
+      }
+    } else {
+      for (VertexId v : data.VerticesWithLabel(query.label(u))) {
+        if (cnt[v] == k &&
+            PassesDegreeNlf(query, data, u, v, options_.use_nlf)) {
+          set.push_back(v);
+        }
       }
     }
     if (set.empty()) return;

@@ -33,6 +33,7 @@ size_t MatchWorkspace::MemoryBytes() const {
   bytes += order_pos.capacity() * sizeof(uint32_t);
   bytes += vertex_counts.capacity() * sizeof(uint32_t);
   bytes += index_of.capacity() * sizeof(uint32_t);
+  bytes += scratch_candidates.capacity() * sizeof(VertexId);
   return bytes;
 }
 

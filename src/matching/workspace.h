@@ -149,6 +149,9 @@ class MatchWorkspace {
   std::vector<uint32_t> order_pos;
   std::vector<uint32_t> vertex_counts;
   std::vector<uint32_t> index_of;
+  // Pre-filtered label-bucket slice from the vertex candidate index (CFL's
+  // top-down pass on indexed data graphs); valid within one query vertex.
+  std::vector<VertexId> scratch_candidates;
 
  private:
   std::unique_ptr<FilterData> filter_data_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "query/query_engine.h"
+#include "util/defaults.h"
 
 namespace sgq {
 
@@ -39,6 +40,12 @@ struct EngineConfig {
   // query` — not by the engines themselves; it lives here so every front
   // end shares one knob (`--cache-mb` / `--cache off`).
   size_t cache_mb = 64;
+  // Data graphs with at least this many vertices get a degree/label-
+  // partitioned candidate index attached at load time
+  // (index/vertex_candidate_index.h). UINT32_MAX disables indexing; like
+  // cache_mb this is consumed by the front ends (service, CLI), not the
+  // engines. Overridable via SGQ_CANDIDATE_INDEX=off|on.
+  uint32_t candidate_index_min_vertices = kDefaultCandidateIndexMinVertices;
 };
 
 // Names: "CT-Index", "Grapes", "GGSX" (IFV);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "cache/canonical.h"
+#include "index/vertex_candidate_index.h"
 
 namespace sgq {
 
@@ -185,6 +186,9 @@ bool QueryService::Start(GraphDatabase db, std::vector<GraphId> global_ids,
   }
   db_ = std::move(db);
   global_ids_ = std::move(global_ids);
+  // Attach candidate indexes to massive graphs before the engines prepare:
+  // every engine's filtering path picks them up through the Graph.
+  AttachCandidateIndexes(&db_, config_.engine.candidate_index_min_vertices);
   cost_model_.Build(db_);
   const uint32_t num_workers = std::max(1u, config_.workers);
   const Deadline build_deadline =
@@ -511,8 +515,9 @@ bool QueryService::Reload(GraphDatabase db, std::vector<GraphId> global_ids,
   // re-prepare without holding the service mutex.
   lock.unlock();
   bool ok = true;
-  // Admission is closed (reloading_), so nobody reads the cost model while
-  // it rebuilds against the new database.
+  // Admission is closed (reloading_), so nobody reads the cost model or the
+  // candidate indexes while they rebuild against the new database.
+  AttachCandidateIndexes(&db_, config_.engine.candidate_index_min_vertices);
   cost_model_.Build(db_);
   const Deadline build_deadline =
       Deadline::AfterSeconds(config_.build_timeout_seconds);

@@ -14,6 +14,12 @@ inline constexpr double kDefaultQueryTimeoutSeconds = 600.0;
 // Index-construction limit: Tables VI/VIII mark builds OOT after 24 hours.
 inline constexpr double kDefaultBuildTimeoutSeconds = 86400.0;
 
+// Graphs at or above this vertex count get a candidate index attached at
+// load time (index/vertex_candidate_index.h). Small transactional graphs
+// (AIDS-scale, tens of vertices) scan faster than they index; the threshold
+// targets the single-massive-graph regime where label buckets are huge.
+inline constexpr unsigned kDefaultCandidateIndexMinVertices = 16384;
+
 }  // namespace sgq
 
 #endif  // SGQ_UTIL_DEFAULTS_H_

@@ -1,0 +1,51 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sgq {
+
+std::shared_ptr<const MappedFile> MappedFile::Open(const std::string& path,
+                                                   std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    *error = "cannot open " + path + ": " + std::strerror(errno);
+    return nullptr;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    *error = "cannot stat " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  const uint8_t* data = nullptr;
+  if (size > 0) {
+    // MAP_SHARED read-only: processes mapping the same snapshot share one
+    // copy of the page cache (the sharded deployment maps the file once per
+    // shard process but pays physical memory once).
+    void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (mapped == MAP_FAILED) {
+      *error = "cannot mmap " + path + ": " + std::strerror(errno);
+      ::close(fd);
+      return nullptr;
+    }
+    data = static_cast<const uint8_t*>(mapped);
+  }
+  // The mapping survives the close; the fd is not needed afterwards.
+  ::close(fd);
+  return std::shared_ptr<const MappedFile>(new MappedFile(data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+}  // namespace sgq

@@ -1,0 +1,42 @@
+// Read-only memory-mapped files.
+//
+// MappedFile is the ownership anchor of every zero-copy load path: a
+// snapshot-backed Graph holds a shared_ptr to the mapping and reads its CSR
+// arrays directly from the mapped bytes, so the mapping must outlive every
+// view into it. The mapping is immutable (PROT_READ) and therefore safe to
+// share across any number of reader threads without synchronization.
+#ifndef SGQ_UTIL_MMAP_FILE_H_
+#define SGQ_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace sgq {
+
+class MappedFile {
+ public:
+  // Maps `path` read-only. Returns nullptr and fills *error on failure.
+  // Empty files map to a valid object with size() == 0.
+  static std::shared_ptr<const MappedFile> Open(const std::string& path,
+                                                std::string* error);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_UTIL_MMAP_FILE_H_

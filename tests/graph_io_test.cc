@@ -89,6 +89,58 @@ TEST(GraphIoTest, RejectsMalformedTokens) {
   EXPECT_FALSE(ParseDatabase("x 1 2\n", &db, &error));
 }
 
+TEST(GraphIoTest, RejectsMalformedGraphHeader) {
+  GraphDatabase db;
+  std::string error;
+  // Anything but '#' in the separator slot is a malformed header, not a
+  // silently ignored one.
+  EXPECT_FALSE(ParseDatabase("t 0\nv 0 1\n", &db, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("header"), std::string::npos) << error;
+  // A bare "t" stays accepted (seen in the wild).
+  EXPECT_TRUE(ParseDatabase("t\nv 0 1\n", &db, &error)) << error;
+}
+
+TEST(GraphIoTest, RejectsVertexLineWithExtraTokens) {
+  GraphDatabase db;
+  std::string error;
+  EXPECT_FALSE(ParseDatabase("t # 0\nv 0 1 7\n", &db, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("vertex"), std::string::npos) << error;
+}
+
+TEST(GraphIoTest, RejectsVertexIdAtReservedSentinel) {
+  GraphDatabase db;
+  std::string error;
+  // 4294967295 == kInvalidVertex: the id parses as a u32 but collides with
+  // the sentinel, so it must be rejected with a line number BEFORE reaching
+  // the builder (even though the dense-ids check would also fire here, the
+  // range check guards direct builder indexing).
+  std::string text = "t # 0\n";
+  EXPECT_FALSE(ParseDatabase(text + "v 4294967295 0\n", &db, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(GraphIoTest, RejectsEdgeLineWithTooManyTokens) {
+  GraphDatabase db;
+  std::string error;
+  // 4 tokens (trailing edge label) OK; 5 rejected with a line number.
+  EXPECT_TRUE(
+      ParseDatabase("t # 0\nv 0 1\nv 1 1\ne 0 1 9\n", &db, &error)) << error;
+  EXPECT_FALSE(
+      ParseDatabase("t # 0\nv 0 1\nv 1 1\ne 0 1 9 9\n", &db, &error));
+  EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+}
+
+TEST(GraphIoTest, DuplicateEdgeReportsLineNumber) {
+  GraphDatabase db;
+  std::string error;
+  EXPECT_FALSE(ParseDatabase(
+      "t # 0\nv 0 0\nv 1 0\ne 0 1\ne 1 0\n", &db, &error));
+  EXPECT_NE(error.find("line 5"), std::string::npos) << error;
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
 TEST(GraphIoTest, RoundTrip) {
   GraphDatabase db;
   db.Add(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}}));

@@ -48,7 +48,7 @@ TEST(IoRobustnessTest, AdversarialNearValidInputs) {
       "t # 0\nv 0 99999999999\n",   // label overflow -> reject
       "t # 0\nv -1 0\n",            // negative id -> reject
       "t # 0\nv 0 1\ne 0\n",        // short edge -> reject
-      "t # 0\nv 0 1\nv 1 1\ne 0 1 2 3 4\n",  // extra tokens tolerated
+      "t # 0\nv 0 1\nv 1 1\ne 0 1 2 3 4\n",  // extra tokens -> reject
       "e 0 1\n",                    // edge before header -> reject
       "t # 0\n\x01\x02\n",          // control characters -> reject
   };

@@ -3,6 +3,11 @@
 //
 //   sgq_cli generate --out db.txt --graphs 100 --vertices 50 --degree 4
 //                    --labels 10 [--labels-per-graph 4] [--seed 1]
+//   sgq_cli biggen   --out big.txt --vertices 1048576 --degree 16
+//                    --labels 32 [--label-skew 1.0] [--seed 1]
+//                    [--format text|snapshot]
+//                    (one massive power-law data graph; snapshot format
+//                    writes the binary CSR form directly)
 //   sgq_cli standin  --out db.txt --profile AIDS --count-scale 0.01
 //                    [--size-scale 1.0] [--seed 1]
 //   sgq_cli genq     --db db.txt --out queries.txt --edges 8
@@ -33,6 +38,7 @@
 //
 // Databases and query sets both use the classic text format
 // ("t # id / v id label / e u v").
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,13 +48,16 @@
 
 #include "cache/canonical.h"
 #include "cache/result_cache.h"
+#include "gen/biggraph_gen.h"
 #include "gen/dataset_profiles.h"
 #include "index/ct_index.h"
 #include "index/ggsx_index.h"
 #include "index/grapes_index.h"
 #include "gen/graph_gen.h"
 #include "gen/query_gen.h"
+#include "graph/csr_snapshot.h"
 #include "graph/graph_io.h"
+#include "index/vertex_candidate_index.h"
 #include "query/engine_factory.h"
 #include "query/result_sink.h"
 #include "tool_flags.h"
@@ -71,7 +80,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: sgq_cli "
-      "<generate|standin|genq|stats|query|index|filter|crosscheck> "
+      "<generate|biggen|standin|genq|stats|query|index|filter|crosscheck> "
       "[--flags]\n"
       "run with a command and no flags to see its options in the header\n"
       "of tools/sgq_cli.cc\n");
@@ -120,6 +129,48 @@ int CmdGenerate(const Flags& flags) {
     return 1;
   }
   std::printf("wrote %zu graphs to %s\n", db.size(), out.c_str());
+  return 0;
+}
+
+int CmdBiggen(const Flags& flags) {
+  if (!flags.Validate({"out", "vertices", "degree", "labels", "label-skew",
+                       "seed", "format"})) {
+    return 2;
+  }
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out is required\n");
+    return 2;
+  }
+  const std::string format = flags.Get("format", "text");
+  if (format != "text" && format != "snapshot") {
+    std::fprintf(stderr, "--format must be text or snapshot\n");
+    return 2;
+  }
+  PowerLawParams params;
+  params.num_vertices =
+      static_cast<uint32_t>(flags.GetDouble("vertices", 1 << 20));
+  params.avg_degree = flags.GetDouble("degree", 16.0);
+  params.num_labels = static_cast<uint32_t>(flags.GetDouble("labels", 32));
+  params.label_skew = flags.GetDouble("label-skew", 1.0);
+  params.seed = static_cast<uint64_t>(flags.GetDouble("seed", 1));
+
+  GraphDatabase db;
+  db.Add(GeneratePowerLawGraph(params));
+  const Graph& g = db.graph(0);
+  std::string error;
+  const bool ok = format == "snapshot" ? WriteSnapshot(db, out, &error)
+                                       : SaveDatabase(db, out, &error);
+  if (!ok) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote power-law graph (%u vertices, %llu edges, %u labels, "
+              "max degree %u) to %s as %s\n",
+              g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()),
+              g.NumDistinctLabels(), g.MaxDegree(), out.c_str(),
+              format.c_str());
   return 0;
 }
 
@@ -222,7 +273,8 @@ class FirstAnswerSink : public ResultSink {
 int CmdQuery(const Flags& flags) {
   if (!flags.Validate({"db", "queries", "engine", "time-limit", "build-limit",
                        "threads", "chunk", "intra-threads", "steal-chunk",
-                       "format", "cache-mb", "stream"})) {
+                       "format", "cache-mb", "stream", "candidate-index",
+                       "candidate-index-min"})) {
     return 2;
   }
   const std::string format = flags.Get("format", "text");
@@ -252,10 +304,17 @@ int CmdQuery(const Flags& flags) {
       static_cast<uint32_t>(flags.GetDouble("steal-chunk", 0));
   config.cache_mb = static_cast<size_t>(
       flags.GetDouble("cache-mb", static_cast<double>(config.cache_mb)));
+  config.candidate_index_min_vertices =
+      flags.Get("candidate-index", "on") == "off"
+          ? UINT32_MAX
+          : static_cast<uint32_t>(
+                flags.GetDouble("candidate-index-min",
+                                config.candidate_index_min_vertices));
   if (!IsKnownEngine(engine_name)) {
     std::fprintf(stderr, "unknown engine: %s\n", engine_name.c_str());
     return 2;
   }
+  AttachCandidateIndexes(&db, config.candidate_index_min_vertices);
   auto engine = MakeEngine(engine_name, config);
   WallTimer prep_timer;
   if (!engine->Prepare(db, Deadline::AfterSeconds(flags.GetDouble(
@@ -515,6 +574,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv, 2);
   if (!flags.ok()) return 2;
   if (command == "generate") return CmdGenerate(flags);
+  if (command == "biggen") return CmdBiggen(flags);
   if (command == "standin") return CmdStandin(flags);
   if (command == "genq") return CmdGenq(flags);
   if (command == "stats") return CmdStats(flags);

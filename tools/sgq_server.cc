@@ -4,7 +4,8 @@
 // a SHUTDOWN request — at which point it stops admitting, drains every
 // in-flight query, and exits cleanly.
 //
-//   sgq_server --db db.txt --socket /tmp/sgq.sock [--engine CFQL]
+//   sgq_server (--db db.txt | --snapshot db.csr) --socket /tmp/sgq.sock
+//              [--engine CFQL]
 //              [--workers 2] [--queue 64] [--default-timeout 600]
 //              [--build-limit 86400] [--max-request-bytes 16777216]
 //              [--threads N] [--chunk K]     (CFQL-parallel family)
@@ -15,7 +16,15 @@
 //              [--sched fifo|sjf] [--sched-threshold 10000]
 //              (cost-aware two-class scheduler; SGQ_SCHED overrides)
 //              [--shard-of i/M]   (serve shard i of an M-way deployment)
+//              [--candidate-index on|off] [--candidate-index-min N]
 //   sgq_server --db db.txt --port 7474 [--host 127.0.0.1] ...
+//
+// --db auto-detects binary CSR snapshots by magic bytes; --snapshot is the
+// strict spelling that refuses anything but a compiled snapshot (use it in
+// deployments where an accidental text load would blow the startup budget).
+// --candidate-index controls the degree/label-partitioned candidate index
+// attached to massive data graphs (default: on, for graphs with at least
+// --candidate-index-min vertices; SGQ_CANDIDATE_INDEX overrides).
 //
 // With --shard-of the server loads the full database file but keeps only
 // the graphs the shard-map hash (src/router/shard_map.h) assigns to shard
@@ -34,9 +43,11 @@
 //   RELOAD [@<path>]                       -> OK reloaded <n> graphs
 //   SHUTDOWN                               -> BYE (then graceful drain)
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
+#include "graph/csr_snapshot.h"
 #include "graph/graph_io.h"
 #include "router/shard_map.h"
 #include "service/server.h"
@@ -54,8 +65,8 @@ void HandleSignal(int) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: sgq_server --db db.txt (--socket PATH | --port N) "
-               "[--host 127.0.0.1]\n"
+               "usage: sgq_server (--db db.txt | --snapshot db.csr) "
+               "(--socket PATH | --port N) [--host 127.0.0.1]\n"
                "                  [--engine CFQL] [--workers 2] [--queue 64]\n"
                "                  [--default-timeout 600] "
                "[--build-limit 86400]\n"
@@ -65,7 +76,9 @@ int Usage() {
                "                  [--cache-mb 64] [--cache on|off] "
                "[--shard-of i/M]\n"
                "                  [--sched fifo|sjf] "
-               "[--sched-threshold 10000]\n");
+               "[--sched-threshold 10000]\n"
+               "                  [--candidate-index on|off] "
+               "[--candidate-index-min N]\n");
   return 2;
 }
 
@@ -79,13 +92,26 @@ int main(int argc, char** argv) {
                        "queue", "default-timeout", "build-limit",
                        "max-request-bytes", "threads", "chunk",
                        "intra-threads", "steal-chunk", "cache-mb",
-                       "cache", "shard-of", "sched", "sched-threshold"})) {
+                       "cache", "shard-of", "sched", "sched-threshold",
+                       "snapshot", "candidate-index",
+                       "candidate-index-min"})) {
     return Usage();
   }
-  const std::string db_path = flags.Get("db", "");
-  if (db_path.empty()) {
-    std::fprintf(stderr, "--db is required\n");
+  const bool snapshot_only = flags.Has("snapshot");
+  if (snapshot_only && flags.Has("db")) {
+    std::fprintf(stderr, "--db and --snapshot are mutually exclusive\n");
     return Usage();
+  }
+  const std::string db_path =
+      snapshot_only ? flags.Get("snapshot", "") : flags.Get("db", "");
+  if (db_path.empty()) {
+    std::fprintf(stderr, "one of --db or --snapshot is required\n");
+    return Usage();
+  }
+  if (snapshot_only && !IsSnapshotFile(db_path)) {
+    std::fprintf(stderr, "--snapshot %s: not a CSR snapshot (compile one "
+                 "with sgq_snapshot)\n", db_path.c_str());
+    return 1;
   }
   if (!flags.Has("socket") && !flags.Has("port")) {
     std::fprintf(stderr, "one of --socket or --port is required\n");
@@ -127,6 +153,17 @@ int main(int argc, char** argv) {
   }
   service_config.sched_heavy_threshold = flags.GetDouble(
       "sched-threshold", service_config.sched_heavy_threshold);
+  const std::string ci_switch = flags.Get("candidate-index", "on");
+  if (ci_switch != "on" && ci_switch != "off") {
+    std::fprintf(stderr, "--candidate-index must be on or off\n");
+    return 2;
+  }
+  service_config.engine.candidate_index_min_vertices =
+      ci_switch == "off"
+          ? UINT32_MAX
+          : static_cast<uint32_t>(flags.GetDouble(
+                "candidate-index-min",
+                service_config.engine.candidate_index_min_vertices));
   if (!IsKnownEngine(service_config.engine_name)) {
     std::fprintf(stderr, "unknown engine: %s\n",
                  service_config.engine_name.c_str());
