@@ -85,13 +85,14 @@ void BM_HotKeyLookup(benchmark::State& state) {
   CacheKey key;
   key.engine = "CFQL";
   key.hash = CanonicalQueryHash(queries[0]);
-  cache.Insert(key, ResultOfSize(static_cast<size_t>(state.range(0))));
+  cache.Insert(key, ResultOfSize(static_cast<size_t>(state.range(0))),
+               cache.mutation_seq(), GraphFeatures{});
   for (auto _ : state) {
     CacheKey probe;
     probe.engine = "CFQL";
     probe.hash = CanonicalQueryHash(queries[0]);
     QueryResult out;
-    benchmark::DoNotOptimize(cache.Lookup(probe, &out));
+    benchmark::DoNotOptimize(cache.Lookup(probe, cache.mutation_seq(), &out));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -106,7 +107,7 @@ void BM_InsertEvictChurn(benchmark::State& state) {
   const QueryResult result = ResultOfSize(16);
   uint64_t id = 0;
   for (auto _ : state) {
-    cache.Insert(KeyFor(id++), result);
+    cache.Insert(KeyFor(id++), result, cache.mutation_seq(), GraphFeatures{});
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Dynamic-database bench: measures the three index-maintenance strategies
+# under a live update stream (bench/bench_dynamic_maintenance.cc), then
+# floods a real server with a mixed query+mutation workload through
+# sgq_client --write-ratio, and tees everything into one
+# BENCH_dynamic.json snapshot (suite "dynamic") with these records:
+#
+#   grapes_rebuild        rebuild the Grapes index after every update batch
+#   grapes_incremental    NotifyAdded/NotifyRemoved per update
+#   cfql_no_maintenance   index-free engine, zero maintenance
+#   served_mutations      live sgq_server under a mixed flood: query AND
+#                         mutation latency percentiles, mutations/sec
+#
+# The first three records isolate the offline maintenance cost the paper
+# argues about; served_mutations shows the end-to-end price of the live
+# mutation subsystem (ADD/REMOVE GRAPH without quiesce): queries keep
+# flowing while ~write_ratio of the work items mutate the database.
+#
+# Usage:
+#   scripts/run_dynamic_bench.sh [build_dir] [out_dir]
+#
+#   build_dir  defaults to ./build
+#   out_dir    defaults to ./bench/results
+#
+# Scale knobs (environment):
+#   SGQ_DYN_GRAPHS       initial database size, both parts  (default 150)
+#   SGQ_DYN_BATCHES      update batches (offline part)      (default 4)
+#   SGQ_DYN_UPDATES      updates per batch                  (default 20)
+#   SGQ_DYN_QUERIES      queries per batch                  (default 10)
+#   SGQ_DYN_FLOOD_QUERIES distinct flood queries            (default 20)
+#   SGQ_DYN_FLOOD_REPEAT  repeats per query                 (default 25)
+#   SGQ_DYN_CONNECTIONS   concurrent clients                (default 8)
+#   SGQ_DYN_WRITE_RATIO   mutation share of the flood       (default 0.2)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+out_dir="${2:-bench/results}"
+graphs="${SGQ_DYN_GRAPHS:-150}"
+flood_queries="${SGQ_DYN_FLOOD_QUERIES:-20}"
+flood_repeat="${SGQ_DYN_FLOOD_REPEAT:-25}"
+connections="${SGQ_DYN_CONNECTIONS:-8}"
+write_ratio="${SGQ_DYN_WRITE_RATIO:-0.2}"
+
+bench="${build_dir}/bench/bench_dynamic_maintenance"
+cli="${build_dir}/tools/sgq_cli"
+server="${build_dir}/tools/sgq_server"
+client="${build_dir}/tools/sgq_client"
+for bin in "${bench}" "${cli}" "${server}" "${client}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not built (cmake --build ${build_dir})" >&2
+    exit 1
+  fi
+done
+
+mkdir -p "${out_dir}"
+out_json="${out_dir}/BENCH_dynamic.json"
+dir="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill "${pid}" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "${dir}"
+}
+trap cleanup EXIT
+
+# --- offline: the three maintenance strategies ------------------------------
+# Overwrites the snapshot; the live record below is merged on top.
+echo "==> maintenance strategies (rebuild vs incremental vs index-free)"
+SGQ_BENCH_JSON="${out_json}" "${bench}"
+
+# --- live: mixed query+mutation flood against a real server -----------------
+echo "==> served mutations (write_ratio ${write_ratio})"
+"${cli}" generate --out "${dir}/db.txt" --graphs "${graphs}" --vertices 16 \
+  --degree 3 --labels 6 --seed 11
+"${cli}" genq --db "${dir}/db.txt" --out "${dir}/q.txt" --edges 4 \
+  --count "${flood_queries}" --seed 4
+
+"${server}" --db "${dir}/db.txt" --socket "${dir}/dyn.sock" --engine CFQL \
+  --workers 2 --queue 64 > /dev/null 2>&1 &
+pids+=($!)
+for _ in $(seq 1 100); do
+  [[ -S "${dir}/dyn.sock" ]] && break
+  sleep 0.1
+done
+[[ -S "${dir}/dyn.sock" ]] || { echo "error: server did not come up" >&2; exit 1; }
+
+"${client}" --socket "${dir}/dyn.sock" --op query --queries "${dir}/q.txt" \
+  --repeat "${flood_repeat}" --connections "${connections}" \
+  --write-ratio "${write_ratio}" --quiet 1 \
+  --bench-json "${out_json}" --bench-name served_mutations
+
+# Zero-quiesce witness: the update section must show mutations applied
+# while queries were in flight.
+"${client}" --socket "${dir}/dyn.sock" --op stats \
+  | grep -o '"update":{[^}]*}' || true
+"${client}" --socket "${dir}/dyn.sock" --op shutdown > /dev/null
+
+echo "snapshot:"
+cat "${out_json}"

@@ -7,6 +7,25 @@
 
 namespace sgq {
 
+namespace {
+
+// One bit per answer id; the multiplier spreads consecutive ids.
+uint64_t BloomBit(GraphId id) {
+  return 1ull << ((id * 0x9E3779B97F4A7C15ull) >> 58);
+}
+
+}  // namespace
+
+GraphFeatures GraphFeaturesOf(const Graph& g) {
+  GraphFeatures f;
+  f.num_vertices = g.NumVertices();
+  f.num_edges = static_cast<uint32_t>(g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    f.label_bits |= 1ull << (g.label(v) % 64);
+  }
+  return f;
+}
+
 bool CacheEnabledByEnv() {
   static const bool enabled = [] {
     const char* value = std::getenv("SGQ_CACHE");
@@ -18,22 +37,28 @@ bool CacheEnabledByEnv() {
 }
 
 std::string CacheStatsSnapshot::ToJson() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "{\"enabled\":%s,\"hits\":%llu,\"misses\":%llu,\"inserts\":%llu,"
-      "\"evictions\":%llu,\"invalidated\":%llu,\"entries\":%llu,"
+      "\"evictions\":%llu,\"invalidated\":%llu,"
+      "\"selective_invalidated\":%llu,\"stale_rejects\":%llu,"
+      "\"entries\":%llu,"
       "\"bytes\":%llu,\"capacity_bytes\":%llu,\"epoch\":%llu,"
+      "\"mutation_seq\":%llu,"
       "\"singleflight_shared\":%llu,\"singleflight_waiting\":%llu}",
       enabled ? "true" : "false", static_cast<unsigned long long>(hits),
       static_cast<unsigned long long>(misses),
       static_cast<unsigned long long>(inserts),
       static_cast<unsigned long long>(evictions),
       static_cast<unsigned long long>(invalidated),
+      static_cast<unsigned long long>(selective_invalidated),
+      static_cast<unsigned long long>(stale_rejects),
       static_cast<unsigned long long>(entries),
       static_cast<unsigned long long>(bytes),
       static_cast<unsigned long long>(capacity_bytes),
       static_cast<unsigned long long>(epoch),
+      static_cast<unsigned long long>(mutation_seq),
       static_cast<unsigned long long>(singleflight_shared),
       static_cast<unsigned long long>(singleflight_waiting));
   return buf;
@@ -59,12 +84,21 @@ ResultCache::ResultCache(CacheConfig config)
   }
 }
 
-bool ResultCache::Lookup(const CacheKey& key, QueryResult* out) {
+bool ResultCache::Lookup(const CacheKey& key, uint64_t pinned_seq,
+                         QueryResult* out) {
   if (!enabled_) return false;
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // An entry computed after the reader's snapshot may reflect mutations
+  // the reader must not observe; one computed at or before it is valid —
+  // the entry survived every selective purge in between, so its answer
+  // set is unchanged across those mutations.
+  if (it->second->seq > pinned_seq) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
@@ -74,19 +108,32 @@ bool ResultCache::Lookup(const CacheKey& key, QueryResult* out) {
   return true;
 }
 
-void ResultCache::Insert(const CacheKey& key, const QueryResult& result) {
+void ResultCache::Insert(const CacheKey& key, const QueryResult& result,
+                         uint64_t pinned_seq,
+                         const GraphFeatures& query_features) {
   if (!enabled_) return;
   const size_t bytes = CachedResultBytes(key, result);
   if (bytes > shard_budget_) return;  // would evict the whole shard for one key
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
+  // Checked under the shard lock so the insert either completes before a
+  // mutation's purge walks this shard (and is seen by it) or observes the
+  // advanced sequence and is refused — a stale result can never slip in
+  // behind a purge.
+  if (mutation_seq_.load(std::memory_order_seq_cst) != pinned_seq) {
+    stale_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     shard.bytes -= it->second->bytes;
     shard.lru.erase(it->second);
     shard.map.erase(it);
   }
-  shard.lru.push_front(Entry{key, result, bytes});
+  uint64_t bloom = 0;
+  for (const GraphId id : result.answers) bloom |= BloomBit(id);
+  shard.lru.push_front(
+      Entry{key, result, bytes, pinned_seq, query_features, bloom});
   shard.map.emplace(key, shard.lru.begin());
   shard.bytes += bytes;
   inserts_.fetch_add(1, std::memory_order_relaxed);
@@ -97,6 +144,50 @@ void ResultCache::Insert(const CacheKey& key, const QueryResult& result) {
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+template <typename Predicate>
+uint64_t ResultCache::PurgeAffected(Predicate affected) {
+  // Sequence first (seq_cst pairs with the load in Insert), purge second;
+  // callers withhold the new sequence from readers until we return.
+  const uint64_t next =
+      mutation_seq_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (affected(*it)) {
+        shard->bytes -= it->bytes;
+        shard->map.erase(it->key);
+        it = shard->lru.erase(it);
+        selective_invalidated_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return next;
+}
+
+uint64_t ResultCache::ApplyAdd(const GraphFeatures& added_graph) {
+  if (!enabled_) {
+    return mutation_seq_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+  return PurgeAffected([&](const Entry& e) {
+    // The new graph can only extend an answer set whose query fits in it.
+    return MayEmbed(e.features, added_graph);
+  });
+}
+
+uint64_t ResultCache::ApplyRemove(GraphId global_id) {
+  if (!enabled_) {
+    return mutation_seq_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+  const uint64_t bit = BloomBit(global_id);
+  return PurgeAffected([&](const Entry& e) {
+    if ((e.answer_bloom & bit) == 0) return false;
+    return std::binary_search(e.result.answers.begin(),
+                              e.result.answers.end(), global_id);
+  });
 }
 
 void ResultCache::PurgeAll(std::atomic<uint64_t>* counter) {
@@ -128,8 +219,12 @@ CacheStatsSnapshot ResultCache::Stats() const {
   snapshot.inserts = inserts_.load(std::memory_order_relaxed);
   snapshot.evictions = evictions_.load(std::memory_order_relaxed);
   snapshot.invalidated = invalidated_.load(std::memory_order_relaxed);
+  snapshot.selective_invalidated =
+      selective_invalidated_.load(std::memory_order_relaxed);
+  snapshot.stale_rejects = stale_rejects_.load(std::memory_order_relaxed);
   snapshot.capacity_bytes = enabled_ ? config_.max_bytes : 0;
   snapshot.epoch = epoch_.load(std::memory_order_acquire);
+  snapshot.mutation_seq = mutation_seq_.load(std::memory_order_acquire);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     snapshot.entries += shard->lru.size();

@@ -22,32 +22,38 @@ std::span<const VertexId> Graph::VerticesWithLabel(Label l) const {
 }
 
 void Graph::RebindViews() {
-  labels_ = owned_.labels;
-  offsets_ = owned_.offsets;
-  neighbors_ = owned_.neighbors;
-  neighbor_labels_ = owned_.neighbor_labels;
-  label_values_ = owned_.label_values;
-  label_offsets_ = owned_.label_offsets;
-  vertices_by_label_ = owned_.vertices_by_label;
+  if (owned_ == nullptr) {
+    labels_ = {};
+    offsets_ = {};
+    neighbors_ = {};
+    neighbor_labels_ = {};
+    label_values_ = {};
+    label_offsets_ = {};
+    vertices_by_label_ = {};
+    return;
+  }
+  labels_ = owned_->labels;
+  offsets_ = owned_->offsets;
+  neighbors_ = owned_->neighbors;
+  neighbor_labels_ = owned_->neighbor_labels;
+  label_values_ = owned_->label_values;
+  label_offsets_ = owned_->label_offsets;
+  vertices_by_label_ = owned_->vertices_by_label;
 }
 
 void Graph::CopyFrom(const Graph& other) {
-  if (other.mapping_ != nullptr) {
-    // View mode: share the mapping, point at the same bytes.
-    owned_ = Owned();
-    mapping_ = other.mapping_;
-    labels_ = other.labels_;
-    offsets_ = other.offsets_;
-    neighbors_ = other.neighbors_;
-    neighbor_labels_ = other.neighbor_labels_;
-    label_values_ = other.label_values_;
-    label_offsets_ = other.label_offsets_;
-    vertices_by_label_ = other.vertices_by_label_;
-  } else {
-    owned_ = other.owned_;
-    mapping_.reset();
-    RebindViews();
-  }
+  // Both modes share immutable storage: owned mode bumps the refcount on
+  // the Owned block, view mode on the file mapping. The spans stay valid
+  // because the underlying bytes are never mutated after publication.
+  owned_ = other.owned_;
+  mapping_ = other.mapping_;
+  labels_ = other.labels_;
+  offsets_ = other.offsets_;
+  neighbors_ = other.neighbors_;
+  neighbor_labels_ = other.neighbor_labels_;
+  label_values_ = other.label_values_;
+  label_offsets_ = other.label_offsets_;
+  vertices_by_label_ = other.vertices_by_label_;
   candidate_index_ = other.candidate_index_;
   label_bound_ = other.label_bound_;
   max_degree_ = other.max_degree_;
@@ -81,19 +87,21 @@ void Graph::MoveFrom(Graph&& other) noexcept {
 }
 
 size_t Graph::MemoryBytes() const {
-  if (mapping_ != nullptr) {
+  if (mapping_ != nullptr || owned_ == nullptr) {
+    // View mode (bytes the mapping makes resident when touched) and the
+    // empty default graph both report the viewed sizes.
     return labels_.size_bytes() + offsets_.size_bytes() +
            neighbors_.size_bytes() + neighbor_labels_.size_bytes() +
            label_values_.size_bytes() + label_offsets_.size_bytes() +
            vertices_by_label_.size_bytes();
   }
-  return owned_.labels.capacity() * sizeof(Label) +
-         owned_.offsets.capacity() * sizeof(uint32_t) +
-         owned_.neighbors.capacity() * sizeof(VertexId) +
-         owned_.neighbor_labels.capacity() * sizeof(Label) +
-         owned_.label_values.capacity() * sizeof(Label) +
-         owned_.label_offsets.capacity() * sizeof(uint32_t) +
-         owned_.vertices_by_label.capacity() * sizeof(VertexId);
+  return owned_->labels.capacity() * sizeof(Label) +
+         owned_->offsets.capacity() * sizeof(uint32_t) +
+         owned_->neighbors.capacity() * sizeof(VertexId) +
+         owned_->neighbor_labels.capacity() * sizeof(Label) +
+         owned_->label_values.capacity() * sizeof(Label) +
+         owned_->label_offsets.capacity() * sizeof(uint32_t) +
+         owned_->vertices_by_label.capacity() * sizeof(VertexId);
 }
 
 void GraphBuilder::Reserve(uint32_t num_vertices, uint64_t num_edges) {
@@ -130,54 +138,58 @@ bool GraphBuilder::AddEdge(VertexId u, VertexId v) {
 }
 
 Graph GraphBuilder::Build() const {
-  Graph g;
+  // Fill a private Owned block, then publish it behind a shared_ptr so the
+  // arrays are immutable-and-shared from the Graph's first breath.
+  Graph::Owned o;
   const uint32_t n = NumVertices();
-  g.owned_.labels = labels_;
-  g.owned_.offsets.assign(n + 1, 0);
+  o.labels = labels_;
+  o.offsets.assign(n + 1, 0);
   for (uint32_t v = 0; v < n; ++v) {
-    g.owned_.offsets[v + 1] =
-        g.owned_.offsets[v] + static_cast<uint32_t>(adj_[v].size());
+    o.offsets[v + 1] = o.offsets[v] + static_cast<uint32_t>(adj_[v].size());
   }
-  g.owned_.neighbors.resize(g.owned_.offsets[n]);
-  g.owned_.neighbor_labels.resize(g.owned_.offsets[n]);
+  o.neighbors.resize(o.offsets[n]);
+  o.neighbor_labels.resize(o.offsets[n]);
   uint32_t max_degree = 0;
   for (uint32_t v = 0; v < n; ++v) {
-    auto* out = g.owned_.neighbors.data() + g.owned_.offsets[v];
+    auto* out = o.neighbors.data() + o.offsets[v];
     std::copy(adj_[v].begin(), adj_[v].end(), out);
     std::sort(out, out + adj_[v].size());
-    auto* lab = g.owned_.neighbor_labels.data() + g.owned_.offsets[v];
+    auto* lab = o.neighbor_labels.data() + o.offsets[v];
     for (size_t i = 0; i < adj_[v].size(); ++i) lab[i] = labels_[out[i]];
     std::sort(lab, lab + adj_[v].size());
     max_degree = std::max(max_degree, static_cast<uint32_t>(adj_[v].size()));
   }
-  g.max_degree_ = max_degree;
 
   // Label index over the distinct labels present (labels may be sparse).
-  g.owned_.label_values = labels_;
-  std::sort(g.owned_.label_values.begin(), g.owned_.label_values.end());
-  g.owned_.label_values.erase(
-      std::unique(g.owned_.label_values.begin(), g.owned_.label_values.end()),
-      g.owned_.label_values.end());
-  g.label_bound_ =
-      g.owned_.label_values.empty() ? 0 : g.owned_.label_values.back() + 1;
-  const size_t num_slots = g.owned_.label_values.size();
+  o.label_values = labels_;
+  std::sort(o.label_values.begin(), o.label_values.end());
+  o.label_values.erase(
+      std::unique(o.label_values.begin(), o.label_values.end()),
+      o.label_values.end());
+  const uint32_t label_bound =
+      o.label_values.empty() ? 0 : o.label_values.back() + 1;
+  const size_t num_slots = o.label_values.size();
   auto slot_of = [&](Label l) {
     return static_cast<size_t>(
-        std::lower_bound(g.owned_.label_values.begin(),
-                         g.owned_.label_values.end(), l) -
-        g.owned_.label_values.begin());
+        std::lower_bound(o.label_values.begin(), o.label_values.end(), l) -
+        o.label_values.begin());
   };
-  g.owned_.label_offsets.assign(num_slots + 1, 0);
-  for (Label l : labels_) ++g.owned_.label_offsets[slot_of(l) + 1];
+  o.label_offsets.assign(num_slots + 1, 0);
+  for (Label l : labels_) ++o.label_offsets[slot_of(l) + 1];
   for (size_t s = 0; s < num_slots; ++s) {
-    g.owned_.label_offsets[s + 1] += g.owned_.label_offsets[s];
+    o.label_offsets[s + 1] += o.label_offsets[s];
   }
-  g.owned_.vertices_by_label.resize(n);
-  std::vector<uint32_t> cursor(g.owned_.label_offsets.begin(),
-                               g.owned_.label_offsets.end() - 1);
+  o.vertices_by_label.resize(n);
+  std::vector<uint32_t> cursor(o.label_offsets.begin(),
+                               o.label_offsets.end() - 1);
   for (uint32_t v = 0; v < n; ++v) {
-    g.owned_.vertices_by_label[cursor[slot_of(labels_[v])]++] = v;
+    o.vertices_by_label[cursor[slot_of(labels_[v])]++] = v;
   }
+
+  Graph g;
+  g.max_degree_ = max_degree;
+  g.label_bound_ = label_bound;
+  g.owned_ = std::make_shared<const Graph::Owned>(std::move(o));
   g.RebindViews();
   return g;
 }

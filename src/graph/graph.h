@@ -14,6 +14,13 @@
 // (util/intersect.h) run directly on mapped adjacency arrays without any
 // copy. View-mode graphs keep the mapping alive through a shared_ptr;
 // copying one shares the mapping instead of duplicating the arrays.
+//
+// Owned storage is likewise held behind a shared_ptr<const Owned>: copying
+// an owned-mode Graph shares the immutable CSR arrays instead of deep-
+// copying them, which makes copying a whole GraphDatabase an O(#graphs)
+// pointer-bump operation. This is the foundation of the copy-on-write
+// versioned snapshots in src/update/ — a mutation clones the database
+// cheaply and replaces only the affected Graph objects.
 #ifndef SGQ_GRAPH_GRAPH_H_
 #define SGQ_GRAPH_GRAPH_H_
 
@@ -122,7 +129,8 @@ class Graph {
   // Points the view spans at the owned vectors (owned mode only).
   void RebindViews();
 
-  // Owned storage; all empty in view mode.
+  // Owned storage; null in view mode and for the default-constructed
+  // (empty) graph. Immutable once published, shared by copies.
   struct Owned {
     std::vector<Label> labels;
     std::vector<uint32_t> offsets;
@@ -132,7 +140,7 @@ class Graph {
     std::vector<uint32_t> label_offsets;
     std::vector<VertexId> vertices_by_label;
   };
-  Owned owned_;
+  std::shared_ptr<const Owned> owned_;
 
   // The views every accessor reads. In owned mode they alias owned_; in
   // view mode they point into *mapping_.

@@ -17,6 +17,18 @@ bool GraphDatabase::Remove(GraphId id) {
   return true;
 }
 
+bool GraphDatabase::RemoveOrdered(GraphId id) {
+  if (id >= graphs_.size()) return false;
+  graphs_.erase(graphs_.begin() + static_cast<ptrdiff_t>(id));
+  return true;
+}
+
+GraphDatabase GraphDatabase::Clone() const {
+  GraphDatabase copy;
+  copy.graphs_ = graphs_;  // shares per-graph storage (Graph is COW)
+  return copy;
+}
+
 DatabaseStats GraphDatabase::ComputeStats() const {
   DatabaseStats s;
   s.num_graphs = graphs_.size();

@@ -17,6 +17,27 @@
 
 namespace sgq {
 
+// One incremental database change, at graph granularity. Produced by the
+// versioned-snapshot layer (src/update/db_version.h) when a mutation is
+// published and consumed by QueryEngine::ApplyUpdate so prepared IFV
+// indexes can be maintained incrementally instead of being rebuilt.
+//
+// `local_id` is the dense in-database position the change applies to:
+// for kAdd the position the new graph was appended at, for kRemove the
+// position the graph occupied before the order-preserving erase.
+// `global_id` is the stable wire-protocol id (never reused). For kAdd the
+// delta also carries the added graph itself — Graph copies share storage,
+// so this costs a refcount, and it lets an engine several versions behind
+// replay a whole delta chain without reconstructing intermediate
+// databases.
+struct DbDelta {
+  enum class Kind { kAdd, kRemove };
+  Kind kind = Kind::kAdd;
+  GraphId global_id = 0;
+  GraphId local_id = 0;
+  Graph added;  // kAdd only; default (empty) for kRemove
+};
+
 // Aggregate statistics in the shape of the paper's Table IV.
 struct DatabaseStats {
   size_t num_graphs = 0;
@@ -44,6 +65,19 @@ class GraphDatabase {
   // (so the id of the previously-last graph changes to `id`). Returns false
   // if id is out of range.
   bool Remove(GraphId id);
+
+  // Removes the graph with the given id preserving the order of the
+  // remaining graphs (ids above `id` shift down by one). O(n) pointer
+  // moves — graphs share storage, so no CSR arrays are copied. The
+  // versioned-snapshot layer uses this form because it keeps a sorted
+  // local->global id map sorted. Returns false if id is out of range.
+  bool RemoveOrdered(GraphId id);
+
+  // An O(#graphs) copy sharing every graph's immutable storage: the clone's
+  // Graph objects bump refcounts instead of duplicating CSR arrays. This is
+  // the copy-on-write primitive behind versioned snapshots; the copy
+  // constructor stays deleted so accidental copies remain loud.
+  GraphDatabase Clone() const;
 
   size_t size() const { return graphs_.size(); }
   bool empty() const { return graphs_.empty(); }

@@ -63,6 +63,20 @@ void GraphIndex::OnSwapRemove(GraphId id) {
   identity_ = false;
 }
 
+void GraphIndex::OnOrderedRemove(GraphId id) {
+  SGQ_CHECK(built_);
+  SGQ_CHECK_LT(id, physical_of_logical_.size());
+  const GraphId removed_physical = physical_of_logical_[id];
+  logical_of_physical_[removed_physical] = kInvalidGraph;
+  physical_of_logical_.erase(physical_of_logical_.begin() +
+                             static_cast<ptrdiff_t>(id));
+  // Every surviving graph that sat above `id` shifts down by one.
+  for (GraphId& l : logical_of_physical_) {
+    if (l != kInvalidGraph && l > id) --l;
+  }
+  identity_ = false;
+}
+
 bool GraphIndex::SaveToFile(const std::string& path,
                             std::string* error) const {
   std::ofstream out(path, std::ios::binary);

@@ -55,6 +55,12 @@ class GraphIndex {
   // query time.
   void OnSwapRemove(GraphId id);
 
+  // Mirrors GraphDatabase::RemoveOrdered(id): the graph at `id` is dropped
+  // and every logical id above it shifts down by one. O(#graphs) id-map
+  // fixup; postings are untouched (they keep physical ids) and stale
+  // entries are filtered at query time, exactly as for OnSwapRemove.
+  void OnOrderedRemove(GraphId id);
+
   // Number of logical (live) graphs the index currently covers.
   size_t NumLogicalGraphs() const { return physical_of_logical_.size(); }
 

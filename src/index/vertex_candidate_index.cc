@@ -145,12 +145,23 @@ size_t VertexCandidateIndex::MemoryBytes() const {
          signatures_.capacity() * sizeof(uint64_t);
 }
 
-size_t AttachCandidateIndexes(GraphDatabase* db, uint32_t min_vertices) {
+namespace {
+
+// Resolves the SGQ_CANDIDATE_INDEX override against the configured
+// threshold; UINT32_MAX means "attach nothing".
+uint32_t ResolvedMinVertices(uint32_t min_vertices) {
   const char* env = std::getenv("SGQ_CANDIDATE_INDEX");
   if (env != nullptr) {
-    if (std::strcmp(env, "off") == 0) return 0;
-    if (std::strcmp(env, "on") == 0) min_vertices = 0;
+    if (std::strcmp(env, "off") == 0) return UINT32_MAX;
+    if (std::strcmp(env, "on") == 0) return 0;
   }
+  return min_vertices;
+}
+
+}  // namespace
+
+size_t AttachCandidateIndexes(GraphDatabase* db, uint32_t min_vertices) {
+  min_vertices = ResolvedMinVertices(min_vertices);
   if (min_vertices == UINT32_MAX) return 0;
   size_t indexed = 0;
   for (GraphId id = 0; id < db->size(); ++id) {
@@ -160,6 +171,15 @@ size_t AttachCandidateIndexes(GraphDatabase* db, uint32_t min_vertices) {
     ++indexed;
   }
   return indexed;
+}
+
+bool MaybeAttachCandidateIndex(Graph* g, uint32_t min_vertices) {
+  min_vertices = ResolvedMinVertices(min_vertices);
+  if (min_vertices == UINT32_MAX || g->NumVertices() < min_vertices) {
+    return false;
+  }
+  g->SetCandidateIndex(VertexCandidateIndex::Build(*g));
+  return true;
 }
 
 }  // namespace sgq

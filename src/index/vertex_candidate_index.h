@@ -92,6 +92,11 @@ class VertexCandidateIndex {
 // CI leg). Returns the number of graphs indexed.
 size_t AttachCandidateIndexes(GraphDatabase* db, uint32_t min_vertices);
 
+// Single-graph variant for live mutations (ADD GRAPH): applies the same
+// size/environment policy to one incoming graph. Returns true if an index
+// was attached.
+bool MaybeAttachCandidateIndex(Graph* g, uint32_t min_vertices);
+
 }  // namespace sgq
 
 #endif  // SGQ_INDEX_VERTEX_CANDIDATE_INDEX_H_

@@ -16,6 +16,31 @@ bool IfvEngine::NotifyAdded(GraphId id, Deadline deadline) {
   return index_->AppendGraph(db_->graph(id), deadline);
 }
 
+bool IfvEngine::ApplyUpdate(const GraphDatabase& db,
+                            std::span<const DbDelta> deltas,
+                            Deadline deadline) {
+  if (!index_->built()) return Prepare(db, deadline);
+  db_ = &db;
+  for (const DbDelta& d : deltas) {
+    if (d.kind == DbDelta::Kind::kAdd) {
+      // AppendGraph assigns logical id == previous index size; the delta
+      // must describe exactly that append or the mapping would skew.
+      if (d.local_id != index_->NumLogicalGraphs()) {
+        return Prepare(db, deadline);
+      }
+      if (!index_->AppendGraph(d.added, deadline)) return false;
+    } else {
+      if (d.local_id >= index_->NumLogicalGraphs()) {
+        return Prepare(db, deadline);
+      }
+      index_->OnOrderedRemove(d.local_id);
+    }
+  }
+  // The replayed chain must land exactly on the target database.
+  if (index_->NumLogicalGraphs() != db.size()) return Prepare(db, deadline);
+  return true;
+}
+
 QueryResult IfvEngine::Query(const Graph& query, Deadline deadline) const {
   return Query(query, deadline, /*sink=*/nullptr);
 }

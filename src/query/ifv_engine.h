@@ -26,6 +26,13 @@ class IfvEngine : public QueryEngine {
 
   bool Prepare(const GraphDatabase& db, Deadline deadline) override;
 
+  // Incremental index maintenance: kAdd appends the new graph's features,
+  // kRemove drops the graph from the id translation layer (postings stay;
+  // stale entries are filtered at query time). Falls back to a full
+  // rebuild when the delta chain does not line up with the indexed state.
+  bool ApplyUpdate(const GraphDatabase& db, std::span<const DbDelta> deltas,
+                   Deadline deadline) override;
+
   QueryResult Query(const Graph& query, Deadline deadline) const override;
 
   // Streaming scan: each candidate that passes verification is emitted

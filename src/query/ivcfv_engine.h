@@ -27,6 +27,10 @@ class IvcfvEngine : public QueryEngine {
 
   bool Prepare(const GraphDatabase& db, Deadline deadline) override;
 
+  // Incremental index maintenance; see IfvEngine::ApplyUpdate.
+  bool ApplyUpdate(const GraphDatabase& db, std::span<const DbDelta> deltas,
+                   Deadline deadline) override;
+
   QueryResult Query(const Graph& query, Deadline deadline) const override;
 
   // Streaming scan over the index candidates; see VcfvEngine.

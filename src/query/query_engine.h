@@ -4,6 +4,7 @@
 #define SGQ_QUERY_QUERY_ENGINE_H_
 
 #include <cstddef>
+#include <span>
 
 #include "graph/graph.h"
 #include "graph/graph_database.h"
@@ -43,6 +44,22 @@ class QueryEngine {
   // degrades to the batch Query().
   virtual QueryResult Query(const Graph& query, Deadline deadline,
                             ResultSink* sink) const;
+
+  // Incrementally re-prepares the engine after database mutations: `db` is
+  // the post-mutation database and `deltas` the ordered chain of changes
+  // that produced it from the database this engine was last prepared (or
+  // updated) against. The base implementation falls back to a full
+  // Prepare(db, deadline) — O(1) for the index-free vcFV engines, which
+  // only re-point at the database — while the IFV/IvcFV engines override
+  // it with true incremental index maintenance (AppendGraph /
+  // OnOrderedRemove per delta). Returns false on deadline expiry, after
+  // which the engine must be fully re-prepared before use.
+  virtual bool ApplyUpdate(const GraphDatabase& db,
+                           std::span<const DbDelta> deltas,
+                           Deadline deadline) {
+    (void)deltas;
+    return Prepare(db, deadline);
+  }
 
   // Footprint of persistent index structures (0 for vcFV algorithms).
   virtual size_t IndexMemoryBytes() const = 0;

@@ -10,6 +10,7 @@
 
 #include "cache/canonical.h"
 #include "graph/graph_io.h"
+#include "router/shard_map.h"
 #include "service/stream_sink.h"
 
 namespace sgq {
@@ -49,6 +50,23 @@ bool ParseReloadedCount(std::string_view line, uint64_t* count) {
     value = value * 10 + static_cast<uint64_t>(c - '0');
   }
   *count = value;
+  return true;
+}
+
+// Pulls "next_global_id":<n> out of a shard's flat stats json (it lives in
+// the nested "update" object; the key is unique within the document).
+bool ParseNextGlobalId(std::string_view json, uint64_t* next) {
+  constexpr std::string_view kKey = "\"next_global_id\":";
+  const size_t pos = json.find(kKey);
+  if (pos == std::string_view::npos) return false;
+  size_t i = pos + kKey.size();
+  if (i >= json.size() || json[i] < '0' || json[i] > '9') return false;
+  uint64_t value = 0;
+  while (i < json.size() && json[i] >= '0' && json[i] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(json[i] - '0');
+    ++i;
+  }
+  *next = value;
   return true;
 }
 
@@ -171,6 +189,9 @@ bool RouterServer::Dispatch(int fd, const Request& request) {
       return DispatchQuery(fd, request);
     case Request::Verb::kStats:
       return DispatchStats(fd);
+    case Request::Verb::kAddGraph:
+    case Request::Verb::kRemoveGraph:
+      return DispatchMutation(fd, request);
     case Request::Verb::kReload:
     case Request::Verb::kCacheClear:
       return DispatchBroadcast(fd, request);
@@ -216,9 +237,16 @@ bool RouterServer::DispatchQuery(int fd, const Request& request) {
 
   // Router-side cache: keyed on the parsed query's canonical form, so it
   // also hits on isomorphic relabelings. Unparseable text skips the cache
-  // and lets the shards produce the authoritative rejection.
+  // and lets the shards produce the authoritative rejection. The mutation
+  // sequence captured here gates both sides: lookups refuse entries newer
+  // than the capture, and the insert below is refused if a mutation's
+  // selective purge ran in between (the merged result could already
+  // reflect it — refusing keeps every surviving entry no staler than the
+  // fleet).
   CacheKey key;
+  GraphFeatures query_features;
   bool cacheable = false;
+  const uint64_t pinned_seq = cache_->mutation_seq();
   if (cache_->enabled()) {
     Graph query;
     std::string parse_error;
@@ -226,9 +254,10 @@ bool RouterServer::DispatchQuery(int fd, const Request& request) {
       key.epoch = cache_->epoch();
       key.engine = "router";
       key.hash = Canonicalize(query).hash;
+      query_features = GraphFeaturesOf(query);
       cacheable = true;
       QueryResult cached;
-      if (cache_->Lookup(key, &cached)) {
+      if (cache_->Lookup(key, pinned_seq, &cached)) {
         // Only complete results from a fully healthy fan-out are stored,
         // so a hit reports shards_ok == shards_total; a LIMIT request is
         // served as the cached full result's prefix.
@@ -250,10 +279,114 @@ bool RouterServer::DispatchQuery(int fd, const Request& request) {
   }
   if (cacheable && request.limit == 0 && !merged.result.stats.timed_out &&
       merged.shards.ok == merged.shards.total) {
-    cache_->Insert(key, merged.result);
+    cache_->Insert(key, merged.result, pinned_seq, query_features);
   }
   return WriteAll(fd, FormatQueryResponse(merged.result, &merged.shards,
                                           request.want_ids));
+}
+
+bool RouterServer::EnsureNextGlobalIdLocked(std::string* error) {
+  if (next_global_id_known_) return true;
+  // Resume the id space from whatever the fleet already absorbed: the
+  // counter must clear every shard's next id, or a forced ADD would be
+  // rejected as non-monotone (and could collide with a live graph).
+  const std::vector<ScatterGather::BroadcastReply> replies =
+      scatter_.Broadcast("STATS");
+  GraphId next = 0;
+  for (size_t i = 0; i < replies.size(); ++i) {
+    if (!replies[i].ok) {
+      *error = "shard " + std::to_string(i) + ": " + replies[i].error;
+      return false;
+    }
+    const ResponseHead head = ParseResponseHead(replies[i].line);
+    uint64_t shard_next = 0;
+    if (head.kind != ResponseHead::Kind::kOk ||
+        !ParseNextGlobalId(head.body, &shard_next)) {
+      *error = "shard " + std::to_string(i) +
+               ": stats reply carries no next_global_id";
+      return false;
+    }
+    next = std::max(next, static_cast<GraphId>(shard_next));
+  }
+  next_global_id_ = next;
+  next_global_id_known_ = true;
+  return true;
+}
+
+bool RouterServer::DispatchMutation(int fd, const Request& request) {
+  // Serialized: the shards reject out-of-order forced ids, so two ADDs
+  // racing to one shard must not reorder between id assignment and send.
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  const uint32_t num_shards =
+      static_cast<uint32_t>(scatter_.config().shards.size());
+
+  if (request.verb == Request::Verb::kRemoveGraph) {
+    const GraphId gid = request.graph_id;
+    const uint32_t owner = ShardOfGraph(gid, num_shards);
+    const ScatterGather::BroadcastReply reply = scatter_.SendToShard(
+        owner, "REMOVE GRAPH " + std::to_string(gid) + "\n");
+    if (!reply.ok) {
+      return WriteAll(fd, FormatOverloadedResponse(
+                              "shard " + std::to_string(owner) + ": " +
+                              reply.error));
+    }
+    GraphId acked = 0;
+    if (!ParseRemovedResponse(reply.line, &acked) || acked != gid) {
+      // The shard's own error line (e.g. "no graph with id N") passes
+      // through as the detail.
+      return WriteAll(fd, FormatOverloadedResponse(
+                              "shard " + std::to_string(owner) + ": " +
+                              reply.line));
+    }
+    // The shard committed: purge every cached merged result whose answer
+    // set contains the removed graph, before acknowledging the client.
+    cache_->ApplyRemove(gid);
+    return WriteAll(fd, FormatRemovedResponse(gid));
+  }
+
+  // ADD GRAPH.
+  std::string text = request.graph_text;
+  std::string error;
+  if (!request.file_ref.empty() &&
+      !ReadFileToString(request.file_ref, &text, &error)) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return WriteAll(fd, FormatBadRequestResponse(error));
+  }
+  if (request.has_graph_id) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return WriteAll(fd, FormatBadRequestResponse(
+                            "the router assigns graph ids; resend the ADD "
+                            "without ID"));
+  }
+  // Parse before assigning an id: a malformed payload must not burn one,
+  // and the features drive the cache purge below.
+  Graph graph;
+  if (!ParseSingleGraph(text, &graph, &error)) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return WriteAll(fd, FormatBadRequestResponse(error));
+  }
+  if (!EnsureNextGlobalIdLocked(&error)) {
+    return WriteAll(fd, FormatOverloadedResponse(error));
+  }
+  const GraphId gid = next_global_id_;
+  const uint32_t owner = ShardOfGraph(gid, num_shards);
+  const ScatterGather::BroadcastReply reply = scatter_.SendToShard(
+      owner, "ADD GRAPH " + std::to_string(text.size()) + " ID " +
+                 std::to_string(gid) + "\n" + text);
+  if (!reply.ok) {
+    return WriteAll(fd, FormatOverloadedResponse(
+                            "shard " + std::to_string(owner) + ": " +
+                            reply.error));
+  }
+  GraphId acked = 0;
+  if (!ParseAddedResponse(reply.line, &acked) || acked != gid) {
+    return WriteAll(fd, FormatOverloadedResponse(
+                            "shard " + std::to_string(owner) + ": " +
+                            reply.line));
+  }
+  next_global_id_ = gid + 1;
+  cache_->ApplyAdd(GraphFeaturesOf(graph));
+  return WriteAll(fd, FormatAddedResponse(gid));
 }
 
 bool RouterServer::DispatchStats(int fd) {
@@ -325,8 +458,14 @@ bool RouterServer::DispatchBroadcast(int fd, const Request& request) {
   }
   if (is_reload) {
     // Every shard swapped databases, so every merged result the router
-    // cached is stale; the epoch bump makes them unreachable in O(1).
+    // cached is stale; the epoch bump makes them unreachable in O(1). The
+    // id counter is forgotten too — the next mutation re-derives it from
+    // the reloaded fleet's STATS.
     cache_->AdvanceEpoch();
+    {
+      std::lock_guard<std::mutex> lock(mutation_mu_);
+      next_global_id_known_ = false;
+    }
     return WriteAll(
         fd, "OK reloaded " + std::to_string(total_graphs) + " graphs\n");
   }

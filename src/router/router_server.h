@@ -6,6 +6,11 @@
 //
 // Verb handling:
 //   QUERY        scatter to all shards with IDS, merge (scatter_gather.h)
+//   ADD GRAPH    assign the next global id, forward to the id's splitmix64
+//                owner shard as `ADD GRAPH <len> ID <gid>`, selectively
+//                invalidate the router cache (feature subsumption)
+//   REMOVE GRAPH forward to the owner shard, selectively invalidate the
+//                router cache (answer membership)
 //   STATS        router counters + every shard's stats json, one object
 //   RELOAD       broadcast; strict — all shards must reload or the router
 //                reports OVERLOADED (a half-reloaded fleet would serve a
@@ -13,6 +18,14 @@
 //   CACHE CLEAR  broadcast; strict for the same reason
 //   SHUTDOWN     BYE to the client, optionally SHUTDOWN to the shards,
 //                then graceful stop
+//
+// The router owns the global id space for ADDs: ids are handed out
+// monotonically from a counter initialized lazily to the max
+// next_global_id any shard reports in STATS (so it resumes correctly
+// against a fleet that already absorbed mutations). Mutations serialize on
+// one router-side mutex — the shard rejects out-of-order forced ids, so
+// two concurrent ADDs racing to the same shard must not reorder on the
+// wire.
 //
 // The serve loop lives in the library so tests can run router + shards
 // in-process over Unix sockets, including under TSan.
@@ -22,6 +35,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -80,9 +94,18 @@ class RouterServer {
   bool DispatchQuery(int fd, const Request& request);
   bool DispatchStats(int fd);
   bool DispatchBroadcast(int fd, const Request& request);
+  bool DispatchMutation(int fd, const Request& request);
+  // Initializes next_global_id_ from the fleet's STATS on the first
+  // mutation (mutation_mu_ held). False + *error if any shard is
+  // unreachable — id assignment must never guess.
+  bool EnsureNextGlobalIdLocked(std::string* error);
 
   const RouterServerConfig config_;
   ScatterGather scatter_;
+  // Serializes ADD/REMOVE and guards the id counter (see file comment).
+  std::mutex mutation_mu_;
+  GraphId next_global_id_ = 0;
+  bool next_global_id_known_ = false;
   // Internally synchronized; keyed on (epoch, "router", canonical query
   // hash), so relabeled-isomorphic queries hit the same merged result.
   std::unique_ptr<ResultCache> cache_;

@@ -507,6 +507,18 @@ std::vector<ScatterGather::BroadcastReply> ScatterGather::Broadcast(
   return replies;
 }
 
+ScatterGather::BroadcastReply ScatterGather::SendToShard(
+    size_t shard, const std::string& request) {
+  const Deadline deadline =
+      Deadline::AfterSeconds(config_.admin_timeout_seconds);
+  BroadcastReply reply;
+  const auto read = [&](ShardConnection* connection, std::string* error) {
+    return connection->ReadLine(deadline, &reply.line, error);
+  };
+  reply.ok = WithConnection(shard, request, read, &reply.error);
+  return reply;
+}
+
 RouterStatsSnapshot ScatterGather::Stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;

@@ -135,6 +135,15 @@ class ScatterGather {
   // collects one response line each, within admin_timeout_seconds.
   std::vector<BroadcastReply> Broadcast(const std::string& command_line);
 
+  // Targeted exchange with one shard (live mutations route to the graph's
+  // splitmix64 owner, not the fleet): sends `request` verbatim — the caller
+  // includes the newline and any length-prefixed payload — and reads one
+  // response line, within admin_timeout_seconds. The one-retry rule for
+  // stale pooled sockets applies; ADD/REMOVE are idempotent in effect
+  // (re-adding under the same forced id fails id-monotonicity, re-removing
+  // reports the graph gone), so a duplicate delivery cannot double-apply.
+  BroadcastReply SendToShard(size_t shard, const std::string& request);
+
   RouterStatsSnapshot Stats() const;
 
   const RouterConfig& config() const { return config_; }

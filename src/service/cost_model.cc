@@ -14,6 +14,30 @@ uint64_t PairKey(Label a, Label b) {
 
 }  // namespace
 
+void CostModel::Accumulate(const Graph& graph, int64_t sign) {
+  total_vertices_ += static_cast<uint64_t>(sign * graph.NumVertices());
+  total_edges_ +=
+      static_cast<uint64_t>(sign * static_cast<int64_t>(graph.NumEdges()));
+  auto bump = [&](std::unordered_map<Label, uint64_t>* map, Label key) {
+    auto [it, inserted] = map->try_emplace(key, 0);
+    it->second += static_cast<uint64_t>(sign);
+    if (it->second == 0) map->erase(it);
+  };
+  auto bump_pair = [&](uint64_t key) {
+    auto [it, inserted] = pair_counts_.try_emplace(key, 0);
+    it->second += static_cast<uint64_t>(sign);
+    if (it->second == 0) pair_counts_.erase(it);
+  };
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    bump(&label_counts_, graph.label(v));
+    // Each undirected edge visited twice; count it once from the smaller
+    // endpoint.
+    for (VertexId w : graph.Neighbors(v)) {
+      if (v < w) bump_pair(PairKey(graph.label(v), graph.label(w)));
+    }
+  }
+}
+
 void CostModel::Build(const GraphDatabase& db) {
   label_counts_.clear();
   pair_counts_.clear();
@@ -21,19 +45,21 @@ void CostModel::Build(const GraphDatabase& db) {
   total_vertices_ = 0;
   total_edges_ = 0;
   for (GraphId g = 0; g < db.size(); ++g) {
-    const Graph& graph = db.graph(g);
-    total_vertices_ += graph.NumVertices();
-    total_edges_ += graph.NumEdges();
-    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
-      ++label_counts_[graph.label(v)];
-      // Each undirected edge visited twice; count it once from the smaller
-      // endpoint.
-      for (VertexId w : graph.Neighbors(v)) {
-        if (v < w) ++pair_counts_[PairKey(graph.label(v), graph.label(w))];
-      }
-    }
+    Accumulate(db.graph(g), +1);
   }
   built_ = true;
+}
+
+void CostModel::AddGraph(const Graph& graph) {
+  if (!built_) return;
+  ++num_graphs_;
+  Accumulate(graph, +1);
+}
+
+void CostModel::RemoveGraph(const Graph& graph) {
+  if (!built_ || num_graphs_ == 0) return;
+  --num_graphs_;
+  Accumulate(graph, -1);
 }
 
 double CostModel::Estimate(const Graph& query, uint64_t limit) const {

@@ -21,6 +21,13 @@ class CostModel {
   // (RELOAD rebuilds on the new database).
   void Build(const GraphDatabase& db);
 
+  // Incremental refresh for live mutations: folds one added/removed graph
+  // into the statistics in O(|V|+|E|) so SJF estimates keep tracking the
+  // database without a full rebuild. RemoveGraph must receive the same
+  // graph a prior Build/AddGraph accounted for.
+  void AddGraph(const Graph& graph);
+  void RemoveGraph(const Graph& graph);
+
   bool built() const { return built_; }
 
   // Estimated enumeration cost in abstract search-node units, summed over
@@ -34,6 +41,8 @@ class CostModel {
   double Estimate(const Graph& query, uint64_t limit = 0) const;
 
  private:
+  void Accumulate(const Graph& graph, int64_t sign);
+
   bool built_ = false;
   uint64_t num_graphs_ = 0;
   uint64_t total_vertices_ = 0;

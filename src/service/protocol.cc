@@ -143,6 +143,64 @@ RequestParser::Status RequestParser::ParseCommandLine(std::string_view line,
     return Status::kReady;
   }
 
+  if (verb == "ADD") {
+    // ADD GRAPH <len>|@<path> [ID <gid>]
+    constexpr const char* kUsage = "usage: ADD GRAPH <len>|@<path> [ID <gid>]";
+    if (tokens.size() < 3 || tokens[1] != "GRAPH") {
+      *error = kUsage;
+      return Status::kError;
+    }
+    pending_.verb = Request::Verb::kAddGraph;
+    if (tokens.size() == 5 && tokens[3] == "ID") {
+      size_t gid = 0;
+      if (!ParseLength(tokens[4], &gid)) {
+        *error = "bad graph id: " + std::string(tokens[4]);
+        return Status::kError;
+      }
+      pending_.graph_id = static_cast<GraphId>(gid);
+      pending_.has_graph_id = true;
+    } else if (tokens.size() != 3) {
+      *error = kUsage;
+      return Status::kError;
+    }
+    if (tokens[2].front() == '@') {
+      if (tokens[2].size() == 1) {
+        *error = "empty @path";
+        return Status::kError;
+      }
+      pending_.file_ref = tokens[2].substr(1);
+      return Status::kReady;
+    }
+    size_t length = 0;
+    if (!ParseLength(tokens[2], &length)) {
+      *error = "bad payload length: " + std::string(tokens[2]);
+      return Status::kError;
+    }
+    if (length > max_payload_bytes_) {
+      *error = "payload of " + std::to_string(length) +
+               " bytes exceeds limit of " +
+               std::to_string(max_payload_bytes_);
+      return Status::kError;
+    }
+    awaiting_payload_ = true;
+    payload_bytes_ = length;
+    return Status::kReady;  // caller loops to collect the payload
+  }
+
+  if (verb == "REMOVE") {
+    // REMOVE GRAPH <gid>
+    size_t gid = 0;
+    if (tokens.size() != 3 || tokens[1] != "GRAPH" ||
+        !ParseLength(tokens[2], &gid)) {
+      *error = "usage: REMOVE GRAPH <gid>";
+      return Status::kError;
+    }
+    pending_.verb = Request::Verb::kRemoveGraph;
+    pending_.graph_id = static_cast<GraphId>(gid);
+    pending_.has_graph_id = true;
+    return Status::kReady;
+  }
+
   if (verb == "QUERY") {
     if (tokens.size() < 2) {
       *error = "usage: QUERY <len>|@<path> [timeout_s] [LIMIT <k>] [IDS]";
@@ -411,6 +469,40 @@ bool ParseShardHealth(std::string_view json, ShardHealth* health) {
   health->ok = static_cast<uint32_t>(ok);
   health->total = static_cast<uint32_t>(total);
   return true;
+}
+
+std::string FormatAddedResponse(GraphId global_id) {
+  return "OK added " + std::to_string(global_id) + "\n";
+}
+
+std::string FormatRemovedResponse(GraphId global_id) {
+  return "OK removed " + std::to_string(global_id) + "\n";
+}
+
+namespace {
+
+// "OK <action> <gid>" -> gid. False for any other line.
+bool ParseMutationResponse(std::string_view line, std::string_view action,
+                           GraphId* global_id) {
+  while (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const std::vector<std::string_view> tokens = SplitTokens(line);
+  size_t gid = 0;
+  if (tokens.size() != 3 || tokens[0] != "OK" || tokens[1] != action ||
+      !ParseLength(tokens[2], &gid)) {
+    return false;
+  }
+  *global_id = static_cast<GraphId>(gid);
+  return true;
+}
+
+}  // namespace
+
+bool ParseAddedResponse(std::string_view line, GraphId* global_id) {
+  return ParseMutationResponse(line, "added", global_id);
+}
+
+bool ParseRemovedResponse(std::string_view line, GraphId* global_id) {
+  return ParseMutationResponse(line, "removed", global_id);
 }
 
 std::string FormatOverloadedResponse(std::string_view detail) {

@@ -6,6 +6,9 @@
 // Requests:
 //   QUERY <len> [timeout_s] [LIMIT <k>] [IDS] [STREAM]\n<len bytes of text>
 //   QUERY @<path> [timeout_s] [LIMIT <k>] [IDS] [STREAM]\n  (server-side file)
+//   ADD GRAPH <len> [ID <gid>]\n<len bytes of text>   (live insert, no quiesce)
+//   ADD GRAPH @<path> [ID <gid>]\n       (same, graph read server-side)
+//   REMOVE GRAPH <gid>\n                 (live delete by global id)
 //   STATS\n
 //   RELOAD [@<path>]\n                   (default: the path served at start)
 //   CACHE CLEAR\n                        (drop every cached query result)
@@ -34,6 +37,8 @@
 //   BAD_REQUEST <message>                (unparseable or oversized request)
 //   OK <json>                            (STATS; includes a "cache" section)
 //   OK reloaded <n> graphs               (RELOAD)
+//   OK added <gid>                       (ADD GRAPH; gid = assigned global id)
+//   OK removed <gid>                     (REMOVE GRAPH)
 //   OK cache cleared                     (CACHE CLEAR)
 //   BYE                                  (SHUTDOWN acknowledged)
 // except that a query which asked for IDS gets one extra line directly
@@ -85,14 +90,27 @@ inline constexpr size_t kMaxCommandLineBytes = 4096;
 inline constexpr size_t kDefaultMaxPayloadBytes = 16 * 1024 * 1024;
 
 struct Request {
-  enum class Verb { kQuery, kStats, kReload, kCacheClear, kShutdown };
+  enum class Verb {
+    kQuery,
+    kStats,
+    kReload,
+    kCacheClear,
+    kShutdown,
+    kAddGraph,     // ADD GRAPH: live insert (graph_text / file_ref payload)
+    kRemoveGraph,  // REMOVE GRAPH <gid>
+  };
   Verb verb = Verb::kStats;
-  std::string graph_text;      // inline payload (QUERY <len>)
-  std::string file_ref;        // QUERY @path / RELOAD @path
+  std::string graph_text;      // inline payload (QUERY/ADD GRAPH <len>)
+  std::string file_ref;        // QUERY/ADD GRAPH @path / RELOAD @path
   double timeout_seconds = 0;  // 0 = server default
   uint64_t limit = 0;          // LIMIT <k>; 0 = unlimited
   bool want_ids = false;       // IDS: append the answer-id line
   bool stream = false;         // STREAM: incremental IDS chunk delivery
+  // REMOVE GRAPH's target, or ADD GRAPH's pre-assigned id (a router
+  // assigns ids centrally so every shard agrees; has_graph_id marks the
+  // ID option present on an ADD).
+  GraphId graph_id = 0;
+  bool has_graph_id = false;
 };
 
 // Incremental request decoder. Feed() raw bytes as they arrive from the
@@ -157,6 +175,10 @@ std::string FormatIdsLine(std::span<const GraphId> ids);
 // stats.num_answers to the truncated count. limit == 0 leaves everything.
 void ApplyAnswerLimit(QueryResult* result, uint64_t limit);
 
+// "OK added <gid>\n" / "OK removed <gid>\n" (ADD/REMOVE GRAPH success).
+std::string FormatAddedResponse(GraphId global_id);
+std::string FormatRemovedResponse(GraphId global_id);
+
 std::string FormatOverloadedResponse(std::string_view detail = {});
 // With a backoff hint: "OVERLOADED retry_after_ms=<n> [detail]". The hint
 // precedes the free-form detail so a client that treats everything after
@@ -195,6 +217,11 @@ bool ParseIdsChunk(std::string_view line, std::vector<GraphId>* ids);
 // Extracts the retry_after_ms=<n> hint from an OVERLOADED response body.
 // False (out untouched) when the hint is absent or malformed.
 bool ParseRetryAfterMs(std::string_view body, uint64_t* retry_after_ms);
+
+// Parses "OK added <gid>" / "OK removed <gid>" response lines (the router's
+// shard-side decode). False for any other line.
+bool ParseAddedResponse(std::string_view line, GraphId* global_id);
+bool ParseRemovedResponse(std::string_view line, GraphId* global_id);
 
 // Reads the flat json emitted by ToJson(QueryStats) back into a QueryStats.
 // Unknown keys are ignored; missing keys stay zero. False on anything that

@@ -29,21 +29,21 @@ void AppendField(std::string* out, const char* key, double value) {
   *out += buf;
 }
 
-// Worker-level sink: rewrites local answer ids to their global ids before
-// the client-facing sink sees them, and enforces the request's LIMIT at
-// the engine (returning false at the limit-th answer stops enumeration at
-// the matcher instead of truncating a full batch afterwards). The
-// stopping answer itself is delivered.
+// Worker-level sink: rewrites local answer ids to their global ids (through
+// the request's pinned version; null = ids are already global, as in cached-
+// result replay) before the client-facing sink sees them, and enforces the
+// request's LIMIT at the engine (returning false at the limit-th answer
+// stops enumeration at the matcher instead of truncating a full batch
+// afterwards). The stopping answer itself is delivered.
 class WorkerSink : public ResultSink {
  public:
-  WorkerSink(ResultSink* inner, const std::vector<GraphId>* global_ids,
-             uint64_t limit)
-      : inner_(inner), global_ids_(global_ids), limit_(limit) {}
+  WorkerSink(ResultSink* inner, const DbVersion* version, uint64_t limit)
+      : inner_(inner), version_(version), limit_(limit) {}
 
   bool OnAnswer(GraphId id) override {
     ++delivered_;
     if (inner_ != nullptr) {
-      const GraphId global = global_ids_->empty() ? id : (*global_ids_)[id];
+      const GraphId global = version_ == nullptr ? id : version_->GlobalOf(id);
       if (!inner_->OnAnswer(global)) return false;
     }
     return limit_ == 0 || delivered_ < limit_;
@@ -55,7 +55,7 @@ class WorkerSink : public ResultSink {
 
  private:
   ResultSink* const inner_;
-  const std::vector<GraphId>* const global_ids_;
+  const DbVersion* const version_;
   const uint64_t limit_;
   uint64_t delivered_ = 0;
 };
@@ -124,6 +124,19 @@ std::string ServiceStatsSnapshot::ToJson() const {
   AppendField(&out, "in_flight", in_flight);
   AppendField(&out, "engine_executions", engine_executions);
   AppendField(&out, "db_graphs", static_cast<uint64_t>(db_graphs));
+  out += ",\"update\":{";
+  AppendField(&out, "mutations_add", mutations_add);
+  AppendField(&out, "mutations_remove", mutations_remove);
+  AppendField(&out, "mutation_failures", mutation_failures);
+  AppendField(&out, "mutations_during_queries", mutations_during_queries);
+  AppendField(&out, "engine_incremental_syncs", engine_incremental_syncs);
+  AppendField(&out, "engine_full_rebuilds", engine_full_rebuilds);
+  AppendField(&out, "engine_sync_failures", engine_sync_failures);
+  AppendField(&out, "cost_model_refreshes", cost_model_refreshes);
+  AppendField(&out, "cost_model_stale", cost_model_stale);
+  AppendField(&out, "db_epoch", db_epoch);
+  AppendField(&out, "next_global_id", next_global_id);
+  out += "}";
   out += ",\"sched\":{\"policy\":\"" + sched_policy + "\"";
   AppendField(&out, "aged", sched_aged);
   out += ",\"cheap\":" + sched_cheap.ToJson();
@@ -184,27 +197,28 @@ bool QueryService::Start(GraphDatabase db, std::vector<GraphId> global_ids,
     *error = "service already started";
     return false;
   }
-  db_ = std::move(db);
-  global_ids_ = std::move(global_ids);
   // Attach candidate indexes to massive graphs before the engines prepare:
   // every engine's filtering path picks them up through the Graph.
-  AttachCandidateIndexes(&db_, config_.engine.candidate_index_min_vertices);
-  cost_model_.Build(db_);
+  AttachCandidateIndexes(&db, config_.engine.candidate_index_min_vertices);
+  cost_model_.Build(db);
+  const std::shared_ptr<const DbVersion> version =
+      versioned_db_.Publish(std::move(db), std::move(global_ids));
   const uint32_t num_workers = std::max(1u, config_.workers);
   const Deadline build_deadline =
       Deadline::AfterSeconds(config_.build_timeout_seconds);
   for (uint32_t i = 0; i < num_workers; ++i) {
     engines_.push_back(MakeEngine(config_.engine_name, config_.engine));
-    if (!engines_.back()->Prepare(db_, build_deadline)) {
+    if (!engines_.back()->Prepare(version->db, build_deadline)) {
       *error = config_.engine_name +
                ": engine preparation failed (OOT/OOM) for worker " +
                std::to_string(i);
       engines_.clear();
       return false;
     }
+    engine_versions_.push_back(version);
   }
   started_ = true;
-  stats_.db_graphs = db_.size();
+  stats_.db_graphs = version->db.size();
   workers_.reserve(num_workers);
   for (uint32_t i = 0; i < num_workers; ++i) {
     workers_.emplace_back(&QueryService::WorkerLoop, this, i);
@@ -227,8 +241,7 @@ QueryService::Response QueryService::Execute(Graph query,
       response.outcome = Outcome::kShuttingDown;
       return response;
     }
-    if (reloading_ || queue_.size() >= std::max<size_t>(
-                                           1, config_.queue_capacity)) {
+    if (queue_.size() >= std::max<size_t>(1, config_.queue_capacity)) {
       ++stats_.rejected_overloaded;
       Response response;
       response.outcome = Outcome::kOverloaded;
@@ -243,8 +256,17 @@ QueryService::Response QueryService::Execute(Graph query,
     request->deadline = Deadline::AfterSeconds(timeout);
     request->limit = options.limit;
     request->sink = options.sink;
+    // Pin the snapshot here, under the same mutex mutations publish under:
+    // the version, the cache mutation sequence, and the cache epoch are
+    // one consistent instant — a mutation either fully precedes this pin
+    // (its cache purge included) or fully follows it.
+    request->version = versioned_db_.Current();
+    request->pinned_seq = cache_->mutation_seq();
+    request->pinned_epoch = cache_->epoch();
     // Cost estimation is O(|E(q)|) against in-memory label statistics,
-    // cheap enough to run at admission under the lock.
+    // cheap enough to run at admission under the lock. Mutations refresh
+    // the statistics incrementally, so the estimate tracks the live
+    // database.
     request->cost = cost_model_.Estimate(request->query, options.limit);
     request->heavy = request->cost >= config_.sched_heavy_threshold;
     request->admitted_at = std::chrono::steady_clock::now();
@@ -305,8 +327,43 @@ uint64_t QueryService::RetryAfterMsLocked() const {
   return static_cast<uint64_t>(std::min(30000.0, std::max(1.0, estimate)));
 }
 
-void QueryService::WorkerLoop(uint32_t worker_id) {
+bool QueryService::SyncWorkerEngine(
+    uint32_t worker_id, const std::shared_ptr<const DbVersion>& target) {
+  std::shared_ptr<const DbVersion>& at = engine_versions_[worker_id];
+  if (at != nullptr && at->epoch == target->epoch) return true;
   QueryEngine* engine = engines_[worker_id].get();
+  const Deadline build_deadline =
+      Deadline::AfterSeconds(config_.build_timeout_seconds);
+  bool ok = false;
+  bool incremental = false;
+  if (at != nullptr && at->epoch < target->epoch) {
+    // Forward move: replay the recorded delta chain through the engine's
+    // incremental maintenance path. The ring refuses ranges it no longer
+    // covers (or that a Publish() cut), in which case we rebuild.
+    std::vector<DbDelta> deltas;
+    if (versioned_db_.DeltasSince(at->epoch, target->epoch, &deltas)) {
+      ok = engine->ApplyUpdate(target->db, deltas, build_deadline);
+      incremental = ok;
+    }
+  }
+  if (!ok) ok = engine->Prepare(target->db, build_deadline);
+  // Dropping the old version pointer here (possibly the last reference to
+  // that snapshot's COW storage) and bumping the sync counters.
+  at = ok ? target : nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (incremental) {
+      ++stats_.engine_incremental_syncs;
+    } else if (ok) {
+      ++stats_.engine_full_rebuilds;
+    } else {
+      ++stats_.engine_sync_failures;
+    }
+  }
+  return ok;
+}
+
+void QueryService::WorkerLoop(uint32_t worker_id) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
@@ -319,6 +376,7 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
     lock.unlock();
 
     Response response;
+    response.db_epoch = request->version->epoch;
     bool executed = false;
     bool shared = false;
     if (request->deadline.Expired()) {
@@ -326,26 +384,15 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
       // free. Report the OOT outcome without touching the database.
       response.outcome = Outcome::kTimeout;
       response.result.stats.timed_out = true;
+    } else if (!SyncWorkerEngine(worker_id, request->version)) {
+      // The engine could not reach the pinned version within the build
+      // budget — the same OOT surface a failed Prepare has always had,
+      // scoped to this worker; the next request retries the sync.
+      response.outcome = Outcome::kTimeout;
+      response.result.stats.timed_out = true;
     } else {
-      // Reading global_ids_ without mu_ is safe for the same reason the
-      // rewrite loop below is: this request counts in running_, so
-      // Reload's drain cannot have swapped the map yet.
-      WorkerSink worker_sink(request->sink, &global_ids_, request->limit);
-      ResultSink* sink = (request->sink != nullptr || request->limit > 0)
-                             ? &worker_sink
-                             : nullptr;
-      response = Serve(engine, request->query, request->deadline, sink,
-                       &executed, &shared);
-    }
-    if (!global_ids_.empty()) {
-      // Rewrite local answer ids to their unsharded (global) ids. Safe
-      // without mu_: this request still counts in running_, so Reload's
-      // drain cannot have swapped the map yet. The cache stack stores
-      // *local* ids (Insert/Publish run inside Serve, before this point),
-      // so hits and singleflight followers are rewritten here too — once
-      // each, on their own copy. The map is strictly increasing, so sorted
-      // answers stay sorted.
-      for (GraphId& id : response.result.answers) id = global_ids_[id];
+      response =
+          Serve(engines_[worker_id].get(), *request, &executed, &shared);
     }
     const double latency_ms =
         std::chrono::duration<double, std::milli>(
@@ -379,25 +426,38 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
       stats_.tasks_aborted_total += response.result.stats.tasks_aborted;
     }
     if (shared) ++singleflight_shared_;
-    if (queue_.empty() && running_ == 0) drain_cv_.notify_all();
     lock.unlock();
+    // The request's version pin is released with the request below; a
+    // superseded snapshot's storage is freed as the last pin drops.
     // Counters are updated before the promise resolves, so a client that
     // sees its response and then asks for STATS observes itself counted.
     request->promise.set_value(std::move(response));
+    request.reset();
     lock.lock();
   }
 }
 
 QueryService::Response QueryService::Serve(QueryEngine* engine,
-                                           const Graph& query,
-                                           Deadline deadline,
-                                           ResultSink* sink, bool* executed,
-                                           bool* shared) {
+                                           const PendingRequest& req,
+                                           bool* executed, bool* shared) {
   Response response;
+  const DbVersion& version = *req.version;
+  response.db_epoch = version.epoch;
+  // Engine executions emit local ids: translate for the streaming sink as
+  // answers are confirmed, and rewrite the batched answer vector right
+  // after the scan — so everything downstream of this function (the cache,
+  // singleflight followers, the client) sees global ids only.
+  WorkerSink worker_sink(req.sink, &version, req.limit);
+  ResultSink* sink =
+      (req.sink != nullptr || req.limit > 0) ? &worker_sink : nullptr;
   const auto execute = [&] {
-    if (config_.pre_execute_hook) config_.pre_execute_hook(query);
-    response.result = sink != nullptr ? engine->Query(query, deadline, sink)
-                                      : engine->Query(query, deadline);
+    if (config_.pre_execute_hook) config_.pre_execute_hook(req.query);
+    response.result = sink != nullptr
+                          ? engine->Query(req.query, req.deadline, sink)
+                          : engine->Query(req.query, req.deadline);
+    for (GraphId& id : response.result.answers) {
+      id = version.GlobalOf(id);
+    }
     *executed = true;
   };
   if (!cache_->enabled()) {
@@ -407,22 +467,27 @@ QueryService::Response QueryService::Serve(QueryEngine* engine,
     return response;
   }
 
-  // The epoch is captured once, before execution: a result computed here
-  // is keyed to the database it ran against, so even if a RELOAD could
-  // slip past the drain it would populate an unreachable old-epoch slot,
-  // never the new database's namespace.
+  // The cache key uses the epoch pinned at admission: a result computed
+  // here is keyed to the database generation it ran against, so a request
+  // racing a RELOAD populates the old generation's (unreachable) namespace,
+  // never the new one's. Within a generation, the pinned mutation sequence
+  // gates both lookup and insert (see cache/result_cache.h).
   CacheKey key;
-  key.epoch = cache_->epoch();
+  key.epoch = req.pinned_epoch;
   key.engine = config_.engine_name;
-  key.hash = Canonicalize(query).hash;
+  key.hash = Canonicalize(req.query).hash;
 
   QueryResult cached;
-  if (cache_->Lookup(key, &cached)) {
+  if (cache_->Lookup(key, req.pinned_seq, &cached)) {
     response.outcome = Outcome::kOk;  // only completed results are stored
     response.result = std::move(cached);
-    // A cached result is the *full* answer set; streaming or limited
-    // requests consume it by prefix replay through their sink.
-    if (sink != nullptr) ReplayThroughSink(sink, &response.result);
+    // A cached result is the *full* answer set in global ids; streaming or
+    // limited requests consume it by prefix replay through a sink that
+    // forwards ids untranslated.
+    if (sink != nullptr) {
+      WorkerSink replay_sink(req.sink, nullptr, req.limit);
+      ReplayThroughSink(&replay_sink, &response.result);
+    }
     return response;
   }
 
@@ -436,19 +501,28 @@ QueryService::Response QueryService::Serve(QueryEngine* engine,
     return response;
   }
 
-  const SingleFlight::Ticket ticket = singleflight_.Join(key);
+  const GraphFeatures query_features = GraphFeaturesOf(req.query);
+  // Singleflight keys on the *version* epoch (monotone across mutations
+  // and reloads), not the cache epoch: two requests may only share one
+  // execution when they pinned the same snapshot. Same version epoch also
+  // implies the same pinned sequence — pins and publishes serialize on the
+  // admission mutex — so follower adoption and cache inserts stay
+  // consistent.
+  CacheKey flight_key = key;
+  flight_key.epoch = version.epoch;
+  const SingleFlight::Ticket ticket = singleflight_.Join(flight_key);
   if (ticket.leader) {
     execute();
     if (!response.result.stats.timed_out) {
-      cache_->Insert(key, response.result);
+      cache_->Insert(key, response.result, req.pinned_seq, query_features);
     }
     // Publish even a TIMEOUT: followers whose own deadline also lapsed
     // adopt it (below), the rest re-execute with their remaining budget.
     singleflight_.Publish(ticket, response.result);
   } else {
     QueryResult leader_result;
-    if (singleflight_.Wait(ticket, deadline, &leader_result)) {
-      if (!leader_result.stats.timed_out || deadline.Expired()) {
+    if (singleflight_.Wait(ticket, req.deadline, &leader_result)) {
+      if (!leader_result.stats.timed_out || req.deadline.Expired()) {
         response.result = std::move(leader_result);
         *shared = true;
       } else {
@@ -456,14 +530,15 @@ QueryService::Response QueryService::Serve(QueryEngine* engine,
         // a shorter-budget request must not clip a longer-budget one.
         execute();
         if (!response.result.stats.timed_out) {
-          cache_->Insert(key, response.result);
+          cache_->Insert(key, response.result, req.pinned_seq,
+                         query_features);
         }
       }
-    } else if (!deadline.Expired()) {
+    } else if (!req.deadline.Expired()) {
       // Leader aborted (shutdown teardown) with our budget left.
       execute();
       if (!response.result.stats.timed_out) {
-        cache_->Insert(key, response.result);
+        cache_->Insert(key, response.result, req.pinned_seq, query_features);
       }
     } else {
       // Our own deadline passed while waiting on the leader.
@@ -473,6 +548,84 @@ QueryService::Response QueryService::Serve(QueryEngine* engine,
   response.outcome = response.result.stats.timed_out ? Outcome::kTimeout
                                                      : Outcome::kOk;
   return response;
+}
+
+QueryService::MutationResult QueryService::AddGraph(
+    Graph graph, const GraphId* forced_global_id) {
+  MutationResult result;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_ || stopping_) {
+    result.error = "service not running";
+    return result;
+  }
+  // The incoming graph gets the same candidate-index policy a loaded graph
+  // would, before any engine or query can see it.
+  MaybeAttachCandidateIndex(&graph,
+                            config_.engine.candidate_index_min_vertices);
+  const GraphFeatures features = GraphFeaturesOf(graph);
+  std::string error;
+  const std::shared_ptr<const DbVersion> version = versioned_db_.ApplyAdd(
+      std::move(graph), forced_global_id, &result.global_id, &error);
+  if (version == nullptr) {
+    ++stats_.mutation_failures;
+    result.error = std::move(error);
+    return result;
+  }
+  // Refresh the SJF statistics from the appended graph (it lives at the
+  // last local slot of the new version).
+  if (cost_model_.built()) {
+    cost_model_.AddGraph(version->db.graph(version->db.size() - 1));
+    ++stats_.cost_model_refreshes;
+  } else {
+    ++stats_.cost_model_stale;
+  }
+  // Selective invalidation, completed before this mutex is released: no
+  // reader can pin the new sequence until the purge has run (see
+  // cache/result_cache.h for why that ordering is load-bearing).
+  cache_->ApplyAdd(features);
+  ++stats_.mutations_add;
+  if (running_ > 0) ++stats_.mutations_during_queries;
+  stats_.db_graphs = version->db.size();
+  result.ok = true;
+  result.db_epoch = version->epoch;
+  return result;
+}
+
+QueryService::MutationResult QueryService::RemoveGraph(GraphId global_id) {
+  MutationResult result;
+  result.global_id = global_id;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_ || stopping_) {
+    result.error = "service not running";
+    return result;
+  }
+  // Copy the doomed graph out (COW — refcount bumps) before the new
+  // version drops it: the cost model needs its labels to subtract.
+  const std::shared_ptr<const DbVersion> current = versioned_db_.Current();
+  GraphId local = 0;
+  Graph removed;
+  if (current->FindLocal(global_id, &local)) removed = current->db.graph(local);
+  std::string error;
+  const std::shared_ptr<const DbVersion> version =
+      versioned_db_.ApplyRemove(global_id, &error);
+  if (version == nullptr) {
+    ++stats_.mutation_failures;
+    result.error = std::move(error);
+    return result;
+  }
+  if (cost_model_.built()) {
+    cost_model_.RemoveGraph(removed);
+    ++stats_.cost_model_refreshes;
+  } else {
+    ++stats_.cost_model_stale;
+  }
+  cache_->ApplyRemove(global_id);
+  ++stats_.mutations_remove;
+  if (running_ > 0) ++stats_.mutations_during_queries;
+  stats_.db_graphs = version->db.size();
+  result.ok = true;
+  result.db_epoch = version->epoch;
+  return result;
 }
 
 bool QueryService::Reload(GraphDatabase db, std::string* error) {
@@ -486,59 +639,25 @@ bool QueryService::Reload(GraphDatabase db, std::vector<GraphId> global_ids,
              " graphs, database has " + std::to_string(db.size());
     return false;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   if (!started_ || stopping_) {
     *error = "service not running";
     return false;
   }
-  if (reloading_) {
-    *error = "reload already in progress";
-    return false;
-  }
-  reloading_ = true;  // admission now rejects with kOverloaded
-  drain_cv_.wait(lock, [&] {
-    return (queue_.empty() && running_ == 0) || stopping_;
-  });
-  if (stopping_) {
-    reloading_ = false;
-    *error = "shutdown during reload";
-    return false;
-  }
-  db_ = std::move(db);
-  // Drained (running_ == 0), so no worker is reading the old map.
-  global_ids_ = std::move(global_ids);
-  // The database is gone: every cached result is stale. Advancing the
-  // epoch makes them unreachable in O(1) (and purges them); queries after
-  // the swap key on the new epoch.
+  AttachCandidateIndexes(&db, config_.engine.candidate_index_min_vertices);
+  cost_model_.Build(db);
+  // Publish the swap as one more version transition. Nothing drains:
+  // in-flight and queued requests finish against their pinned snapshots,
+  // requests admitted after this block see the new database. The publish
+  // cuts the delta history, so every worker's next sync is a full Prepare.
+  const std::shared_ptr<const DbVersion> version =
+      versioned_db_.Publish(std::move(db), std::move(global_ids));
+  // The old database's results are all stale — advancing the cache epoch
+  // makes them unreachable in O(1). Requests that pinned the old epoch
+  // keep hitting (and harmlessly populating) the old namespace.
   cache_->AdvanceEpoch();
-  // Workers are idle and admission is closed, so the engines are ours to
-  // re-prepare without holding the service mutex.
-  lock.unlock();
-  bool ok = true;
-  // Admission is closed (reloading_), so nobody reads the cost model or the
-  // candidate indexes while they rebuild against the new database.
-  AttachCandidateIndexes(&db_, config_.engine.candidate_index_min_vertices);
-  cost_model_.Build(db_);
-  const Deadline build_deadline =
-      Deadline::AfterSeconds(config_.build_timeout_seconds);
-  for (auto& engine : engines_) {
-    if (!engine->Prepare(db_, build_deadline)) {
-      ok = false;
-      break;
-    }
-  }
-  lock.lock();
-  reloading_ = false;
-  if (!ok) {
-    // A half-prepared engine set cannot serve queries; fail closed.
-    stopping_ = true;
-    lock.unlock();
-    work_cv_.notify_all();
-    *error = config_.engine_name + ": engine re-preparation failed (OOT/OOM)";
-    return false;
-  }
   ++stats_.reloads;
-  stats_.db_graphs = db_.size();
+  stats_.db_graphs = version->db.size();
   return true;
 }
 
@@ -550,7 +669,6 @@ void QueryService::Shutdown() {
     workers.swap(workers_);
   }
   work_cv_.notify_all();
-  drain_cv_.notify_all();
   for (std::thread& worker : workers) worker.join();
 }
 
@@ -569,6 +687,12 @@ ServiceStatsSnapshot QueryService::Stats() const {
     snapshot.queue_depth = queue_.size();
     snapshot.in_flight = running_;
     snapshot.cache.singleflight_shared = singleflight_shared_;
+  }
+  const std::shared_ptr<const DbVersion> current = versioned_db_.Current();
+  if (current != nullptr) {
+    snapshot.db_epoch = current->epoch;
+    snapshot.next_global_id = current->next_global_id;
+    snapshot.db_graphs = current->db.size();
   }
   // Cache counters are internally synchronized; read them outside mu_.
   const uint64_t shared = snapshot.cache.singleflight_shared;

@@ -16,10 +16,21 @@
 //   engine->Query(q, deadline) ─▶ kOk, or kTimeout with partial answers
 //
 // Shutdown() stops admission and *drains* everything already admitted —
-// an admitted request is a promise. Reload() quiesces (waits for the queue
-// to empty and workers to go idle), swaps the database, and re-prepares
-// every engine; requests arriving during the swap are rejected with
-// kOverloaded (backpressure, not an error).
+// an admitted request is a promise.
+//
+// Live mutations (src/update/db_version.h): the database lives behind a
+// VersionedDb. Every request pins the current immutable version (and the
+// cache's mutation sequence) at admission, under the same mutex mutations
+// publish under, so a query runs against exactly one consistent snapshot.
+// AddGraph/RemoveGraph apply copy-on-write at graph granularity and
+// publish a bumped epoch — queries already in flight keep their pinned
+// version, new queries see the new one, nobody quiesces. Workers sync
+// their private engine to a request's pinned version lazily: forward
+// moves replay the recorded delta chain through QueryEngine::ApplyUpdate
+// (incremental IFV index maintenance; O(1) re-point for the index-free
+// engines), anything the delta ring no longer covers falls back to a full
+// Prepare. Reload() is the same publish path with a cleared history — it
+// swaps the whole database without draining anything.
 #ifndef SGQ_SERVICE_QUERY_SERVICE_H_
 #define SGQ_SERVICE_QUERY_SERVICE_H_
 
@@ -43,6 +54,7 @@
 #include "query/query_engine.h"
 #include "query/result_sink.h"
 #include "service/cost_model.h"
+#include "update/db_version.h"
 #include "util/defaults.h"
 
 namespace sgq {
@@ -104,6 +116,25 @@ struct ServiceStatsSnapshot {
   uint64_t completed_timeout = 0;
   uint64_t bad_requests = 0;  // protocol-level, counted via CountBadRequest
   uint64_t reloads = 0;
+  // Live-mutation counters (serialized as a nested "update" object).
+  uint64_t mutations_add = 0;
+  uint64_t mutations_remove = 0;
+  uint64_t mutation_failures = 0;  // rejected ADD/REMOVE (bad id, not found)
+  // Mutations applied while at least one query was executing — the
+  // zero-quiesce witness: writes never waited for reads.
+  uint64_t mutations_during_queries = 0;
+  // Worker-engine version syncs: delta-chain replays vs full re-prepares.
+  uint64_t engine_incremental_syncs = 0;
+  uint64_t engine_full_rebuilds = 0;
+  uint64_t engine_sync_failures = 0;
+  // Cost-model staleness: refreshes counts incremental AddGraph/RemoveGraph
+  // applications; stale counts mutations whose statistics refresh was
+  // skipped (0 unless a refresh path is ever bypassed — the SJF estimate
+  // tracks the live database exactly while this stays 0).
+  uint64_t cost_model_refreshes = 0;
+  uint64_t cost_model_stale = 0;
+  uint64_t db_epoch = 0;         // current published version
+  uint64_t next_global_id = 0;   // next id an ADD would assign
   uint64_t answers_total = 0;
   double filtering_ms_total = 0;
   double verification_ms_total = 0;
@@ -173,6 +204,9 @@ class QueryService {
     // On kOverloaded: suggested client backoff, derived from the queue
     // depth and the EWMA completion latency (0 = no estimate available).
     uint64_t retry_after_ms = 0;
+    // Epoch of the database version the query ran against (0 on
+    // rejection). Monotone across a client's sequential requests.
+    uint64_t db_epoch = 0;
   };
 
   struct ExecuteOptions {
@@ -195,9 +229,32 @@ class QueryService {
   // Legacy convenience overload: batch, unlimited.
   Response Execute(Graph query, double timeout_seconds = 0);
 
-  // Swaps in a new database after draining in-flight work. Blocks until
-  // the swap and re-prepare finish. False + *error if re-prepare fails
-  // (the service then refuses further queries).
+  // Outcome of AddGraph/RemoveGraph. `global_id` is the stable id the
+  // graph is (or was) served under; `db_epoch` the version the mutation
+  // published.
+  struct MutationResult {
+    bool ok = false;
+    GraphId global_id = 0;
+    uint64_t db_epoch = 0;
+    std::string error;
+  };
+
+  // Live mutations: publish a new database version without quiescing.
+  // In-flight queries keep their pinned snapshot; affected cached results
+  // are invalidated selectively. AddGraph assigns the next global id
+  // (monotonic, never reused) unless `forced_global_id` pre-assigns one
+  // (the router does this so every shard agrees on ids; it must be >= the
+  // current next id). Both return immediately after the version and cache
+  // purge are published — no waiting on queries.
+  MutationResult AddGraph(Graph graph,
+                          const GraphId* forced_global_id = nullptr);
+  MutationResult RemoveGraph(GraphId global_id);
+
+  // Swaps in a whole new database — the same publish path as a mutation,
+  // with the incremental history cut (workers fully re-prepare lazily) and
+  // the result cache dropped wholesale via an epoch bump. Does not drain:
+  // in-flight queries finish on their pinned versions. False + *error only
+  // for malformed arguments or a stopped service.
   bool Reload(GraphDatabase db, std::string* error);
   bool Reload(GraphDatabase db, std::vector<GraphId> global_ids,
               std::string* error);
@@ -227,20 +284,36 @@ class QueryService {
     double cost = 0;    // CostModel estimate at admission
     bool heavy = false; // cost >= sched_heavy_threshold
     std::chrono::steady_clock::time_point admitted_at;
+    // Snapshot pinned at admission (under mu_): the immutable database
+    // version this request runs against, the cache mutation sequence
+    // current at that instant (gates cache hits to entries no fresher than
+    // the pin — see cache/result_cache.h), and the cache epoch (so a query
+    // racing a RELOAD keys its result to the database it actually ran
+    // against, never polluting the new epoch's namespace).
+    std::shared_ptr<const DbVersion> version;
+    uint64_t pinned_seq = 0;
+    uint64_t pinned_epoch = 0;
     std::promise<Response> promise;
   };
 
   void WorkerLoop(uint32_t worker_id);
+  // Brings worker `worker_id`'s private engine to `target` — no-op when
+  // already there, delta-chain replay via QueryEngine::ApplyUpdate when the
+  // VersionedDb ring still covers the gap, full Prepare otherwise. Called
+  // without mu_ (engines are worker-confined). False on build timeout /
+  // failure; the engine is then left unprepared and the request fails.
+  bool SyncWorkerEngine(uint32_t worker_id,
+                        const std::shared_ptr<const DbVersion>& target);
   // Serves one popped request through the cache / singleflight / engine
-  // stack. Called without holding mu_. Sets *executed when an engine
-  // actually ran and *shared when a singleflight follower adopted the
-  // leader's result. `sink` (may be null) is the worker-level sink —
-  // global-id rewrite and LIMIT enforcement already wrapped in; when
-  // non-null the request bypasses singleflight and never populates the
-  // cache (its result may be a partial prefix), though full-result cache
-  // hits still serve it by prefix replay.
-  Response Serve(QueryEngine* engine, const Graph& query, Deadline deadline,
-                 ResultSink* sink, bool* executed, bool* shared);
+  // stack, against the request's pinned version. Called without holding
+  // mu_. Sets *executed when an engine actually ran and *shared when a
+  // singleflight follower adopted the leader's result. The request's
+  // `sink` (may be null) is wrapped for global-id rewrite and LIMIT
+  // enforcement; when non-null the request bypasses singleflight and never
+  // populates the cache (its result may be a partial prefix), though
+  // full-result cache hits still serve it by prefix replay.
+  Response Serve(QueryEngine* engine, const PendingRequest& req,
+                 bool* executed, bool* shared);
   // Picks the next request under mu_ according to the resolved policy.
   std::unique_ptr<PendingRequest> PopNextLocked();
   // Suggested backoff for an OVERLOADED rejection, under mu_.
@@ -250,24 +323,26 @@ class QueryService {
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // wakes workers: request or shutdown
-  std::condition_variable drain_cv_;  // wakes Reload(): queue empty + idle
-  GraphDatabase db_;
-  // Local-to-global answer-id map (sharded deployments; empty = identity).
-  // Written only while quiesced (Start before workers exist, Reload after
-  // the drain), read by workers while their request counts in running_ —
-  // the drain predicate makes those phases mutually exclusive.
-  std::vector<GraphId> global_ids_;
+  // The database, its global-id map, and the mutation history live behind
+  // versioned immutable snapshots (internally synchronized). Requests pin
+  // Current() at admission under mu_; AddGraph/RemoveGraph/Reload publish
+  // new versions under the same mu_, so a pin and the cache purge that
+  // precedes it can never interleave.
+  VersionedDb versioned_db_;
   std::vector<std::unique_ptr<QueryEngine>> engines_;  // one per worker
+  // The version each worker's engine is currently prepared against
+  // (worker-confined like the engine itself; null = unprepared).
+  std::vector<std::shared_ptr<const DbVersion>> engine_versions_;
   std::vector<std::thread> workers_;
   std::deque<std::unique_ptr<PendingRequest>> queue_;
   bool started_ = false;
   bool stopping_ = false;
-  bool reloading_ = false;
   uint32_t running_ = 0;  // requests currently executing
   ServiceStatsSnapshot stats_;
   // Resolved scheduling policy (config + SGQ_SCHED override), fixed at
-  // construction. The cost model is rebuilt at Start/Reload while workers
-  // are provably idle; Execute reads it under mu_.
+  // construction. The cost model is rebuilt at Start/Reload and refreshed
+  // incrementally by AddGraph/RemoveGraph, all under mu_; Execute reads it
+  // under mu_ too, so the SJF estimate always matches the live database.
   bool sjf_ = false;
   CostModel cost_model_;
   // EWMA of admission-to-completion latency, under mu_; feeds the

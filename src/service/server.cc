@@ -235,6 +235,69 @@ bool SocketServer::Dispatch(int fd, const Request& request) {
       return WriteAll(
           fd, "OK reloaded " + std::to_string(num_graphs) + " graphs\n");
     }
+    case Request::Verb::kAddGraph: {
+      std::string text = request.graph_text;
+      std::string error;
+      if (!request.file_ref.empty() &&
+          !ReadFileToString(request.file_ref, &text, &error)) {
+        service_.CountBadRequest();
+        return WriteAll(fd, FormatBadRequestResponse(error));
+      }
+      Graph graph;
+      if (!ParseSingleGraph(text, &graph, &error)) {
+        service_.CountBadRequest();
+        return WriteAll(fd, FormatBadRequestResponse(error));
+      }
+      if (config_.shard_count > 1) {
+        // A sharded member never assigns ids: the router owns the id space
+        // and must route the ADD to the graph's splitmix64 owner.
+        if (!request.has_graph_id) {
+          service_.CountBadRequest();
+          return WriteAll(fd, FormatBadRequestResponse(
+                                  "sharded server requires ADD GRAPH ... ID "
+                                  "<gid> (router assigns the id)"));
+        }
+        const uint32_t owner =
+            ShardOfGraph(request.graph_id, config_.shard_count);
+        if (owner != config_.shard_index) {
+          service_.CountBadRequest();
+          return WriteAll(
+              fd, FormatBadRequestResponse(
+                      "graph id " + std::to_string(request.graph_id) +
+                      " belongs to shard " + std::to_string(owner) +
+                      ", this is shard " +
+                      std::to_string(config_.shard_index)));
+        }
+      }
+      const GraphId forced = request.graph_id;
+      const QueryService::MutationResult result = service_.AddGraph(
+          std::move(graph), request.has_graph_id ? &forced : nullptr);
+      if (!result.ok) {
+        return WriteAll(fd, FormatOverloadedResponse(result.error));
+      }
+      return WriteAll(fd, FormatAddedResponse(result.global_id));
+    }
+    case Request::Verb::kRemoveGraph: {
+      if (config_.shard_count > 1) {
+        const uint32_t owner =
+            ShardOfGraph(request.graph_id, config_.shard_count);
+        if (owner != config_.shard_index) {
+          service_.CountBadRequest();
+          return WriteAll(
+              fd, FormatBadRequestResponse(
+                      "graph id " + std::to_string(request.graph_id) +
+                      " belongs to shard " + std::to_string(owner) +
+                      ", this is shard " +
+                      std::to_string(config_.shard_index)));
+        }
+      }
+      const QueryService::MutationResult result =
+          service_.RemoveGraph(request.graph_id);
+      if (!result.ok) {
+        return WriteAll(fd, FormatOverloadedResponse(result.error));
+      }
+      return WriteAll(fd, FormatRemovedResponse(result.global_id));
+    }
     case Request::Verb::kCacheClear:
       service_.CacheClear();
       return WriteAll(fd, std::string(kCacheClearedResponse));

@@ -1,0 +1,183 @@
+#include "update/db_version.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace sgq {
+
+bool DbVersion::FindLocal(GraphId global, GraphId* local) const {
+  if (global_ids.empty()) {
+    if (global >= db.size()) return false;
+    *local = global;
+    return true;
+  }
+  const auto it =
+      std::lower_bound(global_ids.begin(), global_ids.end(), global);
+  if (it == global_ids.end() || *it != global) return false;
+  *local = static_cast<GraphId>(it - global_ids.begin());
+  return true;
+}
+
+std::shared_ptr<const DbVersion> VersionedDb::PublishLocked(
+    std::shared_ptr<DbVersion> next) {
+  std::shared_ptr<const DbVersion> published = std::move(next);
+  current_ = published;
+  return published;
+}
+
+std::shared_ptr<const DbVersion> VersionedDb::Publish(
+    GraphDatabase db, std::vector<GraphId> global_ids) {
+  auto next = std::make_shared<DbVersion>();
+  next->db = std::move(db);
+  next->global_ids = std::move(global_ids);
+  SGQ_CHECK(next->global_ids.empty() ||
+            next->global_ids.size() == next->db.size());
+  GraphId next_id = static_cast<GraphId>(next->db.size());
+  if (!next->global_ids.empty()) {
+    next_id = next->global_ids.back() + 1;
+    for (size_t i = 1; i < next->global_ids.size(); ++i) {
+      SGQ_CHECK_LT(next->global_ids[i - 1], next->global_ids[i])
+          << "global id map must be strictly increasing";
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  next->epoch = current_ == nullptr ? 1 : current_->epoch + 1;
+  // Ids stay monotone across RELOAD so cached global ids never alias a
+  // different graph within one server lifetime.
+  if (current_ != nullptr) {
+    next->next_global_id = std::max(next_id, current_->next_global_id);
+  } else {
+    next->next_global_id = next_id;
+  }
+  // A full swap is a history cut: engines behind it must fully re-Prepare.
+  deltas_.clear();
+  return PublishLocked(std::move(next));
+}
+
+std::shared_ptr<const DbVersion> VersionedDb::ApplyAdd(
+    Graph graph, const GraphId* forced_global_id, GraphId* assigned_global_id,
+    std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ == nullptr) {
+    if (error != nullptr) *error = "no database published";
+    return nullptr;
+  }
+  const DbVersion& cur = *current_;
+  GraphId gid = cur.next_global_id;
+  if (forced_global_id != nullptr) {
+    if (*forced_global_id < cur.next_global_id) {
+      if (error != nullptr) {
+        *error = "graph id " + std::to_string(*forced_global_id) +
+                 " not monotonically increasing (next is " +
+                 std::to_string(cur.next_global_id) + ")";
+      }
+      return nullptr;
+    }
+    gid = *forced_global_id;
+  }
+
+  auto next = std::make_shared<DbVersion>();
+  next->epoch = cur.epoch + 1;
+  next->db = cur.db.Clone();
+  const GraphId local = next->db.Add(graph);
+  next->global_ids = cur.global_ids;
+  if (next->global_ids.empty() && gid != local) {
+    // Leaving identity: materialize the map before appending.
+    next->global_ids.resize(cur.db.size());
+    for (size_t i = 0; i < cur.db.size(); ++i) {
+      next->global_ids[i] = static_cast<GraphId>(i);
+    }
+  }
+  if (!next->global_ids.empty() || gid != local) {
+    next->global_ids.push_back(gid);
+  }
+  next->next_global_id = gid + 1;
+
+  DbDelta delta;
+  delta.kind = DbDelta::Kind::kAdd;
+  delta.global_id = gid;
+  delta.local_id = local;
+  delta.added = std::move(graph);
+  deltas_.emplace_back(next->epoch, std::move(delta));
+  if (deltas_.size() > max_deltas_) deltas_.pop_front();
+  ++mutations_applied_;
+  if (assigned_global_id != nullptr) *assigned_global_id = gid;
+  return PublishLocked(std::move(next));
+}
+
+std::shared_ptr<const DbVersion> VersionedDb::ApplyRemove(
+    GraphId global_id, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ == nullptr) {
+    if (error != nullptr) *error = "no database published";
+    return nullptr;
+  }
+  const DbVersion& cur = *current_;
+  GraphId local = 0;
+  if (!cur.FindLocal(global_id, &local)) {
+    if (error != nullptr) {
+      *error = "no graph with id " + std::to_string(global_id);
+    }
+    return nullptr;
+  }
+
+  auto next = std::make_shared<DbVersion>();
+  next->epoch = cur.epoch + 1;
+  next->db = cur.db.Clone();
+  SGQ_CHECK(next->db.RemoveOrdered(local));
+  next->global_ids = cur.global_ids;
+  if (next->global_ids.empty()) {
+    // Identity breaks on the first remove: ids above the hole shift
+    // locally but keep their global value.
+    next->global_ids.resize(cur.db.size());
+    for (size_t i = 0; i < cur.db.size(); ++i) {
+      next->global_ids[i] = static_cast<GraphId>(i);
+    }
+  }
+  next->global_ids.erase(next->global_ids.begin() +
+                         static_cast<ptrdiff_t>(local));
+  next->next_global_id = cur.next_global_id;
+
+  DbDelta delta;
+  delta.kind = DbDelta::Kind::kRemove;
+  delta.global_id = global_id;
+  delta.local_id = local;
+  deltas_.emplace_back(next->epoch, std::move(delta));
+  if (deltas_.size() > max_deltas_) deltas_.pop_front();
+  ++mutations_applied_;
+  return PublishLocked(std::move(next));
+}
+
+std::shared_ptr<const DbVersion> VersionedDb::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+bool VersionedDb::DeltasSince(uint64_t from_epoch, uint64_t to_epoch,
+                              std::vector<DbDelta>* out) const {
+  out->clear();
+  if (from_epoch > to_epoch) return false;
+  if (from_epoch == to_epoch) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (deltas_.empty() || deltas_.front().first > from_epoch + 1 ||
+      deltas_.back().first < to_epoch) {
+    return false;
+  }
+  // Ring epochs are contiguous, so the range is a contiguous slice.
+  const size_t begin = static_cast<size_t>(
+      (from_epoch + 1) - deltas_.front().first);
+  for (size_t i = begin; i < deltas_.size() && deltas_[i].first <= to_epoch;
+       ++i) {
+    out->push_back(deltas_[i].second);
+  }
+  return out->size() == to_epoch - from_epoch;
+}
+
+uint64_t VersionedDb::MutationsApplied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mutations_applied_;
+}
+
+}  // namespace sgq

@@ -1,0 +1,131 @@
+// Versioned database snapshots for live mutations (ROADMAP item 5).
+//
+// The serving layer used to support exactly one write path: quiesce every
+// worker, swap the whole database, drop the whole result cache. This module
+// replaces that with multi-version concurrency control at graph
+// granularity:
+//
+//   * DbVersion is an immutable snapshot — a GraphDatabase plus the
+//     local->global id map and the epoch it was published at. Queries pin
+//     the current version (a shared_ptr) at admission and run against it
+//     to completion, so a query never observes a half-applied mutation and
+//     mutations never wait for queries.
+//   * VersionedDb is the single-writer publish point. ApplyAdd/ApplyRemove
+//     clone the current database (O(#graphs) refcount bumps — Graph
+//     storage is copy-on-write), apply the one-graph change, and publish
+//     the result under a bumped epoch. Publish() is the non-incremental
+//     path (initial load and RELOAD): it swaps in an arbitrary database
+//     and clears the delta history, making RELOAD just another version
+//     transition instead of a special quiesced state.
+//   * A bounded delta ring records the DbDelta chain between recent
+//     epochs. A prepared engine that is N versions behind replays the
+//     chain through QueryEngine::ApplyUpdate (incremental IFV index
+//     maintenance) instead of rebuilding; when the ring no longer covers
+//     its epoch the engine falls back to a full Prepare.
+//
+// Global ids: every graph gets a stable wire-visible id, assigned
+// monotonically and never reused. Locally the database stays dense —
+// RemoveOrdered keeps the local order, so the local->global map stays
+// strictly increasing. That preserves the sorted-answers contract (and the
+// router's k-way merge) with zero changes: translating sorted local
+// answers through a strictly increasing map yields sorted global answers.
+#ifndef SGQ_UPDATE_DB_VERSION_H_
+#define SGQ_UPDATE_DB_VERSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/graph_database.h"
+
+namespace sgq {
+
+// One immutable published database state. `db` and `global_ids` are frozen
+// after publication; readers share the object via shared_ptr.
+struct DbVersion {
+  uint64_t epoch = 0;
+
+  GraphDatabase db;
+
+  // Strictly increasing local->global id map; empty means identity (the
+  // common case right after a load, before any mutation).
+  std::vector<GraphId> global_ids;
+
+  // The next global id a mutation would assign (== max assigned + 1).
+  GraphId next_global_id = 0;
+
+  GraphId GlobalOf(GraphId local) const {
+    return global_ids.empty() ? local : global_ids[local];
+  }
+
+  // Local id for a global id; false if no live graph carries it.
+  // O(log n) — global_ids is sorted.
+  bool FindLocal(GraphId global, GraphId* local) const;
+};
+
+// The publish point. Internally synchronized: any thread may call the
+// mutation entry points, any thread may read Current(). Mutations
+// serialize on a writer mutex; Current() is a mutex-protected pointer
+// read (cheap — the critical section is one shared_ptr copy).
+class VersionedDb {
+ public:
+  // `max_deltas` bounds the incremental-catch-up history. Engines more
+  // than this many versions behind do a full Prepare instead.
+  explicit VersionedDb(size_t max_deltas = 256) : max_deltas_(max_deltas) {}
+
+  VersionedDb(const VersionedDb&) = delete;
+  VersionedDb& operator=(const VersionedDb&) = delete;
+
+  // Full-swap publish (initial load, RELOAD): installs `db` as the new
+  // current version under a bumped epoch and clears the delta history —
+  // the non-incremental boundary every engine re-Prepares across.
+  // `global_ids` must be strictly increasing (or empty for identity).
+  std::shared_ptr<const DbVersion> Publish(GraphDatabase db,
+                                           std::vector<GraphId> global_ids);
+
+  // Appends one graph under a fresh global id (or `*forced_global_id`,
+  // which must be >= the version's next_global_id to keep the id map
+  // sorted — the router pre-assigns ids this way). On success returns the
+  // new version and sets *assigned_global_id; on failure returns nullptr
+  // and sets *error.
+  std::shared_ptr<const DbVersion> ApplyAdd(Graph graph,
+                                            const GraphId* forced_global_id,
+                                            GraphId* assigned_global_id,
+                                            std::string* error);
+
+  // Removes the graph with the given global id (order-preserving at the
+  // local level). Returns the new version, or nullptr with *error set if
+  // no live graph carries the id.
+  std::shared_ptr<const DbVersion> ApplyRemove(GraphId global_id,
+                                               std::string* error);
+
+  // The latest published version; nullptr before the first Publish().
+  std::shared_ptr<const DbVersion> Current() const;
+
+  // The delta chain transforming the state at `from_epoch` into the state
+  // at `to_epoch` (deltas stamped from_epoch+1 .. to_epoch, in order).
+  // False when the ring no longer covers the range or a Publish() cut it.
+  bool DeltasSince(uint64_t from_epoch, uint64_t to_epoch,
+                   std::vector<DbDelta>* out) const;
+
+  // Total mutations applied through ApplyAdd/ApplyRemove (not Publish).
+  uint64_t MutationsApplied() const;
+
+ private:
+  std::shared_ptr<const DbVersion> PublishLocked(
+      std::shared_ptr<DbVersion> next);
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const DbVersion> current_;
+  // (epoch, delta) pairs with contiguous epochs; front is oldest.
+  std::deque<std::pair<uint64_t, DbDelta>> deltas_;
+  size_t max_deltas_;
+  uint64_t mutations_applied_ = 0;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_UPDATE_DB_VERSION_H_

@@ -483,5 +483,86 @@ TEST(ProtocolTest, QueryStatsJsonRoundTrips) {
   EXPECT_FALSE(ParseQueryStatsJson("", &parsed));
 }
 
+TEST(ProtocolTest, ParsesAddGraphWithInlinePayload) {
+  const std::string payload = "t # 0\nv 0 1\nv 1 2\ne 0 1\n";
+  RequestParser parser;
+  parser.Feed("ADD GRAPH " + std::to_string(payload.size()) + "\n" + payload);
+  Request request;
+  std::string error;
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_EQ(request.verb, Request::Verb::kAddGraph);
+  EXPECT_EQ(request.graph_text, payload);
+  EXPECT_FALSE(request.has_graph_id);
+}
+
+TEST(ProtocolTest, ParsesAddGraphWithForcedIdAndFileRef) {
+  const std::string payload = "t # 0\nv 0 1\n";
+  RequestParser parser;
+  parser.Feed("ADD GRAPH " + std::to_string(payload.size()) + " ID 42\n" +
+              payload + "ADD GRAPH @/tmp/g.txt ID 7\n");
+  Request request;
+  std::string error;
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_EQ(request.verb, Request::Verb::kAddGraph);
+  EXPECT_EQ(request.graph_text, payload);
+  ASSERT_TRUE(request.has_graph_id);
+  EXPECT_EQ(request.graph_id, 42u);
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_EQ(request.verb, Request::Verb::kAddGraph);
+  EXPECT_EQ(request.file_ref, "/tmp/g.txt");
+  ASSERT_TRUE(request.has_graph_id);
+  EXPECT_EQ(request.graph_id, 7u);
+}
+
+TEST(ProtocolTest, ParsesRemoveGraph) {
+  RequestParser parser;
+  parser.Feed("REMOVE GRAPH 13\n");
+  Request request;
+  std::string error;
+  ASSERT_EQ(parser.Next(&request, &error), Status::kReady) << error;
+  EXPECT_EQ(request.verb, Request::Verb::kRemoveGraph);
+  EXPECT_EQ(request.graph_id, 13u);
+}
+
+TEST(ProtocolTest, MutationGrammarErrors) {
+  for (const char* line :
+       {"ADD\n", "ADD GRAPH\n", "ADD GRAPH nonsense\n",
+        "ADD GRAPH 4 ID\n", "ADD GRAPH 4 ID x\n", "ADD GRAPH 4 LIMIT 2\n",
+        "REMOVE\n", "REMOVE GRAPH\n", "REMOVE GRAPH x\n",
+        "REMOVE GRAPH 1 2\n"}) {
+    RequestParser parser;
+    parser.Feed(line);
+    Request request;
+    std::string error;
+    EXPECT_EQ(parser.Next(&request, &error), Status::kError) << line;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ProtocolTest, OversizedAddPayloadIsRejectedUpFront) {
+  RequestParser parser(/*max_payload_bytes=*/64);
+  parser.Feed("ADD GRAPH 65\n");
+  Request request;
+  std::string error;
+  EXPECT_EQ(parser.Next(&request, &error), Status::kError);
+}
+
+TEST(ProtocolTest, MutationResponseRoundTrip) {
+  EXPECT_EQ(FormatAddedResponse(42), "OK added 42\n");
+  EXPECT_EQ(FormatRemovedResponse(7), "OK removed 7\n");
+  GraphId gid = 0;
+  ASSERT_TRUE(ParseAddedResponse("OK added 42", &gid));
+  EXPECT_EQ(gid, 42u);
+  ASSERT_TRUE(ParseRemovedResponse("OK removed 7", &gid));
+  EXPECT_EQ(gid, 7u);
+  // Cross-talk and malformed lines are refused.
+  EXPECT_FALSE(ParseAddedResponse("OK removed 7", &gid));
+  EXPECT_FALSE(ParseRemovedResponse("OK added 42", &gid));
+  EXPECT_FALSE(ParseAddedResponse("OK added", &gid));
+  EXPECT_FALSE(ParseAddedResponse("OK added x", &gid));
+  EXPECT_FALSE(ParseAddedResponse("OVERLOADED busy", &gid));
+}
+
 }  // namespace
 }  // namespace sgq
+

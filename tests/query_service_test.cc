@@ -1,13 +1,22 @@
 // QueryService unit tests: admission control and backpressure, per-request
-// deadlines covering queue wait, graceful shutdown draining, reload, and
-// the stats invariants the server's STATS verb reports.
+// deadlines covering queue wait, graceful shutdown draining, reload, live
+// mutations (snapshot isolation, zero quiesce, selective cache
+// invalidation), and the stats invariants the server's STATS verb reports.
+//
+// With SGQ_MUTATION_FUZZ=on, a background MutationFuzzer interleaves
+// random ADD/REMOVE mutations (out-of-universe label, so answer sets are
+// untouched) into several fixtures — the CI `dynamic` job runs the suite
+// this way to shake out mutation/query races under load.
 #include "service/query_service.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -66,6 +75,53 @@ ServiceConfig Config(uint32_t workers, size_t queue_capacity) {
   return config;
 }
 
+// Background mutation noise, enabled by SGQ_MUTATION_FUZZ=on: a thread
+// interleaving live ADD/REMOVE mutations into whatever the test is doing.
+// The fuzz graphs use label 999 — outside every fixture's label universe —
+// so no query's answer set changes, and the destructor removes everything
+// it added, so db_graphs is back to baseline before the test's final
+// assertions run. A no-op (no thread at all) when the variable is unset.
+class MutationFuzzer {
+ public:
+  explicit MutationFuzzer(QueryService* service) : service_(service) {
+    const char* env = std::getenv("SGQ_MUTATION_FUZZ");
+    if (env == nullptr || std::string(env) != "on") return;
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~MutationFuzzer() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Run() {
+    GraphBuilder builder;
+    builder.AddVertex(999);
+    builder.AddVertex(999);
+    builder.AddEdge(0, 1);
+    const Graph noise = builder.Build();
+    std::vector<GraphId> added;
+    uint64_t step = 0;
+    while (!stop_.load()) {
+      if (added.size() < 4 || (step & 1) == 0) {
+        const QueryService::MutationResult r = service_->AddGraph(noise);
+        if (r.ok) added.push_back(r.global_id);
+      } else {
+        service_->RemoveGraph(added.back());
+        added.pop_back();
+      }
+      ++step;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    for (const GraphId gid : added) service_->RemoveGraph(gid);
+  }
+
+  QueryService* service_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
 TEST(QueryServiceTest, ExecutesQueriesLikeADirectEngine) {
   const GraphDatabase reference_db = SmallDb();
   auto engine = MakeEngine("CFQL");
@@ -74,12 +130,15 @@ TEST(QueryServiceTest, ExecutesQueriesLikeADirectEngine) {
   QueryService service(Config(/*workers=*/2, /*queue_capacity=*/16));
   std::string error;
   ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
-  for (GraphId i = 0; i < 5; ++i) {
-    const Graph query = reference_db.graph(i);
-    const QueryService::Response response = service.Execute(query);
-    EXPECT_EQ(response.outcome, Outcome::kOk);
-    EXPECT_EQ(response.result.answers,
-              engine->Query(query, Deadline::Infinite()).answers);
+  {
+    MutationFuzzer fuzzer(&service);
+    for (GraphId i = 0; i < 5; ++i) {
+      const Graph query = reference_db.graph(i);
+      const QueryService::Response response = service.Execute(query);
+      EXPECT_EQ(response.outcome, Outcome::kOk);
+      EXPECT_EQ(response.result.answers,
+                engine->Query(query, Deadline::Infinite()).answers);
+    }
   }
   const ServiceStatsSnapshot stats = service.Stats();
   EXPECT_EQ(stats.received, 5u);
@@ -480,24 +539,27 @@ TEST(QueryServiceTest, ConcurrentMixedWorkloadKeepsInvariants) {
   ASSERT_TRUE(service.Start(SmallDb(), &error)) << error;
 
   std::atomic<uint64_t> ok{0}, timeout{0}, overloaded{0};
-  std::vector<std::thread> clients;
-  for (int c = 0; c < 4; ++c) {
-    clients.emplace_back([&, c] {
-      for (int i = 0; i < 25; ++i) {
-        const double timeout_seconds = (i % 5 == 0) ? 1e-9 : 0;
-        const QueryService::Response response =
-            service.Execute(SmallDb().graph((c * 25 + i) % 30),
-                            timeout_seconds);
-        switch (response.outcome) {
-          case Outcome::kOk: ++ok; break;
-          case Outcome::kTimeout: ++timeout; break;
-          case Outcome::kOverloaded: ++overloaded; break;
-          case Outcome::kShuttingDown: ADD_FAILURE(); break;
+  {
+    MutationFuzzer fuzzer(&service);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < 25; ++i) {
+          const double timeout_seconds = (i % 5 == 0) ? 1e-9 : 0;
+          const QueryService::Response response =
+              service.Execute(SmallDb().graph((c * 25 + i) % 30),
+                              timeout_seconds);
+          switch (response.outcome) {
+            case Outcome::kOk: ++ok; break;
+            case Outcome::kTimeout: ++timeout; break;
+            case Outcome::kOverloaded: ++overloaded; break;
+            case Outcome::kShuttingDown: ADD_FAILURE(); break;
+          }
         }
-      }
-    });
+      });
+    }
+    for (std::thread& client : clients) client.join();
   }
-  for (std::thread& client : clients) client.join();
 
   const ServiceStatsSnapshot stats = service.Stats();
   EXPECT_EQ(stats.received, 100u);
@@ -508,6 +570,242 @@ TEST(QueryServiceTest, ConcurrentMixedWorkloadKeepsInvariants) {
   EXPECT_EQ(stats.admitted, stats.completed_ok + stats.completed_timeout);
   EXPECT_EQ(stats.queue_depth, 0u);
   EXPECT_EQ(stats.in_flight, 0u);
+}
+
+// --- Live mutations ---
+
+// A pentagon on label 7 — absent from SmallDb's universe (labels 0..3),
+// so its live count is exactly the answer set of the matching query.
+Graph Pentagon() { return sgq::testing::MakeCycle({7, 7, 7, 7, 7}); }
+
+TEST(QueryServiceTest, AddGraphServesTheNewGraphImmediately) {
+  QueryService service(Config(2, 8));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(10), &error)) << error;
+  EXPECT_TRUE(service.Execute(Pentagon()).result.answers.empty());
+
+  const QueryService::MutationResult added = service.AddGraph(Pentagon());
+  ASSERT_TRUE(added.ok) << added.error;
+  EXPECT_EQ(added.global_id, 10u);
+  EXPECT_EQ(added.db_epoch, 2u);
+
+  const QueryService::Response after = service.Execute(Pentagon());
+  EXPECT_EQ(after.outcome, Outcome::kOk);
+  EXPECT_EQ(after.result.answers, std::vector<GraphId>{10});
+  EXPECT_EQ(after.db_epoch, 2u);
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.mutations_add, 1u);
+  EXPECT_EQ(stats.db_epoch, 2u);
+  EXPECT_EQ(stats.next_global_id, 11u);
+  EXPECT_EQ(stats.db_graphs, 11u);
+  EXPECT_EQ(stats.cost_model_stale, 0u);
+  EXPECT_EQ(stats.cost_model_refreshes, 1u);
+}
+
+TEST(QueryServiceTest, RemoveGraphKeepsOtherGlobalIdsStable) {
+  // Two pentagons; removing the first must not renumber the second.
+  QueryService service(Config(2, 8));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(10), &error)) << error;
+  const QueryService::MutationResult first = service.AddGraph(Pentagon());
+  const QueryService::MutationResult second = service.AddGraph(Pentagon());
+  ASSERT_TRUE(first.ok && second.ok);
+  EXPECT_EQ(service.Execute(Pentagon()).result.answers,
+            (std::vector<GraphId>{first.global_id, second.global_id}));
+
+  const QueryService::MutationResult removed =
+      service.RemoveGraph(first.global_id);
+  ASSERT_TRUE(removed.ok) << removed.error;
+  EXPECT_EQ(service.Execute(Pentagon()).result.answers,
+            std::vector<GraphId>{second.global_id});
+
+  // The freed id is never reassigned.
+  const QueryService::MutationResult third = service.AddGraph(Pentagon());
+  ASSERT_TRUE(third.ok);
+  EXPECT_GT(third.global_id, second.global_id);
+  EXPECT_EQ(service.Stats().mutations_remove, 1u);
+}
+
+TEST(QueryServiceTest, MutationFailuresAreReportedNotFatal) {
+  QueryService service(Config(1, 4));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(10), &error)) << error;
+  // Unknown global id.
+  EXPECT_FALSE(service.RemoveGraph(99).ok);
+  // Forced id below the next free one (the router pre-assigns upwards).
+  const GraphId low = 3;
+  EXPECT_FALSE(service.AddGraph(Pentagon(), &low).ok);
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.mutation_failures, 2u);
+  EXPECT_EQ(stats.db_epoch, 1u);  // nothing was published
+  // The service still serves queries and accepts valid mutations.
+  EXPECT_EQ(service.Execute(SmallDb().graph(0)).outcome, Outcome::kOk);
+  EXPECT_TRUE(service.AddGraph(Pentagon()).ok);
+}
+
+TEST(QueryServiceTest, MutationsDoNotWaitForInFlightQueries) {
+  // The zero-quiesce witness, made deterministic with the pre-execute
+  // hook: a query is held mid-execution while a REMOVE lands. The write
+  // returns immediately, the reader finishes on its pinned snapshot (the
+  // removed graph still in its answers), and the next query sees the new
+  // version.
+  ServiceConfig config = Config(/*workers=*/1, /*queue_capacity=*/4);
+  SjfHarness harness;
+  harness.Install(&config);
+  QueryService service(config);
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(10), &error)) << error;
+  const QueryService::MutationResult added = service.AddGraph(Pentagon());
+  ASSERT_TRUE(added.ok);
+
+  harness.Hold();
+  QueryService::Response pinned;
+  std::thread reader([&] { pinned = service.Execute(Pentagon()); });
+  while (harness.Seen() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // The reader is executing; the mutation must complete without it.
+  const QueryService::MutationResult removed =
+      service.RemoveGraph(added.global_id);
+  ASSERT_TRUE(removed.ok) << removed.error;
+  EXPECT_GT(removed.db_epoch, added.db_epoch);
+  harness.Release();
+  reader.join();
+
+  // Snapshot isolation: the in-flight reader ran against its admission
+  // version, where the pentagon was still live.
+  EXPECT_EQ(pinned.outcome, Outcome::kOk);
+  EXPECT_EQ(pinned.result.answers, std::vector<GraphId>{added.global_id});
+  EXPECT_EQ(pinned.db_epoch, added.db_epoch);
+  // A fresh query sees the post-remove version.
+  EXPECT_TRUE(service.Execute(Pentagon()).result.answers.empty());
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_GE(stats.mutations_during_queries, 1u);
+}
+
+TEST(QueryServiceTest, EveryAnswerMatchesItsAdmissionVersion) {
+  // Concurrent mutate+query soak (the TSan-label acceptance shape): every
+  // response's answer set must equal the pentagon population of the
+  // version identified by its db_epoch — i.e. the answer a re-run against
+  // the admission-version database would produce.
+  QueryService service(Config(/*workers=*/3, /*queue_capacity=*/32));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(10), &error)) << error;
+
+  std::mutex expected_mu;
+  std::map<uint64_t, std::vector<GraphId>> expected_by_epoch;
+  expected_by_epoch[1] = {};  // the Start() publish: no pentagons yet
+  std::atomic<bool> stop{false};
+
+  std::thread mutator([&] {
+    std::vector<GraphId> live;
+    uint64_t step = 0;
+    while (!stop.load()) {
+      if (live.size() < 3 || (step % 3) != 0) {
+        const QueryService::MutationResult r = service.AddGraph(Pentagon());
+        ASSERT_TRUE(r.ok) << r.error;
+        live.push_back(r.global_id);
+        std::lock_guard<std::mutex> lock(expected_mu);
+        expected_by_epoch[r.db_epoch] = live;
+      } else {
+        const GraphId doomed = live[step % live.size()];
+        live.erase(std::find(live.begin(), live.end(), doomed));
+        const QueryService::MutationResult r = service.RemoveGraph(doomed);
+        ASSERT_TRUE(r.ok) << r.error;
+        std::lock_guard<std::mutex> lock(expected_mu);
+        expected_by_epoch[r.db_epoch] = live;
+      }
+      ++step;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> readers;
+  std::vector<std::vector<QueryService::Response>> observed(3);
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < 40; ++i) {
+        observed[t].push_back(service.Execute(Pentagon()));
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  stop.store(true);
+  mutator.join();
+
+  for (const auto& thread_responses : observed) {
+    for (const QueryService::Response& response : thread_responses) {
+      ASSERT_EQ(response.outcome, Outcome::kOk);
+      std::lock_guard<std::mutex> lock(expected_mu);
+      const auto it = expected_by_epoch.find(response.db_epoch);
+      ASSERT_NE(it, expected_by_epoch.end())
+          << "epoch " << response.db_epoch << " never published";
+      EXPECT_EQ(response.result.answers, it->second)
+          << "answers diverge from the admission version at epoch "
+          << response.db_epoch;
+    }
+  }
+}
+
+TEST(QueryServiceTest, SelectiveInvalidationKeepsUnrelatedCacheHits) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  ServiceConfig config = Config(2, 8);
+  config.engine.cache_mb = 8;
+  QueryService service(config);
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(10), &error)) << error;
+
+  // Warm the cache with a label-0/1 query, then burst writes on the
+  // disjoint label-7 universe: the cached entry must survive every one.
+  const Graph unrelated = PositiveCostQuery();
+  ASSERT_EQ(service.Execute(unrelated).outcome, Outcome::kOk);
+  ASSERT_EQ(service.Execute(unrelated).outcome, Outcome::kOk);
+  const uint64_t hits_before = service.Stats().cache.hits;
+  EXPECT_GE(hits_before, 1u);
+
+  std::vector<GraphId> pentagons;
+  for (int i = 0; i < 4; ++i) {
+    const QueryService::MutationResult r = service.AddGraph(Pentagon());
+    ASSERT_TRUE(r.ok);
+    pentagons.push_back(r.global_id);
+  }
+  for (const GraphId gid : pentagons) {
+    ASSERT_TRUE(service.RemoveGraph(gid).ok);
+  }
+
+  // Still a hit: 8 mutations, zero relevant ones.
+  ASSERT_EQ(service.Execute(unrelated).outcome, Outcome::kOk);
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_GT(stats.cache.hits, hits_before);
+  EXPECT_EQ(stats.cache.selective_invalidated, 0u);
+
+  // A pentagon-matching entry, by contrast, is purged by a pentagon ADD.
+  ASSERT_EQ(service.Execute(Pentagon()).outcome, Outcome::kOk);
+  ASSERT_EQ(service.Execute(Pentagon()).outcome, Outcome::kOk);  // hit
+  const QueryService::MutationResult readd = service.AddGraph(Pentagon());
+  ASSERT_TRUE(readd.ok);
+  EXPECT_GE(service.Stats().cache.selective_invalidated, 1u);
+  // ...and the re-executed query sees the new graph, not the stale entry.
+  EXPECT_EQ(service.Execute(Pentagon()).result.answers,
+            std::vector<GraphId>{readd.global_id});
+}
+
+TEST(QueryServiceTest, StatsJsonCarriesTheUpdateSection) {
+  QueryService service(Config(1, 4));
+  std::string error;
+  ASSERT_TRUE(service.Start(SmallDb(10), &error)) << error;
+  ASSERT_TRUE(service.AddGraph(Pentagon()).ok);
+  const std::string json = service.Stats().ToJson();
+  for (const char* field :
+       {"\"update\":{", "\"mutations_add\":1", "\"mutations_remove\":0",
+        "\"mutation_failures\":0", "\"mutations_during_queries\":",
+        "\"engine_incremental_syncs\":", "\"engine_full_rebuilds\":",
+        "\"engine_sync_failures\":", "\"cost_model_refreshes\":",
+        "\"cost_model_stale\":", "\"db_epoch\":2", "\"next_global_id\":11"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field << " in " << json;
+  }
 }
 
 }  // namespace

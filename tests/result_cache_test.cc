@@ -1,6 +1,7 @@
 // ResultCache unit tests (LRU eviction, byte budget, epoch invalidation,
-// CACHE CLEAR semantics) plus SingleFlight unit tests: one leader per key,
-// follower adoption, follower deadlines, and leader abort.
+// CACHE CLEAR semantics, selective invalidation under live mutations) plus
+// SingleFlight unit tests: one leader per key, follower adoption, follower
+// deadlines, and leader abort.
 #include "cache/result_cache.h"
 
 #include <gtest/gtest.h>
@@ -38,13 +39,42 @@ CacheConfig SingleShard(size_t max_bytes) {
   return config;
 }
 
+// Legacy-shaped helpers for the tests that predate live mutations: pin the
+// current sequence (always valid) and use empty query features (subsumed by
+// every graph, so ApplyAdd purges such entries — the conservative default).
+bool Lookup(ResultCache& cache, const CacheKey& key, QueryResult* out) {
+  return cache.Lookup(key, cache.mutation_seq(), out);
+}
+
+void Insert(ResultCache& cache, const CacheKey& key,
+            const QueryResult& result) {
+  cache.Insert(key, result, cache.mutation_seq(), GraphFeatures{});
+}
+
+GraphFeatures Feat(uint64_t label_bits, uint32_t nv, uint32_t ne) {
+  GraphFeatures f;
+  f.label_bits = label_bits;
+  f.num_vertices = nv;
+  f.num_edges = ne;
+  return f;
+}
+
+// A result with an explicit ascending answer set (REMOVE invalidation
+// binary-searches it).
+QueryResult Answers(std::vector<GraphId> ids) {
+  QueryResult r;
+  r.stats.num_answers = static_cast<uint64_t>(ids.size());
+  r.answers = std::move(ids);
+  return r;
+}
+
 TEST(ResultCacheTest, MissThenHitRoundTrips) {
   if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
   ResultCache cache(SingleShard(1 << 20));
   QueryResult out;
-  EXPECT_FALSE(cache.Lookup(Key(1), &out));
-  cache.Insert(Key(1), Result(7));
-  ASSERT_TRUE(cache.Lookup(Key(1), &out));
+  EXPECT_FALSE(Lookup(cache, Key(1), &out));
+  Insert(cache, Key(1), Result(7));
+  ASSERT_TRUE(Lookup(cache, Key(1), &out));
   EXPECT_EQ(out.answers, std::vector<GraphId>{7});
   const CacheStatsSnapshot stats = cache.Stats();
   EXPECT_EQ(stats.hits, 1u);
@@ -59,9 +89,9 @@ TEST(ResultCacheTest, DisabledCacheNeverHits) {
   config.enabled = false;
   ResultCache cache(config);
   EXPECT_FALSE(cache.enabled());
-  cache.Insert(Key(1), Result(7));
+  Insert(cache, Key(1), Result(7));
   QueryResult out;
-  EXPECT_FALSE(cache.Lookup(Key(1), &out));
+  EXPECT_FALSE(Lookup(cache, Key(1), &out));
   EXPECT_EQ(cache.Stats().entries, 0u);
 }
 
@@ -73,11 +103,11 @@ TEST(ResultCacheTest, ZeroBudgetDisables) {
 TEST(ResultCacheTest, KeyIsExactAcrossEnginesAndEpochs) {
   if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
   ResultCache cache(SingleShard(1 << 20));
-  cache.Insert(Key(1, /*epoch=*/0, "CFQL"), Result(7));
+  Insert(cache, Key(1, /*epoch=*/0, "CFQL"), Result(7));
   QueryResult out;
-  EXPECT_FALSE(cache.Lookup(Key(1, /*epoch=*/0, "VF2"), &out));
-  EXPECT_FALSE(cache.Lookup(Key(1, /*epoch=*/1, "CFQL"), &out));
-  EXPECT_TRUE(cache.Lookup(Key(1, /*epoch=*/0, "CFQL"), &out));
+  EXPECT_FALSE(Lookup(cache, Key(1, /*epoch=*/0, "VF2"), &out));
+  EXPECT_FALSE(Lookup(cache, Key(1, /*epoch=*/1, "CFQL"), &out));
+  EXPECT_TRUE(Lookup(cache, Key(1, /*epoch=*/0, "CFQL"), &out));
 }
 
 TEST(ResultCacheTest, LruEvictsColdestUnderByteBudget) {
@@ -85,16 +115,16 @@ TEST(ResultCacheTest, LruEvictsColdestUnderByteBudget) {
   // Budget sized (empirically via CachedResultBytes) for ~3 entries.
   const size_t entry_bytes = CachedResultBytes(Key(0), Result(0, 63));
   ResultCache cache(SingleShard(3 * entry_bytes + entry_bytes / 2));
-  cache.Insert(Key(1), Result(1, 63));
-  cache.Insert(Key(2), Result(2, 63));
-  cache.Insert(Key(3), Result(3, 63));
+  Insert(cache, Key(1), Result(1, 63));
+  Insert(cache, Key(2), Result(2, 63));
+  Insert(cache, Key(3), Result(3, 63));
   QueryResult out;
-  ASSERT_TRUE(cache.Lookup(Key(1), &out));  // refresh 1: now 2 is coldest
-  cache.Insert(Key(4), Result(4, 63));      // evicts 2
-  EXPECT_FALSE(cache.Lookup(Key(2), &out));
-  EXPECT_TRUE(cache.Lookup(Key(1), &out));
-  EXPECT_TRUE(cache.Lookup(Key(3), &out));
-  EXPECT_TRUE(cache.Lookup(Key(4), &out));
+  ASSERT_TRUE(Lookup(cache, Key(1), &out));  // refresh 1: now 2 is coldest
+  Insert(cache, Key(4), Result(4, 63));      // evicts 2
+  EXPECT_FALSE(Lookup(cache, Key(2), &out));
+  EXPECT_TRUE(Lookup(cache, Key(1), &out));
+  EXPECT_TRUE(Lookup(cache, Key(3), &out));
+  EXPECT_TRUE(Lookup(cache, Key(4), &out));
   EXPECT_EQ(cache.Stats().evictions, 1u);
   EXPECT_LE(cache.Stats().bytes, cache.Stats().capacity_bytes);
 }
@@ -102,19 +132,19 @@ TEST(ResultCacheTest, LruEvictsColdestUnderByteBudget) {
 TEST(ResultCacheTest, OversizedEntryIsNotCached) {
   if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
   ResultCache cache(SingleShard(256));
-  cache.Insert(Key(1), Result(1, /*padding_answers=*/100000));
+  Insert(cache, Key(1), Result(1, /*padding_answers=*/100000));
   QueryResult out;
-  EXPECT_FALSE(cache.Lookup(Key(1), &out));
+  EXPECT_FALSE(Lookup(cache, Key(1), &out));
   EXPECT_EQ(cache.Stats().entries, 0u);
 }
 
 TEST(ResultCacheTest, InsertOverwritesExistingKey) {
   if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
   ResultCache cache(SingleShard(1 << 20));
-  cache.Insert(Key(1), Result(7));
-  cache.Insert(Key(1), Result(9));
+  Insert(cache, Key(1), Result(7));
+  Insert(cache, Key(1), Result(9));
   QueryResult out;
-  ASSERT_TRUE(cache.Lookup(Key(1), &out));
+  ASSERT_TRUE(Lookup(cache, Key(1), &out));
   EXPECT_EQ(out.answers, std::vector<GraphId>{9});
   EXPECT_EQ(cache.Stats().entries, 1u);
 }
@@ -123,34 +153,34 @@ TEST(ResultCacheTest, AdvanceEpochInvalidatesEverything) {
   if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
   ResultCache cache(SingleShard(1 << 20));
   EXPECT_EQ(cache.epoch(), 0u);
-  cache.Insert(Key(1, cache.epoch()), Result(7));
-  cache.Insert(Key(2, cache.epoch()), Result(8));
+  Insert(cache, Key(1, cache.epoch()), Result(7));
+  Insert(cache, Key(2, cache.epoch()), Result(8));
   EXPECT_EQ(cache.AdvanceEpoch(), 1u);
   QueryResult out;
   // Old-epoch keys are purged; new-epoch keys were never inserted.
-  EXPECT_FALSE(cache.Lookup(Key(1, 0), &out));
-  EXPECT_FALSE(cache.Lookup(Key(1, 1), &out));
+  EXPECT_FALSE(Lookup(cache, Key(1, 0), &out));
+  EXPECT_FALSE(Lookup(cache, Key(1, 1), &out));
   EXPECT_EQ(cache.Stats().invalidated, 2u);
   EXPECT_EQ(cache.Stats().entries, 0u);
   EXPECT_EQ(cache.Stats().bytes, 0u);
   // A straggler computed against the old database inserts under the old
   // epoch: accepted but unreachable by current-epoch lookups.
-  cache.Insert(Key(3, 0), Result(9));
-  EXPECT_FALSE(cache.Lookup(Key(3, cache.epoch()), &out));
+  Insert(cache, Key(3, 0), Result(9));
+  EXPECT_FALSE(Lookup(cache, Key(3, cache.epoch()), &out));
 }
 
 TEST(ResultCacheTest, ClearPurgesWithoutAdvancingEpoch) {
   if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
   ResultCache cache(SingleShard(1 << 20));
-  cache.Insert(Key(1), Result(7));
+  Insert(cache, Key(1), Result(7));
   cache.Clear();
   EXPECT_EQ(cache.epoch(), 0u);
   QueryResult out;
-  EXPECT_FALSE(cache.Lookup(Key(1), &out));
+  EXPECT_FALSE(Lookup(cache, Key(1), &out));
   EXPECT_EQ(cache.Stats().invalidated, 1u);
   // The same key can be repopulated after a clear.
-  cache.Insert(Key(1), Result(7));
-  EXPECT_TRUE(cache.Lookup(Key(1), &out));
+  Insert(cache, Key(1), Result(7));
+  EXPECT_TRUE(Lookup(cache, Key(1), &out));
 }
 
 TEST(ResultCacheTest, StatsJsonCarriesEveryField) {
@@ -158,9 +188,10 @@ TEST(ResultCacheTest, StatsJsonCarriesEveryField) {
   const std::string json = cache.Stats().ToJson();
   for (const char* field :
        {"\"enabled\":", "\"hits\":", "\"misses\":", "\"inserts\":",
-        "\"evictions\":", "\"invalidated\":", "\"entries\":", "\"bytes\":",
-        "\"capacity_bytes\":", "\"epoch\":", "\"singleflight_shared\":",
-        "\"singleflight_waiting\":"}) {
+        "\"evictions\":", "\"invalidated\":", "\"selective_invalidated\":",
+        "\"stale_rejects\":", "\"entries\":", "\"bytes\":",
+        "\"capacity_bytes\":", "\"epoch\":", "\"mutation_seq\":",
+        "\"singleflight_shared\":", "\"singleflight_waiting\":"}) {
     EXPECT_NE(json.find(field), std::string::npos) << field << " in " << json;
   }
 }
@@ -177,8 +208,8 @@ TEST(ResultCacheTest, ConcurrentMixedTrafficKeepsBudget) {
       for (uint64_t i = 0; i < 400; ++i) {
         const CacheKey key = Key(t * 1000 + (i % 40));
         QueryResult out;
-        if (!cache.Lookup(key, &out)) {
-          cache.Insert(key, Result(static_cast<GraphId>(i), 15));
+        if (!Lookup(cache, key, &out)) {
+          Insert(cache, key, Result(static_cast<GraphId>(i), 15));
         }
         if (i % 97 == 0) cache.Clear();
       }
@@ -188,6 +219,81 @@ TEST(ResultCacheTest, ConcurrentMixedTrafficKeepsBudget) {
   const CacheStatsSnapshot stats = cache.Stats();
   EXPECT_LE(stats.bytes, stats.capacity_bytes);
   EXPECT_EQ(stats.hits + stats.misses, 1600u);
+}
+
+// --- Selective invalidation (live mutations) ---
+
+TEST(ResultCacheTest, ApplyRemovePurgesOnlyAnswerMembers) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  ResultCache cache(SingleShard(1 << 20));
+  cache.Insert(Key(1), Answers({3, 7, 12}), cache.mutation_seq(),
+               Feat(0b1, 2, 1));
+  cache.Insert(Key(2), Answers({5}), cache.mutation_seq(), Feat(0b1, 2, 1));
+  EXPECT_EQ(cache.ApplyRemove(7), 1u);
+  QueryResult out;
+  // Entry 1 contained graph 7 -> purged; entry 2 did not -> survives, and
+  // serves readers pinned at the *new* sequence (its answers are invariant
+  // across the mutation it survived).
+  EXPECT_FALSE(cache.Lookup(Key(1), cache.mutation_seq(), &out));
+  EXPECT_TRUE(cache.Lookup(Key(2), cache.mutation_seq(), &out));
+  EXPECT_EQ(cache.Stats().selective_invalidated, 1u);
+}
+
+TEST(ResultCacheTest, ApplyAddPurgesBySubsumptionOnly) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  ResultCache cache(SingleShard(1 << 20));
+  // Query 1 could embed in the added graph (labels subset, small enough);
+  // query 2 uses a label the added graph lacks; query 3 is too large.
+  cache.Insert(Key(1), Answers({3}), cache.mutation_seq(), Feat(0b01, 2, 1));
+  cache.Insert(Key(2), Answers({4}), cache.mutation_seq(), Feat(0b10, 2, 1));
+  cache.Insert(Key(3), Answers({5}), cache.mutation_seq(), Feat(0b01, 9, 9));
+  cache.ApplyAdd(Feat(0b01, 5, 6));
+  QueryResult out;
+  EXPECT_FALSE(cache.Lookup(Key(1), cache.mutation_seq(), &out));
+  EXPECT_TRUE(cache.Lookup(Key(2), cache.mutation_seq(), &out));
+  EXPECT_TRUE(cache.Lookup(Key(3), cache.mutation_seq(), &out));
+  EXPECT_EQ(cache.Stats().selective_invalidated, 1u);
+}
+
+TEST(ResultCacheTest, LookupRefusesEntriesNewerThanReaderPin) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  ResultCache cache(SingleShard(1 << 20));
+  const uint64_t old_pin = cache.mutation_seq();
+  cache.ApplyRemove(999);  // no entries affected, but the sequence moves
+  cache.Insert(Key(1), Answers({3}), cache.mutation_seq(), Feat(0b1, 2, 1));
+  QueryResult out;
+  // A reader pinned before the mutation must not see the newer entry; a
+  // current reader hits it.
+  EXPECT_FALSE(cache.Lookup(Key(1), old_pin, &out));
+  EXPECT_TRUE(cache.Lookup(Key(1), cache.mutation_seq(), &out));
+}
+
+TEST(ResultCacheTest, StaleInsertIsRejected) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  ResultCache cache(SingleShard(1 << 20));
+  const uint64_t old_pin = cache.mutation_seq();
+  cache.ApplyRemove(999);
+  // Computed against the pre-mutation snapshot, arriving after the purge
+  // for that mutation ran: refused, or it could resurrect stale answers.
+  cache.Insert(Key(1), Answers({3}), old_pin, Feat(0b1, 2, 1));
+  QueryResult out;
+  EXPECT_FALSE(cache.Lookup(Key(1), cache.mutation_seq(), &out));
+  EXPECT_EQ(cache.Stats().stale_rejects, 1u);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, MutationsKeepUnaffectedEntriesHittable) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  // The acceptance shape: a write burst must not zero the hit rate.
+  ResultCache cache(SingleShard(1 << 20));
+  cache.Insert(Key(1), Answers({3}), cache.mutation_seq(), Feat(0b10, 3, 2));
+  for (int i = 0; i < 8; ++i) {
+    cache.ApplyAdd(Feat(0b01, 4, 4));   // disjoint label: never subsumes
+    cache.ApplyRemove(1000 + i);        // never in the answer set
+  }
+  QueryResult out;
+  EXPECT_TRUE(cache.Lookup(Key(1), cache.mutation_seq(), &out));
+  EXPECT_EQ(cache.Stats().selective_invalidated, 0u);
 }
 
 // --- SingleFlight ---

@@ -632,5 +632,264 @@ TEST(RouterE2eTest, DeadShardConsumesDeadlineNotForever) {
   live.Wait();
 }
 
+// The mutation acceptance criterion for sharding: an interleaved stream
+// of ADD/REMOVE/QUERY through the router over 2 shards stays bit-identical
+// to the same stream against one unsharded server. Both id spaces start at
+// 40 (the seed size) and assign sequentially, so the gids line up without
+// any test-side mapping. Also checks that each ADD lands on its splitmix64
+// owner shard and that the router refuses client-supplied ids.
+TEST(RouterE2eTest, MutationStreamMatchesUnshardedServerBitForBit) {
+  const GraphDatabase db = SmallDb();
+
+  const std::string reference_path = UniqueSocketPath("mut_reference");
+  ServerConfig reference_config;
+  reference_config.unix_path = reference_path;
+  ServiceConfig service_config;
+  service_config.workers = 2;
+  service_config.queue_capacity = 16;
+  SocketServer reference(reference_config, service_config);
+  std::string error;
+  ASSERT_TRUE(reference.Start(Clone(db), &error)) << error;
+
+  Fleet fleet;
+  ASSERT_TRUE(fleet.Start(Clone(db), ShardFailurePolicy::kError, &error))
+      << error;
+
+  Client direct, routed;
+  ASSERT_TRUE(direct.Connect(reference_path));
+  ASSERT_TRUE(routed.Connect(fleet.router_path));
+
+  const std::vector<std::string> probes = {
+      SerializeGraph(sgq::testing::MakePath({0, 1}), 0),
+      SerializeGraph(sgq::testing::MakeCycle({0, 1, 2}), 0),
+      SerializeGraph(sgq::testing::MakeCycle({7, 7, 7, 7, 7}), 0),
+      SerializeGraph(db.graph(3), 3),
+      SerializeGraph(sgq::testing::MakePath({9, 9}), 0),
+  };
+  auto expect_bit_identity = [&](const char* when) {
+    for (size_t i = 0; i < probes.size(); ++i) {
+      SCOPED_TRACE(std::string(when) + ", probe " + std::to_string(i));
+      std::string direct_ids, routed_ids;
+      const std::string direct_line = direct.QueryIds(probes[i], &direct_ids);
+      const std::string routed_line = routed.QueryIds(probes[i], &routed_ids);
+      ASSERT_EQ(ParseResponseHead(direct_line).kind, ResponseHead::Kind::kOk)
+          << direct_line;
+      ASSERT_EQ(ParseResponseHead(routed_line).kind, ResponseHead::Kind::kOk)
+          << routed_line;
+      EXPECT_EQ(routed_ids, direct_ids);
+      EXPECT_EQ(ParseResponseHead(routed_line).num_answers,
+                ParseResponseHead(direct_line).num_answers);
+    }
+  };
+  // ADD the same graph to both stacks; the assigned gids must agree, and
+  // the routed copy must land on the gid's splitmix64 owner.
+  auto add_both = [&](const Graph& graph) -> GraphId {
+    const std::string text = SerializeGraph(graph, 0);
+    const std::string header =
+        "ADD GRAPH " + std::to_string(text.size()) + "\n";
+    const uint64_t before[2] = {fleet.shards[0]->Stats().db_graphs,
+                                fleet.shards[1]->Stats().db_graphs};
+    std::string direct_line, routed_line;
+    EXPECT_TRUE(direct.Send(header) && direct.Send(text) &&
+                direct.RecvLine(&direct_line));
+    EXPECT_TRUE(routed.Send(header) && routed.Send(text) &&
+                routed.RecvLine(&routed_line));
+    GraphId direct_gid = 0, routed_gid = 0;
+    EXPECT_TRUE(ParseAddedResponse(direct_line, &direct_gid)) << direct_line;
+    EXPECT_TRUE(ParseAddedResponse(routed_line, &routed_gid)) << routed_line;
+    EXPECT_EQ(routed_gid, direct_gid);
+    const uint32_t owner = ShardOfGraph(routed_gid, Fleet::kShards);
+    EXPECT_EQ(fleet.shards[owner]->Stats().db_graphs, before[owner] + 1);
+    EXPECT_EQ(fleet.shards[1 - owner]->Stats().db_graphs, before[1 - owner]);
+    return routed_gid;
+  };
+  auto remove_both = [&](GraphId gid) {
+    const std::string command = "REMOVE GRAPH " + std::to_string(gid) + "\n";
+    std::string direct_line, routed_line;
+    EXPECT_TRUE(direct.Send(command) && direct.RecvLine(&direct_line));
+    EXPECT_TRUE(routed.Send(command) && routed.RecvLine(&routed_line));
+    GraphId acked = 0;
+    EXPECT_TRUE(ParseRemovedResponse(direct_line, &acked)) << direct_line;
+    EXPECT_TRUE(ParseRemovedResponse(routed_line, &acked)) << routed_line;
+    EXPECT_EQ(acked, gid);
+  };
+
+  expect_bit_identity("baseline");
+  const GraphId pentagon_gid =
+      add_both(sgq::testing::MakeCycle({7, 7, 7, 7, 7}));
+  EXPECT_EQ(pentagon_gid, 40u);
+  expect_bit_identity("after first add");
+  add_both(sgq::testing::MakeCycle({0, 1, 2}));
+  expect_bit_identity("after second add");
+  remove_both(3);  // a seed graph: surviving global ids must not shift
+  expect_bit_identity("after seed remove");
+  remove_both(pentagon_gid);
+  expect_bit_identity("after added-graph remove");
+  add_both(sgq::testing::MakePath({0, 1, 2, 3}));
+  expect_bit_identity("after re-add");
+
+  // The router owns the id space: a client-supplied id is refused without
+  // burning an id, and the connection survives.
+  const std::string text = SerializeGraph(sgq::testing::MakePath({1, 2}), 0);
+  std::string line;
+  ASSERT_TRUE(routed.Send("ADD GRAPH " + std::to_string(text.size()) +
+                          " ID 99\n") &&
+              routed.Send(text));
+  ASSERT_TRUE(routed.RecvLine(&line));
+  EXPECT_EQ(line.rfind("BAD_REQUEST", 0), 0u) << line;
+  EXPECT_NE(line.find("without ID"), std::string::npos) << line;
+
+  // A dead id surfaces the owner shard's failure as OVERLOADED.
+  ASSERT_TRUE(routed.Send("REMOVE GRAPH " + std::to_string(pentagon_gid) +
+                          "\n"));
+  ASSERT_TRUE(routed.RecvLine(&line));
+  EXPECT_EQ(line.rfind("OVERLOADED", 0), 0u) << line;
+
+  // Still bit-identical after the failure probes (neither burned an id).
+  add_both(sgq::testing::MakeCycle({1, 2, 3}));
+  expect_bit_identity("after failure probes");
+
+  fleet.Stop();
+  reference.RequestStop();
+  reference.Wait();
+}
+
+// The router's id counter is soft state: a fresh router over a mutated
+// fleet resumes above every shard's next_global_id, and after a RELOAD
+// the re-derived counter still clears every id the fleet ever assigned.
+TEST(RouterE2eTest, RouterIdSpaceSurvivesRestartAndReload) {
+  GraphDatabase db = SmallDb(10);
+  const std::string db_path =
+      "/tmp/sgq_router_e2e_idspace_" + std::to_string(::getpid()) + ".txt";
+  std::string error;
+  ASSERT_TRUE(SaveDatabase(db, db_path, &error)) << error;
+
+  Fleet fleet;
+  ASSERT_TRUE(fleet.Start(Clone(db), ShardFailurePolicy::kError, &error))
+      << error;
+
+  const std::string text =
+      SerializeGraph(sgq::testing::MakeCycle({7, 7, 7, 7, 7}), 0);
+  const std::string header = "ADD GRAPH " + std::to_string(text.size()) + "\n";
+  auto add_via = [&](Client* client) -> GraphId {
+    std::string line;
+    EXPECT_TRUE(client->Send(header) && client->Send(text) &&
+                client->RecvLine(&line));
+    GraphId gid = ~GraphId{0};
+    EXPECT_TRUE(ParseAddedResponse(line, &gid)) << line;
+    return gid;
+  };
+
+  {
+    Client client;
+    ASSERT_TRUE(client.Connect(fleet.router_path));
+    EXPECT_EQ(add_via(&client), 10u);
+    EXPECT_EQ(add_via(&client), 11u);
+  }
+
+  // Restart only the router: the shards remember the mutations, and the
+  // new router's lazily-derived counter must clear both of them.
+  fleet.router->RequestStop();
+  fleet.router->Wait();
+  RouterServerConfig server_config;
+  server_config.unix_path = fleet.router_path;
+  RouterConfig router_config;
+  for (const std::string& path : fleet.shard_paths) {
+    ShardEndpoint endpoint;
+    endpoint.unix_path = path;
+    router_config.shards.push_back(endpoint);
+  }
+  router_config.on_shard_failure = ShardFailurePolicy::kError;
+  router_config.forward_shutdown = false;
+  fleet.router = std::make_unique<RouterServer>(server_config, router_config);
+  ASSERT_TRUE(fleet.router->Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect(fleet.router_path));
+  EXPECT_EQ(add_via(&client), 12u);
+
+  // RELOAD rewinds the fleet to the 10-graph seed. The router forgets its
+  // counter and re-derives it from the shards — whose id spaces stay
+  // monotone across a reload (ids are never reused within a server
+  // lifetime, so cached global ids cannot alias a different graph). The
+  // next ADD therefore continues at 13, not back at 10.
+  std::string line;
+  ASSERT_TRUE(client.Send("RELOAD @" + db_path + "\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(line, "OK reloaded 10 graphs") << line;
+  EXPECT_EQ(add_via(&client), 13u);
+
+  fleet.Stop();
+  ::unlink(db_path.c_str());
+}
+
+// Selective invalidation in the router cache: a mutation purges exactly
+// the entries it can affect. An entry whose labels the new graph cannot
+// cover stays hittable across an ADD; the purged query re-executes and
+// sees the new graph; a REMOVE purges entries whose answers contain the
+// gid.
+TEST(RouterE2eTest, RouterCacheInvalidatesSelectivelyOnMutation) {
+  if (!CacheEnabledByEnv()) GTEST_SKIP() << "SGQ_CACHE=off";
+  const GraphDatabase db = SmallDb(10);
+  std::string error;
+  Fleet fleet;
+  ASSERT_TRUE(fleet.Start(Clone(db), ShardFailurePolicy::kError, &error,
+                          /*db_path=*/"", /*cache_mb=*/8))
+      << error;
+  Client client;
+  ASSERT_TRUE(client.Connect(fleet.router_path));
+
+  const std::string path_payload =
+      SerializeGraph(sgq::testing::MakePath({0, 1}), 0);
+  const std::string pentagon_payload =
+      SerializeGraph(sgq::testing::MakeCycle({7, 7, 7, 7, 7}), 0);
+  auto router_hits = [&]() -> uint64_t {
+    std::string line;
+    EXPECT_TRUE(client.Send("STATS\n") && client.RecvLine(&line));
+    const std::string cache_json = RouterCacheJson(line);
+    EXPECT_FALSE(cache_json.empty()) << line;
+    return CacheCounter(cache_json, "hits");
+  };
+
+  // Warm both entries: a label-{0,1} answer and the pentagon's empty one.
+  std::string ids, line;
+  ASSERT_EQ(ParseResponseHead(client.QueryIds(path_payload, &ids)).kind,
+            ResponseHead::Kind::kOk);
+  line = client.QueryIds(pentagon_payload, &ids);
+  EXPECT_EQ(ids, "IDS") << line;
+  const uint64_t hits_before = router_hits();
+
+  // ADD a pentagon: its label set {7} cannot cover a {0,1} query, so that
+  // entry survives; the pentagon entry is subsumed and must be purged.
+  ASSERT_TRUE(client.Send("ADD GRAPH " +
+                          std::to_string(pentagon_payload.size()) + "\n") &&
+              client.Send(pentagon_payload));
+  ASSERT_TRUE(client.RecvLine(&line));
+  GraphId gid = 0;
+  ASSERT_TRUE(ParseAddedResponse(line, &gid)) << line;
+  EXPECT_EQ(gid, 10u);
+
+  ASSERT_EQ(ParseResponseHead(client.QueryIds(path_payload, &ids)).kind,
+            ResponseHead::Kind::kOk);
+  EXPECT_EQ(router_hits(), hits_before + 1) << "survivor entry did not hit";
+  line = client.QueryIds(pentagon_payload, &ids);
+  EXPECT_EQ(ids, "IDS 10") << "stale empty answer served after ADD: " << line;
+
+  // REMOVE purges by answer membership: the pentagon entry (answer {10})
+  // dies, the {0,1} entry keeps hitting.
+  ASSERT_TRUE(client.Send("REMOVE GRAPH 10\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  GraphId removed = 0;
+  ASSERT_TRUE(ParseRemovedResponse(line, &removed)) << line;
+  const uint64_t hits_mid = router_hits();
+  line = client.QueryIds(pentagon_payload, &ids);
+  EXPECT_EQ(ids, "IDS") << "stale answer served after REMOVE: " << line;
+  ASSERT_EQ(ParseResponseHead(client.QueryIds(path_payload, &ids)).kind,
+            ResponseHead::Kind::kOk);
+  EXPECT_EQ(router_hits(), hits_mid + 1);
+
+  fleet.Stop();
+}
+
 }  // namespace
 }  // namespace sgq

@@ -643,5 +643,199 @@ TEST(ServiceE2eTest, ShutdownWithIdleConnectionsDoesNotHang) {
   EXPECT_NE(::access(socket_path.c_str(), F_OK), 0);
 }
 
+// The full mutation verb surface over the wire: inline and @file ADD,
+// forced ids, REMOVE, the error taxonomy (OVERLOADED for live-data
+// failures, BAD_REQUEST for malformed payloads/grammar), and the STATS
+// "update" section — all on one server, with queries observing each
+// published version.
+TEST(ServiceE2eTest, LiveMutationsOverTheWire) {
+  const std::string socket_path = UniqueSocketPath("mutate");
+  ServerConfig server_config;
+  server_config.unix_path = socket_path;
+  ServiceConfig service_config;
+  service_config.workers = 2;
+  service_config.queue_capacity = 16;
+
+  SocketServer server(server_config, service_config);
+  std::string error;
+  ASSERT_TRUE(server.Start(SmallDb(), &error)) << error;  // gids 0..39
+
+  const Graph pentagon = sgq::testing::MakeCycle({7, 7, 7, 7, 7});
+  const std::string graph_text = SerializeGraph(pentagon, 0);
+  const std::string query_payload = SerializeGraph(pentagon, 0);
+  const std::string query_header =
+      "QUERY " + std::to_string(query_payload.size()) + " IDS\n";
+
+  Client client;
+  ASSERT_TRUE(client.Connect(socket_path));
+  std::string line;
+
+  // Label 7 is absent from SmallDb: the pentagon query starts empty.
+  ASSERT_TRUE(client.Send(query_header) && client.Send(query_payload));
+  ASSERT_TRUE(client.RecvLine(&line));
+  ASSERT_EQ(AnswersInResponse(line), 0u) << line;
+  ASSERT_TRUE(client.RecvLine(&line));  // empty IDS trailer
+
+  // Inline ADD: the first free global id after a 40-graph seed is 40.
+  ASSERT_TRUE(client.Send("ADD GRAPH " + std::to_string(graph_text.size()) +
+                          "\n") &&
+              client.Send(graph_text));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(line, "OK added 40") << line;
+
+  ASSERT_TRUE(client.Send(query_header) && client.Send(query_payload));
+  ASSERT_TRUE(client.RecvLine(&line));
+  ASSERT_EQ(AnswersInResponse(line), 1u) << line;
+  std::string ids_line;
+  ASSERT_TRUE(client.RecvLine(&ids_line));
+  std::vector<GraphId> ids;
+  ASSERT_TRUE(ParseIdsLine(ids_line, 1, &ids));
+  EXPECT_EQ(ids, std::vector<GraphId>{40});
+
+  // @file ADD with a forced id: a gap above next_global_id is legal.
+  const std::string file_path =
+      "/tmp/sgq_e2e_add_" + std::to_string(::getpid()) + ".txt";
+  {
+    std::ofstream out(file_path);
+    out << graph_text;
+  }
+  ASSERT_TRUE(client.Send("ADD GRAPH @" + file_path + " ID 50\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(line, "OK added 50") << line;
+
+  ASSERT_TRUE(client.Send(query_header) && client.Send(query_payload));
+  ASSERT_TRUE(client.RecvLine(&line));
+  ASSERT_EQ(AnswersInResponse(line), 2u) << line;
+  ASSERT_TRUE(client.RecvLine(&ids_line));
+  ASSERT_TRUE(ParseIdsLine(ids_line, 2, &ids));
+  EXPECT_EQ(ids, (std::vector<GraphId>{40, 50}));
+
+  // REMOVE keeps the surviving global id stable.
+  ASSERT_TRUE(client.Send("REMOVE GRAPH 40\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(line, "OK removed 40") << line;
+
+  ASSERT_TRUE(client.Send(query_header) && client.Send(query_payload));
+  ASSERT_TRUE(client.RecvLine(&line));
+  ASSERT_EQ(AnswersInResponse(line), 1u) << line;
+  ASSERT_TRUE(client.RecvLine(&ids_line));
+  ASSERT_TRUE(ParseIdsLine(ids_line, 1, &ids));
+  EXPECT_EQ(ids, std::vector<GraphId>{50});
+
+  // A dead id is a live-data failure (OVERLOADED), not a grammar error:
+  // the connection stays usable.
+  ASSERT_TRUE(client.Send("REMOVE GRAPH 40\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(line.rfind("OVERLOADED", 0), 0u) << line;
+
+  // An unparseable payload is BAD_REQUEST, also non-terminal.
+  const std::string junk = "this is not a graph\n";
+  ASSERT_TRUE(client.Send("ADD GRAPH " + std::to_string(junk.size()) + "\n") &&
+              client.Send(junk));
+  ASSERT_TRUE(client.RecvLine(&line));
+  EXPECT_EQ(line.rfind("BAD_REQUEST", 0), 0u) << line;
+
+  // The STATS update section accounts for everything above.
+  ASSERT_TRUE(client.Send("STATS\n"));
+  ASSERT_TRUE(client.RecvLine(&line));
+  ASSERT_EQ(line.rfind("OK {", 0), 0u) << line;
+  EXPECT_NE(line.find("\"update\":{"), std::string::npos) << line;
+  EXPECT_EQ(ExtractUint(line, "mutations_add"), 2u);
+  EXPECT_EQ(ExtractUint(line, "mutations_remove"), 1u);
+  EXPECT_EQ(ExtractUint(line, "mutation_failures"), 1u);
+  EXPECT_EQ(ExtractUint(line, "db_epoch"), 4u);  // publish + 3 mutations
+  EXPECT_EQ(ExtractUint(line, "next_global_id"), 51u);
+
+  // Mutation grammar errors terminate the connection like any other
+  // codec error; probe with a throwaway client.
+  {
+    Client bad;
+    ASSERT_TRUE(bad.Connect(socket_path));
+    ASSERT_TRUE(bad.Send("ADD GRAPH\n"));
+    ASSERT_TRUE(bad.RecvLine(&line));
+    EXPECT_EQ(line.rfind("BAD_REQUEST", 0), 0u) << line;
+  }
+
+  ::unlink(file_path.c_str());
+  server.RequestStop();
+  server.Wait();
+}
+
+// Queries flooding one connection while another connection cycles
+// ADD/REMOVE of a single pentagon: snapshot isolation means every
+// response sees either zero or one pentagon — never a torn state — and
+// the server reports zero quiesce (queries ran during mutations).
+TEST(ServiceE2eTest, MutationStreamInterleavedWithWireQueries) {
+  const std::string socket_path = UniqueSocketPath("interleave");
+  ServerConfig server_config;
+  server_config.unix_path = socket_path;
+  ServiceConfig service_config;
+  service_config.workers = 3;
+  service_config.queue_capacity = 32;
+
+  SocketServer server(server_config, service_config);
+  std::string error;
+  ASSERT_TRUE(server.Start(SmallDb(), &error)) << error;
+
+  const std::string graph_text =
+      SerializeGraph(sgq::testing::MakeCycle({7, 7, 7, 7, 7}), 0);
+  const std::string query_header =
+      "QUERY " + std::to_string(graph_text.size()) + "\n";
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries_ok{0};
+  std::atomic<bool> reader_failed{false};
+  std::thread reader([&] {
+    Client c;
+    if (!c.Connect(socket_path)) {
+      reader_failed.store(true);
+      return;
+    }
+    while (!stop.load()) {
+      const std::string line = c.Query(graph_text);
+      const uint64_t n = AnswersInResponse(line);
+      if (n == ~0ull || n > 1) {  // torn state or error: fail loudly
+        reader_failed.store(true);
+        return;
+      }
+      queries_ok.fetch_add(1);
+    }
+  });
+
+  Client mutator;
+  ASSERT_TRUE(mutator.Connect(socket_path));
+  const int kCycles = 20;
+  for (int i = 0; i < kCycles; ++i) {
+    std::string line;
+    ASSERT_TRUE(mutator.Send("ADD GRAPH " +
+                             std::to_string(graph_text.size()) + "\n") &&
+                mutator.Send(graph_text));
+    ASSERT_TRUE(mutator.RecvLine(&line));
+    GraphId gid = 0;
+    ASSERT_TRUE(ParseAddedResponse(line, &gid)) << line;
+    ASSERT_TRUE(mutator.Send("REMOVE GRAPH " + std::to_string(gid) + "\n"));
+    ASSERT_TRUE(mutator.RecvLine(&line));
+    GraphId removed = 0;
+    ASSERT_TRUE(ParseRemovedResponse(line, &removed)) << line;
+    ASSERT_EQ(removed, gid);
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_FALSE(reader_failed.load());
+  EXPECT_GT(queries_ok.load(), 0u);
+
+  std::string raw;
+  const ServiceStatsSnapshot stats = StatsOverWire(socket_path, &raw);
+  (void)stats;
+  EXPECT_EQ(ExtractUint(raw, "mutations_add"),
+            static_cast<uint64_t>(kCycles));
+  EXPECT_EQ(ExtractUint(raw, "mutations_remove"),
+            static_cast<uint64_t>(kCycles));
+  EXPECT_EQ(ExtractUint(raw, "mutation_failures"), 0u);
+
+  server.RequestStop();
+  server.Wait();
+}
+
 }  // namespace
 }  // namespace sgq

@@ -1,0 +1,188 @@
+// VersionedDb unit tests: publish/apply epoch progression, global-id
+// stability and monotonicity, forced-id rules, order-preserving removes,
+// FindLocal, the bounded delta ring (coverage, Publish cut, overflow), and
+// snapshot immutability (readers pinned on an old version never observe a
+// later mutation).
+#include "update/db_version.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace sgq {
+namespace {
+
+using testing::MakePath;
+
+Graph PathGraph(Label a, Label b) { return MakePath({a, b}); }
+
+GraphDatabase ThreeGraphs() {
+  GraphDatabase db;
+  db.Add(PathGraph(0, 1));
+  db.Add(PathGraph(1, 2));
+  db.Add(PathGraph(2, 3));
+  return db;
+}
+
+TEST(VersionedDbTest, PublishInstallsIdentityIdMap) {
+  VersionedDb vdb;
+  EXPECT_EQ(vdb.Current(), nullptr);
+  auto v = vdb.Publish(ThreeGraphs(), {});
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v, vdb.Current());
+  EXPECT_EQ(v->epoch, 1u);
+  EXPECT_EQ(v->db.size(), 3u);
+  EXPECT_TRUE(v->global_ids.empty());  // identity
+  EXPECT_EQ(v->GlobalOf(2), 2u);
+  EXPECT_EQ(v->next_global_id, 3u);
+  GraphId local = 99;
+  ASSERT_TRUE(v->FindLocal(1, &local));
+  EXPECT_EQ(local, 1u);
+  EXPECT_FALSE(v->FindLocal(3, &local));
+}
+
+TEST(VersionedDbTest, ApplyAddAssignsMonotoneIdsAndBumpsEpoch) {
+  VersionedDb vdb;
+  vdb.Publish(ThreeGraphs(), {});
+  GraphId gid = 0;
+  std::string error;
+  auto v2 = vdb.ApplyAdd(PathGraph(4, 5), nullptr, &gid, &error);
+  ASSERT_NE(v2, nullptr) << error;
+  EXPECT_EQ(gid, 3u);
+  EXPECT_EQ(v2->epoch, 2u);
+  EXPECT_EQ(v2->db.size(), 4u);
+  EXPECT_EQ(v2->GlobalOf(3), 3u);
+  EXPECT_EQ(v2->next_global_id, 4u);
+  auto v3 = vdb.ApplyAdd(PathGraph(5, 6), nullptr, &gid, &error);
+  ASSERT_NE(v3, nullptr);
+  EXPECT_EQ(gid, 4u);
+  EXPECT_EQ(vdb.MutationsApplied(), 2u);
+}
+
+TEST(VersionedDbTest, ForcedIdMustKeepIdMapSorted) {
+  VersionedDb vdb;
+  vdb.Publish(ThreeGraphs(), {});
+  GraphId gid = 0;
+  std::string error;
+  // Forcing an id below next_global_id would break the sorted map (or
+  // reuse a retired id): rejected, state unchanged.
+  const GraphId low = 1;
+  EXPECT_EQ(vdb.ApplyAdd(PathGraph(4, 5), &low, &gid, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(vdb.Current()->epoch, 1u);
+  // A gap is fine (the router may have burned ids on failed sends); the
+  // next free assignment continues above it.
+  const GraphId high = 10;
+  auto v = vdb.ApplyAdd(PathGraph(4, 5), &high, &gid, &error);
+  ASSERT_NE(v, nullptr) << error;
+  EXPECT_EQ(gid, 10u);
+  EXPECT_EQ(v->next_global_id, 11u);
+  auto v2 = vdb.ApplyAdd(PathGraph(6, 7), nullptr, &gid, &error);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(gid, 11u);
+}
+
+TEST(VersionedDbTest, RemoveIsOrderPreservingAndIdsAreNeverReused) {
+  VersionedDb vdb;
+  vdb.Publish(ThreeGraphs(), {});
+  std::string error;
+  auto v = vdb.ApplyRemove(1, &error);
+  ASSERT_NE(v, nullptr) << error;
+  EXPECT_EQ(v->db.size(), 2u);
+  // Locals stay dense, the map stays strictly increasing: {0, 2}.
+  EXPECT_EQ(v->GlobalOf(0), 0u);
+  EXPECT_EQ(v->GlobalOf(1), 2u);
+  GraphId local = 99;
+  EXPECT_FALSE(v->FindLocal(1, &local));
+  ASSERT_TRUE(v->FindLocal(2, &local));
+  EXPECT_EQ(local, 1u);
+  // Removing an id that is not live (never existed or already removed)
+  // fails without a version bump.
+  EXPECT_EQ(vdb.ApplyRemove(1, &error), nullptr);
+  EXPECT_EQ(vdb.ApplyRemove(77, &error), nullptr);
+  EXPECT_EQ(vdb.Current()->epoch, 2u);
+  // The freed id is never handed out again.
+  GraphId gid = 0;
+  auto v2 = vdb.ApplyAdd(PathGraph(9, 9), nullptr, &gid, &error);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(gid, 3u);
+}
+
+TEST(VersionedDbTest, PinnedReadersNeverObserveLaterMutations) {
+  VersionedDb vdb;
+  vdb.Publish(ThreeGraphs(), {});
+  const std::shared_ptr<const DbVersion> pinned = vdb.Current();
+  GraphId gid = 0;
+  std::string error;
+  ASSERT_NE(vdb.ApplyAdd(PathGraph(4, 5), nullptr, &gid, &error), nullptr);
+  ASSERT_NE(vdb.ApplyRemove(0, &error), nullptr);
+  // The pinned snapshot is frozen: same size, same ids, same graphs.
+  EXPECT_EQ(pinned->epoch, 1u);
+  EXPECT_EQ(pinned->db.size(), 3u);
+  EXPECT_EQ(pinned->GlobalOf(0), 0u);
+  EXPECT_EQ(pinned->db.graph(0).label(0), 0u);
+  EXPECT_EQ(vdb.Current()->db.size(), 3u);  // 3 + 1 - 1
+  EXPECT_EQ(vdb.Current()->GlobalOf(0), 1u);
+}
+
+TEST(VersionedDbTest, DeltaRingReplaysTheMutationChain) {
+  VersionedDb vdb;
+  vdb.Publish(ThreeGraphs(), {});
+  GraphId gid = 0;
+  std::string error;
+  ASSERT_NE(vdb.ApplyAdd(PathGraph(7, 8), nullptr, &gid, &error), nullptr);
+  ASSERT_NE(vdb.ApplyRemove(1, &error), nullptr);
+  std::vector<DbDelta> deltas;
+  ASSERT_TRUE(vdb.DeltasSince(1, 3, &deltas));
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[0].kind, DbDelta::Kind::kAdd);
+  EXPECT_EQ(deltas[0].global_id, 3u);
+  EXPECT_EQ(deltas[0].local_id, 3u);
+  EXPECT_EQ(deltas[0].added.NumVertices(), 2u);
+  EXPECT_EQ(deltas[1].kind, DbDelta::Kind::kRemove);
+  EXPECT_EQ(deltas[1].global_id, 1u);
+  EXPECT_EQ(deltas[1].local_id, 1u);
+  // Prefixes and the empty range work too.
+  ASSERT_TRUE(vdb.DeltasSince(2, 3, &deltas));
+  EXPECT_EQ(deltas.size(), 1u);
+  ASSERT_TRUE(vdb.DeltasSince(3, 3, &deltas));
+  EXPECT_TRUE(deltas.empty());
+}
+
+TEST(VersionedDbTest, PublishCutsTheDeltaHistory) {
+  VersionedDb vdb;
+  vdb.Publish(ThreeGraphs(), {});
+  GraphId gid = 0;
+  std::string error;
+  ASSERT_NE(vdb.ApplyAdd(PathGraph(7, 8), nullptr, &gid, &error), nullptr);
+  auto v = vdb.Publish(ThreeGraphs(), {});  // RELOAD
+  EXPECT_EQ(v->epoch, 3u);
+  std::vector<DbDelta> deltas;
+  // No chain leads across a full swap — engines must re-Prepare.
+  EXPECT_FALSE(vdb.DeltasSince(1, 3, &deltas));
+  EXPECT_FALSE(vdb.DeltasSince(2, 3, &deltas));
+  EXPECT_TRUE(vdb.DeltasSince(3, 3, &deltas));  // trivially empty
+}
+
+TEST(VersionedDbTest, RingOverflowForcesFullRebuildPath) {
+  VersionedDb vdb(/*max_deltas=*/4);
+  vdb.Publish(ThreeGraphs(), {});
+  GraphId gid = 0;
+  std::string error;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_NE(vdb.ApplyAdd(PathGraph(1, 2), nullptr, &gid, &error), nullptr);
+  }
+  std::vector<DbDelta> deltas;
+  // Epoch 1 fell off the ring (only the last 4 deltas are retained)...
+  EXPECT_FALSE(vdb.DeltasSince(1, 7, &deltas));
+  // ...but recent epochs are still coverable.
+  ASSERT_TRUE(vdb.DeltasSince(3, 7, &deltas));
+  EXPECT_EQ(deltas.size(), 4u);
+}
+
+}  // namespace
+}  // namespace sgq

@@ -350,7 +350,7 @@ int CmdQuery(const Flags& flags) {
     QueryResult r;
     if (cache.enabled()) {
       key.hash = CanonicalQueryHash(queries.graph(i));
-      cache_hit = cache.Lookup(key, &r);
+      cache_hit = cache.Lookup(key, cache.mutation_seq(), &r);
     }
     double first_ms = -1;
     if (!cache_hit) {
@@ -363,7 +363,11 @@ int CmdQuery(const Flags& flags) {
       } else {
         r = engine->Query(queries.graph(i), Deadline::AfterSeconds(limit));
       }
-      if (cache.enabled() && !r.stats.timed_out) cache.Insert(key, r);
+      if (cache.enabled() && !r.stats.timed_out) {
+        // The CLI never mutates its database, so the pin is always current.
+        cache.Insert(key, r, cache.mutation_seq(),
+                     GraphFeaturesOf(queries.graph(i)));
+      }
     }
     if (json) {
       std::string extra;

@@ -5,12 +5,22 @@
 //   sgq_client (--socket PATH | --host H --port N) --op query
 //              (--graph one.txt | --queries many.txt)
 //              [--timeout S] [--repeat 1] [--connections 1] [--quiet 0]
-//              [--limit K] [--ids 1] [--stream 1]
+//              [--limit K] [--ids 1] [--stream 1] [--write-ratio R]
 //              [--bench-json FILE] [--bench-name NAME]
+//   sgq_client ... --op add --graph new_graph.txt
+//   sgq_client ... --op remove --id N
 //   sgq_client ... --op stats
 //   sgq_client ... --op reload [--db new_db.txt]
 //   sgq_client ... --op cache-clear
 //   sgq_client ... --op shutdown
+//
+// --op add sends the file's first graph as a live `ADD GRAPH` (the server
+// or router assigns and prints the global id); --op remove sends
+// `REMOVE GRAPH <id>`. --write-ratio R (0 < R < 1) turns the query flood
+// into a mixed read/write stream: a deterministic R-fraction of the work
+// items become mutations — alternating ADDs (of the loaded query graphs)
+// and REMOVEs of ids this run added — and the summary reports mutation
+// latency percentiles next to the query percentiles.
 //
 // After a query run the summary line is followed by per-request latency
 // percentiles (p50/p95/p99) and the aggregate throughput across all
@@ -65,8 +75,10 @@ int Usage() {
       "                  [--timeout S] [--repeat N] [--connections C] "
       "[--quiet 1]\n"
       "                  [--limit K] [--ids 1] [--stream 1] "
-      "[--bench-json FILE]\n"
-      "                  [--bench-name NAME]\n"
+      "[--write-ratio R]\n"
+      "                  [--bench-json FILE] [--bench-name NAME]\n"
+      "       sgq_client ... --op add --graph FILE\n"
+      "       sgq_client ... --op remove --id N\n"
       "       sgq_client ... --op stats|reload|cache-clear|shutdown "
       "[--db FILE]\n");
   return 2;
@@ -189,6 +201,11 @@ int RunQueries(const sgq_tools::Flags& flags) {
       static_cast<uint64_t>(std::max(0.0, flags.GetDouble("limit", 0)));
   const bool want_ids = flags.GetDouble("ids", 0) != 0;
   const bool stream = flags.GetDouble("stream", 0) != 0;
+  const double write_ratio = flags.GetDouble("write-ratio", 0);
+  if (write_ratio < 0 || write_ratio >= 1) {
+    std::fprintf(stderr, "--write-ratio must be in [0, 1)\n");
+    return 2;
+  }
 
   // Pre-serialize each query once; every connection replays its share.
   std::vector<std::string> payloads;
@@ -200,6 +217,7 @@ int RunQueries(const sgq_tools::Flags& flags) {
   OutcomeCounts totals;
   std::vector<double> latencies_ms;  // merged under print_mu at thread exit
   std::vector<double> first_embedding_ms_all;  // stream mode, non-empty only
+  std::vector<double> mutation_latencies_ms;   // write-ratio mode only
   uint64_t max_retry_after_ms = 0;
   bool connect_failed = false;
   WallTimer run_timer;
@@ -211,6 +229,9 @@ int RunQueries(const sgq_tools::Flags& flags) {
       OutcomeCounts counts;
       std::vector<double> thread_latencies_ms;
       std::vector<double> thread_first_embedding_ms;
+      std::vector<double> thread_mutation_ms;
+      std::vector<GraphId> added_gids;  // live ADDs this thread made
+      uint64_t mutations_done = 0;
       uint64_t thread_max_retry_ms = 0;
       if (!fd.valid()) {
         std::lock_guard<std::mutex> lock(print_mu);
@@ -222,6 +243,59 @@ int RunQueries(const sgq_tools::Flags& flags) {
       const size_t total = payloads.size() * static_cast<size_t>(repeat);
       for (size_t w = static_cast<size_t>(c); w < total;
            w += static_cast<size_t>(connections)) {
+        // A deterministic write_ratio-fraction of the work items become
+        // mutations (hash of the item index, so re-runs pick the same
+        // items). ADDs and REMOVEs of this thread's own additions
+        // alternate, keeping the database size roughly constant.
+        const bool mutate =
+            write_ratio > 0 &&
+            static_cast<double>((w * 2654435761ull) % 1000) <
+                write_ratio * 1000.0;
+        if (mutate) {
+          const bool remove =
+              !added_gids.empty() && (mutations_done % 2) == 1;
+          ++mutations_done;
+          std::string mut_header, mut_payload;
+          if (remove) {
+            mut_header =
+                "REMOVE GRAPH " + std::to_string(added_gids.back()) + "\n";
+          } else {
+            mut_payload = payloads[w % payloads.size()];
+            mut_header =
+                "ADD GRAPH " + std::to_string(mut_payload.size()) + "\n";
+          }
+          std::string line, ids_line;
+          double latency_ms = 0;
+          double unused_fe = -1;
+          uint64_t unused_ids = 0;
+          bool sent = ExchangeOnce(fd.get(), mut_header, mut_payload, false,
+                                   false, &line, &ids_line, &latency_ms,
+                                   &unused_fe, &unused_ids);
+          if (!sent) {
+            fd = Connect(flags, &conn_error);
+            sent = fd.valid() &&
+                   ExchangeOnce(fd.get(), mut_header, mut_payload, false,
+                                false, &line, &ids_line, &latency_ms,
+                                &unused_fe, &unused_ids);
+          }
+          if (!sent) {
+            ++counts.dropped;
+            break;
+          }
+          thread_mutation_ms.push_back(latency_ms);
+          GraphId gid = 0;
+          if (remove) {
+            if (ParseRemovedResponse(line, &gid)) added_gids.pop_back();
+          } else if (ParseAddedResponse(line, &gid)) {
+            added_gids.push_back(gid);
+          }
+          CountResponse(line, &counts);
+          if (!quiet) {
+            std::lock_guard<std::mutex> lock(print_mu);
+            std::printf("[conn %d] %s\n", c, line.c_str());
+          }
+          continue;
+        }
         const std::string& payload = payloads[w % payloads.size()];
         std::string header = "QUERY ";
         header += std::to_string(payload.size());
@@ -297,6 +371,9 @@ int RunQueries(const sgq_tools::Flags& flags) {
       first_embedding_ms_all.insert(first_embedding_ms_all.end(),
                                     thread_first_embedding_ms.begin(),
                                     thread_first_embedding_ms.end());
+      mutation_latencies_ms.insert(mutation_latencies_ms.end(),
+                                   thread_mutation_ms.begin(),
+                                   thread_mutation_ms.end());
       max_retry_after_ms = std::max(max_retry_after_ms, thread_max_retry_ms);
     });
   }
@@ -322,6 +399,16 @@ int RunQueries(const sgq_tools::Flags& flags) {
         PercentileMs(latencies_ms, 99), latencies_ms.size());
     std::printf("throughput: %.1f req/s over %.3f s (%d connections)\n",
                 throughput, wall_seconds, connections);
+  }
+  if (!mutation_latencies_ms.empty()) {
+    std::sort(mutation_latencies_ms.begin(), mutation_latencies_ms.end());
+    std::printf(
+        "mutation latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms "
+        "(%zu mutations)\n",
+        PercentileMs(mutation_latencies_ms, 50),
+        PercentileMs(mutation_latencies_ms, 95),
+        PercentileMs(mutation_latencies_ms, 99),
+        mutation_latencies_ms.size());
   }
   if (stream && !first_embedding_ms_all.empty()) {
     std::sort(first_embedding_ms_all.begin(), first_embedding_ms_all.end());
@@ -361,10 +448,26 @@ int RunQueries(const sgq_tools::Flags& flags) {
       record.counters.emplace_back(
           "ttfe_p95_ms", PercentileMs(first_embedding_ms_all, 95));
     }
+    if (!mutation_latencies_ms.empty()) {
+      const double mut_count =
+          static_cast<double>(mutation_latencies_ms.size());
+      record.counters.emplace_back("write_ratio", write_ratio);
+      record.counters.emplace_back("mutations", mut_count);
+      record.counters.emplace_back(
+          "mutations_per_s", wall_seconds > 0 ? mut_count / wall_seconds : 0);
+      record.counters.emplace_back("mut_p50_ms",
+                                   PercentileMs(mutation_latencies_ms, 50));
+      record.counters.emplace_back("mut_p95_ms",
+                                   PercentileMs(mutation_latencies_ms, 95));
+      record.counters.emplace_back("mut_p99_ms",
+                                   PercentileMs(mutation_latencies_ms, 99));
+    }
     // Merge-by-name into any existing snapshot so the direct and routed
-    // configurations of one bench run share a file.
+    // configurations of one bench run share a file. An existing snapshot
+    // keeps its suite name (run_dynamic_bench.sh merges a served-mutations
+    // record into the "dynamic" suite).
     std::vector<bench::BenchRecord> records;
-    std::string suite;
+    std::string suite = "service_flood";
     if (bench::ReadBenchJson(bench_json, &suite, &records)) {
       records.erase(std::remove_if(records.begin(), records.end(),
                                    [&](const bench::BenchRecord& r) {
@@ -372,10 +475,11 @@ int RunQueries(const sgq_tools::Flags& flags) {
                                    }),
                     records.end());
     } else {
+      suite = "service_flood";
       records.clear();
     }
     records.push_back(std::move(record));
-    if (!bench::WriteBenchJson(bench_json, "service_flood", records)) {
+    if (!bench::WriteBenchJson(bench_json, suite, records)) {
       std::fprintf(stderr, "failed to write %s\n", bench_json.c_str());
       return 1;
     }
@@ -383,6 +487,50 @@ int RunQueries(const sgq_tools::Flags& flags) {
                 records.size());
   }
   return (connect_failed || totals.bad > 0 || totals.dropped > 0) ? 1 : 0;
+}
+
+// One-shot live mutation: sends ADD GRAPH (payload = the first graph in
+// --graph, serialized in the wire text-graph codec) or REMOVE GRAPH and
+// prints the server's response line ("OK added <gid>" / "OK removed <gid>").
+int RunMutation(const sgq_tools::Flags& flags, const std::string& op) {
+  std::string error, command, payload;
+  if (op == "add") {
+    const std::string graph_path = flags.Get("graph", "");
+    if (graph_path.empty()) {
+      std::fprintf(stderr, "--op add needs --graph FILE\n");
+      return 2;
+    }
+    GraphDatabase graphs;
+    if (!LoadDatabase(graph_path, &graphs, &error) || graphs.size() == 0) {
+      std::fprintf(stderr, "failed to load %s: %s\n", graph_path.c_str(),
+                   error.empty() ? "no graphs in file" : error.c_str());
+      return 1;
+    }
+    payload = SerializeGraph(graphs.graph(0), 0);
+    command = "ADD GRAPH " + std::to_string(payload.size()) + "\n";
+  } else {  // remove
+    if (!flags.Has("id")) {
+      std::fprintf(stderr, "--op remove needs --id N\n");
+      return 2;
+    }
+    command = "REMOVE GRAPH " +
+              std::to_string(
+                  static_cast<uint64_t>(flags.GetDouble("id", 0))) +
+              "\n";
+  }
+  UniqueFd fd = Connect(flags, &error);
+  if (!fd.valid()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::string line;
+  if (!WriteAll(fd.get(), command) || !WriteAll(fd.get(), payload) ||
+      !ReadLine(fd.get(), &line)) {
+    std::fprintf(stderr, "connection dropped\n");
+    return 1;
+  }
+  std::printf("%s\n", line.c_str());
+  return line.rfind("OK", 0) == 0 ? 0 : 1;
 }
 
 int RunControl(const sgq_tools::Flags& flags, const std::string& op) {
@@ -420,12 +568,13 @@ int main(int argc, char** argv) {
   if (!flags.ok() ||
       !flags.Validate({"socket", "host", "port", "op", "graph", "queries",
                        "timeout", "repeat", "connections", "quiet", "db",
-                       "limit", "ids", "stream", "bench-json",
-                       "bench-name"})) {
+                       "limit", "ids", "stream", "write-ratio", "id",
+                       "bench-json", "bench-name"})) {
     return Usage();
   }
   const std::string op = flags.Get("op", "query");
   if (op == "query") return RunQueries(flags);
+  if (op == "add" || op == "remove") return RunMutation(flags, op);
   if (op == "stats" || op == "reload" || op == "cache-clear" ||
       op == "shutdown") {
     return RunControl(flags, op);
